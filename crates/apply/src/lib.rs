@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! # diffnet-apply
+//!
+//! Downstream applications of a (reconstructed) diffusion network — the
+//! paper's motivation for topology inference is that "knowledge of these
+//! influence relationships is crucial … for designing effective strategies
+//! to promote or prevent future diffusions":
+//!
+//! * [`spread`] — Monte-Carlo estimation of expected influence spread
+//!   under the independent-cascade model.
+//! * [`influence`] — influence maximization: greedy hill-climbing with the
+//!   CELF lazy-evaluation optimization (Leskovec et al., KDD 2007),
+//!   `1 − 1/e` approximation guarantee by submodularity.
+//! * [`immunize`] — immunization: choosing nodes to remove so as to
+//!   minimize expected spread from random seeding.
+//!
+//! All functions accept any [`diffnet_graph::DiGraph`] — ground truth or
+//! the output of `diffnet_tends::Tends::reconstruct` — which is exactly
+//! the point: once the topology is inferred, the whole toolbox applies.
+
+pub mod immunize;
+pub mod influence;
+pub mod spread;
+
+pub use immunize::greedy_immunization;
+pub use influence::{celf_influence_maximization, greedy_influence_maximization};
+pub use spread::{estimate_spread, SpreadEstimator};

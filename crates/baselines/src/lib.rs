@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! # diffnet-baselines
+//!
+//! The baseline diffusion-network-inference algorithms the TENDS paper
+//! (ICDE 2020) compares against, plus two canonical extensions:
+//!
+//! | Algorithm | Inputs | Reference |
+//! |---|---|---|
+//! | [`NetRate`] | cascades (timestamps) | Gomez-Rodriguez et al., ICML 2011 |
+//! | [`MulTree`] | cascades + true edge count `m` | Gomez-Rodriguez & Schölkopf, ICML 2012 |
+//! | [`Lift`] | sources + final statuses + `m` | Amin, Heidari & Kearns, ICML 2014 |
+//! | [`NetInf`] (extension) | cascades + `m` | Gomez-Rodriguez et al., KDD 2010 |
+//! | [`PathReconstruction`] (extension) | cascade-derived path triples + `m` | Gripon & Rabbat, ISIT 2013 |
+//!
+//! Every baseline consumes a [`diffnet_simulate::ObservationSet`], which
+//! carries exactly the extra information the paper grants each method
+//! (timestamped cascades, seed sets, the true `m`); TENDS itself uses only
+//! the final-status matrix.
+
+mod lift;
+mod multree;
+mod netinf;
+mod netrate;
+mod path;
+mod weighted;
+
+pub use lift::{Lift, LiftVariant};
+pub use multree::{MulTree, MulTreeConfig};
+pub use netinf::NetInf;
+pub use netrate::{NetRate, NetRateConfig};
+pub use path::PathReconstruction;
+pub use weighted::WeightedGraph;

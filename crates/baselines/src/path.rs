@@ -1,0 +1,122 @@
+//! PATH (Gripon & Rabbat, ISIT 2013): reconstructing a graph from path
+//! traces.
+//!
+//! The original algorithm consumes *path-connected node sets* — unordered
+//! sets of nodes known to lie on a single diffusion path of fixed length —
+//! and inserts edges between the nodes that co-occur most frequently.
+//! Exact path traces are not observable in natural diffusion (the reason
+//! the TENDS paper excludes PATH from its comparison); as the closest
+//! observable surrogate, this implementation extracts *consecutive-round
+//! triples* `(u, v, w)` with `t_v = t_u + 1`, `t_w = t_v + 1` and
+//! plausible adjacency, scores ordered pairs by their co-occurrence in
+//! those triples, and returns the top-`m` pairs.
+//!
+//! Provided as an extension baseline.
+
+use crate::weighted::WeightedGraph;
+use diffnet_graph::{DiGraph, NodeId};
+use diffnet_simulate::ObservationSet;
+use std::collections::HashMap;
+
+/// The PATH-style estimator.
+#[derive(Clone, Debug, Default)]
+pub struct PathReconstruction;
+
+impl PathReconstruction {
+    /// A PATH estimator.
+    pub fn new() -> Self {
+        PathReconstruction
+    }
+
+    /// Scores ordered pairs by co-occurrence in consecutive-round triples.
+    pub fn scores(&self, obs: &ObservationSet) -> WeightedGraph {
+        let n = obs.num_nodes();
+        let mut pair_counts: HashMap<(NodeId, NodeId), u64> = HashMap::new();
+
+        for rec in &obs.records {
+            // Bucket infected nodes by round.
+            let mut by_round: Vec<Vec<NodeId>> = Vec::new();
+            for (i, &t) in rec.times.iter().enumerate() {
+                if t == diffnet_simulate::UNINFECTED {
+                    continue;
+                }
+                let t = t as usize;
+                if by_round.len() <= t {
+                    by_round.resize(t + 1, Vec::new());
+                }
+                by_round[t].push(i as NodeId);
+            }
+            // Triples spanning rounds (t, t+1, t+2): each (u, v, w) is a
+            // candidate path u -> v -> w; credit both hops.
+            for t in 0..by_round.len().saturating_sub(2) {
+                for &u in &by_round[t] {
+                    for &v in &by_round[t + 1] {
+                        for &w in &by_round[t + 2] {
+                            *pair_counts.entry((u, v)).or_insert(0) += 1;
+                            *pair_counts.entry((v, w)).or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+            // Two-round cascades still carry single-hop evidence.
+            for t in 0..by_round.len().saturating_sub(1) {
+                for &u in &by_round[t] {
+                    for &v in &by_round[t + 1] {
+                        *pair_counts.entry((u, v)).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+
+        let mut out = WeightedGraph::new(n);
+        let mut pairs: Vec<((NodeId, NodeId), u64)> = pair_counts.into_iter().collect();
+        pairs.sort_unstable();
+        for ((u, v), c) in pairs {
+            out.push(u, v, c as f64);
+        }
+        out
+    }
+
+    /// Infers the `m` most frequently co-occurring pairs.
+    pub fn infer(&self, obs: &ObservationSet, m: usize) -> DiGraph {
+        self.scores(obs).top_m(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffnet_simulate::{EdgeProbs, IcConfig, IndependentCascade};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn observe(truth: &DiGraph, seed: u64, beta: usize) -> ObservationSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let probs = EdgeProbs::constant(truth, 0.6);
+        IndependentCascade::new(truth, &probs)
+            .observe(IcConfig { initial_ratio: 0.15, num_processes: beta }, &mut rng)
+    }
+
+    #[test]
+    fn chain_pairs_dominate() {
+        let truth = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let obs = observe(&truth, 96, 600);
+        let g = PathReconstruction::new().infer(&obs, truth.edge_count());
+        let tp = g.edges().filter(|&(u, v)| truth.has_edge(u, v)).count();
+        assert!(tp >= 3, "tp = {tp}, inferred {:?}", g.edge_vec());
+    }
+
+    #[test]
+    fn budget_respected() {
+        let truth = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let obs = observe(&truth, 97, 100);
+        assert!(PathReconstruction::new().infer(&obs, 2).edge_count() <= 2);
+    }
+
+    #[test]
+    fn empty_observations() {
+        let truth = DiGraph::from_edges(3, &[(0, 1)]);
+        let obs = observe(&truth, 98, 50).truncated(0);
+        assert!(PathReconstruction::new().scores(&obs).is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! Weighted inference output shared by the baselines.
+//!
+//! NetRate infers a *rate* per potential edge and LIFT a *lifting effect*
+//! per pair; turning those into an edge set requires either a threshold,
+//! a budget `m`, or — the paper's preferential treatment for NetRate —
+//! the threshold that maximizes the F-score against the ground truth.
+
+use diffnet_graph::{DiGraph, GraphBuilder, NodeId};
+
+/// A set of scored potential edges over `n` nodes.
+#[derive(Clone, Debug, Default)]
+pub struct WeightedGraph {
+    n: usize,
+    edges: Vec<(NodeId, NodeId, f64)>,
+}
+
+impl WeightedGraph {
+    /// An empty weighted graph over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        WeightedGraph { n, edges: Vec::new() }
+    }
+
+    /// Adds a scored potential edge. Weights need not be probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or the weight is NaN.
+    pub fn push(&mut self, u: NodeId, v: NodeId, w: f64) {
+        assert!((u as usize) < self.n && (v as usize) < self.n, "edge out of range");
+        assert!(!w.is_nan(), "edge weight must not be NaN");
+        self.edges.push((u, v, w));
+    }
+
+    /// Number of scored pairs.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no pairs are scored.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Iterates over `(u, v, weight)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// The edges with weight strictly above `t`.
+    pub fn threshold(&self, t: f64) -> DiGraph {
+        let mut b = GraphBuilder::new(self.n);
+        for &(u, v, w) in &self.edges {
+            if w > t {
+                b.add_edge(u, v);
+            }
+        }
+        b.build()
+    }
+
+    /// The `m` highest-weighted edges (ties broken by `(u, v)` order for
+    /// determinism).
+    pub fn top_m(&self, m: usize) -> DiGraph {
+        let mut sorted = self.edges.clone();
+        sorted.sort_unstable_by(|a, b| {
+            b.2.partial_cmp(&a.2)
+                .expect("weights are not NaN")
+                .then_with(|| (a.0, a.1).cmp(&(b.0, b.1)))
+        });
+        sorted.truncate(m);
+        let mut b = GraphBuilder::new(self.n);
+        for (u, v, _) in sorted {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// The paper's preferential NetRate treatment: sweeps all weight
+    /// thresholds and returns the graph (and F-score) of the best one
+    /// against `truth`.
+    ///
+    /// Sorting edges by descending weight makes every candidate threshold a
+    /// prefix; with `TP(k)` the true positives among the top-`k`,
+    /// `F(k) = 2·TP(k) / (k + m_true)` is maximized in one pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node counts disagree.
+    pub fn best_fscore_graph(&self, truth: &DiGraph) -> (DiGraph, f64) {
+        assert_eq!(truth.node_count(), self.n, "node set mismatch");
+        let mut sorted = self.edges.clone();
+        sorted.sort_unstable_by(|a, b| {
+            b.2.partial_cmp(&a.2)
+                .expect("weights are not NaN")
+                .then_with(|| (a.0, a.1).cmp(&(b.0, b.1)))
+        });
+        let m_true = truth.edge_count();
+        let mut tp = 0usize;
+        let mut best_k = 0usize;
+        let mut best_f = if m_true == 0 { 1.0 } else { 0.0 };
+        for (k, &(u, v, _)) in sorted.iter().enumerate() {
+            if truth.has_edge(u, v) {
+                tp += 1;
+            }
+            let f = 2.0 * tp as f64 / ((k + 1 + m_true) as f64);
+            if f > best_f {
+                best_f = f;
+                best_k = k + 1;
+            }
+        }
+        let mut b = GraphBuilder::new(self.n);
+        for &(u, v, _) in &sorted[..best_k] {
+            b.add_edge(u, v);
+        }
+        (b.build(), best_f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WeightedGraph {
+        let mut w = WeightedGraph::new(4);
+        w.push(0, 1, 0.9);
+        w.push(1, 2, 0.7);
+        w.push(2, 3, 0.2);
+        w.push(3, 0, 0.05);
+        w
+    }
+
+    #[test]
+    fn threshold_selects_heavy_edges() {
+        let g = sample().threshold(0.5);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn top_m_selects_exactly_m() {
+        let g = sample().top_m(3);
+        assert_eq!(g.edge_count(), 3);
+        assert!(!g.has_edge(3, 0), "lowest weight excluded");
+    }
+
+    #[test]
+    fn top_m_larger_than_edges() {
+        let g = sample().top_m(10);
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn best_fscore_finds_optimal_prefix() {
+        // Truth: {0->1, 1->2}. Weights rank them first, so the best prefix
+        // is exactly those two: F = 1.
+        let truth = DiGraph::from_edges(4, &[(0, 1), (1, 2)]);
+        let (g, f) = sample().best_fscore_graph(&truth);
+        assert_eq!(f, 1.0);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn best_fscore_with_interleaved_noise() {
+        // Truth edge ranked below a false one: best F < 1 but > 0.
+        let truth = DiGraph::from_edges(4, &[(2, 3)]);
+        let (g, f) = sample().best_fscore_graph(&truth);
+        assert!(g.has_edge(2, 3));
+        assert!((f - 0.5).abs() < 1e-9, "3 picked : 1 TP → F = 2/(3+1) = 0.5, got {f}");
+    }
+
+    #[test]
+    fn best_fscore_empty_truth() {
+        let truth = DiGraph::empty(4);
+        let (g, f) = sample().best_fscore_graph(&truth);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(f, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_weight_rejected() {
+        WeightedGraph::new(2).push(0, 1, f64::NAN);
+    }
+
+    #[test]
+    fn iteration_and_counts() {
+        let w = sample();
+        assert_eq!(w.len(), 4);
+        assert!(!w.is_empty());
+        assert_eq!(w.node_count(), 4);
+        assert_eq!(w.iter().count(), 4);
+    }
+}

@@ -1,0 +1,29 @@
+//! End-to-end reproduction of every paper table and figure, run as a bench
+//! target so `cargo bench --workspace` regenerates the full evaluation.
+//!
+//! Defaults to the reduced (`quick`) scale so the whole suite completes in
+//! minutes; set `DIFFNET_FULL=1` for the paper-scale parameters (the
+//! `src/bin/*` binaries default to full scale instead).
+
+use diffnet_bench::figures;
+use diffnet_bench::harness::Scale;
+use diffnet_metrics::Stopwatch;
+
+fn main() {
+    // Criterion-style CLI arguments (e.g. `--bench`) are accepted and
+    // ignored; this harness measures wall-clock per figure instead of
+    // statistical samples, because each figure is a multi-second pipeline.
+    let scale = Scale::from_env_for_bench();
+    println!(
+        "reproducing all paper figures at {} scale",
+        if scale.is_full() { "FULL (paper)" } else { "QUICK (set DIFFNET_FULL=1 for paper scale)" }
+    );
+    let total = Stopwatch::start();
+    for (name, f) in figures::all_figures() {
+        let sw = Stopwatch::start();
+        let tables = f(scale);
+        println!("\n=== {name} ({:.1}s) ===", sw.seconds());
+        figures::print_tables(&tables);
+    }
+    println!("total: {:.1}s", total.seconds());
+}

@@ -1,0 +1,11 @@
+//! Reproduces Fig. 2 (effect of average node degree) of the TENDS paper. Run with `--release`;
+//! set `DIFFNET_QUICK=1` for a reduced smoke run, `DIFFNET_MARKDOWN=1`
+//! for markdown output.
+
+use diffnet_bench::figures;
+use diffnet_bench::harness::Scale;
+
+fn main() {
+    let scale = Scale::from_env_for_bin();
+    figures::print_tables(&figures::fig02_avg_degree(scale));
+}

@@ -1,0 +1,9 @@
+//! Runs the `model_mismatch` ablation (see DESIGN.md). Set `DIFFNET_QUICK=1` for a
+//! reduced smoke run, `DIFFNET_MARKDOWN=1` for markdown output.
+
+use diffnet_bench::figures;
+use diffnet_bench::harness::Scale;
+
+fn main() {
+    figures::print_tables(&figures::model_mismatch(Scale::from_env_for_bin()));
+}

@@ -1,0 +1,14 @@
+//! Reproduces every table and figure of the TENDS paper in one run.
+//! Set `DIFFNET_QUICK=1` for a reduced smoke run, `DIFFNET_MARKDOWN=1`
+//! for markdown output (useful for regenerating EXPERIMENTS.md).
+
+use diffnet_bench::figures;
+use diffnet_bench::harness::Scale;
+
+fn main() {
+    let scale = Scale::from_env_for_bin();
+    for (name, f) in figures::all_figures() {
+        eprintln!("==> {name}");
+        figures::print_tables(&f(scale));
+    }
+}

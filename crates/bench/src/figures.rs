@@ -1,0 +1,506 @@
+//! One function per table/figure of the paper's evaluation (§V).
+//!
+//! Each function returns the [`ResultTable`]s that regenerate the
+//! corresponding figure: an F-score table and a running-time table with
+//! one series per algorithm (the paper plots exactly these quantities).
+
+use crate::harness::{evaluate_all, observe, Scale, Setting, SERIES};
+use diffnet_datasets::{dunf_like, lfr_suite, netsci_like};
+use diffnet_graph::{stats, DiGraph};
+use diffnet_metrics::table::ResultTable;
+use diffnet_metrics::timed;
+use diffnet_tends::{
+    CorrelationMeasure, GreedyStrategy, SearchParams, Tends, TendsConfig, ThresholdMode,
+};
+
+/// Seed for dataset generation (fixed across figures so the same NetSci /
+/// DUNF stand-ins are reused, like the paper reuses its datasets).
+const DATASET_SEED: u64 = 2020;
+
+/// Table II: properties of the LFR benchmark graphs.
+pub fn table2(_scale: Scale) -> Vec<ResultTable> {
+    let mut t = ResultTable::new(
+        "Table II: LFR benchmark graphs (generated)",
+        "graph",
+        &["n", "m", "avg degree (m/n)", "degree std"],
+    );
+    for spec in lfr_suite() {
+        let g = spec.generate(DATASET_SEED);
+        t.push_row(
+            spec.name,
+            &[
+                g.node_count() as f64,
+                g.edge_count() as f64,
+                g.edge_count() as f64 / g.node_count() as f64,
+                stats::degree_std(&g),
+            ],
+        );
+    }
+    vec![t]
+}
+
+/// Runs the four-way comparison over a list of `(label, truth, setting)`
+/// workloads and renders the paper's two panels.
+fn sweep(
+    fig: &str,
+    param: &str,
+    workloads: Vec<(String, DiGraph, Setting)>,
+    scale: Scale,
+) -> Vec<ResultTable> {
+    let mut f_table = ResultTable::new(format!("{fig} — F-score"), param, &SERIES);
+    let mut t_table =
+        ResultTable::new(format!("{fig} — running time (s)"), param, &SERIES);
+    for (label, truth, setting) in workloads {
+        let obs = observe(&truth, &setting);
+        let outcomes = evaluate_all(&truth, &obs, scale);
+        let fs: Vec<f64> = outcomes.iter().map(|o| o.f_score).collect();
+        let ts: Vec<f64> = outcomes.iter().map(|o| o.seconds).collect();
+        f_table.push_row(label.clone(), &fs);
+        t_table.push_row(label, &ts);
+    }
+    vec![f_table, t_table]
+}
+
+/// Fig. 1: effect of diffusion network size (LFR1–5).
+pub fn fig01_network_size(scale: Scale) -> Vec<ResultTable> {
+    let workloads = lfr_suite()[0..5]
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let setting = Setting {
+                beta: scale.beta(150),
+                seed: 100 + i as u64,
+                ..Default::default()
+            };
+            (format!("n={}", spec.n), spec.generate(DATASET_SEED), setting)
+        })
+        .collect();
+    sweep("Fig. 1: effect of diffusion network size", "n", workloads, scale)
+}
+
+/// Fig. 2: effect of average node degree (LFR6–10).
+pub fn fig02_avg_degree(scale: Scale) -> Vec<ResultTable> {
+    let workloads = lfr_suite()[5..10]
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let setting = Setting {
+                beta: scale.beta(150),
+                seed: 200 + i as u64,
+                ..Default::default()
+            };
+            (
+                format!("K={}", spec.mean_degree),
+                spec.generate(DATASET_SEED),
+                setting,
+            )
+        })
+        .collect();
+    sweep("Fig. 2: effect of average node degree", "K", workloads, scale)
+}
+
+/// Fig. 3: effect of node degree dispersion (LFR11–15).
+pub fn fig03_dispersion(scale: Scale) -> Vec<ResultTable> {
+    let workloads = lfr_suite()[10..15]
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let setting = Setting {
+                beta: scale.beta(150),
+                seed: 300 + i as u64,
+                ..Default::default()
+            };
+            (
+                format!("T={}", spec.degree_exponent),
+                spec.generate(DATASET_SEED),
+                setting,
+            )
+        })
+        .collect();
+    sweep("Fig. 3: effect of node degree dispersion", "T", workloads, scale)
+}
+
+/// Figs. 4–5: effect of the initial infection ratio on NetSci and DUNF.
+pub fn fig04_05_infection_ratio(scale: Scale) -> Vec<ResultTable> {
+    let mut tables = Vec::new();
+    for (fig, name, truth) in [
+        ("Fig. 4", "NetSci", netsci_like(DATASET_SEED)),
+        ("Fig. 5", "DUNF", dunf_like(DATASET_SEED)),
+    ] {
+        let workloads = [0.05f64, 0.10, 0.15, 0.20, 0.25]
+            .iter()
+            .enumerate()
+            .map(|(i, &alpha)| {
+                let setting = Setting {
+                    alpha,
+                    beta: scale.beta(150),
+                    seed: 400 + i as u64,
+                    ..Default::default()
+                };
+                (format!("α={alpha}"), truth.clone(), setting)
+            })
+            .collect();
+        tables.extend(sweep(
+            &format!("{fig}: effect of initial infection ratio on {name}"),
+            "α",
+            workloads,
+            scale,
+        ));
+    }
+    tables
+}
+
+/// Figs. 6–7: effect of the propagation probability on NetSci and DUNF.
+pub fn fig06_07_prop_prob(scale: Scale) -> Vec<ResultTable> {
+    let mut tables = Vec::new();
+    for (fig, name, truth) in [
+        ("Fig. 6", "NetSci", netsci_like(DATASET_SEED)),
+        ("Fig. 7", "DUNF", dunf_like(DATASET_SEED)),
+    ] {
+        let workloads = [0.20f64, 0.25, 0.30, 0.35, 0.40]
+            .iter()
+            .enumerate()
+            .map(|(i, &mu)| {
+                let setting = Setting {
+                    mu,
+                    beta: scale.beta(150),
+                    seed: 600 + i as u64,
+                    ..Default::default()
+                };
+                (format!("μ={mu}"), truth.clone(), setting)
+            })
+            .collect();
+        tables.extend(sweep(
+            &format!("{fig}: effect of propagation probability on {name}"),
+            "μ",
+            workloads,
+            scale,
+        ));
+    }
+    tables
+}
+
+/// Figs. 8–9: effect of the number of diffusion processes on NetSci and
+/// DUNF. Larger budgets extend smaller ones (the β=250 observation set is
+/// truncated), matching how such sweeps accumulate data.
+pub fn fig08_09_num_processes(scale: Scale) -> Vec<ResultTable> {
+    let mut tables = Vec::new();
+    for (fig, name, truth) in [
+        ("Fig. 8", "NetSci", netsci_like(DATASET_SEED)),
+        ("Fig. 9", "DUNF", dunf_like(DATASET_SEED)),
+    ] {
+        let betas = [50usize, 100, 150, 200, 250];
+        let max_beta = scale.beta(250);
+        let full_setting = Setting { beta: max_beta, seed: 800, ..Default::default() };
+        let full_obs = observe(&truth, &full_setting);
+
+        let mut f_table = ResultTable::new(
+            format!("{fig}: effect of number of diffusion processes on {name} — F-score"),
+            "β",
+            &SERIES,
+        );
+        let mut t_table = ResultTable::new(
+            format!(
+                "{fig}: effect of number of diffusion processes on {name} — running time (s)"
+            ),
+            "β",
+            &SERIES,
+        );
+        for &paper_beta in &betas {
+            let beta = scale.beta(paper_beta).min(max_beta);
+            let obs = full_obs.truncated(beta);
+            let outcomes = evaluate_all(&truth, &obs, scale);
+            let fs: Vec<f64> = outcomes.iter().map(|o| o.f_score).collect();
+            let ts: Vec<f64> = outcomes.iter().map(|o| o.seconds).collect();
+            f_table.push_row(format!("β={paper_beta}"), &fs);
+            t_table.push_row(format!("β={paper_beta}"), &ts);
+        }
+        tables.push(f_table);
+        tables.push(t_table);
+    }
+    tables
+}
+
+/// Figs. 10–11: effect of the infection-MI-based pruning method on NetSci
+/// and DUNF — the threshold sweep `0.4τ … 2τ` with both the infection-MI
+/// and the traditional-MI variants of TENDS.
+pub fn fig10_11_pruning(scale: Scale) -> Vec<ResultTable> {
+    let mut tables = Vec::new();
+    for (fig, name, truth) in [
+        ("Fig. 10", "NetSci", netsci_like(DATASET_SEED)),
+        ("Fig. 11", "DUNF", dunf_like(DATASET_SEED)),
+    ] {
+        let setting = Setting { beta: scale.beta(150), seed: 1000, ..Default::default() };
+        let obs = observe(&truth, &setting);
+
+        let series = ["TENDS (IMI)", "TENDS (MI)"];
+        let mut f_table = ResultTable::new(
+            format!("{fig}: effect of infection-MI pruning on {name} — F-score"),
+            "threshold",
+            &series,
+        );
+        let mut t_table = ResultTable::new(
+            format!("{fig}: effect of infection-MI pruning on {name} — running time (s)"),
+            "threshold",
+            &series,
+        );
+        for s in [0.4f64, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0] {
+            let mut fs = Vec::with_capacity(2);
+            let mut ts = Vec::with_capacity(2);
+            for measure in [CorrelationMeasure::Imi, CorrelationMeasure::Mi] {
+                // The default 8-candidate cap is a complexity guard that
+                // would mask the threshold's effect; this figure isolates
+                // the pruning method, so the cap is relaxed.
+                let cfg = TendsConfig {
+                    correlation: measure,
+                    threshold: ThresholdMode::ScaledAuto(s),
+                    search: SearchParams { max_candidates: 16, ..Default::default() },
+                    ..Default::default()
+                };
+                let (res, secs) = timed(|| Tends::with_config(cfg).reconstruct(&obs.statuses));
+                let cmp =
+                    diffnet_metrics::EdgeSetComparison::against_truth(&truth, &res.graph);
+                fs.push(cmp.f_score());
+                ts.push(secs);
+            }
+            let label = if (s - 1.0).abs() < 1e-9 {
+                "1.0τ (auto)".to_string()
+            } else {
+                format!("{s}τ")
+            };
+            f_table.push_row(label.clone(), &fs);
+            t_table.push_row(label, &ts);
+        }
+        tables.push(f_table);
+        tables.push(t_table);
+    }
+    tables
+}
+
+/// Ablation (ours): the greedy acceptance rule — §IV-A best-improvement
+/// vs. the literal Algorithm-1 score-ordered rule (see DESIGN.md).
+pub fn greedy_ablation(scale: Scale) -> Vec<ResultTable> {
+    let series = [
+        "BestImprovement F",
+        "ScoreOrdered F",
+        "BestImprovement s",
+        "ScoreOrdered s",
+    ];
+    let mut t = ResultTable::new(
+        "Ablation: greedy acceptance rule (BestImprovement vs literal Algorithm 1)",
+        "network",
+        &series,
+    );
+    let workloads: Vec<(String, DiGraph)> = vec![
+        ("LFR3 (n=200)".into(), lfr_suite()[2].generate(DATASET_SEED)),
+        ("NetSci".into(), netsci_like(DATASET_SEED)),
+        ("DUNF".into(), dunf_like(DATASET_SEED)),
+    ];
+    for (label, truth) in workloads {
+        let setting = Setting { beta: scale.beta(150), seed: 1200, ..Default::default() };
+        let obs = observe(&truth, &setting);
+        let mut row = Vec::with_capacity(4);
+        let mut times = Vec::with_capacity(2);
+        for strategy in [GreedyStrategy::BestImprovement, GreedyStrategy::ScoreOrdered] {
+            let cfg = TendsConfig {
+                search: SearchParams { strategy, ..Default::default() },
+                ..Default::default()
+            };
+            let (res, secs) = timed(|| Tends::with_config(cfg).reconstruct(&obs.statuses));
+            let cmp = diffnet_metrics::EdgeSetComparison::against_truth(&truth, &res.graph);
+            row.push(cmp.f_score());
+            times.push(secs);
+        }
+        row.extend(times);
+        t.push_row(label, &row);
+    }
+    vec![t]
+}
+
+/// Ablation (ours): robustness to the diffusion mechanism — TENDS and the
+/// baselines on observations generated by the linear-threshold model
+/// instead of the independent-cascade model the methods implicitly assume.
+pub fn model_mismatch(scale: Scale) -> Vec<ResultTable> {
+    use diffnet_simulate::{EdgeProbs, IcConfig, LinearThreshold};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut f_table = ResultTable::new(
+        "Ablation: diffusion-model mismatch (IC-trained methods on LT data)",
+        "workload",
+        &SERIES,
+    );
+    for (label, truth) in [
+        ("LFR3 / IC".to_string(), lfr_suite()[2].generate(DATASET_SEED)),
+        ("LFR3 / LT".to_string(), lfr_suite()[2].generate(DATASET_SEED)),
+        ("NetSci / IC".to_string(), netsci_like(DATASET_SEED)),
+        ("NetSci / LT".to_string(), netsci_like(DATASET_SEED)),
+    ] {
+        let setting = Setting { beta: scale.beta(150), seed: 1400, ..Default::default() };
+        let obs = if label.ends_with("LT") {
+            let mut rng = StdRng::seed_from_u64(setting.seed);
+            let probs = EdgeProbs::gaussian(&truth, setting.mu, setting.sigma, &mut rng);
+            LinearThreshold::new(&truth, &probs).observe(
+                IcConfig { initial_ratio: setting.alpha, num_processes: setting.beta },
+                &mut rng,
+            )
+        } else {
+            observe(&truth, &setting)
+        };
+        let outcomes = evaluate_all(&truth, &obs, scale);
+        let fs: Vec<f64> = outcomes.iter().map(|o| o.f_score).collect();
+        f_table.push_row(label, &fs);
+    }
+    vec![f_table]
+}
+
+/// Ablation (ours): robustness to status-observation noise — missed
+/// infections and false alarms in the registry (TENDS only; the
+/// cascade-based baselines cannot even be *run* from a corrupted registry
+/// because no consistent timeline survives).
+pub fn status_noise(scale: Scale) -> Vec<ResultTable> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let truth = netsci_like(DATASET_SEED);
+    let setting = Setting { beta: scale.beta(150), seed: 1500, ..Default::default() };
+    let obs = observe(&truth, &setting);
+
+    let series = ["precision", "recall", "F-score"];
+    let mut t = ResultTable::new(
+        "Ablation: TENDS under status-observation noise (NetSci)",
+        "miss / false-alarm rate",
+        &series,
+    );
+    let mut rng = StdRng::seed_from_u64(77);
+    for rate in [0.0f64, 0.05, 0.10, 0.15, 0.20] {
+        let noisy =
+            diffnet_simulate::flip_statuses(&obs.statuses, rate, rate / 4.0, &mut rng);
+        let g = Tends::new().reconstruct(&noisy).graph;
+        let cmp = diffnet_metrics::EdgeSetComparison::against_truth(&truth, &g);
+        t.push_row(
+            format!("{:.0}% / {:.1}%", 100.0 * rate, 25.0 * rate),
+            &[cmp.precision(), cmp.recall(), cmp.f_score()],
+        );
+    }
+    vec![t]
+}
+
+/// Ablation (ours): direction post-processing policies on a reciprocal
+/// network (NetSci) and a mostly one-directional network (DUNF).
+pub fn direction_policies(scale: Scale) -> Vec<ResultTable> {
+    use diffnet_tends::DirectionPolicy;
+
+    let series = ["AsIs", "Symmetrize", "MutualOnly"];
+    let mut t = ResultTable::new(
+        "Ablation: direction post-processing (F-score)",
+        "network",
+        &series,
+    );
+    for (label, truth) in [
+        ("NetSci (reciprocal)".to_string(), netsci_like(DATASET_SEED)),
+        ("DUNF (directed)".to_string(), dunf_like(DATASET_SEED)),
+    ] {
+        let setting = Setting { beta: scale.beta(150), seed: 1600, ..Default::default() };
+        let obs = observe(&truth, &setting);
+        let mut row = Vec::with_capacity(3);
+        for policy in [
+            DirectionPolicy::AsIs,
+            DirectionPolicy::Symmetrize,
+            DirectionPolicy::MutualOnly,
+        ] {
+            let cfg = TendsConfig { direction: policy, ..Default::default() };
+            let g = Tends::with_config(cfg).reconstruct(&obs.statuses).graph;
+            row.push(diffnet_metrics::EdgeSetComparison::against_truth(&truth, &g).f_score());
+        }
+        t.push_row(label, &row);
+    }
+    vec![t]
+}
+
+/// Ablation (ours): the value of the scoring criterion — full TENDS vs
+/// the pruning-only baseline that connects every pair above the
+/// threshold.
+pub fn scoring_value(scale: Scale) -> Vec<ResultTable> {
+    let series = ["TENDS F", "pruning-only F", "TENDS edges", "pruning-only edges"];
+    let mut t = ResultTable::new(
+        "Ablation: scoring criterion vs pruning-only correlation threshold",
+        "network",
+        &series,
+    );
+    for (label, truth) in [
+        ("LFR3".to_string(), lfr_suite()[2].generate(DATASET_SEED)),
+        ("NetSci".to_string(), netsci_like(DATASET_SEED)),
+        ("DUNF".to_string(), dunf_like(DATASET_SEED)),
+    ] {
+        let setting = Setting { beta: scale.beta(150), seed: 1700, ..Default::default() };
+        let obs = observe(&truth, &setting);
+        let full = Tends::new().reconstruct(&obs.statuses).graph;
+        let naive = diffnet_tends::ablation::correlation_threshold_baseline(
+            &obs.statuses,
+            &TendsConfig::default(),
+        );
+        let f = |g: &DiGraph| {
+            diffnet_metrics::EdgeSetComparison::against_truth(&truth, g).f_score()
+        };
+        t.push_row(
+            label,
+            &[f(&full), f(&naive), full.edge_count() as f64, naive.edge_count() as f64],
+        );
+    }
+    vec![t]
+}
+
+/// A named figure-reproduction function.
+pub type FigureFn = fn(Scale) -> Vec<ResultTable>;
+
+/// Every figure/table function, with its binary name (used by `run_all`
+/// and the `figures` bench).
+pub fn all_figures() -> Vec<(&'static str, FigureFn)> {
+    vec![
+        ("table2", table2),
+        ("fig01_network_size", fig01_network_size),
+        ("fig02_avg_degree", fig02_avg_degree),
+        ("fig03_dispersion", fig03_dispersion),
+        ("fig04_05_infection_ratio", fig04_05_infection_ratio),
+        ("fig06_07_prop_prob", fig06_07_prop_prob),
+        ("fig08_09_num_processes", fig08_09_num_processes),
+        ("fig10_11_pruning", fig10_11_pruning),
+        ("greedy_ablation", greedy_ablation),
+        ("model_mismatch", model_mismatch),
+        ("status_noise", status_noise),
+        ("direction_policies", direction_policies),
+        ("scoring_value", scoring_value),
+    ]
+}
+
+/// Prints tables to stdout, plus markdown when `DIFFNET_MARKDOWN=1`.
+pub fn print_tables(tables: &[ResultTable]) {
+    let markdown = std::env::var("DIFFNET_MARKDOWN").is_ok_and(|v| v == "1");
+    for t in tables {
+        if markdown {
+            println!("{}", t.render_markdown());
+        } else {
+            println!("{}", t.render());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_fifteen_rows() {
+        let t = &table2(Scale::quick())[0];
+        assert_eq!(t.len(), 15);
+    }
+
+    #[test]
+    fn figure_registry_is_complete() {
+        let names: Vec<&str> = all_figures().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names.len(), 13);
+        assert!(names.contains(&"fig01_network_size"));
+        assert!(names.contains(&"fig10_11_pruning"));
+    }
+}

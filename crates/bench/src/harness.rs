@@ -1,0 +1,195 @@
+//! Shared experiment machinery for the figure reproductions.
+
+use diffnet_baselines::{Lift, MulTree, NetRate, NetRateConfig};
+use diffnet_graph::DiGraph;
+use diffnet_metrics::{timed, EdgeSetComparison};
+use diffnet_simulate::{EdgeProbs, IcConfig, IndependentCascade, ObservationSet};
+use diffnet_tends::Tends;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The paper's default diffusion setting (§V): `α = 0.15`, `β = 150`,
+/// `μ = 0.3`, `σ = 0.05`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Setting {
+    /// Initial infection ratio `α`.
+    pub alpha: f64,
+    /// Number of diffusion processes `β`.
+    pub beta: usize,
+    /// Mean propagation probability `μ`.
+    pub mu: f64,
+    /// Std-dev of propagation probabilities.
+    pub sigma: f64,
+    /// RNG seed (edge probabilities + simulations).
+    pub seed: u64,
+}
+
+impl Default for Setting {
+    fn default() -> Self {
+        Setting { alpha: 0.15, beta: 150, mu: 0.3, sigma: 0.05, seed: 2020 }
+    }
+}
+
+/// Experiment scale: the paper's exact parameters, or a reduced variant
+/// for smoke runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scale {
+    full: bool,
+}
+
+impl Scale {
+    /// Paper-scale parameters.
+    pub fn full() -> Self {
+        Scale { full: true }
+    }
+
+    /// Reduced parameters (smaller `β`, fewer optimizer iterations) for
+    /// quick end-to-end runs.
+    pub fn quick() -> Self {
+        Scale { full: false }
+    }
+
+    /// Reads the scale for a binary: full unless `DIFFNET_QUICK=1`.
+    pub fn from_env_for_bin() -> Self {
+        if std::env::var("DIFFNET_QUICK").is_ok_and(|v| v == "1") {
+            Scale::quick()
+        } else {
+            Scale::full()
+        }
+    }
+
+    /// Reads the scale for the `figures` bench: quick unless
+    /// `DIFFNET_FULL=1`.
+    pub fn from_env_for_bench() -> Self {
+        if std::env::var("DIFFNET_FULL").is_ok_and(|v| v == "1") {
+            Scale::full()
+        } else {
+            Scale::quick()
+        }
+    }
+
+    /// Whether this is the paper-scale configuration.
+    pub fn is_full(&self) -> bool {
+        self.full
+    }
+
+    /// `β` to use given the paper's value.
+    pub fn beta(&self, paper: usize) -> usize {
+        if self.full {
+            paper
+        } else {
+            (paper / 3).max(30)
+        }
+    }
+
+    /// NetRate gradient iterations.
+    pub fn netrate_iters(&self) -> usize {
+        if self.full {
+            200
+        } else {
+            40
+        }
+    }
+}
+
+/// Simulates the observation set for `truth` under `setting`.
+pub fn observe(truth: &DiGraph, setting: &Setting) -> ObservationSet {
+    let mut rng = StdRng::seed_from_u64(setting.seed);
+    let probs = EdgeProbs::gaussian(truth, setting.mu, setting.sigma, &mut rng);
+    IndependentCascade::new(truth, &probs).observe(
+        IcConfig { initial_ratio: setting.alpha, num_processes: setting.beta },
+        &mut rng,
+    )
+}
+
+/// Accuracy and wall-clock outcome of one algorithm on one workload.
+#[derive(Clone, Copy, Debug)]
+pub struct Outcome {
+    /// Algorithm name.
+    pub name: &'static str,
+    /// F-score against the ground truth.
+    pub f_score: f64,
+    /// Precision.
+    pub precision: f64,
+    /// Recall.
+    pub recall: f64,
+    /// Inference wall-clock seconds (excludes simulation).
+    pub seconds: f64,
+}
+
+fn outcome(name: &'static str, truth: &DiGraph, inferred: &DiGraph, seconds: f64) -> Outcome {
+    let cmp = EdgeSetComparison::against_truth(truth, inferred);
+    Outcome {
+        name,
+        f_score: cmp.f_score(),
+        precision: cmp.precision(),
+        recall: cmp.recall(),
+        seconds,
+    }
+}
+
+/// The paper's four-way comparison on one workload: TENDS (statuses only),
+/// NetRate (cascades, best-threshold F-score), MulTree (cascades + true
+/// `m`), LIFT (sources + statuses + true `m`).
+pub fn evaluate_all(truth: &DiGraph, obs: &ObservationSet, scale: Scale) -> Vec<Outcome> {
+    let m = truth.edge_count();
+    let mut results = Vec::with_capacity(4);
+
+    let (tends_res, secs) = timed(|| Tends::new().reconstruct(&obs.statuses));
+    results.push(outcome("TENDS", truth, &tends_res.graph, secs));
+
+    let netrate = NetRate::with_config(NetRateConfig {
+        max_iters: scale.netrate_iters(),
+        ..Default::default()
+    });
+    let (weighted, secs) = timed(|| netrate.infer(obs));
+    let (best_graph, _) = weighted.best_fscore_graph(truth);
+    results.push(outcome("NetRate", truth, &best_graph, secs));
+
+    let (multree_graph, secs) = timed(|| MulTree::new().infer(obs, m));
+    results.push(outcome("MulTree", truth, &multree_graph, secs));
+
+    let (lift_graph, secs) = timed(|| Lift::new().infer(obs, m));
+    results.push(outcome("LIFT", truth, &lift_graph, secs));
+
+    results
+}
+
+/// Standard series names, in the order [`evaluate_all`] returns them.
+pub const SERIES: [&str; 4] = ["TENDS", "NetRate", "MulTree", "LIFT"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parameters() {
+        assert_eq!(Scale::full().beta(150), 150);
+        assert_eq!(Scale::quick().beta(150), 50);
+        assert_eq!(Scale::quick().beta(60), 30);
+        assert!(Scale::full().netrate_iters() > Scale::quick().netrate_iters());
+    }
+
+    #[test]
+    fn observe_is_deterministic() {
+        let truth = DiGraph::from_edges(10, &[(0, 1), (1, 2), (2, 3), (4, 5)]);
+        let s = Setting { beta: 20, ..Default::default() };
+        let a = observe(&truth, &s);
+        let b = observe(&truth, &s);
+        assert_eq!(a.statuses, b.statuses);
+    }
+
+    #[test]
+    fn evaluate_all_runs_every_algorithm() {
+        let truth = diffnet_datasets::lfr_suite()[0].generate(5);
+        let setting = Setting { beta: 40, ..Default::default() };
+        let obs = observe(&truth, &setting);
+        let outcomes = evaluate_all(&truth, &obs, Scale::quick());
+        assert_eq!(outcomes.len(), 4);
+        for (o, name) in outcomes.iter().zip(SERIES) {
+            assert_eq!(o.name, name);
+            assert!((0.0..=1.0).contains(&o.f_score), "{name}: f {}", o.f_score);
+            assert!(o.seconds >= 0.0);
+        }
+    }
+}

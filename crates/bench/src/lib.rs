@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+//! # diffnet-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! TENDS paper's evaluation (§V), plus ablations of this implementation's
+//! design choices.
+//!
+//! * [`harness`] — shared machinery: experiment settings, observation
+//!   generation, timed evaluation of every algorithm.
+//! * [`figures`] — one function per paper table/figure; each returns
+//!   [`diffnet_metrics::table::ResultTable`]s that the `src/bin/*`
+//!   binaries print (`cargo run -p diffnet-bench --release --bin fig01_network_size`)
+//!   and the `figures` bench runs end-to-end.
+//!
+//! Scale control: every figure function takes a [`harness::Scale`];
+//! `Scale::full()` uses the paper's exact parameters, `Scale::quick()` a
+//! reduced-β variant for smoke runs. The binaries honour the
+//! `DIFFNET_QUICK=1` environment variable; the `figures` bench defaults to
+//! quick unless `DIFFNET_FULL=1` is set.
+
+pub mod figures;
+pub mod harness;

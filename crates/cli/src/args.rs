@@ -1,0 +1,179 @@
+//! A small `--flag value` argument parser.
+//!
+//! Deliberately dependency-free: the workspace's approved crate list has
+//! no CLI parser, and the option surface here is small enough that a
+//! table-driven parser stays readable.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedArgs {
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Argument-parsing and validation errors, with the offending token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArgError {
+    message: String,
+}
+
+impl ArgError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        ArgError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl ParsedArgs {
+    /// Parses `--key value` pairs and bare `--flag`s (an option whose next
+    /// token starts with `--` or is absent is a flag).
+    pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
+        let mut options = BTreeMap::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let tok = &args[i];
+            let Some(key) = tok.strip_prefix("--") else {
+                return Err(ArgError::new(format!(
+                    "unexpected positional argument {tok:?} (options are --key value)"
+                )));
+            };
+            if key.is_empty() {
+                return Err(ArgError::new("empty option name '--'"));
+            }
+            match args.get(i + 1) {
+                Some(val) if !val.starts_with("--") => {
+                    if options.insert(key.to_string(), val.clone()).is_some() {
+                        return Err(ArgError::new(format!("duplicate option --{key}")));
+                    }
+                    i += 2;
+                }
+                _ => {
+                    flags.push(key.to_string());
+                    i += 1;
+                }
+            }
+        }
+        Ok(ParsedArgs { options, flags })
+    }
+
+    /// A required string option.
+    pub fn required(&self, key: &str) -> Result<&str, ArgError> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| ArgError::new(format!("missing required option --{key}")))
+    }
+
+    /// An optional string option.
+    pub fn optional(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// An optional parsed value with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| {
+                ArgError::new(format!("invalid value {raw:?} for --{key}"))
+            }),
+        }
+    }
+
+    /// A required parsed value.
+    pub fn get_required<T: std::str::FromStr>(&self, key: &str) -> Result<T, ArgError> {
+        let raw = self.required(key)?;
+        raw.parse()
+            .map_err(|_| ArgError::new(format!("invalid value {raw:?} for --{key}")))
+    }
+
+    /// Whether a bare `--flag` was given.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// Rejects unknown options/flags (typo protection).
+    pub fn expect_known(&self, known: &[&str]) -> Result<(), ArgError> {
+        for key in self.options.keys().chain(self.flags.iter()) {
+            if !known.contains(&key.as_str()) {
+                return Err(ArgError::new(format!(
+                    "unknown option --{key} (expected one of: {})",
+                    known.iter().map(|k| format!("--{k}")).collect::<Vec<_>>().join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<ParsedArgs, ArgError> {
+        let owned: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        ParsedArgs::parse(&owned)
+    }
+
+    #[test]
+    fn key_value_pairs() {
+        let a = parse(&["--n", "100", "--seed", "7"]).expect("parse");
+        assert_eq!(a.required("n").expect("n"), "100");
+        assert_eq!(a.get_or::<u64>("seed", 0).expect("seed"), 7);
+    }
+
+    #[test]
+    fn flags_without_values() {
+        let a = parse(&["--quiet", "--n", "5"]).expect("parse");
+        assert!(a.has_flag("quiet"));
+        assert!(!a.has_flag("verbose"));
+        assert_eq!(a.get_required::<usize>("n").expect("n"), 5);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse(&[]).expect("parse");
+        assert_eq!(a.get_or::<f64>("alpha", 0.15).expect("alpha"), 0.15);
+        assert_eq!(a.optional("missing"), None);
+    }
+
+    #[test]
+    fn positional_rejected() {
+        assert!(parse(&["generate"]).is_err());
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        assert!(parse(&["--n", "1", "--n", "2"]).is_err());
+    }
+
+    #[test]
+    fn invalid_value_reported() {
+        let a = parse(&["--n", "abc"]).expect("parse");
+        let err = a.get_required::<usize>("n").unwrap_err();
+        assert!(err.to_string().contains("abc"));
+    }
+
+    #[test]
+    fn missing_required_reported() {
+        let a = parse(&[]).expect("parse");
+        assert!(a.required("out").unwrap_err().to_string().contains("--out"));
+    }
+
+    #[test]
+    fn unknown_option_rejected() {
+        let a = parse(&["--typo", "1"]).expect("parse");
+        let err = a.expect_known(&["n", "seed"]).unwrap_err();
+        assert!(err.to_string().contains("--typo"));
+    }
+}

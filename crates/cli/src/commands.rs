@@ -1,0 +1,496 @@
+//! Subcommand implementations.
+
+use crate::args::{ArgError, ParsedArgs};
+use diffnet_baselines::{Lift, MulTree, NetInf, NetRate, PathReconstruction};
+use diffnet_graph::generators::{
+    barabasi_albert, erdos_renyi_gnm, kronecker, watts_strogatz, KroneckerSeed, Lfr,
+    Orientation,
+};
+use diffnet_graph::stats::GraphStats;
+use diffnet_graph::DiGraph;
+use diffnet_metrics::EdgeSetComparison;
+use diffnet_simulate::{
+    EdgeProbs, IcConfig, IndependentCascade, LinearThreshold, ObservationSet,
+};
+use diffnet_tends::{
+    estimate_propagation_probabilities, CorrelationMeasure, DirectionPolicy,
+    EstimateConfig, SearchParams, Tends, TendsConfig, ThresholdMode,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs a full command line (everything after the program name) and
+/// returns the text to print on success.
+pub fn run(argv: &[String]) -> Result<String, ArgError> {
+    let Some((command, rest)) = argv.split_first() else {
+        return Err(ArgError::new("missing command; try `diffnet help`"));
+    };
+    let parsed = ParsedArgs::parse(rest)?;
+    match command.as_str() {
+        "generate" => generate(&parsed),
+        "simulate" => simulate(&parsed),
+        "infer" => infer(&parsed),
+        "eval" => eval(&parsed),
+        "estimate" => estimate(&parsed),
+        "stats" => stats(&parsed),
+        "help" | "--help" | "-h" => Ok(crate::USAGE.to_string()),
+        other => Err(ArgError::new(format!(
+            "unknown command {other:?}; try `diffnet help`"
+        ))),
+    }
+}
+
+fn io_err(context: &str, e: impl std::fmt::Display) -> ArgError {
+    ArgError::new(format!("{context}: {e}"))
+}
+
+fn load_graph(path: &str) -> Result<DiGraph, ArgError> {
+    diffnet_graph::io::load_edge_list(path, None)
+        .map_err(|e| io_err(&format!("cannot load graph {path:?}"), e))
+}
+
+fn generate(args: &ParsedArgs) -> Result<String, ArgError> {
+    args.expect_known(&[
+        "model", "out", "n", "k", "t", "m", "seed", "reciprocal", "mixing", "rewire",
+        "power",
+    ])?;
+    let model = args.required("model")?;
+    let out = args.required("out")?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let graph = match model {
+        "lfr" => {
+            let n: usize = args.get_or("n", 200)?;
+            let k: f64 = args.get_or("k", 4.0)?;
+            let t: f64 = args.get_or("t", 2.0)?;
+            let mut cfg = Lfr::new(n, k, t);
+            cfg.mixing = args.get_or("mixing", cfg.mixing)?;
+            if args.has_flag("reciprocal") {
+                cfg.orientation = Orientation::Reciprocal;
+            }
+            cfg.generate(&mut rng).map_err(|e| io_err("LFR generation failed", e))?
+        }
+        "er" => {
+            let n: usize = args.get_or("n", 200)?;
+            let m: usize = args.get_or("m", 4 * 200)?;
+            erdos_renyi_gnm(n, m, &mut rng)
+        }
+        "ba" => {
+            let n: usize = args.get_or("n", 200)?;
+            let k: usize = args.get_or("k", 3)?;
+            barabasi_albert(n, k, &mut rng)
+        }
+        "ws" => {
+            let n: usize = args.get_or("n", 200)?;
+            let k: usize = args.get_or("k", 3)?;
+            let rewire: f64 = args.get_or("rewire", 0.1)?;
+            watts_strogatz(n, k, rewire, &mut rng)
+        }
+        "kronecker" => {
+            let power: u32 = args.get_or("power", 8)?;
+            kronecker(&KroneckerSeed::core_periphery(), power, &mut rng)
+        }
+        "netsci" => diffnet_datasets::netsci_like(seed),
+        "dunf" => diffnet_datasets::dunf_like(seed),
+        other => {
+            return Err(ArgError::new(format!(
+                "unknown model {other:?} (lfr, er, ba, ws, kronecker, netsci, dunf)"
+            )))
+        }
+    };
+
+    diffnet_graph::io::save_edge_list(&graph, out)
+        .map_err(|e| io_err(&format!("cannot write {out:?}"), e))?;
+    Ok(format!(
+        "generated {model} network: {} nodes, {} edges -> {out}",
+        graph.node_count(),
+        graph.edge_count()
+    ))
+}
+
+fn simulate(args: &ParsedArgs) -> Result<String, ArgError> {
+    args.expect_known(&[
+        "graph", "out", "observations", "model", "alpha", "beta", "mu", "sigma", "seed",
+    ])?;
+    let graph = load_graph(args.required("graph")?)?;
+    let out = args.required("out")?;
+    let alpha: f64 = args.get_or("alpha", 0.15)?;
+    let beta: usize = args.get_or("beta", 150)?;
+    let mu: f64 = args.get_or("mu", 0.3)?;
+    let sigma: f64 = args.get_or("sigma", 0.05)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let model = args.optional("model").unwrap_or("ic");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let probs = EdgeProbs::gaussian(&graph, mu, sigma, &mut rng);
+    let cfg = IcConfig { initial_ratio: alpha, num_processes: beta };
+    let obs = match model {
+        "ic" => IndependentCascade::new(&graph, &probs).observe(cfg, &mut rng),
+        "lt" => LinearThreshold::new(&graph, &probs).observe(cfg, &mut rng),
+        other => {
+            return Err(ArgError::new(format!("unknown diffusion model {other:?} (ic, lt)")))
+        }
+    };
+
+    diffnet_simulate::io::save_status_matrix(&obs.statuses, out)
+        .map_err(|e| io_err(&format!("cannot write {out:?}"), e))?;
+    let mut report = format!(
+        "simulated {beta} {model} processes on {} nodes (infected fraction {:.1}%) -> {out}",
+        graph.node_count(),
+        100.0 * obs.statuses.infected_fraction()
+    );
+    if let Some(obs_path) = args.optional("observations") {
+        diffnet_simulate::io::save_observations(&obs, obs_path)
+            .map_err(|e| io_err(&format!("cannot write {obs_path:?}"), e))?;
+        report.push_str(&format!("\nfull observations (cascades + sources) -> {obs_path}"));
+    }
+    Ok(report)
+}
+
+fn load_observations_arg(args: &ParsedArgs, algo: &str) -> Result<ObservationSet, ArgError> {
+    let path = args.optional("observations").ok_or_else(|| {
+        ArgError::new(format!(
+            "algorithm {algo:?} needs --observations (from `simulate --observations`)"
+        ))
+    })?;
+    diffnet_simulate::io::load_observations(path)
+        .map_err(|e| io_err(&format!("cannot load observations {path:?}"), e))
+}
+
+fn budget_arg(args: &ParsedArgs, algo: &str) -> Result<usize, ArgError> {
+    args.optional("edges")
+        .ok_or_else(|| {
+            ArgError::new(format!("algorithm {algo:?} needs --edges (the budget m)"))
+        })?
+        .parse()
+        .map_err(|_| ArgError::new("invalid value for --edges"))
+}
+
+fn infer(args: &ParsedArgs) -> Result<String, ArgError> {
+    args.expect_known(&[
+        "statuses",
+        "observations",
+        "out",
+        "algorithm",
+        "edges",
+        "threshold-scale",
+        "mi",
+        "threads",
+        "symmetrize",
+        "mutual-only",
+    ])?;
+    let out = args.required("out")?;
+    let algo = args.optional("algorithm").unwrap_or("tends");
+
+    let (graph, detail) = match algo {
+        "tends" => {
+            let statuses_path = args.required("statuses")?;
+            let statuses = diffnet_simulate::io::load_status_matrix(statuses_path)
+                .map_err(|e| io_err(&format!("cannot load statuses {statuses_path:?}"), e))?;
+            let threshold = match args.optional("threshold-scale") {
+                Some(raw) => ThresholdMode::ScaledAuto(
+                    raw.parse()
+                        .map_err(|_| ArgError::new("invalid value for --threshold-scale"))?,
+                ),
+                None => ThresholdMode::Auto,
+            };
+            let direction = if args.has_flag("symmetrize") {
+                DirectionPolicy::Symmetrize
+            } else if args.has_flag("mutual-only") {
+                DirectionPolicy::MutualOnly
+            } else {
+                DirectionPolicy::AsIs
+            };
+            let cfg = TendsConfig {
+                correlation: if args.has_flag("mi") {
+                    CorrelationMeasure::Mi
+                } else {
+                    CorrelationMeasure::Imi
+                },
+                threshold,
+                search: SearchParams::default(),
+                direction,
+                threads: args.get_or("threads", 1)?,
+            };
+            let result = Tends::with_config(cfg).reconstruct(&statuses);
+            (result.graph, format!("τ = {:.4}", result.tau))
+        }
+        "netrate" => {
+            let obs = load_observations_arg(args, algo)?;
+            let weighted = NetRate::new().infer(&obs);
+            let m = budget_arg(args, algo)?;
+            (weighted.top_m(m), format!("{} scored pairs", weighted.len()))
+        }
+        "multree" => {
+            let obs = load_observations_arg(args, algo)?;
+            let m = budget_arg(args, algo)?;
+            (MulTree::new().infer(&obs, m), String::new())
+        }
+        "lift" => {
+            let obs = load_observations_arg(args, algo)?;
+            let m = budget_arg(args, algo)?;
+            (Lift::new().infer(&obs, m), String::new())
+        }
+        "netinf" => {
+            let obs = load_observations_arg(args, algo)?;
+            let m = budget_arg(args, algo)?;
+            (NetInf::new().infer(&obs, m), String::new())
+        }
+        "path" => {
+            let obs = load_observations_arg(args, algo)?;
+            let m = budget_arg(args, algo)?;
+            (PathReconstruction::new().infer(&obs, m), String::new())
+        }
+        other => {
+            return Err(ArgError::new(format!(
+                "unknown algorithm {other:?} (tends, netrate, multree, lift, netinf, path)"
+            )))
+        }
+    };
+
+    diffnet_graph::io::save_edge_list(&graph, out)
+        .map_err(|e| io_err(&format!("cannot write {out:?}"), e))?;
+    let mut report = format!("{algo}: inferred {} edges -> {out}", graph.edge_count());
+    if !detail.is_empty() {
+        report.push_str(&format!(" ({detail})"));
+    }
+    Ok(report)
+}
+
+fn eval(args: &ParsedArgs) -> Result<String, ArgError> {
+    args.expect_known(&["truth", "inferred"])?;
+    let truth = load_graph(args.required("truth")?)?;
+    let inferred = load_graph(args.required("inferred")?)?;
+    if truth.node_count() != inferred.node_count() {
+        return Err(ArgError::new(format!(
+            "node-count mismatch: truth has {}, inferred has {}",
+            truth.node_count(),
+            inferred.node_count()
+        )));
+    }
+    let cmp = EdgeSetComparison::against_truth(&truth, &inferred);
+    Ok(format!(
+        "edges: truth {} / inferred {}\nTP {}  FP {}  FN {}\nprecision {:.4}  recall {:.4}  F-score {:.4}",
+        truth.edge_count(),
+        inferred.edge_count(),
+        cmp.true_positives,
+        cmp.false_positives,
+        cmp.false_negatives,
+        cmp.precision(),
+        cmp.recall(),
+        cmp.f_score()
+    ))
+}
+
+fn estimate(args: &ParsedArgs) -> Result<String, ArgError> {
+    args.expect_known(&["graph", "statuses", "out"])?;
+    let graph = load_graph(args.required("graph")?)?;
+    let statuses_path = args.required("statuses")?;
+    let statuses = diffnet_simulate::io::load_status_matrix(statuses_path)
+        .map_err(|e| io_err(&format!("cannot load statuses {statuses_path:?}"), e))?;
+    if statuses.num_nodes() != graph.node_count() {
+        return Err(ArgError::new(format!(
+            "statuses cover {} nodes but the graph has {}",
+            statuses.num_nodes(),
+            graph.node_count()
+        )));
+    }
+    let est =
+        estimate_propagation_probabilities(&statuses, &graph, &EstimateConfig::default());
+    let out = args.required("out")?;
+    let mut text = String::from("# source target probability\n");
+    for (u, v) in graph.edges() {
+        let p = est.get(&graph, u, v).expect("edge exists");
+        text.push_str(&format!("{u} {v} {p:.6}\n"));
+    }
+    std::fs::write(out, text).map_err(|e| io_err(&format!("cannot write {out:?}"), e))?;
+    let mean = if est.edge_probs.is_empty() {
+        0.0
+    } else {
+        est.edge_probs.iter().sum::<f64>() / est.edge_probs.len() as f64
+    };
+    Ok(format!(
+        "estimated propagation probabilities for {} edges (mean {:.3}) -> {out}",
+        graph.edge_count(),
+        mean
+    ))
+}
+
+fn stats(args: &ParsedArgs) -> Result<String, ArgError> {
+    args.expect_known(&["graph"])?;
+    let graph = load_graph(args.required("graph")?)?;
+    let s = GraphStats::of(&graph);
+    Ok(format!(
+        "nodes {}\nedges {}\nmean out-degree {:.3}\ndegree std {:.3}\nmax degree {}\nreciprocity {:.3}\nclustering {:.3}\nweak components {}",
+        s.nodes,
+        s.edges,
+        s.mean_out_degree,
+        s.degree_std,
+        s.max_degree,
+        s.reciprocity,
+        s.clustering,
+        s.weak_components
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_tokens(tokens: &[&str]) -> Result<String, ArgError> {
+        let owned: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        run(&owned)
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("diffnet_cli_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_tokens(&["help"]).expect("help");
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run_tokens(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn full_pipeline_round_trip() {
+        let truth = tmp("truth.edges");
+        let statuses = tmp("statuses.txt");
+        let obs = tmp("obs.txt");
+        let inferred = tmp("inferred.edges");
+
+        let g = run_tokens(&[
+            "generate", "--model", "lfr", "--n", "60", "--k", "4", "--t", "2",
+            "--seed", "5", "--reciprocal", "--out", &truth,
+        ])
+        .expect("generate");
+        assert!(g.contains("60 nodes"));
+
+        let s = run_tokens(&[
+            "simulate", "--graph", &truth, "--alpha", "0.2", "--beta", "120",
+            "--mu", "0.35", "--seed", "6", "--out", &statuses, "--observations", &obs,
+        ])
+        .expect("simulate");
+        assert!(s.contains("120 ic processes"));
+
+        let i = run_tokens(&["infer", "--statuses", &statuses, "--out", &inferred])
+            .expect("infer");
+        assert!(i.contains("tends"));
+
+        let e = run_tokens(&["eval", "--truth", &truth, "--inferred", &inferred])
+            .expect("eval");
+        assert!(e.contains("F-score"));
+        let f: f64 = e
+            .lines()
+            .last()
+            .and_then(|l| l.split_whitespace().last())
+            .and_then(|v| v.parse().ok())
+            .expect("parse F");
+        assert!(f > 0.4, "pipeline F-score {f} too low:\n{e}");
+
+        // Cascade-based algorithm through the same files.
+        let i2 = run_tokens(&[
+            "infer", "--algorithm", "multree", "--observations", &obs, "--edges", "200",
+            "--out", &inferred,
+        ])
+        .expect("multree infer");
+        assert!(i2.contains("multree"));
+    }
+
+    #[test]
+    fn stats_reports_counts() {
+        let truth = tmp("stats.edges");
+        run_tokens(&[
+            "generate", "--model", "er", "--n", "30", "--m", "90", "--out", &truth,
+        ])
+        .expect("generate");
+        let out = run_tokens(&["stats", "--graph", &truth]).expect("stats");
+        assert!(out.contains("nodes 30"));
+        assert!(out.contains("edges 90"));
+    }
+
+    #[test]
+    fn cascade_algorithms_require_observations() {
+        let err =
+            run_tokens(&["infer", "--algorithm", "netrate", "--out", "x"]).unwrap_err();
+        assert!(err.to_string().contains("--observations"));
+    }
+
+    #[test]
+    fn budget_algorithms_require_edges() {
+        let obs = tmp("need_edges_obs.txt");
+        let truth = tmp("need_edges.edges");
+        run_tokens(&[
+            "generate", "--model", "er", "--n", "20", "--m", "40", "--out", &truth,
+        ])
+        .expect("generate");
+        run_tokens(&[
+            "simulate", "--graph", &truth, "--beta", "10", "--out",
+            &tmp("need_edges_statuses.txt"), "--observations", &obs,
+        ])
+        .expect("simulate");
+        let err = run_tokens(&[
+            "infer", "--algorithm", "lift", "--observations", &obs, "--out", "x",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("--edges"));
+    }
+
+    #[test]
+    fn lt_model_simulates() {
+        let truth = tmp("lt.edges");
+        run_tokens(&[
+            "generate", "--model", "ba", "--n", "40", "--k", "2", "--out", &truth,
+        ])
+        .expect("generate");
+        let out = run_tokens(&[
+            "simulate", "--graph", &truth, "--model", "lt", "--beta", "20",
+            "--out", &tmp("lt_statuses.txt"),
+        ])
+        .expect("simulate lt");
+        assert!(out.contains("lt processes"));
+    }
+
+    #[test]
+    fn estimate_writes_probability_file() {
+        let truth = tmp("est_truth.edges");
+        let statuses = tmp("est_statuses.txt");
+        let out = tmp("est_probs.txt");
+        run_tokens(&[
+            "generate", "--model", "er", "--n", "25", "--m", "75", "--out", &truth,
+        ])
+        .expect("generate");
+        run_tokens(&[
+            "simulate", "--graph", &truth, "--beta", "80", "--out", &statuses,
+        ])
+        .expect("simulate");
+        let report = run_tokens(&[
+            "estimate", "--graph", &truth, "--statuses", &statuses, "--out", &out,
+        ])
+        .expect("estimate");
+        assert!(report.contains("75 edges"));
+        let content = std::fs::read_to_string(&out).expect("file written");
+        // Header plus one line per edge, each with a parsable probability.
+        let lines: Vec<&str> = content.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(lines.len(), 75);
+        for l in lines {
+            let p: f64 = l.split_whitespace().nth(2).expect("prob column")
+                .parse().expect("parsable");
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn unknown_options_are_rejected_per_command() {
+        let err = run_tokens(&["eval", "--truth", "a", "--bogus", "b"]).unwrap_err();
+        assert!(err.to_string().contains("--bogus"));
+    }
+}

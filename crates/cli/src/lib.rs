@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+//! # diffnet-cli
+//!
+//! The `diffnet` command-line tool: generate diffusion networks, simulate
+//! diffusion processes, infer topologies from the observations, and
+//! evaluate inferred edge sets — each step reading and writing plain text
+//! files so pipelines compose with standard tooling.
+//!
+//! ```sh
+//! diffnet generate --model lfr --n 200 --k 4 --t 2 --seed 1 --out truth.edges
+//! diffnet simulate --graph truth.edges --alpha 0.15 --beta 150 --mu 0.3 \
+//!     --seed 2 --out statuses.txt --observations obs.txt
+//! diffnet infer --statuses statuses.txt --out inferred.edges
+//! diffnet eval --truth truth.edges --inferred inferred.edges
+//! ```
+
+mod args;
+mod commands;
+
+pub use args::{ArgError, ParsedArgs};
+pub use commands::run;
+
+/// Usage text printed by `diffnet help` and on errors.
+pub const USAGE: &str = "\
+diffnet — diffusion network inference toolkit (TENDS, ICDE 2020)
+
+USAGE:
+  diffnet <command> [--option value ...]
+
+COMMANDS:
+  generate   Generate a diffusion network
+             --model lfr|er|ba|ws|kronecker|netsci|dunf  --out FILE
+             [--n N] [--k K] [--t T] [--m M] [--mixing X] [--rewire X]
+             [--power P] [--seed S] [--reciprocal]
+  simulate   Simulate diffusion processes on a network
+             --graph FILE  --out FILE  [--observations FILE] [--model ic|lt]
+             [--alpha A] [--beta B] [--mu MU] [--sigma SD] [--seed S]
+  infer      Infer a topology from observations
+             --statuses FILE --out FILE  [--algorithm tends|netrate|multree|lift|netinf|path]
+             [--observations FILE] [--edges M] [--threshold-scale X] [--mi]
+             [--threads T] [--symmetrize | --mutual-only]
+  eval       Score an inferred edge set against the ground truth
+             --truth FILE --inferred FILE
+  estimate   Fit per-edge propagation probabilities for a topology
+             --graph FILE --statuses FILE --out FILE
+  stats      Print summary statistics of a network
+             --graph FILE
+  help       Show this message
+
+Cascade-based algorithms (netrate, multree, netinf, path) and lift need
+--observations (written by `simulate --observations`); tends needs only
+--statuses. multree/lift/netinf/path need --edges (the budget m).
+";

@@ -1,0 +1,14 @@
+//! The `diffnet` binary: see [`diffnet_cli::USAGE`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match diffnet_cli::run(&argv) {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", diffnet_cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! # diffnet-datasets
+//!
+//! The evaluation networks of the TENDS paper (ICDE 2020):
+//!
+//! * [`lfr_suite`] — the fifteen LFR benchmark configurations of the
+//!   paper's Table II (LFR1–5 sweep the node count, LFR6–10 the average
+//!   degree, LFR11–15 the degree dispersion).
+//! * [`netsci_like`] — a 379-node / 1602-directed-edge coauthorship
+//!   topology model standing in for the NetSci network (Newman 2006).
+//! * [`dunf_like`] — a 750-node / 2974-directed-edge microblog follow
+//!   topology model standing in for the DUNF network (Wang et al., KDD
+//!   2014).
+//!
+//! The two real datasets are not redistributable here, so the models are
+//! *structural stand-ins*: seeded synthetic graphs matched to the published
+//! node/edge counts and to the qualitative structure the experiments
+//! depend on (community-clustered reciprocal coauthorship; heavy-tailed
+//! directed follow graph). Both papers' experiments — and ours — only use
+//! the topology to *simulate* diffusion, so matching structure preserves
+//! the experiment semantics. Real edge lists can be dropped in through
+//! [`load_edge_list`].
+
+mod realworld;
+mod suite;
+
+pub use realworld::{dunf_like, netsci_like, DUNF_EDGES, DUNF_NODES, NETSCI_EDGES, NETSCI_NODES};
+pub use suite::{lfr_suite, LfrSpec};
+
+use diffnet_graph::io::EdgeListError;
+use diffnet_graph::DiGraph;
+use std::path::Path;
+
+/// Loads a real dataset edge list (e.g. the actual NetSci or DUNF file);
+/// see [`diffnet_graph::io::load_edge_list`].
+pub fn load_edge_list<P: AsRef<Path>>(
+    path: P,
+    n: Option<usize>,
+) -> Result<DiGraph, EdgeListError> {
+    diffnet_graph::io::load_edge_list(path, n)
+}

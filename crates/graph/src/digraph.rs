@@ -1,0 +1,405 @@
+//! Compact immutable directed graph in CSR form, plus an incremental builder.
+
+use std::fmt;
+
+/// Dense node identifier. Nodes of a graph with `n` nodes are `0..n`.
+pub type NodeId = u32;
+
+/// An immutable directed graph stored in compressed sparse row (CSR) form.
+///
+/// Both the out-adjacency (for simulation: "who can I infect?") and the
+/// in-adjacency (for inference: "who are my potential parents?") are stored,
+/// each with sorted neighbor lists so that [`DiGraph::has_edge`] is a binary
+/// search.
+///
+/// Construct via [`GraphBuilder`] or [`DiGraph::from_edges`]. Self-loops and
+/// duplicate edges are silently dropped during construction: a diffusion
+/// network's edge set is a simple relation "u influences v".
+#[derive(Clone, PartialEq, Eq)]
+pub struct DiGraph {
+    n: usize,
+    out_offsets: Vec<usize>,
+    out_targets: Vec<NodeId>,
+    in_offsets: Vec<usize>,
+    in_sources: Vec<NodeId>,
+}
+
+impl DiGraph {
+    /// Builds a graph with `n` nodes from an edge list.
+    ///
+    /// Self-loops and duplicates are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// A graph with `n` nodes and no edges.
+    pub fn empty(n: usize) -> Self {
+        Self::from_edges(n, &[])
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Iterator over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.n as NodeId
+    }
+
+    /// Sorted slice of `u`'s out-neighbors (nodes `u` points to).
+    #[inline]
+    pub fn out_neighbors(&self, u: NodeId) -> &[NodeId] {
+        let u = u as usize;
+        &self.out_targets[self.out_offsets[u]..self.out_offsets[u + 1]]
+    }
+
+    /// Sorted slice of `v`'s in-neighbors (nodes pointing to `v`) — the
+    /// *parent nodes* of `v` in diffusion terminology.
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.in_sources[self.in_offsets[v]..self.in_offsets[v + 1]]
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.out_neighbors(u).len()
+    }
+
+    /// In-degree of `v` (its number of parents).
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_neighbors(v).len()
+    }
+
+    /// Total degree (in + out) of `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.out_degree(u) + self.in_degree(u)
+    }
+
+    /// Whether the directed edge `u -> v` exists. O(log out_degree(u)).
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Dense index of edge `u -> v` in `0..edge_count()`, if present.
+    ///
+    /// Edge indices order edges by `(u, v)` lexicographically and are stable
+    /// for the lifetime of the graph; they are used to attach per-edge data
+    /// (e.g. propagation probabilities) in parallel arrays.
+    #[inline]
+    pub fn edge_index(&self, u: NodeId, v: NodeId) -> Option<usize> {
+        let base = self.out_offsets[u as usize];
+        self.out_neighbors(u).binary_search(&v).ok().map(|i| base + i)
+    }
+
+    /// Iterator over all directed edges `(u, v)` in `(u, v)` order.
+    pub fn edges(&self) -> EdgeIter<'_> {
+        EdgeIter { g: self, u: 0, i: 0 }
+    }
+
+    /// Collects all edges into a vector.
+    pub fn edge_vec(&self) -> Vec<(NodeId, NodeId)> {
+        self.edges().collect()
+    }
+
+    /// The graph with every edge reversed.
+    pub fn reversed(&self) -> DiGraph {
+        let rev: Vec<(NodeId, NodeId)> = self.edges().map(|(u, v)| (v, u)).collect();
+        DiGraph::from_edges(self.n, &rev)
+    }
+
+    /// Mean total degree `2m / n` (the paper's "average node degree" uses
+    /// `m / n` for directed edges; see [`crate::stats::mean_out_degree`]).
+    pub fn mean_degree(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        2.0 * self.edge_count() as f64 / self.n as f64
+    }
+}
+
+impl fmt::Debug for DiGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DiGraph")
+            .field("nodes", &self.n)
+            .field("edges", &self.edge_count())
+            .finish()
+    }
+}
+
+/// Iterator over the directed edges of a [`DiGraph`].
+pub struct EdgeIter<'a> {
+    g: &'a DiGraph,
+    u: usize,
+    i: usize,
+}
+
+impl Iterator for EdgeIter<'_> {
+    type Item = (NodeId, NodeId);
+
+    fn next(&mut self) -> Option<(NodeId, NodeId)> {
+        while self.u < self.g.n {
+            let idx = self.g.out_offsets[self.u] + self.i;
+            if idx < self.g.out_offsets[self.u + 1] {
+                self.i += 1;
+                return Some((self.u as NodeId, self.g.out_targets[idx]));
+            }
+            self.u += 1;
+            self.i = 0;
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let consumed = match self.g.out_offsets.get(self.u) {
+            Some(&off) => off + self.i,
+            None => self.g.edge_count(),
+        };
+        let remaining = self.g.edge_count() - consumed;
+        (remaining, Some(remaining))
+    }
+}
+
+/// Incremental builder for [`DiGraph`].
+///
+/// Edges may be added in any order; duplicates and self-loops are removed at
+/// [`GraphBuilder::build`] time.
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph with `n` nodes and no edges yet.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges added so far (before dedup).
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the directed edge `u -> v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= n` or `v >= n`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u}, {v}) out of range for {} nodes",
+            self.n
+        );
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Adds both `u -> v` and `v -> u` (used for reciprocal relationships
+    /// such as coauthorship).
+    pub fn add_reciprocal(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        self.add_edge(u, v);
+        self.add_edge(v, u)
+    }
+
+    /// Whether `u -> v` has been added (linear scan; intended for
+    /// generators that need occasional membership checks during build).
+    pub fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edges.contains(&(u, v))
+    }
+
+    /// Finalizes into an immutable [`DiGraph`], dropping self-loops and
+    /// duplicate edges.
+    pub fn build(mut self) -> DiGraph {
+        self.edges.retain(|&(u, v)| u != v);
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        let n = self.n;
+        let m = self.edges.len();
+
+        let mut out_offsets = vec![0usize; n + 1];
+        for &(u, _) in &self.edges {
+            out_offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let out_targets: Vec<NodeId> = self.edges.iter().map(|&(_, v)| v).collect();
+
+        let mut in_offsets = vec![0usize; n + 1];
+        for &(_, v) in &self.edges {
+            in_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut in_sources = vec![0 as NodeId; m];
+        let mut cursor = in_offsets.clone();
+        for &(u, v) in &self.edges {
+            in_sources[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Each in-neighbor run is already sorted because edges were sorted
+        // by (u, v) and we appended in order of increasing u.
+
+        DiGraph { n, out_offsets, out_targets, in_offsets, in_sources }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        DiGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn counts() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn adjacency_is_sorted_and_correct() {
+        let g = diamond();
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.out_neighbors(3), &[] as &[NodeId]);
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert_eq!(g.in_neighbors(0), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn has_edge_and_direction() {
+        let g = diamond();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0), "edges are directed");
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn degrees() {
+        let g = diamond();
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn duplicates_and_self_loops_removed() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (0, 1), (1, 1), (2, 2), (1, 2)]);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(1, 1));
+    }
+
+    #[test]
+    fn edge_iteration_in_lexicographic_order() {
+        let g = DiGraph::from_edges(4, &[(2, 0), (0, 3), (0, 1), (1, 2)]);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 3), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn edge_index_is_dense_and_stable() {
+        let g = diamond();
+        let mut seen = vec![false; g.edge_count()];
+        for (u, v) in g.edges() {
+            let idx = g.edge_index(u, v).unwrap();
+            assert!(!seen[idx], "edge index {idx} assigned twice");
+            seen[idx] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(g.edge_index(3, 0), None);
+    }
+
+    #[test]
+    fn reversed_swaps_adjacency() {
+        let g = diamond();
+        let r = g.reversed();
+        assert_eq!(r.edge_count(), g.edge_count());
+        for (u, v) in g.edges() {
+            assert!(r.has_edge(v, u));
+        }
+        assert_eq!(r.in_neighbors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::empty(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.edges().count(), 0);
+        assert_eq!(g.mean_degree(), 0.0);
+    }
+
+    #[test]
+    fn zero_node_graph() {
+        let g = DiGraph::empty(0);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.mean_degree(), 0.0);
+        assert_eq!(g.nodes().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 2);
+    }
+
+    #[test]
+    fn reciprocal_adds_both_directions() {
+        let mut b = GraphBuilder::new(3);
+        b.add_reciprocal(0, 1);
+        let g = b.build();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn mean_degree_counts_both_endpoints() {
+        let g = diamond();
+        assert!((g.mean_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_contains_edge() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        assert!(b.contains_edge(0, 1));
+        assert!(!b.contains_edge(1, 0));
+    }
+}

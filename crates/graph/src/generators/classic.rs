@@ -1,0 +1,283 @@
+//! Classic random-graph generators: Erdős–Rényi and Barabási–Albert.
+//!
+//! These are not used by the paper's headline experiments but serve as
+//! well-understood substrates for tests, examples and extra ablations.
+
+use super::degree_sequence::shuffle;
+use crate::{DiGraph, GraphBuilder, NodeId};
+use rand::Rng;
+
+/// Directed Erdős–Rényi `G(n, p)`: every ordered pair `(u, v)`, `u != v`,
+/// is an edge independently with probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+pub fn erdos_renyi_gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> DiGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as NodeId {
+        for v in 0..n as NodeId {
+            if u != v && rng.gen_bool(p) {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Directed Erdős–Rényi `G(n, m)`: exactly `m` distinct directed edges
+/// chosen uniformly at random.
+///
+/// # Panics
+///
+/// Panics if `m > n * (n - 1)`.
+pub fn erdos_renyi_gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> DiGraph {
+    let max_edges = n.saturating_mul(n.saturating_sub(1));
+    assert!(m <= max_edges, "m = {m} exceeds the {max_edges} possible edges");
+    let mut b = GraphBuilder::new(n);
+    let mut chosen = std::collections::HashSet::with_capacity(m);
+    while chosen.len() < m {
+        let u = rng.gen_range(0..n) as NodeId;
+        let v = rng.gen_range(0..n) as NodeId;
+        if u != v && chosen.insert((u, v)) {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential attachment with `k` edges per arriving node,
+/// each oriented uniformly at random (so hubs both influence and are
+/// influenced).
+///
+/// The first `k + 1` nodes form a directed cycle seed so every node has
+/// positive degree before attachment begins.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `n <= k`.
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> DiGraph {
+    assert!(k >= 1, "k must be positive");
+    assert!(n > k, "need more than k = {k} nodes, got {n}");
+
+    let mut b = GraphBuilder::new(n);
+    // `targets` holds one entry per edge endpoint, so sampling uniformly
+    // from it is degree-proportional sampling.
+    let mut endpoint_pool: Vec<NodeId> = Vec::new();
+
+    let seed = k + 1;
+    for u in 0..seed {
+        let v = (u + 1) % seed;
+        add_oriented(&mut b, u as NodeId, v as NodeId, rng);
+        endpoint_pool.push(u as NodeId);
+        endpoint_pool.push(v as NodeId);
+    }
+
+    for u in seed..n {
+        let mut picked: Vec<NodeId> = Vec::with_capacity(k);
+        let mut guard = 0usize;
+        while picked.len() < k && guard < 100 * k {
+            let t = endpoint_pool[rng.gen_range(0..endpoint_pool.len())];
+            if t != u as NodeId && !picked.contains(&t) {
+                picked.push(t);
+            }
+            guard += 1;
+        }
+        // Fallback for pathological rejection streaks: fill from the oldest
+        // nodes, which always exist and are distinct.
+        let mut filler = 0 as NodeId;
+        while picked.len() < k {
+            if filler != u as NodeId && !picked.contains(&filler) {
+                picked.push(filler);
+            }
+            filler += 1;
+        }
+        shuffle(&mut picked, rng);
+        for &t in &picked {
+            add_oriented(&mut b, u as NodeId, t, rng);
+            endpoint_pool.push(u as NodeId);
+            endpoint_pool.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Watts–Strogatz small-world graph: a ring lattice where every node is
+/// connected to its `k` nearest neighbors on each side, with each lattice
+/// edge rewired to a uniform random target with probability `rewire`; each
+/// resulting undirected edge is oriented uniformly at random.
+///
+/// Small-world graphs interpolate between high-clustering lattices
+/// (`rewire = 0`) and random graphs (`rewire = 1`), which makes them a
+/// useful stress test between the paper's clustered LFR networks and
+/// unstructured baselines.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `2k >= n`, or `rewire` is not in `[0, 1]`.
+pub fn watts_strogatz<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    rewire: f64,
+    rng: &mut R,
+) -> DiGraph {
+    assert!(k >= 1, "k must be positive");
+    assert!(2 * k < n, "ring lattice needs n > 2k (n = {n}, k = {k})");
+    assert!((0.0..=1.0).contains(&rewire), "rewire must be a probability");
+
+    let mut undirected: std::collections::BTreeSet<(NodeId, NodeId)> =
+        std::collections::BTreeSet::new();
+    let canon = |a: usize, b: usize| {
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        (a as NodeId, b as NodeId)
+    };
+    for u in 0..n {
+        for off in 1..=k {
+            undirected.insert(canon(u, (u + off) % n));
+        }
+    }
+    // Rewire pass: each original lattice edge may be replaced.
+    let lattice: Vec<(NodeId, NodeId)> = undirected.iter().copied().collect();
+    for (u, v) in lattice {
+        if rewire > 0.0 && rng.gen_bool(rewire) {
+            let mut guard = 0;
+            loop {
+                let w = rng.gen_range(0..n);
+                guard += 1;
+                if guard > 100 {
+                    break;
+                }
+                let candidate = canon(u as usize, w);
+                if w != u as usize && w != v as usize && !undirected.contains(&candidate) {
+                    undirected.remove(&(u, v));
+                    undirected.insert(candidate);
+                    break;
+                }
+            }
+        }
+    }
+
+    let mut b = GraphBuilder::new(n);
+    for (u, v) in undirected {
+        add_oriented(&mut b, u, v, rng);
+    }
+    b.build()
+}
+
+fn add_oriented<R: Rng + ?Sized>(
+    b: &mut GraphBuilder,
+    u: NodeId,
+    v: NodeId,
+    rng: &mut R,
+) {
+    if rng.gen_bool(0.5) {
+        b.add_edge(u, v);
+    } else {
+        b.add_edge(v, u);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100;
+        let p = 0.05;
+        let g = erdos_renyi_gnp(n, p, &mut rng);
+        let expected = (n * (n - 1)) as f64 * p;
+        let m = g.edge_count() as f64;
+        assert!(
+            (m - expected).abs() < 4.0 * expected.sqrt(),
+            "m = {m}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(12);
+        assert_eq!(erdos_renyi_gnp(10, 0.0, &mut rng).edge_count(), 0);
+        assert_eq!(erdos_renyi_gnp(10, 1.0, &mut rng).edge_count(), 90);
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = erdos_renyi_gnm(50, 200, &mut rng);
+        assert_eq!(g.edge_count(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn gnm_too_many_edges_panics() {
+        let mut rng = StdRng::seed_from_u64(14);
+        erdos_renyi_gnm(3, 7, &mut rng);
+    }
+
+    #[test]
+    fn ba_edge_count_and_hubs() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let n = 200;
+        let k = 3;
+        let g = barabasi_albert(n, k, &mut rng);
+        // Seed cycle contributes k + 1 edges; each later node contributes k.
+        assert_eq!(g.edge_count(), (k + 1) + (n - k - 1) * k);
+        let max_deg = g.nodes().map(|u| g.degree(u)).max().expect("nonempty");
+        let mean_deg = g.mean_degree();
+        assert!(
+            max_deg as f64 > 3.0 * mean_deg,
+            "preferential attachment should produce hubs: max {max_deg}, mean {mean_deg}"
+        );
+    }
+
+    #[test]
+    fn ws_without_rewiring_is_a_lattice() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let g = watts_strogatz(20, 2, 0.0, &mut rng);
+        assert_eq!(g.edge_count(), 40, "n·k undirected edges");
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 4, "node {u}");
+        }
+    }
+
+    #[test]
+    fn ws_rewiring_preserves_edge_count() {
+        let mut rng = StdRng::seed_from_u64(18);
+        let g = watts_strogatz(50, 3, 0.3, &mut rng);
+        assert_eq!(g.edge_count(), 150);
+    }
+
+    #[test]
+    fn ws_full_rewiring_breaks_the_lattice() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let lattice = watts_strogatz(100, 3, 0.0, &mut rng);
+        let random = watts_strogatz(100, 3, 1.0, &mut rng);
+        let cc = crate::stats::global_clustering;
+        assert!(
+            cc(&lattice) > 2.0 * cc(&random).max(0.01),
+            "lattice clustering {} vs rewired {}",
+            cc(&lattice),
+            cc(&random)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 2k")]
+    fn ws_rejects_tiny_rings() {
+        let mut rng = StdRng::seed_from_u64(20);
+        watts_strogatz(4, 2, 0.1, &mut rng);
+    }
+
+    #[test]
+    fn ba_small() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let g = barabasi_albert(3, 1, &mut rng);
+        assert_eq!(g.node_count(), 3);
+        assert!(g.edge_count() >= 2);
+    }
+}

@@ -1,0 +1,273 @@
+//! Power-law degree sampling and configuration-model wiring.
+//!
+//! These primitives back the [LFR generator](super::lfr) and the synthetic
+//! real-world topology models in `diffnet-datasets`.
+
+use crate::NodeId;
+use rand::Rng;
+
+/// Samples `n` degrees from a discrete truncated power law
+/// `p(k) ∝ k^(-exponent)` on `kmin..=kmax` via inverse-CDF sampling.
+///
+/// # Panics
+///
+/// Panics if `kmin == 0`, `kmin > kmax` or `exponent <= 0`.
+pub fn powerlaw_degrees<R: Rng + ?Sized>(
+    n: usize,
+    exponent: f64,
+    kmin: usize,
+    kmax: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    assert!(kmin >= 1, "kmin must be at least 1");
+    assert!(kmin <= kmax, "kmin ({kmin}) must not exceed kmax ({kmax})");
+    assert!(exponent > 0.0, "exponent must be positive");
+
+    let weights: Vec<f64> =
+        (kmin..=kmax).map(|k| (k as f64).powf(-exponent)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            let idx = cdf.partition_point(|&c| c < u).min(cdf.len() - 1);
+            kmin + idx
+        })
+        .collect()
+}
+
+/// Mean of the discrete truncated power law `p(k) ∝ k^(-exponent)` on
+/// `kmin..=kmax`.
+fn truncated_powerlaw_mean(exponent: f64, kmin: usize, kmax: usize) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for k in kmin..=kmax {
+        let w = (k as f64).powf(-exponent);
+        num += k as f64 * w;
+        den += w;
+    }
+    num / den
+}
+
+/// Samples `n` degrees from a truncated power law with exponent `exponent`,
+/// choosing the lower cutoff `kmin` so that the expected mean degree is as
+/// close as possible to `mean`, then nudging individual samples so the
+/// realized mean lands within one of the target.
+///
+/// This mirrors how the LFR benchmark hits its average-degree parameter:
+/// the dispersion is governed by `exponent` (the paper's `T`; larger means
+/// less dispersion) while the location is governed by the cutoff.
+///
+/// # Panics
+///
+/// Panics if `mean < 1`, `kmax < mean`, or `exponent <= 0`.
+pub fn powerlaw_degrees_with_mean<R: Rng + ?Sized>(
+    n: usize,
+    mean: f64,
+    exponent: f64,
+    kmax: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    assert!(mean >= 1.0, "mean degree must be at least 1");
+    assert!(kmax as f64 >= mean, "kmax must be at least the target mean");
+    assert!(exponent > 0.0, "exponent must be positive");
+
+    // The truncated mean is monotone increasing in kmin; binary-search the
+    // largest kmin whose mean does not exceed the target.
+    let mut lo = 1usize;
+    let mut hi = kmax;
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if truncated_powerlaw_mean(exponent, mid, kmax) <= mean {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    let kmin = lo;
+
+    let mut degrees = powerlaw_degrees(n, exponent, kmin, kmax, rng);
+
+    // Nudge random entries up/down until the realized mean is within 0.05
+    // of the target (or we run out of attempts, e.g. when every degree has
+    // hit a bound).
+    let target: i64 = (mean * n as f64).round() as i64;
+    let tolerance = ((0.05 * n as f64) as i64).max(1);
+    let mut total: i64 = degrees.iter().map(|&d| d as i64).sum();
+    let mut attempts = 0usize;
+    let max_attempts = 400 * n + 1000;
+    while (total - target).abs() > tolerance && attempts < max_attempts {
+        let i = rng.gen_range(0..n);
+        if total < target && degrees[i] < kmax {
+            degrees[i] += 1;
+            total += 1;
+        } else if total > target && degrees[i] > 1 {
+            degrees[i] -= 1;
+            total -= 1;
+        }
+        attempts += 1;
+    }
+    degrees
+}
+
+/// Wires an undirected simple graph with (approximately) the given degree
+/// sequence using the configuration model with rejection of self-loops and
+/// multi-edges.
+///
+/// Stub pairs that would create a self-loop or duplicate edge are re-drawn a
+/// bounded number of times and then discarded, so a small deficit relative
+/// to `degrees` is possible (standard practice for simple-graph
+/// configuration models).
+///
+/// Returns undirected edges as `(u, v)` with `u < v`.
+pub fn configuration_model<R: Rng + ?Sized>(
+    degrees: &[usize],
+    rng: &mut R,
+) -> Vec<(NodeId, NodeId)> {
+    let mut stubs: Vec<NodeId> = Vec::new();
+    for (node, &d) in degrees.iter().enumerate() {
+        stubs.extend(std::iter::repeat_n(node as NodeId, d));
+    }
+    // An odd stub count cannot be perfectly matched; drop one.
+    if stubs.len() % 2 == 1 {
+        stubs.pop();
+    }
+    shuffle(&mut stubs, rng);
+
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(stubs.len() / 2);
+    let mut seen = std::collections::HashSet::with_capacity(stubs.len() / 2);
+    let mut leftovers: Vec<NodeId> = Vec::new();
+
+    while stubs.len() >= 2 {
+        let a = stubs.pop().expect("len checked");
+        let b = stubs.pop().expect("len checked");
+        let (u, v) = if a < b { (a, b) } else { (b, a) };
+        if u == v || !seen.insert((u, v)) {
+            leftovers.push(a);
+            leftovers.push(b);
+        } else {
+            edges.push((u, v));
+        }
+    }
+
+    // A few rewiring rounds over the rejected stubs.
+    for _ in 0..3 {
+        if leftovers.len() < 2 {
+            break;
+        }
+        shuffle(&mut leftovers, rng);
+        let mut next = Vec::new();
+        while leftovers.len() >= 2 {
+            let a = leftovers.pop().expect("len checked");
+            let b = leftovers.pop().expect("len checked");
+            let (u, v) = if a < b { (a, b) } else { (b, a) };
+            if u == v || !seen.insert((u, v)) {
+                next.push(a);
+                next.push(b);
+            } else {
+                edges.push((u, v));
+            }
+        }
+        leftovers = next;
+    }
+
+    edges
+}
+
+/// Fisher–Yates shuffle (avoids pulling in `rand::seq` trait imports at
+/// every call site).
+pub(crate) fn shuffle<T, R: Rng + ?Sized>(items: &mut [T], rng: &mut R) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn powerlaw_degrees_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = powerlaw_degrees(500, 2.0, 3, 20, &mut rng);
+        assert_eq!(d.len(), 500);
+        assert!(d.iter().all(|&k| (3..=20).contains(&k)));
+    }
+
+    #[test]
+    fn powerlaw_is_heavy_on_small_degrees() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = powerlaw_degrees(2000, 2.5, 1, 50, &mut rng);
+        let ones = d.iter().filter(|&&k| k == 1).count();
+        let tens = d.iter().filter(|&&k| k >= 10).count();
+        assert!(ones > tens, "power law must favor low degrees: {ones} vs {tens}");
+    }
+
+    #[test]
+    fn mean_targeting_is_close() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &mean in &[2.0, 4.0, 6.0] {
+            let d = powerlaw_degrees_with_mean(300, mean, 2.0, 30, &mut rng);
+            let realized = d.iter().sum::<usize>() as f64 / d.len() as f64;
+            assert!(
+                (realized - mean).abs() < 0.5,
+                "target {mean}, realized {realized}"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_exponent_means_less_dispersion() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let var = |d: &[usize]| {
+            let m = d.iter().sum::<usize>() as f64 / d.len() as f64;
+            d.iter().map(|&k| (k as f64 - m).powi(2)).sum::<f64>() / d.len() as f64
+        };
+        let low_t = powerlaw_degrees_with_mean(3000, 4.0, 1.0, 40, &mut rng);
+        let high_t = powerlaw_degrees_with_mean(3000, 4.0, 3.0, 40, &mut rng);
+        assert!(
+            var(&low_t) > var(&high_t),
+            "T=1 variance {} should exceed T=3 variance {}",
+            var(&low_t),
+            var(&high_t)
+        );
+    }
+
+    #[test]
+    fn configuration_model_is_simple() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let degrees = vec![3usize; 100];
+        let edges = configuration_model(&degrees, &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for &(u, v) in &edges {
+            assert!(u < v, "edges must be canonical (u < v)");
+            assert!(seen.insert((u, v)), "duplicate edge ({u},{v})");
+        }
+        // Deficit from rejected stubs should be small.
+        assert!(edges.len() * 2 >= 280, "too many rejected stubs: {}", edges.len());
+    }
+
+    #[test]
+    fn configuration_model_handles_odd_total() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let degrees = vec![1, 1, 1];
+        let edges = configuration_model(&degrees, &mut rng);
+        assert_eq!(edges.len(), 1);
+    }
+
+    #[test]
+    fn configuration_model_empty() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(configuration_model(&[], &mut rng).is_empty());
+        assert!(configuration_model(&[0, 0, 0], &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,161 @@
+//! Stochastic Kronecker graphs (Leskovec et al., JMLR 2010).
+//!
+//! Kronecker graphs are the standard synthetic substrate of the cascade-
+//! inference literature (NetInf, NetRate, MulTree all evaluate on them),
+//! so they are provided here alongside the paper's LFR benchmarks. A
+//! `2 × 2` seed matrix `Θ` is Kronecker-powered `k` times; entry
+//! `(u, v)` of `Θ^{[k]}` is the product of seed entries indexed by the
+//! bit pairs of `u` and `v`, and each directed edge is sampled
+//! independently with that probability.
+//!
+//! Classic parameterizations: *core–periphery* `[0.9, 0.5; 0.5, 0.3]`,
+//! *hierarchical community* `[0.9, 0.1; 0.1, 0.9]`, *random*
+//! `[0.5, 0.5; 0.5, 0.5]`.
+
+use crate::{DiGraph, GraphBuilder, NodeId};
+use rand::Rng;
+
+/// A `2 × 2` stochastic Kronecker seed matrix.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KroneckerSeed {
+    /// Row-major entries `[[a, b], [c, d]]`, each in `[0, 1]`.
+    pub theta: [[f64; 2]; 2],
+}
+
+impl KroneckerSeed {
+    /// The core–periphery seed `[0.9, 0.5; 0.5, 0.3]` (NetInf's default).
+    pub fn core_periphery() -> Self {
+        KroneckerSeed { theta: [[0.9, 0.5], [0.5, 0.3]] }
+    }
+
+    /// The hierarchical-community seed `[0.9, 0.1; 0.1, 0.9]`.
+    pub fn hierarchical() -> Self {
+        KroneckerSeed { theta: [[0.9, 0.1], [0.1, 0.9]] }
+    }
+
+    /// An Erdős–Rényi-like seed `[p, p; p, p]`.
+    pub fn random(p: f64) -> Self {
+        KroneckerSeed { theta: [[p, p], [p, p]] }
+    }
+
+    fn validate(&self) {
+        for row in &self.theta {
+            for &p in row {
+                assert!((0.0..=1.0).contains(&p), "seed entries must be probabilities");
+            }
+        }
+    }
+
+    /// Edge probability between nodes `u` and `v` in the `k`-th power.
+    fn edge_prob(&self, u: usize, v: usize, k: u32) -> f64 {
+        let mut p = 1.0;
+        for bit in 0..k {
+            let i = (u >> bit) & 1;
+            let j = (v >> bit) & 1;
+            p *= self.theta[i][j];
+        }
+        p
+    }
+}
+
+/// Samples a directed stochastic Kronecker graph with `2^k` nodes.
+///
+/// Self-loops are skipped. Complexity is `O(4^k)` probability evaluations
+/// (exact sampling; fine up to `k ≈ 12`).
+///
+/// # Panics
+///
+/// Panics if a seed entry is outside `[0, 1]` or `k > 16`.
+pub fn kronecker<R: Rng + ?Sized>(seed: &KroneckerSeed, k: u32, rng: &mut R) -> DiGraph {
+    seed.validate();
+    assert!(k <= 16, "k = {k} would produce 2^{k} nodes; exact sampling caps at 16");
+    let n = 1usize << k;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.gen_bool(seed.edge_prob(u, v, k)) {
+                b.add_edge(u as NodeId, v as NodeId);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn node_count_is_power_of_two() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = kronecker(&KroneckerSeed::core_periphery(), 6, &mut rng);
+        assert_eq!(g.node_count(), 64);
+        assert!(g.edge_count() > 0);
+    }
+
+    #[test]
+    fn edge_count_matches_expectation() {
+        // Expected edges = Σ_{u≠v} Π θ bits = (Σθ)^k − (θ00+θ11 diagonal
+        // correction); check against a Monte-Carlo-friendly tolerance.
+        let seed = KroneckerSeed::random(0.5);
+        let k = 7; // 128 nodes
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = kronecker(&seed, k, &mut rng);
+        let n = 128f64;
+        let expected = n * n * 0.5f64.powi(k as i32) - n * 0.5f64.powi(k as i32);
+        let m = g.edge_count() as f64;
+        assert!(
+            (m - expected).abs() < 5.0 * expected.sqrt(),
+            "edges {m}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn core_periphery_has_a_core() {
+        // Node 0 (all-zero bits) hits θ00 = 0.9 on every bit: it must be
+        // among the highest-degree nodes.
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = kronecker(&KroneckerSeed::core_periphery(), 7, &mut rng);
+        let deg0 = g.degree(0);
+        let mean = 2.0 * g.edge_count() as f64 / g.node_count() as f64;
+        assert!(
+            deg0 as f64 > 3.0 * mean,
+            "core node degree {deg0} vs mean {mean}"
+        );
+    }
+
+    #[test]
+    fn hierarchical_prefers_same_prefix() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = kronecker(&KroneckerSeed::hierarchical(), 7, &mut rng);
+        // Edges within the same half (same top bit) should dominate.
+        let n = g.node_count();
+        let same = g
+            .edges()
+            .filter(|&(u, v)| (u as usize) / (n / 2) == (v as usize) / (n / 2))
+            .count();
+        assert!(
+            same * 2 > g.edge_count(),
+            "{same} same-half edges of {}",
+            g.edge_count()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be probabilities")]
+    fn invalid_seed_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        kronecker(&KroneckerSeed { theta: [[1.5, 0.0], [0.0, 0.0]] }, 2, &mut rng);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = kronecker(&KroneckerSeed::random(0.9), 5, &mut rng);
+        for (u, v) in g.edges() {
+            assert_ne!(u, v);
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! LFR benchmark graphs (Lancichinetti, Fortunato & Radicchi, *Phys. Rev. E*
+//! 2008), the synthetic networks used throughout the TENDS evaluation.
+//!
+//! The paper varies three knobs (its Table II): the number of nodes `n`, the
+//! average node degree `K` (total directed edges divided by nodes), and the
+//! degree-distribution exponent `T` (larger `T` = less degree dispersion).
+//! This implementation follows the standard LFR recipe:
+//!
+//! 1. sample a power-law degree sequence with exponent `T`, with the lower
+//!    cutoff chosen to hit the target mean degree;
+//! 2. sample power-law community sizes and assign nodes to communities;
+//! 3. split each node's stubs into internal (fraction `1 − mixing`) and
+//!    external stubs, and wire each group with a simple-graph configuration
+//!    model (internal stubs within the community, external stubs across);
+//! 4. orient the resulting undirected edges per [`Orientation`].
+
+use super::degree_sequence::{configuration_model, powerlaw_degrees, shuffle};
+use super::{orient, Orientation};
+use crate::{DiGraph, NodeId};
+use rand::Rng;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Parameters of an LFR benchmark graph.
+///
+/// Defaults (other than the three paper knobs) follow common LFR practice:
+/// community-size exponent 1.5, mixing parameter 0.1, community sizes
+/// between `max(10, K)` and `n/3`.
+#[derive(Clone, Debug)]
+pub struct Lfr {
+    /// Number of nodes (`n` in the paper).
+    pub n: usize,
+    /// Target average node degree: directed edges per node (`K`).
+    pub mean_degree: f64,
+    /// Power-law exponent of the degree distribution (`T`); larger values
+    /// give less dispersion.
+    pub degree_exponent: f64,
+    /// Fraction of each node's stubs that connect outside its community.
+    pub mixing: f64,
+    /// Power-law exponent of the community-size distribution (`τ₂`).
+    pub community_size_exponent: f64,
+    /// Smallest allowed community (0 = auto).
+    pub min_community: usize,
+    /// Largest allowed community (0 = auto).
+    pub max_community: usize,
+    /// Hard cap on node degree (0 = auto: `3 ×` the undirected mean).
+    pub max_degree: usize,
+    /// How undirected LFR edges become directed influence edges.
+    pub orientation: Orientation,
+}
+
+impl Lfr {
+    /// LFR with the paper's three knobs and default community structure.
+    pub fn new(n: usize, mean_degree: f64, degree_exponent: f64) -> Self {
+        Lfr {
+            n,
+            mean_degree,
+            degree_exponent,
+            mixing: 0.1,
+            community_size_exponent: 1.5,
+            min_community: 0,
+            max_community: 0,
+            max_degree: 0,
+            orientation: Orientation::Random,
+        }
+    }
+
+    /// Generates a directed LFR benchmark graph.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<DiGraph, LfrError> {
+        self.validate()?;
+
+        // Random orientation halves the per-node edge count, so the
+        // undirected sequence needs mean 2K to land at m/n = K.
+        let undirected_mean = match self.orientation {
+            Orientation::Random => 2.0 * self.mean_degree,
+            Orientation::Reciprocal => self.mean_degree,
+        };
+        let kmax = if self.max_degree > 0 {
+            self.max_degree.min(self.n - 1)
+        } else {
+            ((undirected_mean * 3.0).ceil() as usize).clamp(2, self.n - 1)
+        };
+
+        let degrees = super::degree_sequence::powerlaw_degrees_with_mean(
+            self.n,
+            undirected_mean,
+            self.degree_exponent,
+            kmax,
+            rng,
+        );
+
+        let (min_c, max_c) = self.community_bounds(kmax);
+        let sizes = community_sizes(
+            self.n,
+            self.community_size_exponent,
+            min_c,
+            max_c,
+            rng,
+        );
+        let membership = assign_communities(&degrees, &sizes, self.mixing, rng);
+
+        let undirected =
+            wire(&degrees, &membership, sizes.len(), self.mixing, rng);
+        Ok(orient(self.n, &undirected, self.orientation, rng))
+    }
+
+    fn community_bounds(&self, kmax: usize) -> (usize, usize) {
+        let min_c = if self.min_community > 0 {
+            self.min_community
+        } else {
+            (kmax / 2).max(10).min(self.n)
+        };
+        let max_c = if self.max_community > 0 {
+            self.max_community
+        } else {
+            (self.n / 3).max(min_c)
+        };
+        (min_c, max_c.max(min_c))
+    }
+
+    fn validate(&self) -> Result<(), LfrError> {
+        if self.n < 10 {
+            return Err(LfrError::new("n must be at least 10"));
+        }
+        if self.mean_degree < 1.0 || self.mean_degree >= self.n as f64 {
+            return Err(LfrError::new("mean_degree must be in [1, n)"));
+        }
+        if self.degree_exponent <= 0.0 {
+            return Err(LfrError::new("degree_exponent must be positive"));
+        }
+        if !(0.0..=1.0).contains(&self.mixing) {
+            return Err(LfrError::new("mixing must be in [0, 1]"));
+        }
+        if self.community_size_exponent <= 0.0 {
+            return Err(LfrError::new("community_size_exponent must be positive"));
+        }
+        Ok(())
+    }
+}
+
+/// Parameter-validation error for [`Lfr`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LfrError {
+    message: String,
+}
+
+impl LfrError {
+    fn new(msg: &str) -> Self {
+        LfrError { message: msg.to_owned() }
+    }
+}
+
+impl fmt::Display for LfrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid LFR parameters: {}", self.message)
+    }
+}
+
+impl std::error::Error for LfrError {}
+
+/// Samples community sizes from a truncated power law until they cover `n`
+/// nodes exactly (the last community is trimmed; if the trim is below the
+/// minimum size it is merged into its predecessor).
+fn community_sizes<R: Rng + ?Sized>(
+    n: usize,
+    exponent: f64,
+    min_c: usize,
+    max_c: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    let min_c = min_c.min(n);
+    let max_c = max_c.clamp(min_c, n);
+    let mut sizes = Vec::new();
+    let mut covered = 0usize;
+    while covered < n {
+        let s = powerlaw_degrees(1, exponent, min_c, max_c, rng)[0];
+        let s = s.min(n - covered);
+        sizes.push(s);
+        covered += s;
+    }
+    if sizes.len() >= 2 {
+        let last = *sizes.last().expect("nonempty");
+        if last < min_c {
+            sizes.pop();
+            *sizes.last_mut().expect("len >= 1") += last;
+        }
+    }
+    sizes
+}
+
+/// Assigns each node to a community such that (where possible) its internal
+/// degree fits within the community.
+fn assign_communities<R: Rng + ?Sized>(
+    degrees: &[usize],
+    sizes: &[usize],
+    mixing: f64,
+    rng: &mut R,
+) -> Vec<usize> {
+    let n = degrees.len();
+    let mut capacity: Vec<usize> = sizes.to_vec();
+    let mut membership = vec![usize::MAX; n];
+
+    // Place high-degree nodes first: they are the hardest to fit.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_unstable_by_key(|&i| std::cmp::Reverse(degrees[i]));
+
+    for &node in &order {
+        let internal = ((1.0 - mixing) * degrees[node] as f64).round() as usize;
+        // Candidate communities with room and enough peers for the node's
+        // internal stubs.
+        let fits: Vec<usize> = (0..sizes.len())
+            .filter(|&c| capacity[c] > 0 && sizes[c] > internal)
+            .collect();
+        let chosen = if !fits.is_empty() {
+            fits[rng.gen_range(0..fits.len())]
+        } else {
+            // Fall back to the community with the most remaining room.
+            (0..sizes.len())
+                .max_by_key(|&c| capacity[c])
+                .expect("at least one community")
+        };
+        membership[node] = chosen;
+        capacity[chosen] = capacity[chosen].saturating_sub(1);
+    }
+    membership
+}
+
+/// Wires internal stubs per community and external stubs across communities.
+fn wire<R: Rng + ?Sized>(
+    degrees: &[usize],
+    membership: &[usize],
+    num_communities: usize,
+    mixing: f64,
+    rng: &mut R,
+) -> Vec<(NodeId, NodeId)> {
+    let n = degrees.len();
+    let mut comm_count = vec![0usize; num_communities];
+    for &c in membership {
+        comm_count[c] += 1;
+    }
+    let mut internal_deg = vec![0usize; n];
+    let mut external_deg = vec![0usize; n];
+    for i in 0..n {
+        let comm_size = comm_count[membership[i]];
+        let mut internal = ((1.0 - mixing) * degrees[i] as f64).round() as usize;
+        // A node cannot have more internal partners than its community has
+        // other members.
+        internal = internal.min(comm_size.saturating_sub(1));
+        internal_deg[i] = internal;
+        external_deg[i] = degrees[i] - internal.min(degrees[i]);
+    }
+
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+
+    // Internal wiring: a configuration model restricted to each community.
+    for c in 0..num_communities {
+        let members: Vec<usize> =
+            (0..n).filter(|&i| membership[i] == c).collect();
+        if members.len() < 2 {
+            continue;
+        }
+        let local_degrees: Vec<usize> =
+            members.iter().map(|&i| internal_deg[i]).collect();
+        for (lu, lv) in configuration_model(&local_degrees, rng) {
+            edges.push((members[lu as usize] as NodeId, members[lv as usize] as NodeId));
+        }
+    }
+
+    // External wiring: pair external stubs across communities, rejecting
+    // same-community pairs and duplicates for a bounded number of rounds.
+    let mut existing: HashSet<(NodeId, NodeId)> = edges
+        .iter()
+        .map(|&(u, v)| if u < v { (u, v) } else { (v, u) })
+        .collect();
+    let mut stubs: Vec<usize> = Vec::new();
+    for (i, &d) in external_deg.iter().enumerate() {
+        stubs.extend(std::iter::repeat_n(i, d));
+    }
+    if stubs.len() % 2 == 1 {
+        stubs.pop();
+    }
+    shuffle(&mut stubs, rng);
+    let mut rejected: Vec<usize> = Vec::new();
+    for round in 0..4 {
+        while stubs.len() >= 2 {
+            let a = stubs.pop().expect("len checked");
+            let b = stubs.pop().expect("len checked");
+            let key = if a < b { (a as NodeId, b as NodeId) } else { (b as NodeId, a as NodeId) };
+            // After the first rounds give up on the community constraint and
+            // only forbid self-loops/duplicates, so stub deficits stay small.
+            let same_comm = membership[a] == membership[b] && round < 2;
+            if a == b || same_comm || existing.contains(&key) {
+                rejected.push(a);
+                rejected.push(b);
+            } else {
+                existing.insert(key);
+                edges.push(key);
+            }
+        }
+        if rejected.len() < 2 {
+            break;
+        }
+        std::mem::swap(&mut stubs, &mut rejected);
+        shuffle(&mut stubs, rng);
+    }
+
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn degree_std(g: &DiGraph) -> f64 {
+        let n = g.node_count() as f64;
+        let mean = g.nodes().map(|u| g.degree(u) as f64).sum::<f64>() / n;
+        let var = g
+            .nodes()
+            .map(|u| (g.degree(u) as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        var.sqrt()
+    }
+
+    #[test]
+    fn node_count_is_exact() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = Lfr::new(200, 4.0, 2.0).generate(&mut rng).expect("valid");
+        assert_eq!(g.node_count(), 200);
+    }
+
+    #[test]
+    fn mean_degree_close_to_target() {
+        let mut rng = StdRng::seed_from_u64(22);
+        for &k in &[2.0, 4.0, 6.0] {
+            let g = Lfr::new(200, k, 2.0).generate(&mut rng).expect("valid");
+            let realized = g.edge_count() as f64 / g.node_count() as f64;
+            assert!(
+                (realized - k).abs() < 0.8,
+                "target K={k}, realized m/n={realized}"
+            );
+        }
+    }
+
+    #[test]
+    fn exponent_controls_dispersion() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let loose = Lfr::new(400, 4.0, 1.0).generate(&mut rng).expect("valid");
+        let tight = Lfr::new(400, 4.0, 3.0).generate(&mut rng).expect("valid");
+        assert!(
+            degree_std(&loose) > degree_std(&tight),
+            "T=1 std {} should exceed T=3 std {}",
+            degree_std(&loose),
+            degree_std(&tight)
+        );
+    }
+
+    #[test]
+    fn reciprocal_orientation_gives_reciprocal_edges() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let mut cfg = Lfr::new(100, 4.0, 2.0);
+        cfg.orientation = Orientation::Reciprocal;
+        let g = cfg.generate(&mut rng).expect("valid");
+        for (u, v) in g.edges() {
+            assert!(g.has_edge(v, u), "edge ({u},{v}) lacks its reciprocal");
+        }
+    }
+
+    #[test]
+    fn mixing_keeps_most_edges_internal() {
+        // Indirect check: with low mixing the graph should contain dense
+        // local pockets, which we proxy by positive undirected clustering.
+        let mut rng = StdRng::seed_from_u64(25);
+        let mut cfg = Lfr::new(200, 6.0, 2.0);
+        cfg.mixing = 0.05;
+        let g = cfg.generate(&mut rng).expect("valid");
+        let cc = crate::stats::global_clustering(&g);
+        assert!(cc > 0.02, "community structure should yield clustering, got {cc}");
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(26);
+        assert!(Lfr::new(5, 2.0, 2.0).generate(&mut rng).is_err());
+        assert!(Lfr::new(100, 0.5, 2.0).generate(&mut rng).is_err());
+        assert!(Lfr::new(100, 4.0, -1.0).generate(&mut rng).is_err());
+        let mut cfg = Lfr::new(100, 4.0, 2.0);
+        cfg.mixing = 1.5;
+        assert!(cfg.generate(&mut rng).is_err());
+    }
+
+    #[test]
+    fn error_message_is_informative() {
+        let mut rng = StdRng::seed_from_u64(27);
+        let err = Lfr::new(5, 2.0, 2.0).generate(&mut rng).unwrap_err();
+        assert!(err.to_string().contains("n must be at least 10"));
+    }
+
+    #[test]
+    fn paper_table2_sizes_generate() {
+        let mut rng = StdRng::seed_from_u64(28);
+        for &n in &[100usize, 150, 200, 250, 300] {
+            let g = Lfr::new(n, 4.0, 2.0).generate(&mut rng).expect("valid");
+            assert_eq!(g.node_count(), n);
+            assert!(g.edge_count() > 2 * n, "graph too sparse: {}", g.edge_count());
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Synthetic network generators.
+//!
+//! The TENDS paper evaluates on LFR benchmark graphs ([`lfr`]) and two
+//! real-world networks; [`classic`] provides Erdős–Rényi and
+//! Barabási–Albert generators used in tests and extra experiments, and
+//! [`degree_sequence`] provides power-law degree sampling and
+//! configuration-model wiring shared by the higher-level generators.
+
+pub mod classic;
+pub mod degree_sequence;
+pub mod kronecker;
+pub mod lfr;
+
+pub use classic::{barabasi_albert, erdos_renyi_gnm, erdos_renyi_gnp, watts_strogatz};
+pub use kronecker::{kronecker, KroneckerSeed};
+pub use degree_sequence::{
+    configuration_model, powerlaw_degrees, powerlaw_degrees_with_mean,
+};
+pub use lfr::{Lfr, LfrError};
+
+use crate::{DiGraph, GraphBuilder, NodeId};
+use rand::Rng;
+
+/// How an undirected edge set is turned into a directed diffusion network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Orientation {
+    /// Each undirected edge becomes one directed edge whose direction is
+    /// chosen uniformly at random. An undirected graph with mean degree `2K`
+    /// becomes a directed graph with `m/n = K`, the paper's "average node
+    /// degree" (total edges / total nodes).
+    #[default]
+    Random,
+    /// Each undirected edge becomes a reciprocal pair `u -> v`, `v -> u`
+    /// (appropriate for inherently symmetric relations such as
+    /// coauthorship).
+    Reciprocal,
+}
+
+/// Orients an undirected edge list into a [`DiGraph`].
+pub fn orient<R: Rng + ?Sized>(
+    n: usize,
+    undirected: &[(NodeId, NodeId)],
+    orientation: Orientation,
+    rng: &mut R,
+) -> DiGraph {
+    let mut b = GraphBuilder::new(n);
+    for &(u, v) in undirected {
+        match orientation {
+            Orientation::Random => {
+                if rng.gen_bool(0.5) {
+                    b.add_edge(u, v);
+                } else {
+                    b.add_edge(v, u);
+                }
+            }
+            Orientation::Reciprocal => {
+                b.add_reciprocal(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn orient_random_keeps_one_direction_per_edge() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let und = vec![(0, 1), (1, 2), (2, 3), (3, 0)];
+        let g = orient(4, &und, Orientation::Random, &mut rng);
+        assert_eq!(g.edge_count(), 4);
+        for &(u, v) in &und {
+            assert!(
+                g.has_edge(u, v) ^ g.has_edge(v, u),
+                "exactly one direction of ({u},{v}) must exist"
+            );
+        }
+    }
+
+    #[test]
+    fn orient_reciprocal_doubles_edges() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let und = vec![(0, 1), (1, 2)];
+        let g = orient(3, &und, Orientation::Reciprocal, &mut rng);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+    }
+}

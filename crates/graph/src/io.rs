@@ -1,0 +1,291 @@
+//! Plain edge-list I/O.
+//!
+//! The on-disk format is one directed edge per line, `source target`,
+//! separated by whitespace or a comma; `#`-prefixed lines are comments.
+//! This matches how NetSci, DUNF and most SNAP-style datasets are
+//! distributed, so real data can be dropped into the experiment harness.
+
+use crate::{DiGraph, GraphBuilder, NodeId};
+use std::fmt;
+use std::fs;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors from edge-list parsing.
+#[derive(Debug)]
+pub enum EdgeListError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line that is neither a comment nor a valid edge.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// An endpoint not in `0..n` for the declared node count.
+    OutOfRange {
+        /// 1-based line number.
+        line: usize,
+        /// The offending node id.
+        node: u64,
+        /// The declared node count.
+        n: usize,
+    },
+}
+
+impl fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeListError::Io(e) => write!(f, "edge list I/O error: {e}"),
+            EdgeListError::Parse { line, content } => {
+                write!(f, "edge list parse error at line {line}: {content:?}")
+            }
+            EdgeListError::OutOfRange { line, node, n } => write!(
+                f,
+                "edge list node {node} at line {line} out of range for n = {n}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EdgeListError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EdgeListError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for EdgeListError {
+    fn from(e: io::Error) -> Self {
+        EdgeListError::Io(e)
+    }
+}
+
+/// Parses a directed edge list from a reader.
+///
+/// If `n` is `Some`, endpoints must lie in `0..n`; if `None`, the node count
+/// is `1 + max id` seen.
+pub fn read_edge_list<R: Read>(
+    reader: R,
+    n: Option<usize>,
+) -> Result<DiGraph, EdgeListError> {
+    let buf = BufReader::new(reader);
+    let mut edges: Vec<(u64, u64)> = Vec::new();
+    let mut max_id: u64 = 0;
+
+    for (idx, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed
+            .split(|c: char| c.is_whitespace() || c == ',')
+            .filter(|p| !p.is_empty());
+        let parse = |tok: Option<&str>| -> Option<u64> { tok?.parse().ok() };
+        match (parse(parts.next()), parse(parts.next())) {
+            (Some(u), Some(v)) => {
+                max_id = max_id.max(u).max(v);
+                edges.push((u, v));
+            }
+            _ => {
+                return Err(EdgeListError::Parse {
+                    line: idx + 1,
+                    content: trimmed.to_owned(),
+                })
+            }
+        }
+    }
+
+    let node_count = match n {
+        Some(n) => n,
+        None => {
+            if edges.is_empty() {
+                0
+            } else {
+                (max_id + 1) as usize
+            }
+        }
+    };
+
+    let mut b = GraphBuilder::new(node_count);
+    for (idx, &(u, v)) in edges.iter().enumerate() {
+        for node in [u, v] {
+            if node as usize >= node_count {
+                return Err(EdgeListError::OutOfRange {
+                    line: idx + 1,
+                    node,
+                    n: node_count,
+                });
+            }
+        }
+        b.add_edge(u as NodeId, v as NodeId);
+    }
+    Ok(b.build())
+}
+
+/// Reads a directed edge list from a file. See [`read_edge_list`].
+pub fn load_edge_list<P: AsRef<Path>>(
+    path: P,
+    n: Option<usize>,
+) -> Result<DiGraph, EdgeListError> {
+    let file = fs::File::open(path)?;
+    read_edge_list(file, n)
+}
+
+/// Writes `g` as an edge list (`u v` per line) with a node-count header
+/// comment.
+pub fn write_edge_list<W: Write>(g: &DiGraph, mut writer: W) -> io::Result<()> {
+    writeln!(writer, "# nodes: {}", g.node_count())?;
+    for (u, v) in g.edges() {
+        writeln!(writer, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Writes `g` to a file as an edge list. See [`write_edge_list`].
+pub fn save_edge_list<P: AsRef<Path>>(g: &DiGraph, path: P) -> io::Result<()> {
+    let file = fs::File::create(path)?;
+    write_edge_list(g, io::BufWriter::new(file))
+}
+
+/// Writes `g` in Graphviz DOT format (`digraph`), optionally highlighting
+/// a set of edges (e.g. true positives of an inference) in a second color.
+///
+/// Node ids are used as labels; render with `dot -Tsvg`.
+pub fn write_dot<W: Write>(
+    g: &DiGraph,
+    highlight: Option<&DiGraph>,
+    mut writer: W,
+) -> io::Result<()> {
+    if let Some(h) = highlight {
+        assert_eq!(
+            h.node_count(),
+            g.node_count(),
+            "highlight graph must share the node set"
+        );
+    }
+    writeln!(writer, "digraph diffnet {{")?;
+    writeln!(writer, "  node [shape=circle, fontsize=10];")?;
+    for (u, v) in g.edges() {
+        let highlighted = highlight.is_some_and(|h| h.has_edge(u, v));
+        if highlighted {
+            writeln!(writer, "  {u} -> {v} [color=\"#2c7fb8\", penwidth=2];")?;
+        } else {
+            writeln!(writer, "  {u} -> {v};")?;
+        }
+    }
+    writeln!(writer, "}}")
+}
+
+/// Writes `g` as a DOT file. See [`write_dot`].
+pub fn save_dot<P: AsRef<Path>>(
+    g: &DiGraph,
+    highlight: Option<&DiGraph>,
+    path: P,
+) -> io::Result<()> {
+    let file = fs::File::create(path)?;
+    write_dot(g, highlight, io::BufWriter::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut buf = Vec::new();
+        write_dot(&g, None, &mut buf).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        assert!(text.starts_with("digraph"));
+        assert!(text.contains("0 -> 1;"));
+        assert!(text.contains("1 -> 2;"));
+        assert!(text.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_highlights_marked_edges() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let mark = DiGraph::from_edges(3, &[(1, 2)]);
+        let mut buf = Vec::new();
+        write_dot(&g, Some(&mark), &mut buf).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        assert!(text.contains("0 -> 1;"));
+        assert!(text.contains("1 -> 2 [color="));
+    }
+
+    #[test]
+    fn round_trip() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (2, 3), (3, 0)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).expect("in-memory write");
+        let parsed = read_edge_list(buf.as_slice(), Some(4)).expect("parse back");
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# a comment\n\n0 1\n# another\n1 2\n";
+        let g = read_edge_list(text.as_bytes(), None).expect("parse");
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.node_count(), 3);
+    }
+
+    #[test]
+    fn commas_and_tabs_accepted() {
+        let text = "0,1\n1\t2\n";
+        let g = read_edge_list(text.as_bytes(), None).expect("parse");
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn node_count_inferred_from_max_id() {
+        let text = "0 7\n";
+        let g = read_edge_list(text.as_bytes(), None).expect("parse");
+        assert_eq!(g.node_count(), 8);
+    }
+
+    #[test]
+    fn bad_line_reports_position() {
+        let text = "0 1\nnot an edge\n";
+        match read_edge_list(text.as_bytes(), None) {
+            Err(EdgeListError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_detected() {
+        let text = "0 9\n";
+        match read_edge_list(text.as_bytes(), Some(5)) {
+            Err(EdgeListError::OutOfRange { node, n, .. }) => {
+                assert_eq!(node, 9);
+                assert_eq!(n, 5);
+            }
+            other => panic!("expected out-of-range error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = read_edge_list("".as_bytes(), None).expect("parse");
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("diffnet_graph_io_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("g.edges");
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        save_edge_list(&g, &path).expect("save");
+        let back = load_edge_list(&path, Some(3)).expect("load");
+        assert_eq!(back, g);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+//! # diffnet-graph
+//!
+//! Directed-graph substrate for diffusion network inference.
+//!
+//! This crate provides the graph machinery that every other `diffnet` crate
+//! builds on:
+//!
+//! * [`DiGraph`] — a compact, immutable directed graph in CSR (compressed
+//!   sparse row) form with O(log d) edge queries and O(1) neighbor slices.
+//! * [`GraphBuilder`] — incremental construction with deduplication and
+//!   validation.
+//! * [`generators`] — synthetic network generators, most importantly the
+//!   [LFR benchmark](generators::lfr) used by the TENDS paper (Lancichinetti
+//!   et al., *Phys. Rev. E* 2008), plus Erdős–Rényi, Barabási–Albert and
+//!   configuration-model generators.
+//! * [`stats`] — degree distributions, clustering, reciprocity and
+//!   weak-connectivity statistics used to validate generated topologies.
+//! * [`io`] — plain edge-list reading and writing.
+//!
+//! Nodes are dense indices `0..n` represented as [`NodeId`] (`u32`); this is
+//! the natural fit for the inference algorithms, which treat the node set as
+//! given and only infer edges.
+//!
+//! ## Example
+//!
+//! ```
+//! use diffnet_graph::{DiGraph, GraphBuilder};
+//!
+//! let mut b = GraphBuilder::new(4);
+//! b.add_edge(0, 1);
+//! b.add_edge(1, 2);
+//! b.add_edge(1, 3);
+//! let g: DiGraph = b.build();
+//!
+//! assert_eq!(g.node_count(), 4);
+//! assert_eq!(g.edge_count(), 3);
+//! assert!(g.has_edge(1, 2));
+//! assert_eq!(g.out_neighbors(1), &[2, 3]);
+//! ```
+
+mod digraph;
+pub mod generators;
+pub mod io;
+pub mod stats;
+
+pub use digraph::{DiGraph, EdgeIter, GraphBuilder, NodeId};

@@ -1,0 +1,213 @@
+//! Graph statistics used to validate generated topologies and to report
+//! dataset properties (the paper's Table II describes its networks by node
+//! count, average degree and degree dispersion).
+
+use crate::{DiGraph, NodeId};
+
+/// Summary statistics of a directed graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of directed edges.
+    pub edges: usize,
+    /// Directed edges per node (`m / n`) — the paper's "average node degree".
+    pub mean_out_degree: f64,
+    /// Standard deviation of total (in + out) degree.
+    pub degree_std: f64,
+    /// Maximum total degree.
+    pub max_degree: usize,
+    /// Fraction of edges whose reverse also exists.
+    pub reciprocity: f64,
+    /// Global clustering coefficient of the undirected projection.
+    pub clustering: f64,
+    /// Number of weakly connected components.
+    pub weak_components: usize,
+}
+
+impl GraphStats {
+    /// Computes all statistics for `g`.
+    pub fn of(g: &DiGraph) -> GraphStats {
+        GraphStats {
+            nodes: g.node_count(),
+            edges: g.edge_count(),
+            mean_out_degree: mean_out_degree(g),
+            degree_std: degree_std(g),
+            max_degree: g.nodes().map(|u| g.degree(u)).max().unwrap_or(0),
+            reciprocity: reciprocity(g),
+            clustering: global_clustering(g),
+            weak_components: weakly_connected_components(g),
+        }
+    }
+}
+
+/// Directed edges per node, `m / n` (0 for the empty node set).
+pub fn mean_out_degree(g: &DiGraph) -> f64 {
+    if g.node_count() == 0 {
+        return 0.0;
+    }
+    g.edge_count() as f64 / g.node_count() as f64
+}
+
+/// Standard deviation of total degree.
+pub fn degree_std(g: &DiGraph) -> f64 {
+    let n = g.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    let mean = g.nodes().map(|u| g.degree(u) as f64).sum::<f64>() / n as f64;
+    let var = g
+        .nodes()
+        .map(|u| (g.degree(u) as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n as f64;
+    var.sqrt()
+}
+
+/// Fraction of directed edges `u -> v` for which `v -> u` also exists.
+pub fn reciprocity(g: &DiGraph) -> f64 {
+    if g.edge_count() == 0 {
+        return 0.0;
+    }
+    let mutual = g.edges().filter(|&(u, v)| g.has_edge(v, u)).count();
+    mutual as f64 / g.edge_count() as f64
+}
+
+/// Global clustering coefficient (transitivity) of the undirected
+/// projection: `3 × triangles / connected triples`.
+pub fn global_clustering(g: &DiGraph) -> f64 {
+    let n = g.node_count();
+    // Undirected neighbor sets.
+    let mut nbrs: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for (u, v) in g.edges() {
+        nbrs[u as usize].push(v);
+        nbrs[v as usize].push(u);
+    }
+    for l in &mut nbrs {
+        l.sort_unstable();
+        l.dedup();
+    }
+
+    let mut triangles = 0usize;
+    let mut triples = 0usize;
+    for u in 0..n {
+        let d = nbrs[u].len();
+        triples += d * d.saturating_sub(1) / 2;
+        for i in 0..d {
+            for j in (i + 1)..d {
+                let (a, b) = (nbrs[u][i], nbrs[u][j]);
+                if nbrs[a as usize].binary_search(&b).is_ok() {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    if triples == 0 {
+        0.0
+    } else {
+        // Each triangle is counted once per corner, i.e. 3 times.
+        triangles as f64 / triples as f64
+    }
+}
+
+/// Number of weakly connected components (union-find over the undirected
+/// projection).
+pub fn weakly_connected_components(g: &DiGraph) -> usize {
+    let n = g.node_count();
+    let mut parent: Vec<usize> = (0..n).collect();
+
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+
+    for (u, v) in g.edges() {
+        let ru = find(&mut parent, u as usize);
+        let rv = find(&mut parent, v as usize);
+        if ru != rv {
+            parent[ru] = rv;
+        }
+    }
+    (0..n).filter(|&x| find(&mut parent, x) == x).count()
+}
+
+/// Histogram of total degrees: `hist[d]` = number of nodes with degree `d`.
+pub fn degree_histogram(g: &DiGraph) -> Vec<usize> {
+    let max = g.nodes().map(|u| g.degree(u)).max().unwrap_or(0);
+    let mut hist = vec![0usize; max + 1];
+    for u in g.nodes() {
+        hist[g.degree(u)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DiGraph;
+
+    #[test]
+    fn stats_of_triangle() {
+        // Directed 3-cycle: undirected projection is a triangle.
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(mean_out_degree(&g), 1.0);
+        assert_eq!(reciprocity(&g), 0.0);
+        assert!((global_clustering(&g) - 1.0).abs() < 1e-12);
+        assert_eq!(weakly_connected_components(&g), 1);
+    }
+
+    #[test]
+    fn reciprocity_full() {
+        let g = DiGraph::from_edges(2, &[(0, 1), (1, 0)]);
+        assert_eq!(reciprocity(&g), 1.0);
+    }
+
+    #[test]
+    fn components_count_isolated_nodes() {
+        let g = DiGraph::from_edges(5, &[(0, 1), (1, 2)]);
+        assert_eq!(weakly_connected_components(&g), 3);
+    }
+
+    #[test]
+    fn clustering_of_star_is_zero() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(global_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn degree_std_of_regular_graph_is_zero() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(degree_std(&g) < 1e-12);
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_n() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (0, 2), (1, 2)]);
+        let hist = degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<usize>(), 4);
+        assert_eq!(hist[0], 1, "node 3 is isolated");
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = DiGraph::empty(0);
+        let s = GraphStats::of(&g);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.mean_out_degree, 0.0);
+        assert_eq!(s.degree_std, 0.0);
+        assert_eq!(s.weak_components, 0);
+    }
+
+    #[test]
+    fn graph_stats_bundle_matches_parts() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 0), (1, 2)]);
+        let s = GraphStats::of(&g);
+        assert_eq!(s.edges, 3);
+        assert!((s.reciprocity - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.weak_components, 1);
+        assert_eq!(s.max_degree, 3);
+    }
+}

@@ -1,0 +1,202 @@
+#![warn(missing_docs)]
+//! # diffnet-metrics
+//!
+//! Evaluation metrics and experiment-reporting utilities for diffusion
+//! network inference.
+//!
+//! * [`EdgeSetComparison`] — precision / recall / F-score of an inferred
+//!   topology against ground truth, exactly as the paper defines them
+//!   (directed edges; TP/FP/FN counting).
+//! * [`Stopwatch`] — wall-clock timing for the running-time plots.
+//! * [`table`] — paper-style fixed-width result tables shared by all the
+//!   figure-reproduction binaries.
+//! * [`ranking`] — precision-recall curves and average precision for
+//!   scored (threshold-free) inferences such as NetRate's rates.
+
+pub mod ranking;
+pub mod table;
+
+use diffnet_graph::DiGraph;
+use std::time::{Duration, Instant};
+
+/// Directed-edge confusion counts and the derived accuracy metrics
+/// (paper §V-A, "Performance Criteria").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeSetComparison {
+    /// Edges present in both the truth and the inference.
+    pub true_positives: usize,
+    /// Inferred edges absent from the truth.
+    pub false_positives: usize,
+    /// True edges the inference missed.
+    pub false_negatives: usize,
+}
+
+impl EdgeSetComparison {
+    /// Compares an inferred graph against the ground truth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node counts differ (the node set is given in this
+    /// problem; a mismatch is a harness bug).
+    pub fn against_truth(truth: &DiGraph, inferred: &DiGraph) -> Self {
+        assert_eq!(
+            truth.node_count(),
+            inferred.node_count(),
+            "graphs must share the node set"
+        );
+        let tp = inferred.edges().filter(|&(u, v)| truth.has_edge(u, v)).count();
+        EdgeSetComparison {
+            true_positives: tp,
+            false_positives: inferred.edge_count() - tp,
+            false_negatives: truth.edge_count() - tp,
+        }
+    }
+
+    /// `TP / (TP + FP)`; 1.0 when nothing was inferred and nothing exists,
+    /// 0.0 when edges were inferred into an empty truth.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            if self.false_negatives == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// `TP / (TP + FN)`; 1.0 for an empty truth.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall; equivalently
+    /// `2·TP / (2·TP + FP + FN)`.
+    pub fn f_score(&self) -> f64 {
+        let denom = 2 * self.true_positives + self.false_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            2.0 * self.true_positives as f64 / denom as f64
+        }
+    }
+}
+
+/// Minimal wall-clock stopwatch for the running-time columns.
+#[derive(Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch { start: Instant::now() }
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed seconds as `f64`.
+    pub fn seconds(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+}
+
+/// Times a closure, returning its result and the wall-clock seconds spent.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let sw = Stopwatch::start();
+    let out = f();
+    (out, sw.seconds())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> DiGraph {
+        DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn perfect_inference() {
+        let cmp = EdgeSetComparison::against_truth(&truth(), &truth());
+        assert_eq!(cmp.true_positives, 3);
+        assert_eq!(cmp.precision(), 1.0);
+        assert_eq!(cmp.recall(), 1.0);
+        assert_eq!(cmp.f_score(), 1.0);
+    }
+
+    #[test]
+    fn direction_matters() {
+        let reversed = truth().reversed();
+        let cmp = EdgeSetComparison::against_truth(&truth(), &reversed);
+        assert_eq!(cmp.true_positives, 0);
+        assert_eq!(cmp.f_score(), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let inferred = DiGraph::from_edges(4, &[(0, 1), (1, 2), (3, 0), (0, 2)]);
+        let cmp = EdgeSetComparison::against_truth(&truth(), &inferred);
+        assert_eq!(cmp.true_positives, 2);
+        assert_eq!(cmp.false_positives, 2);
+        assert_eq!(cmp.false_negatives, 1);
+        assert_eq!(cmp.precision(), 0.5);
+        assert!((cmp.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cmp.f_score() - 4.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inference_on_nonempty_truth() {
+        let inferred = DiGraph::empty(4);
+        let cmp = EdgeSetComparison::against_truth(&truth(), &inferred);
+        assert_eq!(cmp.precision(), 0.0);
+        assert_eq!(cmp.recall(), 0.0);
+        assert_eq!(cmp.f_score(), 0.0);
+    }
+
+    #[test]
+    fn empty_truth_and_empty_inference_is_perfect() {
+        let empty = DiGraph::empty(3);
+        let cmp = EdgeSetComparison::against_truth(&empty, &empty);
+        assert_eq!(cmp.precision(), 1.0);
+        assert_eq!(cmp.recall(), 1.0);
+        assert_eq!(cmp.f_score(), 1.0);
+    }
+
+    #[test]
+    fn inference_into_empty_truth() {
+        let empty = DiGraph::empty(3);
+        let inferred = DiGraph::from_edges(3, &[(0, 1)]);
+        let cmp = EdgeSetComparison::against_truth(&empty, &inferred);
+        assert_eq!(cmp.precision(), 0.0);
+        assert_eq!(cmp.recall(), 1.0, "nothing to find");
+        assert_eq!(cmp.f_score(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "share the node set")]
+    fn node_count_mismatch_panics() {
+        EdgeSetComparison::against_truth(&DiGraph::empty(3), &DiGraph::empty(4));
+    }
+
+    #[test]
+    fn stopwatch_measures_time() {
+        let (value, secs) = timed(|| {
+            std::thread::sleep(Duration::from_millis(10));
+            42
+        });
+        assert_eq!(value, 42);
+        assert!(secs >= 0.009, "measured {secs}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Ranking-quality metrics for *scored* edge inferences.
+//!
+//! NetRate and LIFT output a score per potential edge rather than a fixed
+//! edge set; a single-threshold F-score understates what such output
+//! carries. These utilities evaluate the whole ranking: the
+//! precision-recall curve and its summary, average precision (area under
+//! the PR curve by the step-wise convention).
+
+use diffnet_graph::{DiGraph, NodeId};
+
+/// One point of a precision-recall curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PrPoint {
+    /// Prefix length `k` (edges taken, in descending score order).
+    pub k: usize,
+    /// Precision among the top-`k`.
+    pub precision: f64,
+    /// Recall among the top-`k`.
+    pub recall: f64,
+}
+
+/// Computes the precision-recall curve of scored edges against `truth`.
+///
+/// Edges are sorted by descending score (ties broken by `(u, v)` for
+/// determinism); one curve point is emitted per prefix length.
+///
+/// # Panics
+///
+/// Panics if any endpoint is out of range or a score is NaN.
+pub fn precision_recall_curve(
+    truth: &DiGraph,
+    scored: &[(NodeId, NodeId, f64)],
+) -> Vec<PrPoint> {
+    let n = truth.node_count() as u32;
+    let mut sorted: Vec<(NodeId, NodeId, f64)> = scored.to_vec();
+    for &(u, v, w) in &sorted {
+        assert!(u < n && v < n, "edge ({u},{v}) out of range");
+        assert!(!w.is_nan(), "scores must not be NaN");
+    }
+    sorted.sort_unstable_by(|a, b| {
+        b.2.partial_cmp(&a.2)
+            .expect("no NaNs")
+            .then_with(|| (a.0, a.1).cmp(&(b.0, b.1)))
+    });
+
+    let m_true = truth.edge_count();
+    let mut curve = Vec::with_capacity(sorted.len());
+    let mut tp = 0usize;
+    for (k, &(u, v, _)) in sorted.iter().enumerate() {
+        if truth.has_edge(u, v) {
+            tp += 1;
+        }
+        curve.push(PrPoint {
+            k: k + 1,
+            precision: tp as f64 / (k + 1) as f64,
+            recall: if m_true == 0 { 1.0 } else { tp as f64 / m_true as f64 },
+        });
+    }
+    curve
+}
+
+/// Average precision: the mean of the precision values at each rank where
+/// a true edge is retrieved (the step-wise area under the PR curve).
+/// Returns 1.0 for an empty truth and 0.0 when nothing true is retrieved.
+pub fn average_precision(truth: &DiGraph, scored: &[(NodeId, NodeId, f64)]) -> f64 {
+    if truth.edge_count() == 0 {
+        return 1.0;
+    }
+    let curve = precision_recall_curve(truth, scored);
+    let mut sum = 0.0;
+    let mut prev_recall = 0.0;
+    for p in &curve {
+        if p.recall > prev_recall {
+            sum += p.precision;
+            prev_recall = p.recall;
+        }
+    }
+    sum / truth.edge_count() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> DiGraph {
+        DiGraph::from_edges(4, &[(0, 1), (1, 2)])
+    }
+
+    #[test]
+    fn perfect_ranking_has_ap_one() {
+        let scored = vec![(0, 1, 0.9), (1, 2, 0.8), (2, 3, 0.1), (3, 0, 0.05)];
+        assert!((average_precision(&truth(), &scored) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_ranking_has_low_ap() {
+        let scored = vec![(0, 1, 0.1), (1, 2, 0.2), (2, 3, 0.9), (3, 0, 0.8)];
+        let ap = average_precision(&truth(), &scored);
+        // True edges retrieved at ranks 3 and 4: AP = (1/3 + 2/4) / 2.
+        assert!((ap - (1.0 / 3.0 + 0.5) / 2.0).abs() < 1e-12, "ap {ap}");
+    }
+
+    #[test]
+    fn curve_is_monotone_in_recall() {
+        let scored = vec![(0, 1, 0.5), (2, 3, 0.4), (1, 2, 0.3), (3, 0, 0.2)];
+        let curve = precision_recall_curve(&truth(), &scored);
+        assert_eq!(curve.len(), 4);
+        for w in curve.windows(2) {
+            assert!(w[1].recall >= w[0].recall);
+            assert_eq!(w[1].k, w[0].k + 1);
+        }
+        assert!((curve.last().expect("nonempty").recall - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_truth_is_perfect() {
+        let empty = DiGraph::empty(3);
+        assert_eq!(average_precision(&empty, &[(0, 1, 0.5)]), 1.0);
+    }
+
+    #[test]
+    fn nothing_retrieved_is_zero() {
+        let scored = vec![(2, 3, 0.9), (3, 0, 0.8)];
+        assert_eq!(average_precision(&truth(), &scored), 0.0);
+    }
+
+    #[test]
+    fn curve_precision_values() {
+        let scored = vec![(0, 1, 0.9), (2, 3, 0.8), (1, 2, 0.7)];
+        let curve = precision_recall_curve(&truth(), &scored);
+        assert!((curve[0].precision - 1.0).abs() < 1e-12);
+        assert!((curve[1].precision - 0.5).abs() < 1e-12);
+        assert!((curve[2].precision - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        precision_recall_curve(&truth(), &[(0, 9, 0.5)]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Paper-style fixed-width result tables.
+//!
+//! Each figure in the paper plots one metric (F-score or running time)
+//! against a swept parameter, with one series per algorithm. The
+//! reproduction binaries print those series as rows of a plain-text table,
+//! which is also what lands in `EXPERIMENTS.md`.
+
+use std::fmt::Write as _;
+
+/// A result table: a swept-parameter column followed by one column per
+/// algorithm/series.
+#[derive(Clone, Debug)]
+pub struct ResultTable {
+    title: String,
+    param_name: String,
+    series_names: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+}
+
+impl ResultTable {
+    /// A table titled `title`, sweeping `param_name`, with the given series.
+    pub fn new(
+        title: impl Into<String>,
+        param_name: impl Into<String>,
+        series_names: &[&str],
+    ) -> Self {
+        ResultTable {
+            title: title.into(),
+            param_name: param_name.into(),
+            series_names: series_names.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row of values (must match the series count).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a series-count mismatch.
+    pub fn push_row(&mut self, param_value: impl Into<String>, values: &[f64]) {
+        assert_eq!(
+            values.len(),
+            self.series_names.len(),
+            "row width must match series count"
+        );
+        self.rows.push((param_value.into(), values.to_vec()));
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns and 4-decimal values.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = Vec::new();
+        widths.push(
+            self.rows
+                .iter()
+                .map(|(p, _)| p.len())
+                .chain(std::iter::once(self.param_name.len()))
+                .max()
+                .unwrap_or(0),
+        );
+        for (c, name) in self.series_names.iter().enumerate() {
+            let w = self
+                .rows
+                .iter()
+                .map(|(_, vals)| format!("{:.4}", vals[c]).len())
+                .chain(std::iter::once(name.len()))
+                .max()
+                .unwrap_or(0);
+            widths.push(w);
+        }
+
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let mut header = format!("{:<w$}", self.param_name, w = widths[0]);
+        for (c, name) in self.series_names.iter().enumerate() {
+            let _ = write!(header, "  {:>w$}", name, w = widths[c + 1]);
+        }
+        let _ = writeln!(out, "{header}");
+        let _ = writeln!(out, "{}", "-".repeat(header.len()));
+        for (p, vals) in &self.rows {
+            let _ = write!(out, "{:<w$}", p, w = widths[0]);
+            for (c, v) in vals.iter().enumerate() {
+                let _ = write!(out, "  {:>w$.4}", v, w = widths[c + 1]);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders as GitHub-flavoured markdown (for `EXPERIMENTS.md`).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}", self.title);
+        let _ = writeln!(out);
+        let _ = write!(out, "| {} |", self.param_name);
+        for name in &self.series_names {
+            let _ = write!(out, " {name} |");
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "|---|");
+        for _ in &self.series_names {
+            let _ = write!(out, "---|");
+        }
+        let _ = writeln!(out);
+        for (p, vals) in &self.rows {
+            let _ = write!(out, "| {p} |");
+            for v in vals {
+                let _ = write!(out, " {v:.4} |");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ResultTable {
+        let mut t = ResultTable::new("Fig X: demo", "n", &["TENDS", "LIFT"]);
+        t.push_row("100", &[0.91234, 0.5]);
+        t.push_row("200", &[0.9, 0.45]);
+        t
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let s = sample().render();
+        assert!(s.contains("Fig X: demo"));
+        assert!(s.contains("TENDS"));
+        assert!(s.contains("0.9123"));
+        assert!(s.contains("200"));
+    }
+
+    #[test]
+    fn markdown_is_well_formed() {
+        let md = sample().render_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert!(lines[0].starts_with("### "));
+        assert!(lines[2].starts_with("| n |"));
+        assert_eq!(lines[3], "|---|---|---|");
+        assert!(lines[4].contains("| 0.9123 |"));
+    }
+
+    #[test]
+    fn columns_align() {
+        let s = sample().render();
+        let data_lines: Vec<&str> =
+            s.lines().filter(|l| l.starts_with("100") || l.starts_with("200")).collect();
+        assert_eq!(data_lines.len(), 2);
+        assert_eq!(data_lines[0].len(), data_lines[1].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        sample().push_row("300", &[0.1]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(sample().len(), 2);
+        assert!(!sample().is_empty());
+        assert!(ResultTable::new("t", "p", &["a"]).is_empty());
+    }
+}

@@ -1,0 +1,208 @@
+//! Per-process diffusion records and the bundled observation set.
+
+use crate::StatusMatrix;
+use diffnet_graph::NodeId;
+
+/// Sentinel infection time for nodes that were never infected in a process.
+pub const UNINFECTED: u32 = u32::MAX;
+
+/// Everything observable about one diffusion process.
+///
+/// TENDS only uses the final statuses (available via the parent
+/// [`ObservationSet::statuses`] matrix); the seed set is what LIFT consumes,
+/// and the infection rounds form the *cascade* consumed by timestamp-based
+/// baselines (NetRate, MulTree, NetInf).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiffusionRecord {
+    /// Initially infected nodes (infection round 0), sorted.
+    pub sources: Vec<NodeId>,
+    /// Infection round per node; seeds have 0, uninfected nodes
+    /// [`UNINFECTED`].
+    pub times: Vec<u32>,
+}
+
+impl DiffusionRecord {
+    /// Whether node `i` ended up infected.
+    #[inline]
+    pub fn infected(&self, i: NodeId) -> bool {
+        self.times[i as usize] != UNINFECTED
+    }
+
+    /// Whether node `i` was a seed.
+    #[inline]
+    pub fn is_source(&self, i: NodeId) -> bool {
+        self.sources.binary_search(&i).is_ok()
+    }
+
+    /// Infected nodes ordered by infection round (seeds first), ties broken
+    /// by node id — the *cascade* of this process.
+    pub fn cascade(&self) -> Vec<(NodeId, u32)> {
+        let mut c: Vec<(NodeId, u32)> = self
+            .times
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t != UNINFECTED)
+            .map(|(i, &t)| (i as NodeId, t))
+            .collect();
+        c.sort_unstable_by_key(|&(i, t)| (t, i));
+        c
+    }
+
+    /// Number of infected nodes.
+    pub fn infected_count(&self) -> usize {
+        self.times.iter().filter(|&&t| t != UNINFECTED).count()
+    }
+
+    /// Largest infection round (0 if only seeds were infected; 0 for an
+    /// all-uninfected record).
+    pub fn horizon(&self) -> u32 {
+        self.times
+            .iter()
+            .filter(|&&t| t != UNINFECTED)
+            .max()
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+/// Observations from `β` diffusion processes: the status matrix plus the
+/// per-process records.
+///
+/// Invariant: `records[l].times[i] != UNINFECTED  ⇔  statuses.get(l, i)`.
+#[derive(Clone, Debug)]
+pub struct ObservationSet {
+    /// Final statuses, `β × n`.
+    pub statuses: StatusMatrix,
+    /// One record per process, in the same order as matrix rows.
+    pub records: Vec<DiffusionRecord>,
+}
+
+impl ObservationSet {
+    /// Bundles a status matrix with its per-process records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes disagree or the status/record consistency
+    /// invariant is violated.
+    pub fn new(statuses: StatusMatrix, records: Vec<DiffusionRecord>) -> Self {
+        assert_eq!(
+            statuses.num_processes(),
+            records.len(),
+            "one record per status row required"
+        );
+        for (l, rec) in records.iter().enumerate() {
+            assert_eq!(
+                rec.times.len(),
+                statuses.num_nodes(),
+                "record {l} has wrong node count"
+            );
+            for i in 0..statuses.num_nodes() {
+                debug_assert_eq!(
+                    rec.infected(i as NodeId),
+                    statuses.get(l, i as NodeId),
+                    "record {l} disagrees with status matrix at node {i}"
+                );
+            }
+        }
+        ObservationSet { statuses, records }
+    }
+
+    /// Number of processes `β`.
+    pub fn num_processes(&self) -> usize {
+        self.statuses.num_processes()
+    }
+
+    /// Number of nodes `n`.
+    pub fn num_nodes(&self) -> usize {
+        self.statuses.num_nodes()
+    }
+
+    /// Restricts to the first `beta` processes (used by the paper's
+    /// `β`-sweep so that larger budgets extend smaller ones).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta > self.num_processes()`.
+    pub fn truncated(&self, beta: usize) -> ObservationSet {
+        assert!(beta <= self.num_processes());
+        let mut m = StatusMatrix::new(beta, self.num_nodes());
+        for l in 0..beta {
+            for i in 0..self.num_nodes() {
+                if self.statuses.get(l, i as NodeId) {
+                    m.set(l, i as NodeId);
+                }
+            }
+        }
+        ObservationSet::new(m, self.records[..beta].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(times: Vec<u32>, sources: Vec<NodeId>) -> DiffusionRecord {
+        DiffusionRecord { sources, times }
+    }
+
+    #[test]
+    fn infected_and_source_queries() {
+        let r = record(vec![0, UNINFECTED, 2], vec![0]);
+        assert!(r.infected(0) && !r.infected(1) && r.infected(2));
+        assert!(r.is_source(0) && !r.is_source(2));
+        assert_eq!(r.infected_count(), 2);
+        assert_eq!(r.horizon(), 2);
+    }
+
+    #[test]
+    fn cascade_is_time_ordered() {
+        let r = record(vec![2, 0, UNINFECTED, 1, 0], vec![1, 4]);
+        assert_eq!(r.cascade(), vec![(1, 0), (4, 0), (3, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn empty_record() {
+        let r = record(vec![UNINFECTED; 3], vec![]);
+        assert_eq!(r.infected_count(), 0);
+        assert_eq!(r.horizon(), 0);
+        assert!(r.cascade().is_empty());
+    }
+
+    #[test]
+    fn observation_set_consistency() {
+        let statuses = StatusMatrix::from_rows(&[vec![true, false], vec![false, true]]);
+        let records = vec![
+            record(vec![0, UNINFECTED], vec![0]),
+            record(vec![UNINFECTED, 0], vec![1]),
+        ];
+        let obs = ObservationSet::new(statuses, records);
+        assert_eq!(obs.num_processes(), 2);
+        assert_eq!(obs.num_nodes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one record per status row")]
+    fn observation_set_rejects_shape_mismatch() {
+        let statuses = StatusMatrix::from_rows(&[vec![true]]);
+        ObservationSet::new(statuses, vec![]);
+    }
+
+    #[test]
+    fn truncation_keeps_prefix() {
+        let statuses = StatusMatrix::from_rows(&[
+            vec![true, false],
+            vec![false, true],
+            vec![true, true],
+        ]);
+        let records = vec![
+            record(vec![0, UNINFECTED], vec![0]),
+            record(vec![UNINFECTED, 0], vec![1]),
+            record(vec![0, 1], vec![0]),
+        ];
+        let obs = ObservationSet::new(statuses, records);
+        let cut = obs.truncated(2);
+        assert_eq!(cut.num_processes(), 2);
+        assert!(cut.statuses.get(0, 0) && !cut.statuses.get(0, 1));
+        assert_eq!(cut.records.len(), 2);
+    }
+}

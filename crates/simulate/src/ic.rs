@@ -1,0 +1,295 @@
+//! Round-synchronous independent-cascade (IC) simulation.
+//!
+//! This is the diffusion model of the paper's experimental setup: "in each
+//! diffusion process, each infected node tries to infect its uninfected
+//! child nodes with a given propagation probability". A node infected in
+//! round `t` makes exactly one attempt per uninfected out-neighbor in round
+//! `t + 1`; the process runs until no new infections occur.
+
+use crate::{DiffusionRecord, EdgeProbs, ObservationSet, StatusMatrix, UNINFECTED};
+use diffnet_graph::{DiGraph, NodeId};
+use rand::Rng;
+
+/// Parameters of a batch of simulated diffusion processes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IcConfig {
+    /// Fraction `α` of nodes seeded per process (`⌈αn⌉` seeds, at least 1).
+    pub initial_ratio: f64,
+    /// Number of processes `β`.
+    pub num_processes: usize,
+}
+
+impl Default for IcConfig {
+    /// The paper's default setting: `α = 0.15`, `β = 150`.
+    fn default() -> Self {
+        IcConfig { initial_ratio: 0.15, num_processes: 150 }
+    }
+}
+
+/// Independent-cascade simulator bound to a graph and its edge
+/// probabilities.
+pub struct IndependentCascade<'a> {
+    graph: &'a DiGraph,
+    probs: &'a EdgeProbs,
+}
+
+impl<'a> IndependentCascade<'a> {
+    /// Binds the simulator to `graph` with `probs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs` does not cover exactly the graph's edges.
+    pub fn new(graph: &'a DiGraph, probs: &'a EdgeProbs) -> Self {
+        assert_eq!(
+            probs.len(),
+            graph.edge_count(),
+            "edge probabilities must cover every edge"
+        );
+        IndependentCascade { graph, probs }
+    }
+
+    /// Runs one process from the given seed set and returns its record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a seed id is out of range.
+    pub fn run_once<R: Rng + ?Sized>(
+        &self,
+        seeds: &[NodeId],
+        rng: &mut R,
+    ) -> DiffusionRecord {
+        let n = self.graph.node_count();
+        let mut times = vec![UNINFECTED; n];
+        let mut frontier: Vec<NodeId> = Vec::with_capacity(seeds.len());
+        for &s in seeds {
+            assert!((s as usize) < n, "seed {s} out of range");
+            if times[s as usize] == UNINFECTED {
+                times[s as usize] = 0;
+                frontier.push(s);
+            }
+        }
+
+        let mut round: u32 = 0;
+        let mut next: Vec<NodeId> = Vec::new();
+        while !frontier.is_empty() {
+            round += 1;
+            next.clear();
+            for &u in &frontier {
+                let base = match self.graph.out_neighbors(u).first() {
+                    Some(&first) => self
+                        .graph
+                        .edge_index(u, first)
+                        .expect("first out-neighbor has an index"),
+                    None => continue,
+                };
+                for (off, &v) in self.graph.out_neighbors(u).iter().enumerate() {
+                    if times[v as usize] != UNINFECTED {
+                        continue;
+                    }
+                    if rng.gen_bool(self.probs.at(base + off)) {
+                        times[v as usize] = round;
+                        next.push(v);
+                    }
+                }
+            }
+            std::mem::swap(&mut frontier, &mut next);
+        }
+
+        let mut sources = seeds.to_vec();
+        sources.sort_unstable();
+        sources.dedup();
+        DiffusionRecord { sources, times }
+    }
+
+    /// Runs `cfg.num_processes` processes with uniformly random seed sets of
+    /// size `⌈α·n⌉` and returns the full observation set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_ratio` is not in `(0, 1]` or the graph is empty.
+    pub fn observe<R: Rng + ?Sized>(&self, cfg: IcConfig, rng: &mut R) -> ObservationSet {
+        let n = self.graph.node_count();
+        assert!(n > 0, "cannot simulate on an empty graph");
+        assert!(
+            cfg.initial_ratio > 0.0 && cfg.initial_ratio <= 1.0,
+            "initial_ratio must be in (0, 1], got {}",
+            cfg.initial_ratio
+        );
+        let num_seeds = ((cfg.initial_ratio * n as f64).ceil() as usize).clamp(1, n);
+
+        let mut statuses = StatusMatrix::new(cfg.num_processes, n);
+        let mut records = Vec::with_capacity(cfg.num_processes);
+        let mut pool: Vec<NodeId> = (0..n as NodeId).collect();
+
+        for l in 0..cfg.num_processes {
+            // Partial Fisher–Yates: the first `num_seeds` entries become a
+            // uniform sample without replacement.
+            for i in 0..num_seeds {
+                let j = rng.gen_range(i..n);
+                pool.swap(i, j);
+            }
+            let record = self.run_once(&pool[..num_seeds], rng);
+            for i in 0..n {
+                if record.infected(i as NodeId) {
+                    statuses.set(l, i as NodeId);
+                }
+            }
+            records.push(record);
+        }
+        ObservationSet::new(statuses, records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain(n: usize) -> DiGraph {
+        let edges: Vec<(NodeId, NodeId)> =
+            (0..n - 1).map(|i| (i as NodeId, (i + 1) as NodeId)).collect();
+        DiGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn seeds_are_always_infected() {
+        let g = chain(5);
+        let probs = EdgeProbs::constant(&g, 0.0);
+        let sim = IndependentCascade::new(&g, &probs);
+        let mut rng = StdRng::seed_from_u64(41);
+        let rec = sim.run_once(&[2], &mut rng);
+        assert_eq!(rec.times[2], 0);
+        assert_eq!(rec.infected_count(), 1, "p = 0 spreads nothing");
+    }
+
+    #[test]
+    fn full_probability_infects_reachable_set_with_bfs_times() {
+        let g = chain(5);
+        let probs = EdgeProbs::constant(&g, 1.0);
+        let sim = IndependentCascade::new(&g, &probs);
+        let mut rng = StdRng::seed_from_u64(42);
+        let rec = sim.run_once(&[0], &mut rng);
+        assert_eq!(rec.times, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn infection_respects_edge_direction() {
+        let g = chain(3);
+        let probs = EdgeProbs::constant(&g, 1.0);
+        let sim = IndependentCascade::new(&g, &probs);
+        let mut rng = StdRng::seed_from_u64(43);
+        let rec = sim.run_once(&[2], &mut rng);
+        assert!(!rec.infected(0) && !rec.infected(1), "no backward spread");
+    }
+
+    #[test]
+    fn duplicate_seeds_are_deduped() {
+        let g = chain(3);
+        let probs = EdgeProbs::constant(&g, 0.0);
+        let sim = IndependentCascade::new(&g, &probs);
+        let mut rng = StdRng::seed_from_u64(44);
+        let rec = sim.run_once(&[1, 1, 1], &mut rng);
+        assert_eq!(rec.sources, vec![1]);
+    }
+
+    #[test]
+    fn each_edge_attempted_once() {
+        // With p = 0.5 on a single edge, infection frequency across many
+        // processes must be ~0.5 (one attempt only).
+        let g = DiGraph::from_edges(2, &[(0, 1)]);
+        let probs = EdgeProbs::constant(&g, 0.5);
+        let sim = IndependentCascade::new(&g, &probs);
+        let mut rng = StdRng::seed_from_u64(45);
+        let trials = 10_000;
+        let mut hits = 0;
+        for _ in 0..trials {
+            if sim.run_once(&[0], &mut rng).infected(1) {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / trials as f64;
+        assert!((rate - 0.5).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn observe_shapes_and_seed_count() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let g = diffnet_graph::generators::erdos_renyi_gnm(40, 160, &mut rng);
+        let probs = EdgeProbs::gaussian(&g, 0.3, 0.05, &mut rng);
+        let sim = IndependentCascade::new(&g, &probs);
+        let obs = sim.observe(
+            IcConfig { initial_ratio: 0.15, num_processes: 30 },
+            &mut rng,
+        );
+        assert_eq!(obs.num_processes(), 30);
+        assert_eq!(obs.num_nodes(), 40);
+        for rec in &obs.records {
+            assert_eq!(rec.sources.len(), 6, "⌈0.15 × 40⌉ = 6 seeds");
+            for &s in &rec.sources {
+                assert_eq!(rec.times[s as usize], 0);
+            }
+        }
+    }
+
+    #[test]
+    fn statuses_match_records() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let g = diffnet_graph::generators::erdos_renyi_gnm(30, 120, &mut rng);
+        let probs = EdgeProbs::gaussian(&g, 0.3, 0.05, &mut rng);
+        let sim = IndependentCascade::new(&g, &probs);
+        let obs = sim.observe(
+            IcConfig { initial_ratio: 0.1, num_processes: 20 },
+            &mut rng,
+        );
+        for (l, rec) in obs.records.iter().enumerate() {
+            for i in 0..obs.num_nodes() {
+                assert_eq!(rec.infected(i as NodeId), obs.statuses.get(l, i as NodeId));
+            }
+        }
+    }
+
+    #[test]
+    fn infection_closure_only_reaches_out_neighbors() {
+        // Every infected non-seed must have an infected in-neighbor with an
+        // earlier infection time.
+        let mut rng = StdRng::seed_from_u64(48);
+        let g = diffnet_graph::generators::erdos_renyi_gnm(50, 300, &mut rng);
+        let probs = EdgeProbs::gaussian(&g, 0.4, 0.05, &mut rng);
+        let sim = IndependentCascade::new(&g, &probs);
+        let obs = sim.observe(
+            IcConfig { initial_ratio: 0.1, num_processes: 25 },
+            &mut rng,
+        );
+        for rec in &obs.records {
+            for i in 0..50u32 {
+                let t = rec.times[i as usize];
+                if t == UNINFECTED || t == 0 {
+                    continue;
+                }
+                let has_earlier_parent = g
+                    .in_neighbors(i)
+                    .iter()
+                    .any(|&p| rec.times[p as usize] == t - 1);
+                assert!(has_earlier_parent, "node {i} infected at {t} with no parent at {}", t - 1);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "initial_ratio")]
+    fn observe_rejects_zero_ratio() {
+        let g = chain(3);
+        let probs = EdgeProbs::constant(&g, 0.3);
+        let sim = IndependentCascade::new(&g, &probs);
+        let mut rng = StdRng::seed_from_u64(49);
+        sim.observe(IcConfig { initial_ratio: 0.0, num_processes: 1 }, &mut rng);
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let cfg = IcConfig::default();
+        assert_eq!(cfg.initial_ratio, 0.15);
+        assert_eq!(cfg.num_processes, 150);
+    }
+}

@@ -1,0 +1,313 @@
+//! On-disk formats for observations.
+//!
+//! * **Status matrix** — one line per diffusion process, `n` space-
+//!   separated `0`/`1` digits; `#` lines are comments. This is the
+//!   interchange format for status-only pipelines (all TENDS needs).
+//! * **Observation set** — the status format plus, per process, a
+//!   `sources:` line and a `times:` line (with `-` for never-infected), so
+//!   cascade-based baselines can be replayed from disk too.
+
+use crate::{DiffusionRecord, ObservationSet, StatusMatrix, UNINFECTED};
+use diffnet_graph::NodeId;
+use std::fmt;
+use std::fs;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors from observation parsing.
+#[derive(Debug)]
+pub enum ObservationIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Malformed content.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for ObservationIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObservationIoError::Io(e) => write!(f, "observation I/O error: {e}"),
+            ObservationIoError::Parse { line, message } => {
+                write!(f, "observation parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ObservationIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ObservationIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ObservationIoError {
+    fn from(e: io::Error) -> Self {
+        ObservationIoError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> ObservationIoError {
+    ObservationIoError::Parse { line, message: message.into() }
+}
+
+/// Writes a status matrix: one `0`/`1` row per process.
+pub fn write_status_matrix<W: Write>(m: &StatusMatrix, mut w: W) -> io::Result<()> {
+    writeln!(w, "# diffnet status matrix: {} processes x {} nodes", m.num_processes(), m.num_nodes())?;
+    let mut line = String::with_capacity(2 * m.num_nodes());
+    for l in 0..m.num_processes() {
+        line.clear();
+        for i in 0..m.num_nodes() as NodeId {
+            if i > 0 {
+                line.push(' ');
+            }
+            line.push(if m.get(l, i) { '1' } else { '0' });
+        }
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Reads a status matrix written by [`write_status_matrix`].
+pub fn read_status_matrix<R: Read>(r: R) -> Result<StatusMatrix, ObservationIoError> {
+    let mut rows: Vec<Vec<bool>> = Vec::new();
+    for (idx, line) in BufReader::new(r).lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let row: Result<Vec<bool>, _> = t
+            .split_whitespace()
+            .map(|tok| match tok {
+                "0" => Ok(false),
+                "1" => Ok(true),
+                other => Err(parse_err(idx + 1, format!("expected 0/1, got {other:?}"))),
+            })
+            .collect();
+        let row = row?;
+        if let Some(first) = rows.first() {
+            if first.len() != row.len() {
+                return Err(parse_err(
+                    idx + 1,
+                    format!("row has {} entries, expected {}", row.len(), first.len()),
+                ));
+            }
+        }
+        rows.push(row);
+    }
+    Ok(StatusMatrix::from_rows(&rows))
+}
+
+/// Saves a status matrix to a file.
+pub fn save_status_matrix<P: AsRef<Path>>(m: &StatusMatrix, path: P) -> io::Result<()> {
+    write_status_matrix(m, io::BufWriter::new(fs::File::create(path)?))
+}
+
+/// Loads a status matrix from a file.
+pub fn load_status_matrix<P: AsRef<Path>>(path: P) -> Result<StatusMatrix, ObservationIoError> {
+    read_status_matrix(fs::File::open(path)?)
+}
+
+/// Writes a full observation set: per process a `sources:` line and a
+/// `times:` line (`-` = never infected).
+pub fn write_observations<W: Write>(obs: &ObservationSet, mut w: W) -> io::Result<()> {
+    writeln!(
+        w,
+        "# diffnet observations: {} processes x {} nodes",
+        obs.num_processes(),
+        obs.num_nodes()
+    )?;
+    writeln!(w, "nodes: {}", obs.num_nodes())?;
+    for rec in &obs.records {
+        write!(w, "sources:")?;
+        for &s in &rec.sources {
+            write!(w, " {s}")?;
+        }
+        writeln!(w)?;
+        write!(w, "times:")?;
+        for &t in &rec.times {
+            if t == UNINFECTED {
+                write!(w, " -")?;
+            } else {
+                write!(w, " {t}")?;
+            }
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Reads an observation set written by [`write_observations`].
+pub fn read_observations<R: Read>(r: R) -> Result<ObservationSet, ObservationIoError> {
+    let mut n: Option<usize> = None;
+    let mut records: Vec<DiffusionRecord> = Vec::new();
+    let mut pending_sources: Option<Vec<NodeId>> = None;
+
+    for (idx, line) in BufReader::new(r).lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = t.strip_prefix("nodes:") {
+            n = Some(
+                rest.trim()
+                    .parse()
+                    .map_err(|_| parse_err(idx + 1, "invalid node count"))?,
+            );
+        } else if let Some(rest) = t.strip_prefix("sources:") {
+            if pending_sources.is_some() {
+                return Err(parse_err(idx + 1, "sources line without matching times"));
+            }
+            let sources: Result<Vec<NodeId>, _> = rest
+                .split_whitespace()
+                .map(|tok| {
+                    tok.parse::<NodeId>()
+                        .map_err(|_| parse_err(idx + 1, format!("invalid source {tok:?}")))
+                })
+                .collect();
+            pending_sources = Some(sources?);
+        } else if let Some(rest) = t.strip_prefix("times:") {
+            let sources = pending_sources
+                .take()
+                .ok_or_else(|| parse_err(idx + 1, "times line without sources"))?;
+            let times: Result<Vec<u32>, _> = rest
+                .split_whitespace()
+                .map(|tok| {
+                    if tok == "-" {
+                        Ok(UNINFECTED)
+                    } else {
+                        tok.parse::<u32>()
+                            .map_err(|_| parse_err(idx + 1, format!("invalid time {tok:?}")))
+                    }
+                })
+                .collect();
+            let times = times?;
+            let expected = n.ok_or_else(|| parse_err(idx + 1, "missing nodes: header"))?;
+            if times.len() != expected {
+                return Err(parse_err(
+                    idx + 1,
+                    format!("expected {expected} times, got {}", times.len()),
+                ));
+            }
+            records.push(DiffusionRecord { sources, times });
+        } else {
+            return Err(parse_err(idx + 1, format!("unrecognized line {t:?}")));
+        }
+    }
+    if pending_sources.is_some() {
+        return Err(parse_err(0, "trailing sources line without times"));
+    }
+
+    let n = n.unwrap_or(0);
+    let mut statuses = StatusMatrix::new(records.len(), n);
+    for (l, rec) in records.iter().enumerate() {
+        for i in 0..n as NodeId {
+            if rec.infected(i) {
+                statuses.set(l, i);
+            }
+        }
+    }
+    Ok(ObservationSet::new(statuses, records))
+}
+
+/// Saves a full observation set to a file.
+pub fn save_observations<P: AsRef<Path>>(obs: &ObservationSet, path: P) -> io::Result<()> {
+    write_observations(obs, io::BufWriter::new(fs::File::create(path)?))
+}
+
+/// Loads a full observation set from a file.
+pub fn load_observations<P: AsRef<Path>>(path: P) -> Result<ObservationSet, ObservationIoError> {
+    read_observations(fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_obs() -> ObservationSet {
+        use crate::{EdgeProbs, IcConfig, IndependentCascade};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let g = diffnet_graph::DiGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let probs = EdgeProbs::constant(&g, 0.6);
+        let mut rng = StdRng::seed_from_u64(9);
+        IndependentCascade::new(&g, &probs)
+            .observe(IcConfig { initial_ratio: 0.2, num_processes: 12 }, &mut rng)
+    }
+
+    #[test]
+    fn status_matrix_round_trip() {
+        let obs = sample_obs();
+        let mut buf = Vec::new();
+        write_status_matrix(&obs.statuses, &mut buf).expect("write");
+        let back = read_status_matrix(buf.as_slice()).expect("read");
+        assert_eq!(back, obs.statuses);
+    }
+
+    #[test]
+    fn observations_round_trip() {
+        let obs = sample_obs();
+        let mut buf = Vec::new();
+        write_observations(&obs, &mut buf).expect("write");
+        let back = read_observations(buf.as_slice()).expect("read");
+        assert_eq!(back.statuses, obs.statuses);
+        assert_eq!(back.records, obs.records);
+    }
+
+    #[test]
+    fn status_matrix_rejects_bad_token() {
+        let err = read_status_matrix("0 1 2\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("expected 0/1"));
+    }
+
+    #[test]
+    fn status_matrix_rejects_ragged_rows() {
+        let err = read_status_matrix("0 1\n0 1 1\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("expected 2"));
+    }
+
+    #[test]
+    fn observations_reject_times_without_sources() {
+        let text = "nodes: 2\ntimes: 0 -\n";
+        let err = read_observations(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("without sources"));
+    }
+
+    #[test]
+    fn observations_reject_wrong_width() {
+        let text = "nodes: 3\nsources: 0\ntimes: 0 -\n";
+        let err = read_observations(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("expected 3 times"));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(read_status_matrix("".as_bytes()).expect("ok").num_processes(), 0);
+        let obs = read_observations("".as_bytes()).expect("ok");
+        assert_eq!(obs.num_processes(), 0);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("diffnet_sim_io_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let obs = sample_obs();
+        let p1 = dir.join("statuses.txt");
+        save_status_matrix(&obs.statuses, &p1).expect("save");
+        assert_eq!(load_status_matrix(&p1).expect("load"), obs.statuses);
+        let p2 = dir.join("obs.txt");
+        save_observations(&obs, &p2).expect("save");
+        assert_eq!(load_observations(&p2).expect("load").records, obs.records);
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+    }
+}

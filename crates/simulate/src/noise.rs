@@ -1,0 +1,170 @@
+//! Observation-noise injection for robustness studies.
+//!
+//! Real infection monitoring is imperfect: asymptomatic infections are
+//! missed (false negatives) and unrelated symptoms are misattributed
+//! (false positives). These utilities corrupt recorded observations so
+//! experiments can measure how inference degrades — complementing the
+//! paper's argument that *timestamps* are the least reliable part of a
+//! diffusion observation.
+
+use crate::{DiffusionRecord, ObservationSet, StatusMatrix, UNINFECTED};
+use diffnet_graph::NodeId;
+use rand::Rng;
+
+/// Flips recorded statuses: each infected entry is dropped with
+/// probability `miss_rate` (false negative) and each uninfected entry is
+/// set with probability `false_alarm_rate` (false positive).
+///
+/// Returns a bare status matrix — after corruption there is no consistent
+/// cascade to pair it with, which mirrors reality: a noisy registry has no
+/// reliable timeline either.
+///
+/// # Panics
+///
+/// Panics if either rate is outside `[0, 1]`.
+pub fn flip_statuses<R: Rng + ?Sized>(
+    statuses: &StatusMatrix,
+    miss_rate: f64,
+    false_alarm_rate: f64,
+    rng: &mut R,
+) -> StatusMatrix {
+    assert!((0.0..=1.0).contains(&miss_rate), "miss_rate must be a probability");
+    assert!(
+        (0.0..=1.0).contains(&false_alarm_rate),
+        "false_alarm_rate must be a probability"
+    );
+    let beta = statuses.num_processes();
+    let n = statuses.num_nodes();
+    let mut out = StatusMatrix::new(beta, n);
+    for l in 0..beta {
+        for i in 0..n as NodeId {
+            let observed = if statuses.get(l, i) {
+                !(miss_rate > 0.0 && rng.gen_bool(miss_rate))
+            } else {
+                false_alarm_rate > 0.0 && rng.gen_bool(false_alarm_rate)
+            };
+            if observed {
+                out.set(l, i);
+            }
+        }
+    }
+    out
+}
+
+/// Perturbs recorded infection *times*: each non-seed infection time is
+/// delayed by `1..=max_delay` extra rounds with probability `rate`
+/// (incubation-period noise). Statuses are untouched, so status-only
+/// methods are unaffected by construction.
+///
+/// # Panics
+///
+/// Panics if `rate` is outside `[0, 1]` or `max_delay == 0`.
+pub fn delay_timestamps<R: Rng + ?Sized>(
+    obs: &ObservationSet,
+    rate: f64,
+    max_delay: u32,
+    rng: &mut R,
+) -> ObservationSet {
+    assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+    assert!(max_delay >= 1, "max_delay must be at least 1");
+    let records: Vec<DiffusionRecord> = obs
+        .records
+        .iter()
+        .map(|rec| {
+            let times = rec
+                .times
+                .iter()
+                .map(|&t| {
+                    if t == UNINFECTED || t == 0 || rate == 0.0 || !rng.gen_bool(rate) {
+                        t
+                    } else {
+                        t + rng.gen_range(1..=max_delay)
+                    }
+                })
+                .collect();
+            DiffusionRecord { sources: rec.sources.clone(), times }
+        })
+        .collect();
+    ObservationSet::new(obs.statuses.clone(), records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> StatusMatrix {
+        let rows: Vec<Vec<bool>> = (0..200).map(|l| vec![l % 2 == 0, l % 3 == 0]).collect();
+        StatusMatrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let m = sample();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(flip_statuses(&m, 0.0, 0.0, &mut rng), m);
+    }
+
+    #[test]
+    fn full_miss_rate_clears_everything() {
+        let m = sample();
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = flip_statuses(&m, 1.0, 0.0, &mut rng);
+        assert_eq!(out.infected_fraction(), 0.0);
+    }
+
+    #[test]
+    fn miss_rate_is_calibrated() {
+        let m = sample();
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = flip_statuses(&m, 0.3, 0.0, &mut rng);
+        let before = m.infection_count(0) as f64;
+        let after = out.infection_count(0) as f64;
+        assert!((after / before - 0.7).abs() < 0.15, "kept {}", after / before);
+    }
+
+    #[test]
+    fn false_alarms_only_add() {
+        let m = sample();
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = flip_statuses(&m, 0.0, 0.2, &mut rng);
+        for l in 0..m.num_processes() {
+            for i in 0..m.num_nodes() as NodeId {
+                if m.get(l, i) {
+                    assert!(out.get(l, i), "true infections must survive");
+                }
+            }
+        }
+        assert!(out.infected_fraction() > m.infected_fraction());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a probability")]
+    fn invalid_rate_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        flip_statuses(&sample(), 1.5, 0.0, &mut rng);
+    }
+
+    #[test]
+    fn delay_preserves_statuses_and_seeds() {
+        use crate::{EdgeProbs, IcConfig, IndependentCascade};
+        let g = diffnet_graph::DiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let probs = EdgeProbs::constant(&g, 0.7);
+        let mut rng = StdRng::seed_from_u64(6);
+        let obs = IndependentCascade::new(&g, &probs)
+            .observe(IcConfig { initial_ratio: 0.2, num_processes: 50 }, &mut rng);
+        let noisy = delay_timestamps(&obs, 1.0, 3, &mut rng);
+        assert_eq!(noisy.statuses, obs.statuses);
+        for (clean, dirty) in obs.records.iter().zip(&noisy.records) {
+            assert_eq!(clean.sources, dirty.sources);
+            for (i, (&tc, &td)) in clean.times.iter().zip(&dirty.times).enumerate() {
+                if tc == UNINFECTED || tc == 0 {
+                    assert_eq!(tc, td, "node {i}");
+                } else {
+                    assert!(td > tc && td <= tc + 3, "node {i}: {tc} -> {td}");
+                }
+            }
+        }
+    }
+}

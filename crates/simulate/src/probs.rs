@@ -1,0 +1,186 @@
+//! Per-edge propagation probabilities.
+
+use diffnet_graph::{DiGraph, NodeId};
+use rand::Rng;
+
+/// One draw from a normal distribution via the Box–Muller transform.
+///
+/// Hand-rolled so the workspace does not need `rand_distr`; adequate for
+/// sampling propagation probabilities.
+pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    mu + sigma * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Propagation probabilities attached to the edges of a [`DiGraph`],
+/// indexed by [`DiGraph::edge_index`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct EdgeProbs {
+    probs: Vec<f64>,
+}
+
+impl EdgeProbs {
+    /// Minimum / maximum probability after clamping; keeps every edge
+    /// usable while staying a valid Bernoulli parameter.
+    pub const CLAMP: (f64, f64) = (0.001, 0.999);
+
+    /// Draws each edge's probability from `N(mu, sigma²)`, clamped into
+    /// [`EdgeProbs::CLAMP`].
+    ///
+    /// The paper uses `mu ∈ [0.2, 0.4]` with `sigma = 0.05` so that "more
+    /// than 95% of all propagation probabilities are within `μ ± 0.1`".
+    pub fn gaussian<R: Rng + ?Sized>(
+        g: &DiGraph,
+        mu: f64,
+        sigma: f64,
+        rng: &mut R,
+    ) -> Self {
+        let probs = (0..g.edge_count())
+            .map(|_| sample_normal(rng, mu, sigma).clamp(Self::CLAMP.0, Self::CLAMP.1))
+            .collect();
+        EdgeProbs { probs }
+    }
+
+    /// The same probability `p` on every edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn constant(g: &DiGraph, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+        EdgeProbs { probs: vec![p; g.edge_count()] }
+    }
+
+    /// Builds from an explicit per-edge vector (must match
+    /// [`DiGraph::edge_count`] and [`DiGraph::edge_index`] order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length mismatches or any value is outside `[0, 1]`.
+    pub fn from_vec(g: &DiGraph, probs: Vec<f64>) -> Self {
+        assert_eq!(
+            probs.len(),
+            g.edge_count(),
+            "probability vector length must equal edge count"
+        );
+        assert!(
+            probs.iter().all(|p| (0.0..=1.0).contains(p)),
+            "all probabilities must be in [0, 1]"
+        );
+        EdgeProbs { probs }
+    }
+
+    /// Probability of edge `u -> v` in `g`, or `None` if the edge does not
+    /// exist.
+    #[inline]
+    pub fn get(&self, g: &DiGraph, u: NodeId, v: NodeId) -> Option<f64> {
+        g.edge_index(u, v).map(|i| self.probs[i])
+    }
+
+    /// Probability at a dense edge index (see [`DiGraph::edge_index`]).
+    #[inline]
+    pub fn at(&self, edge_index: usize) -> f64 {
+        self.probs[edge_index]
+    }
+
+    /// Number of edges covered.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Whether there are no edges.
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Mean probability across edges (`NaN`-free; 0 for empty graphs).
+    pub fn mean(&self) -> f64 {
+        if self.probs.is_empty() {
+            0.0
+        } else {
+            self.probs.iter().sum::<f64>() / self.probs.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_sampling_moments() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let samples: Vec<f64> =
+            (0..20_000).map(|_| sample_normal(&mut rng, 0.3, 0.05)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / samples.len() as f64;
+        assert!((mean - 0.3).abs() < 0.005, "mean {mean}");
+        assert!((var.sqrt() - 0.05).abs() < 0.005, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn paper_spread_property() {
+        // "more than 95% of all propagation probabilities are within μ±0.1"
+        let mut rng = StdRng::seed_from_u64(32);
+        let within = (0..10_000)
+            .map(|_| sample_normal(&mut rng, 0.3, 0.05))
+            .filter(|p| (p - 0.3).abs() <= 0.1)
+            .count();
+        assert!(within > 9_500, "only {within}/10000 within ±0.1");
+    }
+
+    #[test]
+    fn gaussian_probs_are_clamped() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let g = diffnet_graph::generators::erdos_renyi_gnm(50, 500, &mut rng);
+        let probs = EdgeProbs::gaussian(&g, 0.05, 0.5, &mut rng);
+        for i in 0..probs.len() {
+            let p = probs.at(i);
+            assert!((EdgeProbs::CLAMP.0..=EdgeProbs::CLAMP.1).contains(&p));
+        }
+    }
+
+    #[test]
+    fn constant_and_lookup() {
+        let g = diffnet_graph::DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let probs = EdgeProbs::constant(&g, 0.4);
+        assert_eq!(probs.get(&g, 0, 1), Some(0.4));
+        assert_eq!(probs.get(&g, 1, 0), None);
+        assert_eq!(probs.mean(), 0.4);
+        assert_eq!(probs.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a probability")]
+    fn constant_rejects_invalid() {
+        let g = diffnet_graph::DiGraph::empty(2);
+        EdgeProbs::constant(&g, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must equal")]
+    fn from_vec_rejects_wrong_length() {
+        let g = diffnet_graph::DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        EdgeProbs::from_vec(&g, vec![0.5]);
+    }
+
+    #[test]
+    fn from_vec_matches_edge_index_order() {
+        let g = diffnet_graph::DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let probs = EdgeProbs::from_vec(&g, vec![0.1, 0.9]);
+        assert_eq!(probs.get(&g, 0, 1), Some(0.1));
+        assert_eq!(probs.get(&g, 1, 2), Some(0.9));
+    }
+
+    #[test]
+    fn empty_graph_probs() {
+        let g = diffnet_graph::DiGraph::empty(4);
+        let probs = EdgeProbs::constant(&g, 0.3);
+        assert!(probs.is_empty());
+        assert_eq!(probs.mean(), 0.0);
+    }
+}

@@ -1,0 +1,474 @@
+//! Bit-packed infection status matrix and its counting kernels.
+//!
+//! The status matrix `S ∈ {0,1}^{β×n}` is the *only* input TENDS consumes.
+//! Its hot operations are:
+//!
+//! * pairwise joint counts (for the infection-MI pruning) — served by a
+//!   column-major transpose ([`NodeColumns`]) where each count is a few
+//!   `popcount`s, and
+//! * parent-combination counts `N_ijk` (for the scoring criterion) —
+//!   served by [`StatusMatrix::combo_counts`], a row scan that assembles
+//!   each process's combination index bit by bit.
+
+use diffnet_graph::NodeId;
+
+const WORD_BITS: usize = 64;
+
+/// A `β × n` binary matrix: row `ℓ` holds the final infection statuses of
+/// all `n` nodes in the `ℓ`-th diffusion process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StatusMatrix {
+    beta: usize,
+    n: usize,
+    words_per_row: usize,
+    rows: Vec<u64>,
+}
+
+impl StatusMatrix {
+    /// An all-uninfected matrix for `beta` processes over `n` nodes.
+    pub fn new(beta: usize, n: usize) -> Self {
+        let words_per_row = n.div_ceil(WORD_BITS).max(1);
+        StatusMatrix { beta, n, words_per_row, rows: vec![0; beta * words_per_row] }
+    }
+
+    /// Builds from boolean rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<bool>]) -> Self {
+        let beta = rows.len();
+        let n = rows.first().map_or(0, |r| r.len());
+        let mut m = StatusMatrix::new(beta, n);
+        for (l, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), n, "row {l} has inconsistent length");
+            for (i, &infected) in row.iter().enumerate() {
+                if infected {
+                    m.set(l, i as NodeId);
+                }
+            }
+        }
+        m
+    }
+
+    /// Number of processes `β`.
+    #[inline]
+    pub fn num_processes(&self) -> usize {
+        self.beta
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Marks node `i` infected in process `l`.
+    #[inline]
+    pub fn set(&mut self, l: usize, i: NodeId) {
+        debug_assert!(l < self.beta && (i as usize) < self.n);
+        let w = l * self.words_per_row + (i as usize) / WORD_BITS;
+        self.rows[w] |= 1u64 << ((i as usize) % WORD_BITS);
+    }
+
+    /// Whether node `i` is infected in process `l`.
+    #[inline]
+    pub fn get(&self, l: usize, i: NodeId) -> bool {
+        debug_assert!(l < self.beta && (i as usize) < self.n);
+        let w = l * self.words_per_row + (i as usize) / WORD_BITS;
+        (self.rows[w] >> ((i as usize) % WORD_BITS)) & 1 == 1
+    }
+
+    /// Number of infected nodes in process `l`.
+    pub fn infected_in_process(&self, l: usize) -> usize {
+        let start = l * self.words_per_row;
+        self.rows[start..start + self.words_per_row]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Number of processes in which node `i` ends up infected — the paper's
+    /// `N₂` for node `i` (`N₁ = β − N₂`).
+    pub fn infection_count(&self, i: NodeId) -> usize {
+        (0..self.beta).filter(|&l| self.get(l, i)).count()
+    }
+
+    /// Counts `N_ijk` for child `i` with ordered parent set `parents`.
+    ///
+    /// Returns a vector of length `2^|parents|`; entry `j` is `[N_ij1,
+    /// N_ij2]`, i.e. the number of processes where the parents' statuses
+    /// form combination `j` (parent `t`'s status is bit `t` of `j`) and the
+    /// child is uninfected (`k=1`, status 0) / infected (`k=2`, status 1),
+    /// following the paper's `s₁ = 0, s₂ = 1` convention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parents.len() >= 26` (combination table would not fit in
+    /// memory; TENDS's Theorem-2 bound keeps real parent sets far smaller).
+    pub fn combo_counts(&self, child: NodeId, parents: &[NodeId]) -> Vec<[u64; 2]> {
+        assert!(
+            parents.len() < 26,
+            "parent set of {} nodes is too large to tabulate",
+            parents.len()
+        );
+        let mut counts = vec![[0u64; 2]; 1usize << parents.len()];
+        for l in 0..self.beta {
+            let mut j = 0usize;
+            for (t, &p) in parents.iter().enumerate() {
+                if self.get(l, p) {
+                    j |= 1 << t;
+                }
+            }
+            let k = usize::from(self.get(l, child));
+            counts[j][k] += 1;
+        }
+        counts
+    }
+
+    /// Builds the column-major transpose used for fast pairwise counting.
+    pub fn columns(&self) -> NodeColumns {
+        NodeColumns::from_matrix(self)
+    }
+
+    /// Overall infected fraction across all processes and nodes.
+    pub fn infected_fraction(&self) -> f64 {
+        if self.beta == 0 || self.n == 0 {
+            return 0.0;
+        }
+        let total: usize = (0..self.beta).map(|l| self.infected_in_process(l)).sum();
+        total as f64 / (self.beta * self.n) as f64
+    }
+}
+
+/// Joint status counts for a node pair across all processes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PairCounts {
+    /// Processes where both are infected.
+    pub n11: u64,
+    /// Processes where `i` is infected and `j` is not.
+    pub n10: u64,
+    /// Processes where `j` is infected and `i` is not.
+    pub n01: u64,
+    /// Processes where neither is infected.
+    pub n00: u64,
+}
+
+impl PairCounts {
+    /// Total number of processes `β`.
+    pub fn total(&self) -> u64 {
+        self.n11 + self.n10 + self.n01 + self.n00
+    }
+}
+
+/// Column-major bitset view: one `β`-bit vector per node, so pairwise joint
+/// counts are word-parallel `popcount`s.
+#[derive(Clone, Debug)]
+pub struct NodeColumns {
+    beta: usize,
+    words_per_col: usize,
+    cols: Vec<u64>,
+}
+
+impl NodeColumns {
+    fn from_matrix(m: &StatusMatrix) -> Self {
+        let words_per_col = m.beta.div_ceil(WORD_BITS).max(1);
+        let mut cols = vec![0u64; m.n * words_per_col];
+        for l in 0..m.beta {
+            for i in 0..m.n {
+                if m.get(l, i as NodeId) {
+                    cols[i * words_per_col + l / WORD_BITS] |=
+                        1u64 << (l % WORD_BITS);
+                }
+            }
+        }
+        NodeColumns { beta: m.beta, words_per_col, cols }
+    }
+
+    /// Number of processes `β`.
+    pub fn num_processes(&self) -> usize {
+        self.beta
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.cols.len().checked_div(self.words_per_col).unwrap_or(0)
+    }
+
+    #[inline]
+    fn col(&self, i: NodeId) -> &[u64] {
+        let i = i as usize;
+        &self.cols[i * self.words_per_col..(i + 1) * self.words_per_col]
+    }
+
+    /// Number of processes where node `i` is infected.
+    pub fn ones(&self, i: NodeId) -> u64 {
+        self.col(i).iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Counts `N_ijk` for child `i` with ordered parent set `parents`,
+    /// word-parallel.
+    ///
+    /// Semantics are identical to [`StatusMatrix::combo_counts`] (entry `j`
+    /// of the result is `[N_ij1, N_ij2]`, parent `t`'s status is bit `t` of
+    /// `j`), but the combination table is built by recursive bitset
+    /// intersection: for `f` parents the cost is `O(2^f · ⌈β/64⌉)` word
+    /// operations instead of `O(β · f)` bit probes. This is the scoring
+    /// hot path of TENDS.
+    pub fn combo_counts(&self, child: NodeId, parents: &[NodeId]) -> Vec<[u64; 2]> {
+        assert!(
+            parents.len() < 26,
+            "parent set of {} nodes is too large to tabulate",
+            parents.len()
+        );
+        let words = self.words_per_col;
+        let mut counts = vec![[0u64; 2]; 1usize << parents.len()];
+        // All-ones mask over the β valid process bits.
+        let mut root = vec![u64::MAX; words];
+        if !self.beta.is_multiple_of(WORD_BITS) {
+            root[words - 1] = (1u64 << (self.beta % WORD_BITS)) - 1;
+        }
+        if self.beta == 0 {
+            root[words - 1] = 0;
+        }
+        self.combo_rec(child, parents, 0, 0, &root, &mut counts);
+        counts
+    }
+
+    fn combo_rec(
+        &self,
+        child: NodeId,
+        parents: &[NodeId],
+        depth: usize,
+        index: usize,
+        mask: &[u64],
+        counts: &mut [[u64; 2]],
+    ) {
+        if depth == parents.len() {
+            let ccol = self.col(child);
+            let mut infected = 0u64;
+            let mut total = 0u64;
+            for (m, c) in mask.iter().zip(ccol) {
+                infected += (m & c).count_ones() as u64;
+                total += m.count_ones() as u64;
+            }
+            counts[index] = [total - infected, infected];
+            return;
+        }
+        // Prune empty branches: every deeper combination has N_ij = 0,
+        // which is what the zero-initialized table already says.
+        if mask.iter().all(|&m| m == 0) {
+            return;
+        }
+        let pcol = self.col(parents[depth]);
+        let zero: Vec<u64> = mask.iter().zip(pcol).map(|(m, p)| m & !p).collect();
+        let one: Vec<u64> = mask.iter().zip(pcol).map(|(m, p)| m & p).collect();
+        self.combo_rec(child, parents, depth + 1, index, &zero, counts);
+        self.combo_rec(child, parents, depth + 1, index | (1 << depth), &one, counts);
+    }
+
+    /// Joint counts for the pair `(i, j)` over all `β` processes.
+    pub fn pair_counts(&self, i: NodeId, j: NodeId) -> PairCounts {
+        let (ci, cj) = (self.col(i), self.col(j));
+        let mut n11 = 0u64;
+        let mut ones_i = 0u64;
+        let mut ones_j = 0u64;
+        for (wi, wj) in ci.iter().zip(cj) {
+            n11 += (wi & wj).count_ones() as u64;
+            ones_i += wi.count_ones() as u64;
+            ones_j += wj.count_ones() as u64;
+        }
+        let n10 = ones_i - n11;
+        let n01 = ones_j - n11;
+        let n00 = self.beta as u64 - n11 - n10 - n01;
+        PairCounts { n11, n10, n01, n00 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StatusMatrix {
+        StatusMatrix::from_rows(&[
+            vec![true, false, true],
+            vec![true, true, false],
+            vec![false, false, false],
+            vec![true, true, true],
+        ])
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut m = StatusMatrix::new(3, 130);
+        m.set(0, 0);
+        m.set(1, 64);
+        m.set(2, 129);
+        assert!(m.get(0, 0) && m.get(1, 64) && m.get(2, 129));
+        assert!(!m.get(0, 1) && !m.get(1, 63) && !m.get(2, 128));
+    }
+
+    #[test]
+    fn from_rows_matches_get() {
+        let m = sample();
+        assert_eq!(m.num_processes(), 4);
+        assert_eq!(m.num_nodes(), 3);
+        assert!(m.get(0, 0) && !m.get(0, 1) && m.get(0, 2));
+        assert!(!m.get(2, 0) && !m.get(2, 1) && !m.get(2, 2));
+    }
+
+    #[test]
+    fn per_process_and_per_node_counts() {
+        let m = sample();
+        assert_eq!(m.infected_in_process(0), 2);
+        assert_eq!(m.infected_in_process(2), 0);
+        assert_eq!(m.infection_count(0), 3);
+        assert_eq!(m.infection_count(1), 2);
+        assert_eq!(m.infection_count(2), 2);
+    }
+
+    #[test]
+    fn infected_fraction() {
+        let m = sample();
+        assert!((m.infected_fraction() - 7.0 / 12.0).abs() < 1e-12);
+        assert_eq!(StatusMatrix::new(0, 0).infected_fraction(), 0.0);
+    }
+
+    #[test]
+    fn combo_counts_empty_parent_set() {
+        let m = sample();
+        let c = m.combo_counts(0, &[]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0], [1, 3]); // node 0 uninfected once, infected 3 times
+    }
+
+    #[test]
+    fn combo_counts_single_parent() {
+        let m = sample();
+        // child = 2, parent = 1. Processes: (p1, c2) = (0,1),(1,0),(0,0),(1,1)
+        let c = m.combo_counts(2, &[1]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[0], [1, 1]); // parent 0: child 0 once (row 2), child 1 once (row 0)
+        assert_eq!(c[1], [1, 1]); // parent 1: child 0 once (row 1), child 1 once (row 3)
+    }
+
+    #[test]
+    fn combo_counts_two_parents_bit_order() {
+        let m = sample();
+        // child = 2, parents = [0, 1]: bit 0 is node 0's status, bit 1 node 1's.
+        let c = m.combo_counts(2, &[0, 1]);
+        assert_eq!(c.len(), 4);
+        // rows: (s0,s1,s2) = (1,0,1),(1,1,0),(0,0,0),(1,1,1)
+        assert_eq!(c[0b00], [1, 0]); // row 2
+        assert_eq!(c[0b01], [0, 1]); // row 0
+        assert_eq!(c[0b10], [0, 0]);
+        assert_eq!(c[0b11], [1, 1]); // rows 1 and 3
+        let total: u64 = c.iter().map(|kc| kc[0] + kc[1]).sum();
+        assert_eq!(total, m.num_processes() as u64, "ΣN_ij = β");
+    }
+
+    #[test]
+    fn pair_counts_agree_with_bruteforce() {
+        let m = sample();
+        let cols = m.columns();
+        for i in 0..3u32 {
+            for j in 0..3u32 {
+                let pc = cols.pair_counts(i, j);
+                let mut expect = PairCounts { n11: 0, n10: 0, n01: 0, n00: 0 };
+                for l in 0..m.num_processes() {
+                    match (m.get(l, i), m.get(l, j)) {
+                        (true, true) => expect.n11 += 1,
+                        (true, false) => expect.n10 += 1,
+                        (false, true) => expect.n01 += 1,
+                        (false, false) => expect.n00 += 1,
+                    }
+                }
+                assert_eq!(pc, expect, "pair ({i},{j})");
+                assert_eq!(pc.total(), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn columns_across_word_boundary() {
+        // β = 70 crosses the 64-bit word boundary in the column bitsets.
+        let mut m = StatusMatrix::new(70, 2);
+        for l in 0..70 {
+            if l % 2 == 0 {
+                m.set(l, 0);
+            }
+            if l % 3 == 0 {
+                m.set(l, 1);
+            }
+        }
+        let cols = m.columns();
+        assert_eq!(cols.ones(0), 35);
+        assert_eq!(cols.ones(1), 24);
+        let pc = cols.pair_counts(0, 1);
+        assert_eq!(pc.n11, (0..70).filter(|l| l % 2 == 0 && l % 3 == 0).count() as u64);
+        assert_eq!(pc.total(), 70);
+    }
+
+    #[test]
+    fn column_combo_counts_match_row_combo_counts() {
+        // Randomized cross-check of the two N_ijk kernels, across a word
+        // boundary in β.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let beta = 100;
+        let n = 10;
+        let mut m = StatusMatrix::new(beta, n);
+        for l in 0..beta {
+            for i in 0..n {
+                if next() % 3 == 0 {
+                    m.set(l, i as NodeId);
+                }
+            }
+        }
+        let cols = m.columns();
+        for parents in [
+            vec![],
+            vec![1],
+            vec![3, 7],
+            vec![0, 2, 5],
+            vec![1, 4, 6, 9],
+            vec![0, 1, 2, 3, 4],
+        ] {
+            let child = 8;
+            assert_eq!(
+                cols.combo_counts(child, &parents),
+                m.combo_counts(child, &parents),
+                "parents {parents:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn column_combo_counts_zero_beta() {
+        let m = StatusMatrix::new(0, 4);
+        let cols = m.columns();
+        assert_eq!(cols.combo_counts(0, &[1, 2]), vec![[0, 0]; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn combo_counts_rejects_huge_parent_sets() {
+        let m = StatusMatrix::new(1, 30);
+        let parents: Vec<NodeId> = (0..26).collect();
+        m.combo_counts(29, &parents);
+    }
+
+    #[test]
+    fn zero_size_matrices() {
+        let m = StatusMatrix::new(0, 0);
+        assert_eq!(m.num_processes(), 0);
+        assert_eq!(m.columns().num_nodes(), 0);
+        let m2 = StatusMatrix::new(5, 0);
+        assert_eq!(m2.infected_fraction(), 0.0);
+    }
+}

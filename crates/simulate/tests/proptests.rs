@@ -1,0 +1,156 @@
+//! Property-based tests for the simulation substrate.
+
+use diffnet_graph::NodeId;
+use diffnet_simulate::{
+    io, DiffusionRecord, EdgeProbs, IcConfig, IndependentCascade, LinearThreshold,
+    ObservationSet, StatusMatrix, UNINFECTED,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn status_matrix(
+    beta: std::ops::Range<usize>,
+    n: std::ops::Range<usize>,
+) -> impl Strategy<Value = StatusMatrix> {
+    (beta, n).prop_flat_map(|(b, n)| {
+        proptest::collection::vec(proptest::collection::vec(any::<bool>(), n), b)
+            .prop_map(|rows| StatusMatrix::from_rows(&rows))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Pair counts always partition β, for every pair.
+    #[test]
+    fn pair_counts_partition(m in status_matrix(0..50, 1..12)) {
+        let cols = m.columns();
+        let n = m.num_nodes() as u32;
+        for i in 0..n {
+            for j in 0..n {
+                let pc = cols.pair_counts(i, j);
+                prop_assert_eq!(pc.total(), m.num_processes() as u64);
+            }
+        }
+    }
+
+    // Column ones equal row-wise infection counts.
+    #[test]
+    fn column_ones_match_infection_counts(m in status_matrix(0..60, 1..10)) {
+        let cols = m.columns();
+        for i in 0..m.num_nodes() as u32 {
+            prop_assert_eq!(cols.ones(i), m.infection_count(i) as u64);
+        }
+    }
+
+    // Status-matrix serialization round-trips arbitrary matrices.
+    #[test]
+    fn status_io_round_trip(m in status_matrix(0..30, 1..20)) {
+        let mut buf = Vec::new();
+        io::write_status_matrix(&m, &mut buf).expect("write");
+        let back = io::read_status_matrix(buf.as_slice()).expect("read");
+        prop_assert_eq!(back, m);
+    }
+
+    // Observation serialization round-trips arbitrary consistent records.
+    #[test]
+    fn observation_io_round_trip(
+        raw in proptest::collection::vec(
+            proptest::collection::vec(proptest::option::of(0u32..8), 1..8),
+            0..6,
+        )
+    ) {
+        // Normalize to a consistent record set: times Some(t) = infected.
+        let n = raw.first().map_or(1, |r| r.len());
+        let records: Vec<DiffusionRecord> = raw
+            .into_iter()
+            .map(|r| {
+                let mut times: Vec<u32> = r
+                    .into_iter()
+                    .chain(std::iter::repeat(None))
+                    .take(n)
+                    .map(|t| t.map_or(UNINFECTED, |v| v))
+                    .collect();
+                // Ensure at least one seed if anything is infected.
+                let mut sources: Vec<NodeId> = times
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &t)| t == 0)
+                    .map(|(i, _)| i as NodeId)
+                    .collect();
+                if sources.is_empty() {
+                    if let Some(first_infected) =
+                        times.iter().position(|&t| t != UNINFECTED)
+                    {
+                        times[first_infected] = 0;
+                        sources.push(first_infected as NodeId);
+                    }
+                }
+                DiffusionRecord { sources, times }
+            })
+            .collect();
+        let mut statuses = StatusMatrix::new(records.len(), n);
+        for (l, rec) in records.iter().enumerate() {
+            for i in 0..n as NodeId {
+                if rec.infected(i) {
+                    statuses.set(l, i);
+                }
+            }
+        }
+        let obs = ObservationSet::new(statuses, records);
+        let mut buf = Vec::new();
+        io::write_observations(&obs, &mut buf).expect("write");
+        let back = io::read_observations(buf.as_slice()).expect("read");
+        prop_assert_eq!(back.records, obs.records);
+        prop_assert_eq!(back.statuses, obs.statuses);
+    }
+
+    // IC and LT runs agree with their own records on any ER graph.
+    #[test]
+    fn simulators_are_internally_consistent(
+        seed in 0u64..500,
+        p in 0.05f64..0.95,
+        lt in any::<bool>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = diffnet_graph::generators::erdos_renyi_gnm(25, 80, &mut rng);
+        let probs = EdgeProbs::constant(&g, p);
+        let cfg = IcConfig { initial_ratio: 0.12, num_processes: 4 };
+        let obs = if lt {
+            LinearThreshold::new(&g, &probs).observe(cfg, &mut rng)
+        } else {
+            IndependentCascade::new(&g, &probs).observe(cfg, &mut rng)
+        };
+        for (l, rec) in obs.records.iter().enumerate() {
+            prop_assert_eq!(rec.sources.len(), 3, "⌈0.12·25⌉");
+            for i in 0..25u32 {
+                prop_assert_eq!(rec.infected(i), obs.statuses.get(l, i as NodeId));
+                let t = rec.times[i as usize];
+                if t != UNINFECTED && t > 0 {
+                    // Infected non-seed must have an infected in-neighbor
+                    // strictly earlier.
+                    let ok = g.in_neighbors(i).iter()
+                        .any(|&j| {
+                            let tj = rec.times[j as usize];
+                            tj != UNINFECTED && tj < t
+                        });
+                    prop_assert!(ok, "node {} at {} unexplained", i, t);
+                }
+            }
+        }
+    }
+
+    // The cascade view is consistent with times and sorted by round.
+    #[test]
+    fn cascade_view_sorted(m in status_matrix(1..10, 1..8), seed in 0u64..100) {
+        let _ = m; // matrix only used for shape variability
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = diffnet_graph::generators::erdos_renyi_gnm(10, 30, &mut rng);
+        let probs = EdgeProbs::constant(&g, 0.5);
+        let rec = IndependentCascade::new(&g, &probs).run_once(&[0, 3], &mut rng);
+        let cascade = rec.cascade();
+        prop_assert!(cascade.windows(2).all(|w| w[0].1 <= w[1].1));
+        prop_assert_eq!(cascade.len(), rec.infected_count());
+    }
+}

@@ -1,0 +1,422 @@
+//! The TENDS algorithm (paper Algorithm 1): end-to-end reconstruction of a
+//! diffusion network topology from a status matrix.
+
+use crate::imi::{CorrelationMatrix, CorrelationMeasure};
+use crate::kmeans::{pinned_two_means, PinnedKmeans};
+use crate::search::{candidate_parents, find_parents, NodeSearchResult, SearchParams};
+use diffnet_graph::{DiGraph, GraphBuilder, NodeId};
+use diffnet_simulate::StatusMatrix;
+
+/// How the pruning threshold `τ` is chosen.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum ThresholdMode {
+    /// Find `τ` with the pinned 2-means over the pairwise correlation
+    /// values (Algorithm 1 line 5). Default.
+    #[default]
+    Auto,
+    /// Use a fixed threshold (for sensitivity studies).
+    Fixed(f64),
+    /// Find `τ` automatically, then scale it by the given factor — the
+    /// paper's Fig. 10–11 sweep varies the threshold from `0.4τ` to `2τ`.
+    ScaledAuto(f64),
+}
+
+/// How inferred edge directions are post-processed.
+///
+/// Final infection statuses carry no directional information *within* a
+/// pair — the likelihood gain of `u` as a parent of `v` equals that of `v`
+/// as a parent of `u` — so on networks with one-directional edges TENDS
+/// tends to propose both directions. These policies let a user encode
+/// domain knowledge about reciprocity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DirectionPolicy {
+    /// Keep the per-node selections as-is (the paper's behaviour). Default.
+    #[default]
+    AsIs,
+    /// Whenever `u -> v` is inferred, also add `v -> u`: appropriate when
+    /// influence is known to be mutual (coauthorship, physical contact).
+    Symmetrize,
+    /// Keep only pairs inferred in *both* directions: raises precision on
+    /// reciprocal networks by demanding agreement between the two
+    /// independent per-node searches.
+    MutualOnly,
+}
+
+/// Full configuration of a TENDS run.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct TendsConfig {
+    /// Pairwise correlation measure for pruning (IMI, or plain MI for the
+    /// paper's ablation).
+    pub correlation: CorrelationMeasure,
+    /// Threshold selection mode.
+    pub threshold: ThresholdMode,
+    /// Parent-search parameters.
+    pub search: SearchParams,
+    /// Edge-direction post-processing.
+    pub direction: DirectionPolicy,
+    /// Worker threads for the per-node parent searches (each node's search
+    /// is independent). `0` uses all available cores; `1` (default) runs
+    /// single-threaded, which keeps timing comparisons with the
+    /// single-threaded baselines honest.
+    pub threads: usize,
+}
+
+/// Result of a TENDS reconstruction.
+#[derive(Clone, Debug)]
+pub struct TendsResult {
+    /// The inferred diffusion network topology.
+    pub graph: DiGraph,
+    /// The pruning threshold that was applied.
+    pub tau: f64,
+    /// Details of the threshold clustering (the *unscaled* `τ` lives in
+    /// here when [`ThresholdMode::ScaledAuto`] is used).
+    pub kmeans: PinnedKmeans,
+    /// Per-node search outcomes, indexed by node id.
+    pub node_results: Vec<NodeSearchResult>,
+    /// The global score `g(T)` of the inferred topology (Eq. 12): the sum
+    /// of the per-node local scores.
+    pub global_score: f64,
+}
+
+impl TendsResult {
+    /// Total number of local-score evaluations across all nodes (a proxy
+    /// for search effort, used by the pruning experiments).
+    pub fn total_evaluations(&self) -> usize {
+        self.node_results.iter().map(|r| r.evaluations).sum()
+    }
+
+    /// Mean number of surviving candidate parents per node.
+    pub fn mean_candidates(&self) -> f64 {
+        if self.node_results.is_empty() {
+            return 0.0;
+        }
+        self.node_results.iter().map(|r| r.candidates.len()).sum::<usize>() as f64
+            / self.node_results.len() as f64
+    }
+}
+
+/// The TENDS estimator.
+///
+/// ```
+/// use diffnet_graph::DiGraph;
+/// use diffnet_simulate::{EdgeProbs, IcConfig, IndependentCascade};
+/// use diffnet_tends::Tends;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// // Hidden ground truth: a directed chain.
+/// let truth = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let probs = EdgeProbs::constant(&truth, 0.5);
+/// let obs = IndependentCascade::new(&truth, &probs)
+///     .observe(IcConfig { initial_ratio: 0.2, num_processes: 400 }, &mut rng);
+///
+/// let result = Tends::new().reconstruct(&obs.statuses);
+/// assert_eq!(result.graph.node_count(), 6);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Tends {
+    config: TendsConfig,
+}
+
+impl Tends {
+    /// TENDS with the paper's default configuration.
+    pub fn new() -> Self {
+        Tends::default()
+    }
+
+    /// TENDS with an explicit configuration.
+    pub fn with_config(config: TendsConfig) -> Self {
+        Tends { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TendsConfig {
+        &self.config
+    }
+
+    /// Reconstructs the diffusion network topology from final infection
+    /// statuses (Algorithm 1).
+    pub fn reconstruct(&self, statuses: &StatusMatrix) -> TendsResult {
+        let n = statuses.num_nodes();
+        let cols = statuses.columns();
+
+        // Lines 2–4: pairwise correlation values.
+        let corr = CorrelationMatrix::compute(&cols, self.config.correlation);
+
+        // Line 5: threshold via pinned 2-means over non-negative values.
+        let kmeans = pinned_two_means(&corr.upper_triangle());
+        let tau = match self.config.threshold {
+            ThresholdMode::Auto => kmeans.tau,
+            ThresholdMode::Fixed(t) => t,
+            ThresholdMode::ScaledAuto(s) => kmeans.tau * s,
+        };
+
+        // Lines 6–20: per-node parent search (nodes are independent, so
+        // this parallelizes embarrassingly).
+        let node_results = self.search_all(n, &corr, &cols, tau);
+
+        // Line 21: a directed edge from each inferred parent to its child,
+        // then the configured direction post-processing.
+        let mut builder = GraphBuilder::new(n);
+        let mut global_score = 0.0;
+        for (i, res) in node_results.iter().enumerate() {
+            for &p in &res.parents {
+                match self.config.direction {
+                    DirectionPolicy::AsIs => {
+                        builder.add_edge(p, i as NodeId);
+                    }
+                    DirectionPolicy::Symmetrize => {
+                        builder.add_reciprocal(p, i as NodeId);
+                    }
+                    DirectionPolicy::MutualOnly => {
+                        if node_results[p as usize].parents.contains(&(i as NodeId)) {
+                            builder.add_edge(p, i as NodeId);
+                        }
+                    }
+                }
+            }
+            global_score += res.score;
+        }
+
+        TendsResult { graph: builder.build(), tau, kmeans, node_results, global_score }
+    }
+
+    /// Runs the per-node searches, on one thread or a worker pool.
+    fn search_all(
+        &self,
+        n: usize,
+        corr: &CorrelationMatrix,
+        cols: &diffnet_simulate::NodeColumns,
+        tau: f64,
+    ) -> Vec<NodeSearchResult> {
+        let search_one = |i: NodeId| {
+            let cands = candidate_parents(corr, i, tau, self.config.search.max_candidates);
+            find_parents(cols, i, &cands, &self.config.search)
+        };
+
+        let threads = match self.config.threads {
+            0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
+            t => t,
+        }
+        .min(n.max(1));
+
+        if threads <= 1 || n == 0 {
+            return (0..n as NodeId).map(search_one).collect();
+        }
+
+        let chunk = n.div_ceil(threads);
+        let mut results: Vec<Option<NodeSearchResult>> = vec![None; n];
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                if lo >= hi {
+                    break;
+                }
+                let search_one = &search_one;
+                handles.push((
+                    lo,
+                    scope.spawn(move || {
+                        (lo..hi).map(|i| search_one(i as NodeId)).collect::<Vec<_>>()
+                    }),
+                ));
+            }
+            for (lo, handle) in handles {
+                for (off, res) in handle.join().expect("search worker panicked").into_iter().enumerate() {
+                    results[lo + off] = Some(res);
+                }
+            }
+        });
+        results.into_iter().map(|r| r.expect("all nodes searched")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffnet_simulate::{EdgeProbs, IcConfig, IndependentCascade};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn observe(
+        truth: &DiGraph,
+        p: f64,
+        alpha: f64,
+        beta: usize,
+        seed: u64,
+    ) -> StatusMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let probs = EdgeProbs::constant(truth, p);
+        IndependentCascade::new(truth, &probs)
+            .observe(IcConfig { initial_ratio: alpha, num_processes: beta }, &mut rng)
+            .statuses
+    }
+
+    fn f_score(truth: &DiGraph, inferred: &DiGraph) -> f64 {
+        let tp = inferred.edges().filter(|&(u, v)| truth.has_edge(u, v)).count();
+        let fp = inferred.edge_count() - tp;
+        let fn_ = truth.edge_count() - tp;
+        if 2 * tp + fp + fn_ == 0 {
+            return 0.0;
+        }
+        2.0 * tp as f64 / (2 * tp + fp + fn_) as f64
+    }
+
+    #[test]
+    fn chain_topology_recall_is_high() {
+        // Final statuses cannot identify edge *direction* within a pair
+        // (the likelihood gain of j as parent of i equals that of i as
+        // parent of j), so on a one-directional chain TENDS recovers the
+        // influence pairs in both directions: recall ≈ 1, precision ≈ ½.
+        let truth = DiGraph::from_edges(8, &[
+            (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7),
+        ]);
+        let statuses = observe(&truth, 0.6, 0.2, 600, 101);
+        let result = Tends::new().reconstruct(&statuses);
+        let tp = result.graph.edges().filter(|&(u, v)| truth.has_edge(u, v)).count();
+        let recall = tp as f64 / truth.edge_count() as f64;
+        assert!(recall > 0.85, "recall {recall} too low");
+        let f = f_score(&truth, &result.graph);
+        assert!(f > 0.55, "F-score {f} too low; inferred {:?}", result.graph);
+    }
+
+    #[test]
+    fn recovers_reciprocal_chain_exactly() {
+        // With mutual influence edges the direction ambiguity vanishes and
+        // reconstruction should be near-perfect.
+        let mut edges = Vec::new();
+        for i in 0..7u32 {
+            edges.push((i, i + 1));
+            edges.push((i + 1, i));
+        }
+        let truth = DiGraph::from_edges(8, &edges);
+        let statuses = observe(&truth, 0.6, 0.2, 600, 108);
+        let result = Tends::new().reconstruct(&statuses);
+        let f = f_score(&truth, &result.graph);
+        assert!(f > 0.85, "F-score {f}; inferred {:?}", result.graph.edge_vec());
+    }
+
+    #[test]
+    fn recovers_star_topology() {
+        // Hub 0 influences 6 leaves.
+        let edges: Vec<(NodeId, NodeId)> = (1..7).map(|i| (0, i)).collect();
+        let truth = DiGraph::from_edges(7, &edges);
+        let statuses = observe(&truth, 0.5, 0.15, 600, 102);
+        let result = Tends::new().reconstruct(&statuses);
+        let f = f_score(&truth, &result.graph);
+        assert!(f > 0.6, "F-score {f} too low");
+    }
+
+    #[test]
+    fn empty_network_stays_mostly_empty() {
+        // No edges: all statuses are independent seed draws, so the
+        // inferred topology must be (nearly) empty.
+        let truth = DiGraph::empty(12);
+        let statuses = observe(&truth, 0.5, 0.2, 400, 103);
+        let result = Tends::new().reconstruct(&statuses);
+        assert!(
+            result.graph.edge_count() <= 2,
+            "spurious edges: {:?}",
+            result.graph.edge_vec()
+        );
+    }
+
+    #[test]
+    fn fixed_threshold_is_respected() {
+        let truth = DiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let statuses = observe(&truth, 0.5, 0.2, 200, 104);
+        let cfg = TendsConfig {
+            threshold: ThresholdMode::Fixed(10.0), // absurdly high: prunes everything
+            ..Default::default()
+        };
+        let result = Tends::with_config(cfg).reconstruct(&statuses);
+        assert_eq!(result.tau, 10.0);
+        assert_eq!(result.graph.edge_count(), 0);
+    }
+
+    #[test]
+    fn scaled_threshold_scales_auto_tau() {
+        let truth = DiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let statuses = observe(&truth, 0.5, 0.2, 200, 105);
+        let auto = Tends::new().reconstruct(&statuses);
+        let scaled = Tends::with_config(TendsConfig {
+            threshold: ThresholdMode::ScaledAuto(2.0),
+            ..Default::default()
+        })
+        .reconstruct(&statuses);
+        assert!((scaled.tau - 2.0 * auto.tau).abs() < 1e-12);
+        assert!((scaled.kmeans.tau - auto.kmeans.tau).abs() < 1e-12);
+    }
+
+    #[test]
+    fn global_score_is_sum_of_local_scores() {
+        let truth = DiGraph::from_edges(6, &[(0, 1), (1, 2), (0, 3), (3, 4), (4, 5)]);
+        let statuses = observe(&truth, 0.4, 0.2, 300, 106);
+        let result = Tends::new().reconstruct(&statuses);
+        let sum: f64 = result.node_results.iter().map(|r| r.score).sum();
+        assert!((result.global_score - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_search_matches_sequential() {
+        let truth = DiGraph::from_edges(30, &{
+            let mut e = Vec::new();
+            for i in 0..29u32 {
+                e.push((i, i + 1));
+                e.push((i + 1, i));
+            }
+            e
+        });
+        let statuses = observe(&truth, 0.4, 0.15, 200, 109);
+        let seq = Tends::new().reconstruct(&statuses);
+        let par = Tends::with_config(TendsConfig { threads: 4, ..Default::default() })
+            .reconstruct(&statuses);
+        let par_all = Tends::with_config(TendsConfig { threads: 0, ..Default::default() })
+            .reconstruct(&statuses);
+        assert_eq!(seq.graph, par.graph);
+        assert_eq!(seq.graph, par_all.graph);
+        assert_eq!(seq.global_score, par.global_score);
+    }
+
+    #[test]
+    fn symmetrize_policy_makes_graph_reciprocal() {
+        let truth = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let statuses = observe(&truth, 0.5, 0.2, 300, 110);
+        let cfg = TendsConfig { direction: DirectionPolicy::Symmetrize, ..Default::default() };
+        let g = Tends::with_config(cfg).reconstruct(&statuses).graph;
+        for (u, v) in g.edges() {
+            assert!(g.has_edge(v, u), "({u},{v}) not reciprocal");
+        }
+    }
+
+    #[test]
+    fn mutual_only_is_a_subset_of_as_is() {
+        let truth = DiGraph::from_edges(8, &[
+            (0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (4, 5), (6, 7),
+        ]);
+        let statuses = observe(&truth, 0.5, 0.2, 300, 111);
+        let as_is = Tends::new().reconstruct(&statuses).graph;
+        let mutual = Tends::with_config(TendsConfig {
+            direction: DirectionPolicy::MutualOnly,
+            ..Default::default()
+        })
+        .reconstruct(&statuses)
+        .graph;
+        assert!(mutual.edge_count() <= as_is.edge_count());
+        for (u, v) in mutual.edges() {
+            assert!(as_is.has_edge(u, v));
+            assert!(mutual.has_edge(v, u), "MutualOnly output must be reciprocal");
+        }
+    }
+
+    #[test]
+    fn result_accessors() {
+        let truth = DiGraph::from_edges(5, &[(0, 1), (1, 2)]);
+        let statuses = observe(&truth, 0.5, 0.2, 150, 107);
+        let result = Tends::new().reconstruct(&statuses);
+        assert_eq!(result.node_results.len(), 5);
+        assert!(result.total_evaluations() >= 5);
+        assert!(result.mean_candidates() >= 0.0);
+    }
+}

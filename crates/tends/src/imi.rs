@@ -1,0 +1,255 @@
+//! Infection mutual information (paper §IV-B, Eqs. 24–25).
+//!
+//! Plain mutual information cannot distinguish positively correlated
+//! infections ("u infected ⇒ v likely infected", the signature of an
+//! influence relationship) from negatively correlated ones. The paper
+//! therefore scores each pair with the *infection MI*
+//!
+//! ```text
+//! IMI(X_i, X_j) = mi(1,1) + mi(0,0) − |mi(1,0)| − |mi(0,1)|
+//! ```
+//!
+//! where `mi(a,b) = P̂(X_i=a, X_j=b) · log₂ (P̂(a,b) / (P̂(a)·P̂(b)))` is one
+//! cell of the MI sum. Concordant cells reward, discordant cells penalize.
+
+use diffnet_simulate::{NodeColumns, PairCounts};
+
+/// One cell of the mutual-information sum:
+/// `p_ab · log₂(p_ab / (p_a · p_b))`, with `0 log 0 = 0`.
+///
+/// Can be negative (when the joint is rarer than independence predicts).
+#[inline]
+pub fn mi_cell(p_ab: f64, p_a: f64, p_b: f64) -> f64 {
+    if p_ab <= 0.0 || p_a <= 0.0 || p_b <= 0.0 {
+        0.0
+    } else {
+        p_ab * (p_ab / (p_a * p_b)).log2()
+    }
+}
+
+/// The four MI cells of a pair, estimated from joint counts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MiCells {
+    /// `mi(X_i = 1, X_j = 1)`.
+    pub c11: f64,
+    /// `mi(X_i = 1, X_j = 0)`.
+    pub c10: f64,
+    /// `mi(X_i = 0, X_j = 1)`.
+    pub c01: f64,
+    /// `mi(X_i = 0, X_j = 0)`.
+    pub c00: f64,
+}
+
+impl MiCells {
+    /// Estimates the cells from pair counts over `β` processes.
+    ///
+    /// All-zero counts (`β = 0`) give all-zero cells.
+    pub fn from_counts(pc: &PairCounts) -> MiCells {
+        let beta = pc.total();
+        if beta == 0 {
+            return MiCells { c11: 0.0, c10: 0.0, c01: 0.0, c00: 0.0 };
+        }
+        let b = beta as f64;
+        let p11 = pc.n11 as f64 / b;
+        let p10 = pc.n10 as f64 / b;
+        let p01 = pc.n01 as f64 / b;
+        let p00 = pc.n00 as f64 / b;
+        let pi1 = p11 + p10;
+        let pi0 = 1.0 - pi1;
+        let pj1 = p11 + p01;
+        let pj0 = 1.0 - pj1;
+        MiCells {
+            c11: mi_cell(p11, pi1, pj1),
+            c10: mi_cell(p10, pi1, pj0),
+            c01: mi_cell(p01, pi0, pj1),
+            c00: mi_cell(p00, pi0, pj0),
+        }
+    }
+
+    /// Traditional mutual information: the sum of all four cells (Eq. 24).
+    /// Non-negative up to floating-point noise.
+    pub fn mi(&self) -> f64 {
+        self.c11 + self.c10 + self.c01 + self.c00
+    }
+
+    /// Infection MI (Eq. 25): concordant cells minus the magnitudes of
+    /// discordant cells. Negative when infections are anti-correlated,
+    /// near 0 when independent, positive when positively correlated.
+    pub fn imi(&self) -> f64 {
+        self.c11 + self.c00 - self.c10.abs() - self.c01.abs()
+    }
+}
+
+/// Infection MI of a node pair directly from joint counts.
+pub fn imi(pc: &PairCounts) -> f64 {
+    MiCells::from_counts(pc).imi()
+}
+
+/// Traditional MI of a node pair directly from joint counts.
+pub fn mi(pc: &PairCounts) -> f64 {
+    MiCells::from_counts(pc).mi()
+}
+
+/// Which pairwise correlation measure drives candidate pruning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CorrelationMeasure {
+    /// Infection MI (Eq. 25) — the paper's measure.
+    #[default]
+    Imi,
+    /// Traditional MI (Eq. 24) — kept for the paper's Fig. 10–11 ablation.
+    Mi,
+}
+
+/// Symmetric matrix of pairwise correlation values over all node pairs.
+///
+/// The diagonal is unused and fixed at 0.
+#[derive(Clone, Debug)]
+pub struct CorrelationMatrix {
+    n: usize,
+    values: Vec<f64>,
+}
+
+impl CorrelationMatrix {
+    /// Computes all pairwise values from the column view of a status
+    /// matrix with the chosen measure. `O(n²)` pair counts, each a few
+    /// popcounts per 64 processes.
+    pub fn compute(cols: &NodeColumns, measure: CorrelationMeasure) -> Self {
+        let n = cols.num_nodes();
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let cells = MiCells::from_counts(&cols.pair_counts(i as u32, j as u32));
+                let v = match measure {
+                    CorrelationMeasure::Imi => cells.imi(),
+                    CorrelationMeasure::Mi => cells.mi(),
+                };
+                values[i * n + j] = v;
+                values[j * n + i] = v;
+            }
+        }
+        CorrelationMatrix { n, values }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// The value for pair `(i, j)`; 0 on the diagonal.
+    #[inline]
+    pub fn get(&self, i: u32, j: u32) -> f64 {
+        self.values[i as usize * self.n + j as usize]
+    }
+
+    /// All strictly-upper-triangle values (each unordered pair once), the
+    /// input to threshold selection.
+    pub fn upper_triangle(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n * (self.n.saturating_sub(1)) / 2);
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                out.push(self.values[i * self.n + j]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffnet_simulate::StatusMatrix;
+
+    fn counts(n11: u64, n10: u64, n01: u64, n00: u64) -> PairCounts {
+        PairCounts { n11, n10, n01, n00 }
+    }
+
+    #[test]
+    fn independent_variables_have_zero_mi_and_imi() {
+        // Perfectly factorized joint: p(a,b) = p(a)p(b).
+        let pc = counts(25, 25, 25, 25);
+        assert!(mi(&pc).abs() < 1e-12);
+        assert!(imi(&pc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfectly_positively_correlated() {
+        let pc = counts(50, 0, 0, 50);
+        assert!((mi(&pc) - 1.0).abs() < 1e-12, "1 bit of MI");
+        assert!((imi(&pc) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfectly_negatively_correlated() {
+        let pc = counts(0, 50, 50, 0);
+        // Traditional MI cannot tell the difference...
+        assert!((mi(&pc) - 1.0).abs() < 1e-12);
+        // ...but infection MI goes negative.
+        assert!(imi(&pc) < -0.9);
+    }
+
+    #[test]
+    fn positive_correlation_gives_positive_imi() {
+        let pc = counts(40, 10, 10, 40);
+        assert!(imi(&pc) > 0.1);
+        assert!(mi(&pc) > 0.0);
+    }
+
+    #[test]
+    fn imi_is_symmetric_in_roles() {
+        let pc_ij = counts(30, 20, 10, 40);
+        let pc_ji = counts(30, 10, 20, 40);
+        assert!((imi(&pc_ij) - imi(&pc_ji)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_beta_is_all_zero() {
+        let pc = counts(0, 0, 0, 0);
+        assert_eq!(mi(&pc), 0.0);
+        assert_eq!(imi(&pc), 0.0);
+    }
+
+    #[test]
+    fn constant_variable_yields_zero() {
+        // X_j always infected: no information about anything.
+        let pc = counts(30, 0, 70, 0);
+        assert!(mi(&pc).abs() < 1e-12);
+        assert!(imi(&pc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mi_cell_zero_probability_convention() {
+        assert_eq!(mi_cell(0.0, 0.5, 0.5), 0.0);
+        assert_eq!(mi_cell(0.2, 0.0, 0.5), 0.0);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_zero_diagonal() {
+        let m = StatusMatrix::from_rows(&[
+            vec![true, true, false],
+            vec![true, false, false],
+            vec![false, true, true],
+            vec![true, true, true],
+        ]);
+        let cm = CorrelationMatrix::compute(&m.columns(), CorrelationMeasure::Imi);
+        assert_eq!(cm.num_nodes(), 3);
+        for i in 0..3u32 {
+            assert_eq!(cm.get(i, i), 0.0);
+            for j in 0..3u32 {
+                assert_eq!(cm.get(i, j), cm.get(j, i));
+            }
+        }
+        assert_eq!(cm.upper_triangle().len(), 3);
+    }
+
+    #[test]
+    fn matrix_measures_differ_on_anticorrelated_pairs() {
+        // Nodes 0 and 1 perfectly anti-correlated.
+        let rows: Vec<Vec<bool>> =
+            (0..40).map(|l| vec![l % 2 == 0, l % 2 == 1]).collect();
+        let m = StatusMatrix::from_rows(&rows);
+        let imi_m = CorrelationMatrix::compute(&m.columns(), CorrelationMeasure::Imi);
+        let mi_m = CorrelationMatrix::compute(&m.columns(), CorrelationMeasure::Mi);
+        assert!(imi_m.get(0, 1) < -0.5, "IMI flags anti-correlation");
+        assert!(mi_m.get(0, 1) > 0.5, "plain MI mistakes it for correlation");
+    }
+}

@@ -1,0 +1,162 @@
+//! The modified 2-means threshold finder (paper §IV-B, Algorithm 1 line 5).
+//!
+//! TENDS partitions all *non-negative* pairwise infection-MI values into two
+//! clusters with K-means, `K = 2`, keeping one centroid pinned at 0 through
+//! every iteration. The pinned cluster collects the compact mass of
+//! near-zero values produced by unrelated node pairs; the threshold `τ` is
+//! the largest value assigned to it, so every candidate parent must beat the
+//! "noise" cluster.
+
+/// Outcome of the pinned 2-means clustering.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PinnedKmeans {
+    /// The threshold `τ`: the largest value in the pinned (near-zero)
+    /// cluster; 0 if that cluster is empty.
+    pub tau: f64,
+    /// Final position of the free centroid.
+    pub free_centroid: f64,
+    /// Number of values assigned to the pinned cluster.
+    pub pinned_count: usize,
+    /// Number of values assigned to the free cluster.
+    pub free_count: usize,
+    /// Iterations until convergence.
+    pub iterations: usize,
+}
+
+/// Runs 2-means over the non-negative entries of `values` with one centroid
+/// pinned at 0, and returns the threshold `τ`.
+///
+/// Negative entries are discarded first (the paper removes negative
+/// infection-MI values before clustering). Degenerate inputs (no positive
+/// values) yield `τ = 0` with an empty free cluster.
+pub fn pinned_two_means(values: &[f64]) -> PinnedKmeans {
+    const MAX_ITERS: usize = 100;
+
+    let mut vals: Vec<f64> = values.iter().copied().filter(|&v| v >= 0.0).collect();
+    vals.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaNs in MI values"));
+
+    let positive_max = vals.last().copied().unwrap_or(0.0);
+    if positive_max <= 0.0 {
+        return PinnedKmeans {
+            tau: 0.0,
+            free_centroid: 0.0,
+            pinned_count: vals.len(),
+            free_count: 0,
+            iterations: 0,
+        };
+    }
+
+    // Initialize the free centroid at the maximum so the pinned cluster
+    // starts as inclusive as possible and shrinks from there.
+    let mut c = positive_max;
+    let mut boundary_idx = 0usize; // first index assigned to the free cluster
+    let mut iterations = 0usize;
+
+    for it in 1..=MAX_ITERS {
+        iterations = it;
+        // Assignment: v joins the free cluster iff it is strictly closer to
+        // c than to 0, i.e. v > c/2. With sorted values this is a partition
+        // point.
+        let half = c / 2.0;
+        let new_boundary = vals.partition_point(|&v| v <= half);
+        // Update: the free centroid moves to the mean of its members; if it
+        // would be empty, keep it at the maximum (it then owns at least the
+        // max element next round).
+        let new_c = if new_boundary < vals.len() {
+            let slice = &vals[new_boundary..];
+            slice.iter().sum::<f64>() / slice.len() as f64
+        } else {
+            positive_max
+        };
+        let converged = new_boundary == boundary_idx && (new_c - c).abs() < 1e-12;
+        boundary_idx = new_boundary;
+        c = new_c;
+        if converged && it > 1 {
+            break;
+        }
+    }
+
+    let tau = if boundary_idx == 0 { 0.0 } else { vals[boundary_idx - 1] };
+    PinnedKmeans {
+        tau,
+        free_centroid: c,
+        pinned_count: boundary_idx,
+        free_count: vals.len() - boundary_idx,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_well_separated_groups() {
+        // Noise near 0, signal near 0.8.
+        let mut vals = vec![0.001, 0.002, 0.0005, 0.003, 0.0];
+        vals.extend([0.75, 0.8, 0.85, 0.78]);
+        let r = pinned_two_means(&vals);
+        assert!(r.tau >= 0.003 && r.tau < 0.75, "τ = {}", r.tau);
+        assert_eq!(r.pinned_count, 5);
+        assert_eq!(r.free_count, 4);
+        assert!((r.free_centroid - 0.795).abs() < 0.01);
+    }
+
+    #[test]
+    fn negatives_are_discarded() {
+        let vals = vec![-0.5, -0.1, 0.001, 0.9];
+        let r = pinned_two_means(&vals);
+        assert_eq!(r.pinned_count + r.free_count, 2);
+        assert!(r.tau < 0.9);
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = pinned_two_means(&[]);
+        assert_eq!(r.tau, 0.0);
+        assert_eq!(r.free_count, 0);
+    }
+
+    #[test]
+    fn all_zeros() {
+        let r = pinned_two_means(&[0.0, 0.0, 0.0]);
+        assert_eq!(r.tau, 0.0);
+        assert_eq!(r.pinned_count, 3);
+    }
+
+    #[test]
+    fn single_positive_value_goes_to_free_cluster() {
+        let r = pinned_two_means(&[0.7]);
+        assert_eq!(r.tau, 0.0, "nothing left in the pinned cluster");
+        assert_eq!(r.free_count, 1);
+        assert!((r.free_centroid - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_positive_values_split_at_half_centroid() {
+        // Values spread uniformly: the pinned cluster takes the lower part.
+        let vals: Vec<f64> = (1..=100).map(|i| i as f64 / 100.0).collect();
+        let r = pinned_two_means(&vals);
+        assert!(r.pinned_count > 10 && r.free_count > 10);
+        assert!(r.tau > 0.0 && r.tau < 1.0);
+        // τ must separate the clusters exactly.
+        assert!(vals.iter().filter(|&&v| v <= r.tau).count() == r.pinned_count);
+    }
+
+    #[test]
+    fn threshold_excludes_signal_in_realistic_mix() {
+        // 95% near-zero noise plus 5% strong signal, like real IMI matrices.
+        let mut vals: Vec<f64> = (0..950).map(|i| (i % 13) as f64 * 1e-4).collect();
+        vals.extend((0..50).map(|i| 0.3 + (i % 7) as f64 * 0.01));
+        let r = pinned_two_means(&vals);
+        assert!(r.tau < 0.3, "signal must survive the threshold, τ = {}", r.tau);
+        assert!(r.free_count >= 50);
+    }
+
+    #[test]
+    fn converges_quickly() {
+        let vals: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin().abs()).collect();
+        let r = pinned_two_means(&vals);
+        assert!(r.iterations < 50, "iterations {}", r.iterations);
+    }
+}

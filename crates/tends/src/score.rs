@@ -1,0 +1,249 @@
+//! The TENDS scoring criterion (paper §IV-A).
+//!
+//! For node `v_i` with parent set `F_i`, the observed counts `N_ijk` (how
+//! often parent-status combination `j` co-occurs with child status `s_k`)
+//! determine:
+//!
+//! * the log-likelihood `log₂ L(v_i, F_i) = Σ_j Σ_k N_ijk log₂(N_ijk/N_ij)`
+//!   (Eq. 3) — which, by Theorem 1, can only grow as parents are added;
+//! * the penalty `½ Σ_j log₂(N_ij + 1)` — which grows with the number of
+//!   *instantiated* combinations and bounds the statistical error;
+//! * the local score `g(v_i, F_i)` = likelihood − penalty (Eq. 13), whose
+//!   maximizer is a weakly consistent estimator of the true parent set
+//!   (Corollary 1, via Nishii 1988);
+//! * the Theorem-2 upper bound `|F_i| ≤ log₂(φ_{F_i} + δ_i)` on how many
+//!   parents are worth considering at all.
+//!
+//! All logarithms are base 2, following the paper.
+
+/// Counts `N_ijk` for one parent-status combination `j`: `[N_ij1, N_ij2]`
+/// with the paper's convention `s₁ = 0` (uninfected), `s₂ = 1` (infected).
+pub type ComboCounts = [u64; 2];
+
+/// `x · log₂(x / total)` with the standard convention `0 · log 0 = 0`.
+#[inline]
+fn x_log2_ratio(x: u64, total: u64) -> f64 {
+    if x == 0 {
+        0.0
+    } else {
+        debug_assert!(total >= x);
+        x as f64 * (x as f64 / total as f64).log2()
+    }
+}
+
+/// `log₂ L(v_i, F_i)` (Eq. 3): the maximized log-likelihood of the child's
+/// statuses given its parents' status combinations.
+///
+/// Always `≤ 0`; equals 0 iff the child's status is a deterministic
+/// function of the parents' combination wherever instantiated.
+pub fn log_likelihood(counts: &[ComboCounts]) -> f64 {
+    counts
+        .iter()
+        .map(|&[n1, n2]| {
+            let nij = n1 + n2;
+            x_log2_ratio(n1, nij) + x_log2_ratio(n2, nij)
+        })
+        .sum()
+}
+
+/// The statistical-error penalty `½ Σ_j log₂(N_ij + 1)` of Eq. (12).
+pub fn penalty(counts: &[ComboCounts]) -> f64 {
+    0.5 * counts
+        .iter()
+        .map(|&[n1, n2]| ((n1 + n2 + 1) as f64).log2())
+        .sum::<f64>()
+}
+
+/// The local score `g(v_i, F_i)` (Eq. 13).
+pub fn local_score(counts: &[ComboCounts]) -> f64 {
+    log_likelihood(counts) - penalty(counts)
+}
+
+/// `φ_F`: the number of parent-status combinations with no instance in `S`.
+pub fn phi(counts: &[ComboCounts]) -> usize {
+    counts.iter().filter(|&&[n1, n2]| n1 + n2 == 0).count()
+}
+
+/// `δ_i = 2N₁log₂(β/N₁) + 2N₂log₂(β/N₂) + log₂(β+1)` (Theorem 2, Eq. 17),
+/// where `N₁`/`N₂` count the processes in which `v_i` is uninfected /
+/// infected (`N₁ + N₂ = β`). Terms with `N = 0` vanish (`0·log(β/0) := 0`,
+/// consistent with the entropy limit).
+///
+/// # Panics
+///
+/// Panics if `n1 + n2 != beta`.
+pub fn delta(beta: u64, n1: u64, n2: u64) -> f64 {
+    assert_eq!(n1 + n2, beta, "N₁ + N₂ must equal β");
+    let term = |n: u64| {
+        if n == 0 {
+            0.0
+        } else {
+            2.0 * n as f64 * (beta as f64 / n as f64).log2()
+        }
+    };
+    term(n1) + term(n2) + ((beta + 1) as f64).log2()
+}
+
+/// The Theorem-2 bound: the largest admissible parent-set size
+/// `log₂(φ + δ)` for a node with non-existent-combination count `φ` and
+/// slack `δ` ([`delta`]).
+pub fn parent_bound(phi: usize, delta: f64) -> f64 {
+    (phi as f64 + delta).max(1.0).log2()
+}
+
+/// Whether a parent set of size `size` with non-existent-combination count
+/// `phi_f` satisfies Theorem 2's `|F| ≤ log₂(φ_F + δ)`.
+pub fn within_bound(size: usize, phi_f: usize, delta: f64) -> bool {
+    size as f64 <= parent_bound(phi_f, delta)
+}
+
+/// The decomposed global score `g(T) = Σ_i g(v_i, F_i)` (Eq. 12) given each
+/// node's combination counts.
+pub fn global_score<'a, I>(per_node_counts: I) -> f64
+where
+    I: IntoIterator<Item = &'a Vec<ComboCounts>>,
+{
+    per_node_counts.into_iter().map(|c| local_score(c)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_likelihood_of_deterministic_child_is_zero() {
+        // Child always infected when parent infected, never otherwise.
+        let counts = vec![[10, 0], [0, 10]];
+        assert_eq!(log_likelihood(&counts), 0.0);
+    }
+
+    #[test]
+    fn log_likelihood_of_fair_coin() {
+        // One combination, child 50/50 over 20 processes: −20 bits.
+        let counts = vec![[10, 10]];
+        assert!((log_likelihood(&counts) + 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_likelihood_never_positive() {
+        for counts in [
+            vec![[3, 5]],
+            vec![[0, 0], [7, 2]],
+            vec![[1, 1], [2, 2], [3, 3], [4, 4]],
+        ] {
+            assert!(log_likelihood(&counts) <= 1e-12, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn empty_combinations_contribute_nothing() {
+        let with_empty = vec![[5, 5], [0, 0]];
+        let without = vec![[5, 5]];
+        assert_eq!(log_likelihood(&with_empty), log_likelihood(&without));
+        assert_eq!(penalty(&with_empty), penalty(&without));
+    }
+
+    #[test]
+    fn penalty_matches_formula() {
+        let counts = vec![[3, 4], [0, 1]];
+        let expect = 0.5 * ((8.0f64).log2() + (2.0f64).log2());
+        assert!((penalty(&counts) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_score_is_likelihood_minus_penalty() {
+        let counts = vec![[6, 2], [1, 7]];
+        assert!(
+            (local_score(&counts) - (log_likelihood(&counts) - penalty(&counts))).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn phi_counts_empty_combinations() {
+        assert_eq!(phi(&[[1, 0], [0, 0], [0, 2], [0, 0]]), 2);
+        assert_eq!(phi(&[]), 0);
+    }
+
+    #[test]
+    fn delta_balanced_case() {
+        // β = 100, N₁ = N₂ = 50: δ = 2·50·1 + 2·50·1 + log₂(101).
+        let d = delta(100, 50, 50);
+        let expect = 200.0 + 101f64.log2();
+        assert!((d - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_degenerate_node_is_small() {
+        // A node that is never infected carries almost no information:
+        // only the log₂(β+1) term survives.
+        let d = delta(100, 100, 0);
+        assert!((d - 101f64.log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must equal β")]
+    fn delta_rejects_inconsistent_counts() {
+        delta(10, 3, 4);
+    }
+
+    #[test]
+    fn parent_bound_matches_paper_scale() {
+        // β = 150, balanced statuses: δ ≈ 300 + log₂ 151 ⇒ bound ≈ 8.3.
+        let d = delta(150, 75, 75);
+        let b = parent_bound(0, d);
+        assert!(b > 8.0 && b < 8.5, "bound {b}");
+        assert!(within_bound(8, 0, d));
+        assert!(!within_bound(9, 0, d));
+    }
+
+    #[test]
+    fn parent_bound_never_negative_infinity() {
+        assert!(parent_bound(0, 0.0) >= 0.0);
+    }
+
+    #[test]
+    fn global_score_decomposes() {
+        let a = vec![[5u64, 5u64]];
+        let b = vec![[2u64, 8u64], [4u64, 1u64]];
+        let total = global_score([&a, &b]);
+        assert!((total - (local_score(&a) + local_score(&b))).abs() < 1e-12);
+    }
+
+    // Lemma 1: (b/a)^b ≤ (b1/a1)^{b1} (b2/a2)^{b2} in log space, i.e.
+    // merging two combinations never increases the log-likelihood.
+    #[test]
+    fn lemma1_merging_combinations_never_helps() {
+        let cases = [
+            ((3u64, 5u64), (2u64, 9u64)),
+            ((0, 4), (6, 6)),
+            ((1, 1), (1, 1)),
+            ((10, 12), (0, 3)),
+        ];
+        for ((b1, extra1), (b2, extra2)) in cases {
+            let (a1, a2) = (b1 + extra1, b2 + extra2);
+            let split = x_log2_ratio(b1, a1) + x_log2_ratio(b2, a2);
+            let merged = x_log2_ratio(b1 + b2, a1 + a2);
+            assert!(
+                merged <= split + 1e-12,
+                "lemma 1 violated for ({b1},{a1}),({b2},{a2})"
+            );
+        }
+    }
+
+    // Theorem 1: refining a parent set (splitting every combination by a
+    // new parent's status) never decreases the likelihood.
+    #[test]
+    fn theorem1_adding_a_parent_never_decreases_likelihood() {
+        // Coarse counts and an arbitrary refinement of each combination.
+        let coarse = vec![[6u64, 4u64], [3, 7]];
+        let refined = vec![[2u64, 1u64], [4, 3], [1, 5], [2, 2]];
+        // refined[2j] + refined[2j+1] == coarse[j]
+        for j in 0..coarse.len() {
+            for k in 0..2 {
+                assert_eq!(refined[2 * j][k] + refined[2 * j + 1][k], coarse[j][k]);
+            }
+        }
+        assert!(log_likelihood(&refined) >= log_likelihood(&coarse) - 1e-12);
+    }
+}

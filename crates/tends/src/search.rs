@@ -1,0 +1,545 @@
+//! Parent-set search (paper §IV-A and Algorithm 1 lines 6–20).
+//!
+//! For each node, TENDS forms a candidate parent set from the
+//! infection-MI pruning, enumerates small candidate combinations admissible
+//! under the Theorem-2 size bound, and greedily expands the parent set.
+//!
+//! Algorithm 1 as printed pops combinations in descending standalone-score
+//! order and adds *every* one that keeps the union under the size bound —
+//! which would make the final parent set the whole candidate set whenever
+//! the bound permits, leaving the scoring criterion no veto. The §IV-A
+//! prose instead expands with "a node combination that increases the value
+//! of the current `g(v_i, F_i)` the most". Both are implemented
+//! ([`GreedyStrategy`]); the improvement-driven variant is the default and
+//! the literal one is kept for the ablation bench.
+
+use crate::imi::CorrelationMatrix;
+use crate::score;
+use diffnet_graph::NodeId;
+use diffnet_simulate::NodeColumns;
+
+/// How the greedy expansion of a node's parent set accepts combinations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum GreedyStrategy {
+    /// Repeatedly add the combination whose union with the current parent
+    /// set yields the highest local score, accepting only strict
+    /// improvements (the §IV-A description). Default.
+    #[default]
+    BestImprovement,
+    /// The literal Algorithm-1 rule: visit combinations in descending
+    /// standalone-score order and union in each one that keeps the parent
+    /// set under the Theorem-2 bound.
+    ScoreOrdered,
+    /// Exhaustive search over *all* subsets of the candidate set (subject
+    /// to the Theorem-2 bound), returning the global maximizer of
+    /// `g(v_i, F_i)`. Exponential in the candidate count — intended for
+    /// small candidate sets and for verifying the greedy variants'
+    /// optimality gap, not for production runs.
+    Exhaustive,
+}
+
+/// Tunable parameters of the parent-set search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SearchParams {
+    /// Greedy acceptance rule.
+    pub strategy: GreedyStrategy,
+    /// Largest candidate combination `W` enumerated into `C_i` (the paper
+    /// enumerates every subset of `P_i` admissible under Theorem 2; the
+    /// cap is the §IV-D complexity control `η`).
+    pub max_combo_size: usize,
+    /// Keep at most this many candidates per node (the highest-correlation
+    /// ones) before enumeration — the `κ ≪ n` the paper's complexity
+    /// analysis assumes (§IV-D).
+    ///
+    /// This cap doubles as the effective regularizer when the threshold
+    /// clustering is permissive: Theorem 2's size bound self-saturates
+    /// (its `φ` term grows with `2^{|F_i|}`) and the penalty term cannot
+    /// stop cell-splitting once parent-status combinations have only one
+    /// or two instances, so `|F_i|` is in practice limited by the number
+    /// of available candidates. The default of 8 matches the Theorem-2
+    /// bound at the empty parent set (`log₂ δ_i ≈ 8.3` for `β = 150`).
+    pub max_candidates: usize,
+}
+
+impl Default for SearchParams {
+    fn default() -> Self {
+        SearchParams {
+            strategy: GreedyStrategy::BestImprovement,
+            max_combo_size: 2,
+            max_candidates: 8,
+        }
+    }
+}
+
+/// A scored candidate combination `W ⊆ P_i`.
+#[derive(Clone, Debug)]
+pub struct Combo {
+    /// Member nodes, sorted.
+    pub nodes: Vec<NodeId>,
+    /// Standalone local score `g(v_i, W)`.
+    pub score: f64,
+}
+
+/// Per-node outcome of the parent search.
+#[derive(Clone, Debug)]
+pub struct NodeSearchResult {
+    /// The selected parent set `F_i`, sorted.
+    pub parents: Vec<NodeId>,
+    /// Local score `g(v_i, F_i)` of the selection.
+    pub score: f64,
+    /// Candidate parents that survived pruning, in descending correlation
+    /// order.
+    pub candidates: Vec<NodeId>,
+    /// Number of local-score evaluations performed.
+    pub evaluations: usize,
+}
+
+/// Candidate parents of `child`: all nodes whose correlation with `child`
+/// strictly exceeds `tau`, in descending correlation order, truncated to
+/// `max_candidates` (Algorithm 1 lines 10–12).
+pub fn candidate_parents(
+    corr: &CorrelationMatrix,
+    child: NodeId,
+    tau: f64,
+    max_candidates: usize,
+) -> Vec<NodeId> {
+    let n = corr.num_nodes() as u32;
+    let mut cands: Vec<(f64, NodeId)> = (0..n)
+        .filter(|&j| j != child)
+        .map(|j| (corr.get(child, j), j))
+        .filter(|&(v, _)| v > tau)
+        .collect();
+    cands.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaNs").then(a.1.cmp(&b.1)));
+    cands.truncate(max_candidates);
+    cands.into_iter().map(|(_, j)| j).collect()
+}
+
+/// Enumerates and scores every combination `W ⊆ candidates` with
+/// `1 ≤ |W| ≤ max_combo_size` that satisfies the Theorem-2 bound
+/// `|W| ≤ log₂(φ_W + δ)` (Algorithm 1 lines 13–15).
+pub fn enumerate_combos(
+    cols: &NodeColumns,
+    child: NodeId,
+    candidates: &[NodeId],
+    max_combo_size: usize,
+    delta: f64,
+    evaluations: &mut usize,
+) -> Vec<Combo> {
+    let mut combos = Vec::new();
+    let mut stack: Vec<NodeId> = Vec::new();
+    enumerate_rec(
+        cols,
+        child,
+        candidates,
+        0,
+        max_combo_size.max(1),
+        delta,
+        &mut stack,
+        &mut combos,
+        evaluations,
+    );
+    combos
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate_rec(
+    cols: &NodeColumns,
+    child: NodeId,
+    candidates: &[NodeId],
+    start: usize,
+    max_size: usize,
+    delta: f64,
+    stack: &mut Vec<NodeId>,
+    out: &mut Vec<Combo>,
+    evaluations: &mut usize,
+) {
+    for idx in start..candidates.len() {
+        stack.push(candidates[idx]);
+        let mut w: Vec<NodeId> = stack.clone();
+        w.sort_unstable();
+        let counts = cols.combo_counts(child, &w);
+        *evaluations += 1;
+        if score::within_bound(w.len(), score::phi(&counts), delta) {
+            out.push(Combo { nodes: w, score: score::local_score(&counts) });
+        }
+        if stack.len() < max_size {
+            enumerate_rec(
+                cols, child, candidates, idx + 1, max_size, delta, stack, out,
+                evaluations,
+            );
+        }
+        stack.pop();
+    }
+}
+
+/// Hard ceiling on a parent set's size, independent of Theorem 2's bound.
+///
+/// The Theorem-2 bound `|F| ≤ log₂(φ_F + δ)` self-saturates once
+/// `2^{|F|}` exceeds the number of instantiated combinations (φ grows with
+/// `2^{|F|}`), so it cannot stop runaway growth by itself. Beyond
+/// `2^{|F|} ≥ β` every combination holds at most one process and further
+/// parents cannot change any probability estimate, so 20 parents
+/// (`2^20 ≫` any realistic β) is unreachable by a score improvement and
+/// only guards against pathological inputs.
+const MAX_PARENTS: usize = 20;
+
+/// Sorted union of a parent set and a combination.
+fn union(f: &[NodeId], w: &[NodeId]) -> Vec<NodeId> {
+    let mut u: Vec<NodeId> = f.iter().chain(w).copied().collect();
+    u.sort_unstable();
+    u.dedup();
+    u
+}
+
+/// Runs the full per-node parent search: enumeration followed by greedy
+/// expansion (Algorithm 1 lines 13–20).
+pub fn find_parents(
+    cols: &NodeColumns,
+    child: NodeId,
+    candidates: &[NodeId],
+    params: &SearchParams,
+) -> NodeSearchResult {
+    let beta = cols.num_processes() as u64;
+    let n2 = cols.ones(child);
+    let delta = score::delta(beta, beta - n2, n2);
+
+    let mut evaluations = 0usize;
+    let empty_counts = cols.combo_counts(child, &[]);
+    evaluations += 1;
+    let empty_score = score::local_score(&empty_counts);
+
+    let mut combos = enumerate_combos(
+        cols,
+        child,
+        candidates,
+        params.max_combo_size,
+        delta,
+        &mut evaluations,
+    );
+
+    let (parents, final_score) = match params.strategy {
+        GreedyStrategy::BestImprovement => greedy_best_improvement(
+            cols, child, combos, empty_score, delta, &mut evaluations,
+        ),
+        GreedyStrategy::ScoreOrdered => {
+            combos.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("no NaNs"));
+            greedy_score_ordered(cols, child, &combos, empty_score, delta, &mut evaluations)
+        }
+        GreedyStrategy::Exhaustive => {
+            exhaustive_search(cols, child, candidates, empty_score, delta, &mut evaluations)
+        }
+    };
+
+    NodeSearchResult {
+        parents,
+        score: final_score,
+        candidates: candidates.to_vec(),
+        evaluations,
+    }
+}
+
+/// §IV-A greedy: each round, evaluate `g(v_i, F ∪ W)` for every remaining
+/// admissible combination and take the best strict improvement.
+fn greedy_best_improvement(
+    cols: &NodeColumns,
+    child: NodeId,
+    mut combos: Vec<Combo>,
+    empty_score: f64,
+    delta: f64,
+    evaluations: &mut usize,
+) -> (Vec<NodeId>, f64) {
+    const EPS: f64 = 1e-9;
+    let mut f: Vec<NodeId> = Vec::new();
+    let mut current = empty_score;
+
+    while !combos.is_empty() {
+        let mut best: Option<(usize, Vec<NodeId>, f64)> = None;
+        let mut keep = vec![true; combos.len()];
+        for (idx, combo) in combos.iter().enumerate() {
+            let u = union(&f, &combo.nodes);
+            if u.len() == f.len() {
+                // W ⊆ F already: it can never change the score again.
+                keep[idx] = false;
+                continue;
+            }
+            if u.len() > MAX_PARENTS {
+                continue;
+            }
+            let counts = cols.combo_counts(child, &u);
+            *evaluations += 1;
+            if !score::within_bound(u.len(), score::phi(&counts), delta) {
+                continue;
+            }
+            let s = score::local_score(&counts);
+            if s > current + EPS
+                && best.as_ref().is_none_or(|&(_, _, bs)| s > bs)
+            {
+                best = Some((idx, u, s));
+            }
+        }
+        match best {
+            Some((idx, u, s)) => {
+                f = u;
+                current = s;
+                keep[idx] = false;
+                let mut it = keep.iter();
+                combos.retain(|_| *it.next().expect("keep covers combos"));
+            }
+            None => break,
+        }
+    }
+    (f, current)
+}
+
+/// Literal Algorithm-1 greedy: pop combinations in descending standalone
+/// score; union in each one whose union satisfies the Theorem-2 bound.
+fn greedy_score_ordered(
+    cols: &NodeColumns,
+    child: NodeId,
+    combos_sorted: &[Combo],
+    empty_score: f64,
+    delta: f64,
+    evaluations: &mut usize,
+) -> (Vec<NodeId>, f64) {
+    let mut f: Vec<NodeId> = Vec::new();
+    let mut current = empty_score;
+    for combo in combos_sorted {
+        let u = union(&f, &combo.nodes);
+        if u.len() == f.len() || u.len() > MAX_PARENTS {
+            continue;
+        }
+        let counts = cols.combo_counts(child, &u);
+        *evaluations += 1;
+        if score::within_bound(u.len(), score::phi(&counts), delta) {
+            f = u;
+            current = score::local_score(&counts);
+        }
+    }
+    (f, current)
+}
+
+/// Exhaustive maximization of the local score over all admissible subsets
+/// of the candidate set.
+///
+/// Subsets larger than [`MAX_PARENTS`] or violating the Theorem-2 bound
+/// are skipped. With `c` candidates this evaluates up to `2^c` subsets;
+/// callers should keep `max_candidates` small (≤ ~16).
+fn exhaustive_search(
+    cols: &NodeColumns,
+    child: NodeId,
+    candidates: &[NodeId],
+    empty_score: f64,
+    delta: f64,
+    evaluations: &mut usize,
+) -> (Vec<NodeId>, f64) {
+    let c = candidates.len();
+    assert!(c < 26, "exhaustive search over {c} candidates is intractable");
+    let mut best: (Vec<NodeId>, f64) = (Vec::new(), empty_score);
+    for mask in 1u32..(1u32 << c) {
+        if (mask.count_ones() as usize) > MAX_PARENTS {
+            continue;
+        }
+        let mut subset: Vec<NodeId> = (0..c)
+            .filter(|&t| mask & (1 << t) != 0)
+            .map(|t| candidates[t])
+            .collect();
+        subset.sort_unstable();
+        let counts = cols.combo_counts(child, &subset);
+        *evaluations += 1;
+        if !score::within_bound(subset.len(), score::phi(&counts), delta) {
+            continue;
+        }
+        let s = score::local_score(&counts);
+        if s > best.1 {
+            best = (subset, s);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::imi::{CorrelationMatrix, CorrelationMeasure};
+    use diffnet_simulate::StatusMatrix;
+
+    /// A status matrix where node 2's infection is (mostly) the OR of
+    /// nodes 0 and 1, and node 3 is independent noise.
+    fn or_gate_matrix() -> StatusMatrix {
+        let mut rows = Vec::new();
+        // Deterministic pseudo-random pattern over 160 processes.
+        let mut state = 0xABCDEFu64;
+        let mut bit = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) & 1 == 1
+        };
+        for _ in 0..160 {
+            let a = bit();
+            let b = bit();
+            let noise = bit() && bit() && bit(); // rare flip
+            let c = (a || b) ^ noise;
+            let d = bit();
+            rows.push(vec![a, b, c, d]);
+        }
+        StatusMatrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn candidate_parents_ranked_and_thresholded() {
+        let m = or_gate_matrix();
+        let corr = CorrelationMatrix::compute(&m.columns(), CorrelationMeasure::Imi);
+        let cands = candidate_parents(&corr, 2, 0.0, 16);
+        // Parents 0 and 1 must rank above the noise node 3.
+        assert!(cands.contains(&0) && cands.contains(&1), "cands {cands:?}");
+        let pos3 = cands.iter().position(|&c| c == 3);
+        for &p in &[0u32, 1] {
+            let pp = cands.iter().position(|&c| c == p).expect("present");
+            if let Some(p3) = pos3 {
+                assert!(pp < p3, "true parent {p} ranked after noise");
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_parents_respects_cap() {
+        let m = or_gate_matrix();
+        let corr = CorrelationMatrix::compute(&m.columns(), CorrelationMeasure::Imi);
+        let cands = candidate_parents(&corr, 2, -1.0, 2);
+        assert_eq!(cands.len(), 2);
+    }
+
+    #[test]
+    fn enumerate_respects_size_cap() {
+        let m = or_gate_matrix();
+        let cols = m.columns();
+        let delta = score::delta(160, 160 - cols.ones(2), cols.ones(2));
+        let mut evals = 0;
+        let combos = enumerate_combos(&cols, 2, &[0, 1, 3], 2, delta, &mut evals);
+        assert!(combos.iter().all(|c| c.nodes.len() <= 2));
+        // 3 singles + 3 pairs.
+        assert_eq!(combos.len(), 6);
+        assert!(evals >= 6);
+    }
+
+    #[test]
+    fn find_parents_recovers_or_gate() {
+        let m = or_gate_matrix();
+        let cols = m.columns();
+        let params = SearchParams::default();
+        let res = find_parents(&cols, 2, &[0, 1, 3], &params);
+        assert_eq!(res.parents, vec![0, 1], "should select exactly the OR inputs");
+        assert!(res.score > score::local_score(&cols.combo_counts(2, &[])));
+    }
+
+    #[test]
+    fn find_parents_of_independent_node_is_empty() {
+        let m = or_gate_matrix();
+        let cols = m.columns();
+        let params = SearchParams::default();
+        let res = find_parents(&cols, 3, &[0, 1, 2], &params);
+        assert!(
+            res.parents.is_empty(),
+            "independent node must keep an empty parent set, got {:?}",
+            res.parents
+        );
+    }
+
+    #[test]
+    fn score_ordered_is_more_permissive() {
+        let m = or_gate_matrix();
+        let cols = m.columns();
+        let best = find_parents(&cols, 2, &[0, 1, 3], &SearchParams::default());
+        let literal = find_parents(
+            &cols,
+            2,
+            &[0, 1, 3],
+            &SearchParams { strategy: GreedyStrategy::ScoreOrdered, ..Default::default() },
+        );
+        assert!(literal.parents.len() >= best.parents.len());
+        for p in &best.parents {
+            // not necessarily a subset in general, but for this clean case
+            // the literal rule should also pick the true parents
+            assert!(literal.parents.contains(p), "literal missed parent {p}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_finds_the_or_gate_exactly() {
+        let m = or_gate_matrix();
+        let cols = m.columns();
+        let params = SearchParams {
+            strategy: GreedyStrategy::Exhaustive,
+            ..Default::default()
+        };
+        let res = find_parents(&cols, 2, &[0, 1, 3], &params);
+        assert_eq!(res.parents, vec![0, 1]);
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_on_small_candidate_sets() {
+        // The optimality check the Exhaustive strategy exists for: on this
+        // clean workload the default greedy should attain the global
+        // optimum of the local score.
+        let m = or_gate_matrix();
+        let cols = m.columns();
+        for child in 0..4u32 {
+            let candidates: Vec<NodeId> = (0..4u32).filter(|&c| c != child).collect();
+            let greedy = find_parents(&cols, child, &candidates, &SearchParams::default());
+            let exact = find_parents(
+                &cols,
+                child,
+                &candidates,
+                &SearchParams { strategy: GreedyStrategy::Exhaustive, ..Default::default() },
+            );
+            assert!(
+                greedy.score >= exact.score - 1e-6,
+                "node {child}: greedy {} vs exhaustive {}",
+                greedy.score,
+                exact.score
+            );
+        }
+    }
+
+    #[test]
+    fn exhaustive_score_dominates_both_greedy_variants() {
+        let m = or_gate_matrix();
+        let cols = m.columns();
+        let candidates = [0u32, 1, 3];
+        let exact = find_parents(
+            &cols,
+            2,
+            &candidates,
+            &SearchParams { strategy: GreedyStrategy::Exhaustive, ..Default::default() },
+        );
+        for strategy in [GreedyStrategy::BestImprovement, GreedyStrategy::ScoreOrdered] {
+            let g = find_parents(
+                &cols,
+                2,
+                &candidates,
+                &SearchParams { strategy, ..Default::default() },
+            );
+            assert!(
+                exact.score >= g.score - 1e-9,
+                "{strategy:?} beat exhaustive: {} vs {}",
+                g.score,
+                exact.score
+            );
+        }
+    }
+
+    #[test]
+    fn empty_candidates_yield_empty_parents() {
+        let m = or_gate_matrix();
+        let cols = m.columns();
+        let res = find_parents(&cols, 2, &[], &SearchParams::default());
+        assert!(res.parents.is_empty());
+        assert_eq!(res.evaluations, 1, "only the empty set is scored");
+    }
+
+    #[test]
+    fn union_helper() {
+        assert_eq!(union(&[1, 3], &[2, 3]), vec![1, 2, 3]);
+        assert_eq!(union(&[], &[5]), vec![5]);
+        assert_eq!(union(&[4], &[]), vec![4]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Epidemic surveillance: reconstructing a contact network from outbreak
+//! outcomes alone.
+//!
+//! The paper's motivating scenario: in disease propagation, infection
+//! *timestamps* are unreliable (incubation periods hide the true moment of
+//! infection) or simply not collected; what a health authority reliably
+//! knows at the end of an outbreak is **who was infected**. This example
+//! reconstructs a clustered contact network (households/wards bridged by
+//! commuters — the NetSci-like topology) from a growing number of observed
+//! outbreaks, showing how reconstruction quality improves with more data —
+//! the paper's Fig. 8 effect.
+//!
+//! ```sh
+//! cargo run --release --example epidemic_surveillance
+//! ```
+
+use diffnet::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    // A contact network: dense local clusters, sparse bridges.
+    let contact_network = netsci_like(11);
+    println!(
+        "contact network: {} individuals, {} contact edges",
+        contact_network.node_count(),
+        contact_network.edge_count()
+    );
+
+    // Disease parameters: 30% transmission per contact, 5% of the
+    // population initially exposed per outbreak season.
+    let transmission = EdgeProbs::gaussian(&contact_network, 0.3, 0.05, &mut rng);
+    let sim = IndependentCascade::new(&contact_network, &transmission);
+
+    // Record 250 outbreak seasons once; surveillance programs with smaller
+    // budgets see a prefix of them.
+    let all_outbreaks = sim.observe(
+        IcConfig { initial_ratio: 0.05, num_processes: 250 },
+        &mut rng,
+    );
+
+    println!("\noutbreaks observed -> reconstruction quality (TENDS, statuses only)");
+    println!("{:>10}  {:>9}  {:>7}  {:>7}  {:>8}", "outbreaks", "precision", "recall", "F-score", "time (s)");
+    for budget in [50usize, 100, 150, 200, 250] {
+        let observed = all_outbreaks.truncated(budget);
+        let (result, secs) = timed(|| Tends::new().reconstruct(&observed.statuses));
+        let cmp = EdgeSetComparison::against_truth(&contact_network, &result.graph);
+        println!(
+            "{budget:>10}  {:>9.3}  {:>7.3}  {:>7.3}  {:>8.3}",
+            cmp.precision(),
+            cmp.recall(),
+            cmp.f_score(),
+            secs
+        );
+    }
+
+    // With the full record, what do the inferred contacts get us?
+    let inferred = Tends::new().reconstruct(&all_outbreaks.statuses).graph;
+    let cmp = EdgeSetComparison::against_truth(&contact_network, &inferred);
+    println!(
+        "\nfinal reconstruction: {} of {} true contact edges recovered ({} spurious)",
+        cmp.true_positives,
+        contact_network.edge_count(),
+        cmp.false_positives
+    );
+    println!(
+        "an intervention planner can now target bridges and hubs of the \
+         inferred network without ever having observed a single infection time"
+    );
+}

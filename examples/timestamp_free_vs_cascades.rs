@@ -1,0 +1,95 @@
+//! Timestamp-free inference vs. cascade-based inference under timestamp
+//! noise — the paper's core motivation, §I.
+//!
+//! Cascade-based methods (NetRate, MulTree) consume exact infection
+//! timestamps. In reality timestamps are distorted by incubation periods
+//! and monitoring lag. This example corrupts a growing fraction of the
+//! recorded timestamps with random incubation delays and shows that the
+//! cascade-based baselines degrade while TENDS — which never looks at
+//! timestamps — is untouched by construction.
+//!
+//! ```sh
+//! cargo run --release --example timestamp_free_vs_cascades
+//! ```
+
+use diffnet::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Adds a random incubation delay (1–3 rounds) to the recorded infection
+/// time of each non-seed infected node, independently with probability
+/// `noise`. Final statuses are untouched — only the *timing* knowledge
+/// degrades, exactly like late symptom onset.
+fn corrupt_timestamps(
+    obs: &ObservationSet,
+    noise: f64,
+    rng: &mut StdRng,
+) -> ObservationSet {
+    let records: Vec<DiffusionRecord> = obs
+        .records
+        .iter()
+        .map(|rec| {
+            let times = rec
+                .times
+                .iter()
+                .map(|&t| {
+                    if t == diffnet::simulate::UNINFECTED || t == 0 || !rng.gen_bool(noise) {
+                        t
+                    } else {
+                        t + rng.gen_range(1..=3)
+                    }
+                })
+                .collect();
+            DiffusionRecord { sources: rec.sources.clone(), times }
+        })
+        .collect();
+    ObservationSet::new(obs.statuses.clone(), records)
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(5);
+
+    let truth = netsci_like(31);
+    let probs = EdgeProbs::gaussian(&truth, 0.3, 0.05, &mut rng);
+    let clean = IndependentCascade::new(&truth, &probs)
+        .observe(IcConfig { initial_ratio: 0.15, num_processes: 150 }, &mut rng);
+    let m = truth.edge_count();
+
+    println!(
+        "network: {} nodes, {} edges; 150 diffusion processes observed\n",
+        truth.node_count(),
+        m
+    );
+    println!(
+        "{:>18}  {:>7}  {:>9}  {:>9}",
+        "timestamp noise", "TENDS", "NetRate", "MulTree"
+    );
+
+    for noise in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let obs = corrupt_timestamps(&clean, noise, &mut rng);
+
+        // TENDS reads only the status matrix — unaffected by construction.
+        let tends_g = Tends::new().reconstruct(&obs.statuses).graph;
+        let tends_f = EdgeSetComparison::against_truth(&truth, &tends_g).f_score();
+
+        // NetRate gets its preferential best-threshold treatment.
+        let (netrate_g, _) = NetRate::new().infer(&obs).best_fscore_graph(&truth);
+        let netrate_f = EdgeSetComparison::against_truth(&truth, &netrate_g).f_score();
+
+        let multree_g = MulTree::new().infer(&obs, m);
+        let multree_f = EdgeSetComparison::against_truth(&truth, &multree_g).f_score();
+
+        println!(
+            "{:>17.0}%  {:>7.3}  {:>9.3}  {:>9.3}",
+            100.0 * noise,
+            tends_f,
+            netrate_f,
+            multree_f
+        );
+    }
+
+    println!(
+        "\nTENDS is identical in every row because it never reads timestamps; \
+         the cascade-based baselines pay for every corrupted observation."
+    );
+}

@@ -1,0 +1,77 @@
+//! Integration test of the full downstream loop: simulate → infer with
+//! TENDS → run influence maximization / immunization on the *inferred*
+//! topology → verify the decisions transfer to the true network.
+
+use diffnet::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn hidden_network() -> (DiGraph, EdgeProbs, StdRng) {
+    let truth = netsci_like(99);
+    let mut rng = StdRng::seed_from_u64(7070);
+    let probs = EdgeProbs::gaussian(&truth, 0.3, 0.05, &mut rng);
+    (truth, probs, rng)
+}
+
+#[test]
+fn influence_maximization_on_inferred_graph_transfers() {
+    let (truth, probs, mut rng) = hidden_network();
+    let obs = IndependentCascade::new(&truth, &probs)
+        .observe(IcConfig { initial_ratio: 0.1, num_processes: 200 }, &mut rng);
+    let inferred = Tends::new().reconstruct(&obs.statuses).graph;
+
+    // Pick seeds with CELF on the inferred graph...
+    let inferred_probs = EdgeProbs::constant(&inferred, 0.3);
+    let est = SpreadEstimator::new(&inferred, &inferred_probs, 20);
+    let (seeds, _) = celf_influence_maximization(&est, 10, &mut rng);
+    assert_eq!(seeds.len(), 10);
+
+    // ...and evaluate them on the true dynamics against random seeds.
+    let informed =
+        estimate_spread(&truth, &probs, &seeds, 300, &mut rng);
+    let random_seeds: Vec<NodeId> = (0..10).collect();
+    let random = estimate_spread(&truth, &probs, &random_seeds, 300, &mut rng);
+    assert!(
+        informed > 1.3 * random,
+        "inferred-graph seeding ({informed:.1}) should clearly beat random ({random:.1})"
+    );
+}
+
+#[test]
+fn immunization_on_inferred_graph_transfers() {
+    let (truth, probs, mut rng) = hidden_network();
+    let obs = IndependentCascade::new(&truth, &probs)
+        .observe(IcConfig { initial_ratio: 0.05, num_processes: 200 }, &mut rng);
+    let inferred = Tends::new().reconstruct(&obs.statuses).graph;
+
+    let inferred_probs = EdgeProbs::constant(&inferred, 0.3);
+    let plan = greedy_immunization(&inferred, &inferred_probs, 10, 19, 30, 8, &mut rng);
+    assert_eq!(plan.len(), 10);
+
+    // Strip the plan out of the TRUE network and compare spreads.
+    let blocked: Vec<bool> = {
+        let mut b = vec![false; truth.node_count()];
+        for &v in &plan {
+            b[v as usize] = true;
+        }
+        b
+    };
+    let mut builder = GraphBuilder::new(truth.node_count());
+    let mut kept = Vec::new();
+    for (u, v) in truth.edges() {
+        if !blocked[u as usize] && !blocked[v as usize] {
+            builder.add_edge(u, v);
+            kept.push(probs.get(&truth, u, v).expect("edge"));
+        }
+    }
+    let stripped = builder.build();
+    let stripped_probs = EdgeProbs::from_vec(&stripped, kept);
+
+    let seeds: Vec<NodeId> = (100..119).collect();
+    let before = estimate_spread(&truth, &probs, &seeds, 300, &mut rng);
+    let after = estimate_spread(&stripped, &stripped_probs, &seeds, 300, &mut rng);
+    assert!(
+        after < before,
+        "immunization from the inferred graph must reduce true spread: {after:.1} vs {before:.1}"
+    );
+}

@@ -1,0 +1,110 @@
+//! End-to-end comparison tests: every algorithm in the paper's benchmark
+//! runs on a shared workload and produces sane output.
+
+use diffnet::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn workload() -> (DiGraph, ObservationSet) {
+    let truth = lfr_suite()[0].generate(123); // LFR1: n = 100, K = 4
+    let mut rng = StdRng::seed_from_u64(321);
+    let probs = EdgeProbs::gaussian(&truth, 0.3, 0.05, &mut rng);
+    let obs = IndependentCascade::new(&truth, &probs)
+        .observe(IcConfig { initial_ratio: 0.15, num_processes: 150 }, &mut rng);
+    (truth, obs)
+}
+
+#[test]
+fn all_five_algorithms_produce_graphs() {
+    let (truth, obs) = workload();
+    let m = truth.edge_count();
+    let n = truth.node_count();
+
+    let tends = Tends::new().reconstruct(&obs.statuses).graph;
+    let (netrate, _) = NetRate::new().infer(&obs).best_fscore_graph(&truth);
+    let multree = MulTree::new().infer(&obs, m);
+    let lift = Lift::new().infer(&obs, m);
+    let netinf = NetInf::new().infer(&obs, m);
+    let path = PathReconstruction::new().infer(&obs, m);
+
+    for (name, g) in [
+        ("TENDS", &tends),
+        ("NetRate", &netrate),
+        ("MulTree", &multree),
+        ("LIFT", &lift),
+        ("NetInf", &netinf),
+        ("PATH", &path),
+    ] {
+        assert_eq!(g.node_count(), n, "{name} node count");
+        assert!(g.edge_count() > 0, "{name} inferred nothing");
+    }
+    assert_eq!(multree.edge_count(), m, "MulTree consumes the exact budget");
+    assert_eq!(lift.edge_count(), m, "LIFT consumes the exact budget");
+}
+
+#[test]
+fn every_algorithm_beats_random_guessing() {
+    let (truth, obs) = workload();
+    let m = truth.edge_count();
+    let n = truth.node_count();
+    // A random guesser placing m edges among n(n-1) slots expects
+    // precision ≈ m / (n(n-1)) ≈ 0.04; require 3× that.
+    let random_f = m as f64 / (n * (n - 1)) as f64;
+
+    let runs: Vec<(&str, DiGraph)> = vec![
+        ("TENDS", Tends::new().reconstruct(&obs.statuses).graph),
+        ("NetRate", NetRate::new().infer(&obs).best_fscore_graph(&truth).0),
+        ("MulTree", MulTree::new().infer(&obs, m)),
+        ("LIFT", Lift::new().infer(&obs, m)),
+        ("NetInf", NetInf::new().infer(&obs, m)),
+        ("PATH", PathReconstruction::new().infer(&obs, m)),
+    ];
+    for (name, g) in runs {
+        let f = EdgeSetComparison::against_truth(&truth, &g).f_score();
+        assert!(f > 3.0 * random_f, "{name} F-score {f} vs random {random_f}");
+    }
+}
+
+#[test]
+fn tends_wins_the_paper_comparison_on_lfr() {
+    // The paper's headline claim on its synthetic networks: TENDS has the
+    // best F-score among TENDS / NetRate / MulTree / LIFT.
+    let (truth, obs) = workload();
+    let m = truth.edge_count();
+    let f = |g: &DiGraph| EdgeSetComparison::against_truth(&truth, g).f_score();
+
+    let tends = f(&Tends::new().reconstruct(&obs.statuses).graph);
+    let netrate = f(&NetRate::new().infer(&obs).best_fscore_graph(&truth).0);
+    let multree = f(&MulTree::new().infer(&obs, m));
+    let lift = f(&Lift::new().infer(&obs, m));
+
+    assert!(
+        tends > netrate && tends > multree && tends > lift,
+        "TENDS {tends} vs NetRate {netrate}, MulTree {multree}, LIFT {lift}"
+    );
+}
+
+#[test]
+fn tends_uses_strictly_less_information() {
+    // Compile-time-ish documentation test: TENDS's API accepts only the
+    // status matrix, while the baselines require the full observation set
+    // (cascades / sources). Reconstructing from a matrix with scrambled
+    // records must equal reconstructing from the true records.
+    let (_, obs) = workload();
+    let from_statuses = Tends::new().reconstruct(&obs.statuses);
+    // Rebuild a record-free observation set: same statuses, no timing.
+    let statuses_only = obs.statuses.clone();
+    let again = Tends::new().reconstruct(&statuses_only);
+    assert_eq!(from_statuses.graph, again.graph);
+}
+
+#[test]
+fn weighted_outputs_expose_scores() {
+    let (_, obs) = workload();
+    let netrate_scores = NetRate::new().infer(&obs);
+    assert!(!netrate_scores.is_empty());
+    let lift_scores = Lift::new().scores(&obs);
+    assert!(!lift_scores.is_empty());
+    // Thresholding at +∞ must produce an empty graph.
+    assert_eq!(netrate_scores.threshold(f64::INFINITY).edge_count(), 0);
+}

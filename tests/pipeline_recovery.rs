@@ -1,0 +1,134 @@
+//! End-to-end pipeline tests: simulate diffusion on a known topology,
+//! reconstruct with TENDS from statuses only, and check recovery quality.
+
+use diffnet::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn observe_with(
+    truth: &DiGraph,
+    alpha: f64,
+    beta: usize,
+    mu: f64,
+    seed: u64,
+) -> ObservationSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let probs = EdgeProbs::gaussian(truth, mu, 0.05, &mut rng);
+    IndependentCascade::new(truth, &probs)
+        .observe(IcConfig { initial_ratio: alpha, num_processes: beta }, &mut rng)
+}
+
+fn reciprocal(pairs: &[(NodeId, NodeId)], n: usize) -> DiGraph {
+    let mut b = GraphBuilder::new(n);
+    for &(u, v) in pairs {
+        b.add_reciprocal(u, v);
+    }
+    b.build()
+}
+
+#[test]
+fn recovers_reciprocal_star() {
+    let truth = reciprocal(&[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)], 6);
+    let obs = observe_with(&truth, 0.2, 500, 0.4, 11);
+    let result = Tends::new().reconstruct(&obs.statuses);
+    let cmp = EdgeSetComparison::against_truth(&truth, &result.graph);
+    assert!(cmp.f_score() > 0.8, "star F-score {}", cmp.f_score());
+}
+
+#[test]
+fn recovers_two_disconnected_communities() {
+    // Two reciprocal triangles with no edges between them: no cross edges
+    // should ever be inferred if the pruning does its job.
+    let truth = reciprocal(&[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)], 6);
+    let obs = observe_with(&truth, 0.2, 600, 0.4, 12);
+    let result = Tends::new().reconstruct(&obs.statuses);
+    let cmp = EdgeSetComparison::against_truth(&truth, &result.graph);
+    assert!(cmp.f_score() > 0.8, "triangles F-score {}", cmp.f_score());
+    let cross = result
+        .graph
+        .edges()
+        .filter(|&(u, v)| (u < 3) != (v < 3))
+        .count();
+    assert!(cross <= 1, "{cross} cross-community edges inferred");
+}
+
+#[test]
+fn lfr_benchmark_end_to_end() {
+    // The paper's LFR1 configuration at its default setting.
+    let truth = lfr_suite()[0].generate(77);
+    let obs = observe_with(&truth, 0.15, 150, 0.3, 13);
+    let result = Tends::new().reconstruct(&obs.statuses);
+    let cmp = EdgeSetComparison::against_truth(&truth, &result.graph);
+    assert!(
+        cmp.f_score() > 0.6,
+        "LFR1 F-score {} below the paper's regime",
+        cmp.f_score()
+    );
+}
+
+#[test]
+fn reconstruction_is_deterministic() {
+    let truth = lfr_suite()[0].generate(78);
+    let obs = observe_with(&truth, 0.15, 100, 0.3, 14);
+    let a = Tends::new().reconstruct(&obs.statuses);
+    let b = Tends::new().reconstruct(&obs.statuses);
+    assert_eq!(a.graph, b.graph);
+    assert_eq!(a.tau, b.tau);
+}
+
+#[test]
+fn more_processes_do_not_hurt() {
+    // Corollary 1 consistency, empirically: β = 400 should beat β = 40 on
+    // the same network (with the same generative seed).
+    let truth = reciprocal(&[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)], 7);
+    let big = observe_with(&truth, 0.2, 400, 0.4, 15);
+    let small = big.truncated(40);
+    let f_small = EdgeSetComparison::against_truth(
+        &truth,
+        &Tends::new().reconstruct(&small.statuses).graph,
+    )
+    .f_score();
+    let f_big = EdgeSetComparison::against_truth(
+        &truth,
+        &Tends::new().reconstruct(&big.statuses).graph,
+    )
+    .f_score();
+    assert!(
+        f_big >= f_small - 0.05,
+        "F went from {f_small} (β=40) down to {f_big} (β=400)"
+    );
+    assert!(f_big > 0.75, "β=400 F-score {f_big}");
+}
+
+#[test]
+fn isolated_nodes_get_no_parents() {
+    // Nodes 4 and 5 are isolated: their statuses are pure seed noise.
+    let truth = reciprocal(&[(0, 1), (1, 2), (2, 3)], 6);
+    let obs = observe_with(&truth, 0.25, 400, 0.4, 16);
+    let result = Tends::new().reconstruct(&obs.statuses);
+    for node in [4u32, 5] {
+        assert!(
+            result.node_results[node as usize].parents.len() <= 1,
+            "isolated node {node} got parents {:?}",
+            result.node_results[node as usize].parents
+        );
+    }
+}
+
+#[test]
+fn global_score_improves_over_empty_topology() {
+    let truth = lfr_suite()[0].generate(79);
+    let obs = observe_with(&truth, 0.15, 150, 0.3, 17);
+    let result = Tends::new().reconstruct(&obs.statuses);
+    // Score of the empty topology: sum of empty-set local scores.
+    let cols = obs.statuses.columns();
+    let empty_score: f64 = (0..obs.num_nodes() as NodeId)
+        .map(|i| diffnet::tends::score::local_score(&cols.combo_counts(i, &[])))
+        .sum();
+    assert!(
+        result.global_score >= empty_score,
+        "selected topology scores {} below empty {}",
+        result.global_score,
+        empty_score
+    );
+}
