@@ -21,10 +21,7 @@ fn random_seed_spread<R: Rng + ?Sized>(
     trials: usize,
     rng: &mut R,
 ) -> f64 {
-    let candidates: Vec<NodeId> = graph
-        .nodes()
-        .filter(|&v| !immunized[v as usize])
-        .collect();
+    let candidates: Vec<NodeId> = graph.nodes().filter(|&v| !immunized[v as usize]).collect();
     if candidates.is_empty() {
         return 0.0;
     }
@@ -184,8 +181,7 @@ mod tests {
         let stripped = strip(&g, &immunized);
         let stripped_probs = reindex_probs(&g, &probs, &stripped);
         let before = random_seed_spread(&g, &probs, &[false; 40], 3, 400, &mut rng);
-        let after =
-            random_seed_spread(&stripped, &stripped_probs, &immunized, 3, 400, &mut rng);
+        let after = random_seed_spread(&stripped, &stripped_probs, &immunized, 3, 400, &mut rng);
         assert!(
             after < before,
             "immunization must reduce spread: {after} vs {before}"

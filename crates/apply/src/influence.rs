@@ -90,7 +90,11 @@ pub fn celf_influence_maximization<R: Rng + ?Sized>(
 
     // Initial marginal gains = singleton spreads.
     let mut heap: BinaryHeap<CelfEntry> = (0..n as NodeId)
-        .map(|v| CelfEntry { gain: est.spread(&[v], rng), node: v, round: 0 })
+        .map(|v| CelfEntry {
+            gain: est.spread(&[v], rng),
+            node: v,
+            round: 0,
+        })
         .collect();
 
     let mut seeds: Vec<NodeId> = Vec::with_capacity(k);
@@ -109,12 +113,20 @@ pub fn celf_influence_maximization<R: Rng + ?Sized>(
             buf.extend_from_slice(&seeds);
             buf.push(top.node);
             let fresh = est.spread(&buf, rng) - current_spread;
-            heap.push(CelfEntry { gain: fresh, node: top.node, round });
+            heap.push(CelfEntry {
+                gain: fresh,
+                node: top.node,
+                round,
+            });
         }
     }
     // Re-estimate the final spread directly (the incremental sum carries
     // Monte-Carlo drift).
-    let final_spread = if seeds.is_empty() { 0.0 } else { est.spread(&seeds, rng) };
+    let final_spread = if seeds.is_empty() {
+        0.0
+    } else {
+        est.spread(&seeds, rng)
+    };
     (seeds, final_spread)
 }
 
@@ -171,7 +183,10 @@ mod tests {
         let est = SpreadEstimator::new(&g, &probs, 50);
         let (seeds, spread) = celf_influence_maximization(&est, 5, &mut rng);
         assert_eq!(seeds.len(), 5);
-        assert!(spread >= 5.0, "spread at least covers the seeds, got {spread}");
+        assert!(
+            spread >= 5.0,
+            "spread at least covers the seeds, got {spread}"
+        );
         let unique: std::collections::HashSet<_> = seeds.iter().collect();
         assert_eq!(unique.len(), 5, "seeds must be distinct");
     }

@@ -19,8 +19,9 @@ pub fn estimate_spread<R: Rng + ?Sized>(
 ) -> f64 {
     assert!(trials > 0, "at least one trial required");
     let sim = IndependentCascade::new(graph, probs);
-    let total: usize =
-        (0..trials).map(|_| sim.run_once(seeds, rng).infected_count()).sum();
+    let total: usize = (0..trials)
+        .map(|_| sim.run_once(seeds, rng).infected_count())
+        .sum();
     total as f64 / trials as f64
 }
 
@@ -45,7 +46,11 @@ impl<'a> SpreadEstimator<'a> {
             graph.edge_count(),
             "edge probabilities must cover every edge"
         );
-        SpreadEstimator { graph, probs, trials }
+        SpreadEstimator {
+            graph,
+            probs,
+            trials,
+        }
     }
 
     /// Expected spread of a seed set.

@@ -137,7 +137,11 @@ impl MulTree {
 
         // Lazy greedy.
         let mut heap: BinaryHeap<HeapEntry> = (0..edge_list.len())
-            .map(|eid| HeapEntry { gain: gain_of(eid, &slot_count), edge: eid, round: 0 })
+            .map(|eid| HeapEntry {
+                gain: gain_of(eid, &slot_count),
+                edge: eid,
+                round: 0,
+            })
             .collect();
         let mut selected = GraphBuilder::new(n);
         let mut picked = 0usize;
@@ -156,7 +160,11 @@ impl MulTree {
             } else {
                 // Stale: re-evaluate and push back (valid by submodularity).
                 let fresh = gain_of(top.edge, &slot_count);
-                heap.push(HeapEntry { gain: fresh, edge: top.edge, round });
+                heap.push(HeapEntry {
+                    gain: fresh,
+                    edge: top.edge,
+                    round,
+                });
             }
         }
         selected.build()
@@ -173,8 +181,13 @@ mod tests {
     fn observe(truth: &DiGraph, seed: u64, beta: usize) -> ObservationSet {
         let mut rng = StdRng::seed_from_u64(seed);
         let probs = EdgeProbs::constant(truth, 0.5);
-        IndependentCascade::new(truth, &probs)
-            .observe(IcConfig { initial_ratio: 0.2, num_processes: beta }, &mut rng)
+        IndependentCascade::new(truth, &probs).observe(
+            IcConfig {
+                initial_ratio: 0.2,
+                num_processes: beta,
+            },
+            &mut rng,
+        )
     }
 
     #[test]
@@ -191,7 +204,11 @@ mod tests {
         let obs = observe(&truth, 72, 400);
         let g = MulTree::new().infer(&obs, truth.edge_count());
         let tp = g.edges().filter(|&(u, v)| truth.has_edge(u, v)).count();
-        assert!(tp >= 3, "only {tp}/5 true edges; inferred {:?}", g.edge_vec());
+        assert!(
+            tp >= 3,
+            "only {tp}/5 true edges; inferred {:?}",
+            g.edge_vec()
+        );
     }
 
     #[test]
@@ -224,9 +241,7 @@ mod tests {
         for (u, v) in g.edges() {
             let ordered = obs.records.iter().any(|rec| {
                 let (tu, tv) = (rec.times[u as usize], rec.times[v as usize]);
-                tu != diffnet_simulate::UNINFECTED
-                    && tv != diffnet_simulate::UNINFECTED
-                    && tu < tv
+                tu != diffnet_simulate::UNINFECTED && tv != diffnet_simulate::UNINFECTED && tu < tv
             });
             assert!(ordered, "edge ({u},{v}) never observed time-ordered");
         }

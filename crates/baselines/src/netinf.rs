@@ -114,8 +114,13 @@ mod tests {
     fn observe(truth: &DiGraph, seed: u64, beta: usize) -> ObservationSet {
         let mut rng = StdRng::seed_from_u64(seed);
         let probs = EdgeProbs::constant(truth, 0.5);
-        IndependentCascade::new(truth, &probs)
-            .observe(IcConfig { initial_ratio: 0.2, num_processes: beta }, &mut rng)
+        IndependentCascade::new(truth, &probs).observe(
+            IcConfig {
+                initial_ratio: 0.2,
+                num_processes: beta,
+            },
+            &mut rng,
+        )
     }
 
     #[test]

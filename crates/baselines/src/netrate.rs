@@ -38,7 +38,11 @@ pub struct NetRateConfig {
 
 impl Default for NetRateConfig {
     fn default() -> Self {
-        NetRateConfig { max_iters: 200, step_size: 0.1, tolerance: 1e-5 }
+        NetRateConfig {
+            max_iters: 200,
+            step_size: 0.1,
+            tolerance: 1e-5,
+        }
     }
 }
 
@@ -88,7 +92,11 @@ impl NetRate {
                     .filter(|&i| rec.times[i as usize] == UNINFECTED)
                     .collect();
                 let horizon = (rec.horizon() + 1) as f64;
-                Cascade { infected, uninfected, horizon }
+                Cascade {
+                    infected,
+                    uninfected,
+                    horizon,
+                }
             })
             .collect();
 
@@ -153,12 +161,14 @@ impl NetRate {
 
         for _ in 0..self.config.max_iters {
             grad.copy_from_slice(&base_grad);
-            let mut ll: f64 =
-                alpha.iter().zip(&base_grad).map(|(a, g)| a * g).sum();
+            let mut ll: f64 = alpha.iter().zip(&base_grad).map(|(a, g)| a * g).sum();
             for w in slot_offsets.windows(2) {
                 let slot = &slot_pairs[w[0] as usize..w[1] as usize];
-                let hazard: f64 =
-                    slot.iter().map(|&idx| alpha[idx as usize]).sum::<f64>().max(FLOOR);
+                let hazard: f64 = slot
+                    .iter()
+                    .map(|&idx| alpha[idx as usize])
+                    .sum::<f64>()
+                    .max(FLOOR);
                 ll += hazard.ln();
                 let inv = 1.0 / hazard;
                 for &idx in slot {
@@ -207,8 +217,13 @@ mod tests {
     fn observe(truth: &DiGraph, seed: u64, beta: usize) -> ObservationSet {
         let mut rng = StdRng::seed_from_u64(seed);
         let probs = EdgeProbs::constant(truth, 0.5);
-        IndependentCascade::new(truth, &probs)
-            .observe(IcConfig { initial_ratio: 0.2, num_processes: beta }, &mut rng)
+        IndependentCascade::new(truth, &probs).observe(
+            IcConfig {
+                initial_ratio: 0.2,
+                num_processes: beta,
+            },
+            &mut rng,
+        )
     }
 
     #[test]

@@ -93,8 +93,13 @@ mod tests {
     fn observe(truth: &DiGraph, seed: u64, beta: usize) -> ObservationSet {
         let mut rng = StdRng::seed_from_u64(seed);
         let probs = EdgeProbs::constant(truth, 0.6);
-        IndependentCascade::new(truth, &probs)
-            .observe(IcConfig { initial_ratio: 0.15, num_processes: beta }, &mut rng)
+        IndependentCascade::new(truth, &probs).observe(
+            IcConfig {
+                initial_ratio: 0.15,
+                num_processes: beta,
+            },
+            &mut rng,
+        )
     }
 
     #[test]

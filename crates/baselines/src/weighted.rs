@@ -17,7 +17,10 @@ pub struct WeightedGraph {
 impl WeightedGraph {
     /// An empty weighted graph over `n` nodes.
     pub fn new(n: usize) -> Self {
-        WeightedGraph { n, edges: Vec::new() }
+        WeightedGraph {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Adds a scored potential edge. Weights need not be probabilities.
@@ -26,7 +29,10 @@ impl WeightedGraph {
     ///
     /// Panics if an endpoint is out of range or the weight is NaN.
     pub fn push(&mut self, u: NodeId, v: NodeId, w: f64) {
-        assert!((u as usize) < self.n && (v as usize) < self.n, "edge out of range");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge out of range"
+        );
         assert!(!w.is_nan(), "edge weight must not be NaN");
         self.edges.push((u, v, w));
     }
@@ -169,7 +175,10 @@ mod tests {
         let truth = DiGraph::from_edges(4, &[(2, 3)]);
         let (g, f) = sample().best_fscore_graph(&truth);
         assert!(g.has_edge(2, 3));
-        assert!((f - 0.5).abs() < 1e-9, "3 picked : 1 TP → F = 2/(3+1) = 0.5, got {f}");
+        assert!(
+            (f - 0.5).abs() < 1e-9,
+            "3 picked : 1 TP → F = 2/(3+1) = 0.5, got {f}"
+        );
     }
 
     #[test]

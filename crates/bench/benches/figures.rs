@@ -16,7 +16,11 @@ fn main() {
     let scale = Scale::from_env_for_bench();
     println!(
         "reproducing all paper figures at {} scale",
-        if scale.is_full() { "FULL (paper)" } else { "QUICK (set DIFFNET_FULL=1 for paper scale)" }
+        if scale.is_full() {
+            "FULL (paper)"
+        } else {
+            "QUICK (set DIFFNET_FULL=1 for paper scale)"
+        }
     );
     let total = Stopwatch::start();
     for (name, f) in figures::all_figures() {

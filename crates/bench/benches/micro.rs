@@ -6,8 +6,9 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use diffnet_baselines::{Lift, MulTree, NetRate, NetRateConfig};
 use diffnet_datasets::lfr_suite;
 use diffnet_graph::DiGraph;
-use diffnet_simulate::{EdgeProbs, IcConfig, IndependentCascade, ObservationSet};
-use diffnet_tends::{pinned_two_means, CorrelationMatrix, CorrelationMeasure, Tends};
+use diffnet_simulate::{CountsWorkspace, EdgeProbs, IcConfig, IndependentCascade, ObservationSet};
+use diffnet_tends::search::{candidate_parents, find_parents_reference, find_parents_with};
+use diffnet_tends::{pinned_two_means, CorrelationMatrix, CorrelationMeasure, SearchParams, Tends};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -16,8 +17,13 @@ fn workload(n_index: usize) -> (DiGraph, ObservationSet) {
     let truth = spec.generate(2020);
     let mut rng = StdRng::seed_from_u64(42);
     let probs = EdgeProbs::gaussian(&truth, 0.3, 0.05, &mut rng);
-    let obs = IndependentCascade::new(&truth, &probs)
-        .observe(IcConfig { initial_ratio: 0.15, num_processes: 150 }, &mut rng);
+    let obs = IndependentCascade::new(&truth, &probs).observe(
+        IcConfig {
+            initial_ratio: 0.15,
+            num_processes: 150,
+        },
+        &mut rng,
+    );
     (truth, obs)
 }
 
@@ -30,7 +36,10 @@ fn bench_simulation(c: &mut Criterion) {
     c.bench_function("simulate/ic_150_processes_n200", |b| {
         b.iter(|| {
             let obs = sim.observe(
-                IcConfig { initial_ratio: 0.15, num_processes: 150 },
+                IcConfig {
+                    initial_ratio: 0.15,
+                    num_processes: 150,
+                },
                 &mut rng,
             );
             black_box(obs.statuses.infected_fraction())
@@ -65,7 +74,52 @@ fn bench_counting_kernels(c: &mut Criterion) {
             &parents,
             |b, parents| b.iter(|| black_box(obs.statuses.combo_counts(0, parents))),
         );
+        // Incremental path: the base partition is cached once and only the
+        // last parent is refined per query, as in one greedy round.
+        let (base, extra) = parents.split_at(f.saturating_sub(1));
+        let mut ws = CountsWorkspace::new();
+        ws.set_base(&cols, base);
+        group.bench_with_input(
+            BenchmarkId::new("combo_counts_workspace", f),
+            &extra.to_vec(),
+            |b, extra| b.iter(|| black_box(ws.refined_counts(&cols, 0, extra)[0])),
+        );
     }
+    group.finish();
+}
+
+fn bench_greedy_search(c: &mut Criterion) {
+    // The full per-node parent search (candidate pruning already done),
+    // workspace path vs the from-scratch reference path.
+    let (_, obs) = workload(2);
+    let cols = obs.statuses.columns();
+    let corr = CorrelationMatrix::compute(&cols, CorrelationMeasure::Imi);
+    let tau = pinned_two_means(&corr.upper_triangle()).tau;
+    let params = SearchParams::default();
+    let candidates: Vec<Vec<u32>> = (0..200u32)
+        .map(|i| candidate_parents(&corr, i, tau, params.max_candidates))
+        .collect();
+    let mut group = c.benchmark_group("greedy_n200");
+    group.sample_size(10);
+    group.bench_function("find_parents_reference", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for (i, cands) in candidates.iter().enumerate() {
+                acc += find_parents_reference(&cols, i as u32, cands, &params).evaluations;
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("find_parents_workspace", |b| {
+        b.iter(|| {
+            let mut ws = CountsWorkspace::new();
+            let mut acc = 0usize;
+            for (i, cands) in candidates.iter().enumerate() {
+                acc += find_parents_with(&mut ws, &cols, i as u32, cands, &params).evaluations;
+            }
+            black_box(acc)
+        })
+    });
     group.finish();
 }
 
@@ -100,7 +154,10 @@ fn bench_baselines(c: &mut Criterion) {
     let mut group = c.benchmark_group("baselines_n200");
     group.sample_size(10);
     group.bench_function("netrate_200_iters", |b| {
-        let nr = NetRate::with_config(NetRateConfig { max_iters: 200, ..Default::default() });
+        let nr = NetRate::with_config(NetRateConfig {
+            max_iters: 200,
+            ..Default::default()
+        });
         b.iter(|| black_box(nr.infer(&obs)))
     });
     group.bench_function("multree", |b| {
@@ -114,6 +171,7 @@ criterion_group!(
     benches,
     bench_simulation,
     bench_counting_kernels,
+    bench_greedy_search,
     bench_imi_and_kmeans,
     bench_reconstruction,
     bench_baselines

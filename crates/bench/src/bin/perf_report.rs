@@ -1,0 +1,220 @@
+//! Performance report for the TENDS hot paths, written to
+//! `BENCH_micro.json` at the repository root.
+//!
+//! Measures, at two LFR sizes:
+//!
+//! * the IMI correlation matrix, single-threaded vs `DIFFNET_THREADS`-style
+//!   multi-threaded (8 workers);
+//! * one full TENDS reconstruction, 1 vs 8 threads;
+//! * the `N_ijk` counting kernel: the recursive bitset kernel vs the
+//!   incremental [`CountsWorkspace`] refinement;
+//! * the full greedy parent search: workspace path vs the from-scratch
+//!   reference path, both single-threaded.
+//!
+//! Multi-thread speedups are only meaningful on multi-core hardware; the
+//! report records `hardware_threads` so the numbers are interpretable.
+//! `DIFFNET_QUICK=1` shrinks the workloads for smoke runs.
+
+use diffnet_bench::harness::{observe, Setting};
+use diffnet_datasets::LfrSpec;
+use diffnet_metrics::timed;
+use diffnet_simulate::{CountsWorkspace, NodeColumns, StatusMatrix};
+use diffnet_tends::search::{find_parents_reference, SearchParams};
+use diffnet_tends::{CorrelationMatrix, CorrelationMeasure, Tends, TendsConfig};
+use std::fmt::Write as _;
+
+/// Median wall-clock seconds of `reps` runs of `f`.
+fn median_secs<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let (out, secs) = timed(&mut f);
+            std::hint::black_box(out);
+            secs
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    times[times.len() / 2]
+}
+
+fn status_workload(n: usize, beta: usize, seed: u64) -> StatusMatrix {
+    let spec = LfrSpec {
+        name: "perf",
+        n,
+        mean_degree: 4.0,
+        degree_exponent: 2.0,
+    };
+    let truth = spec.generate(2020);
+    let setting = Setting {
+        beta,
+        seed,
+        ..Default::default()
+    };
+    observe(&truth, &setting).statuses
+}
+
+struct KernelRow {
+    n: usize,
+    recursive_s: f64,
+    workspace_s: f64,
+}
+
+/// Times the two counting kernels over every node as child, with a cached
+/// 3-parent base and a 2-node extension — the shape of one greedy round.
+fn kernel_row(n: usize, cols: &NodeColumns, reps: usize) -> KernelRow {
+    let base: Vec<u32> = [0u32, 2, 4]
+        .into_iter()
+        .filter(|&p| (p as usize) < n)
+        .collect();
+    let extra: Vec<u32> = [1u32, 3]
+        .into_iter()
+        .filter(|&p| (p as usize) < n)
+        .collect();
+    let mut union: Vec<u32> = base.iter().chain(&extra).copied().collect();
+    union.sort_unstable();
+
+    let children: Vec<u32> = (5..n as u32).collect();
+    let recursive_s = median_secs(reps, || {
+        let mut acc = 0u64;
+        for &child in &children {
+            acc += cols.combo_counts(child, &union)[0][0];
+        }
+        acc
+    });
+    let mut ws = CountsWorkspace::new();
+    ws.set_base(cols, &base);
+    let workspace_s = median_secs(reps, || {
+        let mut acc = 0u64;
+        for &child in &children {
+            acc += ws.refined_counts(cols, child, &extra)[0][0];
+        }
+        acc
+    });
+    KernelRow {
+        n,
+        recursive_s,
+        workspace_s,
+    }
+}
+
+fn main() {
+    let quick = std::env::var("DIFFNET_QUICK").is_ok_and(|v| v == "1");
+    let (n_small, n_large, reps) = if quick { (100, 200, 3) } else { (300, 1000, 5) };
+    let beta = 150;
+    let hardware_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    eprintln!("perf_report: generating workloads (n={n_small}, n={n_large}, beta={beta})");
+    let small = status_workload(n_small, beta, 11);
+    let large = status_workload(n_large, beta, 12);
+    let small_cols = small.columns();
+    let large_cols = large.columns();
+
+    // IMI matrix at the large size, 1 vs 8 threads.
+    eprintln!("perf_report: IMI matrix (n={n_large})");
+    let imi_1 = median_secs(reps, || {
+        CorrelationMatrix::compute_parallel(&large_cols, CorrelationMeasure::Imi, 1)
+    });
+    let imi_8 = median_secs(reps, || {
+        CorrelationMatrix::compute_parallel(&large_cols, CorrelationMeasure::Imi, 8)
+    });
+
+    // Full reconstruction at the small size, 1 vs 8 threads.
+    eprintln!("perf_report: reconstruction (n={n_small})");
+    let rec_1 = median_secs(reps.min(3), || {
+        Tends::with_config(TendsConfig {
+            threads: 1,
+            ..Default::default()
+        })
+        .reconstruct(&small)
+    });
+    let rec_8 = median_secs(reps.min(3), || {
+        Tends::with_config(TendsConfig {
+            threads: 8,
+            ..Default::default()
+        })
+        .reconstruct(&small)
+    });
+
+    // Counting kernel at both sizes.
+    eprintln!("perf_report: counting kernels");
+    let kernels = [
+        kernel_row(n_small, &small_cols, reps),
+        kernel_row(n_large, &large_cols, reps),
+    ];
+
+    // Full greedy parent search (workspace vs reference), single-threaded,
+    // over every node of the small workload with its IMI candidates.
+    eprintln!("perf_report: greedy search (n={n_small})");
+    let corr = CorrelationMatrix::compute(&small_cols, CorrelationMeasure::Imi);
+    let tau = diffnet_tends::pinned_two_means(&corr.upper_triangle()).tau;
+    let params = SearchParams::default();
+    let candidates: Vec<Vec<u32>> = (0..n_small as u32)
+        .map(|i| diffnet_tends::search::candidate_parents(&corr, i, tau, params.max_candidates))
+        .collect();
+    let greedy_ref = median_secs(reps.min(3), || {
+        let mut acc = 0usize;
+        for (i, cands) in candidates.iter().enumerate() {
+            acc += find_parents_reference(&small_cols, i as u32, cands, &params).evaluations;
+        }
+        acc
+    });
+    let greedy_ws = median_secs(reps.min(3), || {
+        let mut ws = CountsWorkspace::new();
+        let mut acc = 0usize;
+        for (i, cands) in candidates.iter().enumerate() {
+            acc += diffnet_tends::search::find_parents_with(
+                &mut ws,
+                &small_cols,
+                i as u32,
+                cands,
+                &params,
+            )
+            .evaluations;
+        }
+        acc
+    });
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"generated_by\": \"perf_report\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"hardware_threads\": {hardware_threads},");
+    let _ = writeln!(json, "  \"beta\": {beta},");
+    let _ = writeln!(
+        json,
+        "  \"imi_matrix\": {{\"n\": {n_large}, \"threads_1_s\": {imi_1:.6}, \
+         \"threads_8_s\": {imi_8:.6}, \"speedup\": {:.3}}},",
+        imi_1 / imi_8
+    );
+    let _ = writeln!(
+        json,
+        "  \"reconstruction\": {{\"n\": {n_small}, \"threads_1_s\": {rec_1:.6}, \
+         \"threads_8_s\": {rec_8:.6}, \"speedup\": {:.3}}},",
+        rec_1 / rec_8
+    );
+    let _ = writeln!(json, "  \"counting_kernel\": [");
+    for (idx, k) in kernels.iter().enumerate() {
+        let comma = if idx + 1 < kernels.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"n\": {}, \"recursive_s\": {:.6}, \"workspace_s\": {:.6}, \
+             \"speedup\": {:.3}}}{comma}",
+            k.n,
+            k.recursive_s,
+            k.workspace_s,
+            k.recursive_s / k.workspace_s
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"greedy_search\": {{\"n\": {n_small}, \"reference_s\": {greedy_ref:.6}, \
+         \"workspace_s\": {greedy_ws:.6}, \"speedup\": {:.3}}}",
+        greedy_ref / greedy_ws
+    );
+    let _ = writeln!(json, "}}");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_micro.json");
+    std::fs::write(path, &json).expect("write BENCH_micro.json");
+    println!("{json}");
+    eprintln!("perf_report: wrote {path}");
+}

@@ -4,7 +4,7 @@
 //! corresponding figure: an F-score table and a running-time table with
 //! one series per algorithm (the paper plots exactly these quantities).
 
-use crate::harness::{evaluate_all, observe, Scale, Setting, SERIES};
+use crate::harness::{evaluate_all, observe, tends_config, Scale, Setting, SERIES};
 use diffnet_datasets::{dunf_like, lfr_suite, netsci_like};
 use diffnet_graph::{stats, DiGraph};
 use diffnet_metrics::table::ResultTable;
@@ -48,8 +48,7 @@ fn sweep(
     scale: Scale,
 ) -> Vec<ResultTable> {
     let mut f_table = ResultTable::new(format!("{fig} — F-score"), param, &SERIES);
-    let mut t_table =
-        ResultTable::new(format!("{fig} — running time (s)"), param, &SERIES);
+    let mut t_table = ResultTable::new(format!("{fig} — running time (s)"), param, &SERIES);
     for (label, truth, setting) in workloads {
         let obs = observe(&truth, &setting);
         let outcomes = evaluate_all(&truth, &obs, scale);
@@ -72,10 +71,19 @@ pub fn fig01_network_size(scale: Scale) -> Vec<ResultTable> {
                 seed: 100 + i as u64,
                 ..Default::default()
             };
-            (format!("n={}", spec.n), spec.generate(DATASET_SEED), setting)
+            (
+                format!("n={}", spec.n),
+                spec.generate(DATASET_SEED),
+                setting,
+            )
         })
         .collect();
-    sweep("Fig. 1: effect of diffusion network size", "n", workloads, scale)
+    sweep(
+        "Fig. 1: effect of diffusion network size",
+        "n",
+        workloads,
+        scale,
+    )
 }
 
 /// Fig. 2: effect of average node degree (LFR6–10).
@@ -96,7 +104,12 @@ pub fn fig02_avg_degree(scale: Scale) -> Vec<ResultTable> {
             )
         })
         .collect();
-    sweep("Fig. 2: effect of average node degree", "K", workloads, scale)
+    sweep(
+        "Fig. 2: effect of average node degree",
+        "K",
+        workloads,
+        scale,
+    )
 }
 
 /// Fig. 3: effect of node degree dispersion (LFR11–15).
@@ -117,7 +130,12 @@ pub fn fig03_dispersion(scale: Scale) -> Vec<ResultTable> {
             )
         })
         .collect();
-    sweep("Fig. 3: effect of node degree dispersion", "T", workloads, scale)
+    sweep(
+        "Fig. 3: effect of node degree dispersion",
+        "T",
+        workloads,
+        scale,
+    )
 }
 
 /// Figs. 4–5: effect of the initial infection ratio on NetSci and DUNF.
@@ -191,7 +209,11 @@ pub fn fig08_09_num_processes(scale: Scale) -> Vec<ResultTable> {
     ] {
         let betas = [50usize, 100, 150, 200, 250];
         let max_beta = scale.beta(250);
-        let full_setting = Setting { beta: max_beta, seed: 800, ..Default::default() };
+        let full_setting = Setting {
+            beta: max_beta,
+            seed: 800,
+            ..Default::default()
+        };
         let full_obs = observe(&truth, &full_setting);
 
         let mut f_table = ResultTable::new(
@@ -200,9 +222,7 @@ pub fn fig08_09_num_processes(scale: Scale) -> Vec<ResultTable> {
             &SERIES,
         );
         let mut t_table = ResultTable::new(
-            format!(
-                "{fig}: effect of number of diffusion processes on {name} — running time (s)"
-            ),
+            format!("{fig}: effect of number of diffusion processes on {name} — running time (s)"),
             "β",
             &SERIES,
         );
@@ -230,7 +250,11 @@ pub fn fig10_11_pruning(scale: Scale) -> Vec<ResultTable> {
         ("Fig. 10", "NetSci", netsci_like(DATASET_SEED)),
         ("Fig. 11", "DUNF", dunf_like(DATASET_SEED)),
     ] {
-        let setting = Setting { beta: scale.beta(150), seed: 1000, ..Default::default() };
+        let setting = Setting {
+            beta: scale.beta(150),
+            seed: 1000,
+            ..Default::default()
+        };
         let obs = observe(&truth, &setting);
 
         let series = ["TENDS (IMI)", "TENDS (MI)"];
@@ -254,12 +278,14 @@ pub fn fig10_11_pruning(scale: Scale) -> Vec<ResultTable> {
                 let cfg = TendsConfig {
                     correlation: measure,
                     threshold: ThresholdMode::ScaledAuto(s),
-                    search: SearchParams { max_candidates: 16, ..Default::default() },
-                    ..Default::default()
+                    search: SearchParams {
+                        max_candidates: 16,
+                        ..Default::default()
+                    },
+                    ..tends_config()
                 };
                 let (res, secs) = timed(|| Tends::with_config(cfg).reconstruct(&obs.statuses));
-                let cmp =
-                    diffnet_metrics::EdgeSetComparison::against_truth(&truth, &res.graph);
+                let cmp = diffnet_metrics::EdgeSetComparison::against_truth(&truth, &res.graph);
                 fs.push(cmp.f_score());
                 ts.push(secs);
             }
@@ -297,14 +323,24 @@ pub fn greedy_ablation(scale: Scale) -> Vec<ResultTable> {
         ("DUNF".into(), dunf_like(DATASET_SEED)),
     ];
     for (label, truth) in workloads {
-        let setting = Setting { beta: scale.beta(150), seed: 1200, ..Default::default() };
+        let setting = Setting {
+            beta: scale.beta(150),
+            seed: 1200,
+            ..Default::default()
+        };
         let obs = observe(&truth, &setting);
         let mut row = Vec::with_capacity(4);
         let mut times = Vec::with_capacity(2);
-        for strategy in [GreedyStrategy::BestImprovement, GreedyStrategy::ScoreOrdered] {
+        for strategy in [
+            GreedyStrategy::BestImprovement,
+            GreedyStrategy::ScoreOrdered,
+        ] {
             let cfg = TendsConfig {
-                search: SearchParams { strategy, ..Default::default() },
-                ..Default::default()
+                search: SearchParams {
+                    strategy,
+                    ..Default::default()
+                },
+                ..tends_config()
             };
             let (res, secs) = timed(|| Tends::with_config(cfg).reconstruct(&obs.statuses));
             let cmp = diffnet_metrics::EdgeSetComparison::against_truth(&truth, &res.graph);
@@ -331,17 +367,30 @@ pub fn model_mismatch(scale: Scale) -> Vec<ResultTable> {
         &SERIES,
     );
     for (label, truth) in [
-        ("LFR3 / IC".to_string(), lfr_suite()[2].generate(DATASET_SEED)),
-        ("LFR3 / LT".to_string(), lfr_suite()[2].generate(DATASET_SEED)),
+        (
+            "LFR3 / IC".to_string(),
+            lfr_suite()[2].generate(DATASET_SEED),
+        ),
+        (
+            "LFR3 / LT".to_string(),
+            lfr_suite()[2].generate(DATASET_SEED),
+        ),
         ("NetSci / IC".to_string(), netsci_like(DATASET_SEED)),
         ("NetSci / LT".to_string(), netsci_like(DATASET_SEED)),
     ] {
-        let setting = Setting { beta: scale.beta(150), seed: 1400, ..Default::default() };
+        let setting = Setting {
+            beta: scale.beta(150),
+            seed: 1400,
+            ..Default::default()
+        };
         let obs = if label.ends_with("LT") {
             let mut rng = StdRng::seed_from_u64(setting.seed);
             let probs = EdgeProbs::gaussian(&truth, setting.mu, setting.sigma, &mut rng);
             LinearThreshold::new(&truth, &probs).observe(
-                IcConfig { initial_ratio: setting.alpha, num_processes: setting.beta },
+                IcConfig {
+                    initial_ratio: setting.alpha,
+                    num_processes: setting.beta,
+                },
                 &mut rng,
             )
         } else {
@@ -363,7 +412,11 @@ pub fn status_noise(scale: Scale) -> Vec<ResultTable> {
     use rand::SeedableRng;
 
     let truth = netsci_like(DATASET_SEED);
-    let setting = Setting { beta: scale.beta(150), seed: 1500, ..Default::default() };
+    let setting = Setting {
+        beta: scale.beta(150),
+        seed: 1500,
+        ..Default::default()
+    };
     let obs = observe(&truth, &setting);
 
     let series = ["precision", "recall", "F-score"];
@@ -374,9 +427,8 @@ pub fn status_noise(scale: Scale) -> Vec<ResultTable> {
     );
     let mut rng = StdRng::seed_from_u64(77);
     for rate in [0.0f64, 0.05, 0.10, 0.15, 0.20] {
-        let noisy =
-            diffnet_simulate::flip_statuses(&obs.statuses, rate, rate / 4.0, &mut rng);
-        let g = Tends::new().reconstruct(&noisy).graph;
+        let noisy = diffnet_simulate::flip_statuses(&obs.statuses, rate, rate / 4.0, &mut rng);
+        let g = Tends::with_config(tends_config()).reconstruct(&noisy).graph;
         let cmp = diffnet_metrics::EdgeSetComparison::against_truth(&truth, &g);
         t.push_row(
             format!("{:.0}% / {:.1}%", 100.0 * rate, 25.0 * rate),
@@ -401,7 +453,11 @@ pub fn direction_policies(scale: Scale) -> Vec<ResultTable> {
         ("NetSci (reciprocal)".to_string(), netsci_like(DATASET_SEED)),
         ("DUNF (directed)".to_string(), dunf_like(DATASET_SEED)),
     ] {
-        let setting = Setting { beta: scale.beta(150), seed: 1600, ..Default::default() };
+        let setting = Setting {
+            beta: scale.beta(150),
+            seed: 1600,
+            ..Default::default()
+        };
         let obs = observe(&truth, &setting);
         let mut row = Vec::with_capacity(3);
         for policy in [
@@ -409,7 +465,10 @@ pub fn direction_policies(scale: Scale) -> Vec<ResultTable> {
             DirectionPolicy::Symmetrize,
             DirectionPolicy::MutualOnly,
         ] {
-            let cfg = TendsConfig { direction: policy, ..Default::default() };
+            let cfg = TendsConfig {
+                direction: policy,
+                ..tends_config()
+            };
             let g = Tends::with_config(cfg).reconstruct(&obs.statuses).graph;
             row.push(diffnet_metrics::EdgeSetComparison::against_truth(&truth, &g).f_score());
         }
@@ -422,7 +481,12 @@ pub fn direction_policies(scale: Scale) -> Vec<ResultTable> {
 /// the pruning-only baseline that connects every pair above the
 /// threshold.
 pub fn scoring_value(scale: Scale) -> Vec<ResultTable> {
-    let series = ["TENDS F", "pruning-only F", "TENDS edges", "pruning-only edges"];
+    let series = [
+        "TENDS F",
+        "pruning-only F",
+        "TENDS edges",
+        "pruning-only edges",
+    ];
     let mut t = ResultTable::new(
         "Ablation: scoring criterion vs pruning-only correlation threshold",
         "network",
@@ -433,19 +497,27 @@ pub fn scoring_value(scale: Scale) -> Vec<ResultTable> {
         ("NetSci".to_string(), netsci_like(DATASET_SEED)),
         ("DUNF".to_string(), dunf_like(DATASET_SEED)),
     ] {
-        let setting = Setting { beta: scale.beta(150), seed: 1700, ..Default::default() };
-        let obs = observe(&truth, &setting);
-        let full = Tends::new().reconstruct(&obs.statuses).graph;
-        let naive = diffnet_tends::ablation::correlation_threshold_baseline(
-            &obs.statuses,
-            &TendsConfig::default(),
-        );
-        let f = |g: &DiGraph| {
-            diffnet_metrics::EdgeSetComparison::against_truth(&truth, g).f_score()
+        let setting = Setting {
+            beta: scale.beta(150),
+            seed: 1700,
+            ..Default::default()
         };
+        let obs = observe(&truth, &setting);
+        let full = Tends::with_config(tends_config())
+            .reconstruct(&obs.statuses)
+            .graph;
+        let naive =
+            diffnet_tends::ablation::correlation_threshold_baseline(&obs.statuses, &tends_config());
+        let f =
+            |g: &DiGraph| diffnet_metrics::EdgeSetComparison::against_truth(&truth, g).f_score();
         t.push_row(
             label,
-            &[f(&full), f(&naive), full.edge_count() as f64, naive.edge_count() as f64],
+            &[
+                f(&full),
+                f(&naive),
+                full.edge_count() as f64,
+                naive.edge_count() as f64,
+            ],
         );
     }
     vec![t]

@@ -4,9 +4,32 @@ use diffnet_baselines::{Lift, MulTree, NetRate, NetRateConfig};
 use diffnet_graph::DiGraph;
 use diffnet_metrics::{timed, EdgeSetComparison};
 use diffnet_simulate::{EdgeProbs, IcConfig, IndependentCascade, ObservationSet};
-use diffnet_tends::Tends;
+use diffnet_tends::{Tends, TendsConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Worker threads for TENDS runs in the benches and figure binaries, from
+/// the `DIFFNET_THREADS` environment variable.
+///
+/// Defaults to 1 so timing comparisons against the single-threaded
+/// baselines stay honest; `DIFFNET_THREADS=0` uses all cores.
+pub fn threads_from_env() -> usize {
+    std::env::var("DIFFNET_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// The default TENDS configuration for benches, with the thread count
+/// taken from `DIFFNET_THREADS`. Figure code overrides individual fields
+/// with `..tends_config()` instead of `..Default::default()` so every run
+/// honours the knob.
+pub fn tends_config() -> TendsConfig {
+    TendsConfig {
+        threads: threads_from_env(),
+        ..Default::default()
+    }
+}
 
 /// The paper's default diffusion setting (§V): `α = 0.15`, `β = 150`,
 /// `μ = 0.3`, `σ = 0.05`.
@@ -26,7 +49,13 @@ pub struct Setting {
 
 impl Default for Setting {
     fn default() -> Self {
-        Setting { alpha: 0.15, beta: 150, mu: 0.3, sigma: 0.05, seed: 2020 }
+        Setting {
+            alpha: 0.15,
+            beta: 150,
+            mu: 0.3,
+            sigma: 0.05,
+            seed: 2020,
+        }
     }
 }
 
@@ -97,7 +126,10 @@ pub fn observe(truth: &DiGraph, setting: &Setting) -> ObservationSet {
     let mut rng = StdRng::seed_from_u64(setting.seed);
     let probs = EdgeProbs::gaussian(truth, setting.mu, setting.sigma, &mut rng);
     IndependentCascade::new(truth, &probs).observe(
-        IcConfig { initial_ratio: setting.alpha, num_processes: setting.beta },
+        IcConfig {
+            initial_ratio: setting.alpha,
+            num_processes: setting.beta,
+        },
         &mut rng,
     )
 }
@@ -135,7 +167,7 @@ pub fn evaluate_all(truth: &DiGraph, obs: &ObservationSet, scale: Scale) -> Vec<
     let m = truth.edge_count();
     let mut results = Vec::with_capacity(4);
 
-    let (tends_res, secs) = timed(|| Tends::new().reconstruct(&obs.statuses));
+    let (tends_res, secs) = timed(|| Tends::with_config(tends_config()).reconstruct(&obs.statuses));
     results.push(outcome("TENDS", truth, &tends_res.graph, secs));
 
     let netrate = NetRate::with_config(NetRateConfig {
@@ -173,7 +205,10 @@ mod tests {
     #[test]
     fn observe_is_deterministic() {
         let truth = DiGraph::from_edges(10, &[(0, 1), (1, 2), (2, 3), (4, 5)]);
-        let s = Setting { beta: 20, ..Default::default() };
+        let s = Setting {
+            beta: 20,
+            ..Default::default()
+        };
         let a = observe(&truth, &s);
         let b = observe(&truth, &s);
         assert_eq!(a.statuses, b.statuses);
@@ -182,7 +217,10 @@ mod tests {
     #[test]
     fn evaluate_all_runs_every_algorithm() {
         let truth = diffnet_datasets::lfr_suite()[0].generate(5);
-        let setting = Setting { beta: 40, ..Default::default() };
+        let setting = Setting {
+            beta: 40,
+            ..Default::default()
+        };
         let obs = observe(&truth, &setting);
         let outcomes = evaluate_all(&truth, &obs, Scale::quick());
         assert_eq!(outcomes.len(), 4);

@@ -22,7 +22,9 @@ pub struct ArgError {
 
 impl ArgError {
     pub(crate) fn new(message: impl Into<String>) -> Self {
-        ArgError { message: message.into() }
+        ArgError {
+            message: message.into(),
+        }
     }
 }
 
@@ -84,9 +86,9 @@ impl ParsedArgs {
     pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
         match self.options.get(key) {
             None => Ok(default),
-            Some(raw) => raw.parse().map_err(|_| {
-                ArgError::new(format!("invalid value {raw:?} for --{key}"))
-            }),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ArgError::new(format!("invalid value {raw:?} for --{key}"))),
         }
     }
 
@@ -108,7 +110,11 @@ impl ParsedArgs {
             if !known.contains(&key.as_str()) {
                 return Err(ArgError::new(format!(
                     "unknown option --{key} (expected one of: {})",
-                    known.iter().map(|k| format!("--{k}")).collect::<Vec<_>>().join(", ")
+                    known
+                        .iter()
+                        .map(|k| format!("--{k}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 )));
             }
         }

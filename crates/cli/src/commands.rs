@@ -3,18 +3,15 @@
 use crate::args::{ArgError, ParsedArgs};
 use diffnet_baselines::{Lift, MulTree, NetInf, NetRate, PathReconstruction};
 use diffnet_graph::generators::{
-    barabasi_albert, erdos_renyi_gnm, kronecker, watts_strogatz, KroneckerSeed, Lfr,
-    Orientation,
+    barabasi_albert, erdos_renyi_gnm, kronecker, watts_strogatz, KroneckerSeed, Lfr, Orientation,
 };
 use diffnet_graph::stats::GraphStats;
 use diffnet_graph::DiGraph;
 use diffnet_metrics::EdgeSetComparison;
-use diffnet_simulate::{
-    EdgeProbs, IcConfig, IndependentCascade, LinearThreshold, ObservationSet,
-};
+use diffnet_simulate::{EdgeProbs, IcConfig, IndependentCascade, LinearThreshold, ObservationSet};
 use diffnet_tends::{
-    estimate_propagation_probabilities, CorrelationMeasure, DirectionPolicy,
-    EstimateConfig, SearchParams, Tends, TendsConfig, ThresholdMode,
+    estimate_propagation_probabilities, CorrelationMeasure, DirectionPolicy, EstimateConfig,
+    SearchParams, Tends, TendsConfig, ThresholdMode,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -51,7 +48,16 @@ fn load_graph(path: &str) -> Result<DiGraph, ArgError> {
 
 fn generate(args: &ParsedArgs) -> Result<String, ArgError> {
     args.expect_known(&[
-        "model", "out", "n", "k", "t", "m", "seed", "reciprocal", "mixing", "rewire",
+        "model",
+        "out",
+        "n",
+        "k",
+        "t",
+        "m",
+        "seed",
+        "reciprocal",
+        "mixing",
+        "rewire",
         "power",
     ])?;
     let model = args.required("model")?;
@@ -69,7 +75,8 @@ fn generate(args: &ParsedArgs) -> Result<String, ArgError> {
             if args.has_flag("reciprocal") {
                 cfg.orientation = Orientation::Reciprocal;
             }
-            cfg.generate(&mut rng).map_err(|e| io_err("LFR generation failed", e))?
+            cfg.generate(&mut rng)
+                .map_err(|e| io_err("LFR generation failed", e))?
         }
         "er" => {
             let n: usize = args.get_or("n", 200)?;
@@ -111,7 +118,15 @@ fn generate(args: &ParsedArgs) -> Result<String, ArgError> {
 
 fn simulate(args: &ParsedArgs) -> Result<String, ArgError> {
     args.expect_known(&[
-        "graph", "out", "observations", "model", "alpha", "beta", "mu", "sigma", "seed",
+        "graph",
+        "out",
+        "observations",
+        "model",
+        "alpha",
+        "beta",
+        "mu",
+        "sigma",
+        "seed",
     ])?;
     let graph = load_graph(args.required("graph")?)?;
     let out = args.required("out")?;
@@ -124,12 +139,17 @@ fn simulate(args: &ParsedArgs) -> Result<String, ArgError> {
 
     let mut rng = StdRng::seed_from_u64(seed);
     let probs = EdgeProbs::gaussian(&graph, mu, sigma, &mut rng);
-    let cfg = IcConfig { initial_ratio: alpha, num_processes: beta };
+    let cfg = IcConfig {
+        initial_ratio: alpha,
+        num_processes: beta,
+    };
     let obs = match model {
         "ic" => IndependentCascade::new(&graph, &probs).observe(cfg, &mut rng),
         "lt" => LinearThreshold::new(&graph, &probs).observe(cfg, &mut rng),
         other => {
-            return Err(ArgError::new(format!("unknown diffusion model {other:?} (ic, lt)")))
+            return Err(ArgError::new(format!(
+                "unknown diffusion model {other:?} (ic, lt)"
+            )))
         }
     };
 
@@ -143,7 +163,9 @@ fn simulate(args: &ParsedArgs) -> Result<String, ArgError> {
     if let Some(obs_path) = args.optional("observations") {
         diffnet_simulate::io::save_observations(&obs, obs_path)
             .map_err(|e| io_err(&format!("cannot write {obs_path:?}"), e))?;
-        report.push_str(&format!("\nfull observations (cascades + sources) -> {obs_path}"));
+        report.push_str(&format!(
+            "\nfull observations (cascades + sources) -> {obs_path}"
+        ));
     }
     Ok(report)
 }
@@ -160,9 +182,7 @@ fn load_observations_arg(args: &ParsedArgs, algo: &str) -> Result<ObservationSet
 
 fn budget_arg(args: &ParsedArgs, algo: &str) -> Result<usize, ArgError> {
     args.optional("edges")
-        .ok_or_else(|| {
-            ArgError::new(format!("algorithm {algo:?} needs --edges (the budget m)"))
-        })?
+        .ok_or_else(|| ArgError::new(format!("algorithm {algo:?} needs --edges (the budget m)")))?
         .parse()
         .map_err(|_| ArgError::new("invalid value for --edges"))
 }
@@ -220,7 +240,10 @@ fn infer(args: &ParsedArgs) -> Result<String, ArgError> {
             let obs = load_observations_arg(args, algo)?;
             let weighted = NetRate::new().infer(&obs);
             let m = budget_arg(args, algo)?;
-            (weighted.top_m(m), format!("{} scored pairs", weighted.len()))
+            (
+                weighted.top_m(m),
+                format!("{} scored pairs", weighted.len()),
+            )
         }
         "multree" => {
             let obs = load_observations_arg(args, algo)?;
@@ -296,8 +319,7 @@ fn estimate(args: &ParsedArgs) -> Result<String, ArgError> {
             graph.node_count()
         )));
     }
-    let est =
-        estimate_propagation_probabilities(&statuses, &graph, &EstimateConfig::default());
+    let est = estimate_propagation_probabilities(&statuses, &graph, &EstimateConfig::default());
     let out = args.required("out")?;
     let mut text = String::from("# source target probability\n");
     for (u, v) in graph.edges() {
@@ -368,25 +390,48 @@ mod tests {
         let inferred = tmp("inferred.edges");
 
         let g = run_tokens(&[
-            "generate", "--model", "lfr", "--n", "60", "--k", "4", "--t", "2",
-            "--seed", "5", "--reciprocal", "--out", &truth,
+            "generate",
+            "--model",
+            "lfr",
+            "--n",
+            "60",
+            "--k",
+            "4",
+            "--t",
+            "2",
+            "--seed",
+            "5",
+            "--reciprocal",
+            "--out",
+            &truth,
         ])
         .expect("generate");
         assert!(g.contains("60 nodes"));
 
         let s = run_tokens(&[
-            "simulate", "--graph", &truth, "--alpha", "0.2", "--beta", "120",
-            "--mu", "0.35", "--seed", "6", "--out", &statuses, "--observations", &obs,
+            "simulate",
+            "--graph",
+            &truth,
+            "--alpha",
+            "0.2",
+            "--beta",
+            "120",
+            "--mu",
+            "0.35",
+            "--seed",
+            "6",
+            "--out",
+            &statuses,
+            "--observations",
+            &obs,
         ])
         .expect("simulate");
         assert!(s.contains("120 ic processes"));
 
-        let i = run_tokens(&["infer", "--statuses", &statuses, "--out", &inferred])
-            .expect("infer");
+        let i = run_tokens(&["infer", "--statuses", &statuses, "--out", &inferred]).expect("infer");
         assert!(i.contains("tends"));
 
-        let e = run_tokens(&["eval", "--truth", &truth, "--inferred", &inferred])
-            .expect("eval");
+        let e = run_tokens(&["eval", "--truth", &truth, "--inferred", &inferred]).expect("eval");
         assert!(e.contains("F-score"));
         let f: f64 = e
             .lines()
@@ -398,8 +443,15 @@ mod tests {
 
         // Cascade-based algorithm through the same files.
         let i2 = run_tokens(&[
-            "infer", "--algorithm", "multree", "--observations", &obs, "--edges", "200",
-            "--out", &inferred,
+            "infer",
+            "--algorithm",
+            "multree",
+            "--observations",
+            &obs,
+            "--edges",
+            "200",
+            "--out",
+            &inferred,
         ])
         .expect("multree infer");
         assert!(i2.contains("multree"));
@@ -419,8 +471,7 @@ mod tests {
 
     #[test]
     fn cascade_algorithms_require_observations() {
-        let err =
-            run_tokens(&["infer", "--algorithm", "netrate", "--out", "x"]).unwrap_err();
+        let err = run_tokens(&["infer", "--algorithm", "netrate", "--out", "x"]).unwrap_err();
         assert!(err.to_string().contains("--observations"));
     }
 
@@ -433,12 +484,25 @@ mod tests {
         ])
         .expect("generate");
         run_tokens(&[
-            "simulate", "--graph", &truth, "--beta", "10", "--out",
-            &tmp("need_edges_statuses.txt"), "--observations", &obs,
+            "simulate",
+            "--graph",
+            &truth,
+            "--beta",
+            "10",
+            "--out",
+            &tmp("need_edges_statuses.txt"),
+            "--observations",
+            &obs,
         ])
         .expect("simulate");
         let err = run_tokens(&[
-            "infer", "--algorithm", "lift", "--observations", &obs, "--out", "x",
+            "infer",
+            "--algorithm",
+            "lift",
+            "--observations",
+            &obs,
+            "--out",
+            "x",
         ])
         .unwrap_err();
         assert!(err.to_string().contains("--edges"));
@@ -452,8 +516,15 @@ mod tests {
         ])
         .expect("generate");
         let out = run_tokens(&[
-            "simulate", "--graph", &truth, "--model", "lt", "--beta", "20",
-            "--out", &tmp("lt_statuses.txt"),
+            "simulate",
+            "--graph",
+            &truth,
+            "--model",
+            "lt",
+            "--beta",
+            "20",
+            "--out",
+            &tmp("lt_statuses.txt"),
         ])
         .expect("simulate lt");
         assert!(out.contains("lt processes"));
@@ -473,7 +544,13 @@ mod tests {
         ])
         .expect("simulate");
         let report = run_tokens(&[
-            "estimate", "--graph", &truth, "--statuses", &statuses, "--out", &out,
+            "estimate",
+            "--graph",
+            &truth,
+            "--statuses",
+            &statuses,
+            "--out",
+            &out,
         ])
         .expect("estimate");
         assert!(report.contains("75 edges"));
@@ -482,8 +559,12 @@ mod tests {
         let lines: Vec<&str> = content.lines().filter(|l| !l.starts_with('#')).collect();
         assert_eq!(lines.len(), 75);
         for l in lines {
-            let p: f64 = l.split_whitespace().nth(2).expect("prob column")
-                .parse().expect("parsable");
+            let p: f64 = l
+                .split_whitespace()
+                .nth(2)
+                .expect("prob column")
+                .parse()
+                .expect("parsable");
             assert!((0.0..=1.0).contains(&p));
         }
     }

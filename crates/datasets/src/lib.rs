@@ -33,9 +33,6 @@ use std::path::Path;
 
 /// Loads a real dataset edge list (e.g. the actual NetSci or DUNF file);
 /// see [`diffnet_graph::io::load_edge_list`].
-pub fn load_edge_list<P: AsRef<Path>>(
-    path: P,
-    n: Option<usize>,
-) -> Result<DiGraph, EdgeListError> {
+pub fn load_edge_list<P: AsRef<Path>>(path: P, n: Option<usize>) -> Result<DiGraph, EdgeListError> {
     diffnet_graph::io::load_edge_list(path, n)
 }

@@ -75,7 +75,11 @@ pub fn netsci_like(seed: u64) -> DiGraph {
         if a == b || membership[a] == membership[b] {
             continue;
         }
-        let key = if a < b { (a as NodeId, b as NodeId) } else { (b as NodeId, a as NodeId) };
+        let key = if a < b {
+            (a as NodeId, b as NodeId)
+        } else {
+            (b as NodeId, a as NodeId)
+        };
         if undirected.insert(key) {
             added += 1;
         }
@@ -192,7 +196,6 @@ pub fn dunf_like(seed: u64) -> DiGraph {
     b.build()
 }
 
-
 /// Adds random intra-pool pairs or removes random pairs until the
 /// undirected edge set has exactly `target` members.
 fn adjust_undirected_to(
@@ -209,7 +212,11 @@ fn adjust_undirected_to(
         if a == b {
             continue;
         }
-        let key = if a < b { (a as NodeId, b as NodeId) } else { (b as NodeId, a as NodeId) };
+        let key = if a < b {
+            (a as NodeId, b as NodeId)
+        } else {
+            (b as NodeId, a as NodeId)
+        };
         undirected.insert(key);
     }
     while undirected.len() > target {

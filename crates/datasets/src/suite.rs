@@ -46,20 +46,35 @@ impl LfrSpec {
 pub fn lfr_suite() -> Vec<LfrSpec> {
     let mut specs = Vec::with_capacity(15);
     let names = [
-        "LFR1", "LFR2", "LFR3", "LFR4", "LFR5", "LFR6", "LFR7", "LFR8", "LFR9",
-        "LFR10", "LFR11", "LFR12", "LFR13", "LFR14", "LFR15",
+        "LFR1", "LFR2", "LFR3", "LFR4", "LFR5", "LFR6", "LFR7", "LFR8", "LFR9", "LFR10", "LFR11",
+        "LFR12", "LFR13", "LFR14", "LFR15",
     ];
     let mut idx = 0;
     for &n in &[100usize, 150, 200, 250, 300] {
-        specs.push(LfrSpec { name: names[idx], n, mean_degree: 4.0, degree_exponent: 2.0 });
+        specs.push(LfrSpec {
+            name: names[idx],
+            n,
+            mean_degree: 4.0,
+            degree_exponent: 2.0,
+        });
         idx += 1;
     }
     for &k in &[2.0f64, 3.0, 4.0, 5.0, 6.0] {
-        specs.push(LfrSpec { name: names[idx], n: 200, mean_degree: k, degree_exponent: 2.0 });
+        specs.push(LfrSpec {
+            name: names[idx],
+            n: 200,
+            mean_degree: k,
+            degree_exponent: 2.0,
+        });
         idx += 1;
     }
     for &t in &[1.0f64, 1.5, 2.0, 2.5, 3.0] {
-        specs.push(LfrSpec { name: names[idx], n: 200, mean_degree: 4.0, degree_exponent: t });
+        specs.push(LfrSpec {
+            name: names[idx],
+            n: 200,
+            mean_degree: 4.0,
+            degree_exponent: t,
+        });
         idx += 1;
     }
     specs
@@ -73,7 +88,15 @@ mod tests {
     fn suite_matches_table2() {
         let suite = lfr_suite();
         assert_eq!(suite.len(), 15);
-        assert_eq!(suite[0], LfrSpec { name: "LFR1", n: 100, mean_degree: 4.0, degree_exponent: 2.0 });
+        assert_eq!(
+            suite[0],
+            LfrSpec {
+                name: "LFR1",
+                n: 100,
+                mean_degree: 4.0,
+                degree_exponent: 2.0
+            }
+        );
         assert_eq!(suite[4].n, 300);
         assert_eq!(suite[5].mean_degree, 2.0);
         assert_eq!(suite[9].mean_degree, 6.0);

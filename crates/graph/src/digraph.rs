@@ -109,12 +109,19 @@ impl DiGraph {
     #[inline]
     pub fn edge_index(&self, u: NodeId, v: NodeId) -> Option<usize> {
         let base = self.out_offsets[u as usize];
-        self.out_neighbors(u).binary_search(&v).ok().map(|i| base + i)
+        self.out_neighbors(u)
+            .binary_search(&v)
+            .ok()
+            .map(|i| base + i)
     }
 
     /// Iterator over all directed edges `(u, v)` in `(u, v)` order.
     pub fn edges(&self) -> EdgeIter<'_> {
-        EdgeIter { g: self, u: 0, i: 0 }
+        EdgeIter {
+            g: self,
+            u: 0,
+            i: 0,
+        }
     }
 
     /// Collects all edges into a vector.
@@ -193,7 +200,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// A builder for a graph with `n` nodes and no edges yet.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -269,7 +279,13 @@ impl GraphBuilder {
         // Each in-neighbor run is already sorted because edges were sorted
         // by (u, v) and we appended in order of increasing u.
 
-        DiGraph { n, out_offsets, out_targets, in_offsets, in_sources }
+        DiGraph {
+            n,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+        }
     }
 }
 

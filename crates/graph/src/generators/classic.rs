@@ -34,7 +34,10 @@ pub fn erdos_renyi_gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> DiGrap
 /// Panics if `m > n * (n - 1)`.
 pub fn erdos_renyi_gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> DiGraph {
     let max_edges = n.saturating_mul(n.saturating_sub(1));
-    assert!(m <= max_edges, "m = {m} exceeds the {max_edges} possible edges");
+    assert!(
+        m <= max_edges,
+        "m = {m} exceeds the {max_edges} possible edges"
+    );
     let mut b = GraphBuilder::new(n);
     let mut chosen = std::collections::HashSet::with_capacity(m);
     while chosen.len() < m {
@@ -116,15 +119,13 @@ pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> DiGr
 /// # Panics
 ///
 /// Panics if `k == 0`, `2k >= n`, or `rewire` is not in `[0, 1]`.
-pub fn watts_strogatz<R: Rng + ?Sized>(
-    n: usize,
-    k: usize,
-    rewire: f64,
-    rng: &mut R,
-) -> DiGraph {
+pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, rewire: f64, rng: &mut R) -> DiGraph {
     assert!(k >= 1, "k must be positive");
     assert!(2 * k < n, "ring lattice needs n > 2k (n = {n}, k = {k})");
-    assert!((0.0..=1.0).contains(&rewire), "rewire must be a probability");
+    assert!(
+        (0.0..=1.0).contains(&rewire),
+        "rewire must be a probability"
+    );
 
     let mut undirected: std::collections::BTreeSet<(NodeId, NodeId)> =
         std::collections::BTreeSet::new();
@@ -165,12 +166,7 @@ pub fn watts_strogatz<R: Rng + ?Sized>(
     b.build()
 }
 
-fn add_oriented<R: Rng + ?Sized>(
-    b: &mut GraphBuilder,
-    u: NodeId,
-    v: NodeId,
-    rng: &mut R,
-) {
+fn add_oriented<R: Rng + ?Sized>(b: &mut GraphBuilder, u: NodeId, v: NodeId, rng: &mut R) {
     if rng.gen_bool(0.5) {
         b.add_edge(u, v);
     } else {

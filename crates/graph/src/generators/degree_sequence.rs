@@ -23,8 +23,7 @@ pub fn powerlaw_degrees<R: Rng + ?Sized>(
     assert!(kmin <= kmax, "kmin ({kmin}) must not exceed kmax ({kmax})");
     assert!(exponent > 0.0, "exponent must be positive");
 
-    let weights: Vec<f64> =
-        (kmin..=kmax).map(|k| (k as f64).powf(-exponent)).collect();
+    let weights: Vec<f64> = (kmin..=kmax).map(|k| (k as f64).powf(-exponent)).collect();
     let total: f64 = weights.iter().sum();
     let mut cdf = Vec::with_capacity(weights.len());
     let mut acc = 0.0;
@@ -209,7 +208,10 @@ mod tests {
         let d = powerlaw_degrees(2000, 2.5, 1, 50, &mut rng);
         let ones = d.iter().filter(|&&k| k == 1).count();
         let tens = d.iter().filter(|&&k| k >= 10).count();
-        assert!(ones > tens, "power law must favor low degrees: {ones} vs {tens}");
+        assert!(
+            ones > tens,
+            "power law must favor low degrees: {ones} vs {tens}"
+        );
     }
 
     #[test]
@@ -253,7 +255,11 @@ mod tests {
             assert!(seen.insert((u, v)), "duplicate edge ({u},{v})");
         }
         // Deficit from rejected stubs should be small.
-        assert!(edges.len() * 2 >= 280, "too many rejected stubs: {}", edges.len());
+        assert!(
+            edges.len() * 2 >= 280,
+            "too many rejected stubs: {}",
+            edges.len()
+        );
     }
 
     #[test]

@@ -25,23 +25,32 @@ pub struct KroneckerSeed {
 impl KroneckerSeed {
     /// The core–periphery seed `[0.9, 0.5; 0.5, 0.3]` (NetInf's default).
     pub fn core_periphery() -> Self {
-        KroneckerSeed { theta: [[0.9, 0.5], [0.5, 0.3]] }
+        KroneckerSeed {
+            theta: [[0.9, 0.5], [0.5, 0.3]],
+        }
     }
 
     /// The hierarchical-community seed `[0.9, 0.1; 0.1, 0.9]`.
     pub fn hierarchical() -> Self {
-        KroneckerSeed { theta: [[0.9, 0.1], [0.1, 0.9]] }
+        KroneckerSeed {
+            theta: [[0.9, 0.1], [0.1, 0.9]],
+        }
     }
 
     /// An Erdős–Rényi-like seed `[p, p; p, p]`.
     pub fn random(p: f64) -> Self {
-        KroneckerSeed { theta: [[p, p], [p, p]] }
+        KroneckerSeed {
+            theta: [[p, p], [p, p]],
+        }
     }
 
     fn validate(&self) {
         for row in &self.theta {
             for &p in row {
-                assert!((0.0..=1.0).contains(&p), "seed entries must be probabilities");
+                assert!(
+                    (0.0..=1.0).contains(&p),
+                    "seed entries must be probabilities"
+                );
             }
         }
     }
@@ -68,7 +77,10 @@ impl KroneckerSeed {
 /// Panics if a seed entry is outside `[0, 1]` or `k > 16`.
 pub fn kronecker<R: Rng + ?Sized>(seed: &KroneckerSeed, k: u32, rng: &mut R) -> DiGraph {
     seed.validate();
-    assert!(k <= 16, "k = {k} would produce 2^{k} nodes; exact sampling caps at 16");
+    assert!(
+        k <= 16,
+        "k = {k} would produce 2^{k} nodes; exact sampling caps at 16"
+    );
     let n = 1usize << k;
     let mut b = GraphBuilder::new(n);
     for u in 0..n {
@@ -147,7 +159,13 @@ mod tests {
     #[should_panic(expected = "must be probabilities")]
     fn invalid_seed_rejected() {
         let mut rng = StdRng::seed_from_u64(5);
-        kronecker(&KroneckerSeed { theta: [[1.5, 0.0], [0.0, 0.0]] }, 2, &mut rng);
+        kronecker(
+            &KroneckerSeed {
+                theta: [[1.5, 0.0], [0.0, 0.0]],
+            },
+            2,
+            &mut rng,
+        );
     }
 
     #[test]

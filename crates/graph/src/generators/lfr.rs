@@ -90,17 +90,10 @@ impl Lfr {
         );
 
         let (min_c, max_c) = self.community_bounds(kmax);
-        let sizes = community_sizes(
-            self.n,
-            self.community_size_exponent,
-            min_c,
-            max_c,
-            rng,
-        );
+        let sizes = community_sizes(self.n, self.community_size_exponent, min_c, max_c, rng);
         let membership = assign_communities(&degrees, &sizes, self.mixing, rng);
 
-        let undirected =
-            wire(&degrees, &membership, sizes.len(), self.mixing, rng);
+        let undirected = wire(&degrees, &membership, sizes.len(), self.mixing, rng);
         Ok(orient(self.n, &undirected, self.orientation, rng))
     }
 
@@ -146,7 +139,9 @@ pub struct LfrError {
 
 impl LfrError {
     fn new(msg: &str) -> Self {
-        LfrError { message: msg.to_owned() }
+        LfrError {
+            message: msg.to_owned(),
+        }
     }
 }
 
@@ -254,15 +249,16 @@ fn wire<R: Rng + ?Sized>(
 
     // Internal wiring: a configuration model restricted to each community.
     for c in 0..num_communities {
-        let members: Vec<usize> =
-            (0..n).filter(|&i| membership[i] == c).collect();
+        let members: Vec<usize> = (0..n).filter(|&i| membership[i] == c).collect();
         if members.len() < 2 {
             continue;
         }
-        let local_degrees: Vec<usize> =
-            members.iter().map(|&i| internal_deg[i]).collect();
+        let local_degrees: Vec<usize> = members.iter().map(|&i| internal_deg[i]).collect();
         for (lu, lv) in configuration_model(&local_degrees, rng) {
-            edges.push((members[lu as usize] as NodeId, members[lv as usize] as NodeId));
+            edges.push((
+                members[lu as usize] as NodeId,
+                members[lv as usize] as NodeId,
+            ));
         }
     }
 
@@ -285,7 +281,11 @@ fn wire<R: Rng + ?Sized>(
         while stubs.len() >= 2 {
             let a = stubs.pop().expect("len checked");
             let b = stubs.pop().expect("len checked");
-            let key = if a < b { (a as NodeId, b as NodeId) } else { (b as NodeId, a as NodeId) };
+            let key = if a < b {
+                (a as NodeId, b as NodeId)
+            } else {
+                (b as NodeId, a as NodeId)
+            };
             // After the first rounds give up on the community constraint and
             // only forbid self-loops/duplicates, so stub deficits stay small.
             let same_comm = membership[a] == membership[b] && round < 2;
@@ -377,7 +377,10 @@ mod tests {
         cfg.mixing = 0.05;
         let g = cfg.generate(&mut rng).expect("valid");
         let cc = crate::stats::global_clustering(&g);
-        assert!(cc > 0.02, "community structure should yield clustering, got {cc}");
+        assert!(
+            cc > 0.02,
+            "community structure should yield clustering, got {cc}"
+        );
     }
 
     #[test]
@@ -404,7 +407,11 @@ mod tests {
         for &n in &[100usize, 150, 200, 250, 300] {
             let g = Lfr::new(n, 4.0, 2.0).generate(&mut rng).expect("valid");
             assert_eq!(g.node_count(), n);
-            assert!(g.edge_count() > 2 * n, "graph too sparse: {}", g.edge_count());
+            assert!(
+                g.edge_count() > 2 * n,
+                "graph too sparse: {}",
+                g.edge_count()
+            );
         }
     }
 }

@@ -12,10 +12,8 @@ pub mod kronecker;
 pub mod lfr;
 
 pub use classic::{barabasi_albert, erdos_renyi_gnm, erdos_renyi_gnp, watts_strogatz};
+pub use degree_sequence::{configuration_model, powerlaw_degrees, powerlaw_degrees_with_mean};
 pub use kronecker::{kronecker, KroneckerSeed};
-pub use degree_sequence::{
-    configuration_model, powerlaw_degrees, powerlaw_degrees_with_mean,
-};
 pub use lfr::{Lfr, LfrError};
 
 use crate::{DiGraph, GraphBuilder, NodeId};

@@ -68,10 +68,7 @@ impl From<io::Error> for EdgeListError {
 ///
 /// If `n` is `Some`, endpoints must lie in `0..n`; if `None`, the node count
 /// is `1 + max id` seen.
-pub fn read_edge_list<R: Read>(
-    reader: R,
-    n: Option<usize>,
-) -> Result<DiGraph, EdgeListError> {
+pub fn read_edge_list<R: Read>(reader: R, n: Option<usize>) -> Result<DiGraph, EdgeListError> {
     let buf = BufReader::new(reader);
     let mut edges: Vec<(u64, u64)> = Vec::new();
     let mut max_id: u64 = 0;
@@ -128,10 +125,7 @@ pub fn read_edge_list<R: Read>(
 }
 
 /// Reads a directed edge list from a file. See [`read_edge_list`].
-pub fn load_edge_list<P: AsRef<Path>>(
-    path: P,
-    n: Option<usize>,
-) -> Result<DiGraph, EdgeListError> {
+pub fn load_edge_list<P: AsRef<Path>>(path: P, n: Option<usize>) -> Result<DiGraph, EdgeListError> {
     let file = fs::File::open(path)?;
     read_edge_list(file, n)
 }

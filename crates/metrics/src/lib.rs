@@ -44,7 +44,10 @@ impl EdgeSetComparison {
             inferred.node_count(),
             "graphs must share the node set"
         );
-        let tp = inferred.edges().filter(|&(u, v)| truth.has_edge(u, v)).count();
+        let tp = inferred
+            .edges()
+            .filter(|&(u, v)| truth.has_edge(u, v))
+            .count();
         EdgeSetComparison {
             true_positives: tp,
             false_positives: inferred.edge_count() - tp,
@@ -98,7 +101,9 @@ pub struct Stopwatch {
 impl Stopwatch {
     /// Starts timing now.
     pub fn start() -> Self {
-        Stopwatch { start: Instant::now() }
+        Stopwatch {
+            start: Instant::now(),
+        }
     }
 
     /// Elapsed time since start.

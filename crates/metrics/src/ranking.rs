@@ -27,10 +27,7 @@ pub struct PrPoint {
 /// # Panics
 ///
 /// Panics if any endpoint is out of range or a score is NaN.
-pub fn precision_recall_curve(
-    truth: &DiGraph,
-    scored: &[(NodeId, NodeId, f64)],
-) -> Vec<PrPoint> {
+pub fn precision_recall_curve(truth: &DiGraph, scored: &[(NodeId, NodeId, f64)]) -> Vec<PrPoint> {
     let n = truth.node_count() as u32;
     let mut sorted: Vec<(NodeId, NodeId, f64)> = scored.to_vec();
     for &(u, v, w) in &sorted {
@@ -53,7 +50,11 @@ pub fn precision_recall_curve(
         curve.push(PrPoint {
             k: k + 1,
             precision: tp as f64 / (k + 1) as f64,
-            recall: if m_true == 0 { 1.0 } else { tp as f64 / m_true as f64 },
+            recall: if m_true == 0 {
+                1.0
+            } else {
+                tp as f64 / m_true as f64
+            },
         });
     }
     curve

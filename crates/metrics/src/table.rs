@@ -155,8 +155,10 @@ mod tests {
     #[test]
     fn columns_align() {
         let s = sample().render();
-        let data_lines: Vec<&str> =
-            s.lines().filter(|l| l.starts_with("100") || l.starts_with("200")).collect();
+        let data_lines: Vec<&str> = s
+            .lines()
+            .filter(|l| l.starts_with("100") || l.starts_with("200"))
+            .collect();
         assert_eq!(data_lines.len(), 2);
         assert_eq!(data_lines[0].len(), data_lines[1].len());
     }

@@ -189,11 +189,8 @@ mod tests {
 
     #[test]
     fn truncation_keeps_prefix() {
-        let statuses = StatusMatrix::from_rows(&[
-            vec![true, false],
-            vec![false, true],
-            vec![true, true],
-        ]);
+        let statuses =
+            StatusMatrix::from_rows(&[vec![true, false], vec![false, true], vec![true, true]]);
         let records = vec![
             record(vec![0, UNINFECTED], vec![0]),
             record(vec![UNINFECTED, 0], vec![1]),

@@ -22,7 +22,10 @@ pub struct IcConfig {
 impl Default for IcConfig {
     /// The paper's default setting: `α = 0.15`, `β = 150`.
     fn default() -> Self {
-        IcConfig { initial_ratio: 0.15, num_processes: 150 }
+        IcConfig {
+            initial_ratio: 0.15,
+            num_processes: 150,
+        }
     }
 }
 
@@ -53,11 +56,7 @@ impl<'a> IndependentCascade<'a> {
     /// # Panics
     ///
     /// Panics if a seed id is out of range.
-    pub fn run_once<R: Rng + ?Sized>(
-        &self,
-        seeds: &[NodeId],
-        rng: &mut R,
-    ) -> DiffusionRecord {
+    pub fn run_once<R: Rng + ?Sized>(&self, seeds: &[NodeId], rng: &mut R) -> DiffusionRecord {
         let n = self.graph.node_count();
         let mut times = vec![UNINFECTED; n];
         let mut frontier: Vec<NodeId> = Vec::with_capacity(seeds.len());
@@ -147,8 +146,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn chain(n: usize) -> DiGraph {
-        let edges: Vec<(NodeId, NodeId)> =
-            (0..n - 1).map(|i| (i as NodeId, (i + 1) as NodeId)).collect();
+        let edges: Vec<(NodeId, NodeId)> = (0..n - 1)
+            .map(|i| (i as NodeId, (i + 1) as NodeId))
+            .collect();
         DiGraph::from_edges(n, &edges)
     }
 
@@ -219,7 +219,10 @@ mod tests {
         let probs = EdgeProbs::gaussian(&g, 0.3, 0.05, &mut rng);
         let sim = IndependentCascade::new(&g, &probs);
         let obs = sim.observe(
-            IcConfig { initial_ratio: 0.15, num_processes: 30 },
+            IcConfig {
+                initial_ratio: 0.15,
+                num_processes: 30,
+            },
             &mut rng,
         );
         assert_eq!(obs.num_processes(), 30);
@@ -239,7 +242,10 @@ mod tests {
         let probs = EdgeProbs::gaussian(&g, 0.3, 0.05, &mut rng);
         let sim = IndependentCascade::new(&g, &probs);
         let obs = sim.observe(
-            IcConfig { initial_ratio: 0.1, num_processes: 20 },
+            IcConfig {
+                initial_ratio: 0.1,
+                num_processes: 20,
+            },
             &mut rng,
         );
         for (l, rec) in obs.records.iter().enumerate() {
@@ -258,7 +264,10 @@ mod tests {
         let probs = EdgeProbs::gaussian(&g, 0.4, 0.05, &mut rng);
         let sim = IndependentCascade::new(&g, &probs);
         let obs = sim.observe(
-            IcConfig { initial_ratio: 0.1, num_processes: 25 },
+            IcConfig {
+                initial_ratio: 0.1,
+                num_processes: 25,
+            },
             &mut rng,
         );
         for rec in &obs.records {
@@ -271,7 +280,11 @@ mod tests {
                     .in_neighbors(i)
                     .iter()
                     .any(|&p| rec.times[p as usize] == t - 1);
-                assert!(has_earlier_parent, "node {i} infected at {t} with no parent at {}", t - 1);
+                assert!(
+                    has_earlier_parent,
+                    "node {i} infected at {t} with no parent at {}",
+                    t - 1
+                );
             }
         }
     }
@@ -283,7 +296,13 @@ mod tests {
         let probs = EdgeProbs::constant(&g, 0.3);
         let sim = IndependentCascade::new(&g, &probs);
         let mut rng = StdRng::seed_from_u64(49);
-        sim.observe(IcConfig { initial_ratio: 0.0, num_processes: 1 }, &mut rng);
+        sim.observe(
+            IcConfig {
+                initial_ratio: 0.0,
+                num_processes: 1,
+            },
+            &mut rng,
+        );
     }
 
     #[test]

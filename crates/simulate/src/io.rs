@@ -55,12 +55,20 @@ impl From<io::Error> for ObservationIoError {
 }
 
 fn parse_err(line: usize, message: impl Into<String>) -> ObservationIoError {
-    ObservationIoError::Parse { line, message: message.into() }
+    ObservationIoError::Parse {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Writes a status matrix: one `0`/`1` row per process.
 pub fn write_status_matrix<W: Write>(m: &StatusMatrix, mut w: W) -> io::Result<()> {
-    writeln!(w, "# diffnet status matrix: {} processes x {} nodes", m.num_processes(), m.num_nodes())?;
+    writeln!(
+        w,
+        "# diffnet status matrix: {} processes x {} nodes",
+        m.num_processes(),
+        m.num_nodes()
+    )?;
     let mut line = String::with_capacity(2 * m.num_nodes());
     for l in 0..m.num_processes() {
         line.clear();
@@ -240,8 +248,13 @@ mod tests {
         let g = diffnet_graph::DiGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
         let probs = EdgeProbs::constant(&g, 0.6);
         let mut rng = StdRng::seed_from_u64(9);
-        IndependentCascade::new(&g, &probs)
-            .observe(IcConfig { initial_ratio: 0.2, num_processes: 12 }, &mut rng)
+        IndependentCascade::new(&g, &probs).observe(
+            IcConfig {
+                initial_ratio: 0.2,
+                num_processes: 12,
+            },
+            &mut rng,
+        )
     }
 
     #[test]
@@ -291,7 +304,12 @@ mod tests {
 
     #[test]
     fn empty_inputs() {
-        assert_eq!(read_status_matrix("".as_bytes()).expect("ok").num_processes(), 0);
+        assert_eq!(
+            read_status_matrix("".as_bytes())
+                .expect("ok")
+                .num_processes(),
+            0
+        );
         let obs = read_observations("".as_bytes()).expect("ok");
         assert_eq!(obs.num_processes(), 0);
     }

@@ -28,7 +28,10 @@ pub fn flip_statuses<R: Rng + ?Sized>(
     false_alarm_rate: f64,
     rng: &mut R,
 ) -> StatusMatrix {
-    assert!((0.0..=1.0).contains(&miss_rate), "miss_rate must be a probability");
+    assert!(
+        (0.0..=1.0).contains(&miss_rate),
+        "miss_rate must be a probability"
+    );
     assert!(
         (0.0..=1.0).contains(&false_alarm_rate),
         "false_alarm_rate must be a probability"
@@ -82,7 +85,10 @@ pub fn delay_timestamps<R: Rng + ?Sized>(
                     }
                 })
                 .collect();
-            DiffusionRecord { sources: rec.sources.clone(), times }
+            DiffusionRecord {
+                sources: rec.sources.clone(),
+                times,
+            }
         })
         .collect();
     ObservationSet::new(obs.statuses.clone(), records)
@@ -121,7 +127,11 @@ mod tests {
         let out = flip_statuses(&m, 0.3, 0.0, &mut rng);
         let before = m.infection_count(0) as f64;
         let after = out.infection_count(0) as f64;
-        assert!((after / before - 0.7).abs() < 0.15, "kept {}", after / before);
+        assert!(
+            (after / before - 0.7).abs() < 0.15,
+            "kept {}",
+            after / before
+        );
     }
 
     #[test]
@@ -152,8 +162,13 @@ mod tests {
         let g = diffnet_graph::DiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
         let probs = EdgeProbs::constant(&g, 0.7);
         let mut rng = StdRng::seed_from_u64(6);
-        let obs = IndependentCascade::new(&g, &probs)
-            .observe(IcConfig { initial_ratio: 0.2, num_processes: 50 }, &mut rng);
+        let obs = IndependentCascade::new(&g, &probs).observe(
+            IcConfig {
+                initial_ratio: 0.2,
+                num_processes: 50,
+            },
+            &mut rng,
+        );
         let noisy = delay_timestamps(&obs, 1.0, 3, &mut rng);
         assert_eq!(noisy.statuses, obs.statuses);
         for (clean, dirty) in obs.records.iter().zip(&noisy.records) {

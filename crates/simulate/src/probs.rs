@@ -30,12 +30,7 @@ impl EdgeProbs {
     ///
     /// The paper uses `mu ∈ [0.2, 0.4]` with `sigma = 0.05` so that "more
     /// than 95% of all propagation probabilities are within `μ ± 0.1`".
-    pub fn gaussian<R: Rng + ?Sized>(
-        g: &DiGraph,
-        mu: f64,
-        sigma: f64,
-        rng: &mut R,
-    ) -> Self {
+    pub fn gaussian<R: Rng + ?Sized>(g: &DiGraph, mu: f64, sigma: f64, rng: &mut R) -> Self {
         let probs = (0..g.edge_count())
             .map(|_| sample_normal(rng, mu, sigma).clamp(Self::CLAMP.0, Self::CLAMP.1))
             .collect();
@@ -49,7 +44,9 @@ impl EdgeProbs {
     /// Panics if `p` is not in `[0, 1]`.
     pub fn constant(g: &DiGraph, p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
-        EdgeProbs { probs: vec![p; g.edge_count()] }
+        EdgeProbs {
+            probs: vec![p; g.edge_count()],
+        }
     }
 
     /// Builds from an explicit per-edge vector (must match
@@ -113,11 +110,11 @@ mod tests {
     #[test]
     fn normal_sampling_moments() {
         let mut rng = StdRng::seed_from_u64(31);
-        let samples: Vec<f64> =
-            (0..20_000).map(|_| sample_normal(&mut rng, 0.3, 0.05)).collect();
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| sample_normal(&mut rng, 0.3, 0.05))
+            .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         assert!((mean - 0.3).abs() < 0.005, "mean {mean}");
         assert!((var.sqrt() - 0.05).abs() < 0.005, "std {}", var.sqrt());
     }

@@ -28,7 +28,12 @@ impl StatusMatrix {
     /// An all-uninfected matrix for `beta` processes over `n` nodes.
     pub fn new(beta: usize, n: usize) -> Self {
         let words_per_row = n.div_ceil(WORD_BITS).max(1);
-        StatusMatrix { beta, n, words_per_row, rows: vec![0; beta * words_per_row] }
+        StatusMatrix {
+            beta,
+            n,
+            words_per_row,
+            rows: vec![0; beta * words_per_row],
+        }
     }
 
     /// Builds from boolean rows.
@@ -177,12 +182,15 @@ impl NodeColumns {
         for l in 0..m.beta {
             for i in 0..m.n {
                 if m.get(l, i as NodeId) {
-                    cols[i * words_per_col + l / WORD_BITS] |=
-                        1u64 << (l % WORD_BITS);
+                    cols[i * words_per_col + l / WORD_BITS] |= 1u64 << (l % WORD_BITS);
                 }
             }
         }
-        NodeColumns { beta: m.beta, words_per_col, cols }
+        NodeColumns {
+            beta: m.beta,
+            words_per_col,
+            cols,
+        }
     }
 
     /// Number of processes `β`.
@@ -224,13 +232,8 @@ impl NodeColumns {
         let words = self.words_per_col;
         let mut counts = vec![[0u64; 2]; 1usize << parents.len()];
         // All-ones mask over the β valid process bits.
-        let mut root = vec![u64::MAX; words];
-        if !self.beta.is_multiple_of(WORD_BITS) {
-            root[words - 1] = (1u64 << (self.beta % WORD_BITS)) - 1;
-        }
-        if self.beta == 0 {
-            root[words - 1] = 0;
-        }
+        let mut root = vec![0u64; words];
+        self.root_mask_into(&mut root);
         self.combo_rec(child, parents, 0, 0, &root, &mut counts);
         counts
     }
@@ -264,7 +267,26 @@ impl NodeColumns {
         let zero: Vec<u64> = mask.iter().zip(pcol).map(|(m, p)| m & !p).collect();
         let one: Vec<u64> = mask.iter().zip(pcol).map(|(m, p)| m & p).collect();
         self.combo_rec(child, parents, depth + 1, index, &zero, counts);
-        self.combo_rec(child, parents, depth + 1, index | (1 << depth), &one, counts);
+        self.combo_rec(
+            child,
+            parents,
+            depth + 1,
+            index | (1 << depth),
+            &one,
+            counts,
+        );
+    }
+
+    /// Writes the all-ones mask over the `β` valid process bits into `out`.
+    fn root_mask_into(&self, out: &mut [u64]) {
+        debug_assert_eq!(out.len(), self.words_per_col);
+        out.fill(u64::MAX);
+        if !self.beta.is_multiple_of(WORD_BITS) {
+            out[self.words_per_col - 1] = (1u64 << (self.beta % WORD_BITS)) - 1;
+        }
+        if self.beta == 0 {
+            out[self.words_per_col - 1] = 0;
+        }
     }
 
     /// Joint counts for the pair `(i, j)` over all `β` processes.
@@ -282,6 +304,196 @@ impl NodeColumns {
         let n01 = ones_j - n11;
         let n00 = self.beta as u64 - n11 - n10 - n01;
         PairCounts { n11, n10, n01, n00 }
+    }
+}
+
+/// Reusable scratch state for incremental `N_ijk` counting.
+///
+/// The greedy parent search evaluates `g(v_i, F ∪ W)` for one fixed base set
+/// `F` and many small extensions `W` per round. The recursive kernel
+/// ([`NodeColumns::combo_counts`]) rebuilds the whole partition tree — and
+/// allocates two mask vectors per tree node — on every call. This workspace
+/// instead *instantiates* `F`'s partition once per round ([`set_base`]) as a
+/// flat arena of `2^|F|` process-bitset masks, and each evaluation
+/// ([`refined_counts`]) only refines that cached partition along `W`'s
+/// nodes. All buffers are retained across calls, so steady-state evaluation
+/// performs no allocations.
+///
+/// Counts are **bit-identical** to `cols.combo_counts(child, &union)` where
+/// `union` is the sorted merge of the base and extension sets: entry `j` of
+/// the result indexes parent combinations by the sorted-union bit order
+/// (parent `t` of the union contributes bit `t`), exactly like the other
+/// two kernels. Identical table order means downstream floating-point score
+/// sums visit terms in the same order and reproduce the same bits.
+///
+/// [`set_base`]: CountsWorkspace::set_base
+/// [`refined_counts`]: CountsWorkspace::refined_counts
+#[derive(Clone, Debug, Default)]
+pub struct CountsWorkspace {
+    /// The cached base parent set `F` (sorted, deduplicated).
+    base_parents: Vec<NodeId>,
+    /// `2^|F|` masks of `words` words each; entry `j` holds the processes
+    /// whose `F`-statuses form combination `j` (base-order bits).
+    base: Vec<u64>,
+    /// Refinement arena: `2^(|F|+|W|)` masks during an evaluation.
+    scratch: Vec<u64>,
+    /// Output table, in sorted-union combination order.
+    counts: Vec<[u64; 2]>,
+    /// Bit position in the sorted union for each source bit (base bits
+    /// first, then extension bits).
+    bit_pos: Vec<u32>,
+    /// Words per process-bitset column; fixed by the `NodeColumns` that the
+    /// base was instantiated from.
+    words: usize,
+}
+
+impl CountsWorkspace {
+    /// An empty workspace; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        CountsWorkspace::default()
+    }
+
+    /// Instantiates the partition of `parents` (the round's base set `F`)
+    /// over `cols`, replacing any previous base.
+    ///
+    /// `parents` must be sorted and duplicate-free — the invariant the
+    /// greedy search maintains for its accepted parent set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parents` is unsorted/duplicated or has 26+ nodes.
+    pub fn set_base(&mut self, cols: &NodeColumns, parents: &[NodeId]) {
+        assert!(
+            parents.windows(2).all(|w| w[0] < w[1]),
+            "base parent set must be sorted and duplicate-free"
+        );
+        assert!(
+            parents.len() < 26,
+            "parent set of {} nodes is too large to tabulate",
+            parents.len()
+        );
+        self.words = cols.words_per_col;
+        self.base_parents.clear();
+        self.base_parents.extend_from_slice(parents);
+        self.base.resize((1usize << parents.len()) * self.words, 0);
+        cols.root_mask_into(&mut self.base[..self.words]);
+        for (t, &p) in parents.iter().enumerate() {
+            Self::refine_level(&mut self.base, cols.col(p), 1usize << t, self.words);
+        }
+    }
+
+    /// The cached base parent set.
+    pub fn base_parents(&self) -> &[NodeId] {
+        &self.base_parents
+    }
+
+    /// Splits each of the first `len` masks in `arena` along parent column
+    /// `pcol`: the zero-half stays at entry `e`, the one-half lands at
+    /// `len + e`. Each word is read before either half is written, so the
+    /// doubling is safely in place.
+    fn refine_level(arena: &mut [u64], pcol: &[u64], len: usize, words: usize) {
+        debug_assert!(arena.len() >= 2 * len * words);
+        let (lo, hi) = arena.split_at_mut(len * words);
+        for e in 0..len {
+            let src = &mut lo[e * words..(e + 1) * words];
+            let dst = &mut hi[e * words..(e + 1) * words];
+            for ((m, d), &p) in src.iter_mut().zip(dst.iter_mut()).zip(pcol) {
+                let word = *m;
+                *m = word & !p;
+                *d = word & p;
+            }
+        }
+    }
+
+    /// Counts `N_ijk` for `child` under the parent set `F ∪ extra`,
+    /// refining the cached base partition along `extra`'s nodes only.
+    ///
+    /// `extra` must be sorted, duplicate-free and disjoint from the base
+    /// set. The returned table is indexed by sorted-union combination
+    /// order and is bit-identical to
+    /// `cols.combo_counts(child, &sorted_union)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extra` violates the ordering/disjointness contract, if
+    /// the union has 26+ nodes, or if `cols` has a different process count
+    /// than the base was instantiated from.
+    pub fn refined_counts(
+        &mut self,
+        cols: &NodeColumns,
+        child: NodeId,
+        extra: &[NodeId],
+    ) -> &[[u64; 2]] {
+        assert_eq!(
+            self.words, cols.words_per_col,
+            "workspace base was instantiated from a different matrix shape"
+        );
+        assert!(
+            extra.windows(2).all(|w| w[0] < w[1]),
+            "extension set must be sorted and duplicate-free"
+        );
+        assert!(
+            extra
+                .iter()
+                .all(|p| self.base_parents.binary_search(p).is_err()),
+            "extension set must be disjoint from the base parent set"
+        );
+        let f = self.base_parents.len();
+        let w = extra.len();
+        assert!(
+            f + w < 26,
+            "parent set of {} nodes is too large to tabulate",
+            f + w
+        );
+
+        // Refine the cached base partition along the extension nodes.
+        self.scratch.resize((1usize << (f + w)) * self.words, 0);
+        self.scratch[..self.base.len()].copy_from_slice(&self.base);
+        for (t, &p) in extra.iter().enumerate() {
+            Self::refine_level(
+                &mut self.scratch,
+                cols.col(p),
+                1usize << (f + t),
+                self.words,
+            );
+        }
+
+        // Map each source bit (base order, then extension order) to its
+        // position in the sorted union. Both inputs are sorted and
+        // disjoint, so a linear merge assigns positions.
+        self.bit_pos.resize(f + w, 0);
+        let (mut bi, mut wi) = (0usize, 0usize);
+        for pos in 0..f + w {
+            let take_base = wi >= w || (bi < f && self.base_parents[bi] < extra[wi]);
+            if take_base {
+                self.bit_pos[bi] = pos as u32;
+                bi += 1;
+            } else {
+                self.bit_pos[f + wi] = pos as u32;
+                wi += 1;
+            }
+        }
+
+        // Tabulate. Entry `e` of the arena (extension bits above base bits)
+        // scatters to union index `j`; the map is a bit permutation, so
+        // every `j` is written exactly once.
+        self.counts.resize(1usize << (f + w), [0, 0]);
+        let ccol = cols.col(child);
+        for e in 0..1usize << (f + w) {
+            let mask = &self.scratch[e * self.words..(e + 1) * self.words];
+            let mut infected = 0u64;
+            let mut total = 0u64;
+            for (m, c) in mask.iter().zip(ccol) {
+                infected += (m & c).count_ones() as u64;
+                total += m.count_ones() as u64;
+            }
+            let mut j = 0usize;
+            for (t, &pos) in self.bit_pos.iter().enumerate() {
+                j |= ((e >> t) & 1) << pos;
+            }
+            self.counts[j] = [total - infected, infected];
+        }
+        &self.counts
     }
 }
 
@@ -374,7 +586,12 @@ mod tests {
         for i in 0..3u32 {
             for j in 0..3u32 {
                 let pc = cols.pair_counts(i, j);
-                let mut expect = PairCounts { n11: 0, n10: 0, n01: 0, n00: 0 };
+                let mut expect = PairCounts {
+                    n11: 0,
+                    n10: 0,
+                    n01: 0,
+                    n00: 0,
+                };
                 for l in 0..m.num_processes() {
                     match (m.get(l, i), m.get(l, j)) {
                         (true, true) => expect.n11 += 1,
@@ -405,7 +622,10 @@ mod tests {
         assert_eq!(cols.ones(0), 35);
         assert_eq!(cols.ones(1), 24);
         let pc = cols.pair_counts(0, 1);
-        assert_eq!(pc.n11, (0..70).filter(|l| l % 2 == 0 && l % 3 == 0).count() as u64);
+        assert_eq!(
+            pc.n11,
+            (0..70).filter(|l| l % 2 == 0 && l % 3 == 0).count() as u64
+        );
         assert_eq!(pc.total(), 70);
     }
 
@@ -446,6 +666,112 @@ mod tests {
                 "parents {parents:?}"
             );
         }
+    }
+
+    fn random_matrix(beta: usize, n: usize, seed: u64) -> StatusMatrix {
+        let mut state = seed;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut m = StatusMatrix::new(beta, n);
+        for l in 0..beta {
+            for i in 0..n {
+                if next() % 3 == 0 {
+                    m.set(l, i as NodeId);
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn workspace_counts_match_recursive_kernel() {
+        // β = 100 crosses the word boundary; exercise base/extension splits
+        // whose sorted unions interleave both ways.
+        let m = random_matrix(100, 12, 0x9E3779B97F4A7C15);
+        let cols = m.columns();
+        let mut ws = CountsWorkspace::new();
+        let cases: &[(&[NodeId], &[NodeId])] = &[
+            (&[], &[]),
+            (&[], &[4]),
+            (&[2], &[]),
+            (&[2], &[0]),
+            (&[2], &[7]),
+            (&[1, 5], &[3, 9]),
+            (&[0, 4, 8], &[2, 6, 10]),
+            (&[3, 4, 5], &[0, 1, 2]),
+            (&[0, 1, 2], &[9, 10, 11]),
+        ];
+        for &(base, extra) in cases {
+            ws.set_base(&cols, base);
+            let mut union: Vec<NodeId> = base.iter().chain(extra).copied().collect();
+            union.sort_unstable();
+            let got = ws.refined_counts(&cols, 11, extra).to_vec();
+            assert_eq!(
+                got,
+                cols.combo_counts(11, &union),
+                "base {base:?} extra {extra:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_across_rounds_and_shrinking_sets() {
+        // One workspace driven the way the greedy search drives it: bases
+        // that grow, then shrink, with varying extension widths in between.
+        let m = random_matrix(70, 10, 0xDEADBEEFCAFE1234);
+        let cols = m.columns();
+        let mut ws = CountsWorkspace::new();
+        let rounds: &[&[NodeId]] = &[&[], &[3], &[3, 6], &[1, 3, 6], &[6]];
+        for &base in rounds {
+            ws.set_base(&cols, base);
+            assert_eq!(ws.base_parents(), base);
+            for extra in [vec![], vec![0], vec![0, 9], vec![2, 4, 9]] {
+                if extra.iter().any(|p| base.contains(p)) {
+                    continue;
+                }
+                let mut union: Vec<NodeId> = base.iter().chain(&extra).copied().collect();
+                union.sort_unstable();
+                for child in [5u32, 8] {
+                    let got = ws.refined_counts(&cols, child, &extra).to_vec();
+                    assert_eq!(
+                        got,
+                        cols.combo_counts(child, &union),
+                        "base {base:?} extra {extra:?} child {child}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_zero_beta() {
+        let m = StatusMatrix::new(0, 4);
+        let cols = m.columns();
+        let mut ws = CountsWorkspace::new();
+        ws.set_base(&cols, &[1]);
+        assert_eq!(ws.refined_counts(&cols, 0, &[2]), &[[0, 0]; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn workspace_rejects_overlapping_extension() {
+        let m = sample();
+        let cols = m.columns();
+        let mut ws = CountsWorkspace::new();
+        ws.set_base(&cols, &[1]);
+        ws.refined_counts(&cols, 2, &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn workspace_rejects_unsorted_base() {
+        let m = sample();
+        let cols = m.columns();
+        CountsWorkspace::new().set_base(&cols, &[2, 1]);
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use diffnet_graph::NodeId;
 use diffnet_simulate::{
-    io, DiffusionRecord, EdgeProbs, IcConfig, IndependentCascade, LinearThreshold,
-    ObservationSet, StatusMatrix, UNINFECTED,
+    io, DiffusionRecord, EdgeProbs, IcConfig, IndependentCascade, LinearThreshold, ObservationSet,
+    StatusMatrix, UNINFECTED,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;

@@ -14,13 +14,10 @@ use diffnet_simulate::StatusMatrix;
 /// (§IV-A): the pruning stage alone already encodes "correlated pairs are
 /// likely edges", so any accuracy gap between this baseline and full TENDS
 /// is attributable to the likelihood/penalty scoring and greedy search.
-pub fn correlation_threshold_baseline(
-    statuses: &StatusMatrix,
-    config: &TendsConfig,
-) -> DiGraph {
+pub fn correlation_threshold_baseline(statuses: &StatusMatrix, config: &TendsConfig) -> DiGraph {
     let n = statuses.num_nodes();
     let cols = statuses.columns();
-    let corr = CorrelationMatrix::compute(&cols, config.correlation);
+    let corr = CorrelationMatrix::compute_parallel(&cols, config.correlation, config.threads);
     let kmeans = pinned_two_means(&corr.upper_triangle());
     let tau = match config.threshold {
         ThresholdMode::Auto => kmeans.tau,
@@ -59,8 +56,13 @@ mod tests {
         let truth = b.build();
         let mut rng = StdRng::seed_from_u64(13);
         let probs = EdgeProbs::constant(&truth, 0.4);
-        let obs = IndependentCascade::new(&truth, &probs)
-            .observe(IcConfig { initial_ratio: 0.2, num_processes: 400 }, &mut rng);
+        let obs = IndependentCascade::new(&truth, &probs).observe(
+            IcConfig {
+                initial_ratio: 0.2,
+                num_processes: 400,
+            },
+            &mut rng,
+        );
         (truth, obs.statuses)
     }
 
@@ -89,7 +91,10 @@ mod tests {
     #[test]
     fn fixed_threshold_respected() {
         let (_, statuses) = workload();
-        let cfg = TendsConfig { threshold: ThresholdMode::Fixed(100.0), ..Default::default() };
+        let cfg = TendsConfig {
+            threshold: ThresholdMode::Fixed(100.0),
+            ..Default::default()
+        };
         let g = correlation_threshold_baseline(&statuses, &cfg);
         assert_eq!(g.edge_count(), 0);
     }

@@ -3,9 +3,10 @@
 
 use crate::imi::{CorrelationMatrix, CorrelationMeasure};
 use crate::kmeans::{pinned_two_means, PinnedKmeans};
-use crate::search::{candidate_parents, find_parents, NodeSearchResult, SearchParams};
+use crate::parallel;
+use crate::search::{candidate_parents, find_parents_with, NodeSearchResult, SearchParams};
 use diffnet_graph::{DiGraph, GraphBuilder, NodeId};
-use diffnet_simulate::StatusMatrix;
+use diffnet_simulate::{CountsWorkspace, StatusMatrix};
 
 /// How the pruning threshold `τ` is chosen.
 #[derive(Clone, Copy, Debug, PartialEq, Default)]
@@ -90,7 +91,10 @@ impl TendsResult {
         if self.node_results.is_empty() {
             return 0.0;
         }
-        self.node_results.iter().map(|r| r.candidates.len()).sum::<usize>() as f64
+        self.node_results
+            .iter()
+            .map(|r| r.candidates.len())
+            .sum::<usize>() as f64
             / self.node_results.len() as f64
     }
 }
@@ -141,7 +145,11 @@ impl Tends {
         let cols = statuses.columns();
 
         // Lines 2–4: pairwise correlation values.
-        let corr = CorrelationMatrix::compute(&cols, self.config.correlation);
+        let corr = CorrelationMatrix::compute_parallel(
+            &cols,
+            self.config.correlation,
+            self.config.threads,
+        );
 
         // Line 5: threshold via pinned 2-means over non-negative values.
         let kmeans = pinned_two_means(&corr.upper_triangle());
@@ -178,10 +186,23 @@ impl Tends {
             global_score += res.score;
         }
 
-        TendsResult { graph: builder.build(), tau, kmeans, node_results, global_score }
+        TendsResult {
+            graph: builder.build(),
+            tau,
+            kmeans,
+            node_results,
+            global_score,
+        }
     }
 
-    /// Runs the per-node searches, on one thread or a worker pool.
+    /// Runs the per-node searches on a work-stealing worker pool.
+    ///
+    /// Per-node search cost varies wildly (hubs enumerate far more
+    /// combinations than leaves), so workers claim small chunks of nodes
+    /// from a shared queue instead of fixed ranges. Each worker owns one
+    /// [`CountsWorkspace`] reused across all its nodes; each node's result
+    /// depends only on its id, so the output is identical for every thread
+    /// count.
     fn search_all(
         &self,
         n: usize,
@@ -189,46 +210,11 @@ impl Tends {
         cols: &diffnet_simulate::NodeColumns,
         tau: f64,
     ) -> Vec<NodeSearchResult> {
-        let search_one = |i: NodeId| {
+        parallel::run_indexed(n, 4, self.config.threads, CountsWorkspace::new, |ws, i| {
+            let i = i as NodeId;
             let cands = candidate_parents(corr, i, tau, self.config.search.max_candidates);
-            find_parents(cols, i, &cands, &self.config.search)
-        };
-
-        let threads = match self.config.threads {
-            0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
-            t => t,
-        }
-        .min(n.max(1));
-
-        if threads <= 1 || n == 0 {
-            return (0..n as NodeId).map(search_one).collect();
-        }
-
-        let chunk = n.div_ceil(threads);
-        let mut results: Vec<Option<NodeSearchResult>> = vec![None; n];
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for t in 0..threads {
-                let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(n);
-                if lo >= hi {
-                    break;
-                }
-                let search_one = &search_one;
-                handles.push((
-                    lo,
-                    scope.spawn(move || {
-                        (lo..hi).map(|i| search_one(i as NodeId)).collect::<Vec<_>>()
-                    }),
-                ));
-            }
-            for (lo, handle) in handles {
-                for (off, res) in handle.join().expect("search worker panicked").into_iter().enumerate() {
-                    results[lo + off] = Some(res);
-                }
-            }
-        });
-        results.into_iter().map(|r| r.expect("all nodes searched")).collect()
+            find_parents_with(ws, cols, i, &cands, &self.config.search)
+        })
     }
 }
 
@@ -239,22 +225,25 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn observe(
-        truth: &DiGraph,
-        p: f64,
-        alpha: f64,
-        beta: usize,
-        seed: u64,
-    ) -> StatusMatrix {
+    fn observe(truth: &DiGraph, p: f64, alpha: f64, beta: usize, seed: u64) -> StatusMatrix {
         let mut rng = StdRng::seed_from_u64(seed);
         let probs = EdgeProbs::constant(truth, p);
         IndependentCascade::new(truth, &probs)
-            .observe(IcConfig { initial_ratio: alpha, num_processes: beta }, &mut rng)
+            .observe(
+                IcConfig {
+                    initial_ratio: alpha,
+                    num_processes: beta,
+                },
+                &mut rng,
+            )
             .statuses
     }
 
     fn f_score(truth: &DiGraph, inferred: &DiGraph) -> f64 {
-        let tp = inferred.edges().filter(|&(u, v)| truth.has_edge(u, v)).count();
+        let tp = inferred
+            .edges()
+            .filter(|&(u, v)| truth.has_edge(u, v))
+            .count();
         let fp = inferred.edge_count() - tp;
         let fn_ = truth.edge_count() - tp;
         if 2 * tp + fp + fn_ == 0 {
@@ -269,12 +258,15 @@ mod tests {
         // (the likelihood gain of j as parent of i equals that of i as
         // parent of j), so on a one-directional chain TENDS recovers the
         // influence pairs in both directions: recall ≈ 1, precision ≈ ½.
-        let truth = DiGraph::from_edges(8, &[
-            (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7),
-        ]);
+        let truth =
+            DiGraph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)]);
         let statuses = observe(&truth, 0.6, 0.2, 600, 101);
         let result = Tends::new().reconstruct(&statuses);
-        let tp = result.graph.edges().filter(|&(u, v)| truth.has_edge(u, v)).count();
+        let tp = result
+            .graph
+            .edges()
+            .filter(|&(u, v)| truth.has_edge(u, v))
+            .count();
         let recall = tp as f64 / truth.edge_count() as f64;
         assert!(recall > 0.85, "recall {recall} too low");
         let f = f_score(&truth, &result.graph);
@@ -294,7 +286,11 @@ mod tests {
         let statuses = observe(&truth, 0.6, 0.2, 600, 108);
         let result = Tends::new().reconstruct(&statuses);
         let f = f_score(&truth, &result.graph);
-        assert!(f > 0.85, "F-score {f}; inferred {:?}", result.graph.edge_vec());
+        assert!(
+            f > 0.85,
+            "F-score {f}; inferred {:?}",
+            result.graph.edge_vec()
+        );
     }
 
     #[test]
@@ -370,10 +366,16 @@ mod tests {
         });
         let statuses = observe(&truth, 0.4, 0.15, 200, 109);
         let seq = Tends::new().reconstruct(&statuses);
-        let par = Tends::with_config(TendsConfig { threads: 4, ..Default::default() })
-            .reconstruct(&statuses);
-        let par_all = Tends::with_config(TendsConfig { threads: 0, ..Default::default() })
-            .reconstruct(&statuses);
+        let par = Tends::with_config(TendsConfig {
+            threads: 4,
+            ..Default::default()
+        })
+        .reconstruct(&statuses);
+        let par_all = Tends::with_config(TendsConfig {
+            threads: 0,
+            ..Default::default()
+        })
+        .reconstruct(&statuses);
         assert_eq!(seq.graph, par.graph);
         assert_eq!(seq.graph, par_all.graph);
         assert_eq!(seq.global_score, par.global_score);
@@ -383,7 +385,10 @@ mod tests {
     fn symmetrize_policy_makes_graph_reciprocal() {
         let truth = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
         let statuses = observe(&truth, 0.5, 0.2, 300, 110);
-        let cfg = TendsConfig { direction: DirectionPolicy::Symmetrize, ..Default::default() };
+        let cfg = TendsConfig {
+            direction: DirectionPolicy::Symmetrize,
+            ..Default::default()
+        };
         let g = Tends::with_config(cfg).reconstruct(&statuses).graph;
         for (u, v) in g.edges() {
             assert!(g.has_edge(v, u), "({u},{v}) not reciprocal");
@@ -392,9 +397,8 @@ mod tests {
 
     #[test]
     fn mutual_only_is_a_subset_of_as_is() {
-        let truth = DiGraph::from_edges(8, &[
-            (0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (4, 5), (6, 7),
-        ]);
+        let truth =
+            DiGraph::from_edges(8, &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (4, 5), (6, 7)]);
         let statuses = observe(&truth, 0.5, 0.2, 300, 111);
         let as_is = Tends::new().reconstruct(&statuses).graph;
         let mutual = Tends::with_config(TendsConfig {
@@ -406,7 +410,10 @@ mod tests {
         assert!(mutual.edge_count() <= as_is.edge_count());
         for (u, v) in mutual.edges() {
             assert!(as_is.has_edge(u, v));
-            assert!(mutual.has_edge(v, u), "MutualOnly output must be reciprocal");
+            assert!(
+                mutual.has_edge(v, u),
+                "MutualOnly output must be reciprocal"
+            );
         }
     }
 

@@ -40,7 +40,11 @@ pub struct EstimateConfig {
 
 impl Default for EstimateConfig {
     fn default() -> Self {
-        EstimateConfig { max_iters: 300, step_size: 0.05, tolerance: 1e-6 }
+        EstimateConfig {
+            max_iters: 300,
+            step_size: 0.05,
+            tolerance: 1e-6,
+        }
     }
 }
 
@@ -93,7 +97,10 @@ pub fn estimate_propagation_probabilities(
             edge_probs[idx] = 1.0 - (-rates[t]).exp();
         }
     }
-    PropagationEstimate { edge_probs, base_rates }
+    PropagationEstimate {
+        edge_probs,
+        base_rates,
+    }
 }
 
 /// Maximizes `Σ_j [ N_j1 · (−s_j) + N_j2 · ln(1 − e^{−s_j}) ]` over
@@ -167,8 +174,7 @@ mod tests {
         let k = p_edge.len();
         let n = k + 1;
         let child = k as NodeId;
-        let edges: Vec<(NodeId, NodeId)> =
-            (0..k as NodeId).map(|u| (u, child)).collect();
+        let edges: Vec<(NodeId, NodeId)> = (0..k as NodeId).map(|u| (u, child)).collect();
         let graph = DiGraph::from_edges(n, &edges);
 
         // Deterministic xorshift for reproducibility without rand.
@@ -202,7 +208,11 @@ mod tests {
         let est = estimate_propagation_probabilities(&m, &g, &EstimateConfig::default());
         let p = est.get(&g, 0, 1).expect("edge exists");
         assert!((p - 0.6).abs() < 0.05, "estimated {p}, true 0.6");
-        assert!((est.base_rates[1] - 0.1).abs() < 0.05, "base {}", est.base_rates[1]);
+        assert!(
+            (est.base_rates[1] - 0.1).abs() < 0.05,
+            "base {}",
+            est.base_rates[1]
+        );
     }
 
     #[test]
@@ -225,7 +235,11 @@ mod tests {
         let est = estimate_propagation_probabilities(&m, &empty, &EstimateConfig::default());
         assert!(est.edge_probs.is_empty());
         // Node 0 is infected ~parent_rate of the time.
-        assert!((est.base_rates[0] - 0.5).abs() < 0.05, "{}", est.base_rates[0]);
+        assert!(
+            (est.base_rates[0] - 0.5).abs() < 0.05,
+            "{}",
+            est.base_rates[0]
+        );
     }
 
     #[test]
@@ -255,13 +269,15 @@ mod tests {
         let truth = DiGraph::from_edges(4, &[(0, 2), (1, 2), (2, 3)]);
         let mut rng = StdRng::seed_from_u64(7);
         let probs = EdgeProbs::from_vec(&truth, vec![0.8, 0.2, 0.5]);
-        let obs = IndependentCascade::new(&truth, &probs)
-            .observe(IcConfig { initial_ratio: 0.25, num_processes: 4000 }, &mut rng);
-        let est = estimate_propagation_probabilities(
-            &obs.statuses,
-            &truth,
-            &EstimateConfig::default(),
+        let obs = IndependentCascade::new(&truth, &probs).observe(
+            IcConfig {
+                initial_ratio: 0.25,
+                num_processes: 4000,
+            },
+            &mut rng,
         );
+        let est =
+            estimate_propagation_probabilities(&obs.statuses, &truth, &EstimateConfig::default());
         let strong = est.get(&truth, 0, 2).expect("edge");
         let weak = est.get(&truth, 1, 2).expect("edge");
         assert!(

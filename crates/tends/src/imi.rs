@@ -47,7 +47,12 @@ impl MiCells {
     pub fn from_counts(pc: &PairCounts) -> MiCells {
         let beta = pc.total();
         if beta == 0 {
-            return MiCells { c11: 0.0, c10: 0.0, c01: 0.0, c00: 0.0 };
+            return MiCells {
+                c11: 0.0,
+                c10: 0.0,
+                c01: 0.0,
+                c00: 0.0,
+            };
         }
         let b = beta as f64;
         let p11 = pc.n11 as f64 / b;
@@ -112,17 +117,44 @@ pub struct CorrelationMatrix {
 impl CorrelationMatrix {
     /// Computes all pairwise values from the column view of a status
     /// matrix with the chosen measure. `O(n²)` pair counts, each a few
-    /// popcounts per 64 processes.
+    /// popcounts per 64 processes. Single-threaded; see
+    /// [`compute_parallel`](Self::compute_parallel).
     pub fn compute(cols: &NodeColumns, measure: CorrelationMeasure) -> Self {
+        Self::compute_parallel(cols, measure, 1)
+    }
+
+    /// Parallel variant of [`compute`](Self::compute): rows of the upper
+    /// triangle are claimed by `threads` workers (0 = all cores) in small
+    /// chunks, since row `i` costs `n − i − 1` cells and static splitting
+    /// would leave late workers idle. Each cell is a pure function of its
+    /// pair, so the result is bit-identical for every thread count.
+    pub fn compute_parallel(
+        cols: &NodeColumns,
+        measure: CorrelationMeasure,
+        threads: usize,
+    ) -> Self {
         let n = cols.num_nodes();
+        let rows = crate::parallel::run_indexed(
+            n,
+            8,
+            threads,
+            || (),
+            |_, i| {
+                let mut row = Vec::with_capacity(n - i - 1);
+                for j in (i + 1)..n {
+                    let cells = MiCells::from_counts(&cols.pair_counts(i as u32, j as u32));
+                    row.push(match measure {
+                        CorrelationMeasure::Imi => cells.imi(),
+                        CorrelationMeasure::Mi => cells.mi(),
+                    });
+                }
+                row
+            },
+        );
         let mut values = vec![0.0; n * n];
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let cells = MiCells::from_counts(&cols.pair_counts(i as u32, j as u32));
-                let v = match measure {
-                    CorrelationMeasure::Imi => cells.imi(),
-                    CorrelationMeasure::Mi => cells.mi(),
-                };
+        for (i, row) in rows.into_iter().enumerate() {
+            for (k, v) in row.into_iter().enumerate() {
+                let j = i + 1 + k;
                 values[i * n + j] = v;
                 values[j * n + i] = v;
             }
@@ -242,10 +274,38 @@ mod tests {
     }
 
     #[test]
+    fn parallel_compute_is_bit_identical_across_thread_counts() {
+        // 40 nodes, 96 processes of deterministic pseudo-random statuses.
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut bit = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state & 1 == 1
+        };
+        let rows: Vec<Vec<bool>> = (0..96).map(|_| (0..40).map(|_| bit()).collect()).collect();
+        let cols = StatusMatrix::from_rows(&rows).columns();
+        for measure in [CorrelationMeasure::Imi, CorrelationMeasure::Mi] {
+            let seq = CorrelationMatrix::compute_parallel(&cols, measure, 1);
+            for threads in [4usize, 0] {
+                let par = CorrelationMatrix::compute_parallel(&cols, measure, threads);
+                for i in 0..40u32 {
+                    for j in 0..40u32 {
+                        assert_eq!(
+                            seq.get(i, j).to_bits(),
+                            par.get(i, j).to_bits(),
+                            "({i},{j}) differs at {threads} threads"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn matrix_measures_differ_on_anticorrelated_pairs() {
         // Nodes 0 and 1 perfectly anti-correlated.
-        let rows: Vec<Vec<bool>> =
-            (0..40).map(|l| vec![l % 2 == 0, l % 2 == 1]).collect();
+        let rows: Vec<Vec<bool>> = (0..40).map(|l| vec![l % 2 == 0, l % 2 == 1]).collect();
         let m = StatusMatrix::from_rows(&rows);
         let imi_m = CorrelationMatrix::compute(&m.columns(), CorrelationMeasure::Imi);
         let mi_m = CorrelationMatrix::compute(&m.columns(), CorrelationMeasure::Mi);

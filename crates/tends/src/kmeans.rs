@@ -76,7 +76,11 @@ pub fn pinned_two_means(values: &[f64]) -> PinnedKmeans {
         }
     }
 
-    let tau = if boundary_idx == 0 { 0.0 } else { vals[boundary_idx - 1] };
+    let tau = if boundary_idx == 0 {
+        0.0
+    } else {
+        vals[boundary_idx - 1]
+    };
     PinnedKmeans {
         tau,
         free_centroid: c,
@@ -149,7 +153,11 @@ mod tests {
         let mut vals: Vec<f64> = (0..950).map(|i| (i % 13) as f64 * 1e-4).collect();
         vals.extend((0..50).map(|i| 0.3 + (i % 7) as f64 * 0.01));
         let r = pinned_two_means(&vals);
-        assert!(r.tau < 0.3, "signal must survive the threshold, τ = {}", r.tau);
+        assert!(
+            r.tau < 0.3,
+            "signal must survive the threshold, τ = {}",
+            r.tau
+        );
         assert!(r.free_count >= 50);
     }
 

@@ -47,11 +47,12 @@ mod algorithm;
 pub mod estimate;
 pub mod imi;
 pub mod kmeans;
+pub mod parallel;
 pub mod score;
 pub mod search;
 
 pub use algorithm::{DirectionPolicy, Tends, TendsConfig, TendsResult, ThresholdMode};
+pub use estimate::{estimate_propagation_probabilities, EstimateConfig, PropagationEstimate};
 pub use imi::{CorrelationMatrix, CorrelationMeasure};
 pub use kmeans::{pinned_two_means, PinnedKmeans};
-pub use estimate::{estimate_propagation_probabilities, EstimateConfig, PropagationEstimate};
 pub use search::{GreedyStrategy, SearchParams};

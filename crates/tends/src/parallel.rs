@@ -1,0 +1,175 @@
+//! Work-stealing parallel execution for the TENDS hot paths.
+//!
+//! Both parallel hot paths — the pairwise correlation matrix and the
+//! per-node parent search — are embarrassingly parallel over an index
+//! range, but with *wildly* uneven per-index cost: a hub node's parent
+//! search can cost orders of magnitude more than a leaf's, and row `i` of
+//! the upper-triangular correlation loop does `n − i − 1` cell
+//! computations. Static range splitting therefore leaves threads idle;
+//! instead, workers repeatedly claim small chunks from a shared atomic
+//! counter ([`WorkQueue`]) until the range is drained.
+//!
+//! Determinism: [`run_indexed`] requires the work function to be a pure
+//! function of its index (plus shared read-only captures). Results are
+//! written into a slot per index, so the output is identical regardless of
+//! thread count or claim interleaving — the property the
+//! `parallel_search_matches_sequential` and correlation determinism tests
+//! pin down.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a thread-count knob: `0` means "all available cores", and the
+/// result is clamped to `[1, work_items]` so tiny workloads don't spawn
+/// idle threads.
+pub fn resolve_threads(requested: usize, work_items: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let t = if requested == 0 { hw } else { requested };
+    t.clamp(1, work_items.max(1))
+}
+
+/// A shared claim counter over `0..total`: each [`claim`](Self::claim)
+/// atomically hands out the next chunk of indices.
+pub struct WorkQueue {
+    next: AtomicUsize,
+    total: usize,
+    chunk: usize,
+}
+
+impl WorkQueue {
+    /// A queue over `0..total` handing out chunks of `chunk` indices.
+    pub fn new(total: usize, chunk: usize) -> Self {
+        WorkQueue {
+            next: AtomicUsize::new(0),
+            total,
+            chunk: chunk.max(1),
+        }
+    }
+
+    /// Claims the next chunk, or `None` once the range is drained.
+    pub fn claim(&self) -> Option<Range<usize>> {
+        let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+        if start >= self.total {
+            return None;
+        }
+        Some(start..(start + self.chunk).min(self.total))
+    }
+}
+
+/// Computes `work(state, i)` for every `i` in `0..total` on `threads`
+/// workers with work-stealing chunk claiming, returning the results in
+/// index order.
+///
+/// Each worker owns one `state` built by `init` (scratch space such as a
+/// counting workspace); `work` must be deterministic given its index, which
+/// makes the output independent of the thread count.
+pub fn run_indexed<T, S, I, W>(
+    total: usize,
+    chunk: usize,
+    threads: usize,
+    init: I,
+    work: W,
+) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    W: Fn(&mut S, usize) -> T + Sync,
+{
+    let threads = resolve_threads(threads, total);
+    if threads <= 1 {
+        let mut state = init();
+        return (0..total).map(|i| work(&mut state, i)).collect();
+    }
+    let queue = WorkQueue::new(total, chunk);
+    let mut slots: Vec<Option<T>> = (0..total).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut local = Vec::new();
+                    while let Some(range) = queue.claim() {
+                        for i in range {
+                            local.push((i, work(&mut state, i)));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for worker in workers {
+            for (i, value) in worker.join().expect("worker panicked") {
+                slots[i] = Some(value);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|v| v.expect("every index claimed once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn resolve_threads_semantics() {
+        assert_eq!(resolve_threads(4, 100), 4);
+        assert_eq!(resolve_threads(4, 2), 2);
+        assert_eq!(resolve_threads(1, 0), 1);
+        assert!(resolve_threads(0, 1_000_000) >= 1);
+    }
+
+    #[test]
+    fn work_queue_drains_exactly_once() {
+        let q = WorkQueue::new(103, 7);
+        let mut seen = [false; 103];
+        while let Some(r) = q.claim() {
+            for i in r {
+                assert!(!seen[i], "index {i} claimed twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn run_indexed_is_deterministic_and_ordered() {
+        let expect: Vec<u64> = (0..500u64).map(|i| i * i).collect();
+        for threads in [1, 2, 4, 0] {
+            let inits = AtomicUsize::new(0);
+            let got = run_indexed(
+                500,
+                3,
+                threads,
+                || inits.fetch_add(1, Ordering::Relaxed),
+                |_, i| (i as u64) * (i as u64),
+            );
+            assert_eq!(got, expect, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn run_indexed_empty_range() {
+        let got: Vec<u8> = run_indexed(0, 8, 4, || (), |_, _| unreachable!());
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn per_worker_state_is_reused_within_a_worker() {
+        // Sequential path: one state, mutated across all indices.
+        let got = run_indexed(
+            5,
+            1,
+            1,
+            || 0usize,
+            |acc, _| {
+                *acc += 1;
+                *acc
+            },
+        );
+        assert_eq!(got, vec![1, 2, 3, 4, 5]);
+    }
+}

@@ -154,8 +154,7 @@ mod tests {
     fn local_score_is_likelihood_minus_penalty() {
         let counts = vec![[6, 2], [1, 7]];
         assert!(
-            (local_score(&counts) - (log_likelihood(&counts) - penalty(&counts))).abs()
-                < 1e-12
+            (local_score(&counts) - (log_likelihood(&counts) - penalty(&counts))).abs() < 1e-12
         );
     }
 

@@ -16,7 +16,8 @@
 use crate::imi::CorrelationMatrix;
 use crate::score;
 use diffnet_graph::NodeId;
-use diffnet_simulate::NodeColumns;
+use diffnet_simulate::{CountsWorkspace, NodeColumns};
+use std::cmp::Ordering;
 
 /// How the greedy expansion of a node's parent set accepts combinations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -103,14 +104,29 @@ pub fn candidate_parents(
     tau: f64,
     max_candidates: usize,
 ) -> Vec<NodeId> {
+    // Descending correlation, ascending node id as the tiebreak — a total
+    // order, so the top-`max_candidates` set is unique and partial
+    // selection returns exactly what a full sort + truncate would.
+    fn rank(a: &(f64, NodeId), b: &(f64, NodeId)) -> Ordering {
+        b.0.partial_cmp(&a.0).expect("no NaNs").then(a.1.cmp(&b.1))
+    }
     let n = corr.num_nodes() as u32;
     let mut cands: Vec<(f64, NodeId)> = (0..n)
         .filter(|&j| j != child)
         .map(|j| (corr.get(child, j), j))
         .filter(|&(v, _)| v > tau)
         .collect();
-    cands.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaNs").then(a.1.cmp(&b.1)));
-    cands.truncate(max_candidates);
+    // Select the top `max_candidates` in O(n), then sort only those —
+    // instead of sorting all survivors just to discard most of them.
+    if cands.len() > max_candidates {
+        if max_candidates == 0 {
+            cands.clear();
+        } else {
+            cands.select_nth_unstable_by(max_candidates, rank);
+            cands.truncate(max_candidates);
+        }
+    }
+    cands.sort_unstable_by(rank);
     cands.into_iter().map(|(_, j)| j).collect()
 }
 
@@ -125,9 +141,36 @@ pub fn enumerate_combos(
     delta: f64,
     evaluations: &mut usize,
 ) -> Vec<Combo> {
+    let mut ws = CountsWorkspace::new();
+    enumerate_combos_with(
+        &mut ws,
+        cols,
+        child,
+        candidates,
+        max_combo_size,
+        delta,
+        evaluations,
+    )
+}
+
+/// [`enumerate_combos`] on a caller-provided workspace: every combination
+/// is scored through the incremental counting kernel, reusing the
+/// workspace's buffers across evaluations.
+pub fn enumerate_combos_with(
+    ws: &mut CountsWorkspace,
+    cols: &NodeColumns,
+    child: NodeId,
+    candidates: &[NodeId],
+    max_combo_size: usize,
+    delta: f64,
+    evaluations: &mut usize,
+) -> Vec<Combo> {
+    ws.set_base(cols, &[]);
     let mut combos = Vec::new();
     let mut stack: Vec<NodeId> = Vec::new();
+    let mut sorted: Vec<NodeId> = Vec::new();
     enumerate_rec(
+        ws,
         cols,
         child,
         candidates,
@@ -135,6 +178,7 @@ pub fn enumerate_combos(
         max_combo_size.max(1),
         delta,
         &mut stack,
+        &mut sorted,
         &mut combos,
         evaluations,
     );
@@ -143,6 +187,7 @@ pub fn enumerate_combos(
 
 #[allow(clippy::too_many_arguments)]
 fn enumerate_rec(
+    ws: &mut CountsWorkspace,
     cols: &NodeColumns,
     child: NodeId,
     candidates: &[NodeId],
@@ -150,21 +195,35 @@ fn enumerate_rec(
     max_size: usize,
     delta: f64,
     stack: &mut Vec<NodeId>,
+    sorted: &mut Vec<NodeId>,
     out: &mut Vec<Combo>,
     evaluations: &mut usize,
 ) {
     for idx in start..candidates.len() {
         stack.push(candidates[idx]);
-        let mut w: Vec<NodeId> = stack.clone();
-        w.sort_unstable();
-        let counts = cols.combo_counts(child, &w);
+        sorted.clear();
+        sorted.extend_from_slice(stack);
+        sorted.sort_unstable();
+        let counts = ws.refined_counts(cols, child, sorted);
         *evaluations += 1;
-        if score::within_bound(w.len(), score::phi(&counts), delta) {
-            out.push(Combo { nodes: w, score: score::local_score(&counts) });
+        if score::within_bound(sorted.len(), score::phi(counts), delta) {
+            out.push(Combo {
+                nodes: sorted.clone(),
+                score: score::local_score(counts),
+            });
         }
         if stack.len() < max_size {
             enumerate_rec(
-                cols, child, candidates, idx + 1, max_size, delta, stack, out,
+                ws,
+                cols,
+                child,
+                candidates,
+                idx + 1,
+                max_size,
+                delta,
+                stack,
+                sorted,
+                out,
                 evaluations,
             );
         }
@@ -193,7 +252,100 @@ fn union(f: &[NodeId], w: &[NodeId]) -> Vec<NodeId> {
 
 /// Runs the full per-node parent search: enumeration followed by greedy
 /// expansion (Algorithm 1 lines 13–20).
+///
+/// Convenience wrapper over [`find_parents_with`] that builds a fresh
+/// [`CountsWorkspace`]; callers searching many nodes should hold one
+/// workspace and call [`find_parents_with`] directly to reuse its buffers.
 pub fn find_parents(
+    cols: &NodeColumns,
+    child: NodeId,
+    candidates: &[NodeId],
+    params: &SearchParams,
+) -> NodeSearchResult {
+    let mut ws = CountsWorkspace::new();
+    find_parents_with(&mut ws, cols, child, candidates, params)
+}
+
+/// [`find_parents`] on a caller-provided counting workspace.
+///
+/// Every strategy scores `g(v_i, F ∪ W)` through
+/// [`CountsWorkspace::refined_counts`]: the accepted parent set `F` is
+/// instantiated once per greedy round and each candidate extension only
+/// refines that cached partition, with zero allocations in the steady
+/// state. Results are bit-identical to [`find_parents_reference`].
+pub fn find_parents_with(
+    ws: &mut CountsWorkspace,
+    cols: &NodeColumns,
+    child: NodeId,
+    candidates: &[NodeId],
+    params: &SearchParams,
+) -> NodeSearchResult {
+    let beta = cols.num_processes() as u64;
+    let n2 = cols.ones(child);
+    let delta = score::delta(beta, beta - n2, n2);
+
+    let mut evaluations = 0usize;
+    ws.set_base(cols, &[]);
+    let empty_score = score::local_score(ws.refined_counts(cols, child, &[]));
+    evaluations += 1;
+
+    let mut combos = enumerate_combos_with(
+        ws,
+        cols,
+        child,
+        candidates,
+        params.max_combo_size,
+        delta,
+        &mut evaluations,
+    );
+
+    let (parents, final_score) = match params.strategy {
+        GreedyStrategy::BestImprovement => greedy_best_improvement(
+            ws,
+            cols,
+            child,
+            combos,
+            empty_score,
+            delta,
+            &mut evaluations,
+        ),
+        GreedyStrategy::ScoreOrdered => {
+            combos.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("no NaNs"));
+            greedy_score_ordered(
+                ws,
+                cols,
+                child,
+                &combos,
+                empty_score,
+                delta,
+                &mut evaluations,
+            )
+        }
+        GreedyStrategy::Exhaustive => exhaustive_search(
+            ws,
+            cols,
+            child,
+            candidates,
+            empty_score,
+            delta,
+            &mut evaluations,
+        ),
+    };
+
+    NodeSearchResult {
+        parents,
+        score: final_score,
+        candidates: candidates.to_vec(),
+        evaluations,
+    }
+}
+
+/// The pre-workspace implementation of [`find_parents`], counting every
+/// evaluation from scratch with [`NodeColumns::combo_counts`].
+///
+/// Kept as the equivalence oracle for the incremental path (results must
+/// stay bit-identical) and as the baseline the benchmarks compare against.
+pub fn find_parents_reference(
     cols: &NodeColumns,
     child: NodeId,
     candidates: &[NodeId],
@@ -208,26 +360,48 @@ pub fn find_parents(
     evaluations += 1;
     let empty_score = score::local_score(&empty_counts);
 
-    let mut combos = enumerate_combos(
+    let mut combos = Vec::new();
+    let mut stack: Vec<NodeId> = Vec::new();
+    enumerate_rec_reference(
         cols,
         child,
         candidates,
-        params.max_combo_size,
+        0,
+        params.max_combo_size.max(1),
         delta,
+        &mut stack,
+        &mut combos,
         &mut evaluations,
     );
 
     let (parents, final_score) = match params.strategy {
-        GreedyStrategy::BestImprovement => greedy_best_improvement(
-            cols, child, combos, empty_score, delta, &mut evaluations,
+        GreedyStrategy::BestImprovement => greedy_best_improvement_reference(
+            cols,
+            child,
+            combos,
+            empty_score,
+            delta,
+            &mut evaluations,
         ),
         GreedyStrategy::ScoreOrdered => {
             combos.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("no NaNs"));
-            greedy_score_ordered(cols, child, &combos, empty_score, delta, &mut evaluations)
+            greedy_score_ordered_reference(
+                cols,
+                child,
+                &combos,
+                empty_score,
+                delta,
+                &mut evaluations,
+            )
         }
-        GreedyStrategy::Exhaustive => {
-            exhaustive_search(cols, child, candidates, empty_score, delta, &mut evaluations)
-        }
+        GreedyStrategy::Exhaustive => exhaustive_search_reference(
+            cols,
+            child,
+            candidates,
+            empty_score,
+            delta,
+            &mut evaluations,
+        ),
     };
 
     NodeSearchResult {
@@ -238,9 +412,115 @@ pub fn find_parents(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
+fn enumerate_rec_reference(
+    cols: &NodeColumns,
+    child: NodeId,
+    candidates: &[NodeId],
+    start: usize,
+    max_size: usize,
+    delta: f64,
+    stack: &mut Vec<NodeId>,
+    out: &mut Vec<Combo>,
+    evaluations: &mut usize,
+) {
+    for idx in start..candidates.len() {
+        stack.push(candidates[idx]);
+        let mut w: Vec<NodeId> = stack.clone();
+        w.sort_unstable();
+        let counts = cols.combo_counts(child, &w);
+        *evaluations += 1;
+        if score::within_bound(w.len(), score::phi(&counts), delta) {
+            out.push(Combo {
+                nodes: w,
+                score: score::local_score(&counts),
+            });
+        }
+        if stack.len() < max_size {
+            enumerate_rec_reference(
+                cols,
+                child,
+                candidates,
+                idx + 1,
+                max_size,
+                delta,
+                stack,
+                out,
+                evaluations,
+            );
+        }
+        stack.pop();
+    }
+}
+
+/// The part of `w` not already in the sorted set `f`, preserving `w`'s
+/// (sorted) order — the extension the workspace refines along. Empty iff
+/// `w ⊆ f`.
+fn extension_into(f: &[NodeId], w: &[NodeId], extra: &mut Vec<NodeId>) {
+    extra.clear();
+    extra.extend(w.iter().filter(|p| f.binary_search(p).is_err()));
+}
+
 /// §IV-A greedy: each round, evaluate `g(v_i, F ∪ W)` for every remaining
 /// admissible combination and take the best strict improvement.
+///
+/// The round's parent set `F` is instantiated in the workspace once; each
+/// combination is scored by refining along its novel nodes only.
 fn greedy_best_improvement(
+    ws: &mut CountsWorkspace,
+    cols: &NodeColumns,
+    child: NodeId,
+    mut combos: Vec<Combo>,
+    empty_score: f64,
+    delta: f64,
+    evaluations: &mut usize,
+) -> (Vec<NodeId>, f64) {
+    const EPS: f64 = 1e-9;
+    let mut f: Vec<NodeId> = Vec::new();
+    let mut current = empty_score;
+    let mut extra: Vec<NodeId> = Vec::new();
+
+    while !combos.is_empty() {
+        ws.set_base(cols, &f);
+        let mut best: Option<(usize, f64)> = None;
+        let mut keep = vec![true; combos.len()];
+        for (idx, combo) in combos.iter().enumerate() {
+            extension_into(&f, &combo.nodes, &mut extra);
+            if extra.is_empty() {
+                // W ⊆ F already: it can never change the score again.
+                keep[idx] = false;
+                continue;
+            }
+            if f.len() + extra.len() > MAX_PARENTS {
+                continue;
+            }
+            let counts = ws.refined_counts(cols, child, &extra);
+            *evaluations += 1;
+            if !score::within_bound(f.len() + extra.len(), score::phi(counts), delta) {
+                continue;
+            }
+            let s = score::local_score(counts);
+            if s > current + EPS && best.is_none_or(|(_, bs)| s > bs) {
+                best = Some((idx, s));
+            }
+        }
+        match best {
+            Some((idx, s)) => {
+                f = union(&f, &combos[idx].nodes);
+                current = s;
+                keep[idx] = false;
+                let mut it = keep.iter();
+                combos.retain(|_| *it.next().expect("keep covers combos"));
+            }
+            None => break,
+        }
+    }
+    (f, current)
+}
+
+/// The reference counterpart of [`greedy_best_improvement`], recounting
+/// every union from scratch.
+fn greedy_best_improvement_reference(
     cols: &NodeColumns,
     child: NodeId,
     mut combos: Vec<Combo>,
@@ -258,7 +538,6 @@ fn greedy_best_improvement(
         for (idx, combo) in combos.iter().enumerate() {
             let u = union(&f, &combo.nodes);
             if u.len() == f.len() {
-                // W ⊆ F already: it can never change the score again.
                 keep[idx] = false;
                 continue;
             }
@@ -271,9 +550,7 @@ fn greedy_best_improvement(
                 continue;
             }
             let s = score::local_score(&counts);
-            if s > current + EPS
-                && best.as_ref().is_none_or(|&(_, _, bs)| s > bs)
-            {
+            if s > current + EPS && best.as_ref().is_none_or(|&(_, _, bs)| s > bs) {
                 best = Some((idx, u, s));
             }
         }
@@ -294,6 +571,37 @@ fn greedy_best_improvement(
 /// Literal Algorithm-1 greedy: pop combinations in descending standalone
 /// score; union in each one whose union satisfies the Theorem-2 bound.
 fn greedy_score_ordered(
+    ws: &mut CountsWorkspace,
+    cols: &NodeColumns,
+    child: NodeId,
+    combos_sorted: &[Combo],
+    empty_score: f64,
+    delta: f64,
+    evaluations: &mut usize,
+) -> (Vec<NodeId>, f64) {
+    let mut f: Vec<NodeId> = Vec::new();
+    let mut current = empty_score;
+    let mut extra: Vec<NodeId> = Vec::new();
+    ws.set_base(cols, &f);
+    for combo in combos_sorted {
+        extension_into(&f, &combo.nodes, &mut extra);
+        if extra.is_empty() || f.len() + extra.len() > MAX_PARENTS {
+            continue;
+        }
+        let counts = ws.refined_counts(cols, child, &extra);
+        *evaluations += 1;
+        if score::within_bound(f.len() + extra.len(), score::phi(counts), delta) {
+            let s = score::local_score(counts);
+            f = union(&f, &combo.nodes);
+            current = s;
+            ws.set_base(cols, &f);
+        }
+    }
+    (f, current)
+}
+
+/// The reference counterpart of [`greedy_score_ordered`].
+fn greedy_score_ordered_reference(
     cols: &NodeColumns,
     child: NodeId,
     combos_sorted: &[Combo],
@@ -325,6 +633,7 @@ fn greedy_score_ordered(
 /// are skipped. With `c` candidates this evaluates up to `2^c` subsets;
 /// callers should keep `max_candidates` small (≤ ~16).
 fn exhaustive_search(
+    ws: &mut CountsWorkspace,
     cols: &NodeColumns,
     child: NodeId,
     candidates: &[NodeId],
@@ -333,7 +642,51 @@ fn exhaustive_search(
     evaluations: &mut usize,
 ) -> (Vec<NodeId>, f64) {
     let c = candidates.len();
-    assert!(c < 26, "exhaustive search over {c} candidates is intractable");
+    assert!(
+        c < 26,
+        "exhaustive search over {c} candidates is intractable"
+    );
+    ws.set_base(cols, &[]);
+    let mut best: (Vec<NodeId>, f64) = (Vec::new(), empty_score);
+    let mut subset: Vec<NodeId> = Vec::new();
+    for mask in 1u32..(1u32 << c) {
+        if (mask.count_ones() as usize) > MAX_PARENTS {
+            continue;
+        }
+        subset.clear();
+        subset.extend(
+            (0..c)
+                .filter(|&t| mask & (1 << t) != 0)
+                .map(|t| candidates[t]),
+        );
+        subset.sort_unstable();
+        let counts = ws.refined_counts(cols, child, &subset);
+        *evaluations += 1;
+        if !score::within_bound(subset.len(), score::phi(counts), delta) {
+            continue;
+        }
+        let s = score::local_score(counts);
+        if s > best.1 {
+            best = (subset.clone(), s);
+        }
+    }
+    best
+}
+
+/// The reference counterpart of [`exhaustive_search`].
+fn exhaustive_search_reference(
+    cols: &NodeColumns,
+    child: NodeId,
+    candidates: &[NodeId],
+    empty_score: f64,
+    delta: f64,
+    evaluations: &mut usize,
+) -> (Vec<NodeId>, f64) {
+    let c = candidates.len();
+    assert!(
+        c < 26,
+        "exhaustive search over {c} candidates is intractable"
+    );
     let mut best: (Vec<NodeId>, f64) = (Vec::new(), empty_score);
     for mask in 1u32..(1u32 << c) {
         if (mask.count_ones() as usize) > MAX_PARENTS {
@@ -427,7 +780,11 @@ mod tests {
         let cols = m.columns();
         let params = SearchParams::default();
         let res = find_parents(&cols, 2, &[0, 1, 3], &params);
-        assert_eq!(res.parents, vec![0, 1], "should select exactly the OR inputs");
+        assert_eq!(
+            res.parents,
+            vec![0, 1],
+            "should select exactly the OR inputs"
+        );
         assert!(res.score > score::local_score(&cols.combo_counts(2, &[])));
     }
 
@@ -453,7 +810,10 @@ mod tests {
             &cols,
             2,
             &[0, 1, 3],
-            &SearchParams { strategy: GreedyStrategy::ScoreOrdered, ..Default::default() },
+            &SearchParams {
+                strategy: GreedyStrategy::ScoreOrdered,
+                ..Default::default()
+            },
         );
         assert!(literal.parents.len() >= best.parents.len());
         for p in &best.parents {
@@ -489,7 +849,10 @@ mod tests {
                 &cols,
                 child,
                 &candidates,
-                &SearchParams { strategy: GreedyStrategy::Exhaustive, ..Default::default() },
+                &SearchParams {
+                    strategy: GreedyStrategy::Exhaustive,
+                    ..Default::default()
+                },
             );
             assert!(
                 greedy.score >= exact.score - 1e-6,
@@ -509,14 +872,23 @@ mod tests {
             &cols,
             2,
             &candidates,
-            &SearchParams { strategy: GreedyStrategy::Exhaustive, ..Default::default() },
+            &SearchParams {
+                strategy: GreedyStrategy::Exhaustive,
+                ..Default::default()
+            },
         );
-        for strategy in [GreedyStrategy::BestImprovement, GreedyStrategy::ScoreOrdered] {
+        for strategy in [
+            GreedyStrategy::BestImprovement,
+            GreedyStrategy::ScoreOrdered,
+        ] {
             let g = find_parents(
                 &cols,
                 2,
                 &candidates,
-                &SearchParams { strategy, ..Default::default() },
+                &SearchParams {
+                    strategy,
+                    ..Default::default()
+                },
             );
             assert!(
                 exact.score >= g.score - 1e-9,
@@ -534,6 +906,71 @@ mod tests {
         let res = find_parents(&cols, 2, &[], &SearchParams::default());
         assert!(res.parents.is_empty());
         assert_eq!(res.evaluations, 1, "only the empty set is scored");
+    }
+
+    #[test]
+    fn workspace_path_matches_reference_for_all_strategies() {
+        // The contract of the incremental counting engine: every strategy
+        // must produce bit-identical results (parents, scores, and the
+        // evaluation count) to the from-scratch reference implementation.
+        let m = or_gate_matrix();
+        let cols = m.columns();
+        let mut ws = CountsWorkspace::new();
+        for strategy in [
+            GreedyStrategy::BestImprovement,
+            GreedyStrategy::ScoreOrdered,
+            GreedyStrategy::Exhaustive,
+        ] {
+            for child in 0..4u32 {
+                let candidates: Vec<NodeId> = (0..4u32).filter(|&c| c != child).collect();
+                for max_combo_size in [1, 2, 3] {
+                    let params = SearchParams {
+                        strategy,
+                        max_combo_size,
+                        ..Default::default()
+                    };
+                    let new = find_parents_with(&mut ws, &cols, child, &candidates, &params);
+                    let old = find_parents_reference(&cols, child, &candidates, &params);
+                    assert_eq!(new.parents, old.parents, "{strategy:?} child {child}");
+                    assert_eq!(
+                        new.score.to_bits(),
+                        old.score.to_bits(),
+                        "{strategy:?} child {child}: scores must be bit-identical"
+                    );
+                    assert_eq!(
+                        new.evaluations, old.evaluations,
+                        "{strategy:?} child {child}"
+                    );
+                    assert_eq!(new.candidates, old.candidates);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_selection_matches_full_sort() {
+        let m = or_gate_matrix();
+        let corr = CorrelationMatrix::compute(&m.columns(), CorrelationMeasure::Imi);
+        for child in 0..4u32 {
+            for cap in 0..5usize {
+                // Oracle: full sort + truncate, the pre-selection behavior.
+                let mut all: Vec<(f64, NodeId)> = (0..4u32)
+                    .filter(|&j| j != child)
+                    .map(|j| (corr.get(child, j), j))
+                    .filter(|&(v, _)| v > -1.0)
+                    .collect();
+                all.sort_unstable_by(|a, b| {
+                    b.0.partial_cmp(&a.0).expect("no NaNs").then(a.1.cmp(&b.1))
+                });
+                all.truncate(cap);
+                let expect: Vec<NodeId> = all.into_iter().map(|(_, j)| j).collect();
+                assert_eq!(
+                    candidate_parents(&corr, child, -1.0, cap),
+                    expect,
+                    "child {child} cap {cap}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -37,12 +37,18 @@ fn main() {
     // Record 250 outbreak seasons once; surveillance programs with smaller
     // budgets see a prefix of them.
     let all_outbreaks = sim.observe(
-        IcConfig { initial_ratio: 0.05, num_processes: 250 },
+        IcConfig {
+            initial_ratio: 0.05,
+            num_processes: 250,
+        },
         &mut rng,
     );
 
     println!("\noutbreaks observed -> reconstruction quality (TENDS, statuses only)");
-    println!("{:>10}  {:>9}  {:>7}  {:>7}  {:>8}", "outbreaks", "precision", "recall", "F-score", "time (s)");
+    println!(
+        "{:>10}  {:>9}  {:>7}  {:>7}  {:>8}",
+        "outbreaks", "precision", "recall", "F-score", "time (s)"
+    );
     for budget in [50usize, 100, 150, 200, 250] {
         let observed = all_outbreaks.truncated(budget);
         let (result, secs) = timed(|| Tends::new().reconstruct(&observed.statuses));

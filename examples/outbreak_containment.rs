@@ -17,12 +17,7 @@ use rand::SeedableRng;
 
 /// Expected infections from random 5%-seeding with `immunized` removed
 /// from the TRUE network (the evaluation oracle).
-fn true_spread(
-    truth: &DiGraph,
-    probs: &EdgeProbs,
-    immunized: &[NodeId],
-    rng: &mut StdRng,
-) -> f64 {
+fn true_spread(truth: &DiGraph, probs: &EdgeProbs, immunized: &[NodeId], rng: &mut StdRng) -> f64 {
     // Strip the immunized nodes out of the true dynamics.
     let blocked: Vec<bool> = {
         let mut b = vec![false; truth.node_count()];
@@ -46,15 +41,16 @@ fn true_spread(
     let n = truth.node_count();
     let seeds_per_outbreak = n / 20; // 5%
     let trials = 300;
-    let mut pool: Vec<NodeId> =
-        (0..n as NodeId).filter(|&v| !blocked[v as usize]).collect();
+    let mut pool: Vec<NodeId> = (0..n as NodeId).filter(|&v| !blocked[v as usize]).collect();
     let mut total = 0usize;
     for _ in 0..trials {
         for i in 0..seeds_per_outbreak {
             let j = rand::Rng::gen_range(rng, i..pool.len());
             pool.swap(i, j);
         }
-        total += sim.run_once(&pool[..seeds_per_outbreak], rng).infected_count();
+        total += sim
+            .run_once(&pool[..seeds_per_outbreak], rng)
+            .infected_count();
     }
     total as f64 / trials as f64
 }
@@ -73,7 +69,10 @@ fn main() {
 
     // Step 1: historical outbreak records — final statuses only.
     let history = IndependentCascade::new(&truth, &probs).observe(
-        IcConfig { initial_ratio: 0.05, num_processes: 250 },
+        IcConfig {
+            initial_ratio: 0.05,
+            num_processes: 250,
+        },
         &mut rng,
     );
     println!("observed {} historical outbreaks", history.num_processes());

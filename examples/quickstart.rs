@@ -27,8 +27,13 @@ fn main() {
     //    edge transmits with probability ~N(0.3, 0.05²) and each process
     //    seeds 15% of the nodes. Only the FINAL statuses go to TENDS.
     let probs = EdgeProbs::gaussian(&truth, 0.3, 0.05, &mut rng);
-    let observations = IndependentCascade::new(&truth, &probs)
-        .observe(IcConfig { initial_ratio: 0.15, num_processes: 150 }, &mut rng);
+    let observations = IndependentCascade::new(&truth, &probs).observe(
+        IcConfig {
+            initial_ratio: 0.15,
+            num_processes: 150,
+        },
+        &mut rng,
+    );
     println!(
         "observed {} processes; {:.0}% of node-statuses infected overall",
         observations.num_processes(),

@@ -20,11 +20,7 @@ use rand::{Rng, SeedableRng};
 /// time of each non-seed infected node, independently with probability
 /// `noise`. Final statuses are untouched — only the *timing* knowledge
 /// degrades, exactly like late symptom onset.
-fn corrupt_timestamps(
-    obs: &ObservationSet,
-    noise: f64,
-    rng: &mut StdRng,
-) -> ObservationSet {
+fn corrupt_timestamps(obs: &ObservationSet, noise: f64, rng: &mut StdRng) -> ObservationSet {
     let records: Vec<DiffusionRecord> = obs
         .records
         .iter()
@@ -36,11 +32,14 @@ fn corrupt_timestamps(
                     if t == diffnet::simulate::UNINFECTED || t == 0 || !rng.gen_bool(noise) {
                         t
                     } else {
-                        t + rng.gen_range(1..=3)
+                        t + rng.gen_range(1u32..=3)
                     }
                 })
                 .collect();
-            DiffusionRecord { sources: rec.sources.clone(), times }
+            DiffusionRecord {
+                sources: rec.sources.clone(),
+                times,
+            }
         })
         .collect();
     ObservationSet::new(obs.statuses.clone(), records)
@@ -51,8 +50,13 @@ fn main() {
 
     let truth = netsci_like(31);
     let probs = EdgeProbs::gaussian(&truth, 0.3, 0.05, &mut rng);
-    let clean = IndependentCascade::new(&truth, &probs)
-        .observe(IcConfig { initial_ratio: 0.15, num_processes: 150 }, &mut rng);
+    let clean = IndependentCascade::new(&truth, &probs).observe(
+        IcConfig {
+            initial_ratio: 0.15,
+            num_processes: 150,
+        },
+        &mut rng,
+    );
     let m = truth.edge_count();
 
     println!(

@@ -35,8 +35,9 @@ fn expected_spread(
     trials: usize,
     rng: &mut StdRng,
 ) -> f64 {
-    let total: usize =
-        (0..trials).map(|_| sim.run_once(seeds, rng).infected_count()).sum();
+    let total: usize = (0..trials)
+        .map(|_| sim.run_once(seeds, rng).infected_count())
+        .sum();
     total as f64 / trials as f64
 }
 
@@ -56,10 +57,16 @@ fn main() {
     let probs = EdgeProbs::gaussian(&influence, 0.3, 0.05, &mut rng);
     let sim = IndependentCascade::new(&influence, &probs);
     let campaigns = sim.observe(
-        IcConfig { initial_ratio: 0.10, num_processes: 200 },
+        IcConfig {
+            initial_ratio: 0.10,
+            num_processes: 200,
+        },
         &mut rng,
     );
-    println!("observed {} campaigns (adoption outcomes only)", campaigns.num_processes());
+    println!(
+        "observed {} campaigns (adoption outcomes only)",
+        campaigns.num_processes()
+    );
 
     // Reconstruct the influence graph from adoption statuses.
     let (result, secs) = timed(|| Tends::new().reconstruct(&campaigns.statuses));

@@ -59,17 +59,19 @@ pub mod prelude {
         celf_influence_maximization, estimate_spread, greedy_immunization,
         greedy_influence_maximization, SpreadEstimator,
     };
-    pub use diffnet_baselines::{Lift, MulTree, NetInf, NetRate, PathReconstruction, WeightedGraph};
+    pub use diffnet_baselines::{
+        Lift, MulTree, NetInf, NetRate, PathReconstruction, WeightedGraph,
+    };
     pub use diffnet_datasets::{dunf_like, lfr_suite, netsci_like, LfrSpec};
     pub use diffnet_graph::generators::{Lfr, Orientation};
     pub use diffnet_graph::{DiGraph, GraphBuilder, NodeId};
     pub use diffnet_metrics::{timed, EdgeSetComparison, Stopwatch};
     pub use diffnet_simulate::{
-        DiffusionRecord, EdgeProbs, IcConfig, IndependentCascade, ObservationSet,
+        CountsWorkspace, DiffusionRecord, EdgeProbs, IcConfig, IndependentCascade, ObservationSet,
         StatusMatrix,
     };
     pub use diffnet_tends::{
-        CorrelationMeasure, GreedyStrategy, SearchParams, Tends, TendsConfig,
-        TendsResult, ThresholdMode,
+        CorrelationMeasure, GreedyStrategy, SearchParams, Tends, TendsConfig, TendsResult,
+        ThresholdMode,
     };
 }

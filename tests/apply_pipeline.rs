@@ -16,8 +16,13 @@ fn hidden_network() -> (DiGraph, EdgeProbs, StdRng) {
 #[test]
 fn influence_maximization_on_inferred_graph_transfers() {
     let (truth, probs, mut rng) = hidden_network();
-    let obs = IndependentCascade::new(&truth, &probs)
-        .observe(IcConfig { initial_ratio: 0.1, num_processes: 200 }, &mut rng);
+    let obs = IndependentCascade::new(&truth, &probs).observe(
+        IcConfig {
+            initial_ratio: 0.1,
+            num_processes: 200,
+        },
+        &mut rng,
+    );
     let inferred = Tends::new().reconstruct(&obs.statuses).graph;
 
     // Pick seeds with CELF on the inferred graph...
@@ -27,8 +32,7 @@ fn influence_maximization_on_inferred_graph_transfers() {
     assert_eq!(seeds.len(), 10);
 
     // ...and evaluate them on the true dynamics against random seeds.
-    let informed =
-        estimate_spread(&truth, &probs, &seeds, 300, &mut rng);
+    let informed = estimate_spread(&truth, &probs, &seeds, 300, &mut rng);
     let random_seeds: Vec<NodeId> = (0..10).collect();
     let random = estimate_spread(&truth, &probs, &random_seeds, 300, &mut rng);
     assert!(
@@ -40,8 +44,13 @@ fn influence_maximization_on_inferred_graph_transfers() {
 #[test]
 fn immunization_on_inferred_graph_transfers() {
     let (truth, probs, mut rng) = hidden_network();
-    let obs = IndependentCascade::new(&truth, &probs)
-        .observe(IcConfig { initial_ratio: 0.05, num_processes: 200 }, &mut rng);
+    let obs = IndependentCascade::new(&truth, &probs).observe(
+        IcConfig {
+            initial_ratio: 0.05,
+            num_processes: 200,
+        },
+        &mut rng,
+    );
     let inferred = Tends::new().reconstruct(&obs.statuses).graph;
 
     let inferred_probs = EdgeProbs::constant(&inferred, 0.3);

@@ -9,8 +9,13 @@ fn workload() -> (DiGraph, ObservationSet) {
     let truth = lfr_suite()[0].generate(123); // LFR1: n = 100, K = 4
     let mut rng = StdRng::seed_from_u64(321);
     let probs = EdgeProbs::gaussian(&truth, 0.3, 0.05, &mut rng);
-    let obs = IndependentCascade::new(&truth, &probs)
-        .observe(IcConfig { initial_ratio: 0.15, num_processes: 150 }, &mut rng);
+    let obs = IndependentCascade::new(&truth, &probs).observe(
+        IcConfig {
+            initial_ratio: 0.15,
+            num_processes: 150,
+        },
+        &mut rng,
+    );
     (truth, obs)
 }
 
@@ -53,7 +58,10 @@ fn every_algorithm_beats_random_guessing() {
 
     let runs: Vec<(&str, DiGraph)> = vec![
         ("TENDS", Tends::new().reconstruct(&obs.statuses).graph),
-        ("NetRate", NetRate::new().infer(&obs).best_fscore_graph(&truth).0),
+        (
+            "NetRate",
+            NetRate::new().infer(&obs).best_fscore_graph(&truth).0,
+        ),
         ("MulTree", MulTree::new().infer(&obs, m)),
         ("LIFT", Lift::new().infer(&obs, m)),
         ("NetInf", NetInf::new().infer(&obs, m)),
@@ -61,7 +69,10 @@ fn every_algorithm_beats_random_guessing() {
     ];
     for (name, g) in runs {
         let f = EdgeSetComparison::against_truth(&truth, &g).f_score();
-        assert!(f > 3.0 * random_f, "{name} F-score {f} vs random {random_f}");
+        assert!(
+            f > 3.0 * random_f,
+            "{name} F-score {f} vs random {random_f}"
+        );
     }
 }
 

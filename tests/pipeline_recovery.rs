@@ -5,17 +5,16 @@ use diffnet::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn observe_with(
-    truth: &DiGraph,
-    alpha: f64,
-    beta: usize,
-    mu: f64,
-    seed: u64,
-) -> ObservationSet {
+fn observe_with(truth: &DiGraph, alpha: f64, beta: usize, mu: f64, seed: u64) -> ObservationSet {
     let mut rng = StdRng::seed_from_u64(seed);
     let probs = EdgeProbs::gaussian(truth, mu, 0.05, &mut rng);
-    IndependentCascade::new(truth, &probs)
-        .observe(IcConfig { initial_ratio: alpha, num_processes: beta }, &mut rng)
+    IndependentCascade::new(truth, &probs).observe(
+        IcConfig {
+            initial_ratio: alpha,
+            num_processes: beta,
+        },
+        &mut rng,
+    )
 }
 
 fn reciprocal(pairs: &[(NodeId, NodeId)], n: usize) -> DiGraph {
@@ -83,16 +82,12 @@ fn more_processes_do_not_hurt() {
     let truth = reciprocal(&[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)], 7);
     let big = observe_with(&truth, 0.2, 400, 0.4, 15);
     let small = big.truncated(40);
-    let f_small = EdgeSetComparison::against_truth(
-        &truth,
-        &Tends::new().reconstruct(&small.statuses).graph,
-    )
-    .f_score();
-    let f_big = EdgeSetComparison::against_truth(
-        &truth,
-        &Tends::new().reconstruct(&big.statuses).graph,
-    )
-    .f_score();
+    let f_small =
+        EdgeSetComparison::against_truth(&truth, &Tends::new().reconstruct(&small.statuses).graph)
+            .f_score();
+    let f_big =
+        EdgeSetComparison::against_truth(&truth, &Tends::new().reconstruct(&big.statuses).graph)
+            .f_score();
     assert!(
         f_big >= f_small - 0.05,
         "F went from {f_small} (β=40) down to {f_big} (β=400)"

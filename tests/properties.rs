@@ -47,6 +47,55 @@ proptest! {
         );
     }
 
+    // The incremental workspace kernel agrees with the naive row-scan
+    // kernel for every split of a random parent set into a cached base and
+    // a refinement extension.
+    #[test]
+    fn workspace_counts_match_naive_kernel(
+        m in status_matrix(1..80, 3..12),
+        base_mask in 0u32..256,
+        extra_mask in 0u32..256,
+    ) {
+        let n = m.num_nodes() as u32;
+        let child = 0u32;
+        let base: Vec<NodeId> =
+            (1..n).filter(|p| base_mask & (1 << (p % 8)) != 0).take(3).collect();
+        let extra: Vec<NodeId> = (1..n)
+            .filter(|p| extra_mask & (1 << (p % 8)) != 0)
+            .filter(|p| !base.contains(p))
+            .take(3)
+            .collect();
+        let mut union: Vec<NodeId> = base.iter().chain(&extra).copied().collect();
+        union.sort_unstable();
+
+        let cols = m.columns();
+        let mut ws = CountsWorkspace::new();
+        ws.set_base(&cols, &base);
+        let counts = ws.refined_counts(&cols, child, &extra).to_vec();
+        prop_assert_eq!(counts, m.combo_counts(child, &union));
+    }
+
+    // The parallel correlation matrix is bit-identical at every thread
+    // count (1, 4, and all-cores).
+    #[test]
+    fn correlation_matrix_thread_count_invariant(m in status_matrix(2..50, 2..14)) {
+        use diffnet::tends::CorrelationMatrix;
+        let cols = m.columns();
+        let n = m.num_nodes() as u32;
+        let seq = CorrelationMatrix::compute_parallel(&cols, CorrelationMeasure::Imi, 1);
+        for threads in [4usize, 0] {
+            let par =
+                CorrelationMatrix::compute_parallel(&cols, CorrelationMeasure::Imi, threads);
+            for i in 0..n {
+                for j in 0..n {
+                    prop_assert_eq!(
+                        seq.get(i, j).to_bits(), par.get(i, j).to_bits(),
+                        "cell ({},{}) differs at {} threads", i, j, threads);
+                }
+            }
+        }
+    }
+
     // Theorem 1: adding any parent never decreases the log-likelihood.
     #[test]
     fn theorem1_likelihood_monotone(m in status_matrix(2..60, 3..10)) {

@@ -1,0 +1,28 @@
+//! `Option<T>` strategies.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Strategy for `Option<T>`: `None` with probability ¼, otherwise `Some`
+/// of the inner strategy (proptest's default weighting).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn new_value(&self, rng: &mut StdRng) -> Option<S::Value> {
+        if rng.gen_bool(0.25) {
+            None
+        } else {
+            Some(self.inner.new_value(rng))
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Test-runner configuration.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of a `proptest!` block.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The deterministic per-case generator used by the `proptest!` expansion.
+#[doc(hidden)]
+pub fn case_rng(case: u32) -> StdRng {
+    StdRng::seed_from_u64(0xC0FF_EE00_0000_0000 ^ u64::from(case))
+}
