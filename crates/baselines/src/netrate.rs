@@ -22,6 +22,7 @@
 //! [`WeightedGraph::best_fscore_graph`].
 
 use crate::weighted::WeightedGraph;
+use diffnet_observe::Recorder;
 use diffnet_simulate::{ObservationSet, UNINFECTED};
 use std::collections::HashMap;
 
@@ -81,7 +82,17 @@ impl NetRate {
     /// `log`-hazard terms. Both are compiled into flat index arrays up
     /// front so each ascent iteration is pure array traversal.
     pub fn infer(&self, obs: &ObservationSet) -> WeightedGraph {
+        self.infer_observed(obs, Recorder::disabled())
+    }
+
+    /// [`infer`](Self::infer) with instrumentation, so TENDS-vs-NetRate
+    /// wall time can be attributed per phase: objective compilation
+    /// (`netrate_compile`) and gradient ascent (`netrate_ascent`) are
+    /// timed, and the recorder receives the instantiated pair count,
+    /// hazard-slot count, ascent iterations, and step halvings.
+    pub fn infer_observed(&self, obs: &ObservationSet, rec: &Recorder) -> WeightedGraph {
         const FLOOR: f64 = 1e-12;
+        let compile_phase = rec.phase("netrate_compile");
         let n = obs.num_nodes();
         let cascades: Vec<Cascade> = obs
             .records
@@ -154,12 +165,22 @@ impl NetRate {
             }
         }
 
+        drop(compile_phase);
+        if rec.is_enabled() {
+            rec.add("netrate_pairs", num_pairs as u64);
+            rec.add("netrate_hazard_slots", (slot_offsets.len() - 1) as u64);
+        }
+
+        let ascent_phase = rec.phase("netrate_ascent");
         let mut alpha = vec![0.05f64; num_pairs];
         let mut grad = vec![0.0f64; num_pairs];
         let mut step = self.config.step_size;
         let mut prev_ll = f64::NEG_INFINITY;
+        let mut iterations = 0u64;
+        let mut halvings = 0u64;
 
         for _ in 0..self.config.max_iters {
+            iterations += 1;
             grad.copy_from_slice(&base_grad);
             let mut ll: f64 = alpha.iter().zip(&base_grad).map(|(a, g)| a * g).sum();
             for w in slot_offsets.windows(2) {
@@ -179,6 +200,7 @@ impl NetRate {
             // Simple step-size control: shrink on non-improvement.
             if ll < prev_ll {
                 step *= 0.5;
+                halvings += 1;
                 if step < 1e-6 {
                     break;
                 }
@@ -194,6 +216,11 @@ impl NetRate {
             if max_update < self.config.tolerance {
                 break;
             }
+        }
+        drop(ascent_phase);
+        if rec.is_enabled() {
+            rec.add("netrate_iterations", iterations);
+            rec.add("netrate_step_halvings", halvings);
         }
 
         let mut out = WeightedGraph::new(n);
@@ -316,6 +343,27 @@ mod tests {
         for (_, _, w) in weighted.iter() {
             assert!((w - 0.05).abs() < 1e-12, "untouched init, got {w}");
         }
+    }
+
+    #[test]
+    fn observed_inference_matches_plain_and_records_phases() {
+        let truth = DiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let obs = observe(&truth, 68, 200);
+        let plain = NetRate::new().infer(&obs);
+        let rec = Recorder::new();
+        let observed = NetRate::new().infer_observed(&obs, &rec);
+        let collect = |g: &WeightedGraph| {
+            let mut v: Vec<_> = g.iter().collect();
+            v.sort_by_key(|a| (a.0, a.1));
+            v
+        };
+        assert_eq!(collect(&plain), collect(&observed));
+
+        let snap = rec.snapshot();
+        let names: Vec<_> = snap.phases.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["netrate_compile", "netrate_ascent"]);
+        assert!(snap.counters["netrate_pairs"] > 0);
+        assert!(snap.counters["netrate_iterations"] > 0);
     }
 
     #[test]

@@ -105,7 +105,9 @@ fn bench_greedy_search(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0usize;
             for (i, cands) in candidates.iter().enumerate() {
-                acc += find_parents_reference(&cols, i as u32, cands, &params).evaluations;
+                acc += find_parents_reference(&cols, i as u32, cands, &params)
+                    .stats
+                    .evaluations;
             }
             black_box(acc)
         })
@@ -115,7 +117,9 @@ fn bench_greedy_search(c: &mut Criterion) {
             let mut ws = CountsWorkspace::new();
             let mut acc = 0usize;
             for (i, cands) in candidates.iter().enumerate() {
-                acc += find_parents_with(&mut ws, &cols, i as u32, cands, &params).evaluations;
+                acc += find_parents_with(&mut ws, &cols, i as u32, cands, &params)
+                    .stats
+                    .evaluations;
             }
             black_box(acc)
         })

@@ -9,7 +9,9 @@
 //! * the `N_ijk` counting kernel: the recursive bitset kernel vs the
 //!   incremental [`CountsWorkspace`] refinement;
 //! * the full greedy parent search: workspace path vs the from-scratch
-//!   reference path, both single-threaded.
+//!   reference path, both single-threaded;
+//! * one instrumented reconstruction (`tends_run_report`): per-phase wall
+//!   times and the full observability counter set for the small workload.
 //!
 //! Multi-thread speedups are only meaningful on multi-core hardware; the
 //! report records `hardware_threads` so the numbers are interpretable.
@@ -18,10 +20,10 @@
 use diffnet_bench::harness::{observe, Setting};
 use diffnet_datasets::LfrSpec;
 use diffnet_metrics::timed;
+use diffnet_observe::{Json, Recorder, RunReport};
 use diffnet_simulate::{CountsWorkspace, NodeColumns, StatusMatrix};
 use diffnet_tends::search::{find_parents_reference, SearchParams};
 use diffnet_tends::{CorrelationMatrix, CorrelationMeasure, Tends, TendsConfig};
-use std::fmt::Write as _;
 
 /// Median wall-clock seconds of `reps` runs of `f`.
 fn median_secs<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
@@ -153,7 +155,9 @@ fn main() {
     let greedy_ref = median_secs(reps.min(3), || {
         let mut acc = 0usize;
         for (i, cands) in candidates.iter().enumerate() {
-            acc += find_parents_reference(&small_cols, i as u32, cands, &params).evaluations;
+            acc += find_parents_reference(&small_cols, i as u32, cands, &params)
+                .stats
+                .evaluations;
         }
         acc
     });
@@ -168,53 +172,68 @@ fn main() {
                 cands,
                 &params,
             )
+            .stats
             .evaluations;
         }
         acc
     });
 
-    let mut json = String::new();
-    let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"generated_by\": \"perf_report\",");
-    let _ = writeln!(json, "  \"quick\": {quick},");
-    let _ = writeln!(json, "  \"hardware_threads\": {hardware_threads},");
-    let _ = writeln!(json, "  \"beta\": {beta},");
-    let _ = writeln!(
-        json,
-        "  \"imi_matrix\": {{\"n\": {n_large}, \"threads_1_s\": {imi_1:.6}, \
-         \"threads_8_s\": {imi_8:.6}, \"speedup\": {:.3}}},",
-        imi_1 / imi_8
-    );
-    let _ = writeln!(
-        json,
-        "  \"reconstruction\": {{\"n\": {n_small}, \"threads_1_s\": {rec_1:.6}, \
-         \"threads_8_s\": {rec_8:.6}, \"speedup\": {:.3}}},",
-        rec_1 / rec_8
-    );
-    let _ = writeln!(json, "  \"counting_kernel\": [");
-    for (idx, k) in kernels.iter().enumerate() {
-        let comma = if idx + 1 < kernels.len() { "," } else { "" };
-        let _ = writeln!(
-            json,
-            "    {{\"n\": {}, \"recursive_s\": {:.6}, \"workspace_s\": {:.6}, \
-             \"speedup\": {:.3}}}{comma}",
-            k.n,
-            k.recursive_s,
-            k.workspace_s,
-            k.recursive_s / k.workspace_s
-        );
-    }
-    let _ = writeln!(json, "  ],");
-    let _ = writeln!(
-        json,
-        "  \"greedy_search\": {{\"n\": {n_small}, \"reference_s\": {greedy_ref:.6}, \
-         \"workspace_s\": {greedy_ws:.6}, \"speedup\": {:.3}}}",
-        greedy_ref / greedy_ws
-    );
-    let _ = writeln!(json, "}}");
+    // One instrumented reconstruction for the per-phase breakdown, so the
+    // report shows where the wall-clock goes inside a single run.
+    eprintln!("perf_report: instrumented phase breakdown (n={n_small})");
+    let recorder = Recorder::new();
+    let _ = Tends::with_config(TendsConfig {
+        threads: 1,
+        ..Default::default()
+    })
+    .reconstruct_observed(&small, &recorder);
+    let run_report = RunReport::new("tends", recorder.snapshot(), 1);
 
+    let mut json = Json::object();
+    json.push("generated_by", "perf_report");
+    json.push("quick", quick);
+    json.push("hardware_threads", hardware_threads as u64);
+    json.push("beta", beta as u64);
+
+    let mut imi = Json::object();
+    imi.push("n", n_large as u64);
+    imi.push("threads_1_s", imi_1);
+    imi.push("threads_8_s", imi_8);
+    imi.push("speedup", imi_1 / imi_8);
+    json.push("imi_matrix", imi);
+
+    let mut rec = Json::object();
+    rec.push("n", n_small as u64);
+    rec.push("threads_1_s", rec_1);
+    rec.push("threads_8_s", rec_8);
+    rec.push("speedup", rec_1 / rec_8);
+    json.push("reconstruction", rec);
+
+    let rows: Vec<Json> = kernels
+        .iter()
+        .map(|k| {
+            let mut row = Json::object();
+            row.push("n", k.n as u64);
+            row.push("recursive_s", k.recursive_s);
+            row.push("workspace_s", k.workspace_s);
+            row.push("speedup", k.recursive_s / k.workspace_s);
+            row
+        })
+        .collect();
+    json.push("counting_kernel", rows);
+
+    let mut greedy = Json::object();
+    greedy.push("n", n_small as u64);
+    greedy.push("reference_s", greedy_ref);
+    greedy.push("workspace_s", greedy_ws);
+    greedy.push("speedup", greedy_ref / greedy_ws);
+    json.push("greedy_search", greedy);
+
+    json.push("tends_run_report", run_report.to_json());
+
+    let text = json.to_pretty();
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_micro.json");
-    std::fs::write(path, &json).expect("write BENCH_micro.json");
-    println!("{json}");
+    std::fs::write(path, &text).expect("write BENCH_micro.json");
+    println!("{text}");
     eprintln!("perf_report: wrote {path}");
 }

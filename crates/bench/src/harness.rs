@@ -12,12 +12,28 @@ use rand::SeedableRng;
 /// the `DIFFNET_THREADS` environment variable.
 ///
 /// Defaults to 1 so timing comparisons against the single-threaded
-/// baselines stay honest; `DIFFNET_THREADS=0` uses all cores.
+/// baselines stay honest; `DIFFNET_THREADS=0` uses all cores. A value
+/// that does not parse as an unsigned integer falls back to 1 with a
+/// one-line warning on stderr, so a typo like `DIFFNET_THREADS=eight`
+/// never silently serialises a run meant to be parallel.
 pub fn threads_from_env() -> usize {
-    std::env::var("DIFFNET_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1)
+    match parse_threads(std::env::var("DIFFNET_THREADS").ok().as_deref()) {
+        Ok(threads) => threads,
+        Err(raw) => {
+            eprintln!("warning: DIFFNET_THREADS={raw:?} is not a thread count; using 1");
+            1
+        }
+    }
+}
+
+/// Parses a `DIFFNET_THREADS` value: `None` (unset) means 1, a decimal
+/// integer is taken as-is (0 = all cores, resolved downstream), and
+/// anything else is returned as `Err` so the caller can warn.
+pub fn parse_threads(raw: Option<&str>) -> Result<usize, &str> {
+    match raw {
+        None => Ok(1),
+        Some(v) => v.trim().parse().map_err(|_| v),
+    }
 }
 
 /// The default TENDS configuration for benches, with the thread count
@@ -193,6 +209,17 @@ pub const SERIES: [&str; 4] = ["TENDS", "NetRate", "MulTree", "LIFT"];
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parse_threads_accepts_integers_and_rejects_garbage() {
+        assert_eq!(parse_threads(None), Ok(1));
+        assert_eq!(parse_threads(Some("0")), Ok(0));
+        assert_eq!(parse_threads(Some("8")), Ok(8));
+        assert_eq!(parse_threads(Some(" 4 ")), Ok(4));
+        assert_eq!(parse_threads(Some("eight")), Err("eight"));
+        assert_eq!(parse_threads(Some("-2")), Err("-2"));
+        assert_eq!(parse_threads(Some("")), Err(""));
+    }
 
     #[test]
     fn scale_parameters() {

@@ -8,6 +8,7 @@ use diffnet_graph::generators::{
 use diffnet_graph::stats::GraphStats;
 use diffnet_graph::DiGraph;
 use diffnet_metrics::EdgeSetComparison;
+use diffnet_observe::{Recorder, RunReport};
 use diffnet_simulate::{EdgeProbs, IcConfig, IndependentCascade, LinearThreshold, ObservationSet};
 use diffnet_tends::{
     estimate_propagation_probabilities, CorrelationMeasure, DirectionPolicy, EstimateConfig,
@@ -30,6 +31,7 @@ pub fn run(argv: &[String]) -> Result<String, ArgError> {
         "eval" => eval(&parsed),
         "estimate" => estimate(&parsed),
         "stats" => stats(&parsed),
+        "report-check" => report_check(&parsed),
         "help" | "--help" | "-h" => Ok(crate::USAGE.to_string()),
         other => Err(ArgError::new(format!(
             "unknown command {other:?}; try `diffnet help`"
@@ -199,15 +201,34 @@ fn infer(args: &ParsedArgs) -> Result<String, ArgError> {
         "threads",
         "symmetrize",
         "mutual-only",
+        "trace",
+        "run-report",
     ])?;
     let out = args.required("out")?;
     let algo = args.optional("algorithm").unwrap_or("tends");
 
+    // One recorder for the whole command: enabled only when the user asked
+    // for observability, so the default path keeps the free no-op collector.
+    let trace = args.has_flag("trace");
+    let report_path = args.optional("run-report");
+    let observing = trace || report_path.is_some();
+    let owned_rec;
+    let rec: &Recorder = if observing {
+        owned_rec = Recorder::new();
+        &owned_rec
+    } else {
+        Recorder::disabled()
+    };
+    let mut report_threads = 1usize;
+
     let (graph, detail) = match algo {
         "tends" => {
             let statuses_path = args.required("statuses")?;
-            let statuses = diffnet_simulate::io::load_status_matrix(statuses_path)
-                .map_err(|e| io_err(&format!("cannot load statuses {statuses_path:?}"), e))?;
+            let statuses = {
+                let _p = rec.phase("load_statuses");
+                diffnet_simulate::io::load_status_matrix(statuses_path)
+                    .map_err(|e| io_err(&format!("cannot load statuses {statuses_path:?}"), e))?
+            };
             let threshold = match args.optional("threshold-scale") {
                 Some(raw) => ThresholdMode::ScaledAuto(
                     raw.parse()
@@ -233,12 +254,13 @@ fn infer(args: &ParsedArgs) -> Result<String, ArgError> {
                 direction,
                 threads: args.get_or("threads", 1)?,
             };
-            let result = Tends::with_config(cfg).reconstruct(&statuses);
+            report_threads = cfg.threads.max(1);
+            let result = Tends::with_config(cfg).reconstruct_observed(&statuses, rec);
             (result.graph, format!("τ = {:.4}", result.tau))
         }
         "netrate" => {
             let obs = load_observations_arg(args, algo)?;
-            let weighted = NetRate::new().infer(&obs);
+            let weighted = NetRate::new().infer_observed(&obs, rec);
             let m = budget_arg(args, algo)?;
             (
                 weighted.top_m(m),
@@ -277,6 +299,21 @@ fn infer(args: &ParsedArgs) -> Result<String, ArgError> {
     let mut report = format!("{algo}: inferred {} edges -> {out}", graph.edge_count());
     if !detail.is_empty() {
         report.push_str(&format!(" ({detail})"));
+    }
+
+    if observing {
+        let run_report = RunReport::new(algo, rec.snapshot(), report_threads);
+        if run_report.snapshot.phases.is_empty() {
+            eprintln!("warning: algorithm {algo:?} is not instrumented; run report is empty");
+        }
+        if trace {
+            eprint!("{}", run_report.render_trace());
+        }
+        if let Some(path) = report_path {
+            std::fs::write(path, run_report.to_pretty_json())
+                .map_err(|e| io_err(&format!("cannot write run report {path:?}"), e))?;
+            report.push_str(&format!("\nrun report -> {path}"));
+        }
     }
     Ok(report)
 }
@@ -353,6 +390,60 @@ fn stats(args: &ParsedArgs) -> Result<String, ArgError> {
         s.reciprocity,
         s.clustering,
         s.weak_components
+    ))
+}
+
+/// Phases a TENDS run report must contain — the `report-check` default.
+const TENDS_PHASES: &[&str] = &[
+    "load_statuses",
+    "status_columns",
+    "correlation_matrix",
+    "threshold",
+    "candidate_pruning",
+    "parent_search",
+    "direction",
+];
+
+/// Counters that are non-zero on any TENDS run with at least one node —
+/// the `report-check` default. (Every node scores at least its empty
+/// parent set, which costs one workspace rebase and one refinement.)
+const TENDS_NONZERO_COUNTERS: &[&str] = &[
+    "combinations_scored",
+    "workspace_refinements",
+    "workspace_rebases",
+];
+
+fn report_check(args: &ParsedArgs) -> Result<String, ArgError> {
+    args.expect_known(&["report", "phases", "counters"])?;
+    let path = args.required("report")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| io_err(&format!("cannot read report {path:?}"), e))?;
+    let split = |raw: &str| -> Vec<String> {
+        raw.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(String::from)
+            .collect()
+    };
+    let phases: Vec<String> = match args.optional("phases") {
+        Some(raw) => split(raw),
+        None => TENDS_PHASES.iter().map(|s| s.to_string()).collect(),
+    };
+    let counters: Vec<String> = match args.optional("counters") {
+        Some(raw) => split(raw),
+        None => TENDS_NONZERO_COUNTERS
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    };
+    let phase_refs: Vec<&str> = phases.iter().map(String::as_str).collect();
+    let counter_refs: Vec<&str> = counters.iter().map(String::as_str).collect();
+    diffnet_observe::validate_report_json(&text, &phase_refs, &counter_refs)
+        .map_err(|e| ArgError::new(format!("run report {path:?} invalid: {e}")))?;
+    Ok(format!(
+        "report {path} OK: {} phase(s) timed, {} counter(s) non-zero",
+        phase_refs.len(),
+        counter_refs.len()
     ))
 }
 
@@ -455,6 +546,123 @@ mod tests {
         ])
         .expect("multree infer");
         assert!(i2.contains("multree"));
+    }
+
+    #[test]
+    fn run_report_round_trip_through_report_check() {
+        let truth = tmp("report_truth.edges");
+        let statuses = tmp("report_statuses.txt");
+        let inferred = tmp("report_inferred.edges");
+        let report = tmp("report_run.json");
+
+        run_tokens(&[
+            "generate", "--model", "er", "--n", "30", "--m", "60", "--seed", "9", "--out", &truth,
+        ])
+        .expect("generate");
+        run_tokens(&[
+            "simulate", "--graph", &truth, "--beta", "100", "--seed", "10", "--out", &statuses,
+        ])
+        .expect("simulate");
+        let out = run_tokens(&[
+            "infer",
+            "--statuses",
+            &statuses,
+            "--out",
+            &inferred,
+            "--run-report",
+            &report,
+        ])
+        .expect("infer with report");
+        assert!(out.contains("run report ->"));
+
+        // The emitted JSON passes the default TENDS schema check...
+        let check = run_tokens(&["report-check", "--report", &report]).expect("report-check");
+        assert!(check.contains("OK"));
+
+        // ...and contains the headline observability values.
+        let text = std::fs::read_to_string(&report).expect("report written");
+        let json = diffnet_observe::parse_json(&text).expect("valid JSON");
+        assert!(json.get("values").and_then(|v| v.get("tau")).is_some());
+        assert!(json
+            .get("histograms")
+            .and_then(|h| h.get("candidate_set_size"))
+            .is_some());
+        assert!(json
+            .get("runtime")
+            .and_then(|r| r.get("worker_chunks"))
+            .and_then(|c| c.get("parent_search"))
+            .is_some());
+
+        // Asking for a counter the run cannot produce fails the check.
+        let err = run_tokens(&[
+            "report-check",
+            "--report",
+            &report,
+            "--counters",
+            "no_such_counter",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("no_such_counter"));
+    }
+
+    #[test]
+    fn report_check_rejects_non_json() {
+        let bogus = tmp("bogus_report.json");
+        std::fs::write(&bogus, "not json at all").expect("write");
+        let err = run_tokens(&["report-check", "--report", &bogus]).unwrap_err();
+        assert!(err.to_string().contains("invalid"));
+    }
+
+    #[test]
+    fn netrate_report_contains_its_phases() {
+        let truth = tmp("nr_truth.edges");
+        let statuses = tmp("nr_statuses.txt");
+        let obs = tmp("nr_obs.txt");
+        let inferred = tmp("nr_inferred.edges");
+        let report = tmp("nr_run.json");
+        run_tokens(&[
+            "generate", "--model", "er", "--n", "20", "--m", "40", "--seed", "11", "--out", &truth,
+        ])
+        .expect("generate");
+        run_tokens(&[
+            "simulate",
+            "--graph",
+            &truth,
+            "--beta",
+            "80",
+            "--seed",
+            "12",
+            "--out",
+            &statuses,
+            "--observations",
+            &obs,
+        ])
+        .expect("simulate");
+        run_tokens(&[
+            "infer",
+            "--algorithm",
+            "netrate",
+            "--observations",
+            &obs,
+            "--edges",
+            "40",
+            "--out",
+            &inferred,
+            "--run-report",
+            &report,
+        ])
+        .expect("netrate infer");
+        let check = run_tokens(&[
+            "report-check",
+            "--report",
+            &report,
+            "--phases",
+            "netrate_compile,netrate_ascent",
+            "--counters",
+            "netrate_pairs,netrate_iterations",
+        ])
+        .expect("netrate report-check");
+        assert!(check.contains("OK"));
     }
 
     #[test]

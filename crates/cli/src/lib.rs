@@ -39,8 +39,11 @@ COMMANDS:
              --statuses FILE --out FILE  [--algorithm tends|netrate|multree|lift|netinf|path]
              [--observations FILE] [--edges M] [--threshold-scale X] [--mi]
              [--threads T] [--symmetrize | --mutual-only]
+             [--trace] [--run-report FILE]
   eval       Score an inferred edge set against the ground truth
              --truth FILE --inferred FILE
+  report-check  Validate a --run-report JSON file (schema + counters)
+             --report FILE  [--phases a,b,...] [--counters a,b,...]
   estimate   Fit per-edge propagation probabilities for a topology
              --graph FILE --statuses FILE --out FILE
   stats      Print summary statistics of a network
@@ -50,4 +53,9 @@ COMMANDS:
 Cascade-based algorithms (netrate, multree, netinf, path) and lift need
 --observations (written by `simulate --observations`); tends needs only
 --statuses. multree/lift/netinf/path need --edges (the budget m).
+
+Observability: `infer --trace` prints per-phase wall times and counters to
+stderr; `infer --run-report FILE` writes the structured JSON run report
+(instrumented algorithms: tends, netrate). `report-check` validates such a
+file and exits non-zero on schema violations.
 ";

@@ -1,0 +1,27 @@
+//! Zero-dependency observability for the diffnet pipeline.
+//!
+//! The workspace builds with no registry access, so this crate hand-rolls
+//! the three pieces an instrumentation layer needs on `std` alone:
+//!
+//! - [`Recorder`]: spans ([`Recorder::phase`] returning a timing guard),
+//!   counters, scalar values, histograms, and per-worker chunk stats —
+//!   with a no-op disabled mode ([`Recorder::disabled`]) so instrumented
+//!   code costs a predictable branch when observability is off;
+//! - [`Json`]: a deterministic JSON tree, writer, and minimal parser
+//!   (hoisted from the `perf_report` bench binary);
+//! - [`RunReport`]: the structured report serialized for `--run-report`,
+//!   split into a deterministic section (pure function of seed + config)
+//!   and a `runtime` section (wall times, worker scheduling).
+//!
+//! See DESIGN.md ("Observability") for the rationale behind the
+//! no-op-collector pattern and the deterministic/runtime split.
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod recorder;
+pub mod report;
+
+pub use json::{parse as parse_json, Json, ParseError};
+pub use recorder::{PhaseGuard, Recorder, Snapshot};
+pub use report::{strip_runtime, validate_report_json, PhaseTiming, RunReport};

@@ -1,0 +1,257 @@
+//! The recording surface the pipeline is instrumented against.
+//!
+//! Design (see DESIGN.md): a [`Recorder`] is either *enabled* (backed by a
+//! mutex-guarded store) or *disabled* (the shared [`Recorder::disabled`]
+//! static). Instrumented code takes `&Recorder` and calls it
+//! unconditionally; every entry point checks the `enabled` flag first, so
+//! the disabled path is a branch on an immutable bool — no locking, no
+//! allocation, no timer reads. That keeps the default (observability off)
+//! within noise of uninstrumented code, which the perf acceptance bar
+//! (< 2% regression) requires.
+//!
+//! Aggregation happens at *phase boundaries*: hot loops accumulate plain
+//! integers in their own structs (`SearchStats`, `CountsWorkspace`
+//! counters, `PoolStats`) and the pipeline ingests those aggregates into
+//! the recorder once per phase. The recorder is never touched per
+//! combination or per row.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Completed phases in the order they finished, with wall seconds.
+    phases: Vec<(&'static str, f64)>,
+    /// Monotonic counters.
+    counters: BTreeMap<&'static str, u64>,
+    /// Scalar observations (e.g. the 2-means threshold τ).
+    values: BTreeMap<&'static str, f64>,
+    /// Named histograms as raw bucket counts (index = bucket).
+    histograms: BTreeMap<&'static str, Vec<u64>>,
+    /// Per-worker chunk claims, keyed by the parallel region's name.
+    worker_chunks: BTreeMap<&'static str, Vec<u64>>,
+}
+
+/// Collects phase timings, counters, values, and histograms for one run.
+///
+/// Cheap to share by reference; `Sync`, so parallel regions may record
+/// into it (though the instrumented pipeline only does so at phase
+/// boundaries). Construct with [`Recorder::new`] to record, or use the
+/// [`Recorder::disabled`] static for the free no-op.
+#[derive(Debug)]
+pub struct Recorder {
+    enabled: bool,
+    inner: Mutex<Inner>,
+}
+
+/// The process-wide no-op recorder.
+static DISABLED: Recorder = Recorder {
+    enabled: false,
+    inner: Mutex::new(Inner {
+        phases: Vec::new(),
+        counters: BTreeMap::new(),
+        values: BTreeMap::new(),
+        histograms: BTreeMap::new(),
+        worker_chunks: BTreeMap::new(),
+    }),
+};
+
+impl Recorder {
+    /// A recorder that actually records.
+    pub fn new() -> Recorder {
+        Recorder {
+            enabled: true,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The shared no-op recorder: every call on it is a branch on a
+    /// constant `false` and returns immediately.
+    pub fn disabled() -> &'static Recorder {
+        &DISABLED
+    }
+
+    /// Whether this recorder stores anything. Instrumented code uses this
+    /// to skip work done *only* to feed the recorder (e.g. O(n²) scans
+    /// that summarize a matrix).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Starts a named phase; the returned guard records the elapsed wall
+    /// time when dropped. No-op (no timer read) when disabled.
+    pub fn phase(&self, name: &'static str) -> PhaseGuard<'_> {
+        PhaseGuard {
+            recorder: self,
+            name,
+            start: if self.enabled {
+                Some(Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn add(&self, name: &'static str, delta: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("recorder poisoned");
+        *inner.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Records a scalar observation (last write wins).
+    pub fn value(&self, name: &'static str, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("recorder poisoned");
+        inner.values.insert(name, value);
+    }
+
+    /// Adds one observation to a histogram bucket, growing the bucket
+    /// vector as needed.
+    pub fn histogram(&self, name: &'static str, bucket: usize) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("recorder poisoned");
+        let buckets = inner.histograms.entry(name).or_default();
+        if buckets.len() <= bucket {
+            buckets.resize(bucket + 1, 0);
+        }
+        buckets[bucket] += 1;
+    }
+
+    /// Records per-worker chunk claims for a named parallel region
+    /// (last write wins). Worker order is scheduler-dependent, so this
+    /// lands in the report's `runtime` section, not the deterministic one.
+    pub fn worker_chunks(&self, region: &'static str, chunks: &[u64]) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("recorder poisoned");
+        inner.worker_chunks.insert(region, chunks.to_vec());
+    }
+
+    /// Reads out a snapshot of everything recorded so far.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().expect("recorder poisoned");
+        Snapshot {
+            phases: inner.phases.clone(),
+            counters: inner.counters.clone(),
+            values: inner.values.clone(),
+            histograms: inner.histograms.clone(),
+            worker_chunks: inner.worker_chunks.clone(),
+        }
+    }
+
+    fn finish_phase(&self, name: &'static str, seconds: f64) {
+        let mut inner = self.inner.lock().expect("recorder poisoned");
+        inner.phases.push((name, seconds));
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Recorder {
+        Recorder::new()
+    }
+}
+
+/// RAII guard for one phase; records the elapsed time on drop.
+#[must_use = "dropping the guard immediately times nothing"]
+pub struct PhaseGuard<'a> {
+    recorder: &'a Recorder,
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.recorder
+                .finish_phase(self.name, start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// An owned copy of a recorder's contents, used to assemble reports.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(phase name, wall seconds)` in completion order.
+    pub phases: Vec<(&'static str, f64)>,
+    /// Counter totals, sorted by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Scalar observations, sorted by name.
+    pub values: BTreeMap<&'static str, f64>,
+    /// Histogram bucket counts, sorted by name.
+    pub histograms: BTreeMap<&'static str, Vec<u64>>,
+    /// Per-worker chunk claims per parallel region, sorted by name.
+    pub worker_chunks: BTreeMap<&'static str, Vec<u64>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_stores_nothing() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        {
+            let _g = rec.phase("load");
+        }
+        rec.add("pairs", 7);
+        rec.value("tau", 0.5);
+        rec.histogram("sizes", 3);
+        rec.worker_chunks("search", &[1, 2]);
+        let snap = rec.snapshot();
+        assert_eq!(snap, Snapshot::default());
+    }
+
+    #[test]
+    fn enabled_recorder_accumulates() {
+        let rec = Recorder::new();
+        assert!(rec.is_enabled());
+        {
+            let _g = rec.phase("load");
+        }
+        rec.add("pairs", 3);
+        rec.add("pairs", 4);
+        rec.value("tau", 0.25);
+        rec.value("tau", 0.5);
+        rec.histogram("sizes", 0);
+        rec.histogram("sizes", 2);
+        rec.histogram("sizes", 2);
+        rec.worker_chunks("search", &[5, 6]);
+        let snap = rec.snapshot();
+        assert_eq!(snap.phases.len(), 1);
+        assert_eq!(snap.phases[0].0, "load");
+        assert!(snap.phases[0].1 >= 0.0);
+        assert_eq!(snap.counters["pairs"], 7);
+        assert_eq!(snap.values["tau"], 0.5);
+        assert_eq!(snap.histograms["sizes"], vec![1, 0, 2]);
+        assert_eq!(snap.worker_chunks["search"], vec![5, 6]);
+    }
+
+    #[test]
+    fn phases_record_in_completion_order() {
+        let rec = Recorder::new();
+        {
+            let _outer = rec.phase("outer");
+            let _inner = rec.phase("inner");
+        }
+        let snap = rec.snapshot();
+        let names: Vec<_> = snap.phases.iter().map(|(n, _)| *n).collect();
+        // Inner guard drops first.
+        assert_eq!(names, vec!["inner", "outer"]);
+    }
+
+    #[test]
+    fn recorder_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<Recorder>();
+    }
+}

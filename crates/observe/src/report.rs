@@ -1,0 +1,339 @@
+//! Structured run reports: assembly from a [`Snapshot`], deterministic
+//! JSON serialization, human-readable trace rendering, and schema
+//! validation for CI.
+//!
+//! A report is split into two sections:
+//!
+//! - the top level (`algorithm`, `counters`, `values`, `histograms`,
+//!   `phases` as an ordered name list) is a pure function of seed +
+//!   config — byte-identical across runs and thread counts;
+//! - `runtime` holds everything scheduler- or clock-dependent (per-phase
+//!   wall seconds, per-worker chunk claims, the thread count used).
+//!
+//! [`RunReport::deterministic_json`] drops the `runtime` section, which is
+//! what the determinism tests and the byte-identical acceptance check
+//! compare.
+
+use crate::json::{self, Json};
+use crate::recorder::Snapshot;
+
+/// Wall time for one completed pipeline phase.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseTiming {
+    /// Phase name (e.g. `"correlation_matrix"`).
+    pub name: &'static str,
+    /// Elapsed wall seconds.
+    pub seconds: f64,
+}
+
+/// Everything one observed run produced, ready to serialize.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunReport {
+    /// Which algorithm ran (e.g. `"tends"`, `"netrate"`).
+    pub algorithm: String,
+    /// Snapshot of the recorder at the end of the run.
+    pub snapshot: Snapshot,
+    /// Thread count the run was configured with.
+    pub threads: usize,
+}
+
+impl RunReport {
+    /// Builds a report from a finished recorder snapshot.
+    pub fn new(algorithm: impl Into<String>, snapshot: Snapshot, threads: usize) -> RunReport {
+        RunReport {
+            algorithm: algorithm.into(),
+            snapshot,
+            threads,
+        }
+    }
+
+    /// The completed phases in completion order.
+    pub fn phases(&self) -> Vec<PhaseTiming> {
+        self.snapshot
+            .phases
+            .iter()
+            .map(|&(name, seconds)| PhaseTiming { name, seconds })
+            .collect()
+    }
+
+    /// The full report as a JSON tree, including the `runtime` section.
+    pub fn to_json(&self) -> Json {
+        let mut root = Json::object();
+        root.push("algorithm", self.algorithm.as_str());
+        root.push(
+            "phases",
+            Json::Arr(
+                self.snapshot
+                    .phases
+                    .iter()
+                    .map(|&(name, _)| Json::from(name))
+                    .collect(),
+            ),
+        );
+
+        let mut counters = Json::object();
+        for (&name, &value) in &self.snapshot.counters {
+            counters.push(name, value);
+        }
+        root.push("counters", counters);
+
+        let mut values = Json::object();
+        for (&name, &value) in &self.snapshot.values {
+            values.push(name, value);
+        }
+        root.push("values", values);
+
+        let mut histograms = Json::object();
+        for (&name, buckets) in &self.snapshot.histograms {
+            histograms.push(name, buckets.as_slice());
+        }
+        root.push("histograms", histograms);
+
+        let mut runtime = Json::object();
+        runtime.push("threads", self.threads);
+        let mut wall = Json::object();
+        for &(name, seconds) in &self.snapshot.phases {
+            wall.push(name, seconds);
+        }
+        runtime.push("phase_wall_seconds", wall);
+        let mut chunks = Json::object();
+        for (&region, per_worker) in &self.snapshot.worker_chunks {
+            chunks.push(region, per_worker.as_slice());
+        }
+        runtime.push("worker_chunks", chunks);
+        root.push("runtime", runtime);
+
+        root
+    }
+
+    /// Serializes the full report (pretty, trailing newline).
+    pub fn to_pretty_json(&self) -> String {
+        self.to_json().to_pretty()
+    }
+
+    /// Serializes only the deterministic section: the full report with
+    /// `runtime` removed. Two same-seed runs must produce byte-identical
+    /// output here regardless of thread count or machine speed.
+    pub fn deterministic_json(&self) -> String {
+        let mut root = self.to_json();
+        root.remove("runtime");
+        root.to_pretty()
+    }
+
+    /// Renders a human-readable multi-line summary for `--trace` output.
+    pub fn render_trace(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "[trace] {} run, {} thread(s)",
+            self.algorithm, self.threads
+        );
+        let total: f64 = self.snapshot.phases.iter().map(|&(_, s)| s).sum();
+        for &(name, seconds) in &self.snapshot.phases {
+            let pct = if total > 0.0 {
+                seconds / total * 100.0
+            } else {
+                0.0
+            };
+            let _ = writeln!(out, "[trace]   {name:<24} {seconds:>10.6}s  {pct:>5.1}%");
+        }
+        let _ = writeln!(out, "[trace]   {:<24} {total:>10.6}s", "total");
+        for (name, value) in &self.snapshot.counters {
+            let _ = writeln!(out, "[trace]   counter {name} = {value}");
+        }
+        for (name, value) in &self.snapshot.values {
+            let _ = writeln!(out, "[trace]   value   {name} = {value}");
+        }
+        for (name, buckets) in &self.snapshot.histograms {
+            let _ = writeln!(out, "[trace]   hist    {name} = {buckets:?}");
+        }
+        for (region, chunks) in &self.snapshot.worker_chunks {
+            let _ = writeln!(out, "[trace]   chunks  {region} = {chunks:?}");
+        }
+        out
+    }
+}
+
+/// Strips the `runtime` section from serialized report JSON, returning the
+/// re-serialized deterministic remainder. Used by tests and CI to compare
+/// reports across runs without the timing noise.
+pub fn strip_runtime(report_json: &str) -> Result<String, json::ParseError> {
+    let mut root = json::parse(report_json)?;
+    root.remove("runtime");
+    Ok(root.to_pretty())
+}
+
+/// Validates serialized report JSON for CI: it must parse, list every
+/// phase in `required_phases` (both in `phases` and with a wall time in
+/// `runtime.phase_wall_seconds`), and have a non-zero counter for every
+/// name in `required_nonzero_counters`.
+pub fn validate_report_json(
+    report_json: &str,
+    required_phases: &[&str],
+    required_nonzero_counters: &[&str],
+) -> Result<(), String> {
+    let root = json::parse(report_json).map_err(|e| format!("invalid JSON: {e}"))?;
+
+    root.get("algorithm")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"algorithm\"")?;
+
+    let phases = root
+        .get("phases")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field \"phases\"")?;
+    let phase_names: Vec<&str> = phases.iter().filter_map(Json::as_str).collect();
+    if phase_names.len() != phases.len() {
+        return Err("\"phases\" contains non-string entries".to_string());
+    }
+
+    let wall = root
+        .get("runtime")
+        .and_then(|r| r.get("phase_wall_seconds"))
+        .ok_or("missing \"runtime.phase_wall_seconds\"")?;
+    for &phase in required_phases {
+        if !phase_names.contains(&phase) {
+            return Err(format!("missing phase {phase:?} in \"phases\""));
+        }
+        wall.get(phase)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing wall time for phase {phase:?}"))?;
+    }
+
+    let counters = root
+        .get("counters")
+        .ok_or("missing object field \"counters\"")?;
+    for &name in required_nonzero_counters {
+        let value = counters
+            .get(name)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing counter {name:?}"))?;
+        if value <= 0.0 {
+            return Err(format!("counter {name:?} is zero"));
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    fn sample_report() -> RunReport {
+        let rec = Recorder::new();
+        {
+            let _g = rec.phase("load");
+        }
+        {
+            let _g = rec.phase("search");
+        }
+        rec.add("combinations_scored", 12);
+        rec.add("bound_rejections", 3);
+        rec.value("tau", 0.125);
+        rec.histogram("candidate_set_size", 2);
+        rec.histogram("candidate_set_size", 2);
+        rec.worker_chunks("search", &[4, 3]);
+        RunReport::new("tends", rec.snapshot(), 2)
+    }
+
+    #[test]
+    fn json_has_expected_sections() {
+        let report = sample_report();
+        let json = report.to_json();
+        assert_eq!(json.get("algorithm").and_then(Json::as_str), Some("tends"));
+        assert_eq!(
+            json.get("phases").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+        assert_eq!(
+            json.get("counters")
+                .and_then(|c| c.get("combinations_scored"))
+                .and_then(Json::as_f64),
+            Some(12.0)
+        );
+        assert_eq!(
+            json.get("values")
+                .and_then(|v| v.get("tau"))
+                .and_then(Json::as_f64),
+            Some(0.125)
+        );
+        let runtime = json.get("runtime").expect("runtime section");
+        assert_eq!(runtime.get("threads").and_then(Json::as_f64), Some(2.0));
+        assert!(runtime
+            .get("phase_wall_seconds")
+            .and_then(|w| w.get("search"))
+            .is_some());
+        assert_eq!(
+            runtime
+                .get("worker_chunks")
+                .and_then(|c| c.get("search"))
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn deterministic_json_omits_runtime() {
+        let report = sample_report();
+        let det = report.deterministic_json();
+        assert!(!det.contains("runtime"));
+        assert!(!det.contains("phase_wall_seconds"));
+        assert!(det.contains("combinations_scored"));
+    }
+
+    #[test]
+    fn strip_runtime_matches_deterministic_json() {
+        let report = sample_report();
+        let full = report.to_pretty_json();
+        assert_eq!(
+            strip_runtime(&full).expect("parses"),
+            report.deterministic_json()
+        );
+    }
+
+    #[test]
+    fn deterministic_json_is_timing_invariant() {
+        // Two reports with identical counters but different wall clocks
+        // must serialize identically once runtime is stripped.
+        let a = sample_report();
+        let mut b = a.clone();
+        for (_, seconds) in &mut b.snapshot.phases {
+            *seconds += 1.0;
+        }
+        b.threads = 8;
+        b.snapshot.worker_chunks.insert("search", vec![7]);
+        assert_eq!(a.deterministic_json(), b.deterministic_json());
+        assert_ne!(a.to_pretty_json(), b.to_pretty_json());
+    }
+
+    #[test]
+    fn validate_accepts_good_report() {
+        let report = sample_report();
+        let json = report.to_pretty_json();
+        validate_report_json(&json, &["load", "search"], &["combinations_scored"])
+            .expect("valid report");
+    }
+
+    #[test]
+    fn validate_rejects_missing_phase_and_zero_counter() {
+        let report = sample_report();
+        let json = report.to_pretty_json();
+        assert!(validate_report_json(&json, &["prune"], &[]).is_err());
+        assert!(validate_report_json(&json, &[], &["missing_counter"]).is_err());
+        assert!(validate_report_json("not json", &[], &[]).is_err());
+    }
+
+    #[test]
+    fn trace_render_mentions_phases_and_counters() {
+        let report = sample_report();
+        let trace = report.render_trace();
+        assert!(trace.contains("load"));
+        assert!(trace.contains("search"));
+        assert!(trace.contains("combinations_scored = 12"));
+        assert!(trace.contains("tau = 0.125"));
+    }
+}

@@ -345,6 +345,21 @@ pub struct CountsWorkspace {
     /// Words per process-bitset column; fixed by the `NodeColumns` that the
     /// base was instantiated from.
     words: usize,
+    /// Cumulative [`refined_counts`](Self::refined_counts) calls.
+    refine_calls: u64,
+    /// Cumulative [`set_base`](Self::set_base) calls (full recounts).
+    rebase_calls: u64,
+}
+
+/// Cumulative call counts of one [`CountsWorkspace`], distinguishing cheap
+/// incremental refinements from full base recounts — the ratio is the
+/// whole point of the incremental engine, so runs report both.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkspaceStats {
+    /// [`CountsWorkspace::refined_counts`] calls (incremental refinements).
+    pub refinements: u64,
+    /// [`CountsWorkspace::set_base`] calls (full partition recounts).
+    pub rebases: u64,
 }
 
 impl CountsWorkspace {
@@ -372,6 +387,7 @@ impl CountsWorkspace {
             "parent set of {} nodes is too large to tabulate",
             parents.len()
         );
+        self.rebase_calls += 1;
         self.words = cols.words_per_col;
         self.base_parents.clear();
         self.base_parents.extend_from_slice(parents);
@@ -385,6 +401,14 @@ impl CountsWorkspace {
     /// The cached base parent set.
     pub fn base_parents(&self) -> &[NodeId] {
         &self.base_parents
+    }
+
+    /// Cumulative refine/rebase call counts since construction.
+    pub fn stats(&self) -> WorkspaceStats {
+        WorkspaceStats {
+            refinements: self.refine_calls,
+            rebases: self.rebase_calls,
+        }
     }
 
     /// Splits each of the first `len` masks in `arena` along parent column
@@ -424,6 +448,7 @@ impl CountsWorkspace {
         child: NodeId,
         extra: &[NodeId],
     ) -> &[[u64; 2]] {
+        self.refine_calls += 1;
         assert_eq!(
             self.words, cols.words_per_col,
             "workspace base was instantiated from a different matrix shape"
@@ -754,6 +779,22 @@ mod tests {
         let mut ws = CountsWorkspace::new();
         ws.set_base(&cols, &[1]);
         assert_eq!(ws.refined_counts(&cols, 0, &[2]), &[[0, 0]; 4]);
+    }
+
+    #[test]
+    fn workspace_stats_count_rebases_and_refinements() {
+        let m = sample();
+        let cols = m.columns();
+        let mut ws = CountsWorkspace::new();
+        assert_eq!(ws.stats(), WorkspaceStats::default());
+        ws.set_base(&cols, &[]);
+        ws.refined_counts(&cols, 2, &[0]);
+        ws.refined_counts(&cols, 2, &[1]);
+        ws.set_base(&cols, &[0]);
+        ws.refined_counts(&cols, 2, &[1]);
+        let stats = ws.stats();
+        assert_eq!(stats.rebases, 2);
+        assert_eq!(stats.refinements, 3);
     }
 
     #[test]

@@ -4,8 +4,11 @@
 use crate::imi::{CorrelationMatrix, CorrelationMeasure};
 use crate::kmeans::{pinned_two_means, PinnedKmeans};
 use crate::parallel;
-use crate::search::{candidate_parents, find_parents_with, NodeSearchResult, SearchParams};
+use crate::search::{
+    candidate_parents, find_parents_with, NodeSearchResult, SearchParams, SearchStats,
+};
 use diffnet_graph::{DiGraph, GraphBuilder, NodeId};
+use diffnet_observe::Recorder;
 use diffnet_simulate::{CountsWorkspace, StatusMatrix};
 
 /// How the pruning threshold `τ` is chosen.
@@ -83,7 +86,7 @@ impl TendsResult {
     /// Total number of local-score evaluations across all nodes (a proxy
     /// for search effort, used by the pruning experiments).
     pub fn total_evaluations(&self) -> usize {
-        self.node_results.iter().map(|r| r.evaluations).sum()
+        self.node_results.iter().map(|r| r.stats.evaluations).sum()
     }
 
     /// Mean number of surviving candidate parents per node.
@@ -141,30 +144,81 @@ impl Tends {
     /// Reconstructs the diffusion network topology from final infection
     /// statuses (Algorithm 1).
     pub fn reconstruct(&self, statuses: &StatusMatrix) -> TendsResult {
+        self.reconstruct_observed(statuses, Recorder::disabled())
+    }
+
+    /// [`reconstruct`](Self::reconstruct) with instrumentation: each
+    /// pipeline phase is timed on `rec`, and the load-bearing internals
+    /// (pairs above `τ`, candidate-set sizes, Theorem-2 rejections,
+    /// combinations scored, workspace refinements, pool utilization) are
+    /// ingested at phase boundaries — the hot loops only bump plain
+    /// integers. Passing [`Recorder::disabled`] makes every recorder call
+    /// a branch on a constant, so `reconstruct` simply delegates here.
+    ///
+    /// The recorder is a parameter rather than a `TendsConfig` field
+    /// because the config is `Copy` (it is embedded in sweep/ablation
+    /// tables all over the workspace) and a collector handle is not.
+    pub fn reconstruct_observed(&self, statuses: &StatusMatrix, rec: &Recorder) -> TendsResult {
         let n = statuses.num_nodes();
-        let cols = statuses.columns();
+        let cols = {
+            let _p = rec.phase("status_columns");
+            statuses.columns()
+        };
 
         // Lines 2–4: pairwise correlation values.
-        let corr = CorrelationMatrix::compute_parallel(
-            &cols,
-            self.config.correlation,
-            self.config.threads,
-        );
+        let corr = {
+            let _p = rec.phase("correlation_matrix");
+            CorrelationMatrix::compute_observed(
+                &cols,
+                self.config.correlation,
+                self.config.threads,
+                rec,
+            )
+        };
 
         // Line 5: threshold via pinned 2-means over non-negative values.
-        let kmeans = pinned_two_means(&corr.upper_triangle());
-        let tau = match self.config.threshold {
-            ThresholdMode::Auto => kmeans.tau,
-            ThresholdMode::Fixed(t) => t,
-            ThresholdMode::ScaledAuto(s) => kmeans.tau * s,
+        let (kmeans, tau) = {
+            let _p = rec.phase("threshold");
+            let kmeans = pinned_two_means(&corr.upper_triangle());
+            let tau = match self.config.threshold {
+                ThresholdMode::Auto => kmeans.tau,
+                ThresholdMode::Fixed(t) => t,
+                ThresholdMode::ScaledAuto(s) => kmeans.tau * s,
+            };
+            (kmeans, tau)
         };
+        if rec.is_enabled() {
+            rec.value("tau", tau);
+            rec.value("tau_unscaled", kmeans.tau);
+            let above = corr.upper_triangle().iter().filter(|&&v| v > tau).count();
+            rec.add("pairs_above_tau", above as u64);
+        }
+
+        // Lines 10–12: per-node candidate pruning.
+        let candidates: Vec<Vec<NodeId>> = {
+            let _p = rec.phase("candidate_pruning");
+            (0..n)
+                .map(|i| {
+                    candidate_parents(&corr, i as NodeId, tau, self.config.search.max_candidates)
+                })
+                .collect()
+        };
+        if rec.is_enabled() {
+            for cands in &candidates {
+                rec.histogram("candidate_set_size", cands.len());
+            }
+        }
 
         // Lines 6–20: per-node parent search (nodes are independent, so
         // this parallelizes embarrassingly).
-        let node_results = self.search_all(n, &corr, &cols, tau);
+        let node_results = {
+            let _p = rec.phase("parent_search");
+            self.search_all(n, &candidates, &cols, rec)
+        };
 
         // Line 21: a directed edge from each inferred parent to its child,
         // then the configured direction post-processing.
+        let _p = rec.phase("direction");
         let mut builder = GraphBuilder::new(n);
         let mut global_score = 0.0;
         for (i, res) in node_results.iter().enumerate() {
@@ -185,9 +239,14 @@ impl Tends {
             }
             global_score += res.score;
         }
+        let graph = builder.build();
+        drop(_p);
+        if rec.is_enabled() {
+            rec.add("edges_emitted", graph.edge_count() as u64);
+        }
 
         TendsResult {
-            graph: builder.build(),
+            graph,
             tau,
             kmeans,
             node_results,
@@ -202,19 +261,42 @@ impl Tends {
     /// from a shared queue instead of fixed ranges. Each worker owns one
     /// [`CountsWorkspace`] reused across all its nodes; each node's result
     /// depends only on its id, so the output is identical for every thread
-    /// count.
+    /// count — and so are the summed search/workspace counters reported
+    /// through `rec` (per-worker chunk claims are the one scheduler-
+    /// dependent datum, and land in the runtime-only report section).
     fn search_all(
         &self,
         n: usize,
-        corr: &CorrelationMatrix,
+        candidates: &[Vec<NodeId>],
         cols: &diffnet_simulate::NodeColumns,
-        tau: f64,
+        rec: &Recorder,
     ) -> Vec<NodeSearchResult> {
-        parallel::run_indexed(n, 4, self.config.threads, CountsWorkspace::new, |ws, i| {
-            let i = i as NodeId;
-            let cands = candidate_parents(corr, i, tau, self.config.search.max_candidates);
-            find_parents_with(ws, cols, i, &cands, &self.config.search)
-        })
+        let (results, pool) = parallel::run_indexed_stats(
+            n,
+            4,
+            self.config.threads,
+            CountsWorkspace::new,
+            |ws, i| find_parents_with(ws, cols, i as NodeId, &candidates[i], &self.config.search),
+        );
+        if rec.is_enabled() {
+            rec.worker_chunks("parent_search", &pool.chunks_per_worker);
+            let mut total = SearchStats::default();
+            for r in &results {
+                total.merge(&r.stats);
+            }
+            rec.add("combinations_scored", total.evaluations as u64);
+            rec.add("bound_rejections", total.bound_rejections as u64);
+            rec.add("greedy_rounds", total.greedy_rounds as u64);
+            let (mut refinements, mut rebases) = (0u64, 0u64);
+            for ws in &pool.states {
+                let s = ws.stats();
+                refinements += s.refinements;
+                rebases += s.rebases;
+            }
+            rec.add("workspace_refinements", refinements);
+            rec.add("workspace_rebases", rebases);
+        }
+        results
     }
 }
 
@@ -415,6 +497,44 @@ mod tests {
                 "MutualOnly output must be reciprocal"
             );
         }
+    }
+
+    #[test]
+    fn observed_reconstruction_matches_plain_and_populates_recorder() {
+        let truth = DiGraph::from_edges(6, &[(0, 1), (1, 0), (1, 2), (2, 1), (3, 4), (4, 3)]);
+        let statuses = observe(&truth, 0.5, 0.2, 300, 112);
+        let plain = Tends::new().reconstruct(&statuses);
+        let rec = Recorder::new();
+        let observed = Tends::new().reconstruct_observed(&statuses, &rec);
+        assert_eq!(plain.graph, observed.graph);
+        assert_eq!(
+            plain.global_score.to_bits(),
+            observed.global_score.to_bits()
+        );
+
+        let snap = rec.snapshot();
+        let names: Vec<_> = snap.phases.iter().map(|(n, _)| *n).collect();
+        for phase in [
+            "status_columns",
+            "correlation_matrix",
+            "threshold",
+            "candidate_pruning",
+            "parent_search",
+            "direction",
+        ] {
+            assert!(names.contains(&phase), "missing phase {phase}: {names:?}");
+        }
+        assert!(snap.counters["combinations_scored"] > 0);
+        assert_eq!(
+            snap.counters["combinations_scored"],
+            observed.total_evaluations() as u64
+        );
+        assert_eq!(snap.values["tau"], observed.tau);
+        let hist = &snap.histograms["candidate_set_size"];
+        assert_eq!(hist.iter().sum::<u64>(), 6, "one histogram entry per node");
+        assert!(snap.worker_chunks.contains_key("parent_search"));
+        assert!(snap.counters["workspace_refinements"] > 0);
+        assert!(snap.counters["workspace_rebases"] > 0);
     }
 
     #[test]

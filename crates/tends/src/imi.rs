@@ -133,8 +133,26 @@ impl CorrelationMatrix {
         measure: CorrelationMeasure,
         threads: usize,
     ) -> Self {
+        Self::compute_observed(
+            cols,
+            measure,
+            threads,
+            diffnet_observe::Recorder::disabled(),
+        )
+    }
+
+    /// [`compute_parallel`](Self::compute_parallel) that also reports pool
+    /// utilization: per-worker chunk claims land in the recorder under the
+    /// `correlation_matrix` region. The matrix itself is bit-identical to
+    /// the unobserved variant at every thread count.
+    pub fn compute_observed(
+        cols: &NodeColumns,
+        measure: CorrelationMeasure,
+        threads: usize,
+        rec: &diffnet_observe::Recorder,
+    ) -> Self {
         let n = cols.num_nodes();
-        let rows = crate::parallel::run_indexed(
+        let (rows, pool) = crate::parallel::run_indexed_stats(
             n,
             8,
             threads,
@@ -151,6 +169,10 @@ impl CorrelationMatrix {
                 row
             },
         );
+        if rec.is_enabled() {
+            rec.worker_chunks("correlation_matrix", &pool.chunks_per_worker);
+            rec.add("correlation_pairs", (n * n.saturating_sub(1) / 2) as u64);
+        }
         let mut values = vec![0.0; n * n];
         for (i, row) in rows.into_iter().enumerate() {
             for (k, v) in row.into_iter().enumerate() {

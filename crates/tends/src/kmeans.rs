@@ -27,8 +27,18 @@ pub struct PinnedKmeans {
 /// pinned at 0, and returns the threshold `τ`.
 ///
 /// Negative entries are discarded first (the paper removes negative
-/// infection-MI values before clustering). Degenerate inputs (no positive
-/// values) yield `τ = 0` with an empty free cluster.
+/// infection-MI values before clustering). Degenerate inputs have a
+/// well-defined `τ`:
+///
+/// * **empty input** (or every entry negative): `τ = 0`, both clusters
+///   empty, zero iterations;
+/// * **all zeros** (no strictly positive value): `τ = 0`, every value in
+///   the pinned cluster, the free cluster empty;
+/// * **a single positive value**: it seeds — and stays in — the free
+///   cluster, so the pinned cluster is empty and `τ = 0`.
+///
+/// In every case `τ = 0` keeps *all* positive correlations above threshold,
+/// which is the conservative choice when there is no noise mass to fit.
 pub fn pinned_two_means(values: &[f64]) -> PinnedKmeans {
     const MAX_ITERS: usize = 100;
 
@@ -126,6 +136,17 @@ mod tests {
         let r = pinned_two_means(&[0.0, 0.0, 0.0]);
         assert_eq!(r.tau, 0.0);
         assert_eq!(r.pinned_count, 3);
+        assert_eq!(r.free_count, 0);
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn all_negatives_behave_like_empty_input() {
+        let r = pinned_two_means(&[-0.4, -0.1, -2.0]);
+        assert_eq!(r.tau, 0.0);
+        assert_eq!(r.pinned_count, 0);
+        assert_eq!(r.free_count, 0);
+        assert_eq!(r.iterations, 0);
     }
 
     #[test]

@@ -55,4 +55,4 @@ pub use algorithm::{DirectionPolicy, Tends, TendsConfig, TendsResult, ThresholdM
 pub use estimate::{estimate_propagation_probabilities, EstimateConfig, PropagationEstimate};
 pub use imi::{CorrelationMatrix, CorrelationMeasure};
 pub use kmeans::{pinned_two_means, PinnedKmeans};
-pub use search::{GreedyStrategy, SearchParams};
+pub use search::{GreedyStrategy, SearchParams, SearchStats};

@@ -56,6 +56,23 @@ impl WorkQueue {
     }
 }
 
+/// What one [`run_indexed_stats`] invocation did, per worker.
+///
+/// Worker order is the spawn order of the pool's threads; which *indices*
+/// each worker claimed depends on scheduling, so everything here except
+/// sums over all workers is nondeterministic. Observability consumers put
+/// per-worker breakdowns in runtime-only report sections and only treat
+/// aggregates (e.g. summed workspace counters) as reproducible.
+#[derive(Clone, Debug)]
+pub struct PoolStats<S> {
+    /// Number of workers that ran (1 for the sequential path).
+    pub threads: usize,
+    /// Chunks each worker claimed from the shared queue.
+    pub chunks_per_worker: Vec<u64>,
+    /// Each worker's final state, in worker order.
+    pub states: Vec<S>,
+}
+
 /// Computes `work(state, i)` for every `i` in `0..total` on `threads`
 /// workers with work-stealing chunk claiming, returning the results in
 /// index order.
@@ -72,41 +89,81 @@ pub fn run_indexed<T, S, I, W>(
 ) -> Vec<T>
 where
     T: Send,
+    S: Send,
+    I: Fn() -> S + Sync,
+    W: Fn(&mut S, usize) -> T + Sync,
+{
+    run_indexed_stats(total, chunk, threads, init, work).0
+}
+
+/// [`run_indexed`] that additionally returns [`PoolStats`]: per-worker
+/// chunk-claim counts and the workers' final states, so callers can report
+/// pool utilization and harvest counters accumulated in the scratch state.
+pub fn run_indexed_stats<T, S, I, W>(
+    total: usize,
+    chunk: usize,
+    threads: usize,
+    init: I,
+    work: W,
+) -> (Vec<T>, PoolStats<S>)
+where
+    T: Send,
+    S: Send,
     I: Fn() -> S + Sync,
     W: Fn(&mut S, usize) -> T + Sync,
 {
     let threads = resolve_threads(threads, total);
+    let chunk = chunk.max(1);
     if threads <= 1 {
         let mut state = init();
-        return (0..total).map(|i| work(&mut state, i)).collect();
+        let results = (0..total).map(|i| work(&mut state, i)).collect();
+        let stats = PoolStats {
+            threads: 1,
+            chunks_per_worker: vec![total.div_ceil(chunk) as u64],
+            states: vec![state],
+        };
+        return (results, stats);
     }
     let queue = WorkQueue::new(total, chunk);
     let mut slots: Vec<Option<T>> = (0..total).map(|_| None).collect();
+    let mut chunks_per_worker = Vec::with_capacity(threads);
+    let mut states = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let workers: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
                     let mut state = init();
                     let mut local = Vec::new();
+                    let mut chunks = 0u64;
                     while let Some(range) = queue.claim() {
+                        chunks += 1;
                         for i in range {
                             local.push((i, work(&mut state, i)));
                         }
                     }
-                    local
+                    (local, chunks, state)
                 })
             })
             .collect();
         for worker in workers {
-            for (i, value) in worker.join().expect("worker panicked") {
+            let (local, chunks, state) = worker.join().expect("worker panicked");
+            for (i, value) in local {
                 slots[i] = Some(value);
             }
+            chunks_per_worker.push(chunks);
+            states.push(state);
         }
     });
-    slots
+    let results = slots
         .into_iter()
         .map(|v| v.expect("every index claimed once"))
-        .collect()
+        .collect();
+    let stats = PoolStats {
+        threads,
+        chunks_per_worker,
+        states,
+    };
+    (results, stats)
 }
 
 #[cfg(test)]
@@ -155,6 +212,32 @@ mod tests {
     fn run_indexed_empty_range() {
         let got: Vec<u8> = run_indexed(0, 8, 4, || (), |_, _| unreachable!());
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn pool_stats_account_for_every_chunk_and_state() {
+        for threads in [1usize, 3] {
+            let (got, stats) = run_indexed_stats(
+                103,
+                7,
+                threads,
+                || 0u64,
+                |count, i| {
+                    *count += 1;
+                    i
+                },
+            );
+            assert_eq!(got, (0..103).collect::<Vec<_>>());
+            assert_eq!(stats.threads, threads);
+            assert_eq!(stats.chunks_per_worker.len(), threads);
+            assert_eq!(stats.states.len(), threads);
+            // Every chunk claim and every index lands on exactly one worker.
+            assert_eq!(
+                stats.chunks_per_worker.iter().sum::<u64>(),
+                103u64.div_ceil(7)
+            );
+            assert_eq!(stats.states.iter().sum::<u64>(), 103);
+        }
     }
 
     #[test]

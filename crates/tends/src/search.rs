@@ -81,6 +81,37 @@ pub struct Combo {
     pub score: f64,
 }
 
+/// Aggregate counters from one parent search, accumulated as plain
+/// integers on the hot path (no recorder calls per combination) and
+/// ingested into a `diffnet_observe::Recorder` at phase boundaries.
+///
+/// Every field is a pure function of the node's inputs, so per-node stats
+/// — and their sums across nodes — are identical at every thread count.
+/// The workspace and reference search paths maintain them identically,
+/// which the equivalence oracle test asserts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Local-score evaluations (combinations scored, incl. the empty set).
+    pub evaluations: usize,
+    /// Combinations discarded by the Theorem-2 size bound
+    /// `|F| ≤ log₂(φ_F + δ)`, across enumeration and greedy expansion.
+    pub bound_rejections: usize,
+    /// Greedy expansion rounds: scan passes for
+    /// [`GreedyStrategy::BestImprovement`], accepted unions for
+    /// [`GreedyStrategy::ScoreOrdered`]; 0 for
+    /// [`GreedyStrategy::Exhaustive`] (no greedy loop runs).
+    pub greedy_rounds: usize,
+}
+
+impl SearchStats {
+    /// Field-wise sum with another stats record.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.evaluations += other.evaluations;
+        self.bound_rejections += other.bound_rejections;
+        self.greedy_rounds += other.greedy_rounds;
+    }
+}
+
 /// Per-node outcome of the parent search.
 #[derive(Clone, Debug)]
 pub struct NodeSearchResult {
@@ -91,8 +122,8 @@ pub struct NodeSearchResult {
     /// Candidate parents that survived pruning, in descending correlation
     /// order.
     pub candidates: Vec<NodeId>,
-    /// Number of local-score evaluations performed.
-    pub evaluations: usize,
+    /// Search-effort counters for this node.
+    pub stats: SearchStats,
 }
 
 /// Candidate parents of `child`: all nodes whose correlation with `child`
@@ -139,7 +170,7 @@ pub fn enumerate_combos(
     candidates: &[NodeId],
     max_combo_size: usize,
     delta: f64,
-    evaluations: &mut usize,
+    stats: &mut SearchStats,
 ) -> Vec<Combo> {
     let mut ws = CountsWorkspace::new();
     enumerate_combos_with(
@@ -149,7 +180,7 @@ pub fn enumerate_combos(
         candidates,
         max_combo_size,
         delta,
-        evaluations,
+        stats,
     )
 }
 
@@ -163,7 +194,7 @@ pub fn enumerate_combos_with(
     candidates: &[NodeId],
     max_combo_size: usize,
     delta: f64,
-    evaluations: &mut usize,
+    stats: &mut SearchStats,
 ) -> Vec<Combo> {
     ws.set_base(cols, &[]);
     let mut combos = Vec::new();
@@ -180,7 +211,7 @@ pub fn enumerate_combos_with(
         &mut stack,
         &mut sorted,
         &mut combos,
-        evaluations,
+        stats,
     );
     combos
 }
@@ -197,7 +228,7 @@ fn enumerate_rec(
     stack: &mut Vec<NodeId>,
     sorted: &mut Vec<NodeId>,
     out: &mut Vec<Combo>,
-    evaluations: &mut usize,
+    stats: &mut SearchStats,
 ) {
     for idx in start..candidates.len() {
         stack.push(candidates[idx]);
@@ -205,12 +236,14 @@ fn enumerate_rec(
         sorted.extend_from_slice(stack);
         sorted.sort_unstable();
         let counts = ws.refined_counts(cols, child, sorted);
-        *evaluations += 1;
+        stats.evaluations += 1;
         if score::within_bound(sorted.len(), score::phi(counts), delta) {
             out.push(Combo {
                 nodes: sorted.clone(),
                 score: score::local_score(counts),
             });
+        } else {
+            stats.bound_rejections += 1;
         }
         if stack.len() < max_size {
             enumerate_rec(
@@ -224,7 +257,7 @@ fn enumerate_rec(
                 stack,
                 sorted,
                 out,
-                evaluations,
+                stats,
             );
         }
         stack.pop();
@@ -284,10 +317,10 @@ pub fn find_parents_with(
     let n2 = cols.ones(child);
     let delta = score::delta(beta, beta - n2, n2);
 
-    let mut evaluations = 0usize;
+    let mut stats = SearchStats::default();
     ws.set_base(cols, &[]);
     let empty_score = score::local_score(ws.refined_counts(cols, child, &[]));
-    evaluations += 1;
+    stats.evaluations += 1;
 
     let mut combos = enumerate_combos_with(
         ws,
@@ -296,47 +329,27 @@ pub fn find_parents_with(
         candidates,
         params.max_combo_size,
         delta,
-        &mut evaluations,
+        &mut stats,
     );
 
     let (parents, final_score) = match params.strategy {
-        GreedyStrategy::BestImprovement => greedy_best_improvement(
-            ws,
-            cols,
-            child,
-            combos,
-            empty_score,
-            delta,
-            &mut evaluations,
-        ),
+        GreedyStrategy::BestImprovement => {
+            greedy_best_improvement(ws, cols, child, combos, empty_score, delta, &mut stats)
+        }
         GreedyStrategy::ScoreOrdered => {
             combos.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("no NaNs"));
-            greedy_score_ordered(
-                ws,
-                cols,
-                child,
-                &combos,
-                empty_score,
-                delta,
-                &mut evaluations,
-            )
+            greedy_score_ordered(ws, cols, child, &combos, empty_score, delta, &mut stats)
         }
-        GreedyStrategy::Exhaustive => exhaustive_search(
-            ws,
-            cols,
-            child,
-            candidates,
-            empty_score,
-            delta,
-            &mut evaluations,
-        ),
+        GreedyStrategy::Exhaustive => {
+            exhaustive_search(ws, cols, child, candidates, empty_score, delta, &mut stats)
+        }
     };
 
     NodeSearchResult {
         parents,
         score: final_score,
         candidates: candidates.to_vec(),
-        evaluations,
+        stats,
     }
 }
 
@@ -355,9 +368,9 @@ pub fn find_parents_reference(
     let n2 = cols.ones(child);
     let delta = score::delta(beta, beta - n2, n2);
 
-    let mut evaluations = 0usize;
+    let mut stats = SearchStats::default();
     let empty_counts = cols.combo_counts(child, &[]);
-    evaluations += 1;
+    stats.evaluations += 1;
     let empty_score = score::local_score(&empty_counts);
 
     let mut combos = Vec::new();
@@ -371,44 +384,27 @@ pub fn find_parents_reference(
         delta,
         &mut stack,
         &mut combos,
-        &mut evaluations,
+        &mut stats,
     );
 
     let (parents, final_score) = match params.strategy {
-        GreedyStrategy::BestImprovement => greedy_best_improvement_reference(
-            cols,
-            child,
-            combos,
-            empty_score,
-            delta,
-            &mut evaluations,
-        ),
+        GreedyStrategy::BestImprovement => {
+            greedy_best_improvement_reference(cols, child, combos, empty_score, delta, &mut stats)
+        }
         GreedyStrategy::ScoreOrdered => {
             combos.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("no NaNs"));
-            greedy_score_ordered_reference(
-                cols,
-                child,
-                &combos,
-                empty_score,
-                delta,
-                &mut evaluations,
-            )
+            greedy_score_ordered_reference(cols, child, &combos, empty_score, delta, &mut stats)
         }
-        GreedyStrategy::Exhaustive => exhaustive_search_reference(
-            cols,
-            child,
-            candidates,
-            empty_score,
-            delta,
-            &mut evaluations,
-        ),
+        GreedyStrategy::Exhaustive => {
+            exhaustive_search_reference(cols, child, candidates, empty_score, delta, &mut stats)
+        }
     };
 
     NodeSearchResult {
         parents,
         score: final_score,
         candidates: candidates.to_vec(),
-        evaluations,
+        stats,
     }
 }
 
@@ -422,19 +418,21 @@ fn enumerate_rec_reference(
     delta: f64,
     stack: &mut Vec<NodeId>,
     out: &mut Vec<Combo>,
-    evaluations: &mut usize,
+    stats: &mut SearchStats,
 ) {
     for idx in start..candidates.len() {
         stack.push(candidates[idx]);
         let mut w: Vec<NodeId> = stack.clone();
         w.sort_unstable();
         let counts = cols.combo_counts(child, &w);
-        *evaluations += 1;
+        stats.evaluations += 1;
         if score::within_bound(w.len(), score::phi(&counts), delta) {
             out.push(Combo {
                 nodes: w,
                 score: score::local_score(&counts),
             });
+        } else {
+            stats.bound_rejections += 1;
         }
         if stack.len() < max_size {
             enumerate_rec_reference(
@@ -446,7 +444,7 @@ fn enumerate_rec_reference(
                 delta,
                 stack,
                 out,
-                evaluations,
+                stats,
             );
         }
         stack.pop();
@@ -473,7 +471,7 @@ fn greedy_best_improvement(
     mut combos: Vec<Combo>,
     empty_score: f64,
     delta: f64,
-    evaluations: &mut usize,
+    stats: &mut SearchStats,
 ) -> (Vec<NodeId>, f64) {
     const EPS: f64 = 1e-9;
     let mut f: Vec<NodeId> = Vec::new();
@@ -481,6 +479,7 @@ fn greedy_best_improvement(
     let mut extra: Vec<NodeId> = Vec::new();
 
     while !combos.is_empty() {
+        stats.greedy_rounds += 1;
         ws.set_base(cols, &f);
         let mut best: Option<(usize, f64)> = None;
         let mut keep = vec![true; combos.len()];
@@ -495,8 +494,9 @@ fn greedy_best_improvement(
                 continue;
             }
             let counts = ws.refined_counts(cols, child, &extra);
-            *evaluations += 1;
+            stats.evaluations += 1;
             if !score::within_bound(f.len() + extra.len(), score::phi(counts), delta) {
+                stats.bound_rejections += 1;
                 continue;
             }
             let s = score::local_score(counts);
@@ -526,13 +526,14 @@ fn greedy_best_improvement_reference(
     mut combos: Vec<Combo>,
     empty_score: f64,
     delta: f64,
-    evaluations: &mut usize,
+    stats: &mut SearchStats,
 ) -> (Vec<NodeId>, f64) {
     const EPS: f64 = 1e-9;
     let mut f: Vec<NodeId> = Vec::new();
     let mut current = empty_score;
 
     while !combos.is_empty() {
+        stats.greedy_rounds += 1;
         let mut best: Option<(usize, Vec<NodeId>, f64)> = None;
         let mut keep = vec![true; combos.len()];
         for (idx, combo) in combos.iter().enumerate() {
@@ -545,8 +546,9 @@ fn greedy_best_improvement_reference(
                 continue;
             }
             let counts = cols.combo_counts(child, &u);
-            *evaluations += 1;
+            stats.evaluations += 1;
             if !score::within_bound(u.len(), score::phi(&counts), delta) {
+                stats.bound_rejections += 1;
                 continue;
             }
             let s = score::local_score(&counts);
@@ -577,7 +579,7 @@ fn greedy_score_ordered(
     combos_sorted: &[Combo],
     empty_score: f64,
     delta: f64,
-    evaluations: &mut usize,
+    stats: &mut SearchStats,
 ) -> (Vec<NodeId>, f64) {
     let mut f: Vec<NodeId> = Vec::new();
     let mut current = empty_score;
@@ -589,12 +591,15 @@ fn greedy_score_ordered(
             continue;
         }
         let counts = ws.refined_counts(cols, child, &extra);
-        *evaluations += 1;
+        stats.evaluations += 1;
         if score::within_bound(f.len() + extra.len(), score::phi(counts), delta) {
+            stats.greedy_rounds += 1;
             let s = score::local_score(counts);
             f = union(&f, &combo.nodes);
             current = s;
             ws.set_base(cols, &f);
+        } else {
+            stats.bound_rejections += 1;
         }
     }
     (f, current)
@@ -607,7 +612,7 @@ fn greedy_score_ordered_reference(
     combos_sorted: &[Combo],
     empty_score: f64,
     delta: f64,
-    evaluations: &mut usize,
+    stats: &mut SearchStats,
 ) -> (Vec<NodeId>, f64) {
     let mut f: Vec<NodeId> = Vec::new();
     let mut current = empty_score;
@@ -617,10 +622,13 @@ fn greedy_score_ordered_reference(
             continue;
         }
         let counts = cols.combo_counts(child, &u);
-        *evaluations += 1;
+        stats.evaluations += 1;
         if score::within_bound(u.len(), score::phi(&counts), delta) {
+            stats.greedy_rounds += 1;
             f = u;
             current = score::local_score(&counts);
+        } else {
+            stats.bound_rejections += 1;
         }
     }
     (f, current)
@@ -639,7 +647,7 @@ fn exhaustive_search(
     candidates: &[NodeId],
     empty_score: f64,
     delta: f64,
-    evaluations: &mut usize,
+    stats: &mut SearchStats,
 ) -> (Vec<NodeId>, f64) {
     let c = candidates.len();
     assert!(
@@ -661,8 +669,9 @@ fn exhaustive_search(
         );
         subset.sort_unstable();
         let counts = ws.refined_counts(cols, child, &subset);
-        *evaluations += 1;
+        stats.evaluations += 1;
         if !score::within_bound(subset.len(), score::phi(counts), delta) {
+            stats.bound_rejections += 1;
             continue;
         }
         let s = score::local_score(counts);
@@ -680,7 +689,7 @@ fn exhaustive_search_reference(
     candidates: &[NodeId],
     empty_score: f64,
     delta: f64,
-    evaluations: &mut usize,
+    stats: &mut SearchStats,
 ) -> (Vec<NodeId>, f64) {
     let c = candidates.len();
     assert!(
@@ -698,8 +707,9 @@ fn exhaustive_search_reference(
             .collect();
         subset.sort_unstable();
         let counts = cols.combo_counts(child, &subset);
-        *evaluations += 1;
+        stats.evaluations += 1;
         if !score::within_bound(subset.len(), score::phi(&counts), delta) {
+            stats.bound_rejections += 1;
             continue;
         }
         let s = score::local_score(&counts);
@@ -766,12 +776,17 @@ mod tests {
         let m = or_gate_matrix();
         let cols = m.columns();
         let delta = score::delta(160, 160 - cols.ones(2), cols.ones(2));
-        let mut evals = 0;
-        let combos = enumerate_combos(&cols, 2, &[0, 1, 3], 2, delta, &mut evals);
+        let mut stats = SearchStats::default();
+        let combos = enumerate_combos(&cols, 2, &[0, 1, 3], 2, delta, &mut stats);
         assert!(combos.iter().all(|c| c.nodes.len() <= 2));
         // 3 singles + 3 pairs.
         assert_eq!(combos.len(), 6);
-        assert!(evals >= 6);
+        assert!(stats.evaluations >= 6);
+        assert_eq!(
+            stats.evaluations,
+            combos.len() + stats.bound_rejections,
+            "every enumerated combo is either admitted or bound-rejected"
+        );
     }
 
     #[test]
@@ -905,7 +920,9 @@ mod tests {
         let cols = m.columns();
         let res = find_parents(&cols, 2, &[], &SearchParams::default());
         assert!(res.parents.is_empty());
-        assert_eq!(res.evaluations, 1, "only the empty set is scored");
+        assert_eq!(res.stats.evaluations, 1, "only the empty set is scored");
+        assert_eq!(res.stats.bound_rejections, 0);
+        assert_eq!(res.stats.greedy_rounds, 0, "nothing to expand");
     }
 
     #[test]
@@ -938,8 +955,8 @@ mod tests {
                         "{strategy:?} child {child}: scores must be bit-identical"
                     );
                     assert_eq!(
-                        new.evaluations, old.evaluations,
-                        "{strategy:?} child {child}"
+                        new.stats, old.stats,
+                        "{strategy:?} child {child}: all search counters must match"
                     );
                     assert_eq!(new.candidates, old.candidates);
                 }

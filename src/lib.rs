@@ -21,6 +21,9 @@
 //! * [`metrics`] — precision / recall / F-score and experiment reporting.
 //! * [`apply`] — downstream uses of an inferred topology: influence
 //!   maximization (greedy/CELF) and immunization.
+//! * [`observe`] — zero-dependency instrumentation: phase timers, counters,
+//!   and the structured [`observe::RunReport`] the CLI emits with
+//!   `--run-report`.
 //!
 //! ## Quickstart
 //!
@@ -50,6 +53,7 @@ pub use diffnet_baselines as baselines;
 pub use diffnet_datasets as datasets;
 pub use diffnet_graph as graph;
 pub use diffnet_metrics as metrics;
+pub use diffnet_observe as observe;
 pub use diffnet_simulate as simulate;
 pub use diffnet_tends as tends;
 
@@ -66,6 +70,7 @@ pub mod prelude {
     pub use diffnet_graph::generators::{Lfr, Orientation};
     pub use diffnet_graph::{DiGraph, GraphBuilder, NodeId};
     pub use diffnet_metrics::{timed, EdgeSetComparison, Stopwatch};
+    pub use diffnet_observe::{Recorder, RunReport};
     pub use diffnet_simulate::{
         CountsWorkspace, DiffusionRecord, EdgeProbs, IcConfig, IndependentCascade, ObservationSet,
         StatusMatrix,

@@ -96,6 +96,31 @@ proptest! {
         }
     }
 
+    // The observability run report is deterministic: for the same status
+    // matrix the counters, values, histograms, and phase list are identical
+    // at 1 and 4 worker threads once the `runtime` section (wall-clock
+    // times, per-worker chunk counts) is stripped.
+    #[test]
+    fn run_report_thread_count_invariant(m in status_matrix(5..40, 3..10)) {
+        let report_at = |threads: usize| {
+            let rec = Recorder::new();
+            let cfg = TendsConfig { threads, ..Default::default() };
+            let result = Tends::with_config(cfg).reconstruct_observed(&m, &rec);
+            (result, RunReport::new("tends", rec.snapshot(), threads))
+        };
+        let (res_1, rep_1) = report_at(1);
+        let (res_4, rep_4) = report_at(4);
+        prop_assert_eq!(res_1.graph.edge_vec(), res_4.graph.edge_vec());
+        prop_assert_eq!(
+            rep_1.deterministic_json(),
+            rep_4.deterministic_json(),
+            "deterministic report sections must not depend on thread count"
+        );
+        // But the full report differs structurally: runtime carries the
+        // thread count itself.
+        prop_assert!(rep_1.to_json().to_pretty() != rep_4.to_json().to_pretty());
+    }
+
     // Theorem 1: adding any parent never decreases the log-likelihood.
     #[test]
     fn theorem1_likelihood_monotone(m in status_matrix(2..60, 3..10)) {
