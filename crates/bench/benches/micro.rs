@@ -8,7 +8,9 @@ use diffnet_datasets::lfr_suite;
 use diffnet_graph::DiGraph;
 use diffnet_simulate::{CountsWorkspace, EdgeProbs, IcConfig, IndependentCascade, ObservationSet};
 use diffnet_tends::search::{candidate_parents, find_parents_reference, find_parents_with};
-use diffnet_tends::{pinned_two_means, CorrelationMatrix, CorrelationMeasure, SearchParams, Tends};
+use diffnet_tends::{
+    pinned_two_means, CorrelationMatrix, CorrelationMeasure, SearchParams, SearchScratch, Tends,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -78,11 +80,13 @@ fn bench_counting_kernels(c: &mut Criterion) {
         // last parent is refined per query, as in one greedy round.
         let (base, extra) = parents.split_at(f.saturating_sub(1));
         let mut ws = CountsWorkspace::new();
-        ws.set_base(&cols, base);
+        ws.set_base(&cols, base).expect("small base");
         group.bench_with_input(
             BenchmarkId::new("combo_counts_workspace", f),
             &extra.to_vec(),
-            |b, extra| b.iter(|| black_box(ws.refined_counts(&cols, 0, extra)[0])),
+            |b, extra| {
+                b.iter(|| black_box(ws.refined_counts(&cols, 0, extra).expect("small combo")[0]))
+            },
         );
     }
     group.finish();
@@ -106,6 +110,7 @@ fn bench_greedy_search(c: &mut Criterion) {
             let mut acc = 0usize;
             for (i, cands) in candidates.iter().enumerate() {
                 acc += find_parents_reference(&cols, i as u32, cands, &params)
+                    .expect("default search fits")
                     .stats
                     .evaluations;
             }
@@ -114,10 +119,11 @@ fn bench_greedy_search(c: &mut Criterion) {
     });
     group.bench_function("find_parents_workspace", |b| {
         b.iter(|| {
-            let mut ws = CountsWorkspace::new();
+            let mut scratch = SearchScratch::new();
             let mut acc = 0usize;
             for (i, cands) in candidates.iter().enumerate() {
-                acc += find_parents_with(&mut ws, &cols, i as u32, cands, &params)
+                acc += find_parents_with(&mut scratch, &cols, i as u32, cands, &params)
+                    .expect("default search fits")
                     .stats
                     .evaluations;
             }
@@ -146,7 +152,13 @@ fn bench_reconstruction(c: &mut Criterion) {
     for (idx, label) in [(0usize, "n100"), (2, "n200"), (4, "n300")] {
         let (_, obs) = workload(idx);
         group.bench_function(BenchmarkId::new("tends", label), |b| {
-            b.iter(|| black_box(Tends::new().reconstruct(&obs.statuses)))
+            b.iter(|| {
+                black_box(
+                    Tends::new()
+                        .reconstruct(&obs.statuses)
+                        .expect("default search fits"),
+                )
+            })
         });
     }
     group.finish();

@@ -3,19 +3,23 @@
 //!
 //! Measures, at two LFR sizes:
 //!
-//! * the IMI correlation matrix, single-threaded vs `DIFFNET_THREADS`-style
-//!   multi-threaded (8 workers);
+//! * the raw pairwise counting kernel: cache-blocked tiles
+//!   ([`NodeColumns::pair_counts_block`]) vs the per-pair column walk;
+//! * the IMI correlation matrix, single-threaded vs 8 workers;
 //! * one full TENDS reconstruction, 1 vs 8 threads;
 //! * the `N_ijk` counting kernel: the recursive bitset kernel vs the
 //!   incremental [`CountsWorkspace`] refinement;
-//! * the full greedy parent search: workspace path vs the from-scratch
-//!   reference path, both single-threaded;
+//! * the full greedy parent search: cached workspace path vs the
+//!   from-scratch reference path, both single-threaded, with the score
+//!   cache's hit/miss counts;
 //! * one instrumented reconstruction (`tends_run_report`): per-phase wall
 //!   times and the full observability counter set for the small workload.
 //!
-//! Multi-thread speedups are only meaningful on multi-core hardware; the
-//! report records `hardware_threads` so the numbers are interpretable.
-//! `DIFFNET_QUICK=1` shrinks the workloads for smoke runs.
+//! Multi-thread speedups are only meaningful on multi-core hardware; on a
+//! single-CPU machine the thread-scaling rows are marked
+//! `"skipped_single_cpu"` instead of reporting ~1.0x noise as a speedup.
+//! The report records `hardware_threads` so the numbers are interpretable.
+//! `--quick` (or `DIFFNET_QUICK=1`) shrinks the workloads for smoke runs.
 
 use diffnet_bench::harness::{observe, Setting};
 use diffnet_datasets::LfrSpec;
@@ -23,7 +27,9 @@ use diffnet_metrics::timed;
 use diffnet_observe::{Json, Recorder, RunReport};
 use diffnet_simulate::{CountsWorkspace, NodeColumns, StatusMatrix};
 use diffnet_tends::search::{find_parents_reference, SearchParams};
-use diffnet_tends::{CorrelationMatrix, CorrelationMeasure, Tends, TendsConfig};
+use diffnet_tends::{
+    CorrelationMatrix, CorrelationMeasure, ScoreCacheStats, SearchScratch, Tends, TendsConfig,
+};
 
 /// Median wall-clock seconds of `reps` runs of `f`.
 fn median_secs<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
@@ -78,16 +84,16 @@ fn kernel_row(n: usize, cols: &NodeColumns, reps: usize) -> KernelRow {
     let recursive_s = median_secs(reps, || {
         let mut acc = 0u64;
         for &child in &children {
-            acc += cols.combo_counts(child, &union)[0][0];
+            acc += cols.combo_counts(child, &union).expect("small combo")[0][0];
         }
         acc
     });
     let mut ws = CountsWorkspace::new();
-    ws.set_base(cols, &base);
+    ws.set_base(cols, &base).expect("small base");
     let workspace_s = median_secs(reps, || {
         let mut acc = 0u64;
         for &child in &children {
-            acc += ws.refined_counts(cols, child, &extra)[0][0];
+            acc += ws.refined_counts(cols, child, &extra).expect("small combo")[0][0];
         }
         acc
     });
@@ -98,11 +104,63 @@ fn kernel_row(n: usize, cols: &NodeColumns, reps: usize) -> KernelRow {
     }
 }
 
+/// Sum of `n11` over the whole pair triangle through the per-pair walk.
+fn per_pair_sweep(cols: &NodeColumns) -> u64 {
+    let n = cols.num_nodes();
+    let mut acc = 0u64;
+    for i in 0..n as u32 {
+        for j in (i + 1)..n as u32 {
+            acc += cols.pair_counts(i, j).n11;
+        }
+    }
+    acc
+}
+
+/// Sum of `n11` over the whole pair triangle through the tiled kernel.
+fn tiled_sweep(cols: &NodeColumns) -> u64 {
+    let n = cols.num_nodes();
+    let ones = cols.ones_counts();
+    let tile = cols.pair_tile_size();
+    let num_tiles = n.div_ceil(tile);
+    let mut acc = 0u64;
+    for bi in 0..num_tiles {
+        let rows = bi * tile..((bi + 1) * tile).min(n);
+        for bj in bi..num_tiles {
+            let jcols = bj * tile..((bj + 1) * tile).min(n);
+            cols.pair_counts_block(rows.clone(), jcols, &ones, &mut |_, _, pc| {
+                acc += pc.n11;
+            });
+        }
+    }
+    acc
+}
+
+/// A thread-scaling row: on a single-CPU box the multi-thread timing is
+/// noise, so the row carries a status instead of a fake "speedup".
+fn scaling_row(n: usize, t1: f64, t8: Option<f64>) -> Json {
+    let mut row = Json::object();
+    row.push("n", n as u64);
+    row.push("threads_1_s", t1);
+    match t8 {
+        Some(t8) => {
+            row.push("status", "ok");
+            row.push("threads_8_s", t8);
+            row.push("speedup", t1 / t8);
+        }
+        None => {
+            row.push("status", "skipped_single_cpu");
+        }
+    }
+    row
+}
+
 fn main() {
-    let quick = std::env::var("DIFFNET_QUICK").is_ok_and(|v| v == "1");
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("DIFFNET_QUICK").is_ok_and(|v| v == "1");
     let (n_small, n_large, reps) = if quick { (100, 200, 3) } else { (300, 1000, 5) };
     let beta = 150;
     let hardware_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let multi_core = hardware_threads > 1;
 
     eprintln!("perf_report: generating workloads (n={n_small}, n={n_large}, beta={beta})");
     let small = status_workload(n_small, beta, 11);
@@ -110,13 +168,26 @@ fn main() {
     let small_cols = small.columns();
     let large_cols = large.columns();
 
+    // Raw pairwise counting: tiled kernel vs per-pair walk, single-thread,
+    // no MI float work — the kernel-level win the tiling is for.
+    eprintln!("perf_report: pair kernel (n={n_large})");
+    assert_eq!(
+        per_pair_sweep(&large_cols),
+        tiled_sweep(&large_cols),
+        "kernels must agree before being timed"
+    );
+    let pair_ref = median_secs(reps, || per_pair_sweep(&large_cols));
+    let pair_tiled = median_secs(reps, || tiled_sweep(&large_cols));
+
     // IMI matrix at the large size, 1 vs 8 threads.
     eprintln!("perf_report: IMI matrix (n={n_large})");
     let imi_1 = median_secs(reps, || {
         CorrelationMatrix::compute_parallel(&large_cols, CorrelationMeasure::Imi, 1)
     });
-    let imi_8 = median_secs(reps, || {
-        CorrelationMatrix::compute_parallel(&large_cols, CorrelationMeasure::Imi, 8)
+    let imi_8 = multi_core.then(|| {
+        median_secs(reps, || {
+            CorrelationMatrix::compute_parallel(&large_cols, CorrelationMeasure::Imi, 8)
+        })
     });
 
     // Full reconstruction at the small size, 1 vs 8 threads.
@@ -127,13 +198,17 @@ fn main() {
             ..Default::default()
         })
         .reconstruct(&small)
+        .expect("default search fits")
     });
-    let rec_8 = median_secs(reps.min(3), || {
-        Tends::with_config(TendsConfig {
-            threads: 8,
-            ..Default::default()
+    let rec_8 = multi_core.then(|| {
+        median_secs(reps.min(3), || {
+            Tends::with_config(TendsConfig {
+                threads: 8,
+                ..Default::default()
+            })
+            .reconstruct(&small)
+            .expect("default search fits")
         })
-        .reconstruct(&small)
     });
 
     // Counting kernel at both sizes.
@@ -143,8 +218,9 @@ fn main() {
         kernel_row(n_large, &large_cols, reps),
     ];
 
-    // Full greedy parent search (workspace vs reference), single-threaded,
-    // over every node of the small workload with its IMI candidates.
+    // Full greedy parent search (cached workspace vs reference),
+    // single-threaded, over every node of the small workload with its IMI
+    // candidates.
     eprintln!("perf_report: greedy search (n={n_small})");
     let corr = CorrelationMatrix::compute(&small_cols, CorrelationMeasure::Imi);
     let tau = diffnet_tends::pinned_two_means(&corr.upper_triangle()).tau;
@@ -156,24 +232,28 @@ fn main() {
         let mut acc = 0usize;
         for (i, cands) in candidates.iter().enumerate() {
             acc += find_parents_reference(&small_cols, i as u32, cands, &params)
+                .expect("default search fits")
                 .stats
                 .evaluations;
         }
         acc
     });
+    let mut cache_totals = ScoreCacheStats::default();
     let greedy_ws = median_secs(reps.min(3), || {
-        let mut ws = CountsWorkspace::new();
+        let mut scratch = SearchScratch::new();
         let mut acc = 0usize;
+        cache_totals = ScoreCacheStats::default();
         for (i, cands) in candidates.iter().enumerate() {
-            acc += diffnet_tends::search::find_parents_with(
-                &mut ws,
+            let res = diffnet_tends::search::find_parents_with(
+                &mut scratch,
                 &small_cols,
                 i as u32,
                 cands,
                 &params,
             )
-            .stats
-            .evaluations;
+            .expect("default search fits");
+            cache_totals.merge(&res.cache_stats);
+            acc += res.stats.evaluations;
         }
         acc
     });
@@ -186,7 +266,8 @@ fn main() {
         threads: 1,
         ..Default::default()
     })
-    .reconstruct_observed(&small, &recorder);
+    .reconstruct_observed(&small, &recorder)
+    .expect("default search fits");
     let run_report = RunReport::new("tends", recorder.snapshot(), 1);
 
     let mut json = Json::object();
@@ -195,19 +276,16 @@ fn main() {
     json.push("hardware_threads", hardware_threads as u64);
     json.push("beta", beta as u64);
 
-    let mut imi = Json::object();
-    imi.push("n", n_large as u64);
-    imi.push("threads_1_s", imi_1);
-    imi.push("threads_8_s", imi_8);
-    imi.push("speedup", imi_1 / imi_8);
-    json.push("imi_matrix", imi);
+    let mut pair = Json::object();
+    pair.push("n", n_large as u64);
+    pair.push("tile_size", large_cols.pair_tile_size() as u64);
+    pair.push("per_pair_s", pair_ref);
+    pair.push("tiled_s", pair_tiled);
+    pair.push("speedup", pair_ref / pair_tiled);
+    json.push("pair_kernel", pair);
 
-    let mut rec = Json::object();
-    rec.push("n", n_small as u64);
-    rec.push("threads_1_s", rec_1);
-    rec.push("threads_8_s", rec_8);
-    rec.push("speedup", rec_1 / rec_8);
-    json.push("reconstruction", rec);
+    json.push("imi_matrix", scaling_row(n_large, imi_1, imi_8));
+    json.push("reconstruction", scaling_row(n_small, rec_1, rec_8));
 
     let rows: Vec<Json> = kernels
         .iter()
@@ -225,8 +303,10 @@ fn main() {
     let mut greedy = Json::object();
     greedy.push("n", n_small as u64);
     greedy.push("reference_s", greedy_ref);
-    greedy.push("workspace_s", greedy_ws);
+    greedy.push("cached_workspace_s", greedy_ws);
     greedy.push("speedup", greedy_ref / greedy_ws);
+    greedy.push("score_cache_hits", cache_totals.hits);
+    greedy.push("score_cache_misses", cache_totals.misses);
     json.push("greedy_search", greedy);
 
     json.push("tends_run_report", run_report.to_json());

@@ -284,7 +284,11 @@ pub fn fig10_11_pruning(scale: Scale) -> Vec<ResultTable> {
                     },
                     ..tends_config()
                 };
-                let (res, secs) = timed(|| Tends::with_config(cfg).reconstruct(&obs.statuses));
+                let (res, secs) = timed(|| {
+                    Tends::with_config(cfg)
+                        .reconstruct(&obs.statuses)
+                        .expect("default search fits")
+                });
                 let cmp = diffnet_metrics::EdgeSetComparison::against_truth(&truth, &res.graph);
                 fs.push(cmp.f_score());
                 ts.push(secs);
@@ -342,7 +346,11 @@ pub fn greedy_ablation(scale: Scale) -> Vec<ResultTable> {
                 },
                 ..tends_config()
             };
-            let (res, secs) = timed(|| Tends::with_config(cfg).reconstruct(&obs.statuses));
+            let (res, secs) = timed(|| {
+                Tends::with_config(cfg)
+                    .reconstruct(&obs.statuses)
+                    .expect("default search fits")
+            });
             let cmp = diffnet_metrics::EdgeSetComparison::against_truth(&truth, &res.graph);
             row.push(cmp.f_score());
             times.push(secs);
@@ -428,7 +436,10 @@ pub fn status_noise(scale: Scale) -> Vec<ResultTable> {
     let mut rng = StdRng::seed_from_u64(77);
     for rate in [0.0f64, 0.05, 0.10, 0.15, 0.20] {
         let noisy = diffnet_simulate::flip_statuses(&obs.statuses, rate, rate / 4.0, &mut rng);
-        let g = Tends::with_config(tends_config()).reconstruct(&noisy).graph;
+        let g = Tends::with_config(tends_config())
+            .reconstruct(&noisy)
+            .expect("default search fits")
+            .graph;
         let cmp = diffnet_metrics::EdgeSetComparison::against_truth(&truth, &g);
         t.push_row(
             format!("{:.0}% / {:.1}%", 100.0 * rate, 25.0 * rate),
@@ -469,7 +480,10 @@ pub fn direction_policies(scale: Scale) -> Vec<ResultTable> {
                 direction: policy,
                 ..tends_config()
             };
-            let g = Tends::with_config(cfg).reconstruct(&obs.statuses).graph;
+            let g = Tends::with_config(cfg)
+                .reconstruct(&obs.statuses)
+                .expect("default search fits")
+                .graph;
             row.push(diffnet_metrics::EdgeSetComparison::against_truth(&truth, &g).f_score());
         }
         t.push_row(label, &row);
@@ -505,6 +519,7 @@ pub fn scoring_value(scale: Scale) -> Vec<ResultTable> {
         let obs = observe(&truth, &setting);
         let full = Tends::with_config(tends_config())
             .reconstruct(&obs.statuses)
+            .expect("default search fits")
             .graph;
         let naive =
             diffnet_tends::ablation::correlation_threshold_baseline(&obs.statuses, &tends_config());

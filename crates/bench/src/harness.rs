@@ -183,7 +183,11 @@ pub fn evaluate_all(truth: &DiGraph, obs: &ObservationSet, scale: Scale) -> Vec<
     let m = truth.edge_count();
     let mut results = Vec::with_capacity(4);
 
-    let (tends_res, secs) = timed(|| Tends::with_config(tends_config()).reconstruct(&obs.statuses));
+    let (tends_res, secs) = timed(|| {
+        Tends::with_config(tends_config())
+            .reconstruct(&obs.statuses)
+            .expect("default search fits")
+    });
     results.push(outcome("TENDS", truth, &tends_res.graph, secs));
 
     let netrate = NetRate::with_config(NetRateConfig {

@@ -255,7 +255,9 @@ fn infer(args: &ParsedArgs) -> Result<String, ArgError> {
                 threads: args.get_or("threads", 1)?,
             };
             report_threads = cfg.threads.max(1);
-            let result = Tends::with_config(cfg).reconstruct_observed(&statuses, rec);
+            let result = Tends::with_config(cfg)
+                .reconstruct_observed(&statuses, rec)
+                .map_err(|e| ArgError::new(e.to_string()))?;
             (result.graph, format!("τ = {:.4}", result.tau))
         }
         "netrate" => {
@@ -356,7 +358,8 @@ fn estimate(args: &ParsedArgs) -> Result<String, ArgError> {
             graph.node_count()
         )));
     }
-    let est = estimate_propagation_probabilities(&statuses, &graph, &EstimateConfig::default());
+    let est = estimate_propagation_probabilities(&statuses, &graph, &EstimateConfig::default())
+        .map_err(|e| ArgError::new(e.to_string()))?;
     let out = args.required("out")?;
     let mut text = String::from("# source target probability\n");
     for (u, v) in graph.edges() {
@@ -406,11 +409,14 @@ const TENDS_PHASES: &[&str] = &[
 
 /// Counters that are non-zero on any TENDS run with at least one node —
 /// the `report-check` default. (Every node scores at least its empty
-/// parent set, which costs one workspace rebase and one refinement.)
+/// parent set, which costs one workspace rebase and refinement and one
+/// score-cache miss. Cache *hits* need a non-empty candidate set, so they
+/// are not in the default list.)
 const TENDS_NONZERO_COUNTERS: &[&str] = &[
     "combinations_scored",
     "workspace_refinements",
     "workspace_rebases",
+    "score_cache_misses",
 ];
 
 fn report_check(args: &ParsedArgs) -> Result<String, ArgError> {
@@ -781,5 +787,35 @@ mod tests {
     fn unknown_options_are_rejected_per_command() {
         let err = run_tokens(&["eval", "--truth", "a", "--bogus", "b"]).unwrap_err();
         assert!(err.to_string().contains("--bogus"));
+    }
+
+    #[test]
+    fn hostile_in_degree_fails_cleanly_not_abort() {
+        // A user-supplied topology can declare any in-degree; the noisy-OR
+        // sufficient statistics are 2^{in-degree} counts per node, so a
+        // 26-parent hub must surface as a command error (exercising the
+        // typed ComboSizeError path), never a process abort.
+        let truth = tmp("hostile_truth.edges");
+        let statuses = tmp("hostile_statuses.txt");
+        let edges: Vec<(u32, u32)> = (0..26).map(|u| (u, 26)).collect();
+        let g = diffnet_graph::DiGraph::from_edges(27, &edges);
+        diffnet_graph::io::save_edge_list(&g, &truth).expect("write graph");
+        let m = diffnet_simulate::StatusMatrix::new(10, 27);
+        diffnet_simulate::io::save_status_matrix(&m, &statuses).expect("write statuses");
+        let err = run_tokens(&[
+            "estimate",
+            "--graph",
+            &truth,
+            "--statuses",
+            &statuses,
+            "--out",
+            &tmp("hostile_probs.txt"),
+        ])
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("26") && msg.contains("too large"),
+            "unexpected error: {msg}"
+        );
     }
 }

@@ -50,4 +50,7 @@ pub use ic::{IcConfig, IndependentCascade};
 pub use lt::LinearThreshold;
 pub use noise::{delay_timestamps, flip_statuses};
 pub use probs::{sample_normal, EdgeProbs};
-pub use status::{CountsWorkspace, NodeColumns, PairCounts, StatusMatrix, WorkspaceStats};
+pub use status::{
+    ComboSizeError, CountsWorkspace, NodeColumns, PairCounts, StatusMatrix, WorkspaceStats,
+    MAX_TABULATED_PARENTS,
+};

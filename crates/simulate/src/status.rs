@@ -11,8 +11,49 @@
 //!   each process's combination index bit by bit.
 
 use diffnet_graph::NodeId;
+use std::fmt;
 
 const WORD_BITS: usize = 64;
+
+/// Largest parent set any counting kernel will tabulate: the combination
+/// table has `2^|parents|` entries, so 26+ parents would not fit in memory.
+/// TENDS's Theorem-2 bound keeps real parent sets far smaller; the limit
+/// only guards against hostile or degenerate inputs.
+pub const MAX_TABULATED_PARENTS: usize = 25;
+
+/// A parent set too large to tabulate: its `2^|parents|` combination table
+/// would exceed [`MAX_TABULATED_PARENTS`].
+///
+/// Returned (instead of panicking) by every `N_ijk` counting kernel, so
+/// hostile inputs surface as a typed error through the search API rather
+/// than aborting the process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ComboSizeError {
+    /// The offending parent-set size.
+    pub parents: usize,
+}
+
+impl fmt::Display for ComboSizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parent set of {} nodes is too large to tabulate (limit {})",
+            self.parents, MAX_TABULATED_PARENTS
+        )
+    }
+}
+
+impl std::error::Error for ComboSizeError {}
+
+/// Errors unless `parents` fits in a combination table.
+#[inline]
+fn check_combo_size(parents: usize) -> Result<(), ComboSizeError> {
+    if parents > MAX_TABULATED_PARENTS {
+        Err(ComboSizeError { parents })
+    } else {
+        Ok(())
+    }
+}
 
 /// A `β × n` binary matrix: row `ℓ` holds the final infection statuses of
 /// all `n` nodes in the `ℓ`-th diffusion process.
@@ -107,16 +148,17 @@ impl StatusMatrix {
     /// child is uninfected (`k=1`, status 0) / infected (`k=2`, status 1),
     /// following the paper's `s₁ = 0, s₂ = 1` convention.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `parents.len() >= 26` (combination table would not fit in
+    /// Returns [`ComboSizeError`] if `parents.len()` exceeds
+    /// [`MAX_TABULATED_PARENTS`] (the combination table would not fit in
     /// memory; TENDS's Theorem-2 bound keeps real parent sets far smaller).
-    pub fn combo_counts(&self, child: NodeId, parents: &[NodeId]) -> Vec<[u64; 2]> {
-        assert!(
-            parents.len() < 26,
-            "parent set of {} nodes is too large to tabulate",
-            parents.len()
-        );
+    pub fn combo_counts(
+        &self,
+        child: NodeId,
+        parents: &[NodeId],
+    ) -> Result<Vec<[u64; 2]>, ComboSizeError> {
+        check_combo_size(parents.len())?;
         let mut counts = vec![[0u64; 2]; 1usize << parents.len()];
         for l in 0..self.beta {
             let mut j = 0usize;
@@ -128,7 +170,7 @@ impl StatusMatrix {
             let k = usize::from(self.get(l, child));
             counts[j][k] += 1;
         }
-        counts
+        Ok(counts)
     }
 
     /// Builds the column-major transpose used for fast pairwise counting.
@@ -214,6 +256,124 @@ impl NodeColumns {
         self.col(i).iter().map(|w| w.count_ones() as u64).sum()
     }
 
+    /// Per-column ones counts for every node, in node order — the
+    /// precompute that lets the tiled pairwise kernel derive `n10/n01/n00`
+    /// from `n11` alone and short-circuit degenerate columns.
+    pub fn ones_counts(&self) -> Vec<u64> {
+        (0..self.num_nodes() as u32).map(|i| self.ones(i)).collect()
+    }
+
+    /// Suggested tile side for [`pair_counts_block`]: the largest `T` such
+    /// that two tiles of `T` columns (`⌈β/64⌉` words each) stay within a
+    /// 32 KiB L1 budget, clamped to `[16, 1024]`. At the paper's scales
+    /// (`β = 150`, 3 words per column) this is 682, so the whole working
+    /// set of a tile pair stays L1-resident; tiles start mattering once
+    /// `β` reaches the tens of thousands, where a single column spans
+    /// many cache lines.
+    ///
+    /// [`pair_counts_block`]: NodeColumns::pair_counts_block
+    pub fn pair_tile_size(&self) -> usize {
+        const L1_BUDGET_BYTES: usize = 32 * 1024;
+        let col_bytes = self.words_per_col * std::mem::size_of::<u64>();
+        (L1_BUDGET_BYTES / (2 * col_bytes.max(1))).clamp(16, 1024)
+    }
+
+    /// Joint counts for every pair `(i, j)` with `i ∈ rows`, `j ∈ cols`,
+    /// and `i < j`, emitted in row-major order.
+    ///
+    /// This is the tiled counterpart of [`pair_counts`]: callers walk the
+    /// upper triangle in `T×T` blocks (see [`pair_tile_size`]) so the `j`
+    /// tile's columns stay hot in L1 while the `i` rows stream past. Per
+    /// pair it does a single word-AND+popcount pass for `n11` and derives
+    /// `n10/n01/n00` from the precomputed `ones` counts — one popcount per
+    /// word instead of [`pair_counts`]' three. Columns that are never
+    /// infected (`ones = 0`) or always infected (`ones = β`) short-circuit
+    /// before the word loop: their joint counts are a pure function of the
+    /// partner's ones count.
+    ///
+    /// Counts are bit-identical to [`pair_counts`] for every pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `ones` was not produced by
+    /// [`ones_counts`] on this view, or if a range end exceeds the node
+    /// count.
+    ///
+    /// [`pair_counts`]: NodeColumns::pair_counts
+    /// [`pair_tile_size`]: NodeColumns::pair_tile_size
+    /// [`ones_counts`]: NodeColumns::ones_counts
+    // `j` is a node id (fed to `emit` and `col`), not just an index into
+    // `ones` — the iterator rewrite clippy suggests would obscure that.
+    #[allow(clippy::needless_range_loop)]
+    pub fn pair_counts_block(
+        &self,
+        rows: std::ops::Range<usize>,
+        cols: std::ops::Range<usize>,
+        ones: &[u64],
+        emit: &mut impl FnMut(NodeId, NodeId, PairCounts),
+    ) {
+        debug_assert_eq!(ones.len(), self.num_nodes());
+        debug_assert!(rows.end <= self.num_nodes() && cols.end <= self.num_nodes());
+        let beta = self.beta as u64;
+        // Counts of a pair where one column is degenerate, from the other
+        // column's ones count alone (no word loop).
+        let degenerate = |ones_deg: u64, ones_other: u64| {
+            let n11 = if ones_deg == 0 { 0 } else { ones_other };
+            PairCounts {
+                n11,
+                n10: ones_deg - n11,
+                n01: ones_other - n11,
+                // `+ n11` first: `ones_deg + ones_other` may exceed `β`.
+                n00: beta + n11 - ones_deg - ones_other,
+            }
+        };
+        for i in rows {
+            let oi = ones[i];
+            let j_lo = cols.start.max(i + 1);
+            if oi == 0 || oi == beta {
+                for j in j_lo..cols.end {
+                    // NB: `degenerate(oi, ·)` treats `i` as the degenerate
+                    // side; n10/n01 come out in (i, j) orientation.
+                    emit(i as NodeId, j as NodeId, degenerate(oi, ones[j]));
+                }
+                continue;
+            }
+            let ci = self.col(i as NodeId);
+            for j in j_lo..cols.end {
+                let oj = ones[j];
+                if oj == 0 || oj == beta {
+                    let d = degenerate(oj, oi);
+                    emit(
+                        i as NodeId,
+                        j as NodeId,
+                        PairCounts {
+                            n11: d.n11,
+                            n10: d.n01,
+                            n01: d.n10,
+                            n00: d.n00,
+                        },
+                    );
+                    continue;
+                }
+                let cj = self.col(j as NodeId);
+                let mut n11 = 0u64;
+                for (wi, wj) in ci.iter().zip(cj) {
+                    n11 += (wi & wj).count_ones() as u64;
+                }
+                emit(
+                    i as NodeId,
+                    j as NodeId,
+                    PairCounts {
+                        n11,
+                        n10: oi - n11,
+                        n01: oj - n11,
+                        n00: beta + n11 - oi - oj,
+                    },
+                );
+            }
+        }
+    }
+
     /// Counts `N_ijk` for child `i` with ordered parent set `parents`,
     /// word-parallel.
     ///
@@ -223,19 +383,24 @@ impl NodeColumns {
     /// intersection: for `f` parents the cost is `O(2^f · ⌈β/64⌉)` word
     /// operations instead of `O(β · f)` bit probes. This is the scoring
     /// hot path of TENDS.
-    pub fn combo_counts(&self, child: NodeId, parents: &[NodeId]) -> Vec<[u64; 2]> {
-        assert!(
-            parents.len() < 26,
-            "parent set of {} nodes is too large to tabulate",
-            parents.len()
-        );
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ComboSizeError`] if `parents.len()` exceeds
+    /// [`MAX_TABULATED_PARENTS`].
+    pub fn combo_counts(
+        &self,
+        child: NodeId,
+        parents: &[NodeId],
+    ) -> Result<Vec<[u64; 2]>, ComboSizeError> {
+        check_combo_size(parents.len())?;
         let words = self.words_per_col;
         let mut counts = vec![[0u64; 2]; 1usize << parents.len()];
         // All-ones mask over the β valid process bits.
         let mut root = vec![0u64; words];
         self.root_mask_into(&mut root);
         self.combo_rec(child, parents, 0, 0, &root, &mut counts);
-        counts
+        Ok(counts)
     }
 
     fn combo_rec(
@@ -374,19 +539,25 @@ impl CountsWorkspace {
     /// `parents` must be sorted and duplicate-free — the invariant the
     /// greedy search maintains for its accepted parent set.
     ///
+    /// # Errors
+    ///
+    /// Returns [`ComboSizeError`] if `parents.len()` exceeds
+    /// [`MAX_TABULATED_PARENTS`].
+    ///
     /// # Panics
     ///
-    /// Panics if `parents` is unsorted/duplicated or has 26+ nodes.
-    pub fn set_base(&mut self, cols: &NodeColumns, parents: &[NodeId]) {
+    /// Panics if `parents` is unsorted or duplicated (a programmer-contract
+    /// violation, unlike the size limit which hostile inputs can reach).
+    pub fn set_base(
+        &mut self,
+        cols: &NodeColumns,
+        parents: &[NodeId],
+    ) -> Result<(), ComboSizeError> {
         assert!(
             parents.windows(2).all(|w| w[0] < w[1]),
             "base parent set must be sorted and duplicate-free"
         );
-        assert!(
-            parents.len() < 26,
-            "parent set of {} nodes is too large to tabulate",
-            parents.len()
-        );
+        check_combo_size(parents.len())?;
         self.rebase_calls += 1;
         self.words = cols.words_per_col;
         self.base_parents.clear();
@@ -396,6 +567,7 @@ impl CountsWorkspace {
         for (t, &p) in parents.iter().enumerate() {
             Self::refine_level(&mut self.base, cols.col(p), 1usize << t, self.words);
         }
+        Ok(())
     }
 
     /// The cached base parent set.
@@ -437,18 +609,22 @@ impl CountsWorkspace {
     /// order and is bit-identical to
     /// `cols.combo_counts(child, &sorted_union)`.
     ///
+    /// # Errors
+    ///
+    /// Returns [`ComboSizeError`] if the union exceeds
+    /// [`MAX_TABULATED_PARENTS`] nodes.
+    ///
     /// # Panics
     ///
-    /// Panics if `extra` violates the ordering/disjointness contract, if
-    /// the union has 26+ nodes, or if `cols` has a different process count
-    /// than the base was instantiated from.
+    /// Panics if `extra` violates the ordering/disjointness contract or if
+    /// `cols` has a different process count than the base was instantiated
+    /// from.
     pub fn refined_counts(
         &mut self,
         cols: &NodeColumns,
         child: NodeId,
         extra: &[NodeId],
-    ) -> &[[u64; 2]] {
-        self.refine_calls += 1;
+    ) -> Result<&[[u64; 2]], ComboSizeError> {
         assert_eq!(
             self.words, cols.words_per_col,
             "workspace base was instantiated from a different matrix shape"
@@ -465,11 +641,8 @@ impl CountsWorkspace {
         );
         let f = self.base_parents.len();
         let w = extra.len();
-        assert!(
-            f + w < 26,
-            "parent set of {} nodes is too large to tabulate",
-            f + w
-        );
+        check_combo_size(f + w)?;
+        self.refine_calls += 1;
 
         // Refine the cached base partition along the extension nodes.
         self.scratch.resize((1usize << (f + w)) * self.words, 0);
@@ -518,7 +691,7 @@ impl CountsWorkspace {
             }
             self.counts[j] = [total - infected, infected];
         }
-        &self.counts
+        Ok(&self.counts)
     }
 }
 
@@ -574,7 +747,7 @@ mod tests {
     #[test]
     fn combo_counts_empty_parent_set() {
         let m = sample();
-        let c = m.combo_counts(0, &[]);
+        let c = m.combo_counts(0, &[]).expect("small parent set");
         assert_eq!(c.len(), 1);
         assert_eq!(c[0], [1, 3]); // node 0 uninfected once, infected 3 times
     }
@@ -583,7 +756,7 @@ mod tests {
     fn combo_counts_single_parent() {
         let m = sample();
         // child = 2, parent = 1. Processes: (p1, c2) = (0,1),(1,0),(0,0),(1,1)
-        let c = m.combo_counts(2, &[1]);
+        let c = m.combo_counts(2, &[1]).expect("small parent set");
         assert_eq!(c.len(), 2);
         assert_eq!(c[0], [1, 1]); // parent 0: child 0 once (row 2), child 1 once (row 0)
         assert_eq!(c[1], [1, 1]); // parent 1: child 0 once (row 1), child 1 once (row 3)
@@ -593,7 +766,7 @@ mod tests {
     fn combo_counts_two_parents_bit_order() {
         let m = sample();
         // child = 2, parents = [0, 1]: bit 0 is node 0's status, bit 1 node 1's.
-        let c = m.combo_counts(2, &[0, 1]);
+        let c = m.combo_counts(2, &[0, 1]).expect("small parent set");
         assert_eq!(c.len(), 4);
         // rows: (s0,s1,s2) = (1,0,1),(1,1,0),(0,0,0),(1,1,1)
         assert_eq!(c[0b00], [1, 0]); // row 2
@@ -686,8 +859,8 @@ mod tests {
         ] {
             let child = 8;
             assert_eq!(
-                cols.combo_counts(child, &parents),
-                m.combo_counts(child, &parents),
+                cols.combo_counts(child, &parents).expect("small"),
+                m.combo_counts(child, &parents).expect("small"),
                 "parents {parents:?}"
             );
         }
@@ -731,13 +904,16 @@ mod tests {
             (&[0, 1, 2], &[9, 10, 11]),
         ];
         for &(base, extra) in cases {
-            ws.set_base(&cols, base);
+            ws.set_base(&cols, base).expect("small base");
             let mut union: Vec<NodeId> = base.iter().chain(extra).copied().collect();
             union.sort_unstable();
-            let got = ws.refined_counts(&cols, 11, extra).to_vec();
+            let got = ws
+                .refined_counts(&cols, 11, extra)
+                .expect("small union")
+                .to_vec();
             assert_eq!(
                 got,
-                cols.combo_counts(11, &union),
+                cols.combo_counts(11, &union).expect("small"),
                 "base {base:?} extra {extra:?}"
             );
         }
@@ -752,7 +928,7 @@ mod tests {
         let mut ws = CountsWorkspace::new();
         let rounds: &[&[NodeId]] = &[&[], &[3], &[3, 6], &[1, 3, 6], &[6]];
         for &base in rounds {
-            ws.set_base(&cols, base);
+            ws.set_base(&cols, base).expect("small base");
             assert_eq!(ws.base_parents(), base);
             for extra in [vec![], vec![0], vec![0, 9], vec![2, 4, 9]] {
                 if extra.iter().any(|p| base.contains(p)) {
@@ -761,10 +937,13 @@ mod tests {
                 let mut union: Vec<NodeId> = base.iter().chain(&extra).copied().collect();
                 union.sort_unstable();
                 for child in [5u32, 8] {
-                    let got = ws.refined_counts(&cols, child, &extra).to_vec();
+                    let got = ws
+                        .refined_counts(&cols, child, &extra)
+                        .expect("small union")
+                        .to_vec();
                     assert_eq!(
                         got,
-                        cols.combo_counts(child, &union),
+                        cols.combo_counts(child, &union).expect("small"),
                         "base {base:?} extra {extra:?} child {child}"
                     );
                 }
@@ -777,8 +956,11 @@ mod tests {
         let m = StatusMatrix::new(0, 4);
         let cols = m.columns();
         let mut ws = CountsWorkspace::new();
-        ws.set_base(&cols, &[1]);
-        assert_eq!(ws.refined_counts(&cols, 0, &[2]), &[[0, 0]; 4]);
+        ws.set_base(&cols, &[1]).expect("small base");
+        assert_eq!(
+            ws.refined_counts(&cols, 0, &[2]).expect("small union"),
+            &[[0, 0]; 4]
+        );
     }
 
     #[test]
@@ -787,11 +969,11 @@ mod tests {
         let cols = m.columns();
         let mut ws = CountsWorkspace::new();
         assert_eq!(ws.stats(), WorkspaceStats::default());
-        ws.set_base(&cols, &[]);
-        ws.refined_counts(&cols, 2, &[0]);
-        ws.refined_counts(&cols, 2, &[1]);
-        ws.set_base(&cols, &[0]);
-        ws.refined_counts(&cols, 2, &[1]);
+        ws.set_base(&cols, &[]).expect("empty base");
+        ws.refined_counts(&cols, 2, &[0]).expect("small");
+        ws.refined_counts(&cols, 2, &[1]).expect("small");
+        ws.set_base(&cols, &[0]).expect("small base");
+        ws.refined_counts(&cols, 2, &[1]).expect("small");
         let stats = ws.stats();
         assert_eq!(stats.rebases, 2);
         assert_eq!(stats.refinements, 3);
@@ -803,8 +985,8 @@ mod tests {
         let m = sample();
         let cols = m.columns();
         let mut ws = CountsWorkspace::new();
-        ws.set_base(&cols, &[1]);
-        ws.refined_counts(&cols, 2, &[1]);
+        ws.set_base(&cols, &[1]).expect("small base");
+        let _ = ws.refined_counts(&cols, 2, &[1]);
     }
 
     #[test]
@@ -812,22 +994,39 @@ mod tests {
     fn workspace_rejects_unsorted_base() {
         let m = sample();
         let cols = m.columns();
-        CountsWorkspace::new().set_base(&cols, &[2, 1]);
+        let _ = CountsWorkspace::new().set_base(&cols, &[2, 1]);
     }
 
     #[test]
     fn column_combo_counts_zero_beta() {
         let m = StatusMatrix::new(0, 4);
         let cols = m.columns();
-        assert_eq!(cols.combo_counts(0, &[1, 2]), vec![[0, 0]; 4]);
+        assert_eq!(
+            cols.combo_counts(0, &[1, 2]).expect("small"),
+            vec![[0, 0]; 4]
+        );
     }
 
     #[test]
-    #[should_panic(expected = "too large")]
-    fn combo_counts_rejects_huge_parent_sets() {
+    fn combo_counts_rejects_huge_parent_sets_with_typed_error() {
         let m = StatusMatrix::new(1, 30);
         let parents: Vec<NodeId> = (0..26).collect();
-        m.combo_counts(29, &parents);
+        let err = m.combo_counts(29, &parents).unwrap_err();
+        assert_eq!(err, ComboSizeError { parents: 26 });
+        assert!(err.to_string().contains("too large"));
+        let cols = m.columns();
+        assert_eq!(cols.combo_counts(29, &parents).unwrap_err(), err);
+        let mut ws = CountsWorkspace::new();
+        assert_eq!(ws.set_base(&cols, &parents).unwrap_err(), err);
+        // A base/extension split whose union crosses the limit errors too,
+        // without counting the failed call as a refinement.
+        ws.set_base(&cols, &parents[..20]).expect("20 fits");
+        let rebases_before = ws.stats();
+        assert_eq!(
+            ws.refined_counts(&cols, 29, &parents[20..]).unwrap_err(),
+            err
+        );
+        assert_eq!(ws.stats().refinements, rebases_before.refinements);
     }
 
     #[test]
@@ -837,5 +1036,153 @@ mod tests {
         assert_eq!(m.columns().num_nodes(), 0);
         let m2 = StatusMatrix::new(5, 0);
         assert_eq!(m2.infected_fraction(), 0.0);
+    }
+
+    /// A deterministic pseudo-random matrix with planted degenerate columns.
+    fn scrambled(beta: usize, n: usize) -> StatusMatrix {
+        let mut m = StatusMatrix::new(beta, n);
+        let mut state = 0x9e3779b97f4a7c15u64 ^ (beta as u64) << 32 ^ n as u64;
+        for l in 0..beta {
+            for i in 0..n {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                // Node 0 never infected, nodes 1, 2 always infected
+                // (degenerate pair on both sides), and the last node
+                // always infected so upper-triangle pairs also hit the
+                // j-degenerate branch with a non-degenerate i.
+                let infected = if i == 0 {
+                    false
+                } else if i == 1 || i == 2 || i + 1 == n {
+                    true
+                } else {
+                    state >> 33 & 1 == 1
+                };
+                if infected {
+                    m.set(l, i as NodeId);
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn ones_counts_match_per_node_ones() {
+        let cols = scrambled(70, 9).columns();
+        let ones = cols.ones_counts();
+        assert_eq!(ones.len(), 9);
+        for i in 0..9u32 {
+            assert_eq!(ones[i as usize], cols.ones(i));
+        }
+        assert_eq!(ones[0], 0);
+        assert_eq!(ones[1], 70);
+        assert_eq!(ones[8], 70);
+    }
+
+    #[test]
+    fn pair_tile_size_tracks_column_footprint() {
+        // β = 150 → 3 words/col → ⌊32768 / (2·24)⌋ = 682 columns per tile.
+        assert_eq!(StatusMatrix::new(150, 4).columns().pair_tile_size(), 682);
+        // Tiny β saturates the upper clamp.
+        assert_eq!(StatusMatrix::new(8, 4).columns().pair_tile_size(), 1024);
+        // β = 65_536 → 1024 words/col → 2 tile columns fit in 32 KiB.
+        // The lower clamp keeps tiles from degenerating to single columns.
+        assert_eq!(StatusMatrix::new(65_536, 2).columns().pair_tile_size(), 16);
+    }
+
+    /// All pairs of the upper triangle via the tiled kernel, walked in
+    /// `tile`-sized blocks like the production caller.
+    fn tiled_pairs(cols: &NodeColumns, tile: usize) -> Vec<(NodeId, NodeId, PairCounts)> {
+        let n = cols.num_nodes();
+        let ones = cols.ones_counts();
+        let mut out = Vec::new();
+        for jb in (0..n).step_by(tile) {
+            let j_hi = (jb + tile).min(n);
+            for ib in (0..j_hi).step_by(tile) {
+                let i_hi = (ib + tile).min(j_hi);
+                cols.pair_counts_block(ib..i_hi, jb..j_hi, &ones, &mut |i, j, c| {
+                    out.push((i, j, c));
+                });
+            }
+        }
+        out.sort_unstable_by_key(|&(i, j, _)| (i, j));
+        out
+    }
+
+    #[test]
+    fn tiled_pair_counts_match_per_pair_kernel() {
+        // β values straddle word boundaries: 63/64/65 probe tail-word
+        // masking, 1 and 130 probe tiny and multi-word columns.
+        for beta in [1usize, 63, 64, 65, 130] {
+            let cols = scrambled(beta, 13).columns();
+            for tile in [1usize, 3, 16] {
+                let got = tiled_pairs(&cols, tile);
+                assert_eq!(got.len(), 13 * 12 / 2, "beta {beta} tile {tile}");
+                for (i, j, c) in got {
+                    assert_eq!(
+                        c,
+                        cols.pair_counts(i, j),
+                        "beta {beta} tile {tile} pair ({i},{j})"
+                    );
+                    assert_eq!(c.total(), beta as u64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_kernel_degenerate_columns() {
+        // scrambled() plants never-infected node 0 and always-infected
+        // nodes 1, 2 — every degenerate short-circuit branch fires:
+        // i-degenerate, j-degenerate, and both-degenerate (1,2).
+        let beta = 97u64;
+        let cols = scrambled(beta as usize, 6).columns();
+        let pairs = tiled_pairs(&cols, 4);
+        for &(i, j, c) in &pairs {
+            assert_eq!(c, cols.pair_counts(i, j), "pair ({i},{j})");
+        }
+        let at = |i: NodeId, j: NodeId| pairs.iter().find(|p| (p.0, p.1) == (i, j)).unwrap().2;
+        // Never-infected × always-infected: all mass in n01.
+        assert_eq!(
+            at(0, 1),
+            PairCounts {
+                n11: 0,
+                n10: 0,
+                n01: beta,
+                n00: 0
+            }
+        );
+        // Always-infected × always-infected: all mass in n11.
+        assert_eq!(
+            at(1, 2),
+            PairCounts {
+                n11: beta,
+                n10: 0,
+                n01: 0,
+                n00: 0
+            }
+        );
+        // Never-infected × random j: n11 = n10 = 0, n01 = ones(j).
+        let c03 = at(0, 3);
+        assert_eq!((c03.n11, c03.n10), (0, 0));
+        assert_eq!(c03.n01, cols.ones(3));
+        // Random i × always-infected j (node 5 is planted always-on):
+        // the j-degenerate branch, reached with a non-degenerate i.
+        let c35 = at(3, 5);
+        assert_eq!((c35.n10, c35.n00), (0, 0));
+        assert_eq!(c35.n11, cols.ones(3));
+        assert_eq!(c35.n01, beta - cols.ones(3));
+    }
+
+    #[test]
+    fn tiled_kernel_empty_ranges_emit_nothing() {
+        let cols = scrambled(40, 5).columns();
+        let ones = cols.ones_counts();
+        let mut calls = 0usize;
+        cols.pair_counts_block(0..0, 0..5, &ones, &mut |_, _, _| calls += 1);
+        cols.pair_counts_block(0..5, 5..5, &ones, &mut |_, _, _| calls += 1);
+        // A block strictly below the diagonal emits nothing (i < j filter).
+        cols.pair_counts_block(3..5, 0..2, &ones, &mut |_, _, _| calls += 1);
+        assert_eq!(calls, 0);
     }
 }

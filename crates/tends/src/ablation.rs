@@ -79,7 +79,10 @@ mod tests {
     fn scoring_beats_pruning_alone() {
         let (truth, statuses) = workload();
         let naive = correlation_threshold_baseline(&statuses, &TendsConfig::default());
-        let full = Tends::new().reconstruct(&statuses).graph;
+        let full = Tends::new()
+            .reconstruct(&statuses)
+            .expect("search fits")
+            .graph;
         let f_naive = EdgeSetComparison::against_truth(&truth, &naive).f_score();
         let f_full = EdgeSetComparison::against_truth(&truth, &full).f_score();
         assert!(

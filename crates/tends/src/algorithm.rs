@@ -4,12 +4,14 @@
 use crate::imi::{CorrelationMatrix, CorrelationMeasure};
 use crate::kmeans::{pinned_two_means, PinnedKmeans};
 use crate::parallel;
+use crate::score::ScoreCacheStats;
 use crate::search::{
-    candidate_parents, find_parents_with, NodeSearchResult, SearchParams, SearchStats,
+    candidate_parents, find_parents_with, NodeSearchResult, SearchError, SearchParams,
+    SearchScratch, SearchStats,
 };
 use diffnet_graph::{DiGraph, GraphBuilder, NodeId};
 use diffnet_observe::Recorder;
-use diffnet_simulate::{CountsWorkspace, StatusMatrix};
+use diffnet_simulate::StatusMatrix;
 
 /// How the pruning threshold `τ` is chosen.
 #[derive(Clone, Copy, Debug, PartialEq, Default)]
@@ -117,7 +119,7 @@ impl TendsResult {
 /// let obs = IndependentCascade::new(&truth, &probs)
 ///     .observe(IcConfig { initial_ratio: 0.2, num_processes: 400 }, &mut rng);
 ///
-/// let result = Tends::new().reconstruct(&obs.statuses);
+/// let result = Tends::new().reconstruct(&obs.statuses).expect("default search fits");
 /// assert_eq!(result.graph.node_count(), 6);
 /// ```
 #[derive(Clone, Debug, Default)]
@@ -143,7 +145,14 @@ impl Tends {
 
     /// Reconstructs the diffusion network topology from final infection
     /// statuses (Algorithm 1).
-    pub fn reconstruct(&self, statuses: &StatusMatrix) -> TendsResult {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError`] when the search configuration asks the
+    /// counting kernels to tabulate a parent set beyond their limit —
+    /// unreachable with default parameters, reachable with hostile ones
+    /// (see [`crate::search::find_parents`]).
+    pub fn reconstruct(&self, statuses: &StatusMatrix) -> Result<TendsResult, SearchError> {
         self.reconstruct_observed(statuses, Recorder::disabled())
     }
 
@@ -158,7 +167,11 @@ impl Tends {
     /// The recorder is a parameter rather than a `TendsConfig` field
     /// because the config is `Copy` (it is embedded in sweep/ablation
     /// tables all over the workspace) and a collector handle is not.
-    pub fn reconstruct_observed(&self, statuses: &StatusMatrix, rec: &Recorder) -> TendsResult {
+    pub fn reconstruct_observed(
+        &self,
+        statuses: &StatusMatrix,
+        rec: &Recorder,
+    ) -> Result<TendsResult, SearchError> {
         let n = statuses.num_nodes();
         let cols = {
             let _p = rec.phase("status_columns");
@@ -213,7 +226,7 @@ impl Tends {
         // this parallelizes embarrassingly).
         let node_results = {
             let _p = rec.phase("parent_search");
-            self.search_all(n, &candidates, &cols, rec)
+            self.search_all(&candidates, &cols, rec)?
         };
 
         // Line 21: a directed edge from each inferred parent to its child,
@@ -245,58 +258,78 @@ impl Tends {
             rec.add("edges_emitted", graph.edge_count() as u64);
         }
 
-        TendsResult {
+        Ok(TendsResult {
             graph,
             tau,
             kmeans,
             node_results,
             global_score,
-        }
+        })
     }
 
-    /// Runs the per-node searches on a work-stealing worker pool.
+    /// Runs the per-node searches on a cost-aware worker pool.
     ///
-    /// Per-node search cost varies wildly (hubs enumerate far more
-    /// combinations than leaves), so workers claim small chunks of nodes
-    /// from a shared queue instead of fixed ranges. Each worker owns one
-    /// [`CountsWorkspace`] reused across all its nodes; each node's result
-    /// depends only on its id, so the output is identical for every thread
-    /// count — and so are the summed search/workspace counters reported
-    /// through `rec` (per-worker chunk claims are the one scheduler-
-    /// dependent datum, and land in the runtime-only report section).
+    /// Per-node search cost varies wildly: with `k = |P_i|` candidates a
+    /// node enumerates `Θ(k²)` combinations (at the default
+    /// `max_combo_size = 2`) while a fully pruned node scores only the
+    /// empty set. Chunks are therefore weighted by the `1 + k²` estimate
+    /// (see [`parallel::cost_chunks`]) so a handful of hub nodes doesn't
+    /// serialize the pool. Each worker owns one [`SearchScratch`]
+    /// (counting workspace + score cache) reused across all its nodes;
+    /// each node's result depends only on its id, so the output is
+    /// identical for every thread count — and so are the summed
+    /// search/workspace/cache counters reported through `rec` (per-worker
+    /// chunk claims are the one scheduler-dependent datum, and land in the
+    /// runtime-only report section).
     fn search_all(
         &self,
-        n: usize,
         candidates: &[Vec<NodeId>],
         cols: &diffnet_simulate::NodeColumns,
         rec: &Recorder,
-    ) -> Vec<NodeSearchResult> {
-        let (results, pool) = parallel::run_indexed_stats(
-            n,
+    ) -> Result<Vec<NodeSearchResult>, SearchError> {
+        let costs: Vec<u64> = candidates
+            .iter()
+            .map(|c| 1 + (c.len() * c.len()) as u64)
+            .collect();
+        let (results, pool) = parallel::run_weighted_stats(
+            &costs,
             4,
             self.config.threads,
-            CountsWorkspace::new,
-            |ws, i| find_parents_with(ws, cols, i as NodeId, &candidates[i], &self.config.search),
+            SearchScratch::new,
+            |scratch, i| {
+                find_parents_with(
+                    scratch,
+                    cols,
+                    i as NodeId,
+                    &candidates[i],
+                    &self.config.search,
+                )
+            },
         );
+        let results: Vec<NodeSearchResult> = results.into_iter().collect::<Result<_, _>>()?;
         if rec.is_enabled() {
             rec.worker_chunks("parent_search", &pool.chunks_per_worker);
             let mut total = SearchStats::default();
+            let mut cache = ScoreCacheStats::default();
             for r in &results {
                 total.merge(&r.stats);
+                cache.merge(&r.cache_stats);
             }
             rec.add("combinations_scored", total.evaluations as u64);
             rec.add("bound_rejections", total.bound_rejections as u64);
             rec.add("greedy_rounds", total.greedy_rounds as u64);
+            rec.add("score_cache_hits", cache.hits);
+            rec.add("score_cache_misses", cache.misses);
             let (mut refinements, mut rebases) = (0u64, 0u64);
-            for ws in &pool.states {
-                let s = ws.stats();
+            for scratch in &pool.states {
+                let s = scratch.ws.stats();
                 refinements += s.refinements;
                 rebases += s.rebases;
             }
             rec.add("workspace_refinements", refinements);
             rec.add("workspace_rebases", rebases);
         }
-        results
+        Ok(results)
     }
 }
 
@@ -343,7 +376,7 @@ mod tests {
         let truth =
             DiGraph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)]);
         let statuses = observe(&truth, 0.6, 0.2, 600, 101);
-        let result = Tends::new().reconstruct(&statuses);
+        let result = Tends::new().reconstruct(&statuses).expect("search fits");
         let tp = result
             .graph
             .edges()
@@ -366,7 +399,7 @@ mod tests {
         }
         let truth = DiGraph::from_edges(8, &edges);
         let statuses = observe(&truth, 0.6, 0.2, 600, 108);
-        let result = Tends::new().reconstruct(&statuses);
+        let result = Tends::new().reconstruct(&statuses).expect("search fits");
         let f = f_score(&truth, &result.graph);
         assert!(
             f > 0.85,
@@ -381,7 +414,7 @@ mod tests {
         let edges: Vec<(NodeId, NodeId)> = (1..7).map(|i| (0, i)).collect();
         let truth = DiGraph::from_edges(7, &edges);
         let statuses = observe(&truth, 0.5, 0.15, 600, 102);
-        let result = Tends::new().reconstruct(&statuses);
+        let result = Tends::new().reconstruct(&statuses).expect("search fits");
         let f = f_score(&truth, &result.graph);
         assert!(f > 0.6, "F-score {f} too low");
     }
@@ -392,7 +425,7 @@ mod tests {
         // inferred topology must be (nearly) empty.
         let truth = DiGraph::empty(12);
         let statuses = observe(&truth, 0.5, 0.2, 400, 103);
-        let result = Tends::new().reconstruct(&statuses);
+        let result = Tends::new().reconstruct(&statuses).expect("search fits");
         assert!(
             result.graph.edge_count() <= 2,
             "spurious edges: {:?}",
@@ -408,7 +441,9 @@ mod tests {
             threshold: ThresholdMode::Fixed(10.0), // absurdly high: prunes everything
             ..Default::default()
         };
-        let result = Tends::with_config(cfg).reconstruct(&statuses);
+        let result = Tends::with_config(cfg)
+            .reconstruct(&statuses)
+            .expect("search fits");
         assert_eq!(result.tau, 10.0);
         assert_eq!(result.graph.edge_count(), 0);
     }
@@ -417,12 +452,13 @@ mod tests {
     fn scaled_threshold_scales_auto_tau() {
         let truth = DiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
         let statuses = observe(&truth, 0.5, 0.2, 200, 105);
-        let auto = Tends::new().reconstruct(&statuses);
+        let auto = Tends::new().reconstruct(&statuses).expect("search fits");
         let scaled = Tends::with_config(TendsConfig {
             threshold: ThresholdMode::ScaledAuto(2.0),
             ..Default::default()
         })
-        .reconstruct(&statuses);
+        .reconstruct(&statuses)
+        .expect("search fits");
         assert!((scaled.tau - 2.0 * auto.tau).abs() < 1e-12);
         assert!((scaled.kmeans.tau - auto.kmeans.tau).abs() < 1e-12);
     }
@@ -431,7 +467,7 @@ mod tests {
     fn global_score_is_sum_of_local_scores() {
         let truth = DiGraph::from_edges(6, &[(0, 1), (1, 2), (0, 3), (3, 4), (4, 5)]);
         let statuses = observe(&truth, 0.4, 0.2, 300, 106);
-        let result = Tends::new().reconstruct(&statuses);
+        let result = Tends::new().reconstruct(&statuses).expect("search fits");
         let sum: f64 = result.node_results.iter().map(|r| r.score).sum();
         assert!((result.global_score - sum).abs() < 1e-9);
     }
@@ -447,17 +483,19 @@ mod tests {
             e
         });
         let statuses = observe(&truth, 0.4, 0.15, 200, 109);
-        let seq = Tends::new().reconstruct(&statuses);
+        let seq = Tends::new().reconstruct(&statuses).expect("search fits");
         let par = Tends::with_config(TendsConfig {
             threads: 4,
             ..Default::default()
         })
-        .reconstruct(&statuses);
+        .reconstruct(&statuses)
+        .expect("search fits");
         let par_all = Tends::with_config(TendsConfig {
             threads: 0,
             ..Default::default()
         })
-        .reconstruct(&statuses);
+        .reconstruct(&statuses)
+        .expect("search fits");
         assert_eq!(seq.graph, par.graph);
         assert_eq!(seq.graph, par_all.graph);
         assert_eq!(seq.global_score, par.global_score);
@@ -471,7 +509,10 @@ mod tests {
             direction: DirectionPolicy::Symmetrize,
             ..Default::default()
         };
-        let g = Tends::with_config(cfg).reconstruct(&statuses).graph;
+        let g = Tends::with_config(cfg)
+            .reconstruct(&statuses)
+            .expect("search fits")
+            .graph;
         for (u, v) in g.edges() {
             assert!(g.has_edge(v, u), "({u},{v}) not reciprocal");
         }
@@ -482,12 +523,16 @@ mod tests {
         let truth =
             DiGraph::from_edges(8, &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (4, 5), (6, 7)]);
         let statuses = observe(&truth, 0.5, 0.2, 300, 111);
-        let as_is = Tends::new().reconstruct(&statuses).graph;
+        let as_is = Tends::new()
+            .reconstruct(&statuses)
+            .expect("search fits")
+            .graph;
         let mutual = Tends::with_config(TendsConfig {
             direction: DirectionPolicy::MutualOnly,
             ..Default::default()
         })
         .reconstruct(&statuses)
+        .expect("search fits")
         .graph;
         assert!(mutual.edge_count() <= as_is.edge_count());
         for (u, v) in mutual.edges() {
@@ -503,9 +548,11 @@ mod tests {
     fn observed_reconstruction_matches_plain_and_populates_recorder() {
         let truth = DiGraph::from_edges(6, &[(0, 1), (1, 0), (1, 2), (2, 1), (3, 4), (4, 3)]);
         let statuses = observe(&truth, 0.5, 0.2, 300, 112);
-        let plain = Tends::new().reconstruct(&statuses);
+        let plain = Tends::new().reconstruct(&statuses).expect("search fits");
         let rec = Recorder::new();
-        let observed = Tends::new().reconstruct_observed(&statuses, &rec);
+        let observed = Tends::new()
+            .reconstruct_observed(&statuses, &rec)
+            .expect("search fits");
         assert_eq!(plain.graph, observed.graph);
         assert_eq!(
             plain.global_score.to_bits(),
@@ -535,13 +582,28 @@ mod tests {
         assert!(snap.worker_chunks.contains_key("parent_search"));
         assert!(snap.counters["workspace_refinements"] > 0);
         assert!(snap.counters["workspace_rebases"] > 0);
+        assert!(
+            snap.counters["score_cache_hits"] > 0,
+            "greedy rounds must reuse scores memoized during enumeration"
+        );
+        assert_eq!(
+            snap.counters["score_cache_hits"] + snap.counters["score_cache_misses"],
+            snap.counters["combinations_scored"],
+            "every evaluation is exactly one cache hit or miss"
+        );
+        assert!(
+            snap.counters["workspace_refinements"] < snap.counters["combinations_scored"],
+            "cache hits must skip workspace refinements ({} vs {})",
+            snap.counters["workspace_refinements"],
+            snap.counters["combinations_scored"]
+        );
     }
 
     #[test]
     fn result_accessors() {
         let truth = DiGraph::from_edges(5, &[(0, 1), (1, 2)]);
         let statuses = observe(&truth, 0.5, 0.2, 150, 107);
-        let result = Tends::new().reconstruct(&statuses);
+        let result = Tends::new().reconstruct(&statuses).expect("search fits");
         assert_eq!(result.node_results.len(), 5);
         assert!(result.total_evaluations() >= 5);
         assert!(result.mean_candidates() >= 0.0);

@@ -25,7 +25,7 @@
 //! timestamps.
 
 use diffnet_graph::{DiGraph, NodeId};
-use diffnet_simulate::StatusMatrix;
+use diffnet_simulate::{ComboSizeError, StatusMatrix};
 
 /// Optimizer settings for [`estimate_propagation_probabilities`].
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -67,6 +67,14 @@ impl PropagationEstimate {
 /// Fits noisy-OR propagation probabilities for every edge of `graph` from
 /// the observed statuses.
 ///
+/// # Errors
+///
+/// Returns [`ComboSizeError`] if some node's in-degree in `graph` exceeds
+/// [`diffnet_simulate::MAX_TABULATED_PARENTS`] — the sufficient statistics
+/// are per-parent-status-combination counts, `2^{in-degree}` of them. The
+/// graph is caller input (often a file), so this is a recoverable error,
+/// not a panic.
+///
 /// # Panics
 ///
 /// Panics if the node counts of `graph` and `statuses` disagree.
@@ -74,7 +82,7 @@ pub fn estimate_propagation_probabilities(
     statuses: &StatusMatrix,
     graph: &DiGraph,
     config: &EstimateConfig,
-) -> PropagationEstimate {
+) -> Result<PropagationEstimate, ComboSizeError> {
     assert_eq!(
         graph.node_count(),
         statuses.num_nodes(),
@@ -89,7 +97,7 @@ pub fn estimate_propagation_probabilities(
     for v in 0..n as NodeId {
         let parents: Vec<NodeId> = graph.in_neighbors(v).to_vec();
         // Sufficient statistics: counts per parent-status combination.
-        let counts = cols.combo_counts(v, &parents);
+        let counts = cols.combo_counts(v, &parents)?;
         let (rates, base) = fit_noisy_or(&counts, parents.len(), beta, config);
         base_rates[v as usize] = 1.0 - (-base).exp();
         for (t, &p) in parents.iter().enumerate() {
@@ -97,10 +105,10 @@ pub fn estimate_propagation_probabilities(
             edge_probs[idx] = 1.0 - (-rates[t]).exp();
         }
     }
-    PropagationEstimate {
+    Ok(PropagationEstimate {
         edge_probs,
         base_rates,
-    }
+    })
 }
 
 /// Maximizes `Σ_j [ N_j1 · (−s_j) + N_j2 · ln(1 − e^{−s_j}) ]` over
@@ -205,7 +213,8 @@ mod tests {
     #[test]
     fn recovers_single_edge_probability() {
         let (m, g) = noisy_or_matrix(&[0.6], 0.1, 20_000, 0.5);
-        let est = estimate_propagation_probabilities(&m, &g, &EstimateConfig::default());
+        let est = estimate_propagation_probabilities(&m, &g, &EstimateConfig::default())
+            .expect("in-degrees fit");
         let p = est.get(&g, 0, 1).expect("edge exists");
         assert!((p - 0.6).abs() < 0.05, "estimated {p}, true 0.6");
         assert!(
@@ -218,7 +227,8 @@ mod tests {
     #[test]
     fn recovers_two_parent_probabilities() {
         let (m, g) = noisy_or_matrix(&[0.3, 0.7], 0.05, 40_000, 0.5);
-        let est = estimate_propagation_probabilities(&m, &g, &EstimateConfig::default());
+        let est = estimate_propagation_probabilities(&m, &g, &EstimateConfig::default())
+            .expect("in-degrees fit");
         let p0 = est.get(&g, 0, 2).expect("edge");
         let p1 = est.get(&g, 1, 2).expect("edge");
         assert!((p0 - 0.3).abs() < 0.07, "p0 = {p0}");
@@ -232,7 +242,8 @@ mod tests {
         // Same matrix, but an empty topology: everything must be absorbed
         // into base rates.
         let empty = DiGraph::empty(2);
-        let est = estimate_propagation_probabilities(&m, &empty, &EstimateConfig::default());
+        let est = estimate_propagation_probabilities(&m, &empty, &EstimateConfig::default())
+            .expect("in-degrees fit");
         assert!(est.edge_probs.is_empty());
         // Node 0 is infected ~parent_rate of the time.
         assert!(
@@ -246,7 +257,8 @@ mod tests {
     fn zero_processes_yield_zero_estimates() {
         let g = DiGraph::from_edges(2, &[(0, 1)]);
         let m = StatusMatrix::new(0, 2);
-        let est = estimate_propagation_probabilities(&m, &g, &EstimateConfig::default());
+        let est = estimate_propagation_probabilities(&m, &g, &EstimateConfig::default())
+            .expect("in-degrees fit");
         assert_eq!(est.edge_probs, vec![0.0]);
     }
 
@@ -255,7 +267,21 @@ mod tests {
     fn node_count_mismatch_panics() {
         let g = DiGraph::empty(3);
         let m = StatusMatrix::new(5, 4);
-        estimate_propagation_probabilities(&m, &g, &EstimateConfig::default());
+        let _ = estimate_propagation_probabilities(&m, &g, &EstimateConfig::default());
+    }
+
+    #[test]
+    fn oversized_in_degree_is_a_typed_error() {
+        // A hostile topology file can declare any in-degree; the
+        // sufficient-statistics table is 2^{in-degree} rows, so 26 parents
+        // must surface as an error, not an abort.
+        let edges: Vec<(NodeId, NodeId)> = (0..26).map(|u| (u, 26)).collect();
+        let g = DiGraph::from_edges(27, &edges);
+        let m = StatusMatrix::new(10, 27);
+        let err =
+            estimate_propagation_probabilities(&m, &g, &EstimateConfig::default()).unwrap_err();
+        assert_eq!(err.parents, 26);
+        assert!(err.to_string().contains("26"));
     }
 
     #[test]
@@ -277,7 +303,8 @@ mod tests {
             &mut rng,
         );
         let est =
-            estimate_propagation_probabilities(&obs.statuses, &truth, &EstimateConfig::default());
+            estimate_propagation_probabilities(&obs.statuses, &truth, &EstimateConfig::default())
+                .expect("in-degrees fit");
         let strong = est.get(&truth, 0, 2).expect("edge");
         let weak = est.get(&truth, 1, 2).expect("edge");
         assert!(

@@ -145,6 +145,17 @@ impl CorrelationMatrix {
     /// utilization: per-worker chunk claims land in the recorder under the
     /// `correlation_matrix` region. The matrix itself is bit-identical to
     /// the unobserved variant at every thread count.
+    ///
+    /// The pair loop is the cache-blocked
+    /// [`NodeColumns::pair_counts_block`] kernel: the upper triangle is cut
+    /// into T×T tiles (T = [`NodeColumns::pair_tile_size`], chosen so a
+    /// tile pair's columns stay L1-resident), `n11` is one AND+popcount per
+    /// word with the other three cells derived from precomputed per-column
+    /// ones counts, and constant columns short-circuit the word walk
+    /// entirely. Tiles are scheduled cost-aware — each tile's claim weight
+    /// is its exact pair count — so the dense diagonal tiles don't
+    /// serialize the pool. Per-tile results land in per-tile slots, keeping
+    /// the matrix bit-identical at every thread count.
     pub fn compute_observed(
         cols: &NodeColumns,
         measure: CorrelationMeasure,
@@ -152,31 +163,78 @@ impl CorrelationMatrix {
         rec: &diffnet_observe::Recorder,
     ) -> Self {
         let n = cols.num_nodes();
-        let (rows, pool) = crate::parallel::run_indexed_stats(
-            n,
-            8,
+        let ones = cols.ones_counts();
+        let tile = cols.pair_tile_size();
+        let num_tiles = n.div_ceil(tile);
+        let mut blocks: Vec<(std::ops::Range<usize>, std::ops::Range<usize>)> = Vec::new();
+        let mut costs: Vec<u64> = Vec::new();
+        for bi in 0..num_tiles {
+            let rows = bi * tile..((bi + 1) * tile).min(n);
+            for bj in bi..num_tiles {
+                let jcols = bj * tile..((bj + 1) * tile).min(n);
+                // Exact pair count of the block (diagonal blocks are
+                // triangular) — the block's scheduling weight.
+                let pairs: u64 = rows
+                    .clone()
+                    .map(|i| jcols.end.saturating_sub(jcols.start.max(i + 1)) as u64)
+                    .sum();
+                if pairs > 0 {
+                    blocks.push((rows.clone(), jcols));
+                    costs.push(pairs);
+                }
+            }
+        }
+        let (tiles, pool) = crate::parallel::run_weighted_stats(
+            &costs,
+            4,
             threads,
             || (),
-            |_, i| {
-                let mut row = Vec::with_capacity(n - i - 1);
-                for j in (i + 1)..n {
-                    let cells = MiCells::from_counts(&cols.pair_counts(i as u32, j as u32));
-                    row.push(match measure {
-                        CorrelationMeasure::Imi => cells.imi(),
-                        CorrelationMeasure::Mi => cells.mi(),
-                    });
-                }
-                row
+            |_, b| {
+                let (rows, jcols) = &blocks[b];
+                let mut out: Vec<(u32, u32, f64)> = Vec::with_capacity(costs[b] as usize);
+                cols.pair_counts_block(rows.clone(), jcols.clone(), &ones, &mut |i, j, pc| {
+                    let cells = MiCells::from_counts(&pc);
+                    out.push((
+                        i,
+                        j,
+                        match measure {
+                            CorrelationMeasure::Imi => cells.imi(),
+                            CorrelationMeasure::Mi => cells.mi(),
+                        },
+                    ));
+                });
+                out
             },
         );
         if rec.is_enabled() {
             rec.worker_chunks("correlation_matrix", &pool.chunks_per_worker);
             rec.add("correlation_pairs", (n * n.saturating_sub(1) / 2) as u64);
+            rec.add("correlation_tiles", blocks.len() as u64);
         }
         let mut values = vec![0.0; n * n];
-        for (i, row) in rows.into_iter().enumerate() {
-            for (k, v) in row.into_iter().enumerate() {
-                let j = i + 1 + k;
+        for block in tiles {
+            for (i, j, v) in block {
+                values[i as usize * n + j as usize] = v;
+                values[j as usize * n + i as usize] = v;
+            }
+        }
+        CorrelationMatrix { n, values }
+    }
+
+    /// The pre-tiling implementation: one [`NodeColumns::pair_counts`]
+    /// column walk per pair, single-threaded. Kept as the equivalence
+    /// oracle for the tiled kernel (results must stay bit-identical) and
+    /// as the baseline the benchmarks compare against.
+    pub fn compute_reference(cols: &NodeColumns, measure: CorrelationMeasure) -> Self {
+        let n = cols.num_nodes();
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let cells = MiCells::from_counts(&cols.pair_counts(i as u32, j as u32));
+                let v = match measure {
+                    CorrelationMeasure::Imi => cells.imi(),
+                    CorrelationMeasure::Mi => cells.mi(),
+                };
                 values[i * n + j] = v;
                 values[j * n + i] = v;
             }
@@ -308,20 +366,96 @@ mod tests {
         let rows: Vec<Vec<bool>> = (0..96).map(|_| (0..40).map(|_| bit()).collect()).collect();
         let cols = StatusMatrix::from_rows(&rows).columns();
         for measure in [CorrelationMeasure::Imi, CorrelationMeasure::Mi] {
-            let seq = CorrelationMatrix::compute_parallel(&cols, measure, 1);
-            for threads in [4usize, 0] {
+            let oracle = CorrelationMatrix::compute_reference(&cols, measure);
+            for threads in [1usize, 4, 0] {
                 let par = CorrelationMatrix::compute_parallel(&cols, measure, threads);
                 for i in 0..40u32 {
                     for j in 0..40u32 {
                         assert_eq!(
-                            seq.get(i, j).to_bits(),
+                            oracle.get(i, j).to_bits(),
                             par.get(i, j).to_bits(),
-                            "({i},{j}) differs at {threads} threads"
+                            "({i},{j}) differs from reference at {threads} threads"
                         );
                     }
                 }
             }
         }
+    }
+
+    /// A pseudo-random status matrix with planted constant columns: node 0
+    /// never infected, node 1 always infected.
+    fn matrix_with_degenerate_columns(beta: usize, n: usize) -> StatusMatrix {
+        let mut state = 0xFEED_F00D_DEAD_BEEFu64;
+        let mut bit = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state & 1 == 1
+        };
+        let rows: Vec<Vec<bool>> = (0..beta)
+            .map(|_| {
+                (0..n)
+                    .map(|v| match v {
+                        0 => false,
+                        1 => true,
+                        _ => bit(),
+                    })
+                    .collect()
+            })
+            .collect();
+        StatusMatrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn multi_tile_matrix_matches_reference_bit_identically() {
+        // β = 2051 (not a multiple of 64) gives pair_tile_size 62, so 100
+        // nodes span multiple tiles and exercise diagonal + off-diagonal
+        // blocks, tail words, and the degenerate-column short-circuit.
+        let cols = matrix_with_degenerate_columns(2051, 100).columns();
+        assert!(
+            cols.pair_tile_size() < 100,
+            "test must cover the multi-tile path (tile {})",
+            cols.pair_tile_size()
+        );
+        for measure in [CorrelationMeasure::Imi, CorrelationMeasure::Mi] {
+            let oracle = CorrelationMatrix::compute_reference(&cols, measure);
+            for threads in [1usize, 3] {
+                let tiled = CorrelationMatrix::compute_parallel(&cols, measure, threads);
+                for i in 0..100u32 {
+                    for j in 0..100u32 {
+                        assert_eq!(
+                            oracle.get(i, j).to_bits(),
+                            tiled.get(i, j).to_bits(),
+                            "({i},{j}) differs at {threads} threads, {measure:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_columns_carry_zero_information() {
+        // Constant columns have P̂(X=a) = 0 for one status: every mi cell
+        // involving them hits the 0·log0 = 0 convention, so both measures
+        // are 0 against every other node (up to `1 − o/β` vs `(β−o)/β`
+        // rounding noise) — through the short-circuit path, without
+        // touching the column words.
+        let cols = matrix_with_degenerate_columns(97, 8).columns();
+        for measure in [CorrelationMeasure::Imi, CorrelationMeasure::Mi] {
+            let m = CorrelationMatrix::compute(&cols, measure);
+            for j in 0..8u32 {
+                assert!(m.get(0, j).abs() < 1e-12, "never-infected node vs {j}");
+                assert!(m.get(1, j).abs() < 1e-12, "always-infected node vs {j}");
+            }
+        }
+        // The never/always pair in both orientations, straight from counts:
+        // all four joints are degenerate.
+        let pc = cols.pair_counts(0, 1);
+        assert_eq!((pc.n11, pc.n10, pc.n00), (0, 0, 0));
+        assert_eq!(pc.n01, 97);
+        assert_eq!(imi(&pc), 0.0);
+        assert_eq!(mi(&pc), 0.0);
     }
 
     #[test]

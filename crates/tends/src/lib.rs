@@ -38,7 +38,10 @@
 //! let obs = IndependentCascade::new(&truth, &probs)
 //!     .observe(IcConfig { initial_ratio: 0.2, num_processes: 300 }, &mut rng);
 //!
-//! let inferred = Tends::new().reconstruct(&obs.statuses).graph;
+//! let inferred = Tends::new()
+//!     .reconstruct(&obs.statuses)
+//!     .expect("default search fits")
+//!     .graph;
 //! assert_eq!(inferred.node_count(), truth.node_count());
 //! ```
 
@@ -55,4 +58,5 @@ pub use algorithm::{DirectionPolicy, Tends, TendsConfig, TendsResult, ThresholdM
 pub use estimate::{estimate_propagation_probabilities, EstimateConfig, PropagationEstimate};
 pub use imi::{CorrelationMatrix, CorrelationMeasure};
 pub use kmeans::{pinned_two_means, PinnedKmeans};
-pub use search::{GreedyStrategy, SearchParams, SearchStats};
+pub use score::ScoreCacheStats;
+pub use search::{GreedyStrategy, SearchError, SearchParams, SearchScratch, SearchStats};

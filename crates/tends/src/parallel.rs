@@ -166,6 +166,148 @@ where
     (results, stats)
 }
 
+/// Splits `0..costs.len()` into at most `target_chunks` contiguous ranges
+/// of roughly equal *total cost*, for cost-aware scheduling.
+///
+/// Uniform chunking serializes on expensive indices: one chunk holding a
+/// hub node's parent search (or the dense top-left tiles of the pair
+/// triangle) dominates the wall clock while other workers sit idle.
+/// Weighting chunk boundaries by a per-index cost estimate keeps every
+/// claim roughly the same size in *work*, not in indices.
+///
+/// Each chunk's quota is `remaining_cost / remaining_chunks`, recomputed as
+/// chunks close, so a single huge index early on doesn't starve the tail
+/// into one giant chunk. All-zero costs fall back to uniform splitting.
+/// The boundaries are a pure function of `costs` and `target_chunks`.
+pub fn cost_chunks(costs: &[u64], target_chunks: usize) -> Vec<Range<usize>> {
+    let n = costs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let target_chunks = target_chunks.clamp(1, n);
+    let total: u64 = costs.iter().sum();
+    if total == 0 {
+        let chunk = n.div_ceil(target_chunks);
+        return (0..n)
+            .step_by(chunk)
+            .map(|s| s..(s + chunk).min(n))
+            .collect();
+    }
+    let mut out = Vec::with_capacity(target_chunks);
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    let mut remaining = total;
+    for (i, &c) in costs.iter().enumerate() {
+        acc += c;
+        let chunks_left = (target_chunks - out.len()) as u64;
+        if chunks_left > 1 && acc >= remaining.div_ceil(chunks_left) {
+            out.push(start..i + 1);
+            start = i + 1;
+            remaining -= acc;
+            acc = 0;
+        }
+    }
+    if start < n {
+        out.push(start..n);
+    }
+    out
+}
+
+/// [`run_indexed`]'s cost-aware sibling: computes `work(state, i)` for every
+/// `i` in `0..costs.len()`, scheduling cost-balanced chunks (see
+/// [`cost_chunks`]) instead of fixed-size ones.
+pub fn run_weighted<T, S, I, W>(
+    costs: &[u64],
+    chunks_per_thread: usize,
+    threads: usize,
+    init: I,
+    work: W,
+) -> Vec<T>
+where
+    T: Send,
+    S: Send,
+    I: Fn() -> S + Sync,
+    W: Fn(&mut S, usize) -> T + Sync,
+{
+    run_weighted_stats(costs, chunks_per_thread, threads, init, work).0
+}
+
+/// [`run_weighted`] that additionally returns [`PoolStats`].
+///
+/// Chunk boundaries are `cost_chunks(costs, threads × chunks_per_thread)`;
+/// several chunks per thread keep the work-stealing slack that absorbs cost
+/// *estimate* errors. Results land in per-index slots, so the output is
+/// bit-identical at every thread count, exactly like [`run_indexed_stats`].
+pub fn run_weighted_stats<T, S, I, W>(
+    costs: &[u64],
+    chunks_per_thread: usize,
+    threads: usize,
+    init: I,
+    work: W,
+) -> (Vec<T>, PoolStats<S>)
+where
+    T: Send,
+    S: Send,
+    I: Fn() -> S + Sync,
+    W: Fn(&mut S, usize) -> T + Sync,
+{
+    let total = costs.len();
+    let threads = resolve_threads(threads, total);
+    let chunks = cost_chunks(costs, threads * chunks_per_thread.max(1));
+    if threads <= 1 {
+        let mut state = init();
+        let results = (0..total).map(|i| work(&mut state, i)).collect();
+        let stats = PoolStats {
+            threads: 1,
+            chunks_per_worker: vec![chunks.len() as u64],
+            states: vec![state],
+        };
+        return (results, stats);
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..total).map(|_| None).collect();
+    let mut chunks_per_worker = Vec::with_capacity(threads);
+    let mut states = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut local = Vec::new();
+                    let mut claimed = 0u64;
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(range) = chunks.get(c) else { break };
+                        claimed += 1;
+                        for i in range.clone() {
+                            local.push((i, work(&mut state, i)));
+                        }
+                    }
+                    (local, claimed, state)
+                })
+            })
+            .collect();
+        for worker in workers {
+            let (local, claimed, state) = worker.join().expect("worker panicked");
+            for (i, value) in local {
+                slots[i] = Some(value);
+            }
+            chunks_per_worker.push(claimed);
+            states.push(state);
+        }
+    });
+    let results = slots
+        .into_iter()
+        .map(|v| v.expect("every index claimed once"))
+        .collect();
+    let stats = PoolStats {
+        threads,
+        chunks_per_worker,
+        states,
+    };
+    (results, stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +380,83 @@ mod tests {
             );
             assert_eq!(stats.states.iter().sum::<u64>(), 103);
         }
+    }
+
+    #[test]
+    fn cost_chunks_cover_range_exactly_once() {
+        let cases: &[(&[u64], usize)] = &[
+            (&[1, 1, 1, 1, 1], 2),
+            (&[100, 1, 1, 1, 1, 1, 1, 1], 4),
+            (&[0, 0, 0, 0], 3),
+            (&[5], 8),
+            (&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10], 4),
+            (&[0, 0, 100, 0, 0], 2),
+        ];
+        for &(costs, target) in cases {
+            let chunks = cost_chunks(costs, target);
+            assert!(chunks.len() <= target.max(1), "{costs:?} target {target}");
+            let mut next = 0usize;
+            for r in &chunks {
+                assert_eq!(r.start, next, "gap in {chunks:?}");
+                assert!(r.end > r.start, "empty chunk in {chunks:?}");
+                next = r.end;
+            }
+            assert_eq!(next, costs.len(), "range not covered: {chunks:?}");
+        }
+        assert!(cost_chunks(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn cost_chunks_balance_uneven_costs() {
+        // One hub (cost 90) among 9 leaves (cost 1 each), 3 chunks: the
+        // hub must not drag half the leaves into its chunk.
+        let costs = [90u64, 1, 1, 1, 1, 1, 1, 1, 1, 1];
+        let chunks = cost_chunks(&costs, 3);
+        assert_eq!(chunks[0], 0..1, "hub isolated in its own chunk");
+        // Remaining leaves split roughly evenly.
+        for r in &chunks[1..] {
+            let w: u64 = costs[r.start..r.end].iter().sum();
+            assert!(w <= 5, "tail chunk {r:?} carries {w}");
+        }
+    }
+
+    #[test]
+    fn run_weighted_is_deterministic_and_ordered() {
+        let costs: Vec<u64> = (0..200u64).map(|i| i * i).collect();
+        let expect: Vec<u64> = (0..200u64).map(|i| i + 7).collect();
+        for threads in [1usize, 2, 4, 0] {
+            let got = run_weighted(&costs, 4, threads, || (), |_, i| i as u64 + 7);
+            assert_eq!(got, expect, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn run_weighted_stats_account_for_chunks_and_states() {
+        let costs = vec![1u64; 50];
+        for threads in [1usize, 3] {
+            let (got, stats) = run_weighted_stats(
+                &costs,
+                2,
+                threads,
+                || 0u64,
+                |count, i| {
+                    *count += 1;
+                    i
+                },
+            );
+            assert_eq!(got, (0..50).collect::<Vec<_>>());
+            assert_eq!(stats.threads, threads);
+            assert_eq!(stats.chunks_per_worker.len(), threads);
+            assert_eq!(stats.states.iter().sum::<u64>(), 50);
+            let expected_chunks = cost_chunks(&costs, threads * 2).len() as u64;
+            assert_eq!(stats.chunks_per_worker.iter().sum::<u64>(), expected_chunks);
+        }
+    }
+
+    #[test]
+    fn run_weighted_empty_range() {
+        let got: Vec<u8> = run_weighted(&[], 4, 4, || (), |_, _| unreachable!());
+        assert!(got.is_empty());
     }
 
     #[test]

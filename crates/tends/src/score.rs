@@ -106,6 +106,95 @@ where
     per_node_counts.into_iter().map(|c| local_score(c)).sum()
 }
 
+/// What the score cache did during one search (or a sum over many).
+///
+/// Kept separate from `SearchStats` deliberately: the reference search has
+/// no cache, and the equivalence oracle asserts the cached path's
+/// `SearchStats` are *identical* to the reference's — evaluations still
+/// count on a hit, only the workspace refinement is skipped.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScoreCacheStats {
+    /// Evaluations answered from the cache (no workspace refinement).
+    pub hits: u64,
+    /// Evaluations that refined the workspace and populated the cache.
+    pub misses: u64,
+}
+
+impl ScoreCacheStats {
+    /// Field-wise sum with another stats record.
+    pub fn merge(&mut self, other: &ScoreCacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+/// A memoized evaluation of `g(v_i, F)`: everything the search needs to
+/// reuse a subset's score without recounting — the local score itself and
+/// the `φ_F` that drives the Theorem-2 bound check.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CachedScore {
+    /// `g(v_i, F)` ([`local_score`]).
+    pub score: f64,
+    /// `φ_F` ([`phi`]), for [`within_bound`] checks without the counts.
+    pub phi: usize,
+}
+
+/// Cross-round memo of `g(v_i, F ∪ W)` keyed on the candidate-subset
+/// bitmask.
+///
+/// Every set the greedy search scores is a union of candidate combinations,
+/// i.e. a subset of the node's (post-pruning) candidate list — and that
+/// list is at most a few dozen nodes, so a subset is one `u64` with bit `t`
+/// standing for candidate `t`. Greedy rounds re-probe subsets already
+/// scored during enumeration (round one re-scores every combination
+/// verbatim), and the exhaustive strategy re-visits every enumerated
+/// combination; both hit this cache instead of re-refining the workspace
+/// partition.
+///
+/// A cached score was computed from the exact counts table (same sorted
+/// parent order, same summation order) a fresh evaluation would build, so
+/// reuse is bit-identical. The cache is per-child: callers must
+/// [`reset`](Self::reset) it between nodes.
+#[derive(Clone, Debug, Default)]
+pub struct ScoreCache {
+    map: std::collections::HashMap<u64, CachedScore>,
+    stats: ScoreCacheStats,
+}
+
+impl ScoreCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ScoreCache::default()
+    }
+
+    /// Clears cached entries and counters for a new child node, retaining
+    /// the map's capacity.
+    pub fn reset(&mut self) {
+        self.map.clear();
+        self.stats = ScoreCacheStats::default();
+    }
+
+    /// Looks up a subset's memoized evaluation, counting a hit on success.
+    pub fn get(&mut self, key: u64) -> Option<CachedScore> {
+        let found = self.map.get(&key).copied();
+        if found.is_some() {
+            self.stats.hits += 1;
+        }
+        found
+    }
+
+    /// Memoizes a freshly computed evaluation, counting a miss.
+    pub fn insert(&mut self, key: u64, value: CachedScore) {
+        self.stats.misses += 1;
+        self.map.insert(key, value);
+    }
+
+    /// Hit/miss counters since the last [`reset`](Self::reset).
+    pub fn stats(&self) -> ScoreCacheStats {
+        self.stats
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -12,12 +12,20 @@
 //! of the current `g(v_i, F_i)` the most". Both are implemented
 //! ([`GreedyStrategy`]); the improvement-driven variant is the default and
 //! the literal one is kept for the ablation bench.
+//!
+//! Every evaluated subset is memoized in a [`ScoreCache`] keyed on its
+//! candidate-subset bitmask, so greedy rounds (and the exhaustive
+//! strategy) that re-probe a subset already scored — round one re-scores
+//! every enumerated combination verbatim — reuse the score and `φ` instead
+//! of re-refining the workspace partition. Cached reuse is bit-identical
+//! to recounting, which the reference-oracle test pins down.
 
 use crate::imi::CorrelationMatrix;
-use crate::score;
+use crate::score::{self, CachedScore, ScoreCache, ScoreCacheStats};
 use diffnet_graph::NodeId;
-use diffnet_simulate::{CountsWorkspace, NodeColumns};
+use diffnet_simulate::{ComboSizeError, CountsWorkspace, NodeColumns};
 use std::cmp::Ordering;
+use std::fmt;
 
 /// How the greedy expansion of a node's parent set accepts combinations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -37,6 +45,34 @@ pub enum GreedyStrategy {
     /// small candidate sets and for verifying the greedy variants'
     /// optimality gap, not for production runs.
     Exhaustive,
+}
+
+/// The parent search hit a configuration its counting kernels cannot
+/// tabulate: some evaluated parent set (or, for
+/// [`GreedyStrategy::Exhaustive`], the candidate set itself) exceeds
+/// [`diffnet_simulate::MAX_TABULATED_PARENTS`].
+///
+/// Unreachable under [`SearchParams::default`]; hostile or degenerate
+/// configurations (a huge `max_combo_size` over a huge candidate list)
+/// surface here as a typed error instead of a process abort.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SearchError {
+    /// The child node whose search failed.
+    pub child: NodeId,
+    /// The underlying kernel error.
+    pub source: ComboSizeError,
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parent search for node {}: {}", self.child, self.source)
+    }
+}
+
+impl std::error::Error for SearchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
 }
 
 /// Tunable parameters of the parent-set search.
@@ -88,7 +124,9 @@ pub struct Combo {
 /// Every field is a pure function of the node's inputs, so per-node stats
 /// — and their sums across nodes — are identical at every thread count.
 /// The workspace and reference search paths maintain them identically,
-/// which the equivalence oracle test asserts.
+/// which the equivalence oracle test asserts. (Score-cache hits count as
+/// evaluations here; the hit/miss split lives in [`ScoreCacheStats`],
+/// outside this struct, precisely so the oracle equality holds.)
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// Local-score evaluations (combinations scored, incl. the empty set).
@@ -112,6 +150,24 @@ impl SearchStats {
     }
 }
 
+/// Per-worker scratch state for the parent search: the incremental
+/// counting workspace plus the cross-round score cache. One instance
+/// serves many nodes in sequence, retaining both structures' buffers.
+#[derive(Clone, Debug, Default)]
+pub struct SearchScratch {
+    /// Incremental `N_ijk` counting engine.
+    pub ws: CountsWorkspace,
+    /// Cross-round `g(v_i, F ∪ W)` memo (reset per child).
+    pub cache: ScoreCache,
+}
+
+impl SearchScratch {
+    /// Fresh scratch state.
+    pub fn new() -> Self {
+        SearchScratch::default()
+    }
+}
+
 /// Per-node outcome of the parent search.
 #[derive(Clone, Debug)]
 pub struct NodeSearchResult {
@@ -124,6 +180,9 @@ pub struct NodeSearchResult {
     pub candidates: Vec<NodeId>,
     /// Search-effort counters for this node.
     pub stats: SearchStats,
+    /// Score-cache hit/miss counters for this node (all zero on the
+    /// cacheless reference path).
+    pub cache_stats: ScoreCacheStats,
 }
 
 /// Candidate parents of `child`: all nodes whose correlation with `child`
@@ -161,9 +220,59 @@ pub fn candidate_parents(
     cands.into_iter().map(|(_, j)| j).collect()
 }
 
+/// The subset bitmask of `nodes` over the candidate list: bit `t` set iff
+/// `candidates[t] ∈ nodes`. Callers must ensure `nodes ⊆ candidates` and
+/// `candidates.len() ≤ 64` (the cache is disabled otherwise).
+fn subset_mask(nodes: &[NodeId], candidates: &[NodeId]) -> u64 {
+    let mut mask = 0u64;
+    for &v in nodes {
+        let pos = candidates
+            .iter()
+            .position(|&c| c == v)
+            .expect("scored subsets are drawn from the candidate list");
+        mask |= 1u64 << pos;
+    }
+    mask
+}
+
+/// Scores one subset through the cache: a hit reuses the memoized
+/// `(score, φ)` pair; a miss refines the workspace partition along
+/// `extra` (the subset minus the workspace's current base) and memoizes
+/// the result. `key` is `None` when caching is disabled (more than 64
+/// candidates). Bit-identical to always recounting.
+fn eval_cached(
+    cache: &mut ScoreCache,
+    ws: &mut CountsWorkspace,
+    cols: &NodeColumns,
+    child: NodeId,
+    extra: &[NodeId],
+    key: Option<u64>,
+) -> Result<CachedScore, ComboSizeError> {
+    if let Some(k) = key {
+        if let Some(cached) = cache.get(k) {
+            return Ok(cached);
+        }
+    }
+    let counts = ws.refined_counts(cols, child, extra)?;
+    let value = CachedScore {
+        score: score::local_score(counts),
+        phi: score::phi(counts),
+    };
+    if let Some(k) = key {
+        cache.insert(k, value);
+    }
+    Ok(value)
+}
+
 /// Enumerates and scores every combination `W ⊆ candidates` with
 /// `1 ≤ |W| ≤ max_combo_size` that satisfies the Theorem-2 bound
 /// `|W| ≤ log₂(φ_W + δ)` (Algorithm 1 lines 13–15).
+///
+/// # Errors
+///
+/// Returns [`ComboSizeError`] if `max_combo_size` admits a combination too
+/// large to tabulate (more than
+/// [`diffnet_simulate::MAX_TABULATED_PARENTS`] nodes).
 pub fn enumerate_combos(
     cols: &NodeColumns,
     child: NodeId,
@@ -171,10 +280,10 @@ pub fn enumerate_combos(
     max_combo_size: usize,
     delta: f64,
     stats: &mut SearchStats,
-) -> Vec<Combo> {
-    let mut ws = CountsWorkspace::new();
+) -> Result<Vec<Combo>, ComboSizeError> {
+    let mut scratch = SearchScratch::new();
     enumerate_combos_with(
-        &mut ws,
+        &mut scratch,
         cols,
         child,
         candidates,
@@ -184,27 +293,30 @@ pub fn enumerate_combos(
     )
 }
 
-/// [`enumerate_combos`] on a caller-provided workspace: every combination
-/// is scored through the incremental counting kernel, reusing the
-/// workspace's buffers across evaluations.
+/// [`enumerate_combos`] on caller-provided scratch state: every
+/// combination is scored through the incremental counting kernel (reusing
+/// the workspace's buffers across evaluations) and memoized in the score
+/// cache for the greedy rounds that follow.
 pub fn enumerate_combos_with(
-    ws: &mut CountsWorkspace,
+    scratch: &mut SearchScratch,
     cols: &NodeColumns,
     child: NodeId,
     candidates: &[NodeId],
     max_combo_size: usize,
     delta: f64,
     stats: &mut SearchStats,
-) -> Vec<Combo> {
-    ws.set_base(cols, &[]);
+) -> Result<Vec<Combo>, ComboSizeError> {
+    scratch.ws.set_base(cols, &[])?;
+    let cache_on = candidates.len() <= 64;
     let mut combos = Vec::new();
     let mut stack: Vec<NodeId> = Vec::new();
     let mut sorted: Vec<NodeId> = Vec::new();
     enumerate_rec(
-        ws,
+        scratch,
         cols,
         child,
         candidates,
+        cache_on,
         0,
         max_combo_size.max(1),
         delta,
@@ -212,16 +324,17 @@ pub fn enumerate_combos_with(
         &mut sorted,
         &mut combos,
         stats,
-    );
-    combos
+    )?;
+    Ok(combos)
 }
 
 #[allow(clippy::too_many_arguments)]
 fn enumerate_rec(
-    ws: &mut CountsWorkspace,
+    scratch: &mut SearchScratch,
     cols: &NodeColumns,
     child: NodeId,
     candidates: &[NodeId],
+    cache_on: bool,
     start: usize,
     max_size: usize,
     delta: f64,
@@ -229,28 +342,37 @@ fn enumerate_rec(
     sorted: &mut Vec<NodeId>,
     out: &mut Vec<Combo>,
     stats: &mut SearchStats,
-) {
+) -> Result<(), ComboSizeError> {
     for idx in start..candidates.len() {
         stack.push(candidates[idx]);
         sorted.clear();
         sorted.extend_from_slice(stack);
         sorted.sort_unstable();
-        let counts = ws.refined_counts(cols, child, sorted);
+        let key = cache_on.then(|| subset_mask(sorted, candidates));
+        let eval = eval_cached(
+            &mut scratch.cache,
+            &mut scratch.ws,
+            cols,
+            child,
+            sorted,
+            key,
+        )?;
         stats.evaluations += 1;
-        if score::within_bound(sorted.len(), score::phi(counts), delta) {
+        if score::within_bound(sorted.len(), eval.phi, delta) {
             out.push(Combo {
                 nodes: sorted.clone(),
-                score: score::local_score(counts),
+                score: eval.score,
             });
         } else {
             stats.bound_rejections += 1;
         }
         if stack.len() < max_size {
             enumerate_rec(
-                ws,
+                scratch,
                 cols,
                 child,
                 candidates,
+                cache_on,
                 idx + 1,
                 max_size,
                 delta,
@@ -258,10 +380,11 @@ fn enumerate_rec(
                 sorted,
                 out,
                 stats,
-            );
+            )?;
         }
         stack.pop();
     }
+    Ok(())
 }
 
 /// Hard ceiling on a parent set's size, independent of Theorem 2's bound.
@@ -275,6 +398,10 @@ fn enumerate_rec(
 /// only guards against pathological inputs.
 const MAX_PARENTS: usize = 20;
 
+/// Largest candidate set [`GreedyStrategy::Exhaustive`] will sweep: the
+/// subset loop is `2^c` iterations.
+const MAX_EXHAUSTIVE_CANDIDATES: usize = 25;
+
 /// Sorted union of a parent set and a combination.
 fn union(f: &[NodeId], w: &[NodeId]) -> Vec<NodeId> {
     let mut u: Vec<NodeId> = f.iter().chain(w).copied().collect();
@@ -287,74 +414,123 @@ fn union(f: &[NodeId], w: &[NodeId]) -> Vec<NodeId> {
 /// expansion (Algorithm 1 lines 13–20).
 ///
 /// Convenience wrapper over [`find_parents_with`] that builds a fresh
-/// [`CountsWorkspace`]; callers searching many nodes should hold one
-/// workspace and call [`find_parents_with`] directly to reuse its buffers.
+/// [`SearchScratch`]; callers searching many nodes should hold one scratch
+/// and call [`find_parents_with`] directly to reuse its buffers.
+///
+/// # Errors
+///
+/// Returns [`SearchError`] when the configuration asks the counting
+/// kernels to tabulate a parent set beyond
+/// [`diffnet_simulate::MAX_TABULATED_PARENTS`] — unreachable with
+/// [`SearchParams::default`], reachable with hostile parameters.
 pub fn find_parents(
     cols: &NodeColumns,
     child: NodeId,
     candidates: &[NodeId],
     params: &SearchParams,
-) -> NodeSearchResult {
-    let mut ws = CountsWorkspace::new();
-    find_parents_with(&mut ws, cols, child, candidates, params)
+) -> Result<NodeSearchResult, SearchError> {
+    let mut scratch = SearchScratch::new();
+    find_parents_with(&mut scratch, cols, child, candidates, params)
 }
 
-/// [`find_parents`] on a caller-provided counting workspace.
+/// [`find_parents`] on caller-provided scratch state.
 ///
-/// Every strategy scores `g(v_i, F ∪ W)` through
+/// Every strategy scores `g(v_i, F ∪ W)` through the score cache backed by
 /// [`CountsWorkspace::refined_counts`]: the accepted parent set `F` is
-/// instantiated once per greedy round and each candidate extension only
-/// refines that cached partition, with zero allocations in the steady
-/// state. Results are bit-identical to [`find_parents_reference`].
+/// instantiated once per greedy round, each candidate extension refines
+/// that cached partition — unless the subset was already scored this
+/// search, in which case the memoized `(score, φ)` pair is reused and the
+/// refinement skipped. Results are bit-identical to
+/// [`find_parents_reference`], including all [`SearchStats`] counters.
 pub fn find_parents_with(
-    ws: &mut CountsWorkspace,
+    scratch: &mut SearchScratch,
     cols: &NodeColumns,
     child: NodeId,
     candidates: &[NodeId],
     params: &SearchParams,
-) -> NodeSearchResult {
+) -> Result<NodeSearchResult, SearchError> {
+    let wrap = |source: ComboSizeError| SearchError { child, source };
     let beta = cols.num_processes() as u64;
     let n2 = cols.ones(child);
     let delta = score::delta(beta, beta - n2, n2);
+    let cache_on = candidates.len() <= 64;
 
     let mut stats = SearchStats::default();
-    ws.set_base(cols, &[]);
-    let empty_score = score::local_score(ws.refined_counts(cols, child, &[]));
+    scratch.cache.reset();
+    scratch.ws.set_base(cols, &[]).map_err(wrap)?;
+    let empty = eval_cached(
+        &mut scratch.cache,
+        &mut scratch.ws,
+        cols,
+        child,
+        &[],
+        cache_on.then_some(0),
+    )
+    .map_err(wrap)?;
+    let empty_score = empty.score;
     stats.evaluations += 1;
 
     let mut combos = enumerate_combos_with(
-        ws,
+        scratch,
         cols,
         child,
         candidates,
         params.max_combo_size,
         delta,
         &mut stats,
-    );
+    )
+    .map_err(wrap)?;
 
     let (parents, final_score) = match params.strategy {
-        GreedyStrategy::BestImprovement => {
-            greedy_best_improvement(ws, cols, child, combos, empty_score, delta, &mut stats)
-        }
+        GreedyStrategy::BestImprovement => greedy_best_improvement(
+            scratch,
+            cols,
+            child,
+            candidates,
+            combos,
+            empty_score,
+            delta,
+            &mut stats,
+        )
+        .map_err(wrap)?,
         GreedyStrategy::ScoreOrdered => {
             combos.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("no NaNs"));
-            greedy_score_ordered(ws, cols, child, &combos, empty_score, delta, &mut stats)
+            greedy_score_ordered(
+                scratch,
+                cols,
+                child,
+                candidates,
+                &combos,
+                empty_score,
+                delta,
+                &mut stats,
+            )
+            .map_err(wrap)?
         }
-        GreedyStrategy::Exhaustive => {
-            exhaustive_search(ws, cols, child, candidates, empty_score, delta, &mut stats)
-        }
+        GreedyStrategy::Exhaustive => exhaustive_search(
+            scratch,
+            cols,
+            child,
+            candidates,
+            empty_score,
+            delta,
+            &mut stats,
+        )
+        .map_err(wrap)?,
     };
 
-    NodeSearchResult {
+    Ok(NodeSearchResult {
         parents,
         score: final_score,
         candidates: candidates.to_vec(),
         stats,
-    }
+        cache_stats: scratch.cache.stats(),
+    })
 }
 
 /// The pre-workspace implementation of [`find_parents`], counting every
-/// evaluation from scratch with [`NodeColumns::combo_counts`].
+/// evaluation from scratch with [`NodeColumns::combo_counts`] and no score
+/// cache.
 ///
 /// Kept as the equivalence oracle for the incremental path (results must
 /// stay bit-identical) and as the baseline the benchmarks compare against.
@@ -363,13 +539,14 @@ pub fn find_parents_reference(
     child: NodeId,
     candidates: &[NodeId],
     params: &SearchParams,
-) -> NodeSearchResult {
+) -> Result<NodeSearchResult, SearchError> {
+    let wrap = |source: ComboSizeError| SearchError { child, source };
     let beta = cols.num_processes() as u64;
     let n2 = cols.ones(child);
     let delta = score::delta(beta, beta - n2, n2);
 
     let mut stats = SearchStats::default();
-    let empty_counts = cols.combo_counts(child, &[]);
+    let empty_counts = cols.combo_counts(child, &[]).map_err(wrap)?;
     stats.evaluations += 1;
     let empty_score = score::local_score(&empty_counts);
 
@@ -385,27 +562,32 @@ pub fn find_parents_reference(
         &mut stack,
         &mut combos,
         &mut stats,
-    );
+    )
+    .map_err(wrap)?;
 
     let (parents, final_score) = match params.strategy {
         GreedyStrategy::BestImprovement => {
             greedy_best_improvement_reference(cols, child, combos, empty_score, delta, &mut stats)
+                .map_err(wrap)?
         }
         GreedyStrategy::ScoreOrdered => {
             combos.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("no NaNs"));
             greedy_score_ordered_reference(cols, child, &combos, empty_score, delta, &mut stats)
+                .map_err(wrap)?
         }
         GreedyStrategy::Exhaustive => {
             exhaustive_search_reference(cols, child, candidates, empty_score, delta, &mut stats)
+                .map_err(wrap)?
         }
     };
 
-    NodeSearchResult {
+    Ok(NodeSearchResult {
         parents,
         score: final_score,
         candidates: candidates.to_vec(),
         stats,
-    }
+        cache_stats: ScoreCacheStats::default(),
+    })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -419,12 +601,12 @@ fn enumerate_rec_reference(
     stack: &mut Vec<NodeId>,
     out: &mut Vec<Combo>,
     stats: &mut SearchStats,
-) {
+) -> Result<(), ComboSizeError> {
     for idx in start..candidates.len() {
         stack.push(candidates[idx]);
         let mut w: Vec<NodeId> = stack.clone();
         w.sort_unstable();
-        let counts = cols.combo_counts(child, &w);
+        let counts = cols.combo_counts(child, &w)?;
         stats.evaluations += 1;
         if score::within_bound(w.len(), score::phi(&counts), delta) {
             out.push(Combo {
@@ -445,10 +627,11 @@ fn enumerate_rec_reference(
                 stack,
                 out,
                 stats,
-            );
+            )?;
         }
         stack.pop();
     }
+    Ok(())
 }
 
 /// The part of `w` not already in the sorted set `f`, preserving `w`'s
@@ -463,24 +646,30 @@ fn extension_into(f: &[NodeId], w: &[NodeId], extra: &mut Vec<NodeId>) {
 /// admissible combination and take the best strict improvement.
 ///
 /// The round's parent set `F` is instantiated in the workspace once; each
-/// combination is scored by refining along its novel nodes only.
+/// combination is scored by refining along its novel nodes only — or, when
+/// the union `F ∪ W` was already scored in enumeration or an earlier
+/// round, straight from the score cache.
+#[allow(clippy::too_many_arguments)]
 fn greedy_best_improvement(
-    ws: &mut CountsWorkspace,
+    scratch: &mut SearchScratch,
     cols: &NodeColumns,
     child: NodeId,
+    candidates: &[NodeId],
     mut combos: Vec<Combo>,
     empty_score: f64,
     delta: f64,
     stats: &mut SearchStats,
-) -> (Vec<NodeId>, f64) {
+) -> Result<(Vec<NodeId>, f64), ComboSizeError> {
     const EPS: f64 = 1e-9;
+    let cache_on = candidates.len() <= 64;
     let mut f: Vec<NodeId> = Vec::new();
+    let mut mask_f = 0u64;
     let mut current = empty_score;
     let mut extra: Vec<NodeId> = Vec::new();
 
     while !combos.is_empty() {
         stats.greedy_rounds += 1;
-        ws.set_base(cols, &f);
+        scratch.ws.set_base(cols, &f)?;
         let mut best: Option<(usize, f64)> = None;
         let mut keep = vec![true; combos.len()];
         for (idx, combo) in combos.iter().enumerate() {
@@ -493,19 +682,29 @@ fn greedy_best_improvement(
             if f.len() + extra.len() > MAX_PARENTS {
                 continue;
             }
-            let counts = ws.refined_counts(cols, child, &extra);
+            let key = cache_on.then(|| mask_f | subset_mask(&extra, candidates));
+            let eval = eval_cached(
+                &mut scratch.cache,
+                &mut scratch.ws,
+                cols,
+                child,
+                &extra,
+                key,
+            )?;
             stats.evaluations += 1;
-            if !score::within_bound(f.len() + extra.len(), score::phi(counts), delta) {
+            if !score::within_bound(f.len() + extra.len(), eval.phi, delta) {
                 stats.bound_rejections += 1;
                 continue;
             }
-            let s = score::local_score(counts);
-            if s > current + EPS && best.is_none_or(|(_, bs)| s > bs) {
-                best = Some((idx, s));
+            if eval.score > current + EPS && best.is_none_or(|(_, bs)| eval.score > bs) {
+                best = Some((idx, eval.score));
             }
         }
         match best {
             Some((idx, s)) => {
+                if cache_on {
+                    mask_f |= subset_mask(&combos[idx].nodes, candidates);
+                }
                 f = union(&f, &combos[idx].nodes);
                 current = s;
                 keep[idx] = false;
@@ -515,7 +714,7 @@ fn greedy_best_improvement(
             None => break,
         }
     }
-    (f, current)
+    Ok((f, current))
 }
 
 /// The reference counterpart of [`greedy_best_improvement`], recounting
@@ -527,7 +726,7 @@ fn greedy_best_improvement_reference(
     empty_score: f64,
     delta: f64,
     stats: &mut SearchStats,
-) -> (Vec<NodeId>, f64) {
+) -> Result<(Vec<NodeId>, f64), ComboSizeError> {
     const EPS: f64 = 1e-9;
     let mut f: Vec<NodeId> = Vec::new();
     let mut current = empty_score;
@@ -545,7 +744,7 @@ fn greedy_best_improvement_reference(
             if u.len() > MAX_PARENTS {
                 continue;
             }
-            let counts = cols.combo_counts(child, &u);
+            let counts = cols.combo_counts(child, &u)?;
             stats.evaluations += 1;
             if !score::within_bound(u.len(), score::phi(&counts), delta) {
                 stats.bound_rejections += 1;
@@ -567,42 +766,56 @@ fn greedy_best_improvement_reference(
             None => break,
         }
     }
-    (f, current)
+    Ok((f, current))
 }
 
 /// Literal Algorithm-1 greedy: pop combinations in descending standalone
 /// score; union in each one whose union satisfies the Theorem-2 bound.
+#[allow(clippy::too_many_arguments)]
 fn greedy_score_ordered(
-    ws: &mut CountsWorkspace,
+    scratch: &mut SearchScratch,
     cols: &NodeColumns,
     child: NodeId,
+    candidates: &[NodeId],
     combos_sorted: &[Combo],
     empty_score: f64,
     delta: f64,
     stats: &mut SearchStats,
-) -> (Vec<NodeId>, f64) {
+) -> Result<(Vec<NodeId>, f64), ComboSizeError> {
+    let cache_on = candidates.len() <= 64;
     let mut f: Vec<NodeId> = Vec::new();
+    let mut mask_f = 0u64;
     let mut current = empty_score;
     let mut extra: Vec<NodeId> = Vec::new();
-    ws.set_base(cols, &f);
+    scratch.ws.set_base(cols, &f)?;
     for combo in combos_sorted {
         extension_into(&f, &combo.nodes, &mut extra);
         if extra.is_empty() || f.len() + extra.len() > MAX_PARENTS {
             continue;
         }
-        let counts = ws.refined_counts(cols, child, &extra);
+        let key = cache_on.then(|| mask_f | subset_mask(&extra, candidates));
+        let eval = eval_cached(
+            &mut scratch.cache,
+            &mut scratch.ws,
+            cols,
+            child,
+            &extra,
+            key,
+        )?;
         stats.evaluations += 1;
-        if score::within_bound(f.len() + extra.len(), score::phi(counts), delta) {
+        if score::within_bound(f.len() + extra.len(), eval.phi, delta) {
             stats.greedy_rounds += 1;
-            let s = score::local_score(counts);
+            if cache_on {
+                mask_f |= subset_mask(&combo.nodes, candidates);
+            }
             f = union(&f, &combo.nodes);
-            current = s;
-            ws.set_base(cols, &f);
+            current = eval.score;
+            scratch.ws.set_base(cols, &f)?;
         } else {
             stats.bound_rejections += 1;
         }
     }
-    (f, current)
+    Ok((f, current))
 }
 
 /// The reference counterpart of [`greedy_score_ordered`].
@@ -613,7 +826,7 @@ fn greedy_score_ordered_reference(
     empty_score: f64,
     delta: f64,
     stats: &mut SearchStats,
-) -> (Vec<NodeId>, f64) {
+) -> Result<(Vec<NodeId>, f64), ComboSizeError> {
     let mut f: Vec<NodeId> = Vec::new();
     let mut current = empty_score;
     for combo in combos_sorted {
@@ -621,7 +834,7 @@ fn greedy_score_ordered_reference(
         if u.len() == f.len() || u.len() > MAX_PARENTS {
             continue;
         }
-        let counts = cols.combo_counts(child, &u);
+        let counts = cols.combo_counts(child, &u)?;
         stats.evaluations += 1;
         if score::within_bound(u.len(), score::phi(&counts), delta) {
             stats.greedy_rounds += 1;
@@ -631,7 +844,7 @@ fn greedy_score_ordered_reference(
             stats.bound_rejections += 1;
         }
     }
-    (f, current)
+    Ok((f, current))
 }
 
 /// Exhaustive maximization of the local score over all admissible subsets
@@ -639,22 +852,23 @@ fn greedy_score_ordered_reference(
 ///
 /// Subsets larger than [`MAX_PARENTS`] or violating the Theorem-2 bound
 /// are skipped. With `c` candidates this evaluates up to `2^c` subsets;
-/// callers should keep `max_candidates` small (≤ ~16).
+/// candidate sets beyond [`MAX_EXHAUSTIVE_CANDIDATES`] are rejected as a
+/// typed error. Subsets already scored during enumeration (every `W` with
+/// `|W| ≤ max_combo_size`) come straight from the score cache.
 fn exhaustive_search(
-    ws: &mut CountsWorkspace,
+    scratch: &mut SearchScratch,
     cols: &NodeColumns,
     child: NodeId,
     candidates: &[NodeId],
     empty_score: f64,
     delta: f64,
     stats: &mut SearchStats,
-) -> (Vec<NodeId>, f64) {
+) -> Result<(Vec<NodeId>, f64), ComboSizeError> {
     let c = candidates.len();
-    assert!(
-        c < 26,
-        "exhaustive search over {c} candidates is intractable"
-    );
-    ws.set_base(cols, &[]);
+    if c > MAX_EXHAUSTIVE_CANDIDATES {
+        return Err(ComboSizeError { parents: c });
+    }
+    scratch.ws.set_base(cols, &[])?;
     let mut best: (Vec<NodeId>, f64) = (Vec::new(), empty_score);
     let mut subset: Vec<NodeId> = Vec::new();
     for mask in 1u32..(1u32 << c) {
@@ -668,18 +882,26 @@ fn exhaustive_search(
                 .map(|t| candidates[t]),
         );
         subset.sort_unstable();
-        let counts = ws.refined_counts(cols, child, &subset);
+        // The loop mask is exactly the candidate-subset bitmask the cache
+        // keys on (bit `t` ⇔ `candidates[t]`).
+        let eval = eval_cached(
+            &mut scratch.cache,
+            &mut scratch.ws,
+            cols,
+            child,
+            &subset,
+            Some(mask as u64),
+        )?;
         stats.evaluations += 1;
-        if !score::within_bound(subset.len(), score::phi(counts), delta) {
+        if !score::within_bound(subset.len(), eval.phi, delta) {
             stats.bound_rejections += 1;
             continue;
         }
-        let s = score::local_score(counts);
-        if s > best.1 {
-            best = (subset.clone(), s);
+        if eval.score > best.1 {
+            best = (subset.clone(), eval.score);
         }
     }
-    best
+    Ok(best)
 }
 
 /// The reference counterpart of [`exhaustive_search`].
@@ -690,12 +912,11 @@ fn exhaustive_search_reference(
     empty_score: f64,
     delta: f64,
     stats: &mut SearchStats,
-) -> (Vec<NodeId>, f64) {
+) -> Result<(Vec<NodeId>, f64), ComboSizeError> {
     let c = candidates.len();
-    assert!(
-        c < 26,
-        "exhaustive search over {c} candidates is intractable"
-    );
+    if c > MAX_EXHAUSTIVE_CANDIDATES {
+        return Err(ComboSizeError { parents: c });
+    }
     let mut best: (Vec<NodeId>, f64) = (Vec::new(), empty_score);
     for mask in 1u32..(1u32 << c) {
         if (mask.count_ones() as usize) > MAX_PARENTS {
@@ -706,7 +927,7 @@ fn exhaustive_search_reference(
             .map(|t| candidates[t])
             .collect();
         subset.sort_unstable();
-        let counts = cols.combo_counts(child, &subset);
+        let counts = cols.combo_counts(child, &subset)?;
         stats.evaluations += 1;
         if !score::within_bound(subset.len(), score::phi(&counts), delta) {
             stats.bound_rejections += 1;
@@ -717,7 +938,7 @@ fn exhaustive_search_reference(
             best = (subset, s);
         }
     }
-    best
+    Ok(best)
 }
 
 #[cfg(test)]
@@ -777,7 +998,7 @@ mod tests {
         let cols = m.columns();
         let delta = score::delta(160, 160 - cols.ones(2), cols.ones(2));
         let mut stats = SearchStats::default();
-        let combos = enumerate_combos(&cols, 2, &[0, 1, 3], 2, delta, &mut stats);
+        let combos = enumerate_combos(&cols, 2, &[0, 1, 3], 2, delta, &mut stats).expect("fits");
         assert!(combos.iter().all(|c| c.nodes.len() <= 2));
         // 3 singles + 3 pairs.
         assert_eq!(combos.len(), 6);
@@ -794,13 +1015,13 @@ mod tests {
         let m = or_gate_matrix();
         let cols = m.columns();
         let params = SearchParams::default();
-        let res = find_parents(&cols, 2, &[0, 1, 3], &params);
+        let res = find_parents(&cols, 2, &[0, 1, 3], &params).expect("search fits");
         assert_eq!(
             res.parents,
             vec![0, 1],
             "should select exactly the OR inputs"
         );
-        assert!(res.score > score::local_score(&cols.combo_counts(2, &[])));
+        assert!(res.score > score::local_score(&cols.combo_counts(2, &[]).expect("small")));
     }
 
     #[test]
@@ -808,7 +1029,7 @@ mod tests {
         let m = or_gate_matrix();
         let cols = m.columns();
         let params = SearchParams::default();
-        let res = find_parents(&cols, 3, &[0, 1, 2], &params);
+        let res = find_parents(&cols, 3, &[0, 1, 2], &params).expect("search fits");
         assert!(
             res.parents.is_empty(),
             "independent node must keep an empty parent set, got {:?}",
@@ -820,7 +1041,7 @@ mod tests {
     fn score_ordered_is_more_permissive() {
         let m = or_gate_matrix();
         let cols = m.columns();
-        let best = find_parents(&cols, 2, &[0, 1, 3], &SearchParams::default());
+        let best = find_parents(&cols, 2, &[0, 1, 3], &SearchParams::default()).expect("fits");
         let literal = find_parents(
             &cols,
             2,
@@ -829,7 +1050,8 @@ mod tests {
                 strategy: GreedyStrategy::ScoreOrdered,
                 ..Default::default()
             },
-        );
+        )
+        .expect("fits");
         assert!(literal.parents.len() >= best.parents.len());
         for p in &best.parents {
             // not necessarily a subset in general, but for this clean case
@@ -846,7 +1068,7 @@ mod tests {
             strategy: GreedyStrategy::Exhaustive,
             ..Default::default()
         };
-        let res = find_parents(&cols, 2, &[0, 1, 3], &params);
+        let res = find_parents(&cols, 2, &[0, 1, 3], &params).expect("search fits");
         assert_eq!(res.parents, vec![0, 1]);
     }
 
@@ -859,7 +1081,8 @@ mod tests {
         let cols = m.columns();
         for child in 0..4u32 {
             let candidates: Vec<NodeId> = (0..4u32).filter(|&c| c != child).collect();
-            let greedy = find_parents(&cols, child, &candidates, &SearchParams::default());
+            let greedy =
+                find_parents(&cols, child, &candidates, &SearchParams::default()).expect("fits");
             let exact = find_parents(
                 &cols,
                 child,
@@ -868,7 +1091,8 @@ mod tests {
                     strategy: GreedyStrategy::Exhaustive,
                     ..Default::default()
                 },
-            );
+            )
+            .expect("fits");
             assert!(
                 greedy.score >= exact.score - 1e-6,
                 "node {child}: greedy {} vs exhaustive {}",
@@ -891,7 +1115,8 @@ mod tests {
                 strategy: GreedyStrategy::Exhaustive,
                 ..Default::default()
             },
-        );
+        )
+        .expect("fits");
         for strategy in [
             GreedyStrategy::BestImprovement,
             GreedyStrategy::ScoreOrdered,
@@ -904,7 +1129,8 @@ mod tests {
                     strategy,
                     ..Default::default()
                 },
-            );
+            )
+            .expect("fits");
             assert!(
                 exact.score >= g.score - 1e-9,
                 "{strategy:?} beat exhaustive: {} vs {}",
@@ -918,7 +1144,7 @@ mod tests {
     fn empty_candidates_yield_empty_parents() {
         let m = or_gate_matrix();
         let cols = m.columns();
-        let res = find_parents(&cols, 2, &[], &SearchParams::default());
+        let res = find_parents(&cols, 2, &[], &SearchParams::default()).expect("fits");
         assert!(res.parents.is_empty());
         assert_eq!(res.stats.evaluations, 1, "only the empty set is scored");
         assert_eq!(res.stats.bound_rejections, 0);
@@ -927,12 +1153,13 @@ mod tests {
 
     #[test]
     fn workspace_path_matches_reference_for_all_strategies() {
-        // The contract of the incremental counting engine: every strategy
-        // must produce bit-identical results (parents, scores, and the
-        // evaluation count) to the from-scratch reference implementation.
+        // The contract of the incremental counting engine and the score
+        // cache: every strategy must produce bit-identical results
+        // (parents, scores, and every SearchStats counter) to the
+        // from-scratch, cacheless reference implementation.
         let m = or_gate_matrix();
         let cols = m.columns();
-        let mut ws = CountsWorkspace::new();
+        let mut scratch = SearchScratch::new();
         for strategy in [
             GreedyStrategy::BestImprovement,
             GreedyStrategy::ScoreOrdered,
@@ -946,8 +1173,10 @@ mod tests {
                         max_combo_size,
                         ..Default::default()
                     };
-                    let new = find_parents_with(&mut ws, &cols, child, &candidates, &params);
-                    let old = find_parents_reference(&cols, child, &candidates, &params);
+                    let new = find_parents_with(&mut scratch, &cols, child, &candidates, &params)
+                        .expect("fits");
+                    let old =
+                        find_parents_reference(&cols, child, &candidates, &params).expect("fits");
                     assert_eq!(new.parents, old.parents, "{strategy:?} child {child}");
                     assert_eq!(
                         new.score.to_bits(),
@@ -959,9 +1188,101 @@ mod tests {
                         "{strategy:?} child {child}: all search counters must match"
                     );
                     assert_eq!(new.candidates, old.candidates);
+                    assert_eq!(
+                        old.cache_stats,
+                        ScoreCacheStats::default(),
+                        "reference path must not touch a cache"
+                    );
                 }
             }
         }
+    }
+
+    #[test]
+    fn score_cache_hits_on_greedy_rounds() {
+        // Round one of the greedy re-scores every enumerated combination
+        // verbatim, so any search that expands at least once must hit.
+        let m = or_gate_matrix();
+        let cols = m.columns();
+        let res = find_parents(&cols, 2, &[0, 1, 3], &SearchParams::default()).expect("fits");
+        assert!(!res.parents.is_empty(), "precondition: expansion happened");
+        assert!(
+            res.cache_stats.hits > 0,
+            "greedy round one must reuse enumeration scores, stats {:?}",
+            res.cache_stats
+        );
+        assert!(res.cache_stats.misses > 0, "distinct subsets must miss");
+        // Every evaluation is exactly one hit or one miss.
+        assert_eq!(
+            res.cache_stats.hits + res.cache_stats.misses,
+            res.stats.evaluations as u64
+        );
+    }
+
+    #[test]
+    fn exhaustive_hits_cache_for_enumerated_combos() {
+        let m = or_gate_matrix();
+        let cols = m.columns();
+        let res = find_parents(
+            &cols,
+            2,
+            &[0, 1, 3],
+            &SearchParams {
+                strategy: GreedyStrategy::Exhaustive,
+                ..Default::default()
+            },
+        )
+        .expect("fits");
+        // Enumeration scored all 6 subsets of size ≤ 2; the exhaustive
+        // sweep re-visits them.
+        assert!(res.cache_stats.hits >= 6, "stats {:?}", res.cache_stats);
+    }
+
+    #[test]
+    fn hostile_combo_size_is_a_typed_error_not_a_panic() {
+        let m = StatusMatrix::new(4, 40);
+        let cols = m.columns();
+        let candidates: Vec<NodeId> = (0..30).collect();
+        // Enumeration path: a max_combo_size that admits 26-node subsets.
+        let err = find_parents(
+            &cols,
+            39,
+            &candidates,
+            &SearchParams {
+                max_combo_size: 30,
+                max_candidates: 30,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.child, 39);
+        assert_eq!(err.source.parents, 26);
+        assert!(err.to_string().contains("node 39"));
+        // Reference path agrees.
+        let ref_err = find_parents_reference(
+            &cols,
+            39,
+            &candidates,
+            &SearchParams {
+                max_combo_size: 30,
+                max_candidates: 30,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(ref_err, err);
+        // Exhaustive path: the candidate set itself is too large.
+        let ex_err = find_parents(
+            &cols,
+            39,
+            &candidates,
+            &SearchParams {
+                strategy: GreedyStrategy::Exhaustive,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(ex_err.source.parents, 30);
     }
 
     #[test]
@@ -995,5 +1316,14 @@ mod tests {
         assert_eq!(union(&[1, 3], &[2, 3]), vec![1, 2, 3]);
         assert_eq!(union(&[], &[5]), vec![5]);
         assert_eq!(union(&[4], &[]), vec![4]);
+    }
+
+    #[test]
+    fn subset_mask_uses_candidate_positions() {
+        let candidates = [7u32, 3, 9, 1];
+        assert_eq!(subset_mask(&[], &candidates), 0);
+        assert_eq!(subset_mask(&[7], &candidates), 0b0001);
+        assert_eq!(subset_mask(&[1, 9], &candidates), 0b1100);
+        assert_eq!(subset_mask(&[3, 7, 1, 9], &candidates), 0b1111);
     }
 }

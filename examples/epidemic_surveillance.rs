@@ -51,7 +51,11 @@ fn main() {
     );
     for budget in [50usize, 100, 150, 200, 250] {
         let observed = all_outbreaks.truncated(budget);
-        let (result, secs) = timed(|| Tends::new().reconstruct(&observed.statuses));
+        let (result, secs) = timed(|| {
+            Tends::new()
+                .reconstruct(&observed.statuses)
+                .expect("default search fits")
+        });
         let cmp = EdgeSetComparison::against_truth(&contact_network, &result.graph);
         println!(
             "{budget:>10}  {:>9.3}  {:>7.3}  {:>7.3}  {:>8.3}",
@@ -63,7 +67,10 @@ fn main() {
     }
 
     // With the full record, what do the inferred contacts get us?
-    let inferred = Tends::new().reconstruct(&all_outbreaks.statuses).graph;
+    let inferred = Tends::new()
+        .reconstruct(&all_outbreaks.statuses)
+        .expect("default search fits")
+        .graph;
     let cmp = EdgeSetComparison::against_truth(&contact_network, &inferred);
     println!(
         "\nfinal reconstruction: {} of {} true contact edges recovered ({} spurious)",

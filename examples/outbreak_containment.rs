@@ -78,7 +78,10 @@ fn main() {
     println!("observed {} historical outbreaks", history.num_processes());
 
     // Step 2: reconstruct the contact network.
-    let inferred = Tends::new().reconstruct(&history.statuses).graph;
+    let inferred = Tends::new()
+        .reconstruct(&history.statuses)
+        .expect("default search fits")
+        .graph;
     let cmp = EdgeSetComparison::against_truth(&truth, &inferred);
     println!(
         "reconstructed topology: {} edges (precision {:.2}, recall {:.2})",

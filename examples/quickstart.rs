@@ -41,7 +41,11 @@ fn main() {
     );
 
     // 3. Reconstruct the topology from the status matrix alone.
-    let (result, seconds) = timed(|| Tends::new().reconstruct(&observations.statuses));
+    let (result, seconds) = timed(|| {
+        Tends::new()
+            .reconstruct(&observations.statuses)
+            .expect("default search fits")
+    });
     println!(
         "TENDS: inferred {} edges in {:.3}s (pruning threshold τ = {:.4})",
         result.graph.edge_count(),

@@ -73,7 +73,10 @@ fn main() {
         let obs = corrupt_timestamps(&clean, noise, &mut rng);
 
         // TENDS reads only the status matrix — unaffected by construction.
-        let tends_g = Tends::new().reconstruct(&obs.statuses).graph;
+        let tends_g = Tends::new()
+            .reconstruct(&obs.statuses)
+            .expect("default search fits")
+            .graph;
         let tends_f = EdgeSetComparison::against_truth(&truth, &tends_g).f_score();
 
         // NetRate gets its preferential best-threshold treatment.

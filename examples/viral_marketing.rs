@@ -69,7 +69,11 @@ fn main() {
     );
 
     // Reconstruct the influence graph from adoption statuses.
-    let (result, secs) = timed(|| Tends::new().reconstruct(&campaigns.statuses));
+    let (result, secs) = timed(|| {
+        Tends::new()
+            .reconstruct(&campaigns.statuses)
+            .expect("default search fits")
+    });
     let cmp = EdgeSetComparison::against_truth(&influence, &result.graph);
     println!(
         "TENDS reconstruction: {} edges in {:.2}s (precision {:.3}, recall {:.3}, F {:.3})",

@@ -43,7 +43,7 @@
 //!     .observe(IcConfig { initial_ratio: 0.15, num_processes: 150 }, &mut rng);
 //!
 //! // 3. Reconstruct the topology with TENDS and score it.
-//! let inferred = Tends::new().reconstruct(&obs.statuses).graph;
+//! let inferred = Tends::new().reconstruct(&obs.statuses).expect("default search fits").graph;
 //! let cmp = EdgeSetComparison::against_truth(&truth, &inferred);
 //! println!("F-score: {:.3}", cmp.f_score());
 //! ```

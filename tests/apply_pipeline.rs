@@ -23,7 +23,10 @@ fn influence_maximization_on_inferred_graph_transfers() {
         },
         &mut rng,
     );
-    let inferred = Tends::new().reconstruct(&obs.statuses).graph;
+    let inferred = Tends::new()
+        .reconstruct(&obs.statuses)
+        .expect("default search fits")
+        .graph;
 
     // Pick seeds with CELF on the inferred graph...
     let inferred_probs = EdgeProbs::constant(&inferred, 0.3);
@@ -51,7 +54,10 @@ fn immunization_on_inferred_graph_transfers() {
         },
         &mut rng,
     );
-    let inferred = Tends::new().reconstruct(&obs.statuses).graph;
+    let inferred = Tends::new()
+        .reconstruct(&obs.statuses)
+        .expect("default search fits")
+        .graph;
 
     let inferred_probs = EdgeProbs::constant(&inferred, 0.3);
     let plan = greedy_immunization(&inferred, &inferred_probs, 10, 19, 30, 8, &mut rng);

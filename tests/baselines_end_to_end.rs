@@ -25,7 +25,10 @@ fn all_five_algorithms_produce_graphs() {
     let m = truth.edge_count();
     let n = truth.node_count();
 
-    let tends = Tends::new().reconstruct(&obs.statuses).graph;
+    let tends = Tends::new()
+        .reconstruct(&obs.statuses)
+        .expect("default search fits")
+        .graph;
     let (netrate, _) = NetRate::new().infer(&obs).best_fscore_graph(&truth);
     let multree = MulTree::new().infer(&obs, m);
     let lift = Lift::new().infer(&obs, m);
@@ -57,7 +60,13 @@ fn every_algorithm_beats_random_guessing() {
     let random_f = m as f64 / (n * (n - 1)) as f64;
 
     let runs: Vec<(&str, DiGraph)> = vec![
-        ("TENDS", Tends::new().reconstruct(&obs.statuses).graph),
+        (
+            "TENDS",
+            Tends::new()
+                .reconstruct(&obs.statuses)
+                .expect("default search fits")
+                .graph,
+        ),
         (
             "NetRate",
             NetRate::new().infer(&obs).best_fscore_graph(&truth).0,
@@ -84,7 +93,10 @@ fn tends_wins_the_paper_comparison_on_lfr() {
     let m = truth.edge_count();
     let f = |g: &DiGraph| EdgeSetComparison::against_truth(&truth, g).f_score();
 
-    let tends = f(&Tends::new().reconstruct(&obs.statuses).graph);
+    let tends = f(&Tends::new()
+        .reconstruct(&obs.statuses)
+        .expect("default search fits")
+        .graph);
     let netrate = f(&NetRate::new().infer(&obs).best_fscore_graph(&truth).0);
     let multree = f(&MulTree::new().infer(&obs, m));
     let lift = f(&Lift::new().infer(&obs, m));
@@ -102,10 +114,14 @@ fn tends_uses_strictly_less_information() {
     // (cascades / sources). Reconstructing from a matrix with scrambled
     // records must equal reconstructing from the true records.
     let (_, obs) = workload();
-    let from_statuses = Tends::new().reconstruct(&obs.statuses);
+    let from_statuses = Tends::new()
+        .reconstruct(&obs.statuses)
+        .expect("default search fits");
     // Rebuild a record-free observation set: same statuses, no timing.
     let statuses_only = obs.statuses.clone();
-    let again = Tends::new().reconstruct(&statuses_only);
+    let again = Tends::new()
+        .reconstruct(&statuses_only)
+        .expect("default search fits");
     assert_eq!(from_statuses.graph, again.graph);
 }
 

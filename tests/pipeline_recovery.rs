@@ -29,7 +29,9 @@ fn reciprocal(pairs: &[(NodeId, NodeId)], n: usize) -> DiGraph {
 fn recovers_reciprocal_star() {
     let truth = reciprocal(&[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)], 6);
     let obs = observe_with(&truth, 0.2, 500, 0.4, 11);
-    let result = Tends::new().reconstruct(&obs.statuses);
+    let result = Tends::new()
+        .reconstruct(&obs.statuses)
+        .expect("default search fits");
     let cmp = EdgeSetComparison::against_truth(&truth, &result.graph);
     assert!(cmp.f_score() > 0.8, "star F-score {}", cmp.f_score());
 }
@@ -40,7 +42,9 @@ fn recovers_two_disconnected_communities() {
     // should ever be inferred if the pruning does its job.
     let truth = reciprocal(&[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)], 6);
     let obs = observe_with(&truth, 0.2, 600, 0.4, 12);
-    let result = Tends::new().reconstruct(&obs.statuses);
+    let result = Tends::new()
+        .reconstruct(&obs.statuses)
+        .expect("default search fits");
     let cmp = EdgeSetComparison::against_truth(&truth, &result.graph);
     assert!(cmp.f_score() > 0.8, "triangles F-score {}", cmp.f_score());
     let cross = result
@@ -56,7 +60,9 @@ fn lfr_benchmark_end_to_end() {
     // The paper's LFR1 configuration at its default setting.
     let truth = lfr_suite()[0].generate(77);
     let obs = observe_with(&truth, 0.15, 150, 0.3, 13);
-    let result = Tends::new().reconstruct(&obs.statuses);
+    let result = Tends::new()
+        .reconstruct(&obs.statuses)
+        .expect("default search fits");
     let cmp = EdgeSetComparison::against_truth(&truth, &result.graph);
     assert!(
         cmp.f_score() > 0.6,
@@ -69,8 +75,12 @@ fn lfr_benchmark_end_to_end() {
 fn reconstruction_is_deterministic() {
     let truth = lfr_suite()[0].generate(78);
     let obs = observe_with(&truth, 0.15, 100, 0.3, 14);
-    let a = Tends::new().reconstruct(&obs.statuses);
-    let b = Tends::new().reconstruct(&obs.statuses);
+    let a = Tends::new()
+        .reconstruct(&obs.statuses)
+        .expect("default search fits");
+    let b = Tends::new()
+        .reconstruct(&obs.statuses)
+        .expect("default search fits");
     assert_eq!(a.graph, b.graph);
     assert_eq!(a.tau, b.tau);
 }
@@ -82,12 +92,22 @@ fn more_processes_do_not_hurt() {
     let truth = reciprocal(&[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)], 7);
     let big = observe_with(&truth, 0.2, 400, 0.4, 15);
     let small = big.truncated(40);
-    let f_small =
-        EdgeSetComparison::against_truth(&truth, &Tends::new().reconstruct(&small.statuses).graph)
-            .f_score();
-    let f_big =
-        EdgeSetComparison::against_truth(&truth, &Tends::new().reconstruct(&big.statuses).graph)
-            .f_score();
+    let f_small = EdgeSetComparison::against_truth(
+        &truth,
+        &Tends::new()
+            .reconstruct(&small.statuses)
+            .expect("default search fits")
+            .graph,
+    )
+    .f_score();
+    let f_big = EdgeSetComparison::against_truth(
+        &truth,
+        &Tends::new()
+            .reconstruct(&big.statuses)
+            .expect("default search fits")
+            .graph,
+    )
+    .f_score();
     assert!(
         f_big >= f_small - 0.05,
         "F went from {f_small} (β=40) down to {f_big} (β=400)"
@@ -100,7 +120,9 @@ fn isolated_nodes_get_no_parents() {
     // Nodes 4 and 5 are isolated: their statuses are pure seed noise.
     let truth = reciprocal(&[(0, 1), (1, 2), (2, 3)], 6);
     let obs = observe_with(&truth, 0.25, 400, 0.4, 16);
-    let result = Tends::new().reconstruct(&obs.statuses);
+    let result = Tends::new()
+        .reconstruct(&obs.statuses)
+        .expect("default search fits");
     for node in [4u32, 5] {
         assert!(
             result.node_results[node as usize].parents.len() <= 1,
@@ -114,11 +136,15 @@ fn isolated_nodes_get_no_parents() {
 fn global_score_improves_over_empty_topology() {
     let truth = lfr_suite()[0].generate(79);
     let obs = observe_with(&truth, 0.15, 150, 0.3, 17);
-    let result = Tends::new().reconstruct(&obs.statuses);
+    let result = Tends::new()
+        .reconstruct(&obs.statuses)
+        .expect("default search fits");
     // Score of the empty topology: sum of empty-set local scores.
     let cols = obs.statuses.columns();
     let empty_score: f64 = (0..obs.num_nodes() as NodeId)
-        .map(|i| diffnet::tends::score::local_score(&cols.combo_counts(i, &[])))
+        .map(|i| {
+            diffnet::tends::score::local_score(&cols.combo_counts(i, &[]).expect("empty combo"))
+        })
         .sum();
     assert!(
         result.global_score >= empty_score,

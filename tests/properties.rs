@@ -30,7 +30,7 @@ proptest! {
         let child = 0u32;
         let parents: Vec<NodeId> =
             (1..n).filter(|p| parents_mask & (1 << (p % 5)) != 0).take(4).collect();
-        let counts = m.columns().combo_counts(child, &parents);
+        let counts = m.columns().combo_counts(child, &parents).expect("small combo");
         let total: u64 = counts.iter().map(|c| c[0] + c[1]).sum();
         prop_assert_eq!(total, m.num_processes() as u64);
     }
@@ -42,8 +42,8 @@ proptest! {
         let cols = m.columns();
         let parents: Vec<NodeId> = (1..n.min(5)).collect();
         prop_assert_eq!(
-            cols.combo_counts(0, &parents),
-            m.combo_counts(0, &parents)
+            cols.combo_counts(0, &parents).expect("small combo"),
+            m.combo_counts(0, &parents).expect("small combo")
         );
     }
 
@@ -70,9 +70,42 @@ proptest! {
 
         let cols = m.columns();
         let mut ws = CountsWorkspace::new();
-        ws.set_base(&cols, &base);
-        let counts = ws.refined_counts(&cols, child, &extra).to_vec();
-        prop_assert_eq!(counts, m.combo_counts(child, &union));
+        ws.set_base(&cols, &base).expect("small base");
+        let counts = ws.refined_counts(&cols, child, &extra).expect("small combo").to_vec();
+        prop_assert_eq!(counts, m.combo_counts(child, &union).expect("small combo"));
+    }
+
+    // The tiled pairwise kernel is bit-identical to the per-pair column
+    // walk for every pair and every block shape, across random β —
+    // including β not a multiple of 64, where tail-word masking bugs live
+    // — and with whatever degenerate (never/always-infected) columns the
+    // random matrix happens to contain.
+    #[test]
+    fn tiled_pair_counts_match_naive(m in status_matrix(1..200, 2..24)) {
+        let n = m.num_nodes();
+        let cols = m.columns();
+        let ones = cols.ones_counts();
+        // Several block shapes, not just the tuned pair_tile_size().
+        for tile in [1usize, 3, 7, 64] {
+            let nb = n.div_ceil(tile);
+            let mut seen = 0usize;
+            for bi in 0..nb {
+                let rows = bi * tile..((bi + 1) * tile).min(n);
+                for bj in bi..nb {
+                    let jc = bj * tile..((bj + 1) * tile).min(n);
+                    cols.pair_counts_block(rows.clone(), jc, &ones, &mut |i, j, pc| {
+                        seen += 1;
+                        assert_eq!(
+                            pc,
+                            cols.pair_counts(i, j),
+                            "pair ({i},{j}) diverges at tile {tile}, β {}",
+                            m.num_processes()
+                        );
+                    });
+                }
+            }
+            prop_assert_eq!(seen, n * (n - 1) / 2, "tile {} missed pairs", tile);
+        }
     }
 
     // The parallel correlation matrix is bit-identical at every thread
@@ -105,7 +138,9 @@ proptest! {
         let report_at = |threads: usize| {
             let rec = Recorder::new();
             let cfg = TendsConfig { threads, ..Default::default() };
-            let result = Tends::with_config(cfg).reconstruct_observed(&m, &rec);
+            let result = Tends::with_config(cfg)
+                .reconstruct_observed(&m, &rec)
+                .expect("default search fits");
             (result, RunReport::new("tends", rec.snapshot(), threads))
         };
         let (res_1, rep_1) = report_at(1);
@@ -132,8 +167,8 @@ proptest! {
         if extended[1] == extended[0] || extended[1] == child {
             return Ok(());
         }
-        let ll_base = score::log_likelihood(&cols.combo_counts(child, &base));
-        let ll_ext = score::log_likelihood(&cols.combo_counts(child, &extended));
+        let ll_base = score::log_likelihood(&cols.combo_counts(child, &base).expect("small combo"));
+        let ll_ext = score::log_likelihood(&cols.combo_counts(child, &extended).expect("small combo"));
         prop_assert!(ll_ext >= ll_base - 1e-9,
             "L decreased from {} to {}", ll_base, ll_ext);
     }
@@ -142,11 +177,12 @@ proptest! {
     // per-node local scores recomputed from scratch.
     #[test]
     fn global_score_decomposes(m in status_matrix(5..40, 3..9)) {
-        let result = Tends::new().reconstruct(&m);
+        let result = Tends::new().reconstruct(&m).expect("default search fits");
         let cols = m.columns();
         let recomputed: f64 = (0..m.num_nodes() as u32)
             .map(|i| score::local_score(
-                &cols.combo_counts(i, &result.node_results[i as usize].parents)))
+                &cols.combo_counts(i, &result.node_results[i as usize].parents)
+                    .expect("small combo")))
             .sum();
         prop_assert!((result.global_score - recomputed).abs() < 1e-6);
     }
