@@ -8,7 +8,7 @@
 //! greedy is the standard practical heuristic.
 
 use diffnet_graph::{DiGraph, GraphBuilder, NodeId};
-use diffnet_simulate::{EdgeProbs, IndependentCascade};
+use diffnet_simulate::{EdgeProbs, IndependentCascade, ProbShapeError};
 use rand::Rng;
 
 /// Expected spread from `num_seeds` uniformly random (non-immunized)
@@ -65,7 +65,9 @@ fn strip(graph: &DiGraph, immunized: &[bool]) -> DiGraph {
 ///
 /// # Panics
 ///
-/// Panics if `budget` exceeds the node count or `trials == 0`.
+/// Panics if `budget` exceeds the node count, `trials == 0`, or `probs`
+/// mismatches the graph. Use [`try_greedy_immunization`] when the
+/// probs/graph pairing is caller input.
 pub fn greedy_immunization<R: Rng + ?Sized>(
     graph: &DiGraph,
     probs: &EdgeProbs,
@@ -75,8 +77,27 @@ pub fn greedy_immunization<R: Rng + ?Sized>(
     shortlist: usize,
     rng: &mut R,
 ) -> Vec<NodeId> {
+    try_greedy_immunization(graph, probs, budget, num_seeds, trials, shortlist, rng)
+        .expect("edge probabilities must cover every edge")
+}
+
+/// [`greedy_immunization`] with the probs/graph shape mismatch as a typed
+/// error. Validating up front keeps `reindex_probs` — which looks every
+/// surviving edge up in the original graph — an internal invariant rather
+/// than a latent panic on bad input.
+#[allow(clippy::too_many_arguments)]
+pub fn try_greedy_immunization<R: Rng + ?Sized>(
+    graph: &DiGraph,
+    probs: &EdgeProbs,
+    budget: usize,
+    num_seeds: usize,
+    trials: usize,
+    shortlist: usize,
+    rng: &mut R,
+) -> Result<Vec<NodeId>, ProbShapeError> {
     assert!(budget <= graph.node_count(), "budget exceeds node count");
     assert!(trials > 0, "at least one trial required");
+    probs.validate_for(graph)?;
 
     let mut immunized = vec![false; graph.node_count()];
     let mut chosen = Vec::with_capacity(budget);
@@ -107,7 +128,7 @@ pub fn greedy_immunization<R: Rng + ?Sized>(
         chosen.push(v);
         current = strip(graph, &immunized);
     }
-    chosen
+    Ok(chosen)
 }
 
 /// Carries per-edge probabilities from `original` onto the surviving
@@ -194,6 +215,18 @@ mod tests {
         let probs = EdgeProbs::constant(&g, 0.5);
         let mut rng = StdRng::seed_from_u64(13);
         assert!(greedy_immunization(&g, &probs, 0, 2, 10, 5, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn mismatched_probs_are_a_typed_error() {
+        let g = barbell();
+        let other = DiGraph::from_edges(9, &[(0, 1)]);
+        let probs = EdgeProbs::constant(&other, 0.5);
+        let mut rng = StdRng::seed_from_u64(15);
+        let err =
+            try_greedy_immunization(&g, &probs, 1, 1, 10, 5, &mut rng).expect_err("shape mismatch");
+        assert_eq!(err.expected, g.edge_count());
+        assert_eq!(err.found, 1);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Monte-Carlo estimation of expected influence spread.
 
 use diffnet_graph::{DiGraph, NodeId};
-use diffnet_simulate::{EdgeProbs, IndependentCascade};
+use diffnet_simulate::{EdgeProbs, IndependentCascade, ProbShapeError};
 use rand::Rng;
 
 /// Estimates the expected number of infected nodes when seeding `seeds`
@@ -27,6 +27,7 @@ pub fn estimate_spread<R: Rng + ?Sized>(
 
 /// A reusable spread estimator that owns its simulation budget, for
 /// algorithms that evaluate many candidate seed sets.
+#[derive(Debug)]
 pub struct SpreadEstimator<'a> {
     graph: &'a DiGraph,
     probs: &'a EdgeProbs,
@@ -38,19 +39,28 @@ impl<'a> SpreadEstimator<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if `trials == 0` or `probs` mismatches the graph.
+    /// Panics if `trials == 0` or `probs` mismatches the graph. Use
+    /// [`SpreadEstimator::try_new`] when the pairing is caller input.
     pub fn new(graph: &'a DiGraph, probs: &'a EdgeProbs, trials: usize) -> Self {
         assert!(trials > 0, "at least one trial required");
-        assert_eq!(
-            probs.len(),
-            graph.edge_count(),
-            "edge probabilities must cover every edge"
-        );
-        SpreadEstimator {
+        Self::try_new(graph, probs, trials).expect("edge probabilities must cover every edge")
+    }
+
+    /// [`new`](Self::new) with the probs/graph shape mismatch as a typed
+    /// error. `trials == 0` still panics — that is a budget bug, not a
+    /// data-shape problem.
+    pub fn try_new(
+        graph: &'a DiGraph,
+        probs: &'a EdgeProbs,
+        trials: usize,
+    ) -> Result<Self, ProbShapeError> {
+        assert!(trials > 0, "at least one trial required");
+        probs.validate_for(graph)?;
+        Ok(SpreadEstimator {
             graph,
             probs,
             trials,
-        }
+        })
     }
 
     /// Expected spread of a seed set.
@@ -111,6 +121,21 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let s = estimate_spread(&g, &probs, &[0], 20_000, &mut rng);
         assert!((s - 1.3).abs() < 0.02, "spread {s}");
+    }
+
+    #[test]
+    fn mismatched_probs_are_a_typed_error() {
+        let small = DiGraph::from_edges(3, &[(0, 1)]);
+        let big = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let probs = EdgeProbs::constant(&small, 0.5);
+        let err = SpreadEstimator::try_new(&big, &probs, 10).expect_err("shape mismatch");
+        assert_eq!(
+            err,
+            ProbShapeError {
+                expected: 3,
+                found: 1
+            }
+        );
     }
 
     #[test]

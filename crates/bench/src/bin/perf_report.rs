@@ -13,7 +13,10 @@
 //!   from-scratch reference path, both single-threaded, with the score
 //!   cache's hit/miss counts;
 //! * one instrumented reconstruction (`tends_run_report`): per-phase wall
-//!   times and the full observability counter set for the small workload.
+//!   times and the full observability counter set for the small workload;
+//! * checkpoint overhead: the robust reconstruction with per-node
+//!   progress persisted atomically every 8 nodes vs the same path with
+//!   checkpointing disabled.
 //!
 //! Multi-thread speedups are only meaningful on multi-core hardware; on a
 //! single-CPU machine the thread-scaling rows are marked
@@ -28,7 +31,8 @@ use diffnet_observe::{Json, Recorder, RunReport};
 use diffnet_simulate::{CountsWorkspace, NodeColumns, StatusMatrix};
 use diffnet_tends::search::{find_parents_reference, SearchParams};
 use diffnet_tends::{
-    CorrelationMatrix, CorrelationMeasure, ScoreCacheStats, SearchScratch, Tends, TendsConfig,
+    CorrelationMatrix, CorrelationMeasure, RobustOptions, ScoreCacheStats, SearchScratch, Tends,
+    TendsConfig,
 };
 
 /// Median wall-clock seconds of `reps` runs of `f`.
@@ -258,6 +262,37 @@ fn main() {
         acc
     });
 
+    // Checkpoint overhead: the same robust reconstruction with per-node
+    // progress persisted atomically at the default interval vs without.
+    eprintln!("perf_report: checkpoint overhead (n={n_small})");
+    let ck_path = std::env::temp_dir().join("diffnet_perf_checkpoint.json");
+    let plain_s = median_secs(reps.min(3), || {
+        Tends::with_config(TendsConfig {
+            threads: 1,
+            ..Default::default()
+        })
+        .reconstruct_robust(&small, Recorder::disabled(), &RobustOptions::default())
+        .expect("robust run")
+    });
+    let ck_interval = RobustOptions::default().checkpoint_interval;
+    let checkpointed_s = median_secs(reps.min(3), || {
+        std::fs::remove_file(&ck_path).ok();
+        Tends::with_config(TendsConfig {
+            threads: 1,
+            ..Default::default()
+        })
+        .reconstruct_robust(
+            &small,
+            Recorder::disabled(),
+            &RobustOptions {
+                checkpoint: Some(ck_path.clone()),
+                ..Default::default()
+            },
+        )
+        .expect("checkpointed run")
+    });
+    std::fs::remove_file(&ck_path).ok();
+
     // One instrumented reconstruction for the per-phase breakdown, so the
     // report shows where the wall-clock goes inside a single run.
     eprintln!("perf_report: instrumented phase breakdown (n={n_small})");
@@ -308,6 +343,14 @@ fn main() {
     greedy.push("score_cache_hits", cache_totals.hits);
     greedy.push("score_cache_misses", cache_totals.misses);
     json.push("greedy_search", greedy);
+
+    let mut ck = Json::object();
+    ck.push("n", n_small as u64);
+    ck.push("interval_nodes", ck_interval as u64);
+    ck.push("plain_s", plain_s);
+    ck.push("checkpointed_s", checkpointed_s);
+    ck.push("overhead_ratio", checkpointed_s / plain_s);
+    json.push("checkpoint_overhead", ck);
 
     json.push("tends_run_report", run_report.to_json());
 

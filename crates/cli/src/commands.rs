@@ -8,31 +8,78 @@ use diffnet_graph::generators::{
 use diffnet_graph::stats::GraphStats;
 use diffnet_graph::DiGraph;
 use diffnet_metrics::EdgeSetComparison;
-use diffnet_observe::{Recorder, RunReport};
+use diffnet_observe::{CheckpointInfo, FaultPlan, Recorder, RunReport};
 use diffnet_simulate::{EdgeProbs, IcConfig, IndependentCascade, LinearThreshold, ObservationSet};
 use diffnet_tends::{
     estimate_propagation_probabilities, CorrelationMeasure, DirectionPolicy, EstimateConfig,
-    SearchParams, Tends, TendsConfig, ThresholdMode,
+    RobustOptions, SearchParams, Tends, TendsConfig, ThresholdMode,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::PathBuf;
+
+/// Exit code for a partial reconstruction: the command produced output,
+/// but some nodes failed and are listed in the report.
+pub const EXIT_PARTIAL: i32 = 3;
+
+/// The text a successful command prints, plus the process exit code it
+/// should carry. Derefs to `str` so callers that only want the text can
+/// treat it like one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommandOutput {
+    text: String,
+    exit_code: i32,
+}
+
+impl CommandOutput {
+    fn success(text: String) -> CommandOutput {
+        CommandOutput { text, exit_code: 0 }
+    }
+
+    fn partial(text: String) -> CommandOutput {
+        CommandOutput {
+            text,
+            exit_code: EXIT_PARTIAL,
+        }
+    }
+
+    /// The exit code the process should terminate with: 0 on full
+    /// success, [`EXIT_PARTIAL`] when the output is a degraded result.
+    pub fn exit_code(&self) -> i32 {
+        self.exit_code
+    }
+}
+
+impl std::ops::Deref for CommandOutput {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        &self.text
+    }
+}
+
+impl std::fmt::Display for CommandOutput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
 
 /// Runs a full command line (everything after the program name) and
-/// returns the text to print on success.
-pub fn run(argv: &[String]) -> Result<String, ArgError> {
+/// returns the text to print on success together with the exit code.
+pub fn run(argv: &[String]) -> Result<CommandOutput, ArgError> {
     let Some((command, rest)) = argv.split_first() else {
         return Err(ArgError::new("missing command; try `diffnet help`"));
     };
     let parsed = ParsedArgs::parse(rest)?;
     match command.as_str() {
-        "generate" => generate(&parsed),
-        "simulate" => simulate(&parsed),
+        "generate" => generate(&parsed).map(CommandOutput::success),
+        "simulate" => simulate(&parsed).map(CommandOutput::success),
         "infer" => infer(&parsed),
-        "eval" => eval(&parsed),
-        "estimate" => estimate(&parsed),
-        "stats" => stats(&parsed),
-        "report-check" => report_check(&parsed),
-        "help" | "--help" | "-h" => Ok(crate::USAGE.to_string()),
+        "eval" => eval(&parsed).map(CommandOutput::success),
+        "estimate" => estimate(&parsed).map(CommandOutput::success),
+        "stats" => stats(&parsed).map(CommandOutput::success),
+        "report-check" => report_check(&parsed).map(CommandOutput::success),
+        "help" | "--help" | "-h" => Ok(CommandOutput::success(crate::USAGE.to_string())),
         other => Err(ArgError::new(format!(
             "unknown command {other:?}; try `diffnet help`"
         ))),
@@ -189,7 +236,7 @@ fn budget_arg(args: &ParsedArgs, algo: &str) -> Result<usize, ArgError> {
         .map_err(|_| ArgError::new("invalid value for --edges"))
 }
 
-fn infer(args: &ParsedArgs) -> Result<String, ArgError> {
+fn infer(args: &ParsedArgs) -> Result<CommandOutput, ArgError> {
     args.expect_known(&[
         "statuses",
         "observations",
@@ -203,9 +250,24 @@ fn infer(args: &ParsedArgs) -> Result<String, ArgError> {
         "mutual-only",
         "trace",
         "run-report",
+        "checkpoint",
+        "resume",
+        "checkpoint-interval",
     ])?;
     let out = args.required("out")?;
     let algo = args.optional("algorithm").unwrap_or("tends");
+    if args.has_flag("resume") && args.optional("checkpoint").is_none() {
+        return Err(ArgError::new("--resume needs --checkpoint FILE"));
+    }
+    if algo != "tends" {
+        for opt in ["checkpoint", "checkpoint-interval"] {
+            if args.optional(opt).is_some() {
+                return Err(ArgError::new(format!(
+                    "--{opt} is only supported by --algorithm tends"
+                )));
+            }
+        }
+    }
 
     // One recorder for the whole command: enabled only when the user asked
     // for observability, so the default path keeps the free no-op collector.
@@ -220,6 +282,11 @@ fn infer(args: &ParsedArgs) -> Result<String, ArgError> {
         Recorder::disabled()
     };
     let mut report_threads = 1usize;
+    // Degradation/checkpoint state filled in by the tends arm.
+    let mut failed_nodes: Vec<u64> = Vec::new();
+    let mut failure_notes: Vec<String> = Vec::new();
+    let mut checkpoint_info: Option<CheckpointInfo> = None;
+    let mut resumed_nodes = 0usize;
 
     let (graph, detail) = match algo {
         "tends" => {
@@ -255,9 +322,32 @@ fn infer(args: &ParsedArgs) -> Result<String, ArgError> {
                 threads: args.get_or("threads", 1)?,
             };
             report_threads = cfg.threads.max(1);
-            let result = Tends::with_config(cfg)
-                .reconstruct_observed(&statuses, rec)
+            let fault = FaultPlan::from_env()
+                .map_err(|e| ArgError::new(format!("invalid DIFFNET_FAULT: {e}")))?;
+            let options = RobustOptions {
+                checkpoint: args.optional("checkpoint").map(PathBuf::from),
+                resume: args.has_flag("resume"),
+                checkpoint_interval: args.get_or("checkpoint-interval", 8)?,
+                fault: &fault,
+            };
+            let partial = Tends::with_config(cfg)
+                .reconstruct_robust(&statuses, rec, &options)
                 .map_err(|e| ArgError::new(e.to_string()))?;
+            failed_nodes = partial.failed_nodes.iter().map(|&v| u64::from(v)).collect();
+            failure_notes = partial
+                .errors
+                .iter()
+                .map(|(v, e)| format!("node {v}: {e}"))
+                .collect();
+            resumed_nodes = partial.resumed_nodes;
+            if let Some(path) = &options.checkpoint {
+                checkpoint_info = Some(CheckpointInfo {
+                    path: path.display().to_string(),
+                    resumed_nodes: partial.resumed_nodes,
+                    flushes: partial.checkpoint_flushes,
+                });
+            }
+            let result = partial.result;
             (result.graph, format!("τ = {:.4}", result.tau))
         }
         "netrate" => {
@@ -302,9 +392,25 @@ fn infer(args: &ParsedArgs) -> Result<String, ArgError> {
     if !detail.is_empty() {
         report.push_str(&format!(" ({detail})"));
     }
+    if resumed_nodes > 0 {
+        report.push_str(&format!(
+            "\nresumed {resumed_nodes} node(s) from checkpoint"
+        ));
+    }
+    if !failed_nodes.is_empty() {
+        report.push_str(&format!(
+            "\nWARNING: partial reconstruction; {} node(s) failed: {failed_nodes:?}",
+            failed_nodes.len()
+        ));
+        for note in &failure_notes {
+            report.push_str(&format!("\n  {note}"));
+        }
+    }
 
     if observing {
-        let run_report = RunReport::new(algo, rec.snapshot(), report_threads);
+        let mut run_report = RunReport::new(algo, rec.snapshot(), report_threads);
+        run_report.failed_nodes = failed_nodes.clone();
+        run_report.checkpoint = checkpoint_info;
         if run_report.snapshot.phases.is_empty() {
             eprintln!("warning: algorithm {algo:?} is not instrumented; run report is empty");
         }
@@ -317,7 +423,11 @@ fn infer(args: &ParsedArgs) -> Result<String, ArgError> {
             report.push_str(&format!("\nrun report -> {path}"));
         }
     }
-    Ok(report)
+    Ok(if failed_nodes.is_empty() {
+        CommandOutput::success(report)
+    } else {
+        CommandOutput::partial(report)
+    })
 }
 
 fn eval(args: &ParsedArgs) -> Result<String, ArgError> {
@@ -457,7 +567,7 @@ fn report_check(args: &ParsedArgs) -> Result<String, ArgError> {
 mod tests {
     use super::*;
 
-    fn run_tokens(tokens: &[&str]) -> Result<String, ArgError> {
+    fn run_tokens(tokens: &[&str]) -> Result<CommandOutput, ArgError> {
         let owned: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
         run(&owned)
     }
@@ -781,6 +891,76 @@ mod tests {
                 .expect("parsable");
             assert!((0.0..=1.0).contains(&p));
         }
+    }
+
+    #[test]
+    fn checkpoint_then_resume_is_byte_identical() {
+        let truth = tmp("ck_truth.edges");
+        let statuses = tmp("ck_statuses.txt");
+        let fresh = tmp("ck_fresh.edges");
+        let resumed = tmp("ck_resumed.edges");
+        let ck = tmp("ck.json");
+        let _ = std::fs::remove_file(&ck);
+        run_tokens(&[
+            "generate", "--model", "er", "--n", "30", "--m", "60", "--seed", "21", "--out", &truth,
+        ])
+        .expect("generate");
+        run_tokens(&[
+            "simulate", "--graph", &truth, "--beta", "100", "--seed", "22", "--out", &statuses,
+        ])
+        .expect("simulate");
+        let first = run_tokens(&[
+            "infer",
+            "--statuses",
+            &statuses,
+            "--out",
+            &fresh,
+            "--checkpoint",
+            &ck,
+            "--checkpoint-interval",
+            "4",
+        ])
+        .expect("infer with checkpoint");
+        assert_eq!(first.exit_code(), 0);
+        // The second run restores every node from the finished checkpoint
+        // and must reproduce the edge list byte for byte.
+        let second = run_tokens(&[
+            "infer",
+            "--statuses",
+            &statuses,
+            "--out",
+            &resumed,
+            "--checkpoint",
+            &ck,
+            "--resume",
+        ])
+        .expect("resumed infer");
+        assert!(second.contains("resumed 30 node(s)"), "{}", &*second);
+        assert_eq!(
+            std::fs::read(&fresh).expect("fresh"),
+            std::fs::read(&resumed).expect("resumed")
+        );
+    }
+
+    #[test]
+    fn resume_requires_checkpoint() {
+        let err = run_tokens(&["infer", "--statuses", "x", "--out", "y", "--resume"]).unwrap_err();
+        assert!(err.to_string().contains("--checkpoint"));
+    }
+
+    #[test]
+    fn checkpoint_is_tends_only() {
+        let err = run_tokens(&[
+            "infer",
+            "--algorithm",
+            "netrate",
+            "--out",
+            "y",
+            "--checkpoint",
+            "c",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("tends"));
     }
 
     #[test]

@@ -18,7 +18,7 @@ mod args;
 mod commands;
 
 pub use args::{ArgError, ParsedArgs};
-pub use commands::run;
+pub use commands::{run, CommandOutput, EXIT_PARTIAL};
 
 /// Usage text printed by `diffnet help` and on errors.
 pub const USAGE: &str = "\
@@ -40,6 +40,7 @@ COMMANDS:
              [--observations FILE] [--edges M] [--threshold-scale X] [--mi]
              [--threads T] [--symmetrize | --mutual-only]
              [--trace] [--run-report FILE]
+             [--checkpoint FILE] [--resume] [--checkpoint-interval N]
   eval       Score an inferred edge set against the ground truth
              --truth FILE --inferred FILE
   report-check  Validate a --run-report JSON file (schema + counters)
@@ -58,4 +59,11 @@ Observability: `infer --trace` prints per-phase wall times and counters to
 stderr; `infer --run-report FILE` writes the structured JSON run report
 (instrumented algorithms: tends, netrate). `report-check` validates such a
 file and exits non-zero on schema violations.
+
+Robustness (tends only): `infer --checkpoint FILE` persists per-node
+progress atomically every --checkpoint-interval nodes (default 8);
+re-running with `--resume` skips completed nodes and produces the same
+output bit for bit. Per-node failures degrade gracefully: the surviving
+edges are still written, the failed nodes are listed in the report and
+run report, and the process exits with code 3 instead of 0.
 ";

@@ -3,7 +3,12 @@
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match diffnet_cli::run(&argv) {
-        Ok(report) => println!("{report}"),
+        Ok(output) => {
+            println!("{output}");
+            if output.exit_code() != 0 {
+                std::process::exit(output.exit_code());
+            }
+        }
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!();

@@ -32,6 +32,16 @@ pub enum EdgeListError {
         /// The declared node count.
         n: usize,
     },
+    /// The file declared more edges than it contained — the tail was cut
+    /// off, e.g. by a crash during a non-atomic write.
+    Truncated {
+        /// Edge count declared in the `# edges:` header.
+        expected: usize,
+        /// Edges actually present.
+        found: usize,
+        /// Byte offset where input ended.
+        offset: usize,
+    },
 }
 
 impl fmt::Display for EdgeListError {
@@ -44,6 +54,14 @@ impl fmt::Display for EdgeListError {
             EdgeListError::OutOfRange { line, node, n } => write!(
                 f,
                 "edge list node {node} at line {line} out of range for n = {n}"
+            ),
+            EdgeListError::Truncated {
+                expected,
+                found,
+                offset,
+            } => write!(
+                f,
+                "edge list truncated at byte {offset}: header declares {expected} edges, found {found}"
             ),
         }
     }
@@ -69,14 +87,31 @@ impl From<io::Error> for EdgeListError {
 /// If `n` is `Some`, endpoints must lie in `0..n`; if `None`, the node count
 /// is `1 + max id` seen.
 pub fn read_edge_list<R: Read>(reader: R, n: Option<usize>) -> Result<DiGraph, EdgeListError> {
-    let buf = BufReader::new(reader);
+    let mut buf = BufReader::new(reader);
     let mut edges: Vec<(u64, u64)> = Vec::new();
     let mut max_id: u64 = 0;
+    let mut declared_edges: Option<usize> = None;
+    let mut offset = 0usize;
+    let mut lineno = 0usize;
+    let mut line = String::new();
 
-    for (idx, line) in buf.lines().enumerate() {
-        let line = line?;
+    loop {
+        line.clear();
+        let read = buf.read_line(&mut line)?;
+        if read == 0 {
+            break;
+        }
+        offset += read;
+        lineno += 1;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
+            if let Some(rest) = trimmed
+                .trim_start_matches('#')
+                .trim_start()
+                .strip_prefix("edges:")
+            {
+                declared_edges = rest.trim().parse().ok();
+            }
             continue;
         }
         let mut parts = trimmed
@@ -90,10 +125,20 @@ pub fn read_edge_list<R: Read>(reader: R, n: Option<usize>) -> Result<DiGraph, E
             }
             _ => {
                 return Err(EdgeListError::Parse {
-                    line: idx + 1,
+                    line: lineno,
                     content: trimmed.to_owned(),
                 })
             }
+        }
+    }
+
+    if let Some(expected) = declared_edges {
+        if edges.len() < expected {
+            return Err(EdgeListError::Truncated {
+                expected,
+                found: edges.len(),
+                offset,
+            });
         }
     }
 
@@ -134,16 +179,44 @@ pub fn load_edge_list<P: AsRef<Path>>(path: P, n: Option<usize>) -> Result<DiGra
 /// comment.
 pub fn write_edge_list<W: Write>(g: &DiGraph, mut writer: W) -> io::Result<()> {
     writeln!(writer, "# nodes: {}", g.node_count())?;
+    writeln!(writer, "# edges: {}", g.edge_count())?;
     for (u, v) in g.edges() {
         writeln!(writer, "{u} {v}")?;
     }
     Ok(())
 }
 
-/// Writes `g` to a file as an edge list. See [`write_edge_list`].
+/// Writes a file atomically: content goes to a temporary sibling which is
+/// renamed over `path` only after a successful flush + sync, so a crash
+/// mid-write can never leave a truncated file at the destination.
+pub fn save_atomic<P: AsRef<Path>, F>(path: P, write: F) -> io::Result<()>
+where
+    F: FnOnce(&mut dyn Write) -> io::Result<()>,
+{
+    let path = path.as_ref();
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp_name);
+    let result = (|| {
+        let file = fs::File::create(&tmp)?;
+        let mut w = io::BufWriter::new(file);
+        write(&mut w)?;
+        w.flush()?;
+        w.into_inner()
+            .map_err(io::IntoInnerError::into_error)?
+            .sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Writes `g` to a file as an edge list via an atomic temp-then-rename
+/// save. See [`write_edge_list`] and [`save_atomic`].
 pub fn save_edge_list<P: AsRef<Path>>(g: &DiGraph, path: P) -> io::Result<()> {
-    let file = fs::File::create(path)?;
-    write_edge_list(g, io::BufWriter::new(file))
+    save_atomic(path, |w| write_edge_list(g, w))
 }
 
 /// Writes `g` in Graphviz DOT format (`digraph`), optionally highlighting
@@ -181,8 +254,7 @@ pub fn save_dot<P: AsRef<Path>>(
     highlight: Option<&DiGraph>,
     path: P,
 ) -> io::Result<()> {
-    let file = fs::File::create(path)?;
-    write_dot(g, highlight, io::BufWriter::new(file))
+    save_atomic(path, |w| write_dot(g, highlight, w))
 }
 
 #[cfg(test)]
@@ -269,6 +341,60 @@ mod tests {
         let g = read_edge_list("".as_bytes(), None).expect("parse");
         assert_eq!(g.node_count(), 0);
         assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn truncated_edge_list_reports_byte_offset() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).expect("write");
+        // Cut the file after the second edge line, as a crashed
+        // non-atomic writer would.
+        let cut = buf.len() - 4;
+        match read_edge_list(&buf[..cut], Some(4)) {
+            Err(EdgeListError::Truncated {
+                expected,
+                found,
+                offset,
+            }) => {
+                assert_eq!(expected, 3);
+                assert_eq!(found, 2);
+                assert_eq!(offset, cut);
+            }
+            other => panic!("expected truncation error, got {other:?}"),
+        }
+        let msg = read_edge_list(&buf[..cut], Some(4))
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("byte"), "offset missing from {msg:?}");
+    }
+
+    #[test]
+    fn legacy_headerless_edge_list_still_loads() {
+        let g = read_edge_list("0 1\n1 2\n".as_bytes(), None).expect("parse");
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn save_atomic_failure_leaves_no_partial_file() {
+        let dir = std::env::temp_dir().join("diffnet_graph_atomic_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("out.edges");
+        std::fs::write(&path, "original").expect("seed file");
+        let err = save_atomic(&path, |w| {
+            w.write_all(b"partial")?;
+            Err(io::Error::other("injected failure"))
+        });
+        assert!(err.is_err());
+        // The destination is untouched and no temp file remains.
+        assert_eq!(std::fs::read_to_string(&path).expect("read"), "original");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("read dir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,0 +1,290 @@
+//! Deterministic fault injection for crash-safety tests.
+//!
+//! A [`FaultPlan`] is a set of rules that fire at named *sites* — explicit
+//! `plan.hit("site")` calls placed at phase boundaries in the pipeline. A
+//! rule either kills the process (`abort`, simulating a crash with no
+//! unwinding or destructors) or returns an injected [`io::Error`] that the
+//! caller must propagate. Each rule fires on its `nth` matching hit, so a
+//! test can let a run make progress before the fault lands.
+//!
+//! Plans come from the `DIFFNET_FAULT` environment variable (so integration
+//! tests can fault a spawned binary without new CLI flags) or from the
+//! builder methods (for in-process unit tests). The grammar is a
+//! comma-separated rule list:
+//!
+//! ```text
+//! kill:SITE[:N]        abort the process on the N-th hit of SITE (default 1)
+//! io:SITE[@IDX][:N]    return an injected I/O error; with @IDX only hits
+//!                      reporting that index (e.g. a node id) match
+//! ```
+//!
+//! E.g. `DIFFNET_FAULT=kill:checkpoint_flush:2` crashes on the second
+//! checkpoint write, and `DIFFNET_FAULT=io:node_search@5` fails node 5's
+//! parent search. The plan holds only atomics, so one plan can be shared
+//! by reference across worker threads.
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What a matching rule does when it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FaultKind {
+    /// Abort the process — no unwinding, like a real crash or SIGKILL.
+    Kill,
+    /// Return an injected `io::Error` from the hit site.
+    IoError,
+}
+
+#[derive(Debug)]
+struct FaultRule {
+    site: String,
+    /// Only hits reporting this index match; `None` matches every hit.
+    index: Option<u64>,
+    /// 1-based matching-hit count at which the rule fires.
+    nth: u64,
+    kind: FaultKind,
+    hits: AtomicU64,
+}
+
+/// A set of injected faults, keyed by site name. See the module docs for
+/// the rule grammar.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// A plan with no rules: every `hit` is a no-op returning `Ok`.
+    pub const fn disabled() -> FaultPlan {
+        FaultPlan { rules: Vec::new() }
+    }
+
+    /// An empty plan to extend with the builder methods.
+    pub fn new() -> FaultPlan {
+        FaultPlan::disabled()
+    }
+
+    /// A shared reference to a permanently disabled plan, mirroring
+    /// [`Recorder::disabled`](crate::Recorder::disabled) — the default
+    /// argument for APIs that take `&FaultPlan`.
+    pub fn none() -> &'static FaultPlan {
+        static NONE: FaultPlan = FaultPlan::disabled();
+        &NONE
+    }
+
+    /// Builds the plan described by the `DIFFNET_FAULT` environment
+    /// variable; unset or empty means a disabled plan.
+    pub fn from_env() -> Result<FaultPlan, String> {
+        match std::env::var("DIFFNET_FAULT") {
+            Ok(spec) if !spec.trim().is_empty() => spec.parse(),
+            _ => Ok(FaultPlan::disabled()),
+        }
+    }
+
+    /// Adds a kill rule: abort the process on the `nth` hit of `site`.
+    pub fn kill(mut self, site: impl Into<String>, nth: u64) -> FaultPlan {
+        self.rules.push(FaultRule {
+            site: site.into(),
+            index: None,
+            nth: nth.max(1),
+            kind: FaultKind::Kill,
+            hits: AtomicU64::new(0),
+        });
+        self
+    }
+
+    /// Adds an I/O-error rule: fail the `nth` hit of `site`.
+    pub fn io_error(mut self, site: impl Into<String>, nth: u64) -> FaultPlan {
+        self.rules.push(FaultRule {
+            site: site.into(),
+            index: None,
+            nth: nth.max(1),
+            kind: FaultKind::IoError,
+            hits: AtomicU64::new(0),
+        });
+        self
+    }
+
+    /// Adds an I/O-error rule that only matches hits reporting `index`
+    /// (e.g. a specific node id).
+    pub fn io_error_at(mut self, site: impl Into<String>, index: u64, nth: u64) -> FaultPlan {
+        self.rules.push(FaultRule {
+            site: site.into(),
+            index: Some(index),
+            nth: nth.max(1),
+            kind: FaultKind::IoError,
+            hits: AtomicU64::new(0),
+        });
+        self
+    }
+
+    /// True if the plan has no rules (the common production case); lets
+    /// hot paths skip even the site-name comparison.
+    pub fn is_disabled(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Reports reaching `site`. Fires every matching armed rule: kill
+    /// rules abort the process, I/O rules return the injected error.
+    pub fn hit(&self, site: &str) -> io::Result<()> {
+        self.hit_inner(site, None)
+    }
+
+    /// Reports reaching `site` for a specific item (e.g. a node id).
+    /// Indexless rules match too; indexed rules require an equal index.
+    pub fn hit_indexed(&self, site: &str, index: u64) -> io::Result<()> {
+        self.hit_inner(site, Some(index))
+    }
+
+    fn hit_inner(&self, site: &str, index: Option<u64>) -> io::Result<()> {
+        for rule in &self.rules {
+            if rule.site != site {
+                continue;
+            }
+            if let Some(want) = rule.index {
+                if index != Some(want) {
+                    continue;
+                }
+            }
+            let count = rule.hits.fetch_add(1, Ordering::Relaxed) + 1;
+            if count != rule.nth {
+                continue;
+            }
+            match rule.kind {
+                FaultKind::Kill => {
+                    eprintln!("fault injection: aborting at site {site:?} (hit {count})");
+                    std::process::abort();
+                }
+                FaultKind::IoError => {
+                    return Err(io::Error::other(format!(
+                        "injected fault at site {site:?} (hit {count})"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for FaultPlan {
+    type Err = String;
+
+    fn from_str(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new();
+        for rule in spec.split(',').map(str::trim).filter(|r| !r.is_empty()) {
+            let mut parts = rule.split(':');
+            let kind = match parts.next() {
+                Some("kill") => FaultKind::Kill,
+                Some("io") => FaultKind::IoError,
+                other => {
+                    return Err(format!(
+                        "fault rule {rule:?}: expected kill: or io:, got {other:?}"
+                    ))
+                }
+            };
+            let target = parts
+                .next()
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| format!("fault rule {rule:?}: missing site name"))?;
+            let (site, index) = match target.split_once('@') {
+                Some((site, idx)) => {
+                    let idx: u64 = idx
+                        .parse()
+                        .map_err(|_| format!("fault rule {rule:?}: bad index {idx:?}"))?;
+                    (site, Some(idx))
+                }
+                None => (target, None),
+            };
+            let nth = match parts.next() {
+                Some(n) => n
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("fault rule {rule:?}: bad hit count {n:?}"))?,
+                None => 1,
+            };
+            if parts.next().is_some() {
+                return Err(format!("fault rule {rule:?}: trailing fields"));
+            }
+            plan.rules.push(FaultRule {
+                site: site.to_string(),
+                index,
+                nth,
+                kind,
+                hits: AtomicU64::new(0),
+            });
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_never_fires() {
+        let plan = FaultPlan::disabled();
+        assert!(plan.is_disabled());
+        for _ in 0..100 {
+            plan.hit("anything").expect("no fault");
+        }
+    }
+
+    #[test]
+    fn io_rule_fires_on_nth_hit_only() {
+        let plan = FaultPlan::new().io_error("flush", 3);
+        assert!(plan.hit("flush").is_ok());
+        assert!(plan.hit("flush").is_ok());
+        let err = plan.hit("flush").expect_err("third hit fails");
+        assert!(err.to_string().contains("injected fault"));
+        assert!(plan.hit("flush").is_ok(), "fires exactly once");
+        assert!(plan.hit("other_site").is_ok());
+    }
+
+    #[test]
+    fn indexed_rule_matches_only_its_index() {
+        let plan = FaultPlan::new().io_error_at("node_search", 5, 1);
+        assert!(plan.hit_indexed("node_search", 4).is_ok());
+        assert!(plan.hit_indexed("node_search", 5).is_err());
+        // Indexless hits never match an indexed rule.
+        assert!(plan.hit("node_search").is_ok());
+    }
+
+    #[test]
+    fn indexless_rule_matches_indexed_hits() {
+        let plan = FaultPlan::new().io_error("node_search", 2);
+        assert!(plan.hit_indexed("node_search", 0).is_ok());
+        assert!(plan.hit_indexed("node_search", 1).is_err());
+    }
+
+    #[test]
+    fn spec_parsing_round_trips() {
+        let plan: FaultPlan = "io:flush:2, io:node_search@7".parse().expect("parse");
+        assert!(plan.hit("flush").is_ok());
+        assert!(plan.hit("flush").is_err());
+        assert!(plan.hit_indexed("node_search", 7).is_err());
+
+        let kill: FaultPlan = "kill:checkpoint_flush:3".parse().expect("parse");
+        assert!(!kill.is_disabled());
+        // Hits 1 and 2 are safe; we cannot exercise hit 3 in-process.
+        assert!(kill.hit("checkpoint_flush").is_ok());
+        assert!(kill.hit("checkpoint_flush").is_ok());
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!("explode:flush".parse::<FaultPlan>().is_err());
+        assert!("io:".parse::<FaultPlan>().is_err());
+        assert!("io:flush:0".parse::<FaultPlan>().is_err());
+        assert!("io:flush:two".parse::<FaultPlan>().is_err());
+        assert!("io:flush@x".parse::<FaultPlan>().is_err());
+        assert!("io:flush:1:1".parse::<FaultPlan>().is_err());
+    }
+
+    #[test]
+    fn empty_spec_is_disabled() {
+        let plan: FaultPlan = "".parse().expect("parse");
+        assert!(plan.is_disabled());
+    }
+}

@@ -18,10 +18,12 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod json;
 pub mod recorder;
 pub mod report;
 
+pub use fault::FaultPlan;
 pub use json::{parse as parse_json, Json, ParseError};
 pub use recorder::{PhaseGuard, Recorder, Snapshot};
-pub use report::{strip_runtime, validate_report_json, PhaseTiming, RunReport};
+pub use report::{strip_runtime, validate_report_json, CheckpointInfo, PhaseTiming, RunReport};

@@ -26,6 +26,19 @@ pub struct PhaseTiming {
     pub seconds: f64,
 }
 
+/// Checkpoint activity of one run; lives in the `runtime` section because
+/// where a run was interrupted is scheduler-dependent, not part of the
+/// deterministic result.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CheckpointInfo {
+    /// Checkpoint file path.
+    pub path: String,
+    /// Nodes restored from the checkpoint instead of searched.
+    pub resumed_nodes: usize,
+    /// Checkpoint writes performed during the run.
+    pub flushes: u64,
+}
+
 /// Everything one observed run produced, ready to serialize.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunReport {
@@ -35,6 +48,12 @@ pub struct RunReport {
     pub snapshot: Snapshot,
     /// Thread count the run was configured with.
     pub threads: usize,
+    /// Nodes whose parent search failed (empty on a full reconstruction).
+    /// Part of the deterministic section: which nodes fail is a function
+    /// of input + config, not of scheduling.
+    pub failed_nodes: Vec<u64>,
+    /// Checkpoint activity, if the run used a checkpoint file.
+    pub checkpoint: Option<CheckpointInfo>,
 }
 
 impl RunReport {
@@ -44,6 +63,8 @@ impl RunReport {
             algorithm: algorithm.into(),
             snapshot,
             threads,
+            failed_nodes: Vec::new(),
+            checkpoint: None,
         }
     }
 
@@ -88,9 +109,17 @@ impl RunReport {
             histograms.push(name, buckets.as_slice());
         }
         root.push("histograms", histograms);
+        root.push("failed_nodes", self.failed_nodes.as_slice());
 
         let mut runtime = Json::object();
         runtime.push("threads", self.threads);
+        if let Some(ck) = &self.checkpoint {
+            let mut info = Json::object();
+            info.push("path", ck.path.as_str());
+            info.push("resumed_nodes", ck.resumed_nodes);
+            info.push("flushes", ck.flushes);
+            runtime.push("checkpoint", info);
+        }
         let mut wall = Json::object();
         for &(name, seconds) in &self.snapshot.phases {
             wall.push(name, seconds);
@@ -150,6 +179,16 @@ impl RunReport {
         }
         for (region, chunks) in &self.snapshot.worker_chunks {
             let _ = writeln!(out, "[trace]   chunks  {region} = {chunks:?}");
+        }
+        if !self.failed_nodes.is_empty() {
+            let _ = writeln!(out, "[trace]   failed nodes {:?}", self.failed_nodes);
+        }
+        if let Some(ck) = &self.checkpoint {
+            let _ = writeln!(
+                out,
+                "[trace]   checkpoint {} ({} resumed, {} flushes)",
+                ck.path, ck.resumed_nodes, ck.flushes
+            );
         }
         out
     }
@@ -308,6 +347,36 @@ mod tests {
         b.snapshot.worker_chunks.insert("search", vec![7]);
         assert_eq!(a.deterministic_json(), b.deterministic_json());
         assert_ne!(a.to_pretty_json(), b.to_pretty_json());
+    }
+
+    #[test]
+    fn failed_nodes_are_deterministic_and_checkpoint_is_runtime() {
+        let mut report = sample_report();
+        report.failed_nodes = vec![3, 9];
+        report.checkpoint = Some(CheckpointInfo {
+            path: "ck.json".to_string(),
+            resumed_nodes: 4,
+            flushes: 2,
+        });
+        let det = report.deterministic_json();
+        assert!(det.contains("failed_nodes"));
+        assert!(!det.contains("checkpoint"), "checkpoint is runtime-only");
+        let full = report.to_json();
+        let ck = full
+            .get("runtime")
+            .and_then(|r| r.get("checkpoint"))
+            .expect("runtime.checkpoint");
+        assert_eq!(ck.get("resumed_nodes").and_then(Json::as_f64), Some(4.0));
+
+        // A run that merely stopped/resumed in a different place must not
+        // perturb the deterministic section.
+        let mut resumed = report.clone();
+        resumed.checkpoint = Some(CheckpointInfo {
+            path: "ck.json".to_string(),
+            resumed_nodes: 7,
+            flushes: 1,
+        });
+        assert_eq!(det, resumed.deterministic_json());
     }
 
     #[test]

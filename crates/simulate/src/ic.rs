@@ -41,14 +41,21 @@ impl<'a> IndependentCascade<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if `probs` does not cover exactly the graph's edges.
+    /// Panics if `probs` does not cover exactly the graph's edges. Use
+    /// [`IndependentCascade::try_new`] when the pairing is caller input.
     pub fn new(graph: &'a DiGraph, probs: &'a EdgeProbs) -> Self {
-        assert_eq!(
-            probs.len(),
-            graph.edge_count(),
-            "edge probabilities must cover every edge"
-        );
-        IndependentCascade { graph, probs }
+        Self::try_new(graph, probs).expect("edge probabilities must cover every edge")
+    }
+
+    /// [`new`](Self::new) with the shape mismatch as a typed error: the
+    /// simulator indexes `probs` by [`DiGraph::edge_index`], so a vector
+    /// built for a different graph would read the wrong edge's weight.
+    pub fn try_new(
+        graph: &'a DiGraph,
+        probs: &'a EdgeProbs,
+    ) -> Result<Self, crate::ProbShapeError> {
+        probs.validate_for(graph)?;
+        Ok(IndependentCascade { graph, probs })
     }
 
     /// Runs one process from the given seed set and returns its record.

@@ -26,6 +26,16 @@ pub enum ObservationIoError {
         /// What was wrong.
         message: String,
     },
+    /// The file declared more records than it contained — the tail was
+    /// cut off, e.g. by a crash during a non-atomic write.
+    Truncated {
+        /// Record count declared in the header comment.
+        expected: usize,
+        /// Records actually present.
+        found: usize,
+        /// Byte offset where input ended.
+        offset: usize,
+    },
 }
 
 impl fmt::Display for ObservationIoError {
@@ -35,6 +45,14 @@ impl fmt::Display for ObservationIoError {
             ObservationIoError::Parse { line, message } => {
                 write!(f, "observation parse error at line {line}: {message}")
             }
+            ObservationIoError::Truncated {
+                expected,
+                found,
+                offset,
+            } => write!(
+                f,
+                "observation file truncated at byte {offset}: header declares {expected} records, found {found}"
+            ),
         }
     }
 }
@@ -59,6 +77,28 @@ fn parse_err(line: usize, message: impl Into<String>) -> ObservationIoError {
         line,
         message: message.into(),
     }
+}
+
+/// Extracts `(processes, nodes)` from a header comment of the form
+/// `# diffnet <kind>: {β} processes x {n} nodes`. Returns `None` for
+/// ordinary comments so headerless legacy files keep loading.
+fn parse_header_counts(comment: &str, kind: &str) -> Option<(usize, usize)> {
+    let rest = comment
+        .trim_start_matches('#')
+        .trim_start()
+        .strip_prefix(kind)?
+        .trim_start()
+        .strip_prefix(':')?;
+    let mut words = rest.split_whitespace();
+    let beta: usize = words.next()?.parse().ok()?;
+    if words.next()? != "processes" || words.next()? != "x" {
+        return None;
+    }
+    let n: usize = words.next()?.parse().ok()?;
+    if words.next()? != "nodes" {
+        return None;
+    }
+    Some((beta, n))
 }
 
 /// Writes a status matrix: one `0`/`1` row per process.
@@ -86,10 +126,24 @@ pub fn write_status_matrix<W: Write>(m: &StatusMatrix, mut w: W) -> io::Result<(
 /// Reads a status matrix written by [`write_status_matrix`].
 pub fn read_status_matrix<R: Read>(r: R) -> Result<StatusMatrix, ObservationIoError> {
     let mut rows: Vec<Vec<bool>> = Vec::new();
-    for (idx, line) in BufReader::new(r).lines().enumerate() {
-        let line = line?;
+    let mut declared: Option<(usize, usize)> = None;
+    let mut buf = BufReader::new(r);
+    let mut line = String::new();
+    let mut offset = 0usize;
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        let read = buf.read_line(&mut line)?;
+        if read == 0 {
+            break;
+        }
+        offset += read;
+        lineno += 1;
         let t = line.trim();
         if t.is_empty() || t.starts_with('#') {
+            if declared.is_none() {
+                declared = parse_header_counts(t, "diffnet status matrix");
+            }
             continue;
         }
         let row: Result<Vec<bool>, _> = t
@@ -97,26 +151,36 @@ pub fn read_status_matrix<R: Read>(r: R) -> Result<StatusMatrix, ObservationIoEr
             .map(|tok| match tok {
                 "0" => Ok(false),
                 "1" => Ok(true),
-                other => Err(parse_err(idx + 1, format!("expected 0/1, got {other:?}"))),
+                other => Err(parse_err(lineno, format!("expected 0/1, got {other:?}"))),
             })
             .collect();
         let row = row?;
-        if let Some(first) = rows.first() {
-            if first.len() != row.len() {
+        let expected_width = declared.map(|(_, n)| n).or(rows.first().map(Vec::len));
+        if let Some(width) = expected_width {
+            if width != row.len() {
                 return Err(parse_err(
-                    idx + 1,
-                    format!("row has {} entries, expected {}", row.len(), first.len()),
+                    lineno,
+                    format!("row has {} entries, expected {}", row.len(), width),
                 ));
             }
         }
         rows.push(row);
     }
+    if let Some((beta, _)) = declared {
+        if rows.len() < beta {
+            return Err(ObservationIoError::Truncated {
+                expected: beta,
+                found: rows.len(),
+                offset,
+            });
+        }
+    }
     Ok(StatusMatrix::from_rows(&rows))
 }
 
-/// Saves a status matrix to a file.
+/// Saves a status matrix to a file via an atomic temp-then-rename write.
 pub fn save_status_matrix<P: AsRef<Path>>(m: &StatusMatrix, path: P) -> io::Result<()> {
-    write_status_matrix(m, io::BufWriter::new(fs::File::create(path)?))
+    diffnet_graph::io::save_atomic(path, |w| write_status_matrix(m, w))
 }
 
 /// Loads a status matrix from a file.
@@ -158,35 +222,49 @@ pub fn read_observations<R: Read>(r: R) -> Result<ObservationSet, ObservationIoE
     let mut n: Option<usize> = None;
     let mut records: Vec<DiffusionRecord> = Vec::new();
     let mut pending_sources: Option<Vec<NodeId>> = None;
+    let mut declared: Option<(usize, usize)> = None;
+    let mut buf = BufReader::new(r);
+    let mut line = String::new();
+    let mut offset = 0usize;
+    let mut lineno = 0usize;
 
-    for (idx, line) in BufReader::new(r).lines().enumerate() {
-        let line = line?;
+    loop {
+        line.clear();
+        let read = buf.read_line(&mut line)?;
+        if read == 0 {
+            break;
+        }
+        offset += read;
+        lineno += 1;
         let t = line.trim();
         if t.is_empty() || t.starts_with('#') {
+            if declared.is_none() {
+                declared = parse_header_counts(t, "diffnet observations");
+            }
             continue;
         }
         if let Some(rest) = t.strip_prefix("nodes:") {
             n = Some(
                 rest.trim()
                     .parse()
-                    .map_err(|_| parse_err(idx + 1, "invalid node count"))?,
+                    .map_err(|_| parse_err(lineno, "invalid node count"))?,
             );
         } else if let Some(rest) = t.strip_prefix("sources:") {
             if pending_sources.is_some() {
-                return Err(parse_err(idx + 1, "sources line without matching times"));
+                return Err(parse_err(lineno, "sources line without matching times"));
             }
             let sources: Result<Vec<NodeId>, _> = rest
                 .split_whitespace()
                 .map(|tok| {
                     tok.parse::<NodeId>()
-                        .map_err(|_| parse_err(idx + 1, format!("invalid source {tok:?}")))
+                        .map_err(|_| parse_err(lineno, format!("invalid source {tok:?}")))
                 })
                 .collect();
             pending_sources = Some(sources?);
         } else if let Some(rest) = t.strip_prefix("times:") {
             let sources = pending_sources
                 .take()
-                .ok_or_else(|| parse_err(idx + 1, "times line without sources"))?;
+                .ok_or_else(|| parse_err(lineno, "times line without sources"))?;
             let times: Result<Vec<u32>, _> = rest
                 .split_whitespace()
                 .map(|tok| {
@@ -194,25 +272,38 @@ pub fn read_observations<R: Read>(r: R) -> Result<ObservationSet, ObservationIoE
                         Ok(UNINFECTED)
                     } else {
                         tok.parse::<u32>()
-                            .map_err(|_| parse_err(idx + 1, format!("invalid time {tok:?}")))
+                            .map_err(|_| parse_err(lineno, format!("invalid time {tok:?}")))
                     }
                 })
                 .collect();
             let times = times?;
-            let expected = n.ok_or_else(|| parse_err(idx + 1, "missing nodes: header"))?;
+            let expected = n.ok_or_else(|| parse_err(lineno, "missing nodes: header"))?;
             if times.len() != expected {
                 return Err(parse_err(
-                    idx + 1,
+                    lineno,
                     format!("expected {expected} times, got {}", times.len()),
                 ));
             }
             records.push(DiffusionRecord { sources, times });
         } else {
-            return Err(parse_err(idx + 1, format!("unrecognized line {t:?}")));
+            return Err(parse_err(lineno, format!("unrecognized line {t:?}")));
         }
     }
     if pending_sources.is_some() {
-        return Err(parse_err(0, "trailing sources line without times"));
+        return Err(ObservationIoError::Truncated {
+            expected: declared.map_or(records.len() + 1, |(beta, _)| beta),
+            found: records.len(),
+            offset,
+        });
+    }
+    if let Some((beta, _)) = declared {
+        if records.len() < beta {
+            return Err(ObservationIoError::Truncated {
+                expected: beta,
+                found: records.len(),
+                offset,
+            });
+        }
     }
 
     let n = n.unwrap_or(0);
@@ -227,9 +318,10 @@ pub fn read_observations<R: Read>(r: R) -> Result<ObservationSet, ObservationIoE
     Ok(ObservationSet::new(statuses, records))
 }
 
-/// Saves a full observation set to a file.
+/// Saves a full observation set to a file via an atomic temp-then-rename
+/// write.
 pub fn save_observations<P: AsRef<Path>>(obs: &ObservationSet, path: P) -> io::Result<()> {
-    write_observations(obs, io::BufWriter::new(fs::File::create(path)?))
+    diffnet_graph::io::save_atomic(path, |w| write_observations(obs, w))
 }
 
 /// Loads a full observation set from a file.
@@ -300,6 +392,62 @@ mod tests {
         let text = "nodes: 3\nsources: 0\ntimes: 0 -\n";
         let err = read_observations(text.as_bytes()).unwrap_err();
         assert!(err.to_string().contains("expected 3 times"));
+    }
+
+    #[test]
+    fn truncated_status_matrix_reports_byte_offset() {
+        let obs = sample_obs();
+        let mut buf = Vec::new();
+        write_status_matrix(&obs.statuses, &mut buf).expect("write");
+        // Drop the last row entirely, as a crash at a line boundary would.
+        let text = String::from_utf8(buf).expect("utf8");
+        let cut = text.trim_end().rfind('\n').expect("multiple lines") + 1;
+        match read_status_matrix(&text.as_bytes()[..cut]) {
+            Err(ObservationIoError::Truncated {
+                expected,
+                found,
+                offset,
+            }) => {
+                assert_eq!(expected, obs.num_processes());
+                assert_eq!(found, obs.num_processes() - 1);
+                assert_eq!(offset, cut);
+            }
+            other => panic!("expected truncation error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mid_row_truncation_detected_via_declared_width() {
+        // Cut inside the final row: the partial row is narrower than the
+        // width declared in the header, so the reader refuses it instead
+        // of parsing a smaller matrix.
+        let text = "# diffnet status matrix: 2 processes x 4 nodes\n0 1 0 1\n1 0\n";
+        let err = read_status_matrix(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("expected 4"), "got {err}");
+    }
+
+    #[test]
+    fn truncated_observations_report_byte_offset() {
+        let obs = sample_obs();
+        let mut buf = Vec::new();
+        write_observations(&obs, &mut buf).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        // Cut after the last sources: line — a dangling record.
+        let cut = text.trim_end().rfind('\n').expect("multiple lines") + 1;
+        match read_observations(&text.as_bytes()[..cut]) {
+            Err(ObservationIoError::Truncated { found, offset, .. }) => {
+                assert_eq!(found, obs.num_processes() - 1);
+                assert_eq!(offset, cut);
+            }
+            other => panic!("expected truncation error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_headerless_status_matrix_still_loads() {
+        let m = read_status_matrix("0 1\n1 0\n".as_bytes()).expect("parse");
+        assert_eq!(m.num_processes(), 2);
+        assert_eq!(m.num_nodes(), 2);
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub use cascade::{DiffusionRecord, ObservationSet, UNINFECTED};
 pub use ic::{IcConfig, IndependentCascade};
 pub use lt::LinearThreshold;
 pub use noise::{delay_timestamps, flip_statuses};
-pub use probs::{sample_normal, EdgeProbs};
+pub use probs::{sample_normal, EdgeProbs, ProbShapeError};
 pub use status::{
     ComboSizeError, CountsWorkspace, NodeColumns, PairCounts, StatusMatrix, WorkspaceStats,
     MAX_TABULATED_PARENTS,

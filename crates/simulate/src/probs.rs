@@ -1,5 +1,7 @@
 //! Per-edge propagation probabilities.
 
+use std::fmt;
+
 use diffnet_graph::{DiGraph, NodeId};
 use rand::Rng;
 
@@ -12,6 +14,30 @@ pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
     let u2: f64 = rng.gen();
     mu + sigma * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
+
+/// A per-edge weight vector whose length does not match the graph it is
+/// used with. Conflating this with "edge absent" silently skips or
+/// mis-indexes weights, so shape mismatches are surfaced as this typed
+/// error by every `try_*` entry point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProbShapeError {
+    /// Edge count of the graph.
+    pub expected: usize,
+    /// Length of the weight vector.
+    pub found: usize,
+}
+
+impl fmt::Display for ProbShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "edge weight vector has {} entries but the graph has {} edges",
+            self.found, self.expected
+        )
+    }
+}
+
+impl std::error::Error for ProbShapeError {}
 
 /// Propagation probabilities attached to the edges of a [`DiGraph`],
 /// indexed by [`DiGraph::edge_index`].
@@ -55,17 +81,39 @@ impl EdgeProbs {
     /// # Panics
     ///
     /// Panics if the length mismatches or any value is outside `[0, 1]`.
+    /// Use [`EdgeProbs::try_from_vec`] when the vector is caller input.
     pub fn from_vec(g: &DiGraph, probs: Vec<f64>) -> Self {
-        assert_eq!(
-            probs.len(),
-            g.edge_count(),
-            "probability vector length must equal edge count"
-        );
         assert!(
             probs.iter().all(|p| (0.0..=1.0).contains(p)),
             "all probabilities must be in [0, 1]"
         );
-        EdgeProbs { probs }
+        Self::try_from_vec(g, probs).expect("probability vector length must equal edge count")
+    }
+
+    /// [`from_vec`](Self::from_vec) with the shape mismatch as a typed
+    /// error instead of a panic. Values are still asserted into `[0, 1]`
+    /// by [`from_vec`]; this method only validates the shape, for callers
+    /// whose values are already probabilities.
+    pub fn try_from_vec(g: &DiGraph, probs: Vec<f64>) -> Result<Self, ProbShapeError> {
+        if probs.len() != g.edge_count() {
+            return Err(ProbShapeError {
+                expected: g.edge_count(),
+                found: probs.len(),
+            });
+        }
+        Ok(EdgeProbs { probs })
+    }
+
+    /// Checks that this vector covers exactly the edges of `g`; the typed
+    /// entry points call this before any per-edge indexing can go wrong.
+    pub fn validate_for(&self, g: &DiGraph) -> Result<(), ProbShapeError> {
+        if self.probs.len() != g.edge_count() {
+            return Err(ProbShapeError {
+                expected: g.edge_count(),
+                found: self.probs.len(),
+            });
+        }
+        Ok(())
     }
 
     /// Probability of edge `u -> v` in `g`, or `None` if the edge does not
@@ -163,6 +211,36 @@ mod tests {
     fn from_vec_rejects_wrong_length() {
         let g = diffnet_graph::DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
         EdgeProbs::from_vec(&g, vec![0.5]);
+    }
+
+    #[test]
+    fn try_from_vec_reports_shape_mismatch() {
+        let g = diffnet_graph::DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let err = EdgeProbs::try_from_vec(&g, vec![0.5]).expect_err("wrong length");
+        assert_eq!(
+            err,
+            ProbShapeError {
+                expected: 2,
+                found: 1
+            }
+        );
+        assert!(err.to_string().contains("1 entries"));
+        assert!(err.to_string().contains("2 edges"));
+    }
+
+    #[test]
+    fn validate_for_catches_cross_graph_reuse() {
+        let small = diffnet_graph::DiGraph::from_edges(3, &[(0, 1)]);
+        let big = diffnet_graph::DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let probs = EdgeProbs::constant(&small, 0.3);
+        assert_eq!(probs.validate_for(&small), Ok(()));
+        assert_eq!(
+            probs.validate_for(&big),
+            Err(ProbShapeError {
+                expected: 3,
+                found: 1
+            })
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The TENDS algorithm (paper Algorithm 1): end-to-end reconstruction of a
 //! diffusion network topology from a status matrix.
 
+use crate::checkpoint::{self, Checkpoint, CheckpointEntry, CheckpointError};
 use crate::imi::{CorrelationMatrix, CorrelationMeasure};
 use crate::kmeans::{pinned_two_means, PinnedKmeans};
 use crate::parallel;
@@ -10,8 +11,12 @@ use crate::search::{
     SearchScratch, SearchStats,
 };
 use diffnet_graph::{DiGraph, GraphBuilder, NodeId};
-use diffnet_observe::Recorder;
-use diffnet_simulate::StatusMatrix;
+use diffnet_observe::{FaultPlan, Recorder};
+use diffnet_simulate::{StatusMatrix, WorkspaceStats};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 /// How the pruning threshold `τ` is chosen.
 #[derive(Clone, Copy, Debug, PartialEq, Default)]
@@ -82,6 +87,95 @@ pub struct TendsResult {
     /// The global score `g(T)` of the inferred topology (Eq. 12): the sum
     /// of the per-node local scores.
     pub global_score: f64,
+}
+
+/// Why one node's parent search failed.
+#[derive(Debug)]
+pub enum NodeError {
+    /// The search configuration exceeded the counting kernels' limits.
+    Search(SearchError),
+    /// An I/O failure reached the search (in practice: injected by a
+    /// [`FaultPlan`] to exercise degradation paths).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for NodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeError::Search(e) => e.fmt(f),
+            NodeError::Io(e) => write!(f, "I/O error during node search: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NodeError::Search(e) => Some(e),
+            NodeError::Io(e) => Some(e),
+        }
+    }
+}
+
+/// A reconstruction that survived per-node failures instead of aborting:
+/// failed nodes simply contribute no parent edges, and the caller decides
+/// whether a partial topology is acceptable (the CLI signals it with a
+/// dedicated exit code).
+#[derive(Debug)]
+pub struct PartialReconstruction {
+    /// The reconstruction over the nodes that succeeded; failed nodes
+    /// have an empty parent set and a zero local score.
+    pub result: TendsResult,
+    /// Nodes whose parent search failed, in ascending id order.
+    pub failed_nodes: Vec<NodeId>,
+    /// The failures, parallel to `failed_nodes`.
+    pub errors: Vec<(NodeId, NodeError)>,
+    /// Nodes restored from a checkpoint instead of searched.
+    pub resumed_nodes: usize,
+    /// Checkpoint writes performed during the run.
+    pub checkpoint_flushes: u64,
+}
+
+impl PartialReconstruction {
+    /// True when every node's search succeeded.
+    pub fn is_complete(&self) -> bool {
+        self.failed_nodes.is_empty()
+    }
+
+    /// The inferred (possibly partial) topology.
+    pub fn graph(&self) -> &DiGraph {
+        &self.result.graph
+    }
+}
+
+/// Robustness options for [`Tends::reconstruct_robust`]: checkpointing,
+/// resume, and fault injection. [`Default`] disables all three.
+#[derive(Debug)]
+pub struct RobustOptions<'a> {
+    /// Checkpoint file to write progress to; `None` disables
+    /// checkpointing.
+    pub checkpoint: Option<PathBuf>,
+    /// Load `checkpoint` first and skip the nodes it already contains. A
+    /// missing file is treated as an empty checkpoint so restart loops
+    /// can pass `resume` unconditionally.
+    pub resume: bool,
+    /// Flush the checkpoint after this many newly completed nodes
+    /// (clamped to ≥ 1).
+    pub checkpoint_interval: usize,
+    /// Fault-injection plan consulted at the `node_search` and
+    /// `checkpoint_flush` sites.
+    pub fault: &'a FaultPlan,
+}
+
+impl Default for RobustOptions<'_> {
+    fn default() -> Self {
+        RobustOptions {
+            checkpoint: None,
+            resume: false,
+            checkpoint_interval: 8,
+            fault: FaultPlan::none(),
+        }
+    }
 }
 
 impl TendsResult {
@@ -172,6 +266,42 @@ impl Tends {
         statuses: &StatusMatrix,
         rec: &Recorder,
     ) -> Result<TendsResult, SearchError> {
+        let partial = self
+            .reconstruct_robust(statuses, rec, &RobustOptions::default())
+            .expect("checkpointing disabled: checkpoint errors are impossible");
+        match partial.errors.into_iter().next() {
+            None => Ok(partial.result),
+            Some((_, NodeError::Search(e))) => Err(e),
+            Some((_, NodeError::Io(e))) => {
+                unreachable!("no fault plan installed, got injected I/O error: {e}")
+            }
+        }
+    }
+
+    /// [`reconstruct_observed`](Self::reconstruct_observed) with the full
+    /// robustness layer: optional periodic checkpointing of completed
+    /// per-node searches, resume from a prior checkpoint, fault
+    /// injection, and graceful degradation — per-node failures are
+    /// collected into the returned [`PartialReconstruction`] instead of
+    /// aborting the run.
+    ///
+    /// Resume is *bit-identical*: because each node's result is a pure
+    /// function of its id (and scores/counters are checkpointed
+    /// bit-exactly), a run interrupted at any point and resumed at any
+    /// thread count produces the same graph and the same deterministic
+    /// report sections as an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Only checkpoint problems are fatal: an unreadable, corrupt, or
+    /// mismatched (different inputs/config) checkpoint file, or a failed
+    /// checkpoint write.
+    pub fn reconstruct_robust(
+        &self,
+        statuses: &StatusMatrix,
+        rec: &Recorder,
+        options: &RobustOptions<'_>,
+    ) -> Result<PartialReconstruction, CheckpointError> {
         let n = statuses.num_nodes();
         let cols = {
             let _p = rec.phase("status_columns");
@@ -224,10 +354,11 @@ impl Tends {
 
         // Lines 6–20: per-node parent search (nodes are independent, so
         // this parallelizes embarrassingly).
-        let node_results = {
+        let outcome = {
             let _p = rec.phase("parent_search");
-            self.search_all(&candidates, &cols, rec)?
+            self.search_all(&candidates, &cols, tau, rec, options)?
         };
+        let node_results = outcome.results;
 
         // Line 21: a directed edge from each inferred parent to its child,
         // then the configured direction post-processing.
@@ -258,13 +389,31 @@ impl Tends {
             rec.add("edges_emitted", graph.edge_count() as u64);
         }
 
-        Ok(TendsResult {
-            graph,
-            tau,
-            kmeans,
-            node_results,
-            global_score,
+        let failed_nodes: Vec<NodeId> = outcome.failures.iter().map(|&(i, _)| i).collect();
+        Ok(PartialReconstruction {
+            result: TendsResult {
+                graph,
+                tau,
+                kmeans,
+                node_results,
+                global_score,
+            },
+            failed_nodes,
+            errors: outcome.failures,
+            resumed_nodes: outcome.resumed_nodes,
+            checkpoint_flushes: outcome.flushes,
         })
+    }
+
+    /// Signature of the search-relevant configuration for checkpoint
+    /// fingerprints. `threads` is deliberately excluded (results are
+    /// thread-count invariant) and so is `direction` (applied after the
+    /// search, to fresh and restored results alike).
+    fn config_signature(&self) -> String {
+        format!(
+            "correlation={:?};search={:?}",
+            self.config.correlation, self.config.search
+        )
     }
 
     /// Runs the per-node searches on a cost-aware worker pool.
@@ -285,33 +434,134 @@ impl Tends {
         &self,
         candidates: &[Vec<NodeId>],
         cols: &diffnet_simulate::NodeColumns,
+        tau: f64,
         rec: &Recorder,
-    ) -> Result<Vec<NodeSearchResult>, SearchError> {
+        options: &RobustOptions<'_>,
+    ) -> Result<SearchOutcome, CheckpointError> {
+        let n = candidates.len();
+        let fp = checkpoint::fingerprint(
+            cols.num_processes(),
+            n,
+            tau,
+            &self.config_signature(),
+            candidates,
+        );
+
+        // Prior progress: a resumed node is returned from the checkpoint
+        // instead of searched. A missing file is an empty checkpoint.
+        let mut restored: BTreeMap<NodeId, CheckpointEntry> = BTreeMap::new();
+        if let (Some(path), true) = (&options.checkpoint, options.resume) {
+            if path.exists() {
+                let ck = Checkpoint::load(path)?;
+                if ck.fingerprint != fp {
+                    return Err(CheckpointError::Mismatch {
+                        expected: format!("{fp:016x}"),
+                        found: format!("{:016x}", ck.fingerprint),
+                    });
+                }
+                if let Some((&id, _)) = ck.entries.range(n as NodeId..).next() {
+                    return Err(CheckpointError::Format(format!(
+                        "node {id} out of range for n = {n}"
+                    )));
+                }
+                restored = ck.entries;
+            }
+        }
+        let resumed_nodes = restored.len();
+
+        let writer = options.checkpoint.as_deref().map(|path| CheckpointWriter {
+            path,
+            interval: options.checkpoint_interval.max(1),
+            fault: options.fault,
+            inner: Mutex::new(WriterInner {
+                checkpoint: Checkpoint {
+                    fingerprint: fp,
+                    entries: restored.clone(),
+                },
+                pending: 0,
+                flushes: 0,
+                error: None,
+            }),
+        });
+        let writer_ref = writer.as_ref();
+        let fault = options.fault;
+
         let costs: Vec<u64> = candidates
             .iter()
-            .map(|c| 1 + (c.len() * c.len()) as u64)
+            .enumerate()
+            .map(|(i, c)| {
+                if restored.contains_key(&(i as NodeId)) {
+                    1
+                } else {
+                    1 + (c.len() * c.len()) as u64
+                }
+            })
             .collect();
         let (results, pool) = parallel::run_weighted_stats(
             &costs,
             4,
             self.config.threads,
             SearchScratch::new,
-            |scratch, i| {
-                find_parents_with(
-                    scratch,
-                    cols,
-                    i as NodeId,
-                    &candidates[i],
-                    &self.config.search,
-                )
+            |scratch, i| -> Result<(NodeSearchResult, WorkspaceStats), NodeError> {
+                let id = i as NodeId;
+                if let Some(entry) = restored.get(&id) {
+                    return Ok((entry.clone().into_result(candidates[i].clone()), entry.ws));
+                }
+                fault
+                    .hit_indexed("node_search", u64::from(id))
+                    .map_err(NodeError::Io)?;
+                let before = scratch.ws.stats();
+                let res = find_parents_with(scratch, cols, id, &candidates[i], &self.config.search)
+                    .map_err(NodeError::Search)?;
+                let after = scratch.ws.stats();
+                // The per-node workspace delta, not the pool total: it is
+                // what the checkpoint stores, so a resumed run can report
+                // the same summed counters as an uninterrupted one.
+                let ws = WorkspaceStats {
+                    refinements: after.refinements - before.refinements,
+                    rebases: after.rebases - before.rebases,
+                };
+                if let Some(w) = writer_ref {
+                    w.record(id, CheckpointEntry::from_result(&res, ws));
+                }
+                Ok((res, ws))
             },
         );
-        let results: Vec<NodeSearchResult> = results.into_iter().collect::<Result<_, _>>()?;
+        let flushes = match writer {
+            Some(w) => w.finish()?,
+            None => 0,
+        };
+
+        let mut node_results = Vec::with_capacity(n);
+        let mut failures: Vec<(NodeId, NodeError)> = Vec::new();
+        let (mut refinements, mut rebases) = (0u64, 0u64);
+        for (i, r) in results.into_iter().enumerate() {
+            match r {
+                Ok((res, ws)) => {
+                    refinements += ws.refinements;
+                    rebases += ws.rebases;
+                    node_results.push(res);
+                }
+                Err(e) => {
+                    failures.push((i as NodeId, e));
+                    // A failed node degrades to "no inferred parents"; the
+                    // placeholder keeps node_results indexable by id.
+                    node_results.push(NodeSearchResult {
+                        parents: Vec::new(),
+                        score: 0.0,
+                        candidates: candidates[i].clone(),
+                        stats: SearchStats::default(),
+                        cache_stats: ScoreCacheStats::default(),
+                    });
+                }
+            }
+        }
+
         if rec.is_enabled() {
             rec.worker_chunks("parent_search", &pool.chunks_per_worker);
             let mut total = SearchStats::default();
             let mut cache = ScoreCacheStats::default();
-            for r in &results {
+            for r in &node_results {
                 total.merge(&r.stats);
                 cache.merge(&r.cache_stats);
             }
@@ -320,16 +570,88 @@ impl Tends {
             rec.add("greedy_rounds", total.greedy_rounds as u64);
             rec.add("score_cache_hits", cache.hits);
             rec.add("score_cache_misses", cache.misses);
-            let (mut refinements, mut rebases) = (0u64, 0u64);
-            for scratch in &pool.states {
-                let s = scratch.ws.stats();
-                refinements += s.refinements;
-                rebases += s.rebases;
-            }
             rec.add("workspace_refinements", refinements);
             rec.add("workspace_rebases", rebases);
         }
-        Ok(results)
+        Ok(SearchOutcome {
+            results: node_results,
+            failures,
+            resumed_nodes,
+            flushes,
+        })
+    }
+}
+
+/// Outcome of the per-node search stage.
+struct SearchOutcome {
+    /// One entry per node (placeholders for failed nodes).
+    results: Vec<NodeSearchResult>,
+    /// Per-node failures, ascending node order.
+    failures: Vec<(NodeId, NodeError)>,
+    /// Nodes restored from the checkpoint.
+    resumed_nodes: usize,
+    /// Checkpoint writes performed.
+    flushes: u64,
+}
+
+struct WriterInner {
+    checkpoint: Checkpoint,
+    /// Entries recorded since the last flush.
+    pending: usize,
+    flushes: u64,
+    /// First flush failure; once set, further flushes stop and the error
+    /// is surfaced after the pool drains.
+    error: Option<CheckpointError>,
+}
+
+/// Shared checkpoint sink for the worker pool: workers record completed
+/// nodes, and every `interval`-th new entry triggers an atomic rewrite of
+/// the checkpoint file.
+struct CheckpointWriter<'a> {
+    path: &'a Path,
+    interval: usize,
+    fault: &'a FaultPlan,
+    inner: Mutex<WriterInner>,
+}
+
+impl CheckpointWriter<'_> {
+    fn record(&self, id: NodeId, entry: CheckpointEntry) {
+        let mut inner = self.inner.lock().expect("checkpoint lock");
+        inner.checkpoint.entries.insert(id, entry);
+        inner.pending += 1;
+        if inner.pending >= self.interval {
+            Self::flush(&mut inner, self.path, self.fault);
+        }
+    }
+
+    fn flush(inner: &mut WriterInner, path: &Path, fault: &FaultPlan) {
+        if inner.error.is_some() {
+            return;
+        }
+        if let Err(e) = inner.checkpoint.save(path) {
+            inner.error = Some(e);
+            return;
+        }
+        inner.pending = 0;
+        inner.flushes += 1;
+        // The fault site sits *after* the rename has landed: a kill rule
+        // here models a crash between flushes, leaving a valid checkpoint
+        // on disk; an io rule exercises the fatal flush-failure path.
+        if let Err(e) = fault.hit("checkpoint_flush") {
+            inner.error = Some(CheckpointError::Io(e));
+        }
+    }
+
+    /// Final flush of any unflushed entries; returns the flush count.
+    fn finish(self) -> Result<u64, CheckpointError> {
+        let mut inner = self.inner.into_inner().expect("checkpoint lock");
+        if inner.pending > 0 {
+            Self::flush(&mut inner, self.path, self.fault);
+        }
+        match inner.error {
+            Some(e) => Err(e),
+            None => Ok(inner.flushes),
+        }
     }
 }
 
@@ -597,6 +919,239 @@ mod tests {
             snap.counters["workspace_refinements"],
             snap.counters["combinations_scored"]
         );
+    }
+
+    fn temp_checkpoint(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("diffnet_algo_ck_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        // β = 250 is not a multiple of 64, so partial-word column handling
+        // is in play too.
+        let truth = DiGraph::from_edges(10, &{
+            let mut e = Vec::new();
+            for i in 0..9u32 {
+                e.push((i, i + 1));
+                e.push((i + 1, i));
+            }
+            e
+        });
+        let statuses = observe(&truth, 0.5, 0.2, 250, 77);
+
+        for threads in [1usize, 4] {
+            let tends = Tends::with_config(TendsConfig {
+                threads,
+                ..Default::default()
+            });
+            let rec = Recorder::new();
+            let full = tends
+                .reconstruct_observed(&statuses, &rec)
+                .expect("search fits");
+            let full_report = diffnet_observe::RunReport::new("tends", rec.snapshot(), threads);
+
+            // Produce a complete checkpoint, then cut it down to the first
+            // k entries — exactly what a crash after k nodes leaves behind.
+            let path = temp_checkpoint(&format!("resume_{threads}.json"));
+            std::fs::remove_file(&path).ok();
+            let opts = RobustOptions {
+                checkpoint: Some(path.clone()),
+                checkpoint_interval: 3,
+                ..Default::default()
+            };
+            let rec2 = Recorder::new();
+            tends
+                .reconstruct_robust(&statuses, &rec2, &opts)
+                .expect("checkpointed run");
+            let mut ck = Checkpoint::load(&path).expect("load checkpoint");
+            assert_eq!(ck.entries.len(), 10, "final flush persists all nodes");
+            for k in [1usize, 4, 9] {
+                let mut cut = ck.clone();
+                cut.entries = ck
+                    .entries
+                    .iter()
+                    .take(k)
+                    .map(|(&i, e)| (i, e.clone()))
+                    .collect();
+                cut.save(&path).expect("save partial");
+
+                let rec3 = Recorder::new();
+                let resumed = tends
+                    .reconstruct_robust(
+                        &statuses,
+                        &rec3,
+                        &RobustOptions {
+                            checkpoint: Some(path.clone()),
+                            resume: true,
+                            checkpoint_interval: 3,
+                            ..Default::default()
+                        },
+                    )
+                    .expect("resumed run");
+                assert!(resumed.is_complete());
+                assert_eq!(resumed.resumed_nodes, k);
+                assert_eq!(
+                    resumed.result.graph, full.graph,
+                    "graph (k={k}, t={threads})"
+                );
+                assert_eq!(
+                    resumed.result.global_score.to_bits(),
+                    full.global_score.to_bits(),
+                    "score bits (k={k}, t={threads})"
+                );
+                let resumed_report =
+                    diffnet_observe::RunReport::new("tends", rec3.snapshot(), threads);
+                assert_eq!(
+                    resumed_report.deterministic_json(),
+                    full_report.deterministic_json(),
+                    "deterministic report sections (k={k}, t={threads})"
+                );
+            }
+            ck.entries.clear();
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn injected_node_failures_degrade_instead_of_aborting() {
+        let truth = DiGraph::from_edges(8, &[(0, 1), (1, 0), (2, 3), (3, 2), (5, 6), (6, 5)]);
+        let statuses = observe(&truth, 0.5, 0.2, 300, 113);
+        let clean = Tends::new().reconstruct(&statuses).expect("search fits");
+
+        let fault = FaultPlan::new()
+            .io_error_at("node_search", 2, 1)
+            .io_error_at("node_search", 5, 1);
+        let partial = Tends::new()
+            .reconstruct_robust(
+                &statuses,
+                Recorder::disabled(),
+                &RobustOptions {
+                    fault: &fault,
+                    ..Default::default()
+                },
+            )
+            .expect("degrades, does not abort");
+        assert_eq!(
+            partial.failed_nodes,
+            vec![2, 5],
+            "exactly the faulted nodes"
+        );
+        assert_eq!(partial.errors.len(), 2);
+        assert!(matches!(partial.errors[0].1, NodeError::Io(_)));
+        assert!(!partial.is_complete());
+        // Surviving nodes are untouched by their neighbours' failures.
+        for (i, res) in partial.result.node_results.iter().enumerate() {
+            if i == 2 || i == 5 {
+                assert!(res.parents.is_empty());
+                assert_eq!(res.score, 0.0);
+            } else {
+                assert_eq!(res.parents, clean.node_results[i].parents, "node {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_checkpoint_is_a_typed_error() {
+        let truth = DiGraph::from_edges(6, &[(0, 1), (1, 0), (2, 3), (3, 2)]);
+        let statuses = observe(&truth, 0.5, 0.2, 200, 114);
+        let path = temp_checkpoint("mismatch.json");
+        std::fs::remove_file(&path).ok();
+        let opts = RobustOptions {
+            checkpoint: Some(path.clone()),
+            ..Default::default()
+        };
+        Tends::new()
+            .reconstruct_robust(&statuses, Recorder::disabled(), &opts)
+            .expect("first run");
+
+        // Same file, different threshold → different τ → different searches.
+        let other = Tends::with_config(TendsConfig {
+            threshold: ThresholdMode::Fixed(0.123),
+            ..Default::default()
+        });
+        let err = other
+            .reconstruct_robust(
+                &statuses,
+                Recorder::disabled(),
+                &RobustOptions {
+                    checkpoint: Some(path.clone()),
+                    resume: true,
+                    ..Default::default()
+                },
+            )
+            .expect_err("fingerprint mismatch");
+        assert!(matches!(err, CheckpointError::Mismatch { .. }), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_a_typed_error() {
+        let truth = DiGraph::from_edges(5, &[(0, 1), (1, 0)]);
+        let statuses = observe(&truth, 0.5, 0.2, 150, 115);
+        let path = temp_checkpoint("corrupt.json");
+        std::fs::write(&path, "{\"format\": \"diffnet-checkpoint\", \"ver").expect("write");
+        let err = Tends::new()
+            .reconstruct_robust(
+                &statuses,
+                Recorder::disabled(),
+                &RobustOptions {
+                    checkpoint: Some(path.clone()),
+                    resume: true,
+                    ..Default::default()
+                },
+            )
+            .expect_err("corrupt file");
+        assert!(matches!(err, CheckpointError::Parse(_)), "{err}");
+        assert!(err.to_string().contains("byte"), "offset in {err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_checkpoint_flush_is_fatal_and_typed() {
+        let truth = DiGraph::from_edges(5, &[(0, 1), (1, 0)]);
+        let statuses = observe(&truth, 0.5, 0.2, 150, 116);
+        let path = temp_checkpoint("flushfail.json");
+        std::fs::remove_file(&path).ok();
+        let fault = FaultPlan::new().io_error("checkpoint_flush", 1);
+        let err = Tends::new()
+            .reconstruct_robust(
+                &statuses,
+                Recorder::disabled(),
+                &RobustOptions {
+                    checkpoint: Some(path.clone()),
+                    checkpoint_interval: 1,
+                    fault: &fault,
+                    ..Default::default()
+                },
+            )
+            .expect_err("flush failure surfaces");
+        assert!(matches!(err, CheckpointError::Io(_)), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_with_missing_checkpoint_starts_fresh() {
+        let truth = DiGraph::from_edges(5, &[(0, 1), (1, 0)]);
+        let statuses = observe(&truth, 0.5, 0.2, 150, 117);
+        let path = temp_checkpoint("fresh.json");
+        std::fs::remove_file(&path).ok();
+        let partial = Tends::new()
+            .reconstruct_robust(
+                &statuses,
+                Recorder::disabled(),
+                &RobustOptions {
+                    checkpoint: Some(path.clone()),
+                    resume: true,
+                    ..Default::default()
+                },
+            )
+            .expect("missing file = empty checkpoint");
+        assert_eq!(partial.resumed_nodes, 0);
+        assert!(partial.is_complete());
+        assert!(path.exists(), "final state checkpointed");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

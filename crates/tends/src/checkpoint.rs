@@ -1,0 +1,458 @@
+//! Versioned on-disk checkpoints for long reconstructions.
+//!
+//! A checkpoint persists the per-node parent-search results completed so
+//! far, so an interrupted `Tends` run can resume without redoing them. The
+//! file is the deterministic JSON dialect of `diffnet-observe`:
+//!
+//! ```json
+//! {
+//!   "format": "diffnet-checkpoint",
+//!   "version": 1,
+//!   "fingerprint": "9f86d081884c7d65",
+//!   "nodes": {
+//!     "0": {"parents": [3], "score_bits": "c01199999999999a", ...},
+//!     "2": {...}
+//!   }
+//! }
+//! ```
+//!
+//! Three properties make resume *bit-identical* to an uninterrupted run:
+//!
+//! * each node's search result is a pure function of its id (given the
+//!   status columns, τ and candidate sets), so skipping completed nodes
+//!   cannot change the remaining ones;
+//! * scores are stored as the hex of their IEEE-754 bits (`score_bits`),
+//!   not as decimal text, so restoring cannot round;
+//! * the per-node effort counters (evaluations, cache hits, workspace
+//!   refinements, …) are stored alongside the parents, so summed
+//!   run-report counters include the work the *original* run did.
+//!
+//! The `fingerprint` hashes everything the stored results depend on —
+//! matrix dimensions, τ, the search configuration, and every candidate
+//! list. Resuming against different inputs or config is a typed
+//! [`CheckpointError::Mismatch`], not silent corruption. `version` gates
+//! the schema itself; unknown versions are refused.
+
+use crate::score::ScoreCacheStats;
+use crate::search::{NodeSearchResult, SearchStats};
+use diffnet_graph::NodeId;
+use diffnet_observe::{Json, ParseError};
+use diffnet_simulate::WorkspaceStats;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// Schema identifier in the `format` field.
+pub const FORMAT: &str = "diffnet-checkpoint";
+/// Current schema version.
+pub const VERSION: u64 = 1;
+
+/// Errors from checkpoint load/save.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not valid JSON; carries the byte offset of the damage.
+    Parse(ParseError),
+    /// Valid JSON that is not a checkpoint we can use (wrong format tag,
+    /// unknown version, missing or ill-typed field).
+    Format(String),
+    /// The checkpoint was written for different inputs or configuration.
+    Mismatch {
+        /// Fingerprint of the current run.
+        expected: String,
+        /// Fingerprint stored in the file.
+        found: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Parse(e) => write!(f, "corrupt checkpoint: {e}"),
+            CheckpointError::Format(msg) => write!(f, "invalid checkpoint: {msg}"),
+            CheckpointError::Mismatch { expected, found } => write!(
+                f,
+                "checkpoint fingerprint {found} does not match this run ({expected}): \
+                 it was written for different inputs or configuration"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<ParseError> for CheckpointError {
+    fn from(e: ParseError) -> Self {
+        CheckpointError::Parse(e)
+    }
+}
+
+/// One completed node's search outcome, as persisted.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckpointEntry {
+    /// The selected parent set, sorted.
+    pub parents: Vec<NodeId>,
+    /// Local score of the selection (restored bit-exactly).
+    pub score: f64,
+    /// Search-effort counters of the original search.
+    pub stats: SearchStats,
+    /// Score-cache counters of the original search.
+    pub cache_stats: ScoreCacheStats,
+    /// Counting-workspace activity the original search performed.
+    pub ws: WorkspaceStats,
+}
+
+impl CheckpointEntry {
+    /// Builds an entry from a finished node search and the workspace
+    /// activity it performed.
+    pub fn from_result(res: &NodeSearchResult, ws: WorkspaceStats) -> CheckpointEntry {
+        CheckpointEntry {
+            parents: res.parents.clone(),
+            score: res.score,
+            stats: res.stats,
+            cache_stats: res.cache_stats,
+            ws,
+        }
+    }
+
+    /// Reconstitutes the [`NodeSearchResult`] this entry was taken from.
+    /// `candidates` is recomputed by the resuming run (it is covered by
+    /// the fingerprint, so it matches what the original search saw).
+    pub fn into_result(self, candidates: Vec<NodeId>) -> NodeSearchResult {
+        NodeSearchResult {
+            parents: self.parents,
+            score: self.score,
+            candidates,
+            stats: self.stats,
+            cache_stats: self.cache_stats,
+        }
+    }
+}
+
+/// An in-memory checkpoint: the completed nodes plus the fingerprint of
+/// the run they belong to.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Checkpoint {
+    /// Fingerprint of the producing run (see [`fingerprint`]).
+    pub fingerprint: u64,
+    /// Completed nodes, keyed by id.
+    pub entries: BTreeMap<NodeId, CheckpointEntry>,
+}
+
+impl Checkpoint {
+    /// An empty checkpoint for the given run fingerprint.
+    pub fn new(fingerprint: u64) -> Checkpoint {
+        Checkpoint {
+            fingerprint,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Serializes to the versioned JSON schema (nodes in ascending id
+    /// order, scores as IEEE-754 bit strings).
+    pub fn to_json(&self) -> Json {
+        let mut root = Json::object();
+        root.push("format", FORMAT);
+        root.push("version", VERSION);
+        root.push("fingerprint", format!("{:016x}", self.fingerprint));
+        let mut nodes = Json::object();
+        for (&id, e) in &self.entries {
+            let mut entry = Json::object();
+            entry.push(
+                "parents",
+                Json::Arr(
+                    e.parents
+                        .iter()
+                        .map(|&p| Json::from(u64::from(p)))
+                        .collect(),
+                ),
+            );
+            entry.push("score_bits", format!("{:016x}", e.score.to_bits()));
+            entry.push("evaluations", e.stats.evaluations);
+            entry.push("bound_rejections", e.stats.bound_rejections);
+            entry.push("greedy_rounds", e.stats.greedy_rounds);
+            entry.push("cache_hits", e.cache_stats.hits);
+            entry.push("cache_misses", e.cache_stats.misses);
+            entry.push("ws_refinements", e.ws.refinements);
+            entry.push("ws_rebases", e.ws.rebases);
+            nodes.push(id.to_string(), entry);
+        }
+        root.push("nodes", nodes);
+        root
+    }
+
+    /// Parses the JSON schema back. Fails with a typed error on a wrong
+    /// format tag, an unknown version, or any missing/ill-typed field.
+    pub fn from_json(root: &Json) -> Result<Checkpoint, CheckpointError> {
+        let format = root
+            .get("format")
+            .and_then(Json::as_str)
+            .ok_or_else(|| CheckpointError::Format("missing \"format\" tag".into()))?;
+        if format != FORMAT {
+            return Err(CheckpointError::Format(format!(
+                "format {format:?}, expected {FORMAT:?}"
+            )));
+        }
+        let version = root
+            .get("version")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| CheckpointError::Format("missing \"version\"".into()))?;
+        if version != VERSION as f64 {
+            return Err(CheckpointError::Format(format!(
+                "unknown version {version}, this build reads version {VERSION}"
+            )));
+        }
+        let fingerprint = root
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+            .ok_or_else(|| CheckpointError::Format("missing or bad \"fingerprint\"".into()))?;
+
+        let mut entries = BTreeMap::new();
+        let nodes = root
+            .get("nodes")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| CheckpointError::Format("missing \"nodes\" object".into()))?;
+        for (key, value) in nodes {
+            let id: NodeId = key
+                .parse()
+                .map_err(|_| CheckpointError::Format(format!("bad node id {key:?}")))?;
+            entries.insert(id, parse_entry(key, value)?);
+        }
+        Ok(Checkpoint {
+            fingerprint,
+            entries,
+        })
+    }
+
+    /// Writes the checkpoint atomically (temp sibling + rename), so a
+    /// crash mid-write leaves the previous checkpoint intact.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), CheckpointError> {
+        let text = self.to_json().to_pretty();
+        diffnet_graph::io::save_atomic(path, |w| w.write_all(text.as_bytes()))?;
+        Ok(())
+    }
+
+    /// Loads and validates a checkpoint file.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Checkpoint, CheckpointError> {
+        let text = std::fs::read_to_string(path)?;
+        let root = diffnet_observe::parse_json(&text)?;
+        Checkpoint::from_json(&root)
+    }
+}
+
+fn entry_u64(node: &str, value: &Json, field: &str) -> Result<u64, CheckpointError> {
+    value
+        .get(field)
+        .and_then(Json::as_f64)
+        .filter(|v| *v >= 0.0 && v.fract() == 0.0)
+        .map(|v| v as u64)
+        .ok_or_else(|| {
+            CheckpointError::Format(format!("node {node}: missing or bad field {field:?}"))
+        })
+}
+
+fn parse_entry(node: &str, value: &Json) -> Result<CheckpointEntry, CheckpointError> {
+    let parents = value
+        .get("parents")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| CheckpointError::Format(format!("node {node}: missing \"parents\"")))?
+        .iter()
+        .map(|p| {
+            p.as_f64()
+                .filter(|v| *v >= 0.0 && v.fract() == 0.0)
+                .map(|v| v as NodeId)
+                .ok_or_else(|| CheckpointError::Format(format!("node {node}: bad parent id")))
+        })
+        .collect::<Result<Vec<NodeId>, _>>()?;
+    let score = value
+        .get("score_bits")
+        .and_then(Json::as_str)
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .map(f64::from_bits)
+        .ok_or_else(|| {
+            CheckpointError::Format(format!("node {node}: missing or bad \"score_bits\""))
+        })?;
+    Ok(CheckpointEntry {
+        parents,
+        score,
+        stats: SearchStats {
+            evaluations: entry_u64(node, value, "evaluations")? as usize,
+            bound_rejections: entry_u64(node, value, "bound_rejections")? as usize,
+            greedy_rounds: entry_u64(node, value, "greedy_rounds")? as usize,
+        },
+        cache_stats: ScoreCacheStats {
+            hits: entry_u64(node, value, "cache_hits")?,
+            misses: entry_u64(node, value, "cache_misses")?,
+        },
+        ws: WorkspaceStats {
+            refinements: entry_u64(node, value, "ws_refinements")?,
+            rebases: entry_u64(node, value, "ws_rebases")?,
+        },
+    })
+}
+
+/// FNV-1a hash of everything the stored per-node results depend on: the
+/// status-matrix dimensions, the applied τ (bit-exact), a signature of the
+/// search-relevant configuration, and every candidate list. Two runs share
+/// a fingerprint iff their per-node searches are interchangeable.
+pub fn fingerprint(
+    num_processes: usize,
+    num_nodes: usize,
+    tau: f64,
+    config_signature: &str,
+    candidates: &[Vec<NodeId>],
+) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(&VERSION.to_le_bytes());
+    eat(&(num_processes as u64).to_le_bytes());
+    eat(&(num_nodes as u64).to_le_bytes());
+    eat(&tau.to_bits().to_le_bytes());
+    eat(config_signature.as_bytes());
+    for cands in candidates {
+        eat(&(cands.len() as u64).to_le_bytes());
+        for &c in cands {
+            eat(&u64::from(c).to_le_bytes());
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        let mut ck = Checkpoint::new(0xdead_beef_0042_cafe);
+        ck.entries.insert(
+            0,
+            CheckpointEntry {
+                parents: vec![2, 5],
+                score: -12.625,
+                stats: SearchStats {
+                    evaluations: 10,
+                    bound_rejections: 3,
+                    greedy_rounds: 2,
+                },
+                cache_stats: ScoreCacheStats { hits: 4, misses: 6 },
+                ws: WorkspaceStats {
+                    refinements: 6,
+                    rebases: 1,
+                },
+            },
+        );
+        ck.entries.insert(
+            7,
+            CheckpointEntry {
+                parents: vec![],
+                // A score whose decimal rendering would round.
+                score: f64::from_bits(0xbfe5_5555_5555_5555),
+                stats: SearchStats::default(),
+                cache_stats: ScoreCacheStats::default(),
+                ws: WorkspaceStats::default(),
+            },
+        );
+        ck
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_exact() {
+        let ck = sample();
+        let json = ck.to_json();
+        let back = Checkpoint::from_json(&json).expect("parse back");
+        assert_eq!(back, ck);
+        let b0 = back.entries[&7].score.to_bits();
+        assert_eq!(b0, 0xbfe5_5555_5555_5555, "score must restore bit-exactly");
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("diffnet_checkpoint_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("ck.json");
+        let ck = sample();
+        ck.save(&path).expect("save");
+        assert_eq!(Checkpoint::load(&path).expect("load"), ck);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_a_parse_error_with_offset() {
+        let text = sample().to_json().to_pretty();
+        let cut = &text[..text.len() / 2];
+        let root = diffnet_observe::parse_json(cut);
+        let err = root.expect_err("must not parse");
+        let wrapped = CheckpointError::from(err);
+        assert!(
+            wrapped.to_string().contains("byte"),
+            "offset missing from {wrapped}"
+        );
+    }
+
+    #[test]
+    fn wrong_format_and_version_are_rejected() {
+        let mut root = sample().to_json();
+        root.remove("format");
+        root.push("format", "something-else");
+        assert!(matches!(
+            Checkpoint::from_json(&root),
+            Err(CheckpointError::Format(_))
+        ));
+
+        let mut root = sample().to_json();
+        root.remove("version");
+        root.push("version", 999u64);
+        let err = Checkpoint::from_json(&root).expect_err("unknown version");
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn missing_fields_are_typed_errors() {
+        let mut root = sample().to_json();
+        root.remove("nodes");
+        assert!(matches!(
+            Checkpoint::from_json(&root),
+            Err(CheckpointError::Format(_))
+        ));
+
+        let text = sample().to_json().to_pretty().replace("score_bits", "sb");
+        let root = diffnet_observe::parse_json(&text).expect("valid json");
+        let err = Checkpoint::from_json(&root).expect_err("missing score");
+        assert!(err.to_string().contains("score_bits"), "{err}");
+    }
+
+    #[test]
+    fn fingerprint_tracks_inputs() {
+        let cands = vec![vec![1, 2], vec![0]];
+        let base = fingerprint(100, 10, 0.25, "cfg", &cands);
+        assert_eq!(base, fingerprint(100, 10, 0.25, "cfg", &cands));
+        assert_ne!(base, fingerprint(101, 10, 0.25, "cfg", &cands));
+        assert_ne!(base, fingerprint(100, 10, 0.26, "cfg", &cands));
+        assert_ne!(base, fingerprint(100, 10, 0.25, "cfg2", &cands));
+        assert_ne!(base, fingerprint(100, 10, 0.25, "cfg", &[vec![1], vec![0]]));
+    }
+}

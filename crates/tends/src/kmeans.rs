@@ -23,11 +23,16 @@ pub struct PinnedKmeans {
     pub iterations: usize,
 }
 
-/// Runs 2-means over the non-negative entries of `values` with one centroid
-/// pinned at 0, and returns the threshold `τ`.
+/// Runs 2-means over the finite non-negative entries of `values` with one
+/// centroid pinned at 0, and returns the threshold `τ`.
 ///
 /// Negative entries are discarded first (the paper removes negative
-/// infection-MI values before clustering). Degenerate inputs have a
+/// infection-MI values before clustering). Non-finite entries (NaN, ±∞)
+/// are discarded with them: a NaN has no cluster distance and an infinite
+/// value would drag the free centroid to ∞, collapsing every finite value
+/// into the pinned cluster — treating both as "no usable correlation" is
+/// the same conservative policy as dropping negatives, and keeps this
+/// function total over hostile input. Degenerate inputs have a
 /// well-defined `τ`:
 ///
 /// * **empty input** (or every entry negative): `τ = 0`, both clusters
@@ -42,8 +47,12 @@ pub struct PinnedKmeans {
 pub fn pinned_two_means(values: &[f64]) -> PinnedKmeans {
     const MAX_ITERS: usize = 100;
 
-    let mut vals: Vec<f64> = values.iter().copied().filter(|&v| v >= 0.0).collect();
-    vals.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaNs in MI values"));
+    let mut vals: Vec<f64> = values
+        .iter()
+        .copied()
+        .filter(|&v| v.is_finite() && v >= 0.0)
+        .collect();
+    vals.sort_unstable_by(f64::total_cmp);
 
     let positive_max = vals.last().copied().unwrap_or(0.0);
     if positive_max <= 0.0 {
@@ -180,6 +189,42 @@ mod tests {
             r.tau
         );
         assert!(r.free_count >= 50);
+    }
+
+    #[test]
+    fn non_finite_values_are_discarded_not_fatal() {
+        // NaN used to panic the sort comparator; +∞ survived the `>= 0`
+        // filter and poisoned the free-centroid mean. Both must now act
+        // like discarded negatives.
+        let with_nan = vec![f64::NAN, 0.001, 0.002, 0.8, 0.85];
+        let r = pinned_two_means(&with_nan);
+        assert_eq!(r.pinned_count + r.free_count, 4);
+        assert!(r.tau >= 0.002 && r.tau < 0.8, "τ = {}", r.tau);
+
+        let with_inf = vec![f64::INFINITY, 0.001, 0.002, 0.8, 0.85];
+        let r = pinned_two_means(&with_inf);
+        assert!(r.free_centroid.is_finite(), "centroid {}", r.free_centroid);
+        assert!(r.tau >= 0.002 && r.tau < 0.8, "τ = {}", r.tau);
+
+        let clean = pinned_two_means(&[0.001, 0.002, 0.8, 0.85]);
+        let junk = pinned_two_means(&[
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.001,
+            0.002,
+            0.8,
+            0.85,
+        ]);
+        assert_eq!(junk, clean, "junk values must not shift the result");
+    }
+
+    #[test]
+    fn all_non_finite_behaves_like_empty_input() {
+        let r = pinned_two_means(&[f64::NAN, f64::INFINITY, f64::NEG_INFINITY]);
+        assert_eq!(r.tau, 0.0);
+        assert_eq!(r.pinned_count, 0);
+        assert_eq!(r.free_count, 0);
     }
 
     #[test]

@@ -47,6 +47,7 @@
 
 pub mod ablation;
 mod algorithm;
+pub mod checkpoint;
 pub mod estimate;
 pub mod imi;
 pub mod kmeans;
@@ -54,7 +55,11 @@ pub mod parallel;
 pub mod score;
 pub mod search;
 
-pub use algorithm::{DirectionPolicy, Tends, TendsConfig, TendsResult, ThresholdMode};
+pub use algorithm::{
+    DirectionPolicy, NodeError, PartialReconstruction, RobustOptions, Tends, TendsConfig,
+    TendsResult, ThresholdMode,
+};
+pub use checkpoint::{Checkpoint, CheckpointEntry, CheckpointError};
 pub use estimate::{estimate_propagation_probabilities, EstimateConfig, PropagationEstimate};
 pub use imi::{CorrelationMatrix, CorrelationMeasure};
 pub use kmeans::{pinned_two_means, PinnedKmeans};

@@ -195,10 +195,11 @@ pub fn candidate_parents(
     max_candidates: usize,
 ) -> Vec<NodeId> {
     // Descending correlation, ascending node id as the tiebreak — a total
-    // order, so the top-`max_candidates` set is unique and partial
+    // order (total_cmp, so a NaN smuggled into the matrix cannot panic the
+    // comparator), so the top-`max_candidates` set is unique and partial
     // selection returns exactly what a full sort + truncate would.
     fn rank(a: &(f64, NodeId), b: &(f64, NodeId)) -> Ordering {
-        b.0.partial_cmp(&a.0).expect("no NaNs").then(a.1.cmp(&b.1))
+        b.0.total_cmp(&a.0).then(a.1.cmp(&b.1))
     }
     let n = corr.num_nodes() as u32;
     let mut cands: Vec<(f64, NodeId)> = (0..n)
