@@ -16,7 +16,10 @@
 //!   times and the full observability counter set for the small workload;
 //! * checkpoint overhead: the robust reconstruction with per-node
 //!   progress persisted atomically every 8 nodes vs the same path with
-//!   checkpointing disabled.
+//!   checkpointing disabled;
+//! * the serving layer over loopback: `/v1/healthz` round-trips per
+//!   second and the end-to-end submit→done latency of an HTTP-submitted
+//!   job (upload, queue, reconstruction, output writes, status poll).
 //!
 //! Multi-thread speedups are only meaningful on multi-core hardware; on a
 //! single-CPU machine the thread-scaling rows are marked
@@ -293,6 +296,41 @@ fn main() {
     });
     std::fs::remove_file(&ck_path).ok();
 
+    // The serving layer over loopback: request throughput on the cheapest
+    // endpoint, then the full submit→done latency for the small workload —
+    // the price of running inference behind the daemon instead of inline.
+    eprintln!("perf_report: serve loopback (n={n_small})");
+    let serve_dir = std::env::temp_dir().join(format!("diffnet_perf_serve_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&serve_dir);
+    let server = diffnet_serve::Server::bind(&diffnet_serve::ServeConfig {
+        data_dir: serve_dir.clone(),
+        ..Default::default()
+    })
+    .expect("bind loopback server");
+    let addr = server.addr();
+    let server_thread = std::thread::spawn(move || server.serve_forever());
+    let client = diffnet_serve::Client::new(addr);
+    let ping_batch = 50usize;
+    let ping_s = median_secs(reps, || {
+        for _ in 0..ping_batch {
+            assert!(client.healthz().expect("healthz"));
+        }
+    });
+    let mut serve_body = Vec::new();
+    diffnet_simulate::io::write_status_matrix(&small, &mut serve_body).expect("serialize statuses");
+    let submit_to_done_s = median_secs(reps.min(3), || {
+        let (code, job) = client.post_json("/v1/jobs", &serve_body).expect("submit");
+        assert_eq!(code, 201, "{}", job.to_pretty());
+        let id = job.get("id").and_then(Json::as_f64).expect("job id") as u64;
+        let done = client
+            .wait_for_job(id, std::time::Duration::from_secs(300))
+            .expect("job finishes");
+        assert_eq!(done.get("state").and_then(Json::as_str), Some("done"));
+    });
+    client.shutdown().expect("shutdown");
+    server_thread.join().expect("join").expect("serve loop");
+    let _ = std::fs::remove_dir_all(&serve_dir);
+
     // One instrumented reconstruction for the per-phase breakdown, so the
     // report shows where the wall-clock goes inside a single run.
     eprintln!("perf_report: instrumented phase breakdown (n={n_small})");
@@ -351,6 +389,12 @@ fn main() {
     ck.push("checkpointed_s", checkpointed_s);
     ck.push("overhead_ratio", checkpointed_s / plain_s);
     json.push("checkpoint_overhead", ck);
+
+    let mut serve = Json::object();
+    serve.push("n", n_small as u64);
+    serve.push("healthz_rps", ping_batch as f64 / ping_s);
+    serve.push("submit_to_done_s", submit_to_done_s);
+    json.push("serve_loopback", serve);
 
     json.push("tends_run_report", run_report.to_json());
 

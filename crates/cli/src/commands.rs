@@ -8,7 +8,8 @@ use diffnet_graph::generators::{
 use diffnet_graph::stats::GraphStats;
 use diffnet_graph::DiGraph;
 use diffnet_metrics::EdgeSetComparison;
-use diffnet_observe::{CheckpointInfo, FaultPlan, Recorder, RunReport};
+use diffnet_observe::{CheckpointInfo, FaultPlan, Json, Recorder, RunReport};
+use diffnet_serve::{Client, Limits, ServeConfig, Server};
 use diffnet_simulate::{EdgeProbs, IcConfig, IndependentCascade, LinearThreshold, ObservationSet};
 use diffnet_tends::{
     estimate_propagation_probabilities, CorrelationMeasure, DirectionPolicy, EstimateConfig,
@@ -17,6 +18,7 @@ use diffnet_tends::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Exit code for a partial reconstruction: the command produced output,
 /// but some nodes failed and are listed in the report.
@@ -79,6 +81,9 @@ pub fn run(argv: &[String]) -> Result<CommandOutput, ArgError> {
         "estimate" => estimate(&parsed).map(CommandOutput::success),
         "stats" => stats(&parsed).map(CommandOutput::success),
         "report-check" => report_check(&parsed).map(CommandOutput::success),
+        "serve" => serve(&parsed).map(CommandOutput::success),
+        "submit" => submit(&parsed),
+        "job" => job_status(&parsed),
         "help" | "--help" | "-h" => Ok(CommandOutput::success(crate::USAGE.to_string())),
         other => Err(ArgError::new(format!(
             "unknown command {other:?}; try `diffnet help`"
@@ -329,6 +334,7 @@ fn infer(args: &ParsedArgs) -> Result<CommandOutput, ArgError> {
                 resume: args.has_flag("resume"),
                 checkpoint_interval: args.get_or("checkpoint-interval", 8)?,
                 fault: &fault,
+                cancel: None,
             };
             let partial = Tends::with_config(cfg)
                 .reconstruct_robust(&statuses, rec, &options)
@@ -561,6 +567,177 @@ fn report_check(args: &ParsedArgs) -> Result<String, ArgError> {
         phase_refs.len(),
         counter_refs.len()
     ))
+}
+
+fn serve(args: &ParsedArgs) -> Result<String, ArgError> {
+    args.expect_known(&[
+        "addr",
+        "data-dir",
+        "http-workers",
+        "job-workers",
+        "max-body-bytes",
+        "port-file",
+    ])?;
+    let config = ServeConfig {
+        addr: args
+            .optional("addr")
+            .unwrap_or("127.0.0.1:7878")
+            .to_string(),
+        data_dir: PathBuf::from(args.required("data-dir")?),
+        http_workers: args.get_or("http-workers", 4)?,
+        job_workers: args.get_or("job-workers", 1)?,
+        limits: Limits {
+            max_body_bytes: args.get_or("max-body-bytes", Limits::default().max_body_bytes)?,
+            ..Limits::default()
+        },
+        port_file: args.optional("port-file").map(PathBuf::from),
+    };
+    let server = Server::bind(&config).map_err(|e| io_err("cannot start server", e))?;
+    let addr = server.addr();
+    // Stderr, so scripts capturing stdout only see the final summary.
+    eprintln!(
+        "diffnet-serve listening on {addr} (data dir {})",
+        config.data_dir.display()
+    );
+    server
+        .serve_forever()
+        .map_err(|e| io_err("server error", e))?;
+    Ok(format!("server on {addr} stopped; jobs are resumable"))
+}
+
+fn resolve_server(args: &ParsedArgs) -> Result<std::net::SocketAddr, ArgError> {
+    use std::net::ToSocketAddrs;
+    let raw = args.required("server")?;
+    raw.to_socket_addrs()
+        .map_err(|e| io_err(&format!("cannot resolve --server {raw:?}"), e))?
+        .next()
+        .ok_or_else(|| ArgError::new(format!("--server {raw:?} resolved to no address")))
+}
+
+fn submit(args: &ParsedArgs) -> Result<CommandOutput, ArgError> {
+    args.expect_known(&[
+        "server",
+        "statuses",
+        "observations",
+        "algorithm",
+        "threads",
+        "checkpoint-interval",
+        "edges",
+        "wait",
+        "timeout-secs",
+    ])?;
+    let addr = resolve_server(args)?;
+    let algo = args.optional("algorithm").unwrap_or("tends");
+    let input = if algo == "tends" {
+        args.required("statuses")?
+    } else {
+        args.optional("observations")
+            .ok_or_else(|| ArgError::new(format!("algorithm {algo:?} needs --observations")))?
+    };
+    let body = std::fs::read(input).map_err(|e| io_err(&format!("cannot read {input:?}"), e))?;
+    let mut query = format!("/v1/jobs?algorithm={algo}");
+    for key in ["threads", "checkpoint-interval", "edges"] {
+        if let Some(value) = args.optional(key) {
+            query.push_str(&format!("&{key}={value}"));
+        }
+    }
+    let client = Client::new(addr);
+    let (status, json) = client
+        .post_json(&query, &body)
+        .map_err(|e| io_err("submit failed", e))?;
+    if status != 201 {
+        return Err(ArgError::new(format!(
+            "server rejected submission ({status}): {}",
+            json.to_pretty().trim()
+        )));
+    }
+    let id = json.get("id").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    let mut text = format!("job {id} submitted ({algo}) to {addr}");
+    if !args.has_flag("wait") {
+        return Ok(CommandOutput::success(text));
+    }
+    let deadline = Duration::from_secs(args.get_or("timeout-secs", 600)?);
+    let final_json = client
+        .wait_for_job(id, deadline)
+        .map_err(|e| io_err("waiting for job", e))?;
+    let state = final_json
+        .get("state")
+        .and_then(Json::as_str)
+        .unwrap_or("unknown")
+        .to_string();
+    text.push_str(&format!("\njob {id} finished: {state}"));
+    match state.as_str() {
+        "failed" => Err(ArgError::new(format!(
+            "job {id} failed: {}",
+            final_json
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown error")
+        ))),
+        "partial" => Ok(CommandOutput::partial(text)),
+        _ => Ok(CommandOutput::success(text)),
+    }
+}
+
+fn job_status(args: &ParsedArgs) -> Result<CommandOutput, ArgError> {
+    args.expect_known(&[
+        "server",
+        "id",
+        "wait",
+        "timeout-secs",
+        "edges-out",
+        "report-out",
+    ])?;
+    let addr = resolve_server(args)?;
+    let id: u64 = args.get_required("id")?;
+    let client = Client::new(addr);
+    let json = if args.has_flag("wait") {
+        let deadline = Duration::from_secs(args.get_or("timeout-secs", 600)?);
+        client
+            .wait_for_job(id, deadline)
+            .map_err(|e| io_err("waiting for job", e))?
+    } else {
+        let (status, json) = client
+            .get_json(&format!("/v1/jobs/{id}"))
+            .map_err(|e| io_err("status query failed", e))?;
+        if status != 200 {
+            return Err(ArgError::new(format!(
+                "server returned {status}: {}",
+                json.to_pretty().trim()
+            )));
+        }
+        json
+    };
+    let state = json
+        .get("state")
+        .and_then(Json::as_str)
+        .unwrap_or("unknown")
+        .to_string();
+    let mut text = json.to_pretty().trim_end().to_string();
+    for (key, route, label) in [
+        ("edges-out", "edges", "edges"),
+        ("report-out", "report", "run report"),
+    ] {
+        let Some(path) = args.optional(key) else {
+            continue;
+        };
+        let (status, bytes) = client
+            .get(&format!("/v1/jobs/{id}/{route}"))
+            .map_err(|e| io_err(&format!("cannot fetch job {label}"), e))?;
+        if status != 200 {
+            return Err(ArgError::new(format!(
+                "server returned {status} for job {id} {label}: {}",
+                String::from_utf8_lossy(&bytes).trim()
+            )));
+        }
+        std::fs::write(path, &bytes).map_err(|e| io_err(&format!("cannot write {path:?}"), e))?;
+        text.push_str(&format!("\n{label} -> {path}"));
+    }
+    if state == "partial" {
+        Ok(CommandOutput::partial(text))
+    } else {
+        Ok(CommandOutput::success(text))
+    }
 }
 
 #[cfg(test)]

@@ -49,6 +49,16 @@ COMMANDS:
              --graph FILE --statuses FILE --out FILE
   stats      Print summary statistics of a network
              --graph FILE
+  serve      Run the inference daemon (HTTP/1.1 job API over TCP)
+             --data-dir DIR  [--addr HOST:PORT] [--http-workers N]
+             [--job-workers N] [--max-body-bytes N] [--port-file FILE]
+  submit     Submit a job to a running daemon
+             --server HOST:PORT  --statuses FILE | --observations FILE
+             [--algorithm A] [--threads T] [--checkpoint-interval N]
+             [--edges M] [--wait] [--timeout-secs S]
+  job        Query a job on a running daemon (and fetch its outputs)
+             --server HOST:PORT  --id N  [--wait] [--timeout-secs S]
+             [--edges-out FILE] [--report-out FILE]
   help       Show this message
 
 Cascade-based algorithms (netrate, multree, netinf, path) and lift need
@@ -66,4 +76,11 @@ re-running with `--resume` skips completed nodes and produces the same
 output bit for bit. Per-node failures degrade gracefully: the surviving
 edges are still written, the failed nodes are listed in the report and
 run report, and the process exits with code 3 instead of 0.
+
+Serving: `serve` exposes the pipeline as a zero-dependency HTTP daemon
+(POST /v1/jobs, GET /v1/jobs/{id}, /edges, /report, POST
+/v1/jobs/{id}/cascades, GET /v1/metrics, /v1/healthz). Jobs are durable:
+state and checkpoints live under --data-dir, and a killed or SIGTERM'd
+server resumes interrupted jobs on restart with bit-identical results.
+`submit`/`job` are the built-in client for scripts and CI.
 ";

@@ -11,7 +11,10 @@
 //!   (hoisted from the `perf_report` bench binary);
 //! - [`RunReport`]: the structured report serialized for `--run-report`,
 //!   split into a deterministic section (pure function of seed + config)
-//!   and a `runtime` section (wall times, worker scheduling).
+//!   and a `runtime` section (wall times, worker scheduling);
+//! - [`render_prometheus`]: the Prometheus-style plain-text exposition of
+//!   a recorder snapshot, shared by `diffnet-serve`'s `/v1/metrics`
+//!   endpoint and any scraping tooling.
 //!
 //! See DESIGN.md ("Observability") for the rationale behind the
 //! no-op-collector pattern and the deterministic/runtime split.
@@ -20,10 +23,12 @@
 
 pub mod fault;
 pub mod json;
+pub mod prometheus;
 pub mod recorder;
 pub mod report;
 
 pub use fault::FaultPlan;
 pub use json::{parse as parse_json, Json, ParseError};
+pub use prometheus::render_prometheus;
 pub use recorder::{PhaseGuard, Recorder, Snapshot};
 pub use report::{strip_runtime, validate_report_json, CheckpointInfo, PhaseTiming, RunReport};

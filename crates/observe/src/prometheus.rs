@@ -1,0 +1,232 @@
+//! Prometheus-style plain-text exposition of a recorder [`Snapshot`].
+//!
+//! One formatter shared by the `diffnet-serve` `/v1/metrics` endpoint and
+//! any future scraping tooling. The output follows the Prometheus text
+//! exposition format (version 0.0.4): every metric family is preceded by a
+//! `# TYPE` line, names are namespaced and sanitized to
+//! `[a-zA-Z_][a-zA-Z0-9_]*`, and label values are escaped.
+//!
+//! The mapping from recorder primitives:
+//!
+//! | recorder datum  | exposition                                          |
+//! |-----------------|-----------------------------------------------------|
+//! | counter         | `ns_<name> <value>` (`counter`)                     |
+//! | value           | `ns_<name> <value>` (`gauge`)                       |
+//! | phase timings   | `ns_phase_seconds{phase="<p>"} <sum>` (`gauge`)     |
+//! | histogram       | cumulative `ns_<name>_bucket{le="…"}` + `_sum`/`_count` (`histogram`) |
+//! | worker chunks   | `ns_worker_chunks{region="<r>",worker="<i>"}` (`gauge`) |
+//!
+//! Recorder histograms store raw per-bucket counts where the bucket index
+//! *is* the observed value, so the rendered `le` boundaries are the
+//! integer indices and `_sum` is exact, not approximated.
+//!
+//! Everything is emitted in deterministic order (counters/values/
+//! histograms sorted by name, phases in completion order), so the output
+//! is stable enough for golden tests.
+
+use crate::recorder::Snapshot;
+use std::fmt::Write as _;
+
+/// Sanitizes a metric-name fragment: every character outside
+/// `[a-zA-Z0-9_]` becomes `_`, and a leading digit gets a `_` prefix.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Formats a float the way Prometheus expects: finite shortest-round-trip
+/// decimal (Rust's `Display` never emits exponents for the magnitudes the
+/// recorder produces), with non-finite values spelled `NaN`/`+Inf`/`-Inf`.
+fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders `snap` in the Prometheus plain-text exposition format, with
+/// every metric name prefixed by `namespace` + `_`.
+///
+/// ```
+/// use diffnet_observe::{render_prometheus, Recorder};
+///
+/// let rec = Recorder::new();
+/// rec.add("jobs_completed", 3);
+/// let text = render_prometheus(&rec.snapshot(), "diffnet");
+/// assert!(text.contains("# TYPE diffnet_jobs_completed counter"));
+/// assert!(text.contains("diffnet_jobs_completed 3"));
+/// ```
+pub fn render_prometheus(snap: &Snapshot, namespace: &str) -> String {
+    let ns = sanitize(namespace);
+    let mut out = String::new();
+
+    for (name, value) in &snap.counters {
+        let metric = format!("{ns}_{}", sanitize(name));
+        let _ = writeln!(out, "# TYPE {metric} counter");
+        let _ = writeln!(out, "{metric} {value}");
+    }
+
+    for (name, value) in &snap.values {
+        let metric = format!("{ns}_{}", sanitize(name));
+        let _ = writeln!(out, "# TYPE {metric} gauge");
+        let _ = writeln!(out, "{metric} {}", format_value(*value));
+    }
+
+    if !snap.phases.is_empty() {
+        let metric = format!("{ns}_phase_seconds");
+        let _ = writeln!(out, "# TYPE {metric} gauge");
+        // A phase may complete more than once (e.g. a re-estimated job);
+        // sum the wall time per name, preserving first-completion order.
+        let mut order: Vec<&str> = Vec::new();
+        let mut sums: Vec<f64> = Vec::new();
+        for &(name, seconds) in &snap.phases {
+            match order.iter().position(|&n| n == name) {
+                Some(i) => sums[i] += seconds,
+                None => {
+                    order.push(name);
+                    sums.push(seconds);
+                }
+            }
+        }
+        for (name, sum) in order.iter().zip(&sums) {
+            let _ = writeln!(
+                out,
+                "{metric}{{phase=\"{}\"}} {}",
+                escape_label(name),
+                format_value(*sum)
+            );
+        }
+    }
+
+    for (name, buckets) in &snap.histograms {
+        let metric = format!("{ns}_{}", sanitize(name));
+        let _ = writeln!(out, "# TYPE {metric} histogram");
+        let mut cumulative = 0u64;
+        let mut sum = 0u64;
+        for (index, &count) in buckets.iter().enumerate() {
+            cumulative += count;
+            sum += index as u64 * count;
+            let _ = writeln!(out, "{metric}_bucket{{le=\"{index}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{metric}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{metric}_sum {sum}");
+        let _ = writeln!(out, "{metric}_count {cumulative}");
+    }
+
+    if !snap.worker_chunks.is_empty() {
+        let metric = format!("{ns}_worker_chunks");
+        let _ = writeln!(out, "# TYPE {metric} gauge");
+        for (region, chunks) in &snap.worker_chunks {
+            for (worker, &claims) in chunks.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "{metric}{{region=\"{}\",worker=\"{worker}\"}} {claims}",
+                    escape_label(region)
+                );
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    #[test]
+    fn golden_full_exposition() {
+        let rec = Recorder::new();
+        rec.add("jobs_completed", 3);
+        rec.add("http_requests", 17);
+        rec.value("tau", 0.25);
+        rec.histogram("candidate_set_size", 0);
+        rec.histogram("candidate_set_size", 2);
+        rec.histogram("candidate_set_size", 2);
+        rec.worker_chunks("parent_search", &[5, 2]);
+        let mut snap = rec.snapshot();
+        // Pin the wall time so the output is byte-exact.
+        snap.phases = vec![("load", 0.5), ("search", 1.25), ("load", 0.25)];
+
+        let expected = "\
+# TYPE diffnet_http_requests counter
+diffnet_http_requests 17
+# TYPE diffnet_jobs_completed counter
+diffnet_jobs_completed 3
+# TYPE diffnet_tau gauge
+diffnet_tau 0.25
+# TYPE diffnet_phase_seconds gauge
+diffnet_phase_seconds{phase=\"load\"} 0.75
+diffnet_phase_seconds{phase=\"search\"} 1.25
+# TYPE diffnet_candidate_set_size histogram
+diffnet_candidate_set_size_bucket{le=\"0\"} 1
+diffnet_candidate_set_size_bucket{le=\"1\"} 1
+diffnet_candidate_set_size_bucket{le=\"2\"} 3
+diffnet_candidate_set_size_bucket{le=\"+Inf\"} 3
+diffnet_candidate_set_size_sum 4
+diffnet_candidate_set_size_count 3
+# TYPE diffnet_worker_chunks gauge
+diffnet_worker_chunks{region=\"parent_search\",worker=\"0\"} 5
+diffnet_worker_chunks{region=\"parent_search\",worker=\"1\"} 2
+";
+        assert_eq!(render_prometheus(&snap, "diffnet"), expected);
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        let snap = Snapshot::default();
+        assert_eq!(render_prometheus(&snap, "diffnet"), "");
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(sanitize("a.b-c"), "a_b_c");
+        assert_eq!(sanitize("2fast"), "_2fast");
+        assert_eq!(sanitize(""), "_");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn non_finite_gauges_render_prometheus_spellings() {
+        assert_eq!(format_value(f64::NAN), "NaN");
+        assert_eq!(format_value(f64::INFINITY), "+Inf");
+        assert_eq!(format_value(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(format_value(1.5), "1.5");
+    }
+}

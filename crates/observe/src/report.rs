@@ -203,10 +203,19 @@ pub fn strip_runtime(report_json: &str) -> Result<String, json::ParseError> {
     Ok(root.to_pretty())
 }
 
+/// Job states a serve-produced run report may carry in `runtime.job`.
+const JOB_STATES: &[&str] = &["queued", "running", "done", "failed", "partial"];
+
 /// Validates serialized report JSON for CI: it must parse, list every
 /// phase in `required_phases` (both in `phases` and with a wall time in
 /// `runtime.phase_wall_seconds`), and have a non-zero counter for every
 /// name in `required_nonzero_counters`.
+///
+/// Reports produced by `diffnet-serve` additionally carry a `runtime.job`
+/// object; when present it must have a numeric `id`, a `state` from the
+/// job state machine (`queued`/`running`/`done`/`failed`/`partial`), and
+/// the top-level `failed_nodes` array must be numeric — so serve-produced
+/// reports validate with the same `report-check` command as CLI ones.
 pub fn validate_report_json(
     report_json: &str,
     required_phases: &[&str],
@@ -250,6 +259,28 @@ pub fn validate_report_json(
             .ok_or_else(|| format!("missing counter {name:?}"))?;
         if value <= 0.0 {
             return Err(format!("counter {name:?} is zero"));
+        }
+    }
+
+    if let Some(job) = root.get("runtime").and_then(|r| r.get("job")) {
+        job.get("id")
+            .and_then(Json::as_f64)
+            .ok_or("\"runtime.job\" missing numeric field \"id\"")?;
+        let state = job
+            .get("state")
+            .and_then(Json::as_str)
+            .ok_or("\"runtime.job\" missing string field \"state\"")?;
+        if !JOB_STATES.contains(&state) {
+            return Err(format!(
+                "\"runtime.job.state\" {state:?} is not one of {JOB_STATES:?}"
+            ));
+        }
+        let failed = root
+            .get("failed_nodes")
+            .and_then(Json::as_arr)
+            .ok_or("job report missing array field \"failed_nodes\"")?;
+        if failed.iter().any(|v| v.as_f64().is_none()) {
+            return Err("\"failed_nodes\" contains non-numeric entries".to_string());
         }
     }
 
@@ -394,6 +425,40 @@ mod tests {
         assert!(validate_report_json(&json, &["prune"], &[]).is_err());
         assert!(validate_report_json(&json, &[], &["missing_counter"]).is_err());
         assert!(validate_report_json("not json", &[], &[]).is_err());
+    }
+
+    /// A sample report with a serve-style `runtime.job` section injected.
+    fn job_report(state: &str) -> String {
+        let mut json = sample_report().to_json();
+        let mut runtime = json.remove("runtime").expect("runtime section");
+        let mut job = Json::object();
+        job.push("id", 7u64);
+        job.push("state", state);
+        runtime.push("job", job);
+        json.push("runtime", runtime);
+        json.to_pretty()
+    }
+
+    #[test]
+    fn validate_accepts_serve_job_report() {
+        for state in ["queued", "running", "done", "failed", "partial"] {
+            validate_report_json(&job_report(state), &["load"], &["combinations_scored"])
+                .expect("valid job report");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_malformed_job_section() {
+        let err = validate_report_json(&job_report("exploded"), &[], &[]).unwrap_err();
+        assert!(err.contains("exploded"), "{err}");
+
+        // Missing id / state are typed failures, not silent passes.
+        let mut json = sample_report().to_json();
+        let mut runtime = json.remove("runtime").expect("runtime");
+        runtime.push("job", Json::object());
+        json.push("runtime", runtime);
+        let err = validate_report_json(&json.to_pretty(), &[], &[]).unwrap_err();
+        assert!(err.contains("id"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! A tiny blocking HTTP client for the daemon, used by the CLI's
+//! `submit`/`job` subcommands, the integration tests, and the CI smoke
+//! job — so exercising the server needs no external tooling at all.
+//!
+//! One request per connection (the server always answers
+//! `Connection: close`), with socket timeouts so a wedged server fails a
+//! test instead of hanging it.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use diffnet_observe::{parse_json, Json};
+
+use crate::http::Method;
+
+/// A client bound to one server address.
+#[derive(Clone, Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client with the default 30 s socket timeouts.
+    pub fn new(addr: SocketAddr) -> Client {
+        Client {
+            addr,
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Overrides the connect/read/write timeout.
+    pub fn with_timeout(addr: SocketAddr, timeout: Duration) -> Client {
+        Client { addr, timeout }
+    }
+
+    /// One request/response roundtrip; returns the status and raw body.
+    pub fn request(&self, method: Method, path: &str, body: &[u8]) -> io::Result<(u16, Vec<u8>)> {
+        let mut stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.addr,
+            body.len()
+        )?;
+        stream.write_all(body)?;
+        stream.flush()?;
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw)?;
+        parse_response(&raw)
+    }
+
+    /// `GET path`.
+    pub fn get(&self, path: &str) -> io::Result<(u16, Vec<u8>)> {
+        self.request(Method::Get, path, b"")
+    }
+
+    /// `GET path`, expecting a JSON body.
+    pub fn get_json(&self, path: &str) -> io::Result<(u16, Json)> {
+        let (status, body) = self.get(path)?;
+        Ok((status, to_json(&body)?))
+    }
+
+    /// `POST path` with a body, expecting a JSON reply.
+    pub fn post_json(&self, path: &str, body: &[u8]) -> io::Result<(u16, Json)> {
+        let (status, body) = self.request(Method::Post, path, body)?;
+        Ok((status, to_json(&body)?))
+    }
+
+    /// `GET /v1/healthz`, as a boolean.
+    pub fn healthz(&self) -> io::Result<bool> {
+        Ok(self.get("/v1/healthz")?.0 == 200)
+    }
+
+    /// `GET /v1/metrics`, as the exposition text.
+    pub fn metrics(&self) -> io::Result<String> {
+        let (status, body) = self.get("/v1/metrics")?;
+        if status != 200 {
+            return Err(io::Error::other(format!("metrics returned {status}")));
+        }
+        String::from_utf8(body).map_err(|_| io::Error::other("metrics body is not UTF-8"))
+    }
+
+    /// `POST /v1/shutdown`; succeeds once the server acknowledged.
+    pub fn shutdown(&self) -> io::Result<()> {
+        let (status, _) = self.request(Method::Post, "/v1/shutdown", b"")?;
+        if status == 200 {
+            Ok(())
+        } else {
+            Err(io::Error::other(format!("shutdown returned {status}")))
+        }
+    }
+
+    /// Polls `GET /v1/jobs/{id}` until the state is terminal or the
+    /// deadline passes; returns the final status document.
+    pub fn wait_for_job(&self, id: u64, deadline: Duration) -> io::Result<Json> {
+        let poll = Duration::from_millis(50);
+        let mut waited = Duration::ZERO;
+        loop {
+            let (status, json) = self.get_json(&format!("/v1/jobs/{id}"))?;
+            if status != 200 {
+                return Err(io::Error::other(format!(
+                    "job {id} status returned {status}: {}",
+                    json.to_pretty().trim()
+                )));
+            }
+            let state = json.get("state").and_then(Json::as_str).unwrap_or("");
+            if matches!(state, "done" | "failed" | "partial") {
+                return Ok(json);
+            }
+            if waited >= deadline {
+                return Err(io::Error::other(format!(
+                    "job {id} still {state:?} after {waited:?}"
+                )));
+            }
+            std::thread::sleep(poll);
+            waited += poll;
+        }
+    }
+}
+
+fn to_json(body: &[u8]) -> io::Result<Json> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| io::Error::other("response body is not UTF-8"))?;
+    parse_json(text).map_err(|e| io::Error::other(format!("bad JSON response: {e}")))
+}
+
+/// Splits a raw HTTP response into status code and body.
+fn parse_response(raw: &[u8]) -> io::Result<(u16, Vec<u8>)> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| io::Error::other("response has no header terminator"))?;
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| io::Error::other("response head is not UTF-8"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| io::Error::other(format!("bad status line {status_line:?}")))?;
+    Ok((status, raw[head_end + 4..].to_vec()))
+}
+
+/// Sends raw bytes and returns the raw response as text — the hostile
+/// input tests use this to speak deliberately broken HTTP.
+pub fn raw_roundtrip(addr: SocketAddr, bytes: &[u8]) -> io::Result<String> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    stream.write_all(bytes)?;
+    stream.flush()?;
+    // Half-close the write side so a server waiting for more body bytes
+    // sees EOF (the truncated-upload case) instead of timing out.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    String::from_utf8(raw).map_err(|_| io::Error::other("response is not UTF-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_response_splits_status_and_body() {
+        let (status, body) =
+            parse_response(b"HTTP/1.1 404 Not Found\r\nContent-Length: 2\r\n\r\nno").expect("ok");
+        assert_eq!(status, 404);
+        assert_eq!(body, b"no");
+    }
+
+    #[test]
+    fn parse_response_rejects_garbage() {
+        assert!(parse_response(b"not http at all").is_err());
+        assert!(parse_response(b"HTTP/1.1 banana\r\n\r\n").is_err());
+    }
+}

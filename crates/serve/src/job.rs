@@ -1,0 +1,1159 @@
+//! The durable job queue behind the daemon.
+//!
+//! Every job lives in its own directory under the server data dir:
+//!
+//! ```text
+//! data/job-7/
+//!   job.json         # JobMeta — id, spec, state machine, shape, errors
+//!   statuses.txt     # the uploaded status matrix (tends jobs)
+//!   observations.txt # the uploaded observation set (baseline jobs)
+//!   checkpoint.json  # PR-4 tends checkpoint; the durability log
+//!   edges.txt        # inferred edge list, written on completion
+//!   report.json      # RunReport with a `runtime.job` section
+//! ```
+//!
+//! `job.json` and every output are written with
+//! [`diffnet_graph::io::save_atomic`] (temp + fsync + rename), so a
+//! `kill -9` at any instant leaves either the old or the new file, never
+//! a torn one. On startup [`JobManager::new`] rescans the data dir:
+//! `queued` jobs are re-enqueued as-is, `running` jobs are re-enqueued
+//! with `resume` semantics — the tends checkpoint restores every node
+//! that completed before the crash, so the finished edge list is
+//! byte-identical to an uninterrupted run.
+//!
+//! State machine: `queued → running → done | failed | partial`, plus the
+//! transition `running → queued` taken only on disk, implicitly, when the
+//! process dies or shuts down gracefully mid-job (the meta still says
+//! `running`; the rescan treats that as "resume me"). Appending cascades
+//! to a terminal job rewinds it to `queued` with a bumped `revision`.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use diffnet_baselines::{Lift, MulTree, NetInf, NetRate, PathReconstruction};
+use diffnet_graph::io::{save_atomic, save_edge_list};
+use diffnet_graph::DiGraph;
+use diffnet_observe::{parse_json, CheckpointInfo, FaultPlan, Json, Recorder, RunReport, Snapshot};
+use diffnet_simulate::io::{
+    load_status_matrix, read_observations, read_status_matrix, save_status_matrix,
+};
+use diffnet_simulate::StatusMatrix;
+use diffnet_tends::{NodeError, RobustOptions, Tends, TendsConfig};
+
+/// Algorithms a job may request. `tends` takes a status matrix body;
+/// the baselines take an observations body plus an edge budget.
+pub const ALGORITHMS: &[&str] = &["tends", "netrate", "multree", "lift", "netinf", "path"];
+
+/// Fault-injection site hit after every `job.json` flush.
+pub const FAULT_JOB_FLUSH: &str = "job_flush";
+
+const META_FORMAT: &str = "diffnet-job";
+const META_VERSION: u64 = 1;
+
+/// Where a job is in its lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting for a worker (also the rewind target of a cascade append).
+    Queued,
+    /// A worker owns it. Found on disk at startup ⇒ the process died
+    /// mid-job; the rescan re-enqueues it and the checkpoint resumes it.
+    Running,
+    /// Every node searched; outputs written.
+    Done,
+    /// The run itself errored (bad input, I/O failure); no outputs.
+    Failed,
+    /// Finished, but some nodes failed their search — the edge list
+    /// covers the rest (mirrors the CLI's dedicated exit code).
+    Partial,
+}
+
+impl JobState {
+    /// Stable string form used on disk and over the wire.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Partial => "partial",
+        }
+    }
+
+    /// Parses the on-disk form.
+    pub fn from_wire(s: &str) -> Option<JobState> {
+        Some(match s {
+            "queued" => JobState::Queued,
+            "running" => JobState::Running,
+            "done" => JobState::Done,
+            "failed" => JobState::Failed,
+            "partial" => JobState::Partial,
+            _ => return None,
+        })
+    }
+
+    /// True for `done`, `failed`, and `partial`.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed | JobState::Partial)
+    }
+}
+
+/// What the client asked for at submission time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobSpec {
+    /// One of [`ALGORITHMS`].
+    pub algorithm: String,
+    /// Worker threads for the parent search (tends only; `0` = all cores).
+    pub threads: usize,
+    /// Checkpoint flush interval in completed nodes (tends only).
+    pub checkpoint_interval: usize,
+    /// Edge budget `m` — required by the baselines, ignored by tends.
+    pub edges_budget: Option<usize>,
+}
+
+impl Default for JobSpec {
+    fn default() -> JobSpec {
+        JobSpec {
+            algorithm: "tends".to_string(),
+            threads: 1,
+            checkpoint_interval: 8,
+            edges_budget: None,
+        }
+    }
+}
+
+impl JobSpec {
+    /// Validates algorithm/budget consistency; the message is surfaced to
+    /// the client as a `422`.
+    pub fn validate(&self) -> Result<(), String> {
+        if !ALGORITHMS.contains(&self.algorithm.as_str()) {
+            return Err(format!(
+                "unknown algorithm {:?} (expected one of {ALGORITHMS:?})",
+                self.algorithm
+            ));
+        }
+        if self.algorithm != "tends" && self.edges_budget.is_none() {
+            return Err(format!(
+                "algorithm {:?} needs \"edges\" (the budget m)",
+                self.algorithm
+            ));
+        }
+        Ok(())
+    }
+
+    /// Whether the job consumes a status matrix (vs an observation set).
+    pub fn takes_statuses(&self) -> bool {
+        self.algorithm == "tends"
+    }
+}
+
+/// The persisted per-job record (`job.json`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobMeta {
+    /// Server-assigned id, dense from 1.
+    pub id: u64,
+    /// The submission parameters.
+    pub spec: JobSpec,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Bumped by every cascade append; lets clients tell a re-estimation
+    /// apart from the original run.
+    pub revision: u64,
+    /// Processes (cascades) in the current input.
+    pub processes: usize,
+    /// Nodes in the current input.
+    pub nodes: usize,
+    /// Nodes whose search failed on the last completed run.
+    pub failed_nodes: Vec<u64>,
+    /// Human-readable failure, when `state` is `failed`.
+    pub error: Option<String>,
+}
+
+impl JobMeta {
+    fn new(id: u64, spec: JobSpec, processes: usize, nodes: usize) -> JobMeta {
+        JobMeta {
+            id,
+            spec,
+            state: JobState::Queued,
+            revision: 1,
+            processes,
+            nodes,
+            failed_nodes: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Serializes to the `job.json` tree.
+    pub fn to_json(&self) -> Json {
+        let mut root = Json::object();
+        root.push("format", META_FORMAT);
+        root.push("version", META_VERSION);
+        root.push("id", self.id);
+        root.push("algorithm", self.spec.algorithm.as_str());
+        root.push("threads", self.spec.threads);
+        root.push("checkpoint_interval", self.spec.checkpoint_interval);
+        if let Some(m) = self.spec.edges_budget {
+            root.push("edges_budget", m);
+        }
+        root.push("state", self.state.as_str());
+        root.push("revision", self.revision);
+        root.push("processes", self.processes);
+        root.push("nodes", self.nodes);
+        root.push("failed_nodes", self.failed_nodes.as_slice());
+        if let Some(e) = &self.error {
+            root.push("error", e.as_str());
+        }
+        root
+    }
+
+    /// Parses a `job.json` tree, rejecting wrong formats and versions.
+    pub fn from_json(root: &Json) -> Result<JobMeta, String> {
+        let format = root.get("format").and_then(Json::as_str).unwrap_or("");
+        if format != META_FORMAT {
+            return Err(format!("not a {META_FORMAT} file (format {format:?})"));
+        }
+        let version = num(root, "version")?;
+        if version != META_VERSION {
+            return Err(format!("unsupported {META_FORMAT} version {version}"));
+        }
+        let state_raw = root
+            .get("state")
+            .and_then(Json::as_str)
+            .ok_or("missing string field \"state\"")?;
+        let state = JobState::from_wire(state_raw)
+            .ok_or_else(|| format!("unknown job state {state_raw:?}"))?;
+        let failed_nodes = root
+            .get("failed_nodes")
+            .and_then(Json::as_arr)
+            .ok_or("missing array field \"failed_nodes\"")?
+            .iter()
+            .map(|v| {
+                v.as_f64()
+                    .map(|f| f as u64)
+                    .ok_or_else(|| "non-numeric entry in \"failed_nodes\"".to_string())
+            })
+            .collect::<Result<Vec<u64>, String>>()?;
+        Ok(JobMeta {
+            id: num(root, "id")?,
+            spec: JobSpec {
+                algorithm: root
+                    .get("algorithm")
+                    .and_then(Json::as_str)
+                    .ok_or("missing string field \"algorithm\"")?
+                    .to_string(),
+                threads: num(root, "threads")? as usize,
+                checkpoint_interval: num(root, "checkpoint_interval")? as usize,
+                edges_budget: root
+                    .get("edges_budget")
+                    .and_then(Json::as_f64)
+                    .map(|f| f as usize),
+            },
+            state,
+            revision: num(root, "revision")?,
+            processes: num(root, "processes")? as usize,
+            nodes: num(root, "nodes")? as usize,
+            failed_nodes,
+            error: root.get("error").and_then(Json::as_str).map(String::from),
+        })
+    }
+}
+
+fn num(root: &Json, key: &str) -> Result<u64, String> {
+    root.get(key)
+        .and_then(Json::as_f64)
+        .map(|f| f as u64)
+        .ok_or_else(|| format!("missing numeric field {key:?}"))
+}
+
+/// An API-facing job error: an HTTP status plus a message for the
+/// `{"error": ...}` envelope.
+#[derive(Debug)]
+pub struct JobError {
+    /// The HTTP status this error maps onto.
+    pub status: u16,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl JobError {
+    fn new(status: u16, message: impl Into<String>) -> JobError {
+        JobError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.status, self.message)
+    }
+}
+
+impl std::error::Error for JobError {}
+
+struct Entry {
+    meta: JobMeta,
+    /// Live recorder while a worker runs the job, for progress queries.
+    live: Option<Arc<Recorder>>,
+}
+
+struct ManagerState {
+    jobs: BTreeMap<u64, Entry>,
+    queue: VecDeque<u64>,
+    next_id: u64,
+}
+
+/// The queue + worker pool + on-disk store, shared across handler threads.
+pub struct JobManager {
+    root: PathBuf,
+    fault: Arc<FaultPlan>,
+    shutdown: Arc<AtomicBool>,
+    rec: Arc<Recorder>,
+    state: Mutex<ManagerState>,
+    available: Condvar,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl JobManager {
+    /// Opens (or creates) the data dir, rescans persisted jobs, re-enqueues
+    /// the unfinished ones, and starts `job_workers` worker threads.
+    ///
+    /// `shutdown` is the server-wide flag: once set, workers finish their
+    /// cancellation-checkpointed node, persist, and exit. `rec` is the
+    /// server recorder feeding `/v1/metrics`.
+    pub fn new(
+        data_dir: &Path,
+        job_workers: usize,
+        shutdown: Arc<AtomicBool>,
+        rec: Arc<Recorder>,
+        fault: Arc<FaultPlan>,
+    ) -> io::Result<Arc<JobManager>> {
+        fs::create_dir_all(data_dir)?;
+        let mut jobs = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        let mut next_id = 1u64;
+        for entry in fs::read_dir(data_dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(id) = name
+                .to_str()
+                .and_then(|n| n.strip_prefix("job-"))
+                .and_then(|n| n.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            let meta_path = entry.path().join("job.json");
+            let text = fs::read_to_string(&meta_path)
+                .map_err(|e| io::Error::other(format!("cannot read {meta_path:?}: {e}")))?;
+            let json = parse_json(&text)
+                .map_err(|e| io::Error::other(format!("corrupt {meta_path:?}: {e}")))?;
+            let meta = JobMeta::from_json(&json)
+                .map_err(|e| io::Error::other(format!("corrupt {meta_path:?}: {e}")))?;
+            if meta.id != id {
+                return Err(io::Error::other(format!(
+                    "job dir {name:?} holds job id {}",
+                    meta.id
+                )));
+            }
+            next_id = next_id.max(id + 1);
+            match meta.state {
+                JobState::Queued => queue.push_back(id),
+                JobState::Running => {
+                    // The previous process died (or shut down) mid-job:
+                    // the checkpoint carries the finished nodes, so this
+                    // re-run resumes instead of restarting.
+                    rec.add("jobs_resumed", 1);
+                    queue.push_back(id);
+                }
+                _ => {}
+            }
+            jobs.insert(id, Entry { meta, live: None });
+        }
+
+        let manager = Arc::new(JobManager {
+            root: data_dir.to_path_buf(),
+            fault,
+            shutdown,
+            rec,
+            state: Mutex::new(ManagerState {
+                jobs,
+                queue,
+                next_id,
+            }),
+            available: Condvar::new(),
+            workers: Mutex::new(Vec::new()),
+        });
+        let mut handles = Vec::new();
+        for i in 0..job_workers.max(1) {
+            let m = Arc::clone(&manager);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("diffnet-job-{i}"))
+                    .spawn(move || m.worker_loop())?,
+            );
+        }
+        *manager.workers.lock().expect("workers lock") = handles;
+        Ok(manager)
+    }
+
+    /// The directory holding job `id`'s files.
+    pub fn job_dir(&self, id: u64) -> PathBuf {
+        self.root.join(format!("job-{id}"))
+    }
+
+    fn input_path(&self, meta: &JobMeta) -> PathBuf {
+        let name = if meta.spec.takes_statuses() {
+            "statuses.txt"
+        } else {
+            "observations.txt"
+        };
+        self.job_dir(meta.id).join(name)
+    }
+
+    /// Persists `meta` atomically and hits the `job_flush` fault site —
+    /// the injection point for crash tests around state transitions.
+    fn save_meta(&self, meta: &JobMeta) -> io::Result<()> {
+        let dir = self.job_dir(meta.id);
+        fs::create_dir_all(&dir)?;
+        let json = meta.to_json();
+        save_atomic(dir.join("job.json"), |w| {
+            w.write_all(json.to_pretty().as_bytes())
+        })?;
+        self.fault.hit(FAULT_JOB_FLUSH)?;
+        Ok(())
+    }
+
+    /// Accepts a new job: validates the spec, parses the uploaded input
+    /// (status matrix or observation set), persists everything, enqueues.
+    pub fn submit(&self, spec: JobSpec, body: &[u8]) -> Result<JobMeta, JobError> {
+        spec.validate().map_err(|e| JobError::new(422, e))?;
+        let (processes, nodes) = if spec.takes_statuses() {
+            let m = read_status_matrix(body)
+                .map_err(|e| JobError::new(422, format!("bad status matrix: {e}")))?;
+            if m.num_processes() == 0 || m.num_nodes() == 0 {
+                return Err(JobError::new(422, "status matrix is empty"));
+            }
+            (m.num_processes(), m.num_nodes())
+        } else {
+            let obs = read_observations(body)
+                .map_err(|e| JobError::new(422, format!("bad observations: {e}")))?;
+            if obs.num_processes() == 0 || obs.num_nodes() == 0 {
+                return Err(JobError::new(422, "observation set is empty"));
+            }
+            (obs.num_processes(), obs.num_nodes())
+        };
+
+        let mut st = self.state.lock().expect("state lock");
+        let id = st.next_id;
+        st.next_id += 1;
+        let meta = JobMeta::new(id, spec, processes, nodes);
+        let dir = self.job_dir(id);
+        fs::create_dir_all(&dir)
+            .map_err(|e| JobError::new(500, format!("cannot create job dir: {e}")))?;
+        save_atomic(self.input_path(&meta), |w| w.write_all(body))
+            .map_err(|e| JobError::new(500, format!("cannot store job input: {e}")))?;
+        self.save_meta(&meta)
+            .map_err(|e| JobError::new(500, format!("cannot persist job: {e}")))?;
+        st.jobs.insert(
+            id,
+            Entry {
+                meta: meta.clone(),
+                live: None,
+            },
+        );
+        st.queue.push_back(id);
+        self.rec.add("jobs_submitted", 1);
+        drop(st);
+        self.available.notify_one();
+        Ok(meta)
+    }
+
+    /// Appends cascades (extra status rows) to a tends job and re-queues
+    /// it for incremental re-estimation.
+    ///
+    /// The previous checkpoint is deleted — its fingerprint covers the
+    /// input shape, so it can never poison the new run — and stale
+    /// outputs are removed. `revision` is bumped so clients can tell the
+    /// runs apart. Returns `409` while the job is running.
+    pub fn append_cascades(&self, id: u64, body: &[u8]) -> Result<JobMeta, JobError> {
+        let appended = read_status_matrix(body)
+            .map_err(|e| JobError::new(422, format!("bad status matrix: {e}")))?;
+        if appended.num_processes() == 0 {
+            return Err(JobError::new(422, "no cascades in upload"));
+        }
+
+        let mut st = self.state.lock().expect("state lock");
+        let entry = st
+            .jobs
+            .get_mut(&id)
+            .ok_or_else(|| JobError::new(404, format!("no job {id}")))?;
+        if !entry.meta.spec.takes_statuses() {
+            return Err(JobError::new(
+                409,
+                format!(
+                    "job {id} runs {:?}, which takes observations; cascade append only \
+                     applies to status-matrix jobs",
+                    entry.meta.spec.algorithm
+                ),
+            ));
+        }
+        if !entry.meta.state.is_terminal() {
+            return Err(JobError::new(
+                409,
+                format!(
+                    "job {id} is {}; wait for it to finish before appending",
+                    entry.meta.state.as_str()
+                ),
+            ));
+        }
+        if appended.num_nodes() != entry.meta.nodes {
+            return Err(JobError::new(
+                422,
+                format!(
+                    "appended cascades cover {} nodes but the job has {}",
+                    appended.num_nodes(),
+                    entry.meta.nodes
+                ),
+            ));
+        }
+
+        let dir = self.job_dir(id);
+        let existing = load_status_matrix(dir.join("statuses.txt"))
+            .map_err(|e| JobError::new(500, format!("cannot reload job input: {e}")))?;
+        let combined = concat_statuses(&existing, &appended);
+        save_status_matrix(&combined, dir.join("statuses.txt"))
+            .map_err(|e| JobError::new(500, format!("cannot store combined input: {e}")))?;
+        // The fingerprint in the old checkpoint no longer matches the new
+        // β, so it is useless; remove it and the stale outputs.
+        for stale in ["checkpoint.json", "edges.txt", "report.json"] {
+            let _ = fs::remove_file(dir.join(stale));
+        }
+
+        entry.meta.processes = combined.num_processes();
+        entry.meta.revision += 1;
+        entry.meta.state = JobState::Queued;
+        entry.meta.failed_nodes.clear();
+        entry.meta.error = None;
+        let meta = entry.meta.clone();
+        self.save_meta(&meta)
+            .map_err(|e| JobError::new(500, format!("cannot persist job: {e}")))?;
+        st.queue.push_back(id);
+        self.rec
+            .add("cascades_appended", appended.num_processes() as u64);
+        drop(st);
+        self.available.notify_one();
+        Ok(meta)
+    }
+
+    /// The job's current meta plus, while running, a live progress
+    /// snapshot of its recorder.
+    pub fn status(&self, id: u64) -> Option<(JobMeta, Option<Snapshot>)> {
+        let st = self.state.lock().expect("state lock");
+        let entry = st.jobs.get(&id)?;
+        let snap = entry.live.as_ref().map(|r| r.snapshot());
+        Some((entry.meta.clone(), snap))
+    }
+
+    /// All jobs, in id order.
+    pub fn list(&self) -> Vec<JobMeta> {
+        let st = self.state.lock().expect("state lock");
+        st.jobs.values().map(|e| e.meta.clone()).collect()
+    }
+
+    /// Reads a finished job's output file (`edges.txt` or `report.json`).
+    pub fn read_output(&self, id: u64, file: &str) -> Result<Vec<u8>, JobError> {
+        let meta = self
+            .status(id)
+            .ok_or_else(|| JobError::new(404, format!("no job {id}")))?
+            .0;
+        match meta.state {
+            JobState::Done | JobState::Partial => {}
+            other => {
+                return Err(JobError::new(
+                    409,
+                    format!(
+                        "job {id} is {}; outputs exist once it finishes",
+                        other.as_str()
+                    ),
+                ))
+            }
+        }
+        fs::read(self.job_dir(id).join(file))
+            .map_err(|e| JobError::new(500, format!("cannot read job output {file:?}: {e}")))
+    }
+
+    /// Signals the workers, wakes them, and joins them. In-flight tends
+    /// jobs observe the flag through [`RobustOptions::cancel`], flush
+    /// their checkpoint, and stay `running` on disk so the next process
+    /// resumes them.
+    pub fn shutdown_and_join(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.available.notify_all();
+        let handles = std::mem::take(&mut *self.workers.lock().expect("workers lock"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let id = {
+                let mut st = self.state.lock().expect("state lock");
+                loop {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    if let Some(id) = st.queue.pop_front() {
+                        break id;
+                    }
+                    st = self
+                        .available
+                        .wait_timeout(st, Duration::from_millis(200))
+                        .expect("state lock")
+                        .0;
+                }
+            };
+            self.run_one(id);
+        }
+    }
+
+    /// Claims job `id`, runs it, and persists the outcome.
+    fn run_one(&self, id: u64) {
+        let rec = Arc::new(Recorder::new());
+        let meta = {
+            let mut st = self.state.lock().expect("state lock");
+            let Some(entry) = st.jobs.get_mut(&id) else {
+                return;
+            };
+            entry.meta.state = JobState::Running;
+            entry.meta.error = None;
+            entry.live = Some(Arc::clone(&rec));
+            entry.meta.clone()
+        };
+        if self.save_meta(&meta).is_err() {
+            // Cannot record the claim; leave the job queued on disk and
+            // give up this attempt rather than running unrecorded.
+            let mut st = self.state.lock().expect("state lock");
+            if let Some(entry) = st.jobs.get_mut(&id) {
+                entry.meta.state = JobState::Queued;
+                entry.live = None;
+            }
+            self.rec.add("jobs_failed", 1);
+            return;
+        }
+
+        let outcome = if meta.spec.takes_statuses() {
+            self.run_tends(&meta, &rec)
+        } else {
+            self.run_baseline(&meta, &rec)
+        };
+
+        let mut st = self.state.lock().expect("state lock");
+        let Some(entry) = st.jobs.get_mut(&id) else {
+            return;
+        };
+        entry.live = None;
+        match outcome {
+            Outcome::Interrupted => {
+                // Leave `running` on disk: the startup rescan resumes it.
+                self.rec.add("jobs_interrupted", 1);
+                entry.meta.state = JobState::Running;
+            }
+            Outcome::Finished {
+                state,
+                failed_nodes,
+                error,
+            } => {
+                entry.meta.state = state;
+                entry.meta.failed_nodes = failed_nodes;
+                entry.meta.error = error;
+                let counter = match state {
+                    JobState::Done => "jobs_completed",
+                    JobState::Partial => "jobs_partial",
+                    _ => "jobs_failed",
+                };
+                self.rec.add(counter, 1);
+                let meta = entry.meta.clone();
+                drop(st);
+                let _ = self.save_meta(&meta);
+            }
+        }
+    }
+
+    fn run_tends(&self, meta: &JobMeta, rec: &Recorder) -> Outcome {
+        let dir = self.job_dir(meta.id);
+        // Mirror the CLI's `infer` path exactly — same phases, same
+        // config defaults — so the report's deterministic section is
+        // byte-identical to an offline `diffnet infer` run.
+        let statuses = {
+            let _p = rec.phase("load_statuses");
+            match load_status_matrix(dir.join("statuses.txt")) {
+                Ok(m) => m,
+                Err(e) => return Outcome::failed(format!("cannot load statuses: {e}")),
+            }
+        };
+        let cfg = TendsConfig {
+            threads: meta.spec.threads,
+            ..TendsConfig::default()
+        };
+        let checkpoint = dir.join("checkpoint.json");
+        let options = RobustOptions {
+            checkpoint: Some(checkpoint.clone()),
+            resume: true,
+            checkpoint_interval: meta.spec.checkpoint_interval,
+            fault: self.fault.as_ref(),
+            cancel: Some(&self.shutdown),
+        };
+        let partial = match Tends::with_config(cfg).reconstruct_robust(&statuses, rec, &options) {
+            Ok(p) => p,
+            Err(e) => return Outcome::failed(e.to_string()),
+        };
+        if partial
+            .errors
+            .iter()
+            .any(|(_, e)| matches!(e, NodeError::Cancelled))
+        {
+            return Outcome::Interrupted;
+        }
+        let failed_nodes: Vec<u64> = partial.failed_nodes.iter().map(|&v| u64::from(v)).collect();
+        let mut report = RunReport::new(
+            meta.spec.algorithm.as_str(),
+            rec.snapshot(),
+            meta.spec.threads.max(1),
+        );
+        report.failed_nodes = failed_nodes.clone();
+        report.checkpoint = Some(CheckpointInfo {
+            path: checkpoint.display().to_string(),
+            resumed_nodes: partial.resumed_nodes,
+            flushes: partial.checkpoint_flushes,
+        });
+        let state = if failed_nodes.is_empty() {
+            JobState::Done
+        } else {
+            JobState::Partial
+        };
+        self.write_outputs(meta, state, &partial.result.graph, &report, &failed_nodes)
+    }
+
+    fn run_baseline(&self, meta: &JobMeta, rec: &Recorder) -> Outcome {
+        let dir = self.job_dir(meta.id);
+        let obs = match diffnet_simulate::io::load_observations(dir.join("observations.txt")) {
+            Ok(o) => o,
+            Err(e) => return Outcome::failed(format!("cannot load observations: {e}")),
+        };
+        let m = meta.spec.edges_budget.unwrap_or(0);
+        let graph: DiGraph = match meta.spec.algorithm.as_str() {
+            "netrate" => NetRate::new().infer_observed(&obs, rec).top_m(m),
+            "multree" => MulTree::new().infer(&obs, m),
+            "lift" => Lift::new().infer(&obs, m),
+            "netinf" => NetInf::new().infer(&obs, m),
+            "path" => PathReconstruction::new().infer(&obs, m),
+            other => return Outcome::failed(format!("unknown algorithm {other:?}")),
+        };
+        let report = RunReport::new(meta.spec.algorithm.as_str(), rec.snapshot(), 1);
+        self.write_outputs(meta, JobState::Done, &graph, &report, &[])
+    }
+
+    fn write_outputs(
+        &self,
+        meta: &JobMeta,
+        state: JobState,
+        graph: &DiGraph,
+        report: &RunReport,
+        failed_nodes: &[u64],
+    ) -> Outcome {
+        let dir = self.job_dir(meta.id);
+        if let Err(e) = save_edge_list(graph, dir.join("edges.txt")) {
+            return Outcome::failed(format!("cannot write edges: {e}"));
+        }
+        let json = job_report_json(report, meta.id, state, meta.revision);
+        if let Err(e) = save_atomic(dir.join("report.json"), |w| {
+            w.write_all(json.to_pretty().as_bytes())
+        }) {
+            return Outcome::failed(format!("cannot write report: {e}"));
+        }
+        Outcome::Finished {
+            state,
+            failed_nodes: failed_nodes.to_vec(),
+            error: None,
+        }
+    }
+}
+
+enum Outcome {
+    /// Terminal: persist the state and outputs.
+    Finished {
+        state: JobState,
+        failed_nodes: Vec<u64>,
+        error: Option<String>,
+    },
+    /// Cancelled by shutdown mid-run; leave `running` on disk for resume.
+    Interrupted,
+}
+
+impl Outcome {
+    fn failed(message: String) -> Outcome {
+        Outcome::Finished {
+            state: JobState::Failed,
+            failed_nodes: Vec::new(),
+            error: Some(message),
+        }
+    }
+}
+
+/// The job's `report.json`: a normal [`RunReport`] with a `job` record
+/// injected into the `runtime` section — the deterministic section stays
+/// byte-identical to an offline CLI run on the same input.
+pub fn job_report_json(report: &RunReport, id: u64, state: JobState, revision: u64) -> Json {
+    let mut root = report.to_json();
+    let mut runtime = root.remove("runtime").unwrap_or_else(Json::object);
+    let mut job = Json::object();
+    job.push("id", id);
+    job.push("state", state.as_str());
+    job.push("revision", revision);
+    runtime.push("job", job);
+    root.push("runtime", runtime);
+    root
+}
+
+/// Row-wise concatenation of two status matrices with equal node counts.
+fn concat_statuses(a: &StatusMatrix, b: &StatusMatrix) -> StatusMatrix {
+    debug_assert_eq!(a.num_nodes(), b.num_nodes());
+    let n = a.num_nodes();
+    let beta = a.num_processes() + b.num_processes();
+    let mut out = StatusMatrix::new(beta, n);
+    for l in 0..a.num_processes() {
+        for i in 0..n {
+            if a.get(l, i as u32) {
+                out.set(l, i as u32);
+            }
+        }
+    }
+    for l in 0..b.num_processes() {
+        for i in 0..n {
+            if b.get(l, i as u32) {
+                out.set(a.num_processes() + l, i as u32);
+            }
+        }
+    }
+    out
+}
+
+/// Renders the wire form of a job's status for `GET /v1/jobs/{id}`.
+pub fn status_json(meta: &JobMeta, live: Option<&Snapshot>) -> Json {
+    let mut root = Json::object();
+    root.push("id", meta.id);
+    root.push("algorithm", meta.spec.algorithm.as_str());
+    root.push("state", meta.state.as_str());
+    root.push("revision", meta.revision);
+    root.push("processes", meta.processes);
+    root.push("nodes", meta.nodes);
+    root.push("threads", meta.spec.threads);
+    root.push("failed_nodes", meta.failed_nodes.as_slice());
+    if let Some(e) = &meta.error {
+        root.push("error", e.as_str());
+    }
+    if let Some(snap) = live {
+        let mut progress = Json::object();
+        progress.push(
+            "phases",
+            Json::Arr(
+                snap.phases
+                    .iter()
+                    .map(|&(name, _)| Json::from(name))
+                    .collect(),
+            ),
+        );
+        let mut counters = Json::object();
+        for (&name, &value) in &snap.counters {
+            counters.push(name, value);
+        }
+        progress.push("counters", counters);
+        root.push("progress", progress);
+    }
+    root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "diffnet-serve-job-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create tmp dir");
+        dir
+    }
+
+    /// A small deterministic status matrix with real correlation
+    /// structure (cascades over a ring) so tends finds edges.
+    fn sample_statuses(beta: usize, n: usize) -> StatusMatrix {
+        let mut rows = Vec::with_capacity(beta);
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for l in 0..beta {
+            let mut row = vec![false; n];
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let start = (state >> 33) as usize % n;
+            let len = 1 + (l % (n / 2));
+            for k in 0..len {
+                row[(start + k) % n] = true;
+            }
+            rows.push(row);
+        }
+        StatusMatrix::from_rows(&rows)
+    }
+
+    fn statuses_bytes(m: &StatusMatrix) -> Vec<u8> {
+        let mut buf = Vec::new();
+        diffnet_simulate::io::write_status_matrix(m, &mut buf).expect("serialize");
+        buf
+    }
+
+    fn manager(dir: &Path) -> (Arc<JobManager>, Arc<AtomicBool>) {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let m = JobManager::new(
+            dir,
+            1,
+            Arc::clone(&shutdown),
+            Arc::new(Recorder::new()),
+            Arc::new(FaultPlan::disabled()),
+        )
+        .expect("manager");
+        (m, shutdown)
+    }
+
+    fn wait_terminal(m: &JobManager, id: u64) -> JobMeta {
+        for _ in 0..600 {
+            let (meta, _) = m.status(id).expect("job exists");
+            if meta.state.is_terminal() {
+                return meta;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        panic!("job {id} never reached a terminal state");
+    }
+
+    #[test]
+    fn meta_round_trips_through_json() {
+        let mut meta = JobMeta::new(
+            7,
+            JobSpec {
+                algorithm: "netrate".to_string(),
+                threads: 4,
+                checkpoint_interval: 3,
+                edges_budget: Some(12),
+            },
+            100,
+            20,
+        );
+        meta.state = JobState::Partial;
+        meta.revision = 3;
+        meta.failed_nodes = vec![2, 9];
+        meta.error = Some("boom".to_string());
+        let text = meta.to_json().to_pretty();
+        let back = JobMeta::from_json(&parse_json(&text).expect("json")).expect("meta");
+        assert_eq!(back, meta);
+    }
+
+    #[test]
+    fn meta_rejects_foreign_and_corrupt_files() {
+        let err = JobMeta::from_json(&Json::object()).unwrap_err();
+        assert!(err.contains("not a diffnet-job"), "{err}");
+        let mut wrong = JobMeta::new(1, JobSpec::default(), 1, 1).to_json();
+        wrong.remove("state");
+        assert!(JobMeta::from_json(&wrong).unwrap_err().contains("state"));
+    }
+
+    #[test]
+    fn submit_runs_to_done_with_outputs() {
+        let dir = tmp_dir("submit");
+        let (m, _) = manager(&dir);
+        let statuses = sample_statuses(40, 8);
+        let meta = m
+            .submit(JobSpec::default(), &statuses_bytes(&statuses))
+            .expect("submit");
+        assert_eq!(meta.id, 1);
+        assert_eq!(meta.state, JobState::Queued);
+        assert_eq!(meta.processes, 40);
+        assert_eq!(meta.nodes, 8);
+
+        let done = wait_terminal(&m, 1);
+        assert_eq!(done.state, JobState::Done);
+        let edges = m.read_output(1, "edges.txt").expect("edges");
+        assert!(edges.starts_with(b"# nodes: 8\n"));
+        let report = m.read_output(1, "report.json").expect("report");
+        let text = std::str::from_utf8(&report).expect("utf8");
+        diffnet_observe::validate_report_json(text, &["load_statuses", "parent_search"], &[])
+            .expect("valid job report");
+        let json = parse_json(text).expect("json");
+        let job = json.get("runtime").and_then(|r| r.get("job")).expect("job");
+        assert_eq!(job.get("state").and_then(Json::as_str), Some("done"));
+
+        m.shutdown_and_join();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn submit_rejects_bad_specs_and_inputs() {
+        let dir = tmp_dir("reject");
+        let (m, _) = manager(&dir);
+        let spec = JobSpec {
+            algorithm: "psychic".to_string(),
+            ..JobSpec::default()
+        };
+        assert_eq!(m.submit(spec, b"").unwrap_err().status, 422);
+        let spec = JobSpec {
+            algorithm: "netinf".to_string(),
+            edges_budget: None,
+            ..JobSpec::default()
+        };
+        assert_eq!(m.submit(spec, b"").unwrap_err().status, 422);
+        // Truncated status matrix: header promises more rows than follow.
+        let bad = b"# diffnet status matrix: 5 processes x 3 nodes\n0 1 0\n";
+        let err = m.submit(JobSpec::default(), bad).unwrap_err();
+        assert_eq!(err.status, 422);
+        assert!(err.message.contains("bad status matrix"), "{}", err.message);
+        m.shutdown_and_join();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_cascades_requeues_with_bumped_revision() {
+        let dir = tmp_dir("append");
+        let (m, _) = manager(&dir);
+        let first = sample_statuses(30, 8);
+        m.submit(JobSpec::default(), &statuses_bytes(&first))
+            .expect("submit");
+        wait_terminal(&m, 1);
+
+        let more = sample_statuses(10, 8);
+        let meta = m
+            .append_cascades(1, &statuses_bytes(&more))
+            .expect("append");
+        assert_eq!(meta.revision, 2);
+        assert_eq!(meta.processes, 40);
+        let done = wait_terminal(&m, 1);
+        assert_eq!(done.state, JobState::Done);
+
+        // The re-estimated result equals a fresh job over the combined
+        // input: incremental append is exact, not approximate.
+        let combined = concat_statuses(&first, &more);
+        let fresh = m
+            .submit(JobSpec::default(), &statuses_bytes(&combined))
+            .expect("submit combined");
+        wait_terminal(&m, fresh.id);
+        assert_eq!(
+            m.read_output(1, "edges.txt").expect("edges"),
+            m.read_output(fresh.id, "edges.txt").expect("edges"),
+        );
+
+        // Wrong node count is a typed 422.
+        let narrow = sample_statuses(4, 5);
+        assert_eq!(
+            m.append_cascades(1, &statuses_bytes(&narrow))
+                .unwrap_err()
+                .status,
+            422
+        );
+        m.shutdown_and_join();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restart_resumes_persisted_queue() {
+        let dir = tmp_dir("restart");
+        let statuses = sample_statuses(40, 8);
+        {
+            let (m, _) = manager(&dir);
+            m.submit(JobSpec::default(), &statuses_bytes(&statuses))
+                .expect("submit");
+            wait_terminal(&m, 1);
+            m.shutdown_and_join();
+        }
+        // A second manager over the same dir sees the finished job and
+        // assigns fresh ids after it.
+        let (m, _) = manager(&dir);
+        let jobs = m.list();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].state, JobState::Done);
+        let meta = m
+            .submit(JobSpec::default(), &statuses_bytes(&statuses))
+            .expect("submit");
+        assert_eq!(meta.id, 2);
+        wait_terminal(&m, 2);
+        assert_eq!(
+            m.read_output(1, "edges.txt").expect("edges"),
+            m.read_output(2, "edges.txt").expect("edges"),
+        );
+        m.shutdown_and_join();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn graceful_shutdown_leaves_job_resumable() {
+        let dir = tmp_dir("graceful");
+        let statuses = sample_statuses(60, 10);
+        {
+            let shutdown = Arc::new(AtomicBool::new(true)); // cancel immediately
+            let m = JobManager::new(
+                &dir,
+                1,
+                Arc::clone(&shutdown),
+                Arc::new(Recorder::new()),
+                Arc::new(FaultPlan::disabled()),
+            )
+            .expect("manager");
+            // Workers exit instantly on the pre-set flag, so drive the
+            // cancelled run directly to exercise the interrupt path.
+            let meta = m
+                .submit(JobSpec::default(), &statuses_bytes(&statuses))
+                .expect("submit");
+            m.run_one(meta.id);
+            let (meta, _) = m.status(1).expect("job");
+            assert_eq!(
+                meta.state,
+                JobState::Running,
+                "interrupted job stays running"
+            );
+            m.shutdown_and_join();
+        }
+        // Restart: the rescan re-enqueues the running job and it finishes.
+        let (m, _) = manager(&dir);
+        let done = wait_terminal(&m, 1);
+        assert_eq!(done.state, JobState::Done);
+        m.shutdown_and_join();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn job_report_injects_runtime_job_only() {
+        let rec = Recorder::new();
+        {
+            let _p = rec.phase("load_statuses");
+        }
+        rec.add("edges_emitted", 3);
+        let report = RunReport::new("tends", rec.snapshot(), 2);
+        let json = job_report_json(&report, 9, JobState::Done, 4);
+        diffnet_observe::validate_report_json(&json.to_pretty(), &["load_statuses"], &[])
+            .expect("valid");
+        let job = json.get("runtime").and_then(|r| r.get("job")).expect("job");
+        assert_eq!(job.get("id").and_then(Json::as_f64), Some(9.0));
+        assert_eq!(job.get("revision").and_then(Json::as_f64), Some(4.0));
+        // Stripping runtime removes the job record: the deterministic
+        // section is unchanged relative to an offline run.
+        let mut stripped = json.clone();
+        stripped.remove("runtime");
+        assert_eq!(stripped.to_pretty(), report.deterministic_json());
+    }
+}

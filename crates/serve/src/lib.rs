@@ -1,0 +1,44 @@
+//! `diffnet-serve` — a zero-dependency inference daemon.
+//!
+//! Turns the offline reconstruction pipeline into a long-running service
+//! without adding a single external crate: a hand-rolled HTTP/1.1 server
+//! over [`std::net::TcpListener`] ([`http`]), a durable job queue whose
+//! persistence layer *is* the PR-4 checkpoint machinery ([`job`]), the
+//! accept/worker pools and signal handling ([`server`]), and a small
+//! blocking client for the CLI and tests ([`client`]).
+//!
+//! # API
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `POST /v1/jobs?algorithm=&threads=&checkpoint-interval=&edges=` | submit an input, get a job id |
+//! | `GET /v1/jobs` | list jobs |
+//! | `GET /v1/jobs/{id}` | state machine + live progress counters |
+//! | `GET /v1/jobs/{id}/edges` | the inferred edge list |
+//! | `GET /v1/jobs/{id}/report` | the run report (with `runtime.job`) |
+//! | `POST /v1/jobs/{id}/cascades` | append cascades, re-estimate |
+//! | `GET /v1/metrics` | Prometheus text exposition |
+//! | `GET /v1/healthz` | liveness |
+//! | `POST /v1/shutdown` | graceful stop (same path as SIGTERM) |
+//!
+//! # Durability contract
+//!
+//! Every state transition and output is written atomically
+//! (temp + fsync + rename). A tends job checkpoints its per-node results
+//! as it runs, so `kill -9` at any instant — including mid-flush, via the
+//! `job_flush` and `checkpoint_flush` fault sites — loses at most the
+//! nodes since the last flush. On restart the data dir is rescanned,
+//! interrupted jobs resume from their checkpoint, and the finished edge
+//! list is byte-identical to an uninterrupted run at any thread count.
+
+pub mod client;
+pub mod http;
+pub mod job;
+pub mod server;
+
+pub use client::Client;
+pub use http::{HttpError, Limits, Method, Request, Response};
+pub use job::{
+    job_report_json, status_json, JobError, JobManager, JobMeta, JobSpec, JobState, ALGORITHMS,
+};
+pub use server::{ServeConfig, Server, FAULT_ACCEPT};

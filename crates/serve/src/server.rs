@@ -1,0 +1,498 @@
+//! The daemon: a bounded accept/worker pool around [`JobManager`].
+//!
+//! One accept thread pushes connections into a bounded queue; a small
+//! pool of handler threads pops them, parses one request each (the
+//! protocol is `Connection: close`), routes it, and writes the response.
+//! When the queue is full the connection is answered `503` immediately
+//! instead of piling up unbounded.
+//!
+//! Shutdown is cooperative and has three triggers that all set the same
+//! flag: `SIGTERM`/`SIGINT` (unix), `POST /v1/shutdown`, and
+//! [`Server::request_shutdown`]. The accept loop notices the flag within
+//! one poll interval, stops accepting, drains the handler pool, and then
+//! joins the job workers — in-flight tends jobs checkpoint their finished
+//! nodes and stay `running` on disk, so the next start resumes them.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use diffnet_observe::{render_prometheus, FaultPlan, Json, Recorder};
+
+use crate::http::{read_request, Limits, Method, Request, Response};
+use crate::job::{status_json, JobError, JobManager, JobSpec};
+
+/// Fault-injection site hit once per accepted connection.
+pub const FAULT_ACCEPT: &str = "accept";
+
+/// How the daemon is wired up. [`Default`] binds an ephemeral loopback
+/// port with one job worker — the configuration the tests use.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (or port `0` for ephemeral).
+    pub addr: String,
+    /// Directory holding the durable job store.
+    pub data_dir: PathBuf,
+    /// HTTP handler threads.
+    pub http_workers: usize,
+    /// Inference worker threads (each runs one job at a time).
+    pub job_workers: usize,
+    /// Request size caps.
+    pub limits: Limits,
+    /// If set, the bound address is written here once listening — how
+    /// spawned-binary tests discover an ephemeral port.
+    pub port_file: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            data_dir: PathBuf::from("diffnet-data"),
+            http_workers: 4,
+            job_workers: 1,
+            limits: Limits::default(),
+            port_file: None,
+        }
+    }
+}
+
+struct Shared {
+    manager: Arc<JobManager>,
+    rec: Arc<Recorder>,
+    limits: Limits,
+    shutdown: Arc<AtomicBool>,
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+}
+
+const QUEUE_CAP: usize = 64;
+
+/// A bound, running daemon. Construct with [`Server::bind`], then either
+/// call [`Server::serve_forever`] (the CLI does) or poke it from another
+/// thread via [`Server::request_shutdown`] (the tests do).
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    fault: Arc<FaultPlan>,
+    handlers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener, opens/rescans the job store, starts the job
+    /// and handler pools, and (if configured) writes the port file.
+    pub fn bind(config: &ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let rec = Arc::new(Recorder::new());
+        let fault = Arc::new(
+            FaultPlan::from_env().map_err(|e| io::Error::other(format!("DIFFNET_FAULT: {e}")))?,
+        );
+        let manager = JobManager::new(
+            &config.data_dir,
+            config.job_workers,
+            Arc::clone(&shutdown),
+            Arc::clone(&rec),
+            Arc::clone(&fault),
+        )?;
+        let shared = Arc::new(Shared {
+            manager,
+            rec,
+            limits: config.limits,
+            shutdown,
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        });
+        let mut handlers = Vec::new();
+        for i in 0..config.http_workers.max(1) {
+            let s = Arc::clone(&shared);
+            handlers.push(
+                std::thread::Builder::new()
+                    .name(format!("diffnet-http-{i}"))
+                    .spawn(move || handler_loop(&s))?,
+            );
+        }
+        if let Some(path) = &config.port_file {
+            diffnet_graph::io::save_atomic(path, |w| writeln!(w, "{addr}"))?;
+        }
+        Ok(Server {
+            listener,
+            addr,
+            shared,
+            fault,
+            handlers,
+        })
+    }
+
+    /// The bound address (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shutdown flag; setting it stops the daemon within one poll
+    /// interval, exactly like `SIGTERM` or `POST /v1/shutdown`.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shared.shutdown)
+    }
+
+    /// Requests a graceful stop from another thread.
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Accepts connections until the shutdown flag is set (by a signal,
+    /// the shutdown endpoint, or [`Server::request_shutdown`]), then
+    /// drains the pools. In-flight jobs checkpoint and stay resumable.
+    pub fn serve_forever(mut self) -> io::Result<()> {
+        #[cfg(unix)]
+        install_signal_handlers();
+        loop {
+            if self.shared.shutdown.load(Ordering::SeqCst) || signalled() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.fault.hit(FAULT_ACCEPT).is_err() {
+                        // Injected accept fault: count it and drop the
+                        // connection without reading a byte.
+                        self.shared.rec.add("accept_faults", 1);
+                        continue;
+                    }
+                    let mut q = self.shared.queue.lock().expect("queue lock");
+                    if q.len() >= QUEUE_CAP {
+                        drop(q);
+                        self.shared.rec.add("http_rejected_busy", 1);
+                        let _ = crate::http::configure_stream(&stream).and_then(|()| {
+                            let mut s = stream;
+                            Response::error(503, "handler queue full").write_to(&mut s)
+                        });
+                        continue;
+                    }
+                    q.push_back(stream);
+                    drop(q);
+                    self.shared.ready.notify_one();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+        // Propagate a signal-initiated stop to the pools.
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.ready.notify_all();
+        for h in self.handlers.drain(..) {
+            let _ = h.join();
+        }
+        self.shared.manager.shutdown_and_join();
+        Ok(())
+    }
+}
+
+fn handler_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut q = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(s) = q.pop_front() {
+                    break s;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = shared
+                    .ready
+                    .wait_timeout(q, Duration::from_millis(200))
+                    .expect("queue lock")
+                    .0;
+            }
+        };
+        handle_connection(shared, stream);
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    if crate::http::configure_stream(&stream).is_err() {
+        return;
+    }
+    shared.rec.add("http_requests", 1);
+    let response = match read_request(&mut stream, &shared.limits) {
+        Ok(request) => route(shared, &request),
+        Err(e) => {
+            shared.rec.add("http_protocol_errors", 1);
+            Response::error(e.status(), e.to_string())
+        }
+    };
+    if response.status >= 400 {
+        shared.rec.add("http_error_responses", 1);
+    }
+    let _ = response.write_to(&mut stream);
+}
+
+/// Maps one parsed request onto the API.
+fn route(shared: &Shared, req: &Request) -> Response {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method, segments.as_slice()) {
+        (Method::Get, ["v1", "healthz"]) => Response::text(200, "ok\n"),
+        (Method::Get, ["v1", "metrics"]) => {
+            let snap = shared.rec.snapshot();
+            Response::text(200, render_prometheus(&snap, "diffnet"))
+        }
+        (Method::Post, ["v1", "shutdown"]) => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            Response::text(200, "shutting down\n")
+        }
+        (Method::Post, ["v1", "jobs"]) => match spec_from_query(req) {
+            Ok(spec) => match shared.manager.submit(spec, &req.body) {
+                Ok(meta) => Response::json(201, &status_json(&meta, None)),
+                Err(e) => job_error(e),
+            },
+            Err(msg) => Response::error(422, msg),
+        },
+        (Method::Get, ["v1", "jobs"]) => {
+            let mut arr = Vec::new();
+            for meta in shared.manager.list() {
+                arr.push(status_json(&meta, None));
+            }
+            let mut root = Json::object();
+            root.push("jobs", Json::Arr(arr));
+            Response::json(200, &root)
+        }
+        (Method::Get, ["v1", "jobs", id]) => match parse_id(id) {
+            Some(id) => match shared.manager.status(id) {
+                Some((meta, live)) => Response::json(200, &status_json(&meta, live.as_ref())),
+                None => Response::error(404, format!("no job {id}")),
+            },
+            None => Response::error(404, format!("bad job id {id:?}")),
+        },
+        (Method::Get, ["v1", "jobs", id, "edges"]) => output(shared, id, "edges.txt"),
+        (Method::Get, ["v1", "jobs", id, "report"]) => output(shared, id, "report.json"),
+        (Method::Post, ["v1", "jobs", id, "cascades"]) => match parse_id(id) {
+            Some(id) => match shared.manager.append_cascades(id, &req.body) {
+                Ok(meta) => Response::json(200, &status_json(&meta, None)),
+                Err(e) => job_error(e),
+            },
+            None => Response::error(404, format!("bad job id {id:?}")),
+        },
+        // Known paths with the wrong verb are 405, unknown paths 404.
+        (_, ["v1", "healthz" | "metrics" | "jobs", ..]) | (_, ["v1", "shutdown"]) => {
+            Response::error(405, format!("{} not allowed here", req.method))
+        }
+        _ => Response::error(404, format!("no route for {:?}", req.path)),
+    }
+}
+
+fn output(shared: &Shared, id: &str, file: &str) -> Response {
+    match parse_id(id) {
+        Some(id) => match shared.manager.read_output(id, file) {
+            Ok(bytes) => Response {
+                status: 200,
+                content_type: if file.ends_with(".json") {
+                    "application/json"
+                } else {
+                    "text/plain; charset=utf-8"
+                },
+                body: bytes,
+            },
+            Err(e) => job_error(e),
+        },
+        None => Response::error(404, format!("bad job id {id:?}")),
+    }
+}
+
+fn job_error(e: JobError) -> Response {
+    Response::error(e.status, e.message)
+}
+
+fn parse_id(raw: &str) -> Option<u64> {
+    raw.parse().ok()
+}
+
+/// Builds a [`JobSpec`] from the submit query string; unknown keys are a
+/// typed error so client typos fail loudly instead of silently running
+/// with defaults.
+fn spec_from_query(req: &Request) -> Result<JobSpec, String> {
+    let mut spec = JobSpec::default();
+    for (key, value) in &req.query {
+        match key.as_str() {
+            "algorithm" => spec.algorithm = value.clone(),
+            "threads" => {
+                spec.threads = value
+                    .parse()
+                    .map_err(|_| format!("bad threads value {value:?}"))?;
+            }
+            "checkpoint-interval" => {
+                spec.checkpoint_interval = value
+                    .parse()
+                    .map_err(|_| format!("bad checkpoint-interval value {value:?}"))?;
+            }
+            "edges" => {
+                spec.edges_budget = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad edges value {value:?}"))?,
+                );
+            }
+            other => return Err(format!("unknown submit option {other:?}")),
+        }
+    }
+    Ok(spec)
+}
+
+// ---------------------------------------------------------------------------
+// Unix signal handling, with no crates: std already links libc, so the
+// two symbols we need can be declared directly. The handler only stores
+// to a process-global atomic, which is async-signal-safe.
+
+static SIGNAL_SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+fn signalled() -> bool {
+    SIGNAL_SHUTDOWN.load(Ordering::SeqCst)
+}
+
+#[cfg(unix)]
+extern "C" fn on_signal(_signum: i32) {
+    SIGNAL_SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_config(tag: &str) -> ServeConfig {
+        let dir = std::env::temp_dir().join(format!(
+            "diffnet-serve-http-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        ServeConfig {
+            data_dir: dir,
+            http_workers: 2,
+            ..ServeConfig::default()
+        }
+    }
+
+    fn start(config: &ServeConfig) -> (SocketAddr, std::thread::JoinHandle<io::Result<()>>) {
+        let server = Server::bind(config).expect("bind");
+        let addr = server.addr();
+        let handle = std::thread::spawn(move || server.serve_forever());
+        (addr, handle)
+    }
+
+    fn shut_down(
+        addr: SocketAddr,
+        handle: std::thread::JoinHandle<io::Result<()>>,
+        config: &ServeConfig,
+    ) {
+        let client = crate::client::Client::new(addr);
+        client.shutdown().expect("shutdown");
+        handle.join().expect("join").expect("serve");
+        let _ = std::fs::remove_dir_all(&config.data_dir);
+    }
+
+    #[test]
+    fn routes_health_metrics_and_errors() {
+        let config = temp_config("routes");
+        let (addr, handle) = start(&config);
+        let client = crate::client::Client::new(addr);
+
+        let (status, body) = client.get("/v1/healthz").expect("healthz");
+        assert_eq!((status, body.as_slice()), (200, b"ok\n".as_slice()));
+
+        let (status, body) = client.get("/v1/metrics").expect("metrics");
+        assert_eq!(status, 200);
+        let text = String::from_utf8(body).expect("utf8");
+        assert!(
+            text.contains("diffnet_http_requests"),
+            "metrics exposition missing request counter:\n{text}"
+        );
+
+        let (status, _) = client.get("/v1/jobs/999").expect("missing job");
+        assert_eq!(status, 404);
+        let (status, _) = client.get("/nonsense").expect("bad path");
+        assert_eq!(status, 404);
+
+        // Wrong verb on a known path.
+        let (status, _) = client
+            .request(Method::Post, "/v1/healthz", b"x")
+            .expect("post healthz");
+        assert_eq!(status, 405);
+
+        shut_down(addr, handle, &config);
+    }
+
+    #[test]
+    fn hostile_requests_get_typed_errors_not_hangs() {
+        let mut config = temp_config("hostile");
+        config.limits = Limits {
+            max_head_bytes: 1024,
+            max_body_bytes: 4096,
+        };
+        let (addr, handle) = start(&config);
+
+        // Garbage request line.
+        let raw = crate::client::raw_roundtrip(addr, b"\x01\x02garbage\r\n\r\n").expect("raw");
+        assert!(raw.starts_with("HTTP/1.1 400"), "{raw}");
+
+        // Declared body over the cap: rejected before reading it.
+        let raw = crate::client::raw_roundtrip(
+            addr,
+            b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 999999\r\n\r\n",
+        )
+        .expect("raw");
+        assert!(raw.starts_with("HTTP/1.1 413"), "{raw}");
+
+        // Truncated upload: client closes before delivering the body.
+        let raw = crate::client::raw_roundtrip(
+            addr,
+            b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort",
+        )
+        .expect("raw");
+        assert!(raw.starts_with("HTTP/1.1 400"), "{raw}");
+        assert!(raw.contains("truncated body"), "{raw}");
+
+        // The server is still healthy afterwards.
+        let client = crate::client::Client::new(addr);
+        let (status, _) = client.get("/v1/healthz").expect("healthz");
+        assert_eq!(status, 200);
+
+        shut_down(addr, handle, &config);
+    }
+
+    #[test]
+    fn unknown_submit_option_is_422() {
+        let config = temp_config("badopt");
+        let (addr, handle) = start(&config);
+        let client = crate::client::Client::new(addr);
+        let (status, body) = client
+            .request(Method::Post, "/v1/jobs?thread=2", b"0 1\n1 0\n")
+            .expect("submit");
+        assert_eq!(status, 422);
+        assert!(
+            String::from_utf8(body).expect("utf8").contains("thread"),
+            "error should name the bad option"
+        );
+        shut_down(addr, handle, &config);
+    }
+}

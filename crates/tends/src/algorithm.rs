@@ -97,6 +97,10 @@ pub enum NodeError {
     /// An I/O failure reached the search (in practice: injected by a
     /// [`FaultPlan`] to exercise degradation paths).
     Io(std::io::Error),
+    /// The run was cancelled through [`RobustOptions::cancel`] before this
+    /// node was searched; completed nodes stay checkpointed, so a resumed
+    /// run picks up exactly here.
+    Cancelled,
 }
 
 impl fmt::Display for NodeError {
@@ -104,6 +108,7 @@ impl fmt::Display for NodeError {
         match self {
             NodeError::Search(e) => e.fmt(f),
             NodeError::Io(e) => write!(f, "I/O error during node search: {e}"),
+            NodeError::Cancelled => write!(f, "node search cancelled before it started"),
         }
     }
 }
@@ -113,6 +118,7 @@ impl std::error::Error for NodeError {
         match self {
             NodeError::Search(e) => Some(e),
             NodeError::Io(e) => Some(e),
+            NodeError::Cancelled => None,
         }
     }
 }
@@ -165,6 +171,12 @@ pub struct RobustOptions<'a> {
     /// Fault-injection plan consulted at the `node_search` and
     /// `checkpoint_flush` sites.
     pub fault: &'a FaultPlan,
+    /// Cooperative cancellation flag, polled before each node's search.
+    /// Once set, remaining nodes fail with [`NodeError::Cancelled`] while
+    /// every already-completed node still reaches the checkpoint's final
+    /// flush — this is how a serving daemon checkpoints in-flight jobs on
+    /// graceful shutdown. `None` (default) never cancels.
+    pub cancel: Option<&'a std::sync::atomic::AtomicBool>,
 }
 
 impl Default for RobustOptions<'_> {
@@ -174,6 +186,7 @@ impl Default for RobustOptions<'_> {
             resume: false,
             checkpoint_interval: 8,
             fault: FaultPlan::none(),
+            cancel: None,
         }
     }
 }
@@ -274,6 +287,9 @@ impl Tends {
             Some((_, NodeError::Search(e))) => Err(e),
             Some((_, NodeError::Io(e))) => {
                 unreachable!("no fault plan installed, got injected I/O error: {e}")
+            }
+            Some((_, NodeError::Cancelled)) => {
+                unreachable!("no cancellation flag installed, got a cancelled node")
             }
         }
     }
@@ -506,6 +522,11 @@ impl Tends {
                 let id = i as NodeId;
                 if let Some(entry) = restored.get(&id) {
                     return Ok((entry.clone().into_result(candidates[i].clone()), entry.ws));
+                }
+                if let Some(flag) = options.cancel {
+                    if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                        return Err(NodeError::Cancelled);
+                    }
                 }
                 fault
                     .hit_indexed("node_search", u64::from(id))
@@ -1050,6 +1071,51 @@ mod tests {
                 assert_eq!(res.parents, clean.node_results[i].parents, "node {i}");
             }
         }
+    }
+
+    #[test]
+    fn cancelled_run_resumes_to_identical_result() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let truth = DiGraph::from_edges(8, &[(0, 1), (1, 0), (2, 3), (3, 2), (5, 6), (6, 5)]);
+        let statuses = observe(&truth, 0.5, 0.2, 200, 118);
+        let clean = Tends::new().reconstruct(&statuses).expect("search fits");
+
+        let path = temp_checkpoint("cancel.json");
+        std::fs::remove_file(&path).ok();
+        let cancel = AtomicBool::new(true);
+        let cancelled = Tends::new()
+            .reconstruct_robust(
+                &statuses,
+                Recorder::disabled(),
+                &RobustOptions {
+                    checkpoint: Some(path.clone()),
+                    cancel: Some(&cancel),
+                    ..Default::default()
+                },
+            )
+            .expect("cancellation degrades, does not abort");
+        assert!(!cancelled.is_complete());
+        assert_eq!(cancelled.failed_nodes.len(), 8, "every node cancelled");
+        assert!(matches!(cancelled.errors[0].1, NodeError::Cancelled));
+
+        // Clearing the flag and resuming completes the job with the same
+        // result as an uninterrupted run.
+        cancel.store(false, Ordering::Relaxed);
+        let resumed = Tends::new()
+            .reconstruct_robust(
+                &statuses,
+                Recorder::disabled(),
+                &RobustOptions {
+                    checkpoint: Some(path.clone()),
+                    resume: true,
+                    cancel: Some(&cancel),
+                    ..Default::default()
+                },
+            )
+            .expect("resumed run");
+        assert!(resumed.is_complete());
+        assert_eq!(resumed.result.graph, clean.graph);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -24,6 +24,8 @@
 //! * [`observe`] — zero-dependency instrumentation: phase timers, counters,
 //!   and the structured [`observe::RunReport`] the CLI emits with
 //!   `--run-report`.
+//! * [`serve`] — a zero-dependency inference daemon: hand-rolled HTTP/1.1
+//!   job API with a durable, checkpoint-backed queue ([`serve::Server`]).
 //!
 //! ## Quickstart
 //!
@@ -54,6 +56,7 @@ pub use diffnet_datasets as datasets;
 pub use diffnet_graph as graph;
 pub use diffnet_metrics as metrics;
 pub use diffnet_observe as observe;
+pub use diffnet_serve as serve;
 pub use diffnet_simulate as simulate;
 pub use diffnet_tends as tends;
 
