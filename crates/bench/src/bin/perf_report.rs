@@ -4,7 +4,13 @@
 //! Measures, at two LFR sizes:
 //!
 //! * the raw pairwise counting kernel: cache-blocked tiles
-//!   ([`NodeColumns::pair_counts_block`]) vs the per-pair column walk;
+//!   ([`NodeColumns::pair_counts_block`]) vs the per-pair column walk,
+//!   plus the same tiled sweep pinned to the runtime-resolved SIMD tier
+//!   and to the portable scalar fallback (`simd_s` / `scalar_s`). The
+//!   headline rows use a deep workload (β=8192, 128 words per column)
+//!   that times the kernels at streaming depth; the nested
+//!   `inference_shape` row keeps the β=150 shape the pipeline sees.
+//!   Detected CPU features are recorded in the header;
 //! * the IMI correlation matrix, single-threaded vs 8 workers;
 //! * one full TENDS reconstruction, 1 vs 8 threads;
 //! * the `N_ijk` counting kernel: the recursive bitset kernel vs the
@@ -31,7 +37,7 @@ use diffnet_bench::harness::{observe, Setting};
 use diffnet_datasets::LfrSpec;
 use diffnet_metrics::timed;
 use diffnet_observe::{Json, Recorder, RunReport};
-use diffnet_simulate::{CountsWorkspace, NodeColumns, StatusMatrix};
+use diffnet_simulate::{CountsWorkspace, Kernels, NodeColumns, SimdMode, StatusMatrix};
 use diffnet_tends::search::{find_parents_reference, SearchParams};
 use diffnet_tends::{
     CorrelationMatrix, CorrelationMeasure, RobustOptions, ScoreCacheStats, SearchScratch, Tends,
@@ -142,6 +148,28 @@ fn tiled_sweep(cols: &NodeColumns) -> u64 {
     acc
 }
 
+/// Sum of `n11` over the pair triangle through an explicit kernel table,
+/// walking the same tiles as [`tiled_sweep`] but bypassing the
+/// process-wide dispatcher — times one SIMD tier in isolation.
+fn forced_sweep(cols: &NodeColumns, k: &Kernels) -> u64 {
+    let n = cols.num_nodes();
+    let tile = cols.pair_tile_size();
+    let num_tiles = n.div_ceil(tile);
+    let mut acc = 0u64;
+    for bi in 0..num_tiles {
+        for bj in bi..num_tiles {
+            let jcols = bj * tile..((bj + 1) * tile).min(n);
+            for i in bi * tile..((bi + 1) * tile).min(n) {
+                let ci = cols.col(i as u32);
+                for j in jcols.start.max(i + 1)..jcols.end {
+                    acc += k.and_popcount(ci, cols.col(j as u32));
+                }
+            }
+        }
+    }
+    acc
+}
+
 /// A thread-scaling row: on a single-CPU box the multi-thread timing is
 /// noise, so the row carries a status instead of a fake "speedup".
 fn scaling_row(n: usize, t1: f64, t8: Option<f64>) -> Json {
@@ -169,22 +197,49 @@ fn main() {
     let hardware_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
     let multi_core = hardware_threads > 1;
 
+    // Kernel-throughput workload: long columns (many AVX2 lane groups per
+    // node) so the pair-kernel timings measure word-stream throughput. At
+    // β=150 a column is a single lane group and per-pair call overhead
+    // dominates; β=8192 streams 128 words per column pair.
+    let (n_deep, beta_deep) = if quick { (120, 2048) } else { (400, 8192) };
+
     eprintln!("perf_report: generating workloads (n={n_small}, n={n_large}, beta={beta})");
     let small = status_workload(n_small, beta, 11);
     let large = status_workload(n_large, beta, 12);
+    let deep = status_workload(n_deep, beta_deep, 13);
     let small_cols = small.columns();
     let large_cols = large.columns();
+    let deep_cols = deep.columns();
 
     // Raw pairwise counting: tiled kernel vs per-pair walk, single-thread,
-    // no MI float work — the kernel-level win the tiling is for.
-    eprintln!("perf_report: pair kernel (n={n_large})");
-    assert_eq!(
-        per_pair_sweep(&large_cols),
-        tiled_sweep(&large_cols),
-        "kernels must agree before being timed"
-    );
+    // no MI float work — the kernel-level win the tiling is for. Timed at
+    // both shapes: the β=150 inference shape and the deep kernel shape.
+    eprintln!("perf_report: pair kernel (n={n_large} β={beta}, n={n_deep} β={beta_deep})");
+    for cols in [&large_cols, &deep_cols] {
+        assert_eq!(
+            per_pair_sweep(cols),
+            tiled_sweep(cols),
+            "kernels must agree before being timed"
+        );
+    }
     let pair_ref = median_secs(reps, || per_pair_sweep(&large_cols));
     let pair_tiled = median_secs(reps, || tiled_sweep(&large_cols));
+    // The same sweep with explicit kernel tables: the resolved tier vs the
+    // portable scalar fallback, so the report separates what SIMD buys
+    // from what the scalar multi-accumulator loop already buys.
+    let auto_k = diffnet_simulate::simd::kernels();
+    let scalar_k = Kernels::for_mode(SimdMode::Scalar);
+    for cols in [&large_cols, &deep_cols] {
+        assert_eq!(
+            forced_sweep(cols, auto_k),
+            forced_sweep(cols, &scalar_k),
+            "dispatch tiers must agree before being timed"
+        );
+    }
+    let deep_ref = median_secs(reps, || per_pair_sweep(&deep_cols));
+    let deep_tiled = median_secs(reps, || tiled_sweep(&deep_cols));
+    let deep_simd = median_secs(reps, || forced_sweep(&deep_cols, auto_k));
+    let deep_scalar = median_secs(reps, || forced_sweep(&deep_cols, &scalar_k));
 
     // IMI matrix at the large size, 1 vs 8 threads.
     eprintln!("perf_report: IMI matrix (n={n_large})");
@@ -348,13 +403,40 @@ fn main() {
     json.push("quick", quick);
     json.push("hardware_threads", hardware_threads as u64);
     json.push("beta", beta as u64);
+    json.push(
+        "cpu_features",
+        Json::Arr(
+            Kernels::detected_features()
+                .into_iter()
+                .map(Json::from)
+                .collect(),
+        ),
+    );
+    json.push("simd_dispatch", auto_k.dispatch());
 
+    // Headline rows time the kernels at streaming depth (β=2048); the
+    // nested inference_shape row keeps the β=150 tiled-vs-per-pair
+    // comparison the reconstruction pipeline actually sees.
     let mut pair = Json::object();
-    pair.push("n", n_large as u64);
-    pair.push("tile_size", large_cols.pair_tile_size() as u64);
-    pair.push("per_pair_s", pair_ref);
-    pair.push("tiled_s", pair_tiled);
-    pair.push("speedup", pair_ref / pair_tiled);
+    pair.push("n", n_deep as u64);
+    pair.push("beta", beta_deep as u64);
+    pair.push("tile_size", deep_cols.pair_tile_size() as u64);
+    pair.push("dispatch", auto_k.dispatch());
+    pair.push("per_pair_s", deep_ref);
+    pair.push("tiled_s", deep_tiled);
+    pair.push("speedup", deep_ref / deep_tiled);
+    pair.push("simd_s", deep_simd);
+    pair.push("simd_speedup", deep_ref / deep_simd);
+    pair.push("scalar_s", deep_scalar);
+    pair.push("scalar_speedup", deep_ref / deep_scalar);
+    let mut pair_inf = Json::object();
+    pair_inf.push("n", n_large as u64);
+    pair_inf.push("beta", beta as u64);
+    pair_inf.push("tile_size", large_cols.pair_tile_size() as u64);
+    pair_inf.push("per_pair_s", pair_ref);
+    pair_inf.push("tiled_s", pair_tiled);
+    pair_inf.push("speedup", pair_ref / pair_tiled);
+    pair.push("inference_shape", pair_inf);
     json.push("pair_kernel", pair);
 
     json.push("imi_matrix", scaling_row(n_large, imi_1, imi_8));

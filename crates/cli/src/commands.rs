@@ -241,6 +241,23 @@ fn budget_arg(args: &ParsedArgs, algo: &str) -> Result<usize, ArgError> {
         .map_err(|_| ArgError::new("invalid value for --edges"))
 }
 
+/// Resolves the `--simd` override (falling back to `DIFFNET_SIMD`) and
+/// installs it process-wide before any kernel use. Returns the resolved
+/// kernel table so callers can report the dispatch tier.
+fn resolve_simd(args: &ParsedArgs) -> Result<&'static diffnet_simulate::Kernels, ArgError> {
+    match args.optional("simd") {
+        Some(raw) => {
+            let mode = diffnet_simulate::parse_simd(Some(raw)).map_err(|bad| {
+                ArgError::new(format!(
+                    "invalid value for --simd: {bad:?} (auto, avx2, popcnt, scalar)"
+                ))
+            })?;
+            Ok(diffnet_simulate::simd::set_mode(mode))
+        }
+        None => Ok(diffnet_simulate::simd::kernels()),
+    }
+}
+
 fn infer(args: &ParsedArgs) -> Result<CommandOutput, ArgError> {
     args.expect_known(&[
         "statuses",
@@ -258,9 +275,11 @@ fn infer(args: &ParsedArgs) -> Result<CommandOutput, ArgError> {
         "checkpoint",
         "resume",
         "checkpoint-interval",
+        "simd",
     ])?;
     let out = args.required("out")?;
     let algo = args.optional("algorithm").unwrap_or("tends");
+    let simd_kernels = resolve_simd(args)?;
     if args.has_flag("resume") && args.optional("checkpoint").is_none() {
         return Err(ArgError::new("--resume needs --checkpoint FILE"));
     }
@@ -417,6 +436,11 @@ fn infer(args: &ParsedArgs) -> Result<CommandOutput, ArgError> {
         let mut run_report = RunReport::new(algo, rec.snapshot(), report_threads);
         run_report.failed_nodes = failed_nodes.clone();
         run_report.checkpoint = checkpoint_info;
+        let requested = diffnet_simulate::simd::requested_mode();
+        if requested != diffnet_simulate::SimdMode::Auto {
+            run_report.simd = Some(requested.to_string());
+        }
+        run_report.simd_dispatch = Some(simd_kernels.dispatch().to_string());
         if run_report.snapshot.phases.is_empty() {
             eprintln!("warning: algorithm {algo:?} is not instrumented; run report is empty");
         }
@@ -577,7 +601,11 @@ fn serve(args: &ParsedArgs) -> Result<String, ArgError> {
         "job-workers",
         "max-body-bytes",
         "port-file",
+        "simd",
     ])?;
+    // Jobs run in-process, so the override applies to every job this
+    // daemon executes.
+    resolve_simd(args)?;
     let config = ServeConfig {
         addr: args
             .optional("addr")
@@ -1138,6 +1166,17 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.to_string().contains("tends"));
+    }
+
+    #[test]
+    fn invalid_simd_mode_is_rejected_before_any_work() {
+        // Parse failure must surface as a typed ArgError (and must not
+        // install anything in the process-wide dispatcher — the tests in
+        // this binary share it).
+        let err =
+            run_tokens(&["infer", "--statuses", "x", "--out", "y", "--simd", "sse9"]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("sse9") && msg.contains("scalar"), "{msg}");
     }
 
     #[test]

@@ -38,7 +38,8 @@ COMMANDS:
   infer      Infer a topology from observations
              --statuses FILE --out FILE  [--algorithm tends|netrate|multree|lift|netinf|path]
              [--observations FILE] [--edges M] [--threshold-scale X] [--mi]
-             [--threads T] [--symmetrize | --mutual-only]
+             [--threads T] [--simd auto|avx2|popcnt|scalar]
+             [--symmetrize | --mutual-only]
              [--trace] [--run-report FILE]
              [--checkpoint FILE] [--resume] [--checkpoint-interval N]
   eval       Score an inferred edge set against the ground truth
@@ -52,6 +53,7 @@ COMMANDS:
   serve      Run the inference daemon (HTTP/1.1 job API over TCP)
              --data-dir DIR  [--addr HOST:PORT] [--http-workers N]
              [--job-workers N] [--max-body-bytes N] [--port-file FILE]
+             [--simd auto|avx2|popcnt|scalar]
   submit     Submit a job to a running daemon
              --server HOST:PORT  --statuses FILE | --observations FILE
              [--algorithm A] [--threads T] [--checkpoint-interval N]
@@ -69,6 +71,12 @@ Observability: `infer --trace` prints per-phase wall times and counters to
 stderr; `infer --run-report FILE` writes the structured JSON run report
 (instrumented algorithms: tends, netrate). `report-check` validates such a
 file and exits non-zero on schema violations.
+
+SIMD: the bit-counting kernels pick the fastest tier the CPU supports
+(AVX2, then POPCNT, then portable scalar) at startup. `--simd MODE` or
+DIFFNET_SIMD=MODE forces a tier; every tier produces bit-identical output,
+so `scalar` is a safe cross-check. The requested mode is recorded in the
+run report's deterministic section, the resolved tier under `runtime`.
 
 Robustness (tends only): `infer --checkpoint FILE` persists per-node
 progress atomically every --checkpoint-interval nodes (default 8);

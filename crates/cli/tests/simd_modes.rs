@@ -1,0 +1,192 @@
+//! End-to-end SIMD dispatch tests: spawn the real `diffnet` binary with
+//! every forced kernel tier (via `--simd` and via `DIFFNET_SIMD`) and
+//! demand byte-identical edge lists and deterministic report sections —
+//! at one worker thread and at four. Subprocesses are the only way to
+//! exercise the forced process-wide dispatch: the kernel table resolves
+//! once per process.
+
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_diffnet")
+}
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join("diffnet_simd_modes");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+fn run_ok(args: &[&str], env: &[(&str, &str)]) -> String {
+    let mut cmd = Command::new(bin());
+    cmd.args(args).env_remove("DIFFNET_SIMD");
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("spawn diffnet");
+    assert!(
+        out.status.success(),
+        "diffnet {args:?} (env {env:?}) failed ({}):\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+/// Generates a graph and simulates statuses once per test.
+fn make_inputs(tag: &str) -> String {
+    let truth = tmp(&format!("{tag}_truth.edges"));
+    let statuses = tmp(&format!("{tag}_statuses.txt"));
+    run_ok(
+        &[
+            "generate", "--model", "er", "--n", "40", "--m", "140", "--seed", "71", "--out", &truth,
+        ],
+        &[],
+    );
+    run_ok(
+        &[
+            "simulate", "--graph", &truth, "--beta", "150", "--seed", "72", "--out", &statuses,
+        ],
+        &[],
+    );
+    statuses
+}
+
+#[test]
+fn forced_dispatch_tiers_are_bit_identical_across_threads() {
+    let statuses = make_inputs("tiers");
+    let mut reference: Option<Vec<u8>> = None;
+    for mode in ["auto", "scalar", "popcnt", "avx2"] {
+        for threads in ["1", "4"] {
+            let out = tmp(&format!("tiers_{mode}_{threads}.edges"));
+            let report = tmp(&format!("tiers_{mode}_{threads}.json"));
+            run_ok(
+                &[
+                    "infer",
+                    "--statuses",
+                    &statuses,
+                    "--threads",
+                    threads,
+                    "--simd",
+                    mode,
+                    "--out",
+                    &out,
+                    "--run-report",
+                    &report,
+                ],
+                &[],
+            );
+            let edges = std::fs::read(&out).expect("edge list");
+            match &reference {
+                None => reference = Some(edges),
+                Some(want) => assert_eq!(
+                    want, &edges,
+                    "--simd {mode} --threads {threads} diverged from the reference edge list"
+                ),
+            }
+            // The run report records the requested mode (deterministic
+            // section, omitted for the auto default) and the resolved
+            // tier (runtime section, always present).
+            let text = std::fs::read_to_string(&report).expect("report");
+            let json = diffnet_observe::parse_json(&text).expect("report JSON");
+            let recorded = json.get("simd").and_then(diffnet_observe::Json::as_str);
+            if mode == "auto" {
+                assert_eq!(recorded, None, "auto default must not be recorded");
+            } else {
+                assert_eq!(recorded, Some(mode));
+            }
+            let dispatch = json
+                .get("runtime")
+                .and_then(|r| r.get("simd_dispatch"))
+                .and_then(diffnet_observe::Json::as_str)
+                .expect("runtime.simd_dispatch");
+            assert!(
+                ["avx2", "popcnt", "scalar"].contains(&dispatch),
+                "unexpected dispatch tier {dispatch:?}"
+            );
+            if mode == "scalar" {
+                assert_eq!(dispatch, "scalar", "forced scalar must not be upgraded");
+            }
+        }
+    }
+}
+
+#[test]
+fn env_knob_matches_flag_and_bad_values_warn() {
+    let statuses = make_inputs("env");
+    let flag_out = tmp("env_flag.edges");
+    run_ok(
+        &[
+            "infer",
+            "--statuses",
+            &statuses,
+            "--simd",
+            "scalar",
+            "--out",
+            &flag_out,
+        ],
+        &[],
+    );
+    let env_out = tmp("env_var.edges");
+    let env_report = tmp("env_var.json");
+    run_ok(
+        &[
+            "infer",
+            "--statuses",
+            &statuses,
+            "--out",
+            &env_out,
+            "--run-report",
+            &env_report,
+        ],
+        &[("DIFFNET_SIMD", "scalar")],
+    );
+    assert_eq!(
+        std::fs::read(&flag_out).expect("flag run"),
+        std::fs::read(&env_out).expect("env run"),
+        "--simd scalar and DIFFNET_SIMD=scalar must agree"
+    );
+    // The env override is configuration like the flag: recorded in the
+    // deterministic report section.
+    let text = std::fs::read_to_string(&env_report).expect("report");
+    let json = diffnet_observe::parse_json(&text).expect("report JSON");
+    assert_eq!(
+        json.get("simd").and_then(diffnet_observe::Json::as_str),
+        Some("scalar")
+    );
+
+    // A malformed value warns and falls back to auto instead of silently
+    // proceeding or failing the run.
+    let bad_out = tmp("env_bad.edges");
+    let out = Command::new(bin())
+        .args(["infer", "--statuses", &statuses, "--out", &bad_out])
+        .env("DIFFNET_SIMD", "sse9")
+        .output()
+        .expect("spawn diffnet");
+    assert!(out.status.success(), "malformed env must not fail the run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("DIFFNET_SIMD") && stderr.contains("sse9"),
+        "missing warning, stderr:\n{stderr}"
+    );
+    assert_eq!(
+        std::fs::read(&flag_out).expect("flag run"),
+        std::fs::read(&bad_out).expect("bad-env run"),
+        "fallback run must still produce the canonical edge list"
+    );
+
+    // An invalid --simd value, by contrast, is a hard usage error.
+    let rejected = Command::new(bin())
+        .args([
+            "infer",
+            "--statuses",
+            &statuses,
+            "--simd",
+            "sse9",
+            "--out",
+            &bad_out,
+        ])
+        .output()
+        .expect("spawn diffnet");
+    assert!(!rejected.status.success(), "--simd sse9 must be rejected");
+}

@@ -52,6 +52,14 @@ pub struct RunReport {
     /// Part of the deterministic section: which nodes fail is a function
     /// of input + config, not of scheduling.
     pub failed_nodes: Vec<u64>,
+    /// Requested SIMD mode when explicitly overridden (`--simd` /
+    /// `DIFFNET_SIMD`). Part of the deterministic section: the override is
+    /// configuration, and `None` (the `auto` default) is omitted so
+    /// default-run reports are byte-identical to pre-SIMD ones.
+    pub simd: Option<String>,
+    /// The kernel tier the dispatcher actually resolved (`avx2`, `popcnt`,
+    /// `scalar`). Runtime-only: it depends on the host CPU.
+    pub simd_dispatch: Option<String>,
     /// Checkpoint activity, if the run used a checkpoint file.
     pub checkpoint: Option<CheckpointInfo>,
 }
@@ -64,6 +72,8 @@ impl RunReport {
             snapshot,
             threads,
             failed_nodes: Vec::new(),
+            simd: None,
+            simd_dispatch: None,
             checkpoint: None,
         }
     }
@@ -110,9 +120,15 @@ impl RunReport {
         }
         root.push("histograms", histograms);
         root.push("failed_nodes", self.failed_nodes.as_slice());
+        if let Some(mode) = &self.simd {
+            root.push("simd", mode.as_str());
+        }
 
         let mut runtime = Json::object();
         runtime.push("threads", self.threads);
+        if let Some(dispatch) = &self.simd_dispatch {
+            runtime.push("simd_dispatch", dispatch.as_str());
+        }
         if let Some(ck) = &self.checkpoint {
             let mut info = Json::object();
             info.push("path", ck.path.as_str());
@@ -182,6 +198,10 @@ impl RunReport {
         }
         if !self.failed_nodes.is_empty() {
             let _ = writeln!(out, "[trace]   failed nodes {:?}", self.failed_nodes);
+        }
+        if let Some(dispatch) = &self.simd_dispatch {
+            let requested = self.simd.as_deref().unwrap_or("auto");
+            let _ = writeln!(out, "[trace]   simd {requested} -> {dispatch}");
         }
         if let Some(ck) = &self.checkpoint {
             let _ = writeln!(
@@ -408,6 +428,33 @@ mod tests {
             flushes: 1,
         });
         assert_eq!(det, resumed.deterministic_json());
+    }
+
+    #[test]
+    fn simd_override_is_deterministic_and_dispatch_is_runtime() {
+        let mut report = sample_report();
+        report.simd = Some("scalar".to_string());
+        report.simd_dispatch = Some("scalar".to_string());
+        let det = report.deterministic_json();
+        assert!(det.contains("\"simd\": \"scalar\""));
+        assert!(!det.contains("simd_dispatch"), "dispatch is runtime-only");
+        let full = report.to_json();
+        assert_eq!(
+            full.get("runtime")
+                .and_then(|r| r.get("simd_dispatch"))
+                .and_then(Json::as_str),
+            Some("scalar")
+        );
+        assert!(report.render_trace().contains("simd scalar -> scalar"));
+
+        // The default (no override) stays byte-identical to a pre-SIMD
+        // report: nothing is serialized in the deterministic section.
+        let mut auto = sample_report();
+        auto.simd_dispatch = Some("avx2".to_string());
+        assert_eq!(
+            auto.deterministic_json(),
+            sample_report().deterministic_json()
+        );
     }
 
     #[test]

@@ -727,6 +727,13 @@ impl JobManager {
             meta.spec.threads.max(1),
         );
         report.failed_nodes = failed_nodes.clone();
+        // Same recording rule as the CLI: the override (daemon-wide, set at
+        // startup) is deterministic config, the resolved tier is runtime.
+        let requested = diffnet_simulate::simd::requested_mode();
+        if requested != diffnet_simulate::SimdMode::Auto {
+            report.simd = Some(requested.to_string());
+        }
+        report.simd_dispatch = Some(diffnet_simulate::simd::kernels().dispatch().to_string());
         report.checkpoint = Some(CheckpointInfo {
             path: checkpoint.display().to_string(),
             resumed_nodes: partial.resumed_nodes,

@@ -43,6 +43,7 @@ pub mod io;
 mod lt;
 mod noise;
 mod probs;
+pub mod simd;
 mod status;
 
 pub use cascade::{DiffusionRecord, ObservationSet, UNINFECTED};
@@ -50,6 +51,7 @@ pub use ic::{IcConfig, IndependentCascade};
 pub use lt::LinearThreshold;
 pub use noise::{delay_timestamps, flip_statuses};
 pub use probs::{sample_normal, EdgeProbs, ProbShapeError};
+pub use simd::{parse_simd, simd_from_env, Kernels, SimdMode};
 pub use status::{
     ComboSizeError, CountsWorkspace, NodeColumns, PairCounts, StatusMatrix, WorkspaceStats,
     MAX_TABULATED_PARENTS,

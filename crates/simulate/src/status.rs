@@ -221,10 +221,23 @@ impl NodeColumns {
     fn from_matrix(m: &StatusMatrix) -> Self {
         let words_per_col = m.beta.div_ceil(WORD_BITS).max(1);
         let mut cols = vec![0u64; m.n * words_per_col];
-        for l in 0..m.beta {
-            for i in 0..m.n {
-                if m.get(l, i as NodeId) {
-                    cols[i * words_per_col + l / WORD_BITS] |= 1u64 << (l % WORD_BITS);
+        // Cache-blocked bit transpose: each 64×64 tile (one row-word column
+        // by one process-word row) is gathered into registers, transposed
+        // with the Hacker's Delight butterfly network, and scattered into
+        // the column bitsets — `O(n·β/64)` word swaps with linear streaming
+        // over the source rows, instead of `O(n·β)` strided bit probes.
+        let mut tile = [0u64; WORD_BITS];
+        for iw in 0..m.words_per_row {
+            let cols_here = m.n.saturating_sub(iw * WORD_BITS).min(WORD_BITS);
+            for lw in 0..m.beta.div_ceil(WORD_BITS) {
+                let rows_here = (m.beta - lw * WORD_BITS).min(WORD_BITS);
+                for (r, t) in tile.iter_mut().take(rows_here).enumerate() {
+                    *t = m.rows[(lw * WORD_BITS + r) * m.words_per_row + iw];
+                }
+                tile[rows_here..].fill(0);
+                transpose64(&mut tile);
+                for (c, &w) in tile.iter().enumerate().take(cols_here) {
+                    cols[(iw * WORD_BITS + c) * words_per_col + lw] = w;
                 }
             }
         }
@@ -245,15 +258,19 @@ impl NodeColumns {
         self.cols.len().checked_div(self.words_per_col).unwrap_or(0)
     }
 
+    /// Node `i`'s raw `β`-bit infection column (process `l` is bit `l`,
+    /// little-endian; padding bits past `β` are zero). The operand shape
+    /// the [`simd`](crate::simd) kernels consume — exposed so benchmarks
+    /// can time explicit kernel tiers over real column data.
     #[inline]
-    fn col(&self, i: NodeId) -> &[u64] {
+    pub fn col(&self, i: NodeId) -> &[u64] {
         let i = i as usize;
         &self.cols[i * self.words_per_col..(i + 1) * self.words_per_col]
     }
 
     /// Number of processes where node `i` is infected.
     pub fn ones(&self, i: NodeId) -> u64 {
-        self.col(i).iter().map(|w| w.count_ones() as u64).sum()
+        crate::simd::kernels().popcount(self.col(i))
     }
 
     /// Per-column ones counts for every node, in node order — the
@@ -263,10 +280,14 @@ impl NodeColumns {
         (0..self.num_nodes() as u32).map(|i| self.ones(i)).collect()
     }
 
-    /// Suggested tile side for [`pair_counts_block`]: the largest `T` such
-    /// that two tiles of `T` columns (`⌈β/64⌉` words each) stay within a
-    /// 32 KiB L1 budget, clamped to `[16, 1024]`. At the paper's scales
-    /// (`β = 150`, 3 words per column) this is 682, so the whole working
+    /// Suggested tile side for [`pair_counts_block`], lane-width-aware:
+    /// the largest `T` such that two tiles of `T` columns — each column's
+    /// `⌈β/64⌉` words rounded up to whole 256-bit lane groups, since the
+    /// SIMD kernels consume four words per step regardless of the tail —
+    /// stay within a 32 KiB L1 budget, clamped to `[16, 1024]` and then
+    /// aligned down to a multiple of 16 so tile boundaries land on SIMD
+    /// word groups. At the paper's scales (`β = 150`, 3 words ⇒ one
+    /// 32-byte lane group per column) this is 512, so the whole working
     /// set of a tile pair stays L1-resident; tiles start mattering once
     /// `β` reaches the tens of thousands, where a single column spans
     /// many cache lines.
@@ -274,24 +295,31 @@ impl NodeColumns {
     /// [`pair_counts_block`]: NodeColumns::pair_counts_block
     pub fn pair_tile_size(&self) -> usize {
         const L1_BUDGET_BYTES: usize = 32 * 1024;
-        let col_bytes = self.words_per_col * std::mem::size_of::<u64>();
-        (L1_BUDGET_BYTES / (2 * col_bytes.max(1))).clamp(16, 1024)
+        // 256-bit AVX2 lane group: four 64-bit words.
+        const LANE_BYTES: usize = 32;
+        let col_bytes =
+            (self.words_per_col * std::mem::size_of::<u64>()).next_multiple_of(LANE_BYTES);
+        let t = (L1_BUDGET_BYTES / (2 * col_bytes)).clamp(16, 1024);
+        t - t % 16
     }
 
     /// Joint counts for every pair `(i, j)` with `i ∈ rows`, `j ∈ cols`,
     /// and `i < j`, emitted in row-major order.
     ///
     /// This is the tiled counterpart of [`pair_counts`]: callers walk the
-    /// upper triangle in `T×T` blocks (see [`pair_tile_size`]) so the `j`
-    /// tile's columns stay hot in L1 while the `i` rows stream past. Per
-    /// pair it does a single word-AND+popcount pass for `n11` and derives
-    /// `n10/n01/n00` from the precomputed `ones` counts — one popcount per
-    /// word instead of [`pair_counts`]' three. Columns that are never
-    /// infected (`ones = 0`) or always infected (`ones = β`) short-circuit
-    /// before the word loop: their joint counts are a pure function of the
-    /// partner's ones count.
+    /// upper triangle in `T×T` blocks (see [`pair_tile_size`], which sizes
+    /// `T` to the SIMD lane width) so the `j` tile's columns stay hot in L1
+    /// while the `i` rows stream past. Per pair it runs a single
+    /// AND+popcount pass for `n11` through the runtime-dispatched
+    /// [`simd`](crate::simd) kernel (AVX2/popcnt/scalar, resolved once per
+    /// process) and derives `n10/n01/n00` from the precomputed `ones`
+    /// counts — one popcount stream instead of [`pair_counts`]' three.
+    /// Columns that are never infected (`ones = 0`) or always infected
+    /// (`ones = β`) short-circuit before the word loop: their joint counts
+    /// are a pure function of the partner's ones count.
     ///
-    /// Counts are bit-identical to [`pair_counts`] for every pair.
+    /// Counts are bit-identical to [`pair_counts`] for every pair, under
+    /// every dispatch tier.
     ///
     /// # Panics
     ///
@@ -314,6 +342,7 @@ impl NodeColumns {
     ) {
         debug_assert_eq!(ones.len(), self.num_nodes());
         debug_assert!(rows.end <= self.num_nodes() && cols.end <= self.num_nodes());
+        let k = crate::simd::kernels();
         let beta = self.beta as u64;
         // Counts of a pair where one column is degenerate, from the other
         // column's ones count alone (no word loop).
@@ -356,10 +385,7 @@ impl NodeColumns {
                     continue;
                 }
                 let cj = self.col(j as NodeId);
-                let mut n11 = 0u64;
-                for (wi, wj) in ci.iter().zip(cj) {
-                    n11 += (wi & wj).count_ones() as u64;
-                }
+                let n11 = k.and_popcount(ci, cj);
                 emit(
                     i as NodeId,
                     j as NodeId,
@@ -413,13 +439,7 @@ impl NodeColumns {
         counts: &mut [[u64; 2]],
     ) {
         if depth == parents.len() {
-            let ccol = self.col(child);
-            let mut infected = 0u64;
-            let mut total = 0u64;
-            for (m, c) in mask.iter().zip(ccol) {
-                infected += (m & c).count_ones() as u64;
-                total += m.count_ones() as u64;
-            }
+            let (infected, total) = crate::simd::kernels().and_self_popcount(mask, self.col(child));
             counts[index] = [total - infected, infected];
             return;
         }
@@ -429,8 +449,9 @@ impl NodeColumns {
             return;
         }
         let pcol = self.col(parents[depth]);
-        let zero: Vec<u64> = mask.iter().zip(pcol).map(|(m, p)| m & !p).collect();
-        let one: Vec<u64> = mask.iter().zip(pcol).map(|(m, p)| m & p).collect();
+        let mut zero = mask.to_vec();
+        let mut one = vec![0u64; mask.len()];
+        crate::simd::kernels().refine_masks(&mut zero, &mut one, pcol);
         self.combo_rec(child, parents, depth + 1, index, &zero, counts);
         self.combo_rec(
             child,
@@ -472,6 +493,25 @@ impl NodeColumns {
     }
 }
 
+/// In-place transpose of a 64×64 bit matrix (`a[r]` bit `c` ⇄ `a[c]` bit
+/// `r`, both little-endian): the Hacker's Delight butterfly network, six
+/// rounds of swapping `2^k × 2^k` sub-blocks entirely in registers.
+fn transpose64(a: &mut [u64; WORD_BITS]) {
+    let mut j = 32usize;
+    let mut mask = 0x0000_0000_FFFF_FFFFu64;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < WORD_BITS {
+            let t = ((a[k] >> j) ^ a[k + j]) & mask;
+            a[k] ^= t << j;
+            a[k + j] ^= t;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        mask ^= mask << j;
+    }
+}
+
 /// Reusable scratch state for incremental `N_ijk` counting.
 ///
 /// The greedy parent search evaluates `g(v_i, F ∪ W)` for one fixed base set
@@ -504,6 +544,10 @@ pub struct CountsWorkspace {
     scratch: Vec<u64>,
     /// Output table, in sorted-union combination order.
     counts: Vec<[u64; 2]>,
+    /// Per-base-entry `[infected, total]` counts shared across a batched
+    /// single-extension pass
+    /// ([`refined_counts_single_batch`](Self::refined_counts_single_batch)).
+    batch_counts: Vec<[u64; 2]>,
     /// Bit position in the sorted union for each source bit (base bits
     /// first, then extension bits).
     bit_pos: Vec<u32>,
@@ -589,15 +633,12 @@ impl CountsWorkspace {
     /// doubling is safely in place.
     fn refine_level(arena: &mut [u64], pcol: &[u64], len: usize, words: usize) {
         debug_assert!(arena.len() >= 2 * len * words);
+        let k = crate::simd::kernels();
         let (lo, hi) = arena.split_at_mut(len * words);
         for e in 0..len {
             let src = &mut lo[e * words..(e + 1) * words];
             let dst = &mut hi[e * words..(e + 1) * words];
-            for ((m, d), &p) in src.iter_mut().zip(dst.iter_mut()).zip(pcol) {
-                let word = *m;
-                *m = word & !p;
-                *d = word & p;
-            }
+            k.refine_masks(src, dst, pcol);
         }
     }
 
@@ -676,15 +717,11 @@ impl CountsWorkspace {
         // scatters to union index `j`; the map is a bit permutation, so
         // every `j` is written exactly once.
         self.counts.resize(1usize << (f + w), [0, 0]);
+        let k = crate::simd::kernels();
         let ccol = cols.col(child);
         for e in 0..1usize << (f + w) {
             let mask = &self.scratch[e * self.words..(e + 1) * self.words];
-            let mut infected = 0u64;
-            let mut total = 0u64;
-            for (m, c) in mask.iter().zip(ccol) {
-                infected += (m & c).count_ones() as u64;
-                total += m.count_ones() as u64;
-            }
+            let (infected, total) = k.and_self_popcount(mask, ccol);
             let mut j = 0usize;
             for (t, &pos) in self.bit_pos.iter().enumerate() {
                 j |= ((e >> t) & 1) << pos;
@@ -692,6 +729,91 @@ impl CountsWorkspace {
             self.counts[j] = [total - infected, infected];
         }
         Ok(&self.counts)
+    }
+
+    /// Counts `N_ijk` for `child` under every single-node extension
+    /// `F ∪ {extras[t]}` in one streaming pass over the cached base
+    /// partition, without materializing any refined arena.
+    ///
+    /// For each base-partition entry the kernel computes the entry's
+    /// `(infected, total)` once, then for every candidate one fused
+    /// AND³+popcount pass yields the candidate-infected half; the
+    /// candidate-uninfected half follows by subtraction. The zero-copy
+    /// pass replaces `extras.len()` arena copy+refine+tabulate cycles, so
+    /// the base masks are read once per candidate *group* instead of once
+    /// per candidate evaluation step — and the per-extension tables are
+    /// bit-identical to [`refined_counts`](Self::refined_counts) with the
+    /// same single-node extension (each counts once toward the
+    /// [`refinements`](WorkspaceStats::refinements) stat, preserving the
+    /// sequential accounting).
+    ///
+    /// `sink` receives `(t, counts)` for each extension index `t` in
+    /// order; the table is indexed by sorted-union combination order,
+    /// exactly like `refined_counts(cols, child, &[extras[t]])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same contract as `refined_counts`: each extra
+    /// must be absent from the base set, `cols` must match the shape the
+    /// base was instantiated from, and the unions `F ∪ {p}` must fit
+    /// [`MAX_TABULATED_PARENTS`] (the greedy search caps parent sets far
+    /// below the limit, so unlike the fallible kernels this is a
+    /// programmer contract, not reachable from hostile input).
+    pub fn refined_counts_single_batch(
+        &mut self,
+        cols: &NodeColumns,
+        child: NodeId,
+        extras: &[NodeId],
+        mut sink: impl FnMut(usize, &[[u64; 2]]),
+    ) {
+        if extras.is_empty() {
+            return;
+        }
+        assert_eq!(
+            self.words, cols.words_per_col,
+            "workspace base was instantiated from a different matrix shape"
+        );
+        assert!(
+            extras
+                .iter()
+                .all(|p| self.base_parents.binary_search(p).is_err()),
+            "extension nodes must be disjoint from the base parent set"
+        );
+        let f = self.base_parents.len();
+        assert!(
+            f < MAX_TABULATED_PARENTS,
+            "single-node extensions of a {f}-parent base exceed the combination table limit"
+        );
+        self.refine_calls += extras.len() as u64;
+
+        let k = crate::simd::kernels();
+        let ccol = cols.col(child);
+        // Shared per-entry counts of the unrefined base partition.
+        self.batch_counts.resize(1usize << f, [0, 0]);
+        for e in 0..1usize << f {
+            let mask = &self.base[e * self.words..(e + 1) * self.words];
+            let (infected, total) = k.and_self_popcount(mask, ccol);
+            self.batch_counts[e] = [infected, total];
+        }
+        self.counts.resize(1usize << (f + 1), [0, 0]);
+        for (t, &p) in extras.iter().enumerate() {
+            // The new parent's bit position in the sorted union F ∪ {p}.
+            let pos = self.base_parents.partition_point(|&b| b < p);
+            let pcol = cols.col(p);
+            for e in 0..1usize << f {
+                let mask = &self.base[e * self.words..(e + 1) * self.words];
+                let [i_e, t_e] = self.batch_counts[e];
+                let (mw, mwc) = k.and3_popcount(mask, pcol, ccol);
+                // Splice the new parent's bit into the base combination
+                // index: bits below `pos` keep their place, bits at or
+                // above shift up by one.
+                let j0 = (e & ((1usize << pos) - 1)) | ((e >> pos) << (pos + 1));
+                let j1 = j0 | (1usize << pos);
+                self.counts[j1] = [mw - mwc, mwc];
+                self.counts[j0] = [(t_e - i_e) - (mw - mwc), i_e - mwc];
+            }
+            sink(t, &self.counts);
+        }
     }
 }
 
@@ -952,6 +1074,54 @@ mod tests {
     }
 
     #[test]
+    fn batched_single_extensions_match_refined_counts() {
+        // The batched pass must reproduce `refined_counts` bit-for-bit for
+        // every candidate, with bases that interleave the candidates both
+        // ways, and charge one refinement per candidate.
+        let m = random_matrix(100, 12, 0x1357_9BDF_2468_ACE0);
+        let cols = m.columns();
+        let mut ws = CountsWorkspace::new();
+        let mut oracle = CountsWorkspace::new();
+        let cases: &[(&[NodeId], &[NodeId])] = &[
+            (&[], &[0]),
+            (&[], &[4, 7, 11]),
+            (&[5], &[0, 6, 9]),
+            (&[2, 8], &[0, 3, 5, 10, 11]),
+            (&[0, 1, 2], &[3, 7, 9]),
+            (&[4, 6, 10], &[0, 5, 11]),
+        ];
+        for &(base, extras) in cases {
+            ws.set_base(&cols, base).expect("small base");
+            oracle.set_base(&cols, base).expect("small base");
+            let before = ws.stats().refinements;
+            let mut seen = 0usize;
+            ws.refined_counts_single_batch(&cols, 11, extras, |t, counts| {
+                let expect = oracle
+                    .refined_counts(&cols, 11, &[extras[t]])
+                    .expect("small union");
+                assert_eq!(counts, expect, "base {base:?} extra {}", extras[t]);
+                seen += 1;
+            });
+            assert_eq!(seen, extras.len());
+            assert_eq!(ws.stats().refinements, before + extras.len() as u64);
+        }
+        // Empty batches do nothing and charge nothing.
+        let before = ws.stats().refinements;
+        ws.refined_counts_single_batch(&cols, 11, &[], |_, _| panic!("no extras"));
+        assert_eq!(ws.stats().refinements, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn batched_extensions_reject_base_overlap() {
+        let m = sample();
+        let cols = m.columns();
+        let mut ws = CountsWorkspace::new();
+        ws.set_base(&cols, &[1]).expect("small base");
+        ws.refined_counts_single_batch(&cols, 2, &[0, 1], |_, _| {});
+    }
+
+    #[test]
     fn workspace_zero_beta() {
         let m = StatusMatrix::new(0, 4);
         let cols = m.columns();
@@ -1081,13 +1251,63 @@ mod tests {
 
     #[test]
     fn pair_tile_size_tracks_column_footprint() {
-        // β = 150 → 3 words/col → ⌊32768 / (2·24)⌋ = 682 columns per tile.
-        assert_eq!(StatusMatrix::new(150, 4).columns().pair_tile_size(), 682);
-        // Tiny β saturates the upper clamp.
-        assert_eq!(StatusMatrix::new(8, 4).columns().pair_tile_size(), 1024);
+        // β = 150 → 3 words/col, lane-padded to 32 B → ⌊32768 / 64⌋ = 512.
+        assert_eq!(StatusMatrix::new(150, 4).columns().pair_tile_size(), 512);
+        // Tiny β also occupies one full 32-byte lane group per column.
+        assert_eq!(StatusMatrix::new(8, 4).columns().pair_tile_size(), 512);
         // β = 65_536 → 1024 words/col → 2 tile columns fit in 32 KiB.
         // The lower clamp keeps tiles from degenerating to single columns.
         assert_eq!(StatusMatrix::new(65_536, 2).columns().pair_tile_size(), 16);
+        // β = 2051 → 33 words, lane-padded to 36 → 56, aligned down to 48.
+        assert_eq!(StatusMatrix::new(2051, 2).columns().pair_tile_size(), 48);
+        // Every tile side lands on a 16-column boundary.
+        for beta in [1usize, 100, 999, 4097, 30_000] {
+            let t = StatusMatrix::new(beta, 2).columns().pair_tile_size();
+            assert_eq!(t % 16, 0, "beta {beta} tile {t}");
+            assert!((16..=1024).contains(&t), "beta {beta} tile {t}");
+        }
+    }
+
+    #[test]
+    fn blocked_transpose_matches_bit_probes() {
+        // β and n both straddle several 64×64 transpose tiles, with ragged
+        // edges on both axes; verify every column bit against the
+        // row-major source.
+        let m = scrambled(193, 131);
+        let cols = m.columns();
+        for i in 0..131u32 {
+            let col = &cols.cols
+                [(i as usize) * cols.words_per_col..(i as usize + 1) * cols.words_per_col];
+            for l in 0..193usize {
+                let bit = (col[l / WORD_BITS] >> (l % WORD_BITS)) & 1 == 1;
+                assert_eq!(bit, m.get(l, i), "process {l} node {i}");
+            }
+            // Padding bits above β stay clear.
+            for l in 193..cols.words_per_col * WORD_BITS {
+                assert_eq!((col[l / WORD_BITS] >> (l % WORD_BITS)) & 1, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose64_is_an_involution_and_transposes() {
+        let mut a = [0u64; WORD_BITS];
+        let mut state = 0xA5A5_5A5A_DEAD_BEEFu64;
+        for w in a.iter_mut() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *w = state;
+        }
+        let orig = a;
+        transpose64(&mut a);
+        for (r, row) in orig.iter().enumerate() {
+            for (c, col) in a.iter().enumerate() {
+                assert_eq!((col >> r) & 1, (row >> c) & 1, "({r},{c})");
+            }
+        }
+        transpose64(&mut a);
+        assert_eq!(a, orig);
     }
 
     /// All pairs of the upper triangle via the tiled kernel, walked in

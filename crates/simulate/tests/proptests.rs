@@ -2,8 +2,8 @@
 
 use diffnet_graph::NodeId;
 use diffnet_simulate::{
-    io, DiffusionRecord, EdgeProbs, IcConfig, IndependentCascade, LinearThreshold, ObservationSet,
-    StatusMatrix, UNINFECTED,
+    io, DiffusionRecord, EdgeProbs, IcConfig, IndependentCascade, Kernels, LinearThreshold,
+    ObservationSet, SimdMode, StatusMatrix, UNINFECTED,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -14,6 +14,23 @@ fn status_matrix(
     n: std::ops::Range<usize>,
 ) -> impl Strategy<Value = StatusMatrix> {
     (beta, n).prop_flat_map(|(b, n)| {
+        proptest::collection::vec(proptest::collection::vec(any::<bool>(), n), b)
+            .prop_map(|rows| StatusMatrix::from_rows(&rows))
+    })
+}
+
+/// Status matrices whose process counts stress every SIMD tail shape:
+/// `1..=65` covers sub-word, exact-word, and word-plus-one columns; 127
+/// and 255 end mid-word past the first; 2051 spans 33 words — multiple
+/// AVX2 lane groups plus a scalar tail.
+fn simd_matrix() -> impl Strategy<Value = StatusMatrix> {
+    let beta = (0usize..68).prop_map(|i| match i {
+        0..=64 => i + 1,
+        65 => 127,
+        66 => 255,
+        _ => 2051,
+    });
+    (beta, 1usize..10).prop_flat_map(|(b, n)| {
         proptest::collection::vec(proptest::collection::vec(any::<bool>(), n), b)
             .prop_map(|rows| StatusMatrix::from_rows(&rows))
     })
@@ -138,6 +155,115 @@ proptest! {
                     prop_assert!(ok, "node {} at {} unexplained", i, t);
                 }
             }
+        }
+    }
+
+    // Every forced dispatch tier computes bit-identical results to the
+    // portable scalar kernels on arbitrary word slices. Unavailable tiers
+    // degrade (with a warning) to the best available one, so this passes
+    // on any host; on AVX2 machines it exercises all three code paths.
+    #[test]
+    fn simd_tiers_match_scalar_kernels(
+        (a, b, c) in (0usize..40).prop_flat_map(|len| {
+            let w = || proptest::collection::vec(any::<u64>(), len);
+            (w(), w(), w())
+        })
+    ) {
+        let naive_pc = |s: &[u64]| s.iter().map(|w| u64::from(w.count_ones())).sum::<u64>();
+        let and: Vec<u64> = a.iter().zip(&b).map(|(x, y)| x & y).collect();
+        let and3: Vec<u64> = and.iter().zip(&c).map(|(x, y)| x & y).collect();
+        for mode in [SimdMode::Auto, SimdMode::Avx2, SimdMode::Popcnt, SimdMode::Scalar] {
+            let k = Kernels::for_mode(mode);
+            prop_assert_eq!(k.popcount(&a), naive_pc(&a));
+            prop_assert_eq!(k.and_popcount(&a, &b), naive_pc(&and));
+            prop_assert_eq!(k.and_self_popcount(&a, &b), (naive_pc(&and), naive_pc(&a)));
+            prop_assert_eq!(k.and3_popcount(&a, &b, &c), (naive_pc(&and), naive_pc(&and3)));
+            let mut lo = a.clone();
+            let mut hi = vec![0u64; a.len()];
+            k.refine_masks(&mut lo, &mut hi, &b);
+            let want_lo: Vec<u64> = a.iter().zip(&b).map(|(w, p)| w & !p).collect();
+            prop_assert_eq!(&lo, &want_lo, "lo half, {} tier", k.dispatch());
+            prop_assert_eq!(&hi, &and, "hi half, {} tier", k.dispatch());
+        }
+    }
+
+    // Tiled pair counting emits exactly the upper triangle and matches the
+    // per-pair scalar oracle for every tile size, including degenerate 1x1
+    // tiles and tiles larger than the node count. β spans sub-word,
+    // word-aligned, lane-crossing, and multi-lane column shapes.
+    #[test]
+    fn pair_counts_block_matches_oracle_at_any_tile(
+        m in simd_matrix(),
+        tile in (0usize..4).prop_map(|i| [1usize, 3, 7, 64][i]),
+    ) {
+        let cols = m.columns();
+        let n = m.num_nodes();
+        let ones: Vec<u64> = (0..n).map(|i| cols.ones(i as NodeId)).collect();
+        let mut seen = Vec::new();
+        let mut i0 = 0;
+        while i0 < n {
+            let mut j0 = i0;
+            while j0 < n {
+                cols.pair_counts_block(
+                    i0..(i0 + tile).min(n),
+                    j0..(j0 + tile).min(n),
+                    &ones,
+                    &mut |i, j, pc| seen.push((i, j, pc)),
+                );
+                j0 += tile;
+            }
+            i0 += tile;
+        }
+        prop_assert_eq!(seen.len(), n * n.saturating_sub(1) / 2);
+        for (i, j, pc) in seen {
+            prop_assert!(i < j);
+            prop_assert_eq!(pc, cols.pair_counts(i, j), "pair ({}, {})", i, j);
+        }
+    }
+
+    // The word-parallel combination tables (recursive, incremental, and
+    // batched single-extension) all match the row-major scalar oracle.
+    #[test]
+    fn combo_tables_match_row_oracle(m in simd_matrix(), seed in 0u64..1000) {
+        let n = m.num_nodes();
+        if n < 2 {
+            return Ok(());
+        }
+        let cols = m.columns();
+        let child = (seed % n as u64) as NodeId;
+        // Split the remaining nodes into a base set and extension set.
+        let others: Vec<NodeId> = (0..n as NodeId).filter(|&v| v != child).collect();
+        let base: Vec<NodeId> = others.iter().copied().step_by(2).collect();
+        let extras: Vec<NodeId> = others.iter().copied().skip(1).step_by(2).collect();
+
+        let union: Vec<NodeId> = {
+            let mut u = others.clone();
+            u.sort_unstable();
+            u
+        };
+        let oracle = m.combo_counts(child, &union).expect("within limit");
+        let word_parallel = cols.combo_counts(child, &union).expect("within limit");
+        prop_assert_eq!(word_parallel.as_slice(), oracle.as_slice());
+
+        let mut ws = diffnet_simulate::CountsWorkspace::new();
+        ws.set_base(&cols, &base).expect("within limit");
+        prop_assert_eq!(
+            ws.refined_counts(&cols, child, &extras).expect("within limit"),
+            oracle.as_slice()
+        );
+
+        // Batched single extensions against per-extension oracles.
+        let mut singles = Vec::new();
+        ws.refined_counts_single_batch(&cols, child, &extras, |t, counts| {
+            singles.push((t, counts.to_vec()));
+        });
+        prop_assert_eq!(singles.len(), extras.len());
+        for (t, counts) in singles {
+            let mut one = base.clone();
+            one.push(extras[t]);
+            one.sort_unstable();
+            let want = m.combo_counts(child, &one).expect("within limit");
+            prop_assert_eq!(counts, want, "extension {}", extras[t]);
         }
     }
 

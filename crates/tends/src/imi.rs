@@ -148,14 +148,17 @@ impl CorrelationMatrix {
     ///
     /// The pair loop is the cache-blocked
     /// [`NodeColumns::pair_counts_block`] kernel: the upper triangle is cut
-    /// into T×T tiles (T = [`NodeColumns::pair_tile_size`], chosen so a
-    /// tile pair's columns stay L1-resident), `n11` is one AND+popcount per
-    /// word with the other three cells derived from precomputed per-column
-    /// ones counts, and constant columns short-circuit the word walk
+    /// into T×T tiles (T = [`NodeColumns::pair_tile_size`], lane-aligned
+    /// and chosen so a tile pair's columns stay L1-resident), `n11` is one
+    /// SIMD AND+popcount stream per pair with the other three cells derived
+    /// from the per-column ones counts — computed once up front and shared
+    /// by every tile — and constant columns short-circuit the word walk
     /// entirely. Tiles are scheduled cost-aware — each tile's claim weight
     /// is its exact pair count — so the dense diagonal tiles don't
-    /// serialize the pool. Per-tile results land in per-tile slots, keeping
-    /// the matrix bit-identical at every thread count.
+    /// serialize the pool. Per-tile results are *positional* (`Vec<f64>` in
+    /// the kernel's deterministic row-major emission order, a third of the
+    /// memory of `(i, j, value)` triples) and land in per-tile slots,
+    /// keeping the matrix bit-identical at every thread count.
     pub fn compute_observed(
         cols: &NodeColumns,
         measure: CorrelationMeasure,
@@ -191,17 +194,13 @@ impl CorrelationMatrix {
             || (),
             |_, b| {
                 let (rows, jcols) = &blocks[b];
-                let mut out: Vec<(u32, u32, f64)> = Vec::with_capacity(costs[b] as usize);
-                cols.pair_counts_block(rows.clone(), jcols.clone(), &ones, &mut |i, j, pc| {
+                let mut out: Vec<f64> = Vec::with_capacity(costs[b] as usize);
+                cols.pair_counts_block(rows.clone(), jcols.clone(), &ones, &mut |_, _, pc| {
                     let cells = MiCells::from_counts(&pc);
-                    out.push((
-                        i,
-                        j,
-                        match measure {
-                            CorrelationMeasure::Imi => cells.imi(),
-                            CorrelationMeasure::Mi => cells.mi(),
-                        },
-                    ));
+                    out.push(match measure {
+                        CorrelationMeasure::Imi => cells.imi(),
+                        CorrelationMeasure::Mi => cells.mi(),
+                    });
                 });
                 out
             },
@@ -212,11 +211,20 @@ impl CorrelationMatrix {
             rec.add("correlation_tiles", blocks.len() as u64);
         }
         let mut values = vec![0.0; n * n];
-        for block in tiles {
-            for (i, j, v) in block {
-                values[i as usize * n + j as usize] = v;
-                values[j as usize * n + i as usize] = v;
+        for (b, block) in tiles.into_iter().enumerate() {
+            // Re-derive each value's pair by walking the block exactly the
+            // way `pair_counts_block` emits: row-major over `i`, then
+            // `j > i` within the column tile.
+            let (rows, jcols) = &blocks[b];
+            let mut vals = block.into_iter();
+            for i in rows.clone() {
+                for j in jcols.start.max(i + 1)..jcols.end {
+                    let v = vals.next().expect("one value per block pair");
+                    values[i * n + j] = v;
+                    values[j * n + i] = v;
+                }
             }
+            debug_assert!(vals.next().is_none(), "block emitted extra pairs");
         }
         CorrelationMatrix { n, values }
     }
@@ -408,7 +416,7 @@ mod tests {
 
     #[test]
     fn multi_tile_matrix_matches_reference_bit_identically() {
-        // β = 2051 (not a multiple of 64) gives pair_tile_size 62, so 100
+        // β = 2051 (not a multiple of 64) gives pair_tile_size 48, so 100
         // nodes span multiple tiles and exercise diagonal + off-diagonal
         // blocks, tail words, and the degenerate-column short-circuit.
         let cols = matrix_with_degenerate_columns(2051, 100).columns();

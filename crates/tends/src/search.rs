@@ -643,13 +643,39 @@ fn extension_into(f: &[NodeId], w: &[NodeId], extra: &mut Vec<NodeId>) {
     extra.extend(w.iter().filter(|p| f.binary_search(p).is_err()));
 }
 
+/// How a combination's evaluation is obtained within one batched greedy
+/// round (see [`greedy_best_improvement`]).
+enum RoundEval {
+    /// Scored already: a cache hit, or a multi-node extension evaluated
+    /// through the ordinary incremental path during classification.
+    Ready(CachedScore),
+    /// A novel single-node extension: entry `t` of the round's batched
+    /// workspace pass.
+    Batched(usize),
+    /// Same cache key as an extension already in the batch; resolved from
+    /// the cache after the flush, so the hit/miss split matches the
+    /// sequential order (first occurrence misses, later ones hit).
+    Dup(u64),
+}
+
 /// §IV-A greedy: each round, evaluate `g(v_i, F ∪ W)` for every remaining
 /// admissible combination and take the best strict improvement.
 ///
-/// The round's parent set `F` is instantiated in the workspace once; each
-/// combination is scored by refining along its novel nodes only — or, when
-/// the union `F ∪ W` was already scored in enumeration or an earlier
-/// round, straight from the score cache.
+/// The round's parent set `F` is instantiated in the workspace once and
+/// combinations are scored in two passes. Pass one classifies each
+/// combination in order: unions already memoized come straight from the
+/// score cache, multi-node extensions refine the workspace immediately,
+/// and every novel single-node extension — the overwhelmingly common case,
+/// since `W \ F` shrinks as `F` grows — is queued. The queue is then
+/// flushed through [`CountsWorkspace::refined_counts_single_batch`], which
+/// streams the cached base partition **once** for the whole batch instead
+/// of copy-refine-tabulating per combination. Pass two replays the
+/// sequential acceptance logic in combination order on the collected
+/// evaluations.
+///
+/// Scores, `SearchStats`, score-cache hit/miss totals, and workspace
+/// refinement counts are all bit-identical to the sequential path (and so
+/// to [`find_parents_reference`]) — the reference-oracle test pins this.
 #[allow(clippy::too_many_arguments)]
 fn greedy_best_improvement(
     scratch: &mut SearchScratch,
@@ -662,6 +688,7 @@ fn greedy_best_improvement(
     stats: &mut SearchStats,
 ) -> Result<(Vec<NodeId>, f64), ComboSizeError> {
     const EPS: f64 = 1e-9;
+    let SearchScratch { ws, cache } = scratch;
     let cache_on = candidates.len() <= 64;
     let mut f: Vec<NodeId> = Vec::new();
     let mut mask_f = 0u64;
@@ -670,9 +697,15 @@ fn greedy_best_improvement(
 
     while !combos.is_empty() {
         stats.greedy_rounds += 1;
-        scratch.ws.set_base(cols, &f)?;
+        ws.set_base(cols, &f)?;
         let mut best: Option<(usize, f64)> = None;
         let mut keep = vec![true; combos.len()];
+
+        // Pass 1: classify. `pending` records (combo index, |F ∪ W|, how
+        // to obtain the evaluation).
+        let mut pending: Vec<(usize, usize, RoundEval)> = Vec::new();
+        let mut batch_nodes: Vec<NodeId> = Vec::new();
+        let mut batch_keys: Vec<Option<u64>> = Vec::new();
         for (idx, combo) in combos.iter().enumerate() {
             extension_into(&f, &combo.nodes, &mut extra);
             if extra.is_empty() {
@@ -684,16 +717,69 @@ fn greedy_best_improvement(
                 continue;
             }
             let key = cache_on.then(|| mask_f | subset_mask(&extra, candidates));
-            let eval = eval_cached(
-                &mut scratch.cache,
-                &mut scratch.ws,
-                cols,
-                child,
-                &extra,
-                key,
-            )?;
+            let state = match key {
+                Some(k) => {
+                    if let Some(cached) = cache.get(k) {
+                        RoundEval::Ready(cached)
+                    } else if extra.len() == 1 {
+                        if batch_keys.contains(&Some(k)) {
+                            RoundEval::Dup(k)
+                        } else {
+                            batch_nodes.push(extra[0]);
+                            batch_keys.push(Some(k));
+                            RoundEval::Batched(batch_nodes.len() - 1)
+                        }
+                    } else {
+                        let counts = ws.refined_counts(cols, child, &extra)?;
+                        let value = CachedScore {
+                            score: score::local_score(counts),
+                            phi: score::phi(counts),
+                        };
+                        cache.insert(k, value);
+                        RoundEval::Ready(value)
+                    }
+                }
+                None if extra.len() == 1 => {
+                    // Cache off: batch every single, duplicates included —
+                    // the sequential path would recount each one too.
+                    batch_nodes.push(extra[0]);
+                    batch_keys.push(None);
+                    RoundEval::Batched(batch_nodes.len() - 1)
+                }
+                None => {
+                    let counts = ws.refined_counts(cols, child, &extra)?;
+                    RoundEval::Ready(CachedScore {
+                        score: score::local_score(counts),
+                        phi: score::phi(counts),
+                    })
+                }
+            };
+            pending.push((idx, f.len() + extra.len(), state));
+        }
+
+        // Flush: one streaming pass over the base partition scores every
+        // queued single-node extension.
+        let mut batch_evals: Vec<CachedScore> = Vec::with_capacity(batch_nodes.len());
+        ws.refined_counts_single_batch(cols, child, &batch_nodes, |t, counts| {
+            let value = CachedScore {
+                score: score::local_score(counts),
+                phi: score::phi(counts),
+            };
+            if let Some(k) = batch_keys[t] {
+                cache.insert(k, value);
+            }
+            batch_evals.push(value);
+        });
+
+        // Pass 2: the sequential acceptance logic, in combination order.
+        for (idx, union_len, state) in pending {
+            let eval = match state {
+                RoundEval::Ready(value) => value,
+                RoundEval::Batched(t) => batch_evals[t],
+                RoundEval::Dup(k) => cache.get(k).expect("batched twin was inserted at flush"),
+            };
             stats.evaluations += 1;
-            if !score::within_bound(f.len() + extra.len(), eval.phi, delta) {
+            if !score::within_bound(union_len, eval.phi, delta) {
                 stats.bound_rejections += 1;
                 continue;
             }
@@ -701,6 +787,7 @@ fn greedy_best_improvement(
                 best = Some((idx, eval.score));
             }
         }
+
         match best {
             Some((idx, s)) => {
                 if cache_on {
