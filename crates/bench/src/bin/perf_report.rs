@@ -25,7 +25,9 @@
 //!   checkpointing disabled;
 //! * the serving layer over loopback: `/v1/healthz` round-trips per
 //!   second and the end-to-end submit→done latency of an HTTP-submitted
-//!   job (upload, queue, reconstruction, output writes, status poll).
+//!   job (upload, queue, reconstruction, output writes, status poll),
+//!   each with client-side p50/p95/p99 from the same log₂ duration
+//!   buckets the daemon exposes on `/v1/metrics`.
 //!
 //! Multi-thread speedups are only meaningful on multi-core hardware; on a
 //! single-CPU machine the thread-scaling rows are marked
@@ -36,7 +38,7 @@
 use diffnet_bench::harness::{observe, Setting};
 use diffnet_datasets::LfrSpec;
 use diffnet_metrics::timed;
-use diffnet_observe::{Json, Recorder, RunReport};
+use diffnet_observe::{DurationHistogram, Json, Recorder, RunReport};
 use diffnet_simulate::{CountsWorkspace, Kernels, NodeColumns, SimdMode, StatusMatrix};
 use diffnet_tends::search::{find_parents_reference, SearchParams};
 use diffnet_tends::{
@@ -359,28 +361,39 @@ fn main() {
     let _ = std::fs::remove_dir_all(&serve_dir);
     let server = diffnet_serve::Server::bind(&diffnet_serve::ServeConfig {
         data_dir: serve_dir.clone(),
+        access_log: false,
         ..Default::default()
     })
     .expect("bind loopback server");
     let addr = server.addr();
     let server_thread = std::thread::spawn(move || server.serve_forever());
     let client = diffnet_serve::Client::new(addr);
+    // Client-side latency distributions in the same log2 buckets the
+    // daemon exposes on /v1/metrics, so the report carries tail latency
+    // (p50/p95/p99), not just a median of batch means.
+    let mut healthz_hist = DurationHistogram::default();
     let ping_batch = 50usize;
     let ping_s = median_secs(reps, || {
         for _ in 0..ping_batch {
-            assert!(client.healthz().expect("healthz"));
+            let (ok, secs) = timed(|| client.healthz().expect("healthz"));
+            assert!(ok);
+            healthz_hist.record(secs);
         }
     });
     let mut serve_body = Vec::new();
     diffnet_simulate::io::write_status_matrix(&small, &mut serve_body).expect("serialize statuses");
+    let mut submit_hist = DurationHistogram::default();
     let submit_to_done_s = median_secs(reps.min(3), || {
-        let (code, job) = client.post_json("/v1/jobs", &serve_body).expect("submit");
-        assert_eq!(code, 201, "{}", job.to_pretty());
-        let id = job.get("id").and_then(Json::as_f64).expect("job id") as u64;
-        let done = client
-            .wait_for_job(id, std::time::Duration::from_secs(300))
-            .expect("job finishes");
-        assert_eq!(done.get("state").and_then(Json::as_str), Some("done"));
+        let (_, secs) = timed(|| {
+            let (code, job) = client.post_json("/v1/jobs", &serve_body).expect("submit");
+            assert_eq!(code, 201, "{}", job.to_pretty());
+            let id = job.get("id").and_then(Json::as_f64).expect("job id") as u64;
+            let done = client
+                .wait_for_job(id, std::time::Duration::from_secs(300))
+                .expect("job finishes");
+            assert_eq!(done.get("state").and_then(Json::as_str), Some("done"));
+        });
+        submit_hist.record(secs);
     });
     client.shutdown().expect("shutdown");
     server_thread.join().expect("join").expect("serve loop");
@@ -475,7 +488,13 @@ fn main() {
     let mut serve = Json::object();
     serve.push("n", n_small as u64);
     serve.push("healthz_rps", ping_batch as f64 / ping_s);
+    serve.push("healthz_p50_s", healthz_hist.quantile(0.50));
+    serve.push("healthz_p95_s", healthz_hist.quantile(0.95));
+    serve.push("healthz_p99_s", healthz_hist.quantile(0.99));
     serve.push("submit_to_done_s", submit_to_done_s);
+    serve.push("submit_to_done_p50_s", submit_hist.quantile(0.50));
+    serve.push("submit_to_done_p95_s", submit_hist.quantile(0.95));
+    serve.push("submit_to_done_p99_s", submit_hist.quantile(0.99));
     json.push("serve_loopback", serve);
 
     json.push("tends_run_report", run_report.to_json());

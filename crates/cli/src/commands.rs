@@ -72,6 +72,11 @@ pub fn run(argv: &[String]) -> Result<CommandOutput, ArgError> {
     let Some((command, rest)) = argv.split_first() else {
         return Err(ArgError::new("missing command; try `diffnet help`"));
     };
+    // `trace` takes positional operands (`trace render FILE`), which the
+    // flag parser rejects by design — dispatch it before parsing.
+    if command == "trace" {
+        return trace_cmd(rest).map(CommandOutput::success);
+    }
     let parsed = ParsedArgs::parse(rest)?;
     match command.as_str() {
         "generate" => generate(&parsed).map(CommandOutput::success),
@@ -81,6 +86,7 @@ pub fn run(argv: &[String]) -> Result<CommandOutput, ArgError> {
         "estimate" => estimate(&parsed).map(CommandOutput::success),
         "stats" => stats(&parsed).map(CommandOutput::success),
         "report-check" => report_check(&parsed).map(CommandOutput::success),
+        "metrics-lint" => metrics_lint(&parsed).map(CommandOutput::success),
         "serve" => serve(&parsed).map(CommandOutput::success),
         "submit" => submit(&parsed),
         "job" => job_status(&parsed),
@@ -305,6 +311,11 @@ fn infer(args: &ParsedArgs) -> Result<CommandOutput, ArgError> {
     } else {
         Recorder::disabled()
     };
+    // Resource profiling rides along with observability: window-scoped,
+    // so the profile covers exactly this command's work.
+    let profiler = observing.then(|| {
+        diffnet_observe::ResourceProfiler::start(diffnet_observe::DEFAULT_SAMPLE_INTERVAL)
+    });
     let mut report_threads = 1usize;
     // Degradation/checkpoint state filled in by the tends arm.
     let mut failed_nodes: Vec<u64> = Vec::new();
@@ -441,6 +452,9 @@ fn infer(args: &ParsedArgs) -> Result<CommandOutput, ArgError> {
             run_report.simd = Some(requested.to_string());
         }
         run_report.simd_dispatch = Some(simd_kernels.dispatch().to_string());
+        if let Some(p) = profiler {
+            run_report.resources = Some(p.stop());
+        }
         if run_report.snapshot.phases.is_empty() {
             eprintln!("warning: algorithm {algo:?} is not instrumented; run report is empty");
         }
@@ -593,6 +607,63 @@ fn report_check(args: &ParsedArgs) -> Result<String, ArgError> {
     ))
 }
 
+/// `diffnet trace render FILE [--timeline] [--collapsed]`: renders a
+/// recorded span tree as a text timeline and/or flamegraph-collapsed
+/// stacks. `FILE` may be a `--run-report` file, a `/v1/jobs/{id}/trace`
+/// response, or a bare trace object.
+fn trace_cmd(rest: &[String]) -> Result<String, ArgError> {
+    const TRACE_USAGE: &str = "usage: diffnet trace render FILE [--timeline] [--collapsed]";
+    let Some((action, rest)) = rest.split_first() else {
+        return Err(ArgError::new(TRACE_USAGE));
+    };
+    if action != "render" {
+        return Err(ArgError::new(format!(
+            "unknown trace action {action:?}; {TRACE_USAGE}"
+        )));
+    }
+    let Some((file, flags)) = rest.split_first() else {
+        return Err(ArgError::new(TRACE_USAGE));
+    };
+    let args = ParsedArgs::parse(flags)?;
+    args.expect_known(&["timeline", "collapsed"])?;
+    let text = std::fs::read_to_string(file)
+        .map_err(|e| io_err(&format!("cannot read trace {file:?}"), e))?;
+    let root = diffnet_observe::parse_json(&text)
+        .map_err(|e| ArgError::new(format!("trace {file:?} is not JSON: {e}")))?;
+    let trace = root
+        .get("runtime")
+        .and_then(|r| r.get("trace"))
+        .or_else(|| root.get("trace"))
+        .unwrap_or(&root);
+    let (spans, dropped) = diffnet_observe::spans_from_json(trace)
+        .map_err(|e| ArgError::new(format!("trace {file:?} invalid: {e}")))?;
+    let collapsed = args.has_flag("collapsed");
+    let timeline = args.has_flag("timeline") || !collapsed;
+    let mut out = String::new();
+    if timeline {
+        out.push_str(&diffnet_observe::render_timeline(&spans, dropped));
+    }
+    if collapsed {
+        if timeline {
+            out.push('\n');
+        }
+        out.push_str(&diffnet_observe::collapse_stacks(&spans));
+    }
+    Ok(out)
+}
+
+/// `diffnet metrics-lint --file FILE`: checks a scraped Prometheus text
+/// exposition for format violations.
+fn metrics_lint(args: &ParsedArgs) -> Result<String, ArgError> {
+    args.expect_known(&["file"])?;
+    let path = args.required("file")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| io_err(&format!("cannot read exposition {path:?}"), e))?;
+    let families = diffnet_observe::lint_exposition(&text)
+        .map_err(|e| ArgError::new(format!("exposition {path:?} invalid: {e}")))?;
+    Ok(format!("exposition {path} OK: {families} metric families"))
+}
+
 fn serve(args: &ParsedArgs) -> Result<String, ArgError> {
     args.expect_known(&[
         "addr",
@@ -602,6 +673,8 @@ fn serve(args: &ParsedArgs) -> Result<String, ArgError> {
         "max-body-bytes",
         "port-file",
         "simd",
+        "slow-request-secs",
+        "no-access-log",
     ])?;
     // Jobs run in-process, so the override applies to every job this
     // daemon executes.
@@ -619,6 +692,8 @@ fn serve(args: &ParsedArgs) -> Result<String, ArgError> {
             ..Limits::default()
         },
         port_file: args.optional("port-file").map(PathBuf::from),
+        slow_request_secs: args.get_or("slow-request-secs", 1.0)?,
+        access_log: !args.has_flag("no-access-log"),
     };
     let server = Server::bind(&config).map_err(|e| io_err("cannot start server", e))?;
     let addr = server.addr();
@@ -1213,5 +1288,69 @@ mod tests {
             msg.contains("26") && msg.contains("too large"),
             "unexpected error: {msg}"
         );
+    }
+
+    #[test]
+    fn trace_render_renders_timeline_and_collapsed() {
+        let path = tmp("trace_render.json");
+        // A bare trace object, as returned by GET /v1/jobs/{id}/trace.
+        std::fs::write(
+            &path,
+            r#"{"spans":[
+                {"id":1,"parent":null,"name":"parent_search","start_s":0.0,"end_s":1.0,"thread":"main","attrs":{}},
+                {"id":2,"parent":1,"name":"node_search","start_s":0.1,"end_s":0.9,"thread":"worker-0","attrs":{"node":3}}
+            ],"dropped":0}"#,
+        )
+        .expect("write trace");
+
+        let timeline = run_tokens(&["trace", "render", &path]).expect("timeline");
+        let text = timeline.to_string();
+        assert!(text.contains("parent_search"), "timeline:\n{text}");
+        assert!(text.contains("node_search"));
+
+        let collapsed = run_tokens(&["trace", "render", &path, "--collapsed"]).expect("collapsed");
+        assert!(
+            collapsed.to_string().contains("parent_search;node_search"),
+            "collapsed stacks:\n{collapsed}"
+        );
+
+        // The same trace nested under runtime.trace (a run report) works too.
+        let report_path = tmp("trace_render_report.json");
+        let inner = std::fs::read_to_string(&path).expect("read back");
+        std::fs::write(
+            &report_path,
+            format!("{{\"runtime\":{{\"trace\":{inner}}}}}"),
+        )
+        .expect("write report");
+        let nested = run_tokens(&["trace", "render", &report_path]).expect("nested");
+        assert!(nested.to_string().contains("parent_search"));
+
+        // Missing action / unknown action are argument errors.
+        assert!(run_tokens(&["trace"]).is_err());
+        let err = run_tokens(&["trace", "frobnicate", &path]).unwrap_err();
+        assert!(err.to_string().contains("unknown trace action"));
+    }
+
+    #[test]
+    fn metrics_lint_accepts_good_and_rejects_bad() {
+        let good = tmp("lint_good.prom");
+        std::fs::write(
+            &good,
+            "# HELP diffnet_jobs_submitted jobs submitted.\n\
+             # TYPE diffnet_jobs_submitted counter\n\
+             diffnet_jobs_submitted 3\n",
+        )
+        .expect("write good");
+        let out = run_tokens(&["metrics-lint", "--file", &good]).expect("lint good");
+        assert!(out.contains("metric families"), "output: {out}");
+
+        let bad = tmp("lint_bad.prom");
+        std::fs::write(
+            &bad,
+            "# TYPE diffnet_x counter\n# TYPE diffnet_x gauge\ndiffnet_x 1\n",
+        )
+        .expect("write bad");
+        let err = run_tokens(&["metrics-lint", "--file", &bad]).unwrap_err();
+        assert!(err.to_string().contains("invalid"), "error: {err}");
     }
 }

@@ -46,6 +46,10 @@ COMMANDS:
              --truth FILE --inferred FILE
   report-check  Validate a --run-report JSON file (schema + counters)
              --report FILE  [--phases a,b,...] [--counters a,b,...]
+  trace      Render a recorded span tree (run report or /trace response)
+             trace render FILE  [--timeline] [--collapsed]
+  metrics-lint  Lint a scraped Prometheus text exposition
+             --file FILE
   estimate   Fit per-edge propagation probabilities for a topology
              --graph FILE --statuses FILE --out FILE
   stats      Print summary statistics of a network
@@ -54,6 +58,7 @@ COMMANDS:
              --data-dir DIR  [--addr HOST:PORT] [--http-workers N]
              [--job-workers N] [--max-body-bytes N] [--port-file FILE]
              [--simd auto|avx2|popcnt|scalar]
+             [--slow-request-secs S] [--no-access-log]
   submit     Submit a job to a running daemon
              --server HOST:PORT  --statuses FILE | --observations FILE
              [--algorithm A] [--threads T] [--checkpoint-interval N]
@@ -69,8 +74,13 @@ Cascade-based algorithms (netrate, multree, netinf, path) and lift need
 
 Observability: `infer --trace` prints per-phase wall times and counters to
 stderr; `infer --run-report FILE` writes the structured JSON run report
-(instrumented algorithms: tends, netrate). `report-check` validates such a
-file and exits non-zero on schema violations.
+(instrumented algorithms: tends, netrate), which carries a nested span
+tree under `runtime.trace` and an RSS/CPU resource profile under
+`runtime.resources`. `report-check` validates such a file (including the
+trace and resource schemas) and exits non-zero on violations. `trace
+render` turns a recorded span tree into a text timeline (default) or
+flamegraph-collapsed stacks (`--collapsed`); `metrics-lint` checks a
+scraped /v1/metrics exposition for format violations.
 
 SIMD: the bit-counting kernels pick the fastest tier the CPU supports
 (AVX2, then POPCNT, then portable scalar) at startup. `--simd MODE` or

@@ -109,6 +109,42 @@ impl Json {
         out
     }
 
+    /// Serializes on one line with no whitespace (for log lines and wire
+    /// payloads); same escaping and number formatting as [`Json::to_pretty`].
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null | Json::Bool(_) | Json::Num(_) | Json::Str(_) => self.write(out, 0),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, depth: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -552,5 +588,14 @@ mod tests {
         let mut obj = Json::object();
         obj.push("hist", &[1u64, 2, 3][..]);
         assert!(obj.to_pretty().contains("\"hist\": [1, 2, 3]"));
+    }
+
+    #[test]
+    fn compact_writer_is_one_line_and_round_trips() {
+        let v = sample();
+        let compact = v.to_compact();
+        assert!(!compact.contains('\n'));
+        assert!(!compact.contains(": "));
+        assert_eq!(parse(&compact).expect("parses"), v);
     }
 }

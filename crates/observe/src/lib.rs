@@ -3,10 +3,15 @@
 //! The workspace builds with no registry access, so this crate hand-rolls
 //! the three pieces an instrumentation layer needs on `std` alone:
 //!
-//! - [`Recorder`]: spans ([`Recorder::phase`] returning a timing guard),
-//!   counters, scalar values, histograms, and per-worker chunk stats —
+//! - [`Recorder`]: phases ([`Recorder::phase`] returning a timing guard),
+//!   nested spans ([`Recorder::span`], ring-bounded, serialized under
+//!   `runtime.trace`), counters, scalar values, histograms, log₂ duration
+//!   histograms ([`DurationHistogram`]), and per-worker chunk stats —
 //!   with a no-op disabled mode ([`Recorder::disabled`]) so instrumented
 //!   code costs a predictable branch when observability is off;
+//! - [`ResourceProfiler`]: a background RSS/CPU sampler over
+//!   `/proc/self/statm` + `getrusage(2)`, serialized under
+//!   `runtime.resources`;
 //! - [`Json`]: a deterministic JSON tree, writer, and minimal parser
 //!   (hoisted from the `perf_report` bench binary);
 //! - [`RunReport`]: the structured report serialized for `--run-report`,
@@ -26,9 +31,19 @@ pub mod json;
 pub mod prometheus;
 pub mod recorder;
 pub mod report;
+pub mod resources;
+pub mod trace;
 
 pub use fault::FaultPlan;
 pub use json::{parse as parse_json, Json, ParseError};
-pub use prometheus::render_prometheus;
-pub use recorder::{PhaseGuard, Recorder, Snapshot};
+pub use prometheus::{lint_exposition, render_prometheus};
+pub use recorder::{
+    duration_bucket_bounds, DurationHistogram, PhaseGuard, Recorder, Snapshot, SpanGuard,
+    DURATION_BUCKETS,
+};
 pub use report::{strip_runtime, validate_report_json, CheckpointInfo, PhaseTiming, RunReport};
+pub use resources::{ResourceProfile, ResourceProfiler, DEFAULT_SAMPLE_INTERVAL};
+pub use trace::{
+    collapse_stacks, render_timeline, spans_from_json, trace_to_json, ParsedSpan, SpanId,
+    SpanRecord, SPAN_BUFFER_CAP,
+};

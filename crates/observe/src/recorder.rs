@@ -15,9 +15,12 @@
 //! the recorder once per phase. The recorder is never touched per
 //! combination or per row.
 
-use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
+
+use crate::trace::{SpanId, SpanRecord, SPAN_BUFFER_CAP};
 
 #[derive(Debug, Default)]
 struct Inner {
@@ -29,8 +32,14 @@ struct Inner {
     values: BTreeMap<&'static str, f64>,
     /// Named histograms as raw bucket counts (index = bucket).
     histograms: BTreeMap<&'static str, Vec<u64>>,
+    /// Log₂-scaled duration histograms with real second boundaries.
+    durations: BTreeMap<&'static str, DurationHistogram>,
     /// Per-worker chunk claims, keyed by the parallel region's name.
     worker_chunks: BTreeMap<&'static str, Vec<u64>>,
+    /// Completed spans, oldest first; bounded at [`SPAN_BUFFER_CAP`].
+    spans: VecDeque<SpanRecord>,
+    /// Spans evicted from the ring once it filled.
+    spans_dropped: u64,
 }
 
 /// Collects phase timings, counters, values, and histograms for one run.
@@ -43,6 +52,10 @@ struct Inner {
 pub struct Recorder {
     enabled: bool,
     inner: Mutex<Inner>,
+    /// Epoch for span offsets, set by the first span or phase.
+    epoch: OnceLock<Instant>,
+    /// Lock-free span id allocator (ids start at 1).
+    next_span_id: AtomicU64,
 }
 
 /// The process-wide no-op recorder.
@@ -53,8 +66,13 @@ static DISABLED: Recorder = Recorder {
         counters: BTreeMap::new(),
         values: BTreeMap::new(),
         histograms: BTreeMap::new(),
+        durations: BTreeMap::new(),
         worker_chunks: BTreeMap::new(),
+        spans: VecDeque::new(),
+        spans_dropped: 0,
     }),
+    epoch: OnceLock::new(),
+    next_span_id: AtomicU64::new(1),
 };
 
 impl Recorder {
@@ -63,6 +81,8 @@ impl Recorder {
         Recorder {
             enabled: true,
             inner: Mutex::new(Inner::default()),
+            epoch: OnceLock::new(),
+            next_span_id: AtomicU64::new(1),
         }
     }
 
@@ -79,18 +99,71 @@ impl Recorder {
         self.enabled
     }
 
+    /// Seconds elapsed since this recorder's epoch (the first span or
+    /// phase), initializing the epoch on first use.
+    fn offset_now(&self) -> f64 {
+        let epoch = *self.epoch.get_or_init(Instant::now);
+        Instant::now().duration_since(epoch).as_secs_f64()
+    }
+
     /// Starts a named phase; the returned guard records the elapsed wall
-    /// time when dropped. No-op (no timer read) when disabled.
+    /// time when dropped, and also records a *root span* of the same name
+    /// into the trace ring buffer. No-op (no timer read) when disabled.
     pub fn phase(&self, name: &'static str) -> PhaseGuard<'_> {
+        let start = if self.enabled {
+            let start_s = self.offset_now();
+            Some((
+                Instant::now(),
+                start_s,
+                self.next_span_id.fetch_add(1, Ordering::Relaxed),
+            ))
+        } else {
+            None
+        };
         PhaseGuard {
             recorder: self,
             name,
-            start: if self.enabled {
-                Some(Instant::now())
-            } else {
-                None
-            },
+            start,
         }
+    }
+
+    /// Starts a root span. The guard records the completed span into the
+    /// bounded ring buffer when dropped; attach attributes with
+    /// [`SpanGuard::attr`]. Free (one branch) when disabled.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        self.span_with_parent(name, None)
+    }
+
+    /// Starts a span nested under `parent` (a span or phase id obtained
+    /// from [`SpanGuard::id`] / [`PhaseGuard::span_id`]). Passing `None`
+    /// makes a root span.
+    pub fn span_with_parent(&self, name: &'static str, parent: Option<SpanId>) -> SpanGuard<'_> {
+        let start = if self.enabled {
+            Some((
+                self.offset_now(),
+                self.next_span_id.fetch_add(1, Ordering::Relaxed),
+            ))
+        } else {
+            None
+        };
+        SpanGuard {
+            recorder: self,
+            name,
+            parent,
+            start,
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Pushes a completed span into the ring, evicting the oldest span
+    /// once the buffer is full.
+    fn finish_span(&self, span: SpanRecord) {
+        let mut inner = self.inner.lock().expect("recorder poisoned");
+        if inner.spans.len() >= SPAN_BUFFER_CAP {
+            inner.spans.pop_front();
+            inner.spans_dropped += 1;
+        }
+        inner.spans.push_back(span);
     }
 
     /// Adds `delta` to the named counter.
@@ -125,6 +198,17 @@ impl Recorder {
         buckets[bucket] += 1;
     }
 
+    /// Records one observation into a named log₂-scaled duration
+    /// histogram (real second boundaries; see
+    /// [`duration_bucket_bounds`]).
+    pub fn duration(&self, name: &'static str, seconds: f64) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("recorder poisoned");
+        inner.durations.entry(name).or_default().record(seconds);
+    }
+
     /// Records per-worker chunk claims for a named parallel region
     /// (last write wins). Worker order is scheduler-dependent, so this
     /// lands in the report's `runtime` section, not the deterministic one.
@@ -144,13 +228,21 @@ impl Recorder {
             counters: inner.counters.clone(),
             values: inner.values.clone(),
             histograms: inner.histograms.clone(),
+            durations: inner.durations.clone(),
             worker_chunks: inner.worker_chunks.clone(),
+            spans: inner.spans.iter().cloned().collect(),
+            spans_dropped: inner.spans_dropped,
         }
     }
 
-    fn finish_phase(&self, name: &'static str, seconds: f64) {
+    fn finish_phase(&self, name: &'static str, seconds: f64, span: SpanRecord) {
         let mut inner = self.inner.lock().expect("recorder poisoned");
         inner.phases.push((name, seconds));
+        if inner.spans.len() >= SPAN_BUFFER_CAP {
+            inner.spans.pop_front();
+            inner.spans_dropped += 1;
+        }
+        inner.spans.push_back(span);
     }
 }
 
@@ -160,20 +252,173 @@ impl Default for Recorder {
     }
 }
 
-/// RAII guard for one phase; records the elapsed time on drop.
+/// RAII guard for one phase; on drop it records the elapsed time *and* a
+/// root span of the same name.
 #[must_use = "dropping the guard immediately times nothing"]
 pub struct PhaseGuard<'a> {
     recorder: &'a Recorder,
     name: &'static str,
-    start: Option<Instant>,
+    /// `(timer, start offset, span id)` when recording.
+    start: Option<(Instant, f64, SpanId)>,
+}
+
+impl PhaseGuard<'_> {
+    /// The id of the root span this phase will record, for nesting child
+    /// spans under it. `None` when the recorder is disabled.
+    pub fn span_id(&self) -> Option<SpanId> {
+        self.start.map(|(_, _, id)| id)
+    }
 }
 
 impl Drop for PhaseGuard<'_> {
     fn drop(&mut self) {
-        if let Some(start) = self.start {
-            self.recorder
-                .finish_phase(self.name, start.elapsed().as_secs_f64());
+        if let Some((start, start_s, id)) = self.start {
+            let seconds = start.elapsed().as_secs_f64();
+            self.recorder.finish_phase(
+                self.name,
+                seconds,
+                SpanRecord {
+                    id,
+                    parent: None,
+                    name: self.name,
+                    start_s,
+                    end_s: start_s + seconds,
+                    thread: current_thread_label(),
+                    attrs: Vec::new(),
+                },
+            );
         }
+    }
+}
+
+/// RAII guard for one span; records the completed [`SpanRecord`] into the
+/// ring buffer on drop.
+#[must_use = "dropping the guard immediately records an empty span"]
+pub struct SpanGuard<'a> {
+    recorder: &'a Recorder,
+    name: &'static str,
+    parent: Option<SpanId>,
+    /// `(start offset, span id)` when recording.
+    start: Option<(f64, SpanId)>,
+    attrs: Vec<(&'static str, u64)>,
+}
+
+impl SpanGuard<'_> {
+    /// This span's id, for nesting children under it. `None` when the
+    /// recorder is disabled.
+    pub fn id(&self) -> Option<SpanId> {
+        self.start.map(|(_, id)| id)
+    }
+
+    /// Attaches a static-keyed integer attribute (written with the span
+    /// when the guard drops; last write wins per key). No-op when
+    /// disabled.
+    pub fn attr(&mut self, key: &'static str, value: u64) {
+        if self.start.is_none() {
+            return;
+        }
+        match self.attrs.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => *v = value,
+            None => self.attrs.push((key, value)),
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some((start_s, id)) = self.start {
+            self.recorder.finish_span(SpanRecord {
+                id,
+                parent: self.parent,
+                name: self.name,
+                start_s,
+                end_s: self.recorder.offset_now(),
+                thread: current_thread_label(),
+                attrs: std::mem::take(&mut self.attrs),
+            });
+        }
+    }
+}
+
+/// The current thread's name, or its `ThreadId` debug form for unnamed
+/// threads (e.g. scoped pool workers).
+fn current_thread_label() -> String {
+    let thread = std::thread::current();
+    match thread.name() {
+        Some(name) => name.to_string(),
+        None => format!("{:?}", thread.id()),
+    }
+}
+
+/// Number of real-second boundaries in a [`DurationHistogram`]:
+/// `2^-20 s` (≈1 µs) through `2^5 s` (32 s), one bucket per power of two.
+pub const DURATION_BUCKETS: usize = 26;
+
+/// The real second boundaries of a [`DurationHistogram`]: bucket `i`
+/// counts observations `<= 2^(i - 20)` seconds. Powers of two are exactly
+/// representable, so the rendered `le` labels round-trip exactly.
+pub fn duration_bucket_bounds() -> [f64; DURATION_BUCKETS] {
+    let mut bounds = [0.0; DURATION_BUCKETS];
+    for (i, b) in bounds.iter_mut().enumerate() {
+        *b = 2.0f64.powi(i as i32 - 20);
+    }
+    bounds
+}
+
+/// A log₂-scaled duration histogram with real second boundaries — the
+/// latency-shaped sibling of the recorder's index-bucket histograms
+/// (whose bucket index *is* the observed value). Observations above the
+/// last boundary land only in `overflow`/`count` (the `+Inf` bucket).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DurationHistogram {
+    /// Per-boundary counts, aligned with [`duration_bucket_bounds`]
+    /// (empty until the first observation).
+    pub buckets: Vec<u64>,
+    /// Observations above the last boundary.
+    pub overflow: u64,
+    /// Sum of all observed durations, in seconds.
+    pub sum: f64,
+    /// Total observations.
+    pub count: u64,
+}
+
+impl DurationHistogram {
+    /// Records one duration. Negative and non-finite observations clamp
+    /// to zero (they can only arise from clock anomalies).
+    pub fn record(&mut self, seconds: f64) {
+        let s = if seconds.is_finite() && seconds > 0.0 {
+            seconds
+        } else {
+            0.0
+        };
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; DURATION_BUCKETS];
+        }
+        self.sum += s;
+        self.count += 1;
+        match duration_bucket_bounds().iter().position(|&b| s <= b) {
+            Some(i) => self.buckets[i] += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// The `q`-quantile (0 < q <= 1) as the upper boundary of the bucket
+    /// where the cumulative count crosses `q × count` — `+Inf` for
+    /// observations beyond the last boundary, `NaN` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let bounds = duration_bucket_bounds();
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return bounds[i];
+            }
+        }
+        f64::INFINITY
     }
 }
 
@@ -188,8 +433,14 @@ pub struct Snapshot {
     pub values: BTreeMap<&'static str, f64>,
     /// Histogram bucket counts, sorted by name.
     pub histograms: BTreeMap<&'static str, Vec<u64>>,
+    /// Duration histograms, sorted by name.
+    pub durations: BTreeMap<&'static str, DurationHistogram>,
     /// Per-worker chunk claims per parallel region, sorted by name.
     pub worker_chunks: BTreeMap<&'static str, Vec<u64>>,
+    /// Completed spans in completion order (ring-bounded).
+    pub spans: Vec<SpanRecord>,
+    /// Spans evicted once the ring filled.
+    pub spans_dropped: u64,
 }
 
 #[cfg(test)]
@@ -253,5 +504,112 @@ mod tests {
     fn recorder_is_sync() {
         fn assert_sync<T: Sync>() {}
         assert_sync::<Recorder>();
+    }
+
+    #[test]
+    fn phases_record_root_spans() {
+        let rec = Recorder::new();
+        {
+            let _g = rec.phase("load");
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        let span = &snap.spans[0];
+        assert_eq!(span.name, "load");
+        assert_eq!(span.parent, None);
+        assert!(span.end_s >= span.start_s);
+        assert!(!span.thread.is_empty());
+        assert_eq!(snap.spans_dropped, 0);
+        // The phase timing and the span must agree on duration.
+        let phase_s = snap.phases[0].1;
+        assert!((span.end_s - span.start_s - phase_s).abs() < 1e-3);
+    }
+
+    #[test]
+    fn spans_nest_with_ids_and_attrs() {
+        let rec = Recorder::new();
+        let phase = rec.phase("parent_search");
+        let parent_id = phase.span_id().expect("enabled phase has a span id");
+        {
+            let mut child = rec.span_with_parent("node_search", Some(parent_id));
+            assert!(child.id().is_some());
+            child.attr("node", 7);
+            child.attr("candidates", 3);
+            child.attr("node", 8); // last write wins
+        }
+        drop(phase);
+        let snap = rec.snapshot();
+        // Child completes (and records) before the phase guard drops.
+        assert_eq!(snap.spans.len(), 2);
+        let child = &snap.spans[0];
+        assert_eq!(child.name, "node_search");
+        assert_eq!(child.parent, Some(parent_id));
+        assert_eq!(child.attrs, vec![("node", 8), ("candidates", 3)]);
+        let root = &snap.spans[1];
+        assert_eq!(root.name, "parent_search");
+        assert_eq!(root.id, parent_id);
+        // Monotonic offsets from one epoch.
+        assert!(child.start_s >= root.start_s);
+        assert!(root.end_s >= child.end_s);
+    }
+
+    #[test]
+    fn span_ring_buffer_is_bounded() {
+        let rec = Recorder::new();
+        for _ in 0..(SPAN_BUFFER_CAP + 10) {
+            let _s = rec.span("tick");
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans.len(), SPAN_BUFFER_CAP);
+        assert_eq!(snap.spans_dropped, 10);
+        // The survivors are the newest spans.
+        assert!(snap.spans[0].id > snap.spans.last().unwrap().id - SPAN_BUFFER_CAP as u64);
+    }
+
+    #[test]
+    fn disabled_recorder_skips_spans_and_durations() {
+        let rec = Recorder::disabled();
+        {
+            let phase = rec.phase("p");
+            assert_eq!(phase.span_id(), None);
+            let mut span = rec.span("s");
+            assert_eq!(span.id(), None);
+            span.attr("k", 1);
+        }
+        rec.duration("lat", 0.5);
+        assert_eq!(rec.snapshot(), Snapshot::default());
+    }
+
+    #[test]
+    fn duration_histogram_buckets_and_quantiles() {
+        let mut h = DurationHistogram::default();
+        assert!(h.quantile(0.5).is_nan());
+        for _ in 0..90 {
+            h.record(0.001); // ≤ 2^-9 s = 0.001953125
+        }
+        for _ in 0..10 {
+            h.record(1.5); // ≤ 2^1 s
+        }
+        h.record(1e9); // beyond the last bound → overflow
+        assert_eq!(h.count, 101);
+        assert!((h.sum - (90.0 * 0.001 + 15.0 + 1e9)).abs() < 1e-6);
+        assert_eq!(h.overflow, 1);
+        assert_eq!(h.quantile(0.5), 2.0f64.powi(-9));
+        assert_eq!(h.quantile(0.95), 2.0);
+        assert_eq!(h.quantile(1.0), f64::INFINITY);
+        // Recorder integration.
+        let rec = Recorder::new();
+        rec.duration("lat", 0.001);
+        rec.duration("lat", 0.002);
+        let snap = rec.snapshot();
+        assert_eq!(snap.durations["lat"].count, 2);
+    }
+
+    #[test]
+    fn duration_bounds_are_monotone() {
+        let bounds = duration_bucket_bounds();
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(bounds[0], 2.0f64.powi(-20));
+        assert_eq!(bounds[DURATION_BUCKETS - 1], 32.0);
     }
 }

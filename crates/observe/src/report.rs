@@ -16,6 +16,8 @@
 
 use crate::json::{self, Json};
 use crate::recorder::Snapshot;
+use crate::resources::ResourceProfile;
+use crate::trace;
 
 /// Wall time for one completed pipeline phase.
 #[derive(Clone, Debug, PartialEq)]
@@ -62,6 +64,9 @@ pub struct RunReport {
     pub simd_dispatch: Option<String>,
     /// Checkpoint activity, if the run used a checkpoint file.
     pub checkpoint: Option<CheckpointInfo>,
+    /// Resource profile of the run window, if a profiler was attached.
+    /// Runtime-only: RSS and CPU time depend on the machine and scheduler.
+    pub resources: Option<ResourceProfile>,
 }
 
 impl RunReport {
@@ -75,6 +80,7 @@ impl RunReport {
             simd: None,
             simd_dispatch: None,
             checkpoint: None,
+            resources: None,
         }
     }
 
@@ -146,6 +152,15 @@ impl RunReport {
             chunks.push(region, per_worker.as_slice());
         }
         runtime.push("worker_chunks", chunks);
+        if !self.snapshot.spans.is_empty() || self.snapshot.spans_dropped > 0 {
+            runtime.push(
+                "trace",
+                trace::trace_to_json(&self.snapshot.spans, self.snapshot.spans_dropped),
+            );
+        }
+        if let Some(res) = &self.resources {
+            runtime.push("resources", res.to_json());
+        }
         root.push("runtime", runtime);
 
         root
@@ -210,6 +225,21 @@ impl RunReport {
                 ck.path, ck.resumed_nodes, ck.flushes
             );
         }
+        if !self.snapshot.spans.is_empty() {
+            let _ = writeln!(
+                out,
+                "[trace]   spans {} recorded, {} dropped",
+                self.snapshot.spans.len(),
+                self.snapshot.spans_dropped
+            );
+        }
+        if let Some(res) = &self.resources {
+            let _ = writeln!(
+                out,
+                "[trace]   resources peak_rss={}B user_cpu={:.3}s sys_cpu={:.3}s ({} samples)",
+                res.peak_rss_bytes, res.user_cpu_seconds, res.system_cpu_seconds, res.samples
+            );
+        }
         out
     }
 }
@@ -236,6 +266,13 @@ const JOB_STATES: &[&str] = &["queued", "running", "done", "failed", "partial"];
 /// job state machine (`queued`/`running`/`done`/`failed`/`partial`), and
 /// the top-level `failed_nodes` array must be numeric — so serve-produced
 /// reports validate with the same `report-check` command as CLI ones.
+///
+/// Reports from observed runs may also carry `runtime.trace` (a span
+/// tree, validated by parsing it with the same routine `diffnet trace
+/// render` uses) and `runtime.resources` (which must have numeric
+/// `peak_rss_bytes`, `user_cpu_seconds`, `system_cpu_seconds`, `samples`,
+/// and an array `rss_timeline`). Both are optional; malformed sections
+/// are errors.
 pub fn validate_report_json(
     report_json: &str,
     required_phases: &[&str],
@@ -302,6 +339,27 @@ pub fn validate_report_json(
         if failed.iter().any(|v| v.as_f64().is_none()) {
             return Err("\"failed_nodes\" contains non-numeric entries".to_string());
         }
+    }
+
+    if let Some(trace_json) = root.get("runtime").and_then(|r| r.get("trace")) {
+        trace::spans_from_json(trace_json)
+            .map_err(|e| format!("invalid \"runtime.trace\": {e}"))?;
+    }
+
+    if let Some(res) = root.get("runtime").and_then(|r| r.get("resources")) {
+        for field in [
+            "peak_rss_bytes",
+            "user_cpu_seconds",
+            "system_cpu_seconds",
+            "samples",
+        ] {
+            res.get(field)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("\"runtime.resources\" missing numeric field {field:?}"))?;
+        }
+        res.get("rss_timeline")
+            .and_then(Json::as_arr)
+            .ok_or("\"runtime.resources\" missing array field \"rss_timeline\"")?;
     }
 
     Ok(())
@@ -506,6 +564,72 @@ mod tests {
         json.push("runtime", runtime);
         let err = validate_report_json(&json.to_pretty(), &[], &[]).unwrap_err();
         assert!(err.contains("id"), "{err}");
+    }
+
+    #[test]
+    fn spans_and_resources_live_in_runtime_only() {
+        let mut report = sample_report();
+        report.resources = Some(ResourceProfile {
+            peak_rss_bytes: 4096,
+            user_cpu_seconds: 0.5,
+            system_cpu_seconds: 0.1,
+            samples: 3,
+            rss_timeline: vec![(0.0, 4096)],
+        });
+        // sample_report ran two phases, so the snapshot carries root spans.
+        assert!(!report.snapshot.spans.is_empty());
+        let full = report.to_json();
+        let runtime = full.get("runtime").expect("runtime");
+        let spans = runtime
+            .get("trace")
+            .and_then(|t| t.get("spans"))
+            .and_then(Json::as_arr)
+            .expect("runtime.trace.spans");
+        assert_eq!(spans.len(), report.snapshot.spans.len());
+        assert_eq!(
+            runtime
+                .get("resources")
+                .and_then(|r| r.get("peak_rss_bytes"))
+                .and_then(Json::as_f64),
+            Some(4096.0)
+        );
+        let det = report.deterministic_json();
+        assert!(!det.contains("trace"), "spans are runtime-only");
+        assert!(
+            !det.contains("peak_rss_bytes"),
+            "resources are runtime-only"
+        );
+        let rendered = report.render_trace();
+        assert!(rendered.contains("spans 2 recorded"), "{rendered}");
+        assert!(rendered.contains("peak_rss=4096B"), "{rendered}");
+        validate_report_json(
+            &report.to_pretty_json(),
+            &["load", "search"],
+            &["combinations_scored"],
+        )
+        .expect("report with trace + resources validates");
+    }
+
+    #[test]
+    fn validate_rejects_malformed_trace_and_resources() {
+        let mut json = sample_report().to_json();
+        let mut runtime = json.remove("runtime").expect("runtime");
+        runtime.remove("trace");
+        let mut bad_trace = Json::object();
+        bad_trace.push("spans", "not an array");
+        runtime.push("trace", bad_trace);
+        json.push("runtime", runtime);
+        let err = validate_report_json(&json.to_pretty(), &[], &[]).unwrap_err();
+        assert!(err.contains("runtime.trace"), "{err}");
+
+        let mut json = sample_report().to_json();
+        let mut runtime = json.remove("runtime").expect("runtime");
+        let mut bad_res = Json::object();
+        bad_res.push("peak_rss_bytes", "big");
+        runtime.push("resources", bad_res);
+        json.push("runtime", runtime);
+        let err = validate_report_json(&json.to_pretty(), &[], &[]).unwrap_err();
+        assert!(err.contains("runtime.resources"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,349 @@
+//! Resource profiling: a zero-dependency background sampler for RSS and
+//! CPU time.
+//!
+//! [`ResourceProfiler::start`] spawns one thread that samples resident-set
+//! size from `/proc/self/statm` on a fixed interval and reads CPU time
+//! through `getrusage(2)` — both via `std` file I/O and two raw libc
+//! declarations (`std` already links libc; no crate is added). The
+//! profile it produces is *window-scoped*: CPU seconds are deltas from
+//! the moment the profiler started, and peak RSS is the maximum observed
+//! while it ran (one sample is taken synchronously at start, so even a
+//! zero-length window reports a non-zero peak on Linux).
+//!
+//! The RSS timeline is kept bounded by decimation: when it reaches
+//! [`TIMELINE_CAP`] samples, every other entry is discarded and the
+//! recording stride doubles, so a long run keeps an evenly spaced
+//! timeline covering its whole duration instead of just its start.
+//!
+//! Everything here is wall-clock dependent, so profiles serialize under
+//! `runtime.resources` in run reports — never the deterministic section.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+
+/// Default sampling interval for the background thread.
+pub const DEFAULT_SAMPLE_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Maximum retained RSS timeline entries before decimation halves them.
+pub const TIMELINE_CAP: usize = 240;
+
+/// A window-scoped resource profile.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ResourceProfile {
+    /// Peak resident-set size observed during the window, in bytes.
+    pub peak_rss_bytes: u64,
+    /// User-mode CPU seconds consumed by the process during the window.
+    pub user_cpu_seconds: f64,
+    /// Kernel-mode CPU seconds consumed by the process during the window.
+    pub system_cpu_seconds: f64,
+    /// Number of RSS samples taken (before decimation).
+    pub samples: u64,
+    /// `(offset seconds, rss bytes)` samples, decimated to stay bounded.
+    pub rss_timeline: Vec<(f64, u64)>,
+}
+
+impl ResourceProfile {
+    /// The most recent RSS sample, in bytes (0 with an empty timeline).
+    pub fn last_rss_bytes(&self) -> u64 {
+        self.rss_timeline.last().map_or(0, |&(_, rss)| rss)
+    }
+
+    /// Serializes as the `runtime.resources` JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut root = Json::object();
+        root.push("peak_rss_bytes", self.peak_rss_bytes);
+        root.push("user_cpu_seconds", self.user_cpu_seconds);
+        root.push("system_cpu_seconds", self.system_cpu_seconds);
+        root.push("samples", self.samples);
+        let mut timeline = Vec::with_capacity(self.rss_timeline.len());
+        for &(t, rss) in &self.rss_timeline {
+            timeline.push(Json::Arr(vec![Json::from(t), Json::from(rss)]));
+        }
+        root.push("rss_timeline", Json::Arr(timeline));
+        root
+    }
+}
+
+struct ProfilerState {
+    started: Instant,
+    base_user: f64,
+    base_system: f64,
+    profile: ResourceProfile,
+    stride: u32,
+    tick: u64,
+}
+
+impl ProfilerState {
+    fn sample(&mut self) {
+        let now = self.started.elapsed().as_secs_f64();
+        self.profile.samples += 1;
+        if let Some(rss) = rss_bytes() {
+            self.profile.peak_rss_bytes = self.profile.peak_rss_bytes.max(rss);
+            // Record every `stride`-th sample; decimate + double the
+            // stride when the timeline fills, so it stays bounded while
+            // covering the whole window.
+            if self.tick.is_multiple_of(u64::from(self.stride)) {
+                self.profile.rss_timeline.push((now, rss));
+                if self.profile.rss_timeline.len() >= TIMELINE_CAP {
+                    let mut keep = 0;
+                    self.profile.rss_timeline.retain(|_| {
+                        keep += 1;
+                        keep % 2 == 1
+                    });
+                    self.stride = self.stride.saturating_mul(2);
+                }
+            }
+            self.tick += 1;
+        }
+        let (user, system, maxrss) = rusage_self();
+        self.profile.user_cpu_seconds = (user - self.base_user).max(0.0);
+        self.profile.system_cpu_seconds = (system - self.base_system).max(0.0);
+        // Fallback where /proc is unavailable: ru_maxrss is the process
+        // lifetime peak, still a usable upper bound for the window.
+        if self.profile.peak_rss_bytes == 0 {
+            self.profile.peak_rss_bytes = maxrss;
+        }
+    }
+}
+
+/// A running background sampler. Stop it with [`ResourceProfiler::stop`]
+/// to get the final profile, or read a live snapshot with
+/// [`ResourceProfiler::current`]. Dropping it joins the thread.
+pub struct ResourceProfiler {
+    stop: Arc<AtomicBool>,
+    state: Arc<Mutex<ProfilerState>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ResourceProfiler {
+    /// Starts the sampler with one synchronous initial sample, then
+    /// background samples every `interval`.
+    pub fn start(interval: Duration) -> ResourceProfiler {
+        let (base_user, base_system, _) = rusage_self();
+        let mut initial = ProfilerState {
+            started: Instant::now(),
+            base_user,
+            base_system,
+            profile: ResourceProfile::default(),
+            stride: 1,
+            tick: 0,
+        };
+        initial.sample();
+        let state = Arc::new(Mutex::new(initial));
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_state = Arc::clone(&state);
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("diffnet-profiler".to_string())
+            .spawn(move || {
+                while !thread_stop.load(Ordering::Relaxed) {
+                    std::thread::park_timeout(interval);
+                    if thread_stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    thread_state.lock().expect("profiler poisoned").sample();
+                }
+            })
+            .ok();
+        ResourceProfiler {
+            stop,
+            state,
+            handle,
+        }
+    }
+
+    /// A live snapshot: one fresh sample, then a copy of the profile.
+    pub fn current(&self) -> ResourceProfile {
+        let mut st = self.state.lock().expect("profiler poisoned");
+        st.sample();
+        st.profile.clone()
+    }
+
+    /// Stops the sampler (taking one final sample) and returns the
+    /// completed window profile.
+    pub fn stop(mut self) -> ResourceProfile {
+        self.halt();
+        let mut st = self.state.lock().expect("profiler poisoned");
+        st.sample();
+        st.profile.clone()
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            handle.thread().unpark();
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ResourceProfiler {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+/// Current resident-set size in bytes, from `/proc/self/statm` (Linux
+/// only; `None` elsewhere or on any read/parse failure).
+fn rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let text = std::fs::read_to_string("/proc/self/statm").ok()?;
+        let resident: u64 = text.split_whitespace().nth(1)?.parse().ok()?;
+        Some(resident * page_size())
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn page_size() -> u64 {
+    extern "C" {
+        fn sysconf(name: i32) -> i64;
+    }
+    const SC_PAGESIZE: i32 = 30; // Linux value of _SC_PAGESIZE
+    let raw = unsafe { sysconf(SC_PAGESIZE) };
+    if raw > 0 {
+        raw as u64
+    } else {
+        4096
+    }
+}
+
+/// `(user cpu seconds, system cpu seconds, peak rss bytes)` for the
+/// process, via `getrusage(RUSAGE_SELF)`. Zeros on non-unix targets.
+fn rusage_self() -> (f64, f64, u64) {
+    #[cfg(unix)]
+    {
+        // struct rusage, as libc lays it out: two timevals then 14 longs,
+        // of which the first is ru_maxrss. Declared raw because std links
+        // libc already and the workspace adds no crates.
+        #[repr(C)]
+        struct Timeval {
+            tv_sec: i64,
+            tv_usec: i64,
+        }
+        #[repr(C)]
+        struct Rusage {
+            ru_utime: Timeval,
+            ru_stime: Timeval,
+            ru_rest: [i64; 14],
+        }
+        extern "C" {
+            fn getrusage(who: i32, usage: *mut Rusage) -> i32;
+        }
+        const RUSAGE_SELF: i32 = 0;
+        let mut usage = Rusage {
+            ru_utime: Timeval {
+                tv_sec: 0,
+                tv_usec: 0,
+            },
+            ru_stime: Timeval {
+                tv_sec: 0,
+                tv_usec: 0,
+            },
+            ru_rest: [0; 14],
+        };
+        if unsafe { getrusage(RUSAGE_SELF, &mut usage) } != 0 {
+            return (0.0, 0.0, 0);
+        }
+        let tv = |t: &Timeval| t.tv_sec as f64 + t.tv_usec as f64 * 1e-6;
+        // ru_maxrss is kilobytes on Linux, bytes on macOS.
+        let maxrss = usage.ru_rest[0].max(0) as u64;
+        let maxrss_bytes = if cfg!(target_os = "macos") {
+            maxrss
+        } else {
+            maxrss * 1024
+        };
+        (tv(&usage.ru_utime), tv(&usage.ru_stime), maxrss_bytes)
+    }
+    #[cfg(not(unix))]
+    {
+        (0.0, 0.0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiler_reports_positive_peak_rss() {
+        let profiler = ResourceProfiler::start(Duration::from_millis(5));
+        // Touch some memory and burn a little CPU so the deltas move.
+        let v: Vec<u64> = (0..200_000).collect();
+        let sum: u64 = v.iter().sum();
+        assert!(sum > 0);
+        std::thread::sleep(Duration::from_millis(25));
+        let profile = profiler.stop();
+        assert!(profile.peak_rss_bytes > 0, "{profile:?}");
+        assert!(profile.samples >= 2, "{profile:?}");
+        assert!(profile.user_cpu_seconds >= 0.0);
+        assert!(profile.system_cpu_seconds >= 0.0);
+        #[cfg(target_os = "linux")]
+        {
+            assert!(!profile.rss_timeline.is_empty());
+            assert_eq!(
+                profile.last_rss_bytes(),
+                profile.rss_timeline.last().unwrap().1
+            );
+        }
+    }
+
+    #[test]
+    fn current_snapshots_without_stopping() {
+        let profiler = ResourceProfiler::start(Duration::from_millis(50));
+        let a = profiler.current();
+        let b = profiler.current();
+        assert!(b.samples >= a.samples);
+        assert!(a.peak_rss_bytes > 0);
+        drop(profiler);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn timeline_stays_bounded_under_decimation() {
+        let mut st = ProfilerState {
+            started: Instant::now(),
+            base_user: 0.0,
+            base_system: 0.0,
+            profile: ResourceProfile::default(),
+            stride: 1,
+            tick: 0,
+        };
+        for _ in 0..10_000 {
+            st.sample();
+        }
+        assert!(st.profile.rss_timeline.len() <= TIMELINE_CAP);
+        assert!(st.stride > 1, "decimation should have doubled the stride");
+        // Decimated timeline still spans from early to late samples.
+        assert!(st.profile.samples >= 10_000);
+    }
+
+    #[test]
+    fn profile_serializes_expected_fields() {
+        let profile = ResourceProfile {
+            peak_rss_bytes: 1024,
+            user_cpu_seconds: 0.5,
+            system_cpu_seconds: 0.25,
+            samples: 3,
+            rss_timeline: vec![(0.0, 512), (0.1, 1024)],
+        };
+        let json = profile.to_json();
+        assert_eq!(
+            json.get("peak_rss_bytes").and_then(Json::as_f64),
+            Some(1024.0)
+        );
+        assert_eq!(
+            json.get("rss_timeline")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(2)
+        );
+    }
+}

@@ -1,0 +1,374 @@
+//! Span tracing: nested, thread-attributed spans with monotonic offsets.
+//!
+//! A span is one timed region of the run — a pipeline phase, one node's
+//! parent search, one HTTP request. Spans carry an id, an optional parent
+//! id (encoding the tree), start/end offsets in seconds from the
+//! recorder's epoch (the first instrumented event), the name of the
+//! thread that closed them, and a small set of static-keyed integer
+//! attributes. Completed spans land in a bounded ring buffer inside the
+//! recorder's one mutex ([`SPAN_BUFFER_CAP`] entries; the oldest spans
+//! are dropped first and counted, so a trace is never unbounded).
+//!
+//! Everything clock-dependent lives here, so serialized traces belong in
+//! the `runtime.trace` section of a run report — never the deterministic
+//! one. [`trace_to_json`] is the one serializer; [`spans_from_json`] +
+//! [`render_timeline`] / [`collapse_stacks`] are the read side used by
+//! `diffnet trace render`.
+
+use crate::json::Json;
+
+/// Identifier of one span, unique within a recorder.
+pub type SpanId = u64;
+
+/// Capacity of the per-recorder span ring buffer. When a run produces
+/// more spans than this, the *oldest* completed spans are discarded and
+/// counted in `dropped` — root phase spans complete last, so they are the
+/// last to go.
+pub const SPAN_BUFFER_CAP: usize = 4096;
+
+/// One completed span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRecord {
+    /// Unique id within the recorder (allocation order, starting at 1).
+    pub id: SpanId,
+    /// Parent span id, or `None` for a root span.
+    pub parent: Option<SpanId>,
+    /// Static span name (e.g. `"parent_search"`, `"node_search"`).
+    pub name: &'static str,
+    /// Start offset in seconds from the recorder epoch.
+    pub start_s: f64,
+    /// End offset in seconds from the recorder epoch.
+    pub end_s: f64,
+    /// Name of the thread that closed the span (or its `ThreadId` debug
+    /// form for unnamed threads, e.g. scoped pool workers).
+    pub thread: String,
+    /// Static-keyed integer attributes (candidate counts, cache stats…).
+    pub attrs: Vec<(&'static str, u64)>,
+}
+
+/// Serializes a completed-span list as the `runtime.trace` JSON object:
+/// `{"spans": [...], "dropped": N}`.
+pub fn trace_to_json(spans: &[SpanRecord], dropped: u64) -> Json {
+    let mut arr = Vec::with_capacity(spans.len());
+    for span in spans {
+        let mut obj = Json::object();
+        obj.push("id", span.id);
+        match span.parent {
+            Some(p) => obj.push("parent", p),
+            None => obj.push("parent", Json::Null),
+        };
+        obj.push("name", span.name);
+        obj.push("start_s", span.start_s);
+        obj.push("end_s", span.end_s);
+        obj.push("thread", span.thread.as_str());
+        if !span.attrs.is_empty() {
+            let mut attrs = Json::object();
+            for &(key, value) in &span.attrs {
+                attrs.push(key, value);
+            }
+            obj.push("attrs", attrs);
+        }
+        arr.push(obj);
+    }
+    let mut root = Json::object();
+    root.push("spans", Json::Arr(arr));
+    root.push("dropped", dropped);
+    root
+}
+
+/// A span parsed back from trace JSON (owned strings: names are no longer
+/// `'static` once they round-trip through a file).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedSpan {
+    /// Span id.
+    pub id: SpanId,
+    /// Parent span id, if any.
+    pub parent: Option<SpanId>,
+    /// Span name.
+    pub name: String,
+    /// Start offset in seconds.
+    pub start_s: f64,
+    /// End offset in seconds.
+    pub end_s: f64,
+    /// Closing thread.
+    pub thread: String,
+    /// Attributes as `(key, value)` pairs in serialized order.
+    pub attrs: Vec<(String, f64)>,
+}
+
+impl ParsedSpan {
+    /// Span duration in seconds (clamped non-negative).
+    pub fn duration_s(&self) -> f64 {
+        (self.end_s - self.start_s).max(0.0)
+    }
+}
+
+/// Parses a `{"spans": [...], "dropped": N}` trace object back into spans.
+pub fn spans_from_json(trace: &Json) -> Result<(Vec<ParsedSpan>, u64), String> {
+    let arr = trace
+        .get("spans")
+        .and_then(Json::as_arr)
+        .ok_or("trace is missing the \"spans\" array")?;
+    let dropped = trace
+        .get("dropped")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0)
+        .max(0.0) as u64;
+    let mut spans = Vec::with_capacity(arr.len());
+    for (i, item) in arr.iter().enumerate() {
+        let id = item
+            .get("id")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("span #{i} is missing a numeric \"id\""))?
+            as SpanId;
+        let parent = match item.get("parent") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_f64()
+                    .ok_or_else(|| format!("span #{i} has a non-numeric \"parent\""))?
+                    as SpanId,
+            ),
+        };
+        let name = item
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("span #{i} is missing a string \"name\""))?
+            .to_string();
+        let start_s = item
+            .get("start_s")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("span #{i} is missing a numeric \"start_s\""))?;
+        let end_s = item
+            .get("end_s")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("span #{i} is missing a numeric \"end_s\""))?;
+        if end_s < start_s {
+            return Err(format!(
+                "span #{i} ends ({end_s}) before it starts ({start_s})"
+            ));
+        }
+        let thread = item
+            .get("thread")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        let mut attrs = Vec::new();
+        if let Some(obj) = item.get("attrs").and_then(Json::as_obj) {
+            for (key, value) in obj {
+                let v = value
+                    .as_f64()
+                    .ok_or_else(|| format!("span #{i} attr {key:?} is not numeric"))?;
+                attrs.push((key.clone(), v));
+            }
+        }
+        spans.push(ParsedSpan {
+            id,
+            parent,
+            name,
+            start_s,
+            end_s,
+            thread,
+            attrs,
+        });
+    }
+    Ok((spans, dropped))
+}
+
+/// Children of each span, sorted by start offset; roots (parent absent or
+/// pointing at a dropped span) come back under the `None` key.
+fn child_index(spans: &[ParsedSpan]) -> Vec<Vec<usize>> {
+    // index 0 = roots; index i+1 = children of spans[i].
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len() + 1];
+    let position = |id: SpanId| spans.iter().position(|s| s.id == id);
+    for (i, span) in spans.iter().enumerate() {
+        let slot = span.parent.and_then(position).map_or(0, |p| p + 1);
+        children[slot].push(i);
+    }
+    for list in &mut children {
+        list.sort_by(|&a, &b| {
+            spans[a]
+                .start_s
+                .partial_cmp(&spans[b].start_s)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(spans[a].id.cmp(&spans[b].id))
+        });
+    }
+    children
+}
+
+/// Renders a text timeline: one line per span, indented by tree depth, in
+/// start order, with offsets, duration, thread, and attributes.
+pub fn render_timeline(spans: &[ParsedSpan], dropped: u64) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let total = spans
+        .iter()
+        .map(|s| s.end_s)
+        .fold(0.0f64, f64::max)
+        .max(0.0);
+    let _ = writeln!(
+        out,
+        "trace: {} span(s), {dropped} dropped, {total:.6}s total",
+        spans.len()
+    );
+    let children = child_index(spans);
+    let mut stack: Vec<(usize, usize)> = children[0].iter().rev().map(|&i| (i, 0)).collect();
+    while let Some((i, depth)) = stack.pop() {
+        let s = &spans[i];
+        let _ = write!(
+            out,
+            "[{:>11.6}s ..{:>11.6}s] {:indent$}{} ({:.6}s, {})",
+            s.start_s,
+            s.end_s,
+            "",
+            s.name,
+            s.duration_s(),
+            s.thread,
+            indent = depth * 2
+        );
+        for (key, value) in &s.attrs {
+            let _ = write!(out, " {key}={value}");
+        }
+        out.push('\n');
+        for &c in children[i + 1].iter().rev() {
+            stack.push((c, depth + 1));
+        }
+    }
+    out
+}
+
+/// Renders flamegraph-style collapsed stacks: one line per unique
+/// root-to-span path, `name;name;... <self-µs>`, suitable for standard
+/// flamegraph tooling. Self time is the span's duration minus its
+/// children's, clamped non-negative and rounded to whole microseconds.
+pub fn collapse_stacks(spans: &[ParsedSpan]) -> String {
+    use std::fmt::Write as _;
+    let children = child_index(spans);
+    let mut lines: Vec<(String, u64)> = Vec::new();
+    let mut stack: Vec<(usize, String)> = children[0]
+        .iter()
+        .map(|&i| (i, spans[i].name.clone()))
+        .collect();
+    while let Some((i, path)) = stack.pop() {
+        let child_total: f64 = children[i + 1].iter().map(|&c| spans[c].duration_s()).sum();
+        let self_us = ((spans[i].duration_s() - child_total).max(0.0) * 1e6).round() as u64;
+        match lines.iter_mut().find(|(p, _)| *p == path) {
+            Some((_, v)) => *v += self_us,
+            None => lines.push((path.clone(), self_us)),
+        }
+        for &c in &children[i + 1] {
+            stack.push((c, format!("{path};{}", spans[c].name)));
+        }
+    }
+    lines.sort();
+    let mut out = String::new();
+    for (path, value) in lines {
+        let _ = writeln!(out, "{path} {value}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spans() -> Vec<SpanRecord> {
+        vec![
+            SpanRecord {
+                id: 1,
+                parent: None,
+                name: "parent_search",
+                start_s: 0.0,
+                end_s: 1.0,
+                thread: "main".to_string(),
+                attrs: Vec::new(),
+            },
+            SpanRecord {
+                id: 2,
+                parent: Some(1),
+                name: "node_search",
+                start_s: 0.1,
+                end_s: 0.4,
+                thread: "main".to_string(),
+                attrs: vec![("node", 0), ("candidates", 3)],
+            },
+            SpanRecord {
+                id: 3,
+                parent: Some(1),
+                name: "node_search",
+                start_s: 0.4,
+                end_s: 0.9,
+                thread: "main".to_string(),
+                attrs: vec![("node", 1), ("candidates", 5)],
+            },
+        ]
+    }
+
+    #[test]
+    fn trace_json_round_trips() {
+        let spans = sample_spans();
+        let json = trace_to_json(&spans, 2);
+        let reparsed = crate::json::parse(&json.to_pretty()).expect("parse");
+        let (parsed, dropped) = spans_from_json(&reparsed).expect("spans");
+        assert_eq!(dropped, 2);
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed[0].name, "parent_search");
+        assert_eq!(parsed[0].parent, None);
+        assert_eq!(parsed[1].parent, Some(1));
+        assert_eq!(
+            parsed[1].attrs,
+            vec![("node".to_string(), 0.0), ("candidates".to_string(), 3.0)]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_spans() {
+        let bad = crate::json::parse(r#"{"spans": [{"id": 1}]}"#).expect("json");
+        assert!(spans_from_json(&bad).is_err());
+        let inverted = crate::json::parse(
+            r#"{"spans": [{"id": 1, "name": "x", "start_s": 2.0, "end_s": 1.0}]}"#,
+        )
+        .expect("json");
+        assert!(spans_from_json(&inverted).unwrap_err().contains("before"));
+        let no_spans = crate::json::parse("{}").expect("json");
+        assert!(spans_from_json(&no_spans).is_err());
+    }
+
+    #[test]
+    fn timeline_nests_children_under_parents() {
+        let json = trace_to_json(&sample_spans(), 0);
+        let (parsed, dropped) = spans_from_json(&json).expect("spans");
+        let text = render_timeline(&parsed, dropped);
+        assert!(text.contains("3 span(s), 0 dropped"));
+        assert!(text.contains("parent_search"));
+        // Children are indented two spaces deeper than the root.
+        assert!(text.contains("  node_search"), "{text}");
+        assert!(text.contains("node=0"), "{text}");
+    }
+
+    #[test]
+    fn orphaned_parent_becomes_root() {
+        let mut spans = sample_spans();
+        spans.remove(0); // drop the root; children point at a missing id
+        let json = trace_to_json(&spans, 1);
+        let (parsed, dropped) = spans_from_json(&json).expect("spans");
+        let text = render_timeline(&parsed, dropped);
+        assert!(text.contains("2 span(s), 1 dropped"));
+        // Both orphans render at depth 0 (no leading indent).
+        assert_eq!(text.matches("] node_search").count(), 2, "{text}");
+    }
+
+    #[test]
+    fn collapsed_stacks_sum_self_time() {
+        let json = trace_to_json(&sample_spans(), 0);
+        let (parsed, _) = spans_from_json(&json).expect("spans");
+        let collapsed = collapse_stacks(&parsed);
+        // Root self time: 1.0s minus 0.3s + 0.5s of children = 0.2s.
+        assert!(collapsed.contains("parent_search 200000"), "{collapsed}");
+        // The two node_search spans share one collapsed line: 300ms + 500ms.
+        assert!(
+            collapsed.contains("parent_search;node_search 800000"),
+            "{collapsed}"
+        );
+    }
+}

@@ -324,13 +324,18 @@ fn parse_target(target: &str) -> (String, Vec<(String, String)>) {
     }
 }
 
-/// A response ready to serialize: status, content type, body.
+/// A response ready to serialize: status, content type, extra headers,
+/// body.
 #[derive(Clone, Debug)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra response headers (e.g. `X-Request-Id`), emitted after the
+    /// content headers. Values must already be header-safe — the writer
+    /// does not sanitize them.
+    pub headers: Vec<(&'static str, String)>,
     /// Response body bytes.
     pub body: Vec<u8>,
 }
@@ -341,6 +346,7 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: json.to_pretty().into_bytes(),
         }
     }
@@ -350,6 +356,7 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
             body: body.into().into_bytes(),
         }
     }
@@ -361,16 +368,25 @@ impl Response {
         Response::json(status, &json)
     }
 
+    /// Adds an extra response header.
+    pub fn header(&mut self, name: &'static str, value: impl Into<String>) {
+        self.headers.push((name, value.into()));
+    }
+
     /// Serializes the response (with `Connection: close`) onto `w`.
     pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
         write!(
             w,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             reason_phrase(self.status),
             self.content_type,
             self.body.len()
         )?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
         w.write_all(&self.body)?;
         w.flush()
     }
@@ -519,6 +535,18 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nok"));
+    }
+
+    #[test]
+    fn extra_headers_are_emitted_before_the_blank_line() {
+        let mut resp = Response::text(200, "ok");
+        resp.header("X-Request-Id", "req-7");
+        let mut out = Vec::new();
+        resp.write_to(&mut out).expect("write");
+        let text = String::from_utf8(out).expect("utf8");
+        let head_end = text.find("\r\n\r\n").expect("head terminator");
+        assert!(text[..head_end].contains("X-Request-Id: req-7"), "{text}");
         assert!(text.ends_with("\r\n\r\nok"));
     }
 

@@ -38,7 +38,10 @@ use std::time::Duration;
 use diffnet_baselines::{Lift, MulTree, NetInf, NetRate, PathReconstruction};
 use diffnet_graph::io::{save_atomic, save_edge_list};
 use diffnet_graph::DiGraph;
-use diffnet_observe::{parse_json, CheckpointInfo, FaultPlan, Json, Recorder, RunReport, Snapshot};
+use diffnet_observe::{
+    parse_json, CheckpointInfo, FaultPlan, Json, Recorder, ResourceProfiler, RunReport, Snapshot,
+    DEFAULT_SAMPLE_INTERVAL,
+};
 use diffnet_simulate::io::{
     load_status_matrix, read_observations, read_status_matrix, save_status_matrix,
 };
@@ -687,6 +690,10 @@ impl JobManager {
 
     fn run_tends(&self, meta: &JobMeta, rec: &Recorder) -> Outcome {
         let dir = self.job_dir(meta.id);
+        // Window-scoped resource profile for the job; attached to the
+        // report's runtime section. Early returns drop the profiler,
+        // which just joins its sampler thread.
+        let profiler = ResourceProfiler::start(DEFAULT_SAMPLE_INTERVAL);
         // Mirror the CLI's `infer` path exactly — same phases, same
         // config defaults — so the report's deterministic section is
         // byte-identical to an offline `diffnet infer` run.
@@ -739,6 +746,7 @@ impl JobManager {
             resumed_nodes: partial.resumed_nodes,
             flushes: partial.checkpoint_flushes,
         });
+        report.resources = Some(profiler.stop());
         let state = if failed_nodes.is_empty() {
             JobState::Done
         } else {
@@ -749,6 +757,7 @@ impl JobManager {
 
     fn run_baseline(&self, meta: &JobMeta, rec: &Recorder) -> Outcome {
         let dir = self.job_dir(meta.id);
+        let profiler = ResourceProfiler::start(DEFAULT_SAMPLE_INTERVAL);
         let obs = match diffnet_simulate::io::load_observations(dir.join("observations.txt")) {
             Ok(o) => o,
             Err(e) => return Outcome::failed(format!("cannot load observations: {e}")),
@@ -762,7 +771,8 @@ impl JobManager {
             "path" => PathReconstruction::new().infer(&obs, m),
             other => return Outcome::failed(format!("unknown algorithm {other:?}")),
         };
-        let report = RunReport::new(meta.spec.algorithm.as_str(), rec.snapshot(), 1);
+        let mut report = RunReport::new(meta.spec.algorithm.as_str(), rec.snapshot(), 1);
+        report.resources = Some(profiler.stop());
         self.write_outputs(meta, JobState::Done, &graph, &report, &[])
     }
 
@@ -1006,6 +1016,28 @@ mod tests {
         let json = parse_json(text).expect("json");
         let job = json.get("runtime").and_then(|r| r.get("job")).expect("job");
         assert_eq!(job.get("state").and_then(Json::as_str), Some("done"));
+
+        // The job report carries the span tree and the resource profile.
+        let runtime = json.get("runtime").expect("runtime");
+        let spans = runtime
+            .get("trace")
+            .and_then(|t| t.get("spans"))
+            .and_then(Json::as_arr)
+            .expect("runtime.trace.spans");
+        assert!(
+            spans
+                .iter()
+                .any(|s| s.get("name").and_then(Json::as_str) == Some("node_search")),
+            "trace must include node_search spans"
+        );
+        let resources = runtime.get("resources").expect("runtime.resources");
+        let peak = resources
+            .get("peak_rss_bytes")
+            .and_then(Json::as_f64)
+            .expect("peak_rss_bytes");
+        #[cfg(target_os = "linux")]
+        assert!(peak > 0.0, "peak RSS must be positive on Linux");
+        let _ = peak;
 
         m.shutdown_and_join();
         let _ = fs::remove_dir_all(&dir);

@@ -16,10 +16,25 @@
 //! | `GET /v1/jobs/{id}` | state machine + live progress counters |
 //! | `GET /v1/jobs/{id}/edges` | the inferred edge list |
 //! | `GET /v1/jobs/{id}/report` | the run report (with `runtime.job`) |
+//! | `GET /v1/jobs/{id}/trace` | the job's span tree (live while running, from the report once finished) |
 //! | `POST /v1/jobs/{id}/cascades` | append cascades, re-estimate |
 //! | `GET /v1/metrics` | Prometheus text exposition |
 //! | `GET /v1/healthz` | liveness |
 //! | `POST /v1/shutdown` | graceful stop (same path as SIGTERM) |
+//!
+//! # Request telemetry
+//!
+//! Every request gets an id — the client's `X-Request-Id` header when it
+//! is short and header-safe, else a generated `req-N` — echoed back as
+//! `X-Request-Id` and stamped on the structured JSON access-log line the
+//! daemon writes to stderr (disable with `access_log: false` /
+//! `--no-access-log`). Per-endpoint latency lands in log₂ duration
+//! histograms exposed on `/v1/metrics` with real-second bucket
+//! boundaries plus `_p50`/`_p95`/`_p99` gauges; requests slower than
+//! `slow_request_secs` increment `http_slow_requests` and are always
+//! logged. A background [`diffnet_observe::ResourceProfiler`] backs the
+//! `process_rss_bytes` / `process_peak_rss_bytes` /
+//! `process_user_cpu_seconds` / `process_system_cpu_seconds` gauges.
 //!
 //! # Durability contract
 //!

@@ -17,11 +17,14 @@ use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use diffnet_observe::{render_prometheus, FaultPlan, Json, Recorder};
+use diffnet_observe::{
+    parse_json, render_prometheus, trace_to_json, FaultPlan, Json, Recorder, ResourceProfiler,
+    DEFAULT_SAMPLE_INTERVAL,
+};
 
 use crate::http::{read_request, Limits, Method, Request, Response};
 use crate::job::{status_json, JobError, JobManager, JobSpec};
@@ -46,6 +49,11 @@ pub struct ServeConfig {
     /// If set, the bound address is written here once listening — how
     /// spawned-binary tests discover an ephemeral port.
     pub port_file: Option<PathBuf>,
+    /// Requests slower than this many seconds are logged and counted as
+    /// `http_slow_requests`.
+    pub slow_request_secs: f64,
+    /// Emit one structured JSON access-log line per request to stderr.
+    pub access_log: bool,
 }
 
 impl Default for ServeConfig {
@@ -57,6 +65,8 @@ impl Default for ServeConfig {
             job_workers: 1,
             limits: Limits::default(),
             port_file: None,
+            slow_request_secs: 1.0,
+            access_log: true,
         }
     }
 }
@@ -68,6 +78,13 @@ struct Shared {
     shutdown: Arc<AtomicBool>,
     queue: Mutex<VecDeque<TcpStream>>,
     ready: Condvar,
+    /// Sequence for generated request ids (`req-1`, `req-2`, …).
+    next_request_id: AtomicU64,
+    /// Process-wide resource sampler; its live profile backs the
+    /// `process_*` gauges on `/v1/metrics`.
+    profiler: ResourceProfiler,
+    slow_request_secs: f64,
+    access_log: bool,
 }
 
 const QUEUE_CAP: usize = 64;
@@ -109,6 +126,10 @@ impl Server {
             shutdown,
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            next_request_id: AtomicU64::new(1),
+            profiler: ResourceProfiler::start(DEFAULT_SAMPLE_INTERVAL),
+            slow_request_secs: config.slow_request_secs,
+            access_log: config.access_log,
         });
         let mut handlers = Vec::new();
         for i in 0..config.http_workers.max(1) {
@@ -222,18 +243,100 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     if crate::http::configure_stream(&stream).is_err() {
         return;
     }
+    let started = Instant::now();
     shared.rec.add("http_requests", 1);
-    let response = match read_request(&mut stream, &shared.limits) {
-        Ok(request) => route(shared, &request),
-        Err(e) => {
-            shared.rec.add("http_protocol_errors", 1);
-            Response::error(e.status(), e.to_string())
-        }
-    };
+    let (mut response, request_id, metric, method, path) =
+        match read_request(&mut stream, &shared.limits) {
+            Ok(request) => {
+                let rid = request_id(shared, &request);
+                let metric = endpoint_metric(&request);
+                let resp = route(shared, &request);
+                (resp, rid, metric, request.method.to_string(), request.path)
+            }
+            Err(e) => {
+                shared.rec.add("http_protocol_errors", 1);
+                let rid = generated_request_id(shared);
+                (
+                    Response::error(e.status(), e.to_string()),
+                    rid,
+                    "http_request_seconds_other",
+                    "-".to_string(),
+                    "-".to_string(),
+                )
+            }
+        };
     if response.status >= 400 {
         shared.rec.add("http_error_responses", 1);
     }
-    let _ = response.write_to(&mut stream);
+    response.header("X-Request-Id", request_id.clone());
+    let write_ok = response.write_to(&mut stream).is_ok();
+    let seconds = started.elapsed().as_secs_f64();
+    shared.rec.duration(metric, seconds);
+    let slow = seconds > shared.slow_request_secs;
+    if slow {
+        shared.rec.add("http_slow_requests", 1);
+    }
+    if shared.access_log || slow {
+        let mut line = Json::object();
+        line.push("request_id", request_id.as_str());
+        line.push("method", method.as_str());
+        line.push("path", path.as_str());
+        line.push("status", u64::from(response.status));
+        line.push("duration_s", seconds);
+        line.push("bytes", response.body.len());
+        if !write_ok {
+            line.push("write_failed", true);
+        }
+        if slow {
+            line.push("slow", true);
+            line.push("threshold_s", shared.slow_request_secs);
+        }
+        eprintln!("[access] {}", line.to_compact());
+    }
+}
+
+/// The per-request id: the client's `X-Request-Id` when it is short and
+/// header-safe (so it can be echoed without response-splitting risk),
+/// otherwise a generated `req-N`.
+fn request_id(shared: &Shared, req: &Request) -> String {
+    if let Some(raw) = req.header("x-request-id") {
+        let ok = !raw.is_empty()
+            && raw.len() <= 64
+            && raw
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
+        if ok {
+            return raw.to_string();
+        }
+    }
+    generated_request_id(shared)
+}
+
+fn generated_request_id(shared: &Shared) -> String {
+    format!(
+        "req-{}",
+        shared.next_request_id.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
+/// The duration-histogram name for a request's endpoint. Static names
+/// keep the recorder allocation-free and bound the label set no matter
+/// what paths clients probe.
+fn endpoint_metric(req: &Request) -> &'static str {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method, segments.as_slice()) {
+        (Method::Get, ["v1", "healthz"]) => "http_request_seconds_healthz",
+        (Method::Get, ["v1", "metrics"]) => "http_request_seconds_metrics",
+        (Method::Post, ["v1", "shutdown"]) => "http_request_seconds_shutdown",
+        (Method::Post, ["v1", "jobs"]) => "http_request_seconds_submit",
+        (Method::Get, ["v1", "jobs"]) => "http_request_seconds_jobs_list",
+        (Method::Get, ["v1", "jobs", _]) => "http_request_seconds_job_status",
+        (Method::Get, ["v1", "jobs", _, "edges"]) => "http_request_seconds_job_edges",
+        (Method::Get, ["v1", "jobs", _, "report"]) => "http_request_seconds_job_report",
+        (Method::Get, ["v1", "jobs", _, "trace"]) => "http_request_seconds_job_trace",
+        (Method::Post, ["v1", "jobs", _, "cascades"]) => "http_request_seconds_job_cascades",
+        _ => "http_request_seconds_other",
+    }
 }
 
 /// Maps one parsed request onto the API.
@@ -242,6 +345,21 @@ fn route(shared: &Shared, req: &Request) -> Response {
     match (req.method, segments.as_slice()) {
         (Method::Get, ["v1", "healthz"]) => Response::text(200, "ok\n"),
         (Method::Get, ["v1", "metrics"]) => {
+            // Refresh the process gauges from the live profiler before
+            // rendering, so every scrape sees current RSS/CPU.
+            let res = shared.profiler.current();
+            shared
+                .rec
+                .value("process_rss_bytes", res.last_rss_bytes() as f64);
+            shared
+                .rec
+                .value("process_peak_rss_bytes", res.peak_rss_bytes as f64);
+            shared
+                .rec
+                .value("process_user_cpu_seconds", res.user_cpu_seconds);
+            shared
+                .rec
+                .value("process_system_cpu_seconds", res.system_cpu_seconds);
             let snap = shared.rec.snapshot();
             Response::text(200, render_prometheus(&snap, "diffnet"))
         }
@@ -274,6 +392,7 @@ fn route(shared: &Shared, req: &Request) -> Response {
         },
         (Method::Get, ["v1", "jobs", id, "edges"]) => output(shared, id, "edges.txt"),
         (Method::Get, ["v1", "jobs", id, "report"]) => output(shared, id, "report.json"),
+        (Method::Get, ["v1", "jobs", id, "trace"]) => job_trace(shared, id),
         (Method::Post, ["v1", "jobs", id, "cascades"]) => match parse_id(id) {
             Some(id) => match shared.manager.append_cascades(id, &req.body) {
                 Ok(meta) => Response::json(200, &status_json(&meta, None)),
@@ -299,12 +418,50 @@ fn output(shared: &Shared, id: &str, file: &str) -> Response {
                 } else {
                     "text/plain; charset=utf-8"
                 },
+                headers: Vec::new(),
                 body: bytes,
             },
             Err(e) => job_error(e),
         },
         None => Response::error(404, format!("bad job id {id:?}")),
     }
+}
+
+/// `GET /v1/jobs/{id}/trace`: the job's span tree. A running job renders
+/// live from its recorder; a finished one extracts `runtime.trace` from
+/// the persisted report, so the endpoint works across daemon restarts.
+fn job_trace(shared: &Shared, id: &str) -> Response {
+    let Some(id) = parse_id(id) else {
+        return Response::error(404, format!("bad job id {id:?}"));
+    };
+    let Some((meta, live)) = shared.manager.status(id) else {
+        return Response::error(404, format!("no job {id}"));
+    };
+    let trace = match live {
+        Some(snap) => trace_to_json(&snap.spans, snap.spans_dropped),
+        None => {
+            let bytes = match shared.manager.read_output(id, "report.json") {
+                Ok(b) => b,
+                Err(e) => return job_error(e),
+            };
+            let report = match std::str::from_utf8(&bytes)
+                .map_err(|e| e.to_string())
+                .and_then(|text| parse_json(text).map_err(|e| e.to_string()))
+            {
+                Ok(json) => json,
+                Err(e) => return Response::error(500, format!("corrupt job report: {e}")),
+            };
+            match report.get("runtime").and_then(|r| r.get("trace")) {
+                Some(trace) => trace.clone(),
+                None => return Response::error(404, format!("no trace recorded for job {id}")),
+            }
+        }
+    };
+    let mut root = Json::object();
+    root.push("job", id);
+    root.push("state", meta.state.as_str());
+    root.push("trace", trace);
+    Response::json(200, &root)
 }
 
 fn job_error(e: JobError) -> Response {
@@ -389,6 +546,7 @@ mod tests {
         ServeConfig {
             data_dir: dir,
             http_workers: 2,
+            access_log: false,
             ..ServeConfig::default()
         }
     }
@@ -443,6 +601,90 @@ mod tests {
     }
 
     #[test]
+    fn request_ids_are_echoed_and_generated() {
+        let config = temp_config("reqid");
+        let (addr, handle) = start(&config);
+
+        // A well-formed client id round-trips.
+        let raw = crate::client::raw_roundtrip(
+            addr,
+            b"GET /v1/healthz HTTP/1.1\r\nX-Request-Id: my-trace.7\r\n\r\n",
+        )
+        .expect("raw");
+        assert!(raw.contains("X-Request-Id: my-trace.7"), "{raw}");
+
+        // A hostile id (header-splitting attempt via spaces/length) is
+        // replaced with a generated one.
+        let raw = crate::client::raw_roundtrip(
+            addr,
+            b"GET /v1/healthz HTTP/1.1\r\nX-Request-Id: evil id\r\n\r\n",
+        )
+        .expect("raw");
+        assert!(!raw.contains("evil id"), "{raw}");
+        assert!(raw.contains("X-Request-Id: req-"), "{raw}");
+
+        // Requests without one also get a generated id.
+        let raw =
+            crate::client::raw_roundtrip(addr, b"GET /v1/healthz HTTP/1.1\r\n\r\n").expect("raw");
+        assert!(raw.contains("X-Request-Id: req-"), "{raw}");
+
+        shut_down(addr, handle, &config);
+    }
+
+    #[test]
+    fn metrics_expose_latency_histograms_and_process_gauges() {
+        let mut config = temp_config("latency");
+        // Threshold of zero: every request is "slow", so the counter and
+        // slow-path logging are exercised deterministically.
+        config.slow_request_secs = 0.0;
+        let (addr, handle) = start(&config);
+        let client = crate::client::Client::new(addr);
+
+        client.get("/v1/healthz").expect("healthz");
+        client.get("/v1/healthz").expect("healthz");
+        let (status, body) = client.get("/v1/metrics").expect("metrics");
+        assert_eq!(status, 200);
+        // Second scrape: the first one recorded the metrics endpoint's
+        // own latency, so its histogram family is now present too.
+        let (_, body2) = client.get("/v1/metrics").expect("metrics again");
+        let text = String::from_utf8(body2).expect("utf8");
+        drop(body);
+
+        assert!(
+            text.contains("# TYPE diffnet_http_request_seconds_healthz histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("diffnet_http_request_seconds_healthz_count 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("diffnet_http_request_seconds_healthz_p50 "),
+            "{text}"
+        );
+        assert!(
+            text.contains("diffnet_http_request_seconds_healthz_p95 "),
+            "{text}"
+        );
+        assert!(
+            text.contains("diffnet_http_request_seconds_healthz_p99 "),
+            "{text}"
+        );
+        // Buckets carry real second boundaries, not raw indices.
+        assert!(
+            text.contains("diffnet_http_request_seconds_healthz_bucket{le=\"0.0009765625\"}"),
+            "{text}"
+        );
+        assert!(text.contains("diffnet_process_rss_bytes "), "{text}");
+        assert!(text.contains("diffnet_process_peak_rss_bytes "), "{text}");
+        assert!(text.contains("diffnet_process_user_cpu_seconds "), "{text}");
+        assert!(text.contains("diffnet_http_slow_requests "), "{text}");
+        diffnet_observe::lint_exposition(&text).expect("live exposition lints clean");
+
+        shut_down(addr, handle, &config);
+    }
+
+    #[test]
     fn hostile_requests_get_typed_errors_not_hangs() {
         let mut config = temp_config("hostile");
         config.limits = Limits {
@@ -476,6 +718,63 @@ mod tests {
         let client = crate::client::Client::new(addr);
         let (status, _) = client.get("/v1/healthz").expect("healthz");
         assert_eq!(status, 200);
+
+        shut_down(addr, handle, &config);
+    }
+
+    /// A small deterministic status matrix (cascades over a ring) in the
+    /// submit wire format.
+    fn sample_statuses_body(beta: usize, n: usize) -> Vec<u8> {
+        let mut out = String::new();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for l in 0..beta {
+            let mut row = vec![false; n];
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let start = (state >> 33) as usize % n;
+            for k in 0..1 + (l % (n / 2)) {
+                row[(start + k) % n] = true;
+            }
+            let cells: Vec<&str> = row.iter().map(|&b| if b { "1" } else { "0" }).collect();
+            out.push_str(&cells.join(" "));
+            out.push('\n');
+        }
+        out.into_bytes()
+    }
+
+    #[test]
+    fn trace_endpoint_returns_span_tree_for_completed_job() {
+        let config = temp_config("trace");
+        let (addr, handle) = start(&config);
+        let client = crate::client::Client::new(addr);
+
+        let (status, submitted) = client
+            .post_json("/v1/jobs", &sample_statuses_body(40, 8))
+            .expect("submit");
+        assert_eq!(status, 201, "{}", submitted.to_pretty());
+        let id = submitted.get("id").and_then(Json::as_f64).expect("job id") as u64;
+        client
+            .wait_for_job(id, Duration::from_secs(30))
+            .expect("job finishes");
+
+        let (status, doc) = client
+            .get_json(&format!("/v1/jobs/{id}/trace"))
+            .expect("trace");
+        assert_eq!(status, 200, "{}", doc.to_pretty());
+        assert_eq!(doc.get("job").and_then(Json::as_f64), Some(id as f64));
+        assert_eq!(doc.get("state").and_then(Json::as_str), Some("done"));
+        let trace = doc.get("trace").expect("trace object");
+        // The tree is parseable by the same routine `diffnet trace
+        // render` uses, and contains the reconstruction span hierarchy.
+        let (spans, _) = diffnet_observe::spans_from_json(trace).expect("parseable span tree");
+        assert!(spans.iter().any(|s| s.name == "parent_search"));
+        assert!(spans
+            .iter()
+            .any(|s| s.name == "node_search" && s.parent.is_some()));
+
+        let (status, _) = client.get("/v1/jobs/999/trace").expect("missing");
+        assert_eq!(status, 404);
 
         shut_down(addr, handle, &config);
     }

@@ -11,7 +11,7 @@ use crate::search::{
     SearchScratch, SearchStats,
 };
 use diffnet_graph::{DiGraph, GraphBuilder, NodeId};
-use diffnet_observe::{FaultPlan, Recorder};
+use diffnet_observe::{FaultPlan, Recorder, SpanId};
 use diffnet_simulate::{StatusMatrix, WorkspaceStats};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -372,7 +372,7 @@ impl Tends {
         // this parallelizes embarrassingly).
         let outcome = {
             let _p = rec.phase("parent_search");
-            self.search_all(&candidates, &cols, tau, rec, options)?
+            self.search_all(&candidates, &cols, tau, rec, _p.span_id(), options)?
         };
         let node_results = outcome.results;
 
@@ -452,6 +452,7 @@ impl Tends {
         cols: &diffnet_simulate::NodeColumns,
         tau: f64,
         rec: &Recorder,
+        parent_span: Option<SpanId>,
         options: &RobustOptions<'_>,
     ) -> Result<SearchOutcome, CheckpointError> {
         let n = candidates.len();
@@ -531,10 +532,19 @@ impl Tends {
                 fault
                     .hit_indexed("node_search", u64::from(id))
                     .map_err(NodeError::Io)?;
+                // One span per freshly searched node, parented under the
+                // parent_search phase span (restored nodes do no work and
+                // get none). Ends when the guard drops — including on the
+                // error path, where it records without cache attributes.
+                let mut span = rec.span_with_parent("node_search", parent_span);
+                span.attr("node", u64::from(id));
+                span.attr("candidates", candidates[i].len() as u64);
                 let before = scratch.ws.stats();
                 let res = find_parents_with(scratch, cols, id, &candidates[i], &self.config.search)
                     .map_err(NodeError::Search)?;
                 let after = scratch.ws.stats();
+                span.attr("score_cache_hits", res.cache_stats.hits);
+                span.attr("score_cache_misses", res.cache_stats.misses);
                 // The per-node workspace delta, not the pool total: it is
                 // what the checkpoint stores, so a resumed run can report
                 // the same summed counters as an uninterrupted one.
@@ -940,6 +950,33 @@ mod tests {
             snap.counters["workspace_refinements"],
             snap.counters["combinations_scored"]
         );
+
+        // Span tree: one root span per phase, and one node_search span per
+        // node parented under the parent_search phase span.
+        let parent = snap
+            .spans
+            .iter()
+            .find(|s| s.name == "parent_search" && s.parent.is_none())
+            .expect("parent_search root span");
+        let node_spans: Vec<_> = snap
+            .spans
+            .iter()
+            .filter(|s| s.name == "node_search")
+            .collect();
+        assert_eq!(node_spans.len(), 6, "one span per freshly searched node");
+        let mut seen_nodes: Vec<u64> = Vec::new();
+        for span in &node_spans {
+            assert_eq!(span.parent, Some(parent.id));
+            assert!(span.end_s >= span.start_s);
+            let attr = |key: &str| span.attrs.iter().find(|&&(k, _)| k == key).map(|&(_, v)| v);
+            seen_nodes.push(attr("node").expect("node attr"));
+            assert!(attr("candidates").is_some());
+            let hits = attr("score_cache_hits").expect("cache hit attr");
+            let misses = attr("score_cache_misses").expect("cache miss attr");
+            assert!(hits + misses > 0, "searched nodes evaluate something");
+        }
+        seen_nodes.sort_unstable();
+        assert_eq!(seen_nodes, vec![0, 1, 2, 3, 4, 5]);
     }
 
     fn temp_checkpoint(name: &str) -> PathBuf {
