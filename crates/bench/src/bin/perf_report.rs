@@ -75,6 +75,26 @@ fn status_workload(n: usize, beta: usize, seed: u64) -> StatusMatrix {
     observe(&truth, &setting).statuses
 }
 
+/// A large synthetic status matrix for the streamed-IMI row: xorshift
+/// noise at ~12.5% infection. LFR generation at n=100,000 would dominate
+/// the bench wall-clock; the fold's cost is data-independent, so noise
+/// times the same work as a real diffusion workload.
+fn synthetic_statuses(beta: usize, n: usize, seed: u64) -> StatusMatrix {
+    let mut m = StatusMatrix::new(beta, n);
+    let mut state = seed | 1;
+    for l in 0..beta {
+        for i in 0..n as u32 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if state & 7 == 0 {
+                m.set(l, i);
+            }
+        }
+    }
+    m
+}
+
 struct KernelRow {
     n: usize,
     recursive_s: f64,
@@ -399,6 +419,42 @@ fn main() {
     server_thread.join().expect("join").expect("serve loop");
     let _ = std::fs::remove_dir_all(&serve_dir);
 
+    // Streamed IMI at out-of-core scale: τ from the deterministic pair
+    // sample, then the tiled fold into bounded sparse candidate
+    // accumulators — the dense n×n matrix is never allocated, which is
+    // what makes this n feasible at all (dense f64 storage for n=100,000
+    // would be ~80 GB). Peak RSS is profiled so the row demonstrates the
+    // memory bound, not just the throughput.
+    let (n_stream, beta_stream) = if quick { (10_000, 64) } else { (100_000, 64) };
+    let stream_budget: u64 = 512 << 20;
+    eprintln!("perf_report: streamed IMI (n={n_stream}, beta={beta_stream})");
+    let stream_statuses = synthetic_statuses(beta_stream, n_stream, 2020);
+    let stream_cols = stream_statuses.columns();
+    drop(stream_statuses);
+    let stream_profiler =
+        diffnet_observe::ResourceProfiler::start(diffnet_observe::DEFAULT_SAMPLE_INTERVAL);
+    let stream_threads = if multi_core { 8 } else { 1 };
+    let (tau_sample, tau_sample_s) = timed(|| {
+        diffnet_tends::stream::sample_tau(
+            &stream_cols,
+            CorrelationMeasure::Imi,
+            Some(stream_budget),
+            stream_threads,
+        )
+    });
+    let (fold, fold_s) = timed(|| {
+        diffnet_tends::stream::fold_candidates(
+            &stream_cols,
+            CorrelationMeasure::Imi,
+            tau_sample.kmeans.tau,
+            SearchParams::default().max_candidates,
+            diffnet_tends::Shard::full(stream_cols.num_nodes()),
+            stream_threads,
+        )
+    });
+    let stream_profile = stream_profiler.stop();
+    drop(stream_cols);
+
     // One instrumented reconstruction for the per-phase breakdown, so the
     // report shows where the wall-clock goes inside a single run.
     eprintln!("perf_report: instrumented phase breakdown (n={n_small})");
@@ -496,6 +552,28 @@ fn main() {
     serve.push("submit_to_done_p95_s", submit_hist.quantile(0.95));
     serve.push("submit_to_done_p99_s", submit_hist.quantile(0.99));
     json.push("serve_loopback", serve);
+
+    let mut streaming = Json::object();
+    streaming.push("n", n_stream as u64);
+    streaming.push("beta", beta_stream as u64);
+    streaming.push("threads", stream_threads as u64);
+    streaming.push("memory_budget_bytes", stream_budget);
+    streaming.push("tau_sample_s", tau_sample_s);
+    streaming.push("tau_sample_pairs", tau_sample.sampled_pairs);
+    streaming.push("tau_sample_stride", tau_sample.stride);
+    streaming.push("tau", tau_sample.kmeans.tau);
+    streaming.push("fold_s", fold_s);
+    streaming.push("scanned_pairs", fold.scanned_pairs);
+    streaming.push("pairs_per_s", fold.scanned_pairs as f64 / fold_s);
+    streaming.push("tiles", fold.tiles);
+    streaming.push("pairs_above_tau", fold.pairs_above_tau);
+    streaming.push("candidate_evictions", fold.candidate_evictions);
+    streaming.push("peak_rss_bytes", stream_profile.peak_rss_bytes);
+    streaming.push(
+        "under_budget",
+        stream_profile.peak_rss_bytes < stream_budget,
+    );
+    json.push("streaming_imi", streaming);
 
     json.push("tends_run_report", run_report.to_json());
 

@@ -264,6 +264,48 @@ fn resolve_simd(args: &ParsedArgs) -> Result<&'static diffnet_simulate::Kernels,
     }
 }
 
+/// Resolves the `--memory-budget` byte budget (falling back to
+/// `DIFFNET_MEMORY_BUDGET`). Accepts a `K`/`M`/`G` suffix: `512M`, `2G`.
+/// Setting a budget switches `infer` onto the streamed IMI pipeline.
+fn resolve_memory_budget(args: &ParsedArgs) -> Result<Option<u64>, ArgError> {
+    if let Some(raw) = args.optional("memory-budget") {
+        return diffnet_serve::parse_size(raw).map(Some).ok_or_else(|| {
+            ArgError::new(format!(
+                "invalid value for --memory-budget: {raw:?} (bytes with optional K/M/G suffix)"
+            ))
+        });
+    }
+    match std::env::var("DIFFNET_MEMORY_BUDGET") {
+        Ok(raw) => diffnet_serve::parse_size(&raw).map(Some).ok_or_else(|| {
+            ArgError::new(format!(
+                "invalid DIFFNET_MEMORY_BUDGET: {raw:?} (bytes with optional K/M/G suffix)"
+            ))
+        }),
+        Err(_) => Ok(None),
+    }
+}
+
+/// Resolves the `--shard-index`/`--shard-count` pair: both or neither,
+/// index strictly below count.
+fn resolve_shard(args: &ParsedArgs) -> Result<Option<(usize, usize)>, ArgError> {
+    match (args.optional("shard-index"), args.optional("shard-count")) {
+        (None, None) => Ok(None),
+        (Some(_), None) | (None, Some(_)) => Err(ArgError::new(
+            "--shard-index and --shard-count must be given together",
+        )),
+        (Some(_), Some(_)) => {
+            let index: usize = args.get_required("shard-index")?;
+            let count: usize = args.get_required("shard-count")?;
+            if count == 0 || index >= count {
+                return Err(ArgError::new(format!(
+                    "--shard-index {index} out of range for --shard-count {count}"
+                )));
+            }
+            Ok(Some((index, count)))
+        }
+    }
+}
+
 fn infer(args: &ParsedArgs) -> Result<CommandOutput, ArgError> {
     args.expect_known(&[
         "statuses",
@@ -282,6 +324,9 @@ fn infer(args: &ParsedArgs) -> Result<CommandOutput, ArgError> {
         "resume",
         "checkpoint-interval",
         "simd",
+        "memory-budget",
+        "shard-index",
+        "shard-count",
     ])?;
     let out = args.required("out")?;
     let algo = args.optional("algorithm").unwrap_or("tends");
@@ -290,7 +335,13 @@ fn infer(args: &ParsedArgs) -> Result<CommandOutput, ArgError> {
         return Err(ArgError::new("--resume needs --checkpoint FILE"));
     }
     if algo != "tends" {
-        for opt in ["checkpoint", "checkpoint-interval"] {
+        for opt in [
+            "checkpoint",
+            "checkpoint-interval",
+            "memory-budget",
+            "shard-index",
+            "shard-count",
+        ] {
             if args.optional(opt).is_some() {
                 return Err(ArgError::new(format!(
                     "--{opt} is only supported by --algorithm tends"
@@ -298,14 +349,29 @@ fn infer(args: &ParsedArgs) -> Result<CommandOutput, ArgError> {
             }
         }
     }
+    let memory_budget = if algo == "tends" {
+        resolve_memory_budget(args)?
+    } else {
+        None
+    };
+    let shard_spec = resolve_shard(args)?;
+    let streamed = algo == "tends" && (memory_budget.is_some() || shard_spec.is_some());
+    if shard_spec.is_some() && args.has_flag("mutual-only") {
+        return Err(ArgError::new(
+            "--mutual-only needs every node's parent set and cannot run on a shard; \
+             run unsharded or post-process the merged edges",
+        ));
+    }
 
     // One recorder for the whole command: enabled only when the user asked
     // for observability, so the default path keeps the free no-op collector.
+    // The streamed path also records, so eviction warnings can read the
+    // candidate_evictions counter even without --trace/--run-report.
     let trace = args.has_flag("trace");
     let report_path = args.optional("run-report");
     let observing = trace || report_path.is_some();
     let owned_rec;
-    let rec: &Recorder = if observing {
+    let rec: &Recorder = if observing || streamed {
         owned_rec = Recorder::new();
         &owned_rec
     } else {
@@ -323,14 +389,10 @@ fn infer(args: &ParsedArgs) -> Result<CommandOutput, ArgError> {
     let mut checkpoint_info: Option<CheckpointInfo> = None;
     let mut resumed_nodes = 0usize;
 
+    let mut streamed_notes: Vec<String> = Vec::new();
     let (graph, detail) = match algo {
         "tends" => {
             let statuses_path = args.required("statuses")?;
-            let statuses = {
-                let _p = rec.phase("load_statuses");
-                diffnet_simulate::io::load_status_matrix(statuses_path)
-                    .map_err(|e| io_err(&format!("cannot load statuses {statuses_path:?}"), e))?
-            };
             let threshold = match args.optional("threshold-scale") {
                 Some(raw) => ThresholdMode::ScaledAuto(
                     raw.parse()
@@ -345,7 +407,7 @@ fn infer(args: &ParsedArgs) -> Result<CommandOutput, ArgError> {
             } else {
                 DirectionPolicy::AsIs
             };
-            let cfg = TendsConfig {
+            let mut cfg = TendsConfig {
                 correlation: if args.has_flag("mi") {
                     CorrelationMeasure::Mi
                 } else {
@@ -355,6 +417,8 @@ fn infer(args: &ParsedArgs) -> Result<CommandOutput, ArgError> {
                 search: SearchParams::default(),
                 direction,
                 threads: args.get_or("threads", 1)?,
+                memory_budget,
+                shard: None,
             };
             report_threads = cfg.threads.max(1);
             let fault = FaultPlan::from_env()
@@ -366,9 +430,68 @@ fn infer(args: &ParsedArgs) -> Result<CommandOutput, ArgError> {
                 fault: &fault,
                 cancel: None,
             };
-            let partial = Tends::with_config(cfg)
-                .reconstruct_robust(&statuses, rec, &options)
-                .map_err(|e| ArgError::new(e.to_string()))?;
+            let partial = if streamed {
+                // Out-of-core: mmap the statuses straight into the column
+                // bitsets — the row-major matrix and the dense correlation
+                // matrix are never materialized.
+                let cols = {
+                    let _p = rec.phase("load_statuses");
+                    diffnet_simulate::io::load_status_columns(statuses_path).map_err(|e| {
+                        io_err(&format!("cannot load statuses {statuses_path:?}"), e)
+                    })?
+                };
+                let shard = shard_spec.map(|(index, count)| {
+                    diffnet_tends::plan_shards(cols.num_nodes(), count)[index]
+                });
+                cfg.shard = shard;
+                if let Some(budget) = memory_budget {
+                    let estimate = diffnet_tends::stream::estimate_streamed_bytes(
+                        cols.num_nodes(),
+                        cols.num_processes(),
+                        shard.map_or(cols.num_nodes(), |s| s.len()),
+                        cfg.threads,
+                        cfg.search.max_candidates,
+                        memory_budget,
+                    );
+                    if estimate > budget {
+                        streamed_notes.push(format!(
+                            "WARNING: estimated peak working set ≈ {} MiB exceeds \
+                             --memory-budget {} MiB; split the run across more shards \
+                             or fewer threads to stay within the budget",
+                            estimate >> 20,
+                            budget >> 20
+                        ));
+                    }
+                }
+                Tends::with_config(cfg)
+                    .reconstruct_robust_from_columns(&cols, rec, &options)
+                    .map_err(|e| ArgError::new(e.to_string()))?
+            } else {
+                let statuses = {
+                    let _p = rec.phase("load_statuses");
+                    diffnet_simulate::io::load_status_matrix(statuses_path).map_err(|e| {
+                        io_err(&format!("cannot load statuses {statuses_path:?}"), e)
+                    })?
+                };
+                Tends::with_config(cfg)
+                    .reconstruct_robust(&statuses, rec, &options)
+                    .map_err(|e| ArgError::new(e.to_string()))?
+            };
+            if streamed {
+                let evicted = rec
+                    .snapshot()
+                    .counters
+                    .get("candidate_evictions")
+                    .copied()
+                    .unwrap_or(0);
+                if evicted > 0 {
+                    streamed_notes.push(format!(
+                        "WARNING: {evicted} above-τ candidate(s) dropped by the top-{} \
+                         candidate bound; weak parents may be missed",
+                        cfg.search.max_candidates
+                    ));
+                }
+            }
             failed_nodes = partial.failed_nodes.iter().map(|&v| u64::from(v)).collect();
             failure_notes = partial
                 .errors
@@ -441,6 +564,9 @@ fn infer(args: &ParsedArgs) -> Result<CommandOutput, ArgError> {
         for note in &failure_notes {
             report.push_str(&format!("\n  {note}"));
         }
+    }
+    for note in &streamed_notes {
+        report.push_str(&format!("\n{note}"));
     }
 
     if observing {
@@ -726,11 +852,32 @@ fn submit(args: &ParsedArgs) -> Result<CommandOutput, ArgError> {
         "threads",
         "checkpoint-interval",
         "edges",
+        "memory-budget",
+        "shards",
+        "merged-out",
         "wait",
         "timeout-secs",
     ])?;
     let addr = resolve_server(args)?;
     let algo = args.optional("algorithm").unwrap_or("tends");
+    let shards: usize = args.get_or("shards", 1)?;
+    if shards == 0 {
+        return Err(ArgError::new("--shards must be at least 1"));
+    }
+    if algo != "tends" {
+        for opt in ["memory-budget", "shards"] {
+            if args.optional(opt).is_some() {
+                return Err(ArgError::new(format!(
+                    "--{opt} is only supported by --algorithm tends"
+                )));
+            }
+        }
+    }
+    if args.optional("merged-out").is_some() && (shards < 2 || !args.has_flag("wait")) {
+        return Err(ArgError::new(
+            "--merged-out needs --shards >= 2 and --wait (it unions the shard edge lists)",
+        ));
+    }
     let input = if algo == "tends" {
         args.required("statuses")?
     } else {
@@ -738,47 +885,109 @@ fn submit(args: &ParsedArgs) -> Result<CommandOutput, ArgError> {
             .ok_or_else(|| ArgError::new(format!("algorithm {algo:?} needs --observations")))?
     };
     let body = std::fs::read(input).map_err(|e| io_err(&format!("cannot read {input:?}"), e))?;
-    let mut query = format!("/v1/jobs?algorithm={algo}");
-    for key in ["threads", "checkpoint-interval", "edges"] {
+    let mut base_query = format!("/v1/jobs?algorithm={algo}");
+    for key in ["threads", "checkpoint-interval", "edges", "memory-budget"] {
         if let Some(value) = args.optional(key) {
-            query.push_str(&format!("&{key}={value}"));
+            base_query.push_str(&format!("&{key}={value}"));
         }
     }
     let client = Client::new(addr);
-    let (status, json) = client
-        .post_json(&query, &body)
-        .map_err(|e| io_err("submit failed", e))?;
-    if status != 201 {
-        return Err(ArgError::new(format!(
-            "server rejected submission ({status}): {}",
-            json.to_pretty().trim()
-        )));
+
+    // Submit one job per shard (one logical reconstruction split across
+    // the daemon's job queue); unsharded submissions are the 1-shard case.
+    let mut ids = Vec::with_capacity(shards);
+    let mut text = String::new();
+    for index in 0..shards {
+        let mut query = base_query.clone();
+        if shards > 1 {
+            query.push_str(&format!("&shard-index={index}&shard-count={shards}"));
+        }
+        let (status, json) = client
+            .post_json(&query, &body)
+            .map_err(|e| io_err("submit failed", e))?;
+        if status != 201 {
+            return Err(ArgError::new(format!(
+                "server rejected submission ({status}): {}",
+                json.to_pretty().trim()
+            )));
+        }
+        let id = json.get("id").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        if shards > 1 {
+            text.push_str(&format!(
+                "job {id} submitted ({algo} shard {index}/{shards}) to {addr}\n"
+            ));
+        } else {
+            text.push_str(&format!("job {id} submitted ({algo}) to {addr}\n"));
+        }
+        ids.push(id);
     }
-    let id = json.get("id").and_then(Json::as_f64).unwrap_or(0.0) as u64;
-    let mut text = format!("job {id} submitted ({algo}) to {addr}");
+    let mut text = text.trim_end().to_string();
     if !args.has_flag("wait") {
         return Ok(CommandOutput::success(text));
     }
+
     let deadline = Duration::from_secs(args.get_or("timeout-secs", 600)?);
-    let final_json = client
-        .wait_for_job(id, deadline)
-        .map_err(|e| io_err("waiting for job", e))?;
-    let state = final_json
-        .get("state")
-        .and_then(Json::as_str)
-        .unwrap_or("unknown")
-        .to_string();
-    text.push_str(&format!("\njob {id} finished: {state}"));
-    match state.as_str() {
-        "failed" => Err(ArgError::new(format!(
-            "job {id} failed: {}",
-            final_json
-                .get("error")
-                .and_then(Json::as_str)
-                .unwrap_or("unknown error")
-        ))),
-        "partial" => Ok(CommandOutput::partial(text)),
-        _ => Ok(CommandOutput::success(text)),
+    let mut any_partial = false;
+    for &id in &ids {
+        let final_json = client
+            .wait_for_job(id, deadline)
+            .map_err(|e| io_err("waiting for job", e))?;
+        let state = final_json
+            .get("state")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string();
+        text.push_str(&format!("\njob {id} finished: {state}"));
+        match state.as_str() {
+            "failed" => {
+                return Err(ArgError::new(format!(
+                    "job {id} failed: {}",
+                    final_json
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unknown error")
+                )))
+            }
+            "partial" => any_partial = true,
+            _ => {}
+        }
+    }
+
+    // Merge step: shard edge lists are disjoint views of one global
+    // reconstruction, so their sorted union is the full edge set.
+    if let Some(merged_out) = args.optional("merged-out") {
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        let mut nodes = 0usize;
+        for &id in &ids {
+            let (status, bytes) = client
+                .get(&format!("/v1/jobs/{id}/edges"))
+                .map_err(|e| io_err(&format!("cannot fetch job {id} edges"), e))?;
+            if status != 200 {
+                return Err(ArgError::new(format!(
+                    "server returned {status} for job {id} edges: {}",
+                    String::from_utf8_lossy(&bytes).trim()
+                )));
+            }
+            let part = diffnet_graph::io::read_edge_list(&bytes[..], None)
+                .map_err(|e| io_err(&format!("cannot parse job {id} edges"), e))?;
+            nodes = nodes.max(part.node_count());
+            edges.extend(part.edges());
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        let merged = DiGraph::from_edges(nodes, &edges);
+        diffnet_graph::io::save_edge_list(&merged, merged_out)
+            .map_err(|e| io_err(&format!("cannot write {merged_out:?}"), e))?;
+        text.push_str(&format!(
+            "\nmerged {} edges from {} shard(s) -> {merged_out}",
+            merged.edge_count(),
+            ids.len()
+        ));
+    }
+    if any_partial {
+        Ok(CommandOutput::partial(text))
+    } else {
+        Ok(CommandOutput::success(text))
     }
 }
 
@@ -1226,6 +1435,177 @@ mod tests {
     fn resume_requires_checkpoint() {
         let err = run_tokens(&["infer", "--statuses", "x", "--out", "y", "--resume"]).unwrap_err();
         assert!(err.to_string().contains("--checkpoint"));
+    }
+
+    #[test]
+    fn streamed_infer_matches_dense_infer_byte_for_byte() {
+        let truth = tmp("stream_truth.edges");
+        let statuses = tmp("stream_statuses.txt");
+        let dense = tmp("stream_dense.edges");
+        let streamed = tmp("stream_streamed.edges");
+        let report = tmp("stream_run.json");
+        run_tokens(&[
+            "generate", "--model", "er", "--n", "40", "--m", "80", "--seed", "31", "--out", &truth,
+        ])
+        .expect("generate");
+        run_tokens(&[
+            "simulate", "--graph", &truth, "--beta", "110", "--seed", "32", "--out", &statuses,
+        ])
+        .expect("simulate");
+        run_tokens(&["infer", "--statuses", &statuses, "--out", &dense]).expect("dense infer");
+        let out = run_tokens(&[
+            "infer",
+            "--statuses",
+            &statuses,
+            "--out",
+            &streamed,
+            "--memory-budget",
+            "16M",
+            "--run-report",
+            &report,
+        ])
+        .expect("streamed infer");
+        assert_eq!(out.exit_code(), 0);
+        assert_eq!(
+            std::fs::read(&dense).expect("dense edges"),
+            std::fs::read(&streamed).expect("streamed edges"),
+            "streamed pipeline must reproduce the dense edge list byte for byte"
+        );
+
+        // The streamed run report has its own phase sequence; report-check
+        // passes with the streamed phase list.
+        let check = run_tokens(&[
+            "report-check",
+            "--report",
+            &report,
+            "--phases",
+            "load_statuses,tau_sample,streamed_fold,parent_search,direction",
+            "--counters",
+            "tau_sample_pairs,correlation_pairs,combinations_scored",
+        ])
+        .expect("streamed report-check");
+        assert!(check.contains("OK"));
+
+        // Sharded runs under the same budget union to the same edge set.
+        let mut union: Vec<(u32, u32)> = Vec::new();
+        for index in 0..3 {
+            let part = tmp(&format!("stream_shard{index}.edges"));
+            run_tokens(&[
+                "infer",
+                "--statuses",
+                &statuses,
+                "--out",
+                &part,
+                "--memory-budget",
+                "16M",
+                "--shard-index",
+                &index.to_string(),
+                "--shard-count",
+                "3",
+            ])
+            .expect("shard infer");
+            let g = diffnet_graph::io::load_edge_list(&part, None).expect("parse shard");
+            assert_eq!(g.node_count(), 40, "shard output keeps the global n");
+            union.extend(g.edges());
+        }
+        union.sort_unstable();
+        union.dedup();
+        let dense_graph = diffnet_graph::io::load_edge_list(&dense, None).expect("parse dense");
+        assert_eq!(union, dense_graph.edge_vec());
+    }
+
+    #[test]
+    fn streamed_options_are_validated() {
+        let err = run_tokens(&[
+            "infer",
+            "--statuses",
+            "x",
+            "--out",
+            "y",
+            "--memory-budget",
+            "12Q",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("12Q"), "{err}");
+
+        let err = run_tokens(&[
+            "infer",
+            "--statuses",
+            "x",
+            "--out",
+            "y",
+            "--shard-index",
+            "0",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("--shard-count"), "{err}");
+
+        let err = run_tokens(&[
+            "infer",
+            "--statuses",
+            "x",
+            "--out",
+            "y",
+            "--shard-index",
+            "3",
+            "--shard-count",
+            "3",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+
+        let err = run_tokens(&[
+            "infer",
+            "--statuses",
+            "x",
+            "--out",
+            "y",
+            "--shard-index",
+            "0",
+            "--shard-count",
+            "2",
+            "--mutual-only",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("--mutual-only"), "{err}");
+
+        let err = run_tokens(&[
+            "infer",
+            "--algorithm",
+            "netrate",
+            "--out",
+            "y",
+            "--memory-budget",
+            "1G",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("tends"), "{err}");
+
+        let err = run_tokens(&[
+            "submit",
+            "--server",
+            "127.0.0.1:1",
+            "--statuses",
+            "x",
+            "--shards",
+            "0",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("--shards"), "{err}");
+
+        let err = run_tokens(&[
+            "submit",
+            "--server",
+            "127.0.0.1:1",
+            "--statuses",
+            "x",
+            "--shards",
+            "2",
+            "--merged-out",
+            "m.edges",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("--wait"), "{err}");
     }
 
     #[test]

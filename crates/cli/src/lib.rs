@@ -40,6 +40,7 @@ COMMANDS:
              [--observations FILE] [--edges M] [--threshold-scale X] [--mi]
              [--threads T] [--simd auto|avx2|popcnt|scalar]
              [--symmetrize | --mutual-only]
+             [--memory-budget BYTES[K|M|G]] [--shard-index I --shard-count S]
              [--trace] [--run-report FILE]
              [--checkpoint FILE] [--resume] [--checkpoint-interval N]
   eval       Score an inferred edge set against the ground truth
@@ -62,7 +63,8 @@ COMMANDS:
   submit     Submit a job to a running daemon
              --server HOST:PORT  --statuses FILE | --observations FILE
              [--algorithm A] [--threads T] [--checkpoint-interval N]
-             [--edges M] [--wait] [--timeout-secs S]
+             [--edges M] [--memory-budget BYTES[K|M|G]]
+             [--shards S [--merged-out FILE]] [--wait] [--timeout-secs S]
   job        Query a job on a running daemon (and fetch its outputs)
              --server HOST:PORT  --id N  [--wait] [--timeout-secs S]
              [--edges-out FILE] [--report-out FILE]
@@ -87,6 +89,16 @@ SIMD: the bit-counting kernels pick the fastest tier the CPU supports
 DIFFNET_SIMD=MODE forces a tier; every tier produces bit-identical output,
 so `scalar` is a safe cross-check. The requested mode is recorded in the
 run report's deterministic section, the resolved tier under `runtime`.
+
+Scaling (tends only): `infer --memory-budget 512M` (or
+DIFFNET_MEMORY_BUDGET) switches onto the out-of-core streamed IMI
+pipeline — the status file is memory-mapped into column bitsets, the
+dense correlation matrix is never built, and per-node candidates live in
+bounded sparse accumulators. `--shard-index I --shard-count S` restricts
+the run to one node-range shard; the sorted union of the shard edge
+lists (same budget everywhere) is byte-identical to the unsharded run.
+`submit --shards S --wait --merged-out FILE` fans one reconstruction out
+across S daemon jobs and merges the edges client-side.
 
 Robustness (tends only): `infer --checkpoint FILE` persists per-node
 progress atomically every --checkpoint-interval nodes (default 8);

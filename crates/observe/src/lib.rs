@@ -42,7 +42,9 @@ pub use recorder::{
     DURATION_BUCKETS,
 };
 pub use report::{strip_runtime, validate_report_json, CheckpointInfo, PhaseTiming, RunReport};
-pub use resources::{ResourceProfile, ResourceProfiler, DEFAULT_SAMPLE_INTERVAL};
+pub use resources::{
+    current_rss_bytes, ResourceProfile, ResourceProfiler, DEFAULT_SAMPLE_INTERVAL,
+};
 pub use trace::{
     collapse_stacks, render_timeline, spans_from_json, trace_to_json, ParsedSpan, SpanId,
     SpanRecord, SPAN_BUFFER_CAP,

@@ -186,6 +186,15 @@ impl Drop for ResourceProfiler {
     }
 }
 
+/// Current resident-set size of this process, in bytes.
+///
+/// A synchronous one-shot read (no profiler thread needed) for
+/// RSS-aware progress spans on the out-of-core pipeline. `None` where
+/// `/proc/self/statm` is unavailable (non-Linux) or unreadable.
+pub fn current_rss_bytes() -> Option<u64> {
+    rss_bytes()
+}
+
 /// Current resident-set size in bytes, from `/proc/self/statm` (Linux
 /// only; `None` elsewhere or on any read/parse failure).
 fn rss_bytes() -> Option<u64> {

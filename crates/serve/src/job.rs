@@ -43,10 +43,11 @@ use diffnet_observe::{
     DEFAULT_SAMPLE_INTERVAL,
 };
 use diffnet_simulate::io::{
-    load_status_matrix, read_observations, read_status_matrix, save_status_matrix,
+    load_status_columns, load_status_matrix, read_observations, read_status_matrix,
+    save_status_matrix,
 };
 use diffnet_simulate::StatusMatrix;
-use diffnet_tends::{NodeError, RobustOptions, Tends, TendsConfig};
+use diffnet_tends::{plan_shards, NodeError, RobustOptions, Tends, TendsConfig};
 
 /// Algorithms a job may request. `tends` takes a status matrix body;
 /// the baselines take an observations body plus an edge budget.
@@ -105,6 +106,20 @@ impl JobState {
     }
 }
 
+/// Parses a byte-size value with an optional `K`/`M`/`G` suffix
+/// (powers of 1024): `"512M"` → 512 MiB, `"65536"` → 65536 bytes.
+/// Returns `None` on malformed input or overflow.
+pub fn parse_size(raw: &str) -> Option<u64> {
+    let raw = raw.trim();
+    let (digits, mult) = match raw.as_bytes().last()? {
+        b'k' | b'K' => (&raw[..raw.len() - 1], 1u64 << 10),
+        b'm' | b'M' => (&raw[..raw.len() - 1], 1u64 << 20),
+        b'g' | b'G' => (&raw[..raw.len() - 1], 1u64 << 30),
+        _ => (raw, 1u64),
+    };
+    digits.parse::<u64>().ok()?.checked_mul(mult)
+}
+
 /// What the client asked for at submission time.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct JobSpec {
@@ -116,6 +131,15 @@ pub struct JobSpec {
     pub checkpoint_interval: usize,
     /// Edge budget `m` — required by the baselines, ignored by tends.
     pub edges_budget: Option<usize>,
+    /// Byte budget for the streamed IMI pipeline (tends only). Setting it
+    /// switches the job onto the out-of-core sparse-candidate path.
+    pub memory_budget: Option<u64>,
+    /// This job's shard of a node-range-sharded reconstruction (tends
+    /// only; requires `shard_count`). Shard jobs search only their node
+    /// range; the client unions the per-shard edge lists.
+    pub shard_index: Option<usize>,
+    /// Total shards of the sharded reconstruction (tends only).
+    pub shard_count: Option<usize>,
 }
 
 impl Default for JobSpec {
@@ -125,6 +149,9 @@ impl Default for JobSpec {
             threads: 1,
             checkpoint_interval: 8,
             edges_budget: None,
+            memory_budget: None,
+            shard_index: None,
+            shard_count: None,
         }
     }
 }
@@ -145,7 +172,28 @@ impl JobSpec {
                 self.algorithm
             ));
         }
+        if self.algorithm != "tends" && (self.memory_budget.is_some() || self.shard_count.is_some())
+        {
+            return Err(format!(
+                "algorithm {:?} does not support the streamed pipeline \
+                 (memory-budget / shard-index / shard-count are tends-only)",
+                self.algorithm
+            ));
+        }
+        if self.shard_index.is_some() != self.shard_count.is_some() {
+            return Err("shard-index and shard-count must be given together".to_string());
+        }
+        if let (Some(i), Some(c)) = (self.shard_index, self.shard_count) {
+            if c == 0 || i >= c {
+                return Err(format!("shard-index {i} out of range for shard-count {c}"));
+            }
+        }
         Ok(())
+    }
+
+    /// Whether the job runs the out-of-core streamed IMI pipeline.
+    pub fn is_streamed(&self) -> bool {
+        self.memory_budget.is_some() || self.shard_count.is_some()
     }
 
     /// Whether the job consumes a status matrix (vs an observation set).
@@ -202,6 +250,15 @@ impl JobMeta {
         if let Some(m) = self.spec.edges_budget {
             root.push("edges_budget", m);
         }
+        if let Some(b) = self.spec.memory_budget {
+            root.push("memory_budget", b);
+        }
+        if let Some(i) = self.spec.shard_index {
+            root.push("shard_index", i);
+        }
+        if let Some(c) = self.spec.shard_count {
+            root.push("shard_count", c);
+        }
         root.push("state", self.state.as_str());
         root.push("revision", self.revision);
         root.push("processes", self.processes);
@@ -252,6 +309,18 @@ impl JobMeta {
                 checkpoint_interval: num(root, "checkpoint_interval")? as usize,
                 edges_budget: root
                     .get("edges_budget")
+                    .and_then(Json::as_f64)
+                    .map(|f| f as usize),
+                memory_budget: root
+                    .get("memory_budget")
+                    .and_then(Json::as_f64)
+                    .map(|f| f as u64),
+                shard_index: root
+                    .get("shard_index")
+                    .and_then(Json::as_f64)
+                    .map(|f| f as usize),
+                shard_count: root
+                    .get("shard_count")
                     .and_then(Json::as_f64)
                     .map(|f| f as usize),
             },
@@ -694,20 +763,6 @@ impl JobManager {
         // report's runtime section. Early returns drop the profiler,
         // which just joins its sampler thread.
         let profiler = ResourceProfiler::start(DEFAULT_SAMPLE_INTERVAL);
-        // Mirror the CLI's `infer` path exactly — same phases, same
-        // config defaults — so the report's deterministic section is
-        // byte-identical to an offline `diffnet infer` run.
-        let statuses = {
-            let _p = rec.phase("load_statuses");
-            match load_status_matrix(dir.join("statuses.txt")) {
-                Ok(m) => m,
-                Err(e) => return Outcome::failed(format!("cannot load statuses: {e}")),
-            }
-        };
-        let cfg = TendsConfig {
-            threads: meta.spec.threads,
-            ..TendsConfig::default()
-        };
         let checkpoint = dir.join("checkpoint.json");
         let options = RobustOptions {
             checkpoint: Some(checkpoint.clone()),
@@ -716,7 +771,46 @@ impl JobManager {
             fault: self.fault.as_ref(),
             cancel: Some(&self.shutdown),
         };
-        let partial = match Tends::with_config(cfg).reconstruct_robust(&statuses, rec, &options) {
+        // Mirror the CLI's `infer` path exactly — same phases, same
+        // config defaults — so the report's deterministic section is
+        // byte-identical to an offline `diffnet infer` run.
+        let run = if meta.spec.is_streamed() {
+            // Out-of-core: mmap the statuses straight into the column
+            // bitset and never materialize the row-major matrix or the
+            // dense correlation matrix.
+            let cols = {
+                let _p = rec.phase("load_statuses");
+                match load_status_columns(dir.join("statuses.txt")) {
+                    Ok(c) => c,
+                    Err(e) => return Outcome::failed(format!("cannot load statuses: {e}")),
+                }
+            };
+            let shard = match (meta.spec.shard_index, meta.spec.shard_count) {
+                (Some(i), Some(c)) => Some(plan_shards(cols.num_nodes(), c)[i]),
+                _ => None,
+            };
+            let cfg = TendsConfig {
+                threads: meta.spec.threads,
+                memory_budget: meta.spec.memory_budget,
+                shard,
+                ..TendsConfig::default()
+            };
+            Tends::with_config(cfg).reconstruct_robust_from_columns(&cols, rec, &options)
+        } else {
+            let statuses = {
+                let _p = rec.phase("load_statuses");
+                match load_status_matrix(dir.join("statuses.txt")) {
+                    Ok(m) => m,
+                    Err(e) => return Outcome::failed(format!("cannot load statuses: {e}")),
+                }
+            };
+            let cfg = TendsConfig {
+                threads: meta.spec.threads,
+                ..TendsConfig::default()
+            };
+            Tends::with_config(cfg).reconstruct_robust(&statuses, rec, &options)
+        };
+        let partial = match run {
             Ok(p) => p,
             Err(e) => return Outcome::failed(e.to_string()),
         };
@@ -970,6 +1064,7 @@ mod tests {
                 threads: 4,
                 checkpoint_interval: 3,
                 edges_budget: Some(12),
+                ..JobSpec::default()
             },
             100,
             20,
@@ -1041,6 +1136,108 @@ mod tests {
 
         m.shutdown_and_join();
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn streamed_and_sharded_jobs_match_the_dense_job() {
+        let dir = tmp_dir("streamed");
+        let (m, _) = manager(&dir);
+        let statuses = sample_statuses(60, 10);
+        let body = statuses_bytes(&statuses);
+        // Job 1: dense oracle. Job 2: streamed under a memory budget.
+        m.submit(JobSpec::default(), &body).expect("dense submit");
+        m.submit(
+            JobSpec {
+                memory_budget: Some(8 << 20),
+                ..JobSpec::default()
+            },
+            &body,
+        )
+        .expect("streamed submit");
+        assert_eq!(wait_terminal(&m, 1).state, JobState::Done);
+        assert_eq!(wait_terminal(&m, 2).state, JobState::Done);
+        let dense_edges = m.read_output(1, "edges.txt").expect("dense edges");
+        let streamed_edges = m.read_output(2, "edges.txt").expect("streamed edges");
+        assert_eq!(
+            dense_edges, streamed_edges,
+            "streamed job must be byte-identical to the dense job"
+        );
+
+        // Shard the same reconstruction across two jobs (same budget, so
+        // both compute the same τ) and union the edges client-side.
+        let mut union: Vec<(u32, u32)> = Vec::new();
+        for index in 0..2 {
+            let meta = m
+                .submit(
+                    JobSpec {
+                        memory_budget: Some(8 << 20),
+                        shard_index: Some(index),
+                        shard_count: Some(2),
+                        ..JobSpec::default()
+                    },
+                    &body,
+                )
+                .expect("shard submit");
+            assert_eq!(wait_terminal(&m, meta.id).state, JobState::Done);
+            let bytes = m.read_output(meta.id, "edges.txt").expect("shard edges");
+            let part = diffnet_graph::io::read_edge_list(&bytes[..], None).expect("parse shard");
+            assert_eq!(part.node_count(), 10, "shard graphs keep the global n");
+            union.extend(part.edges());
+        }
+        union.sort_unstable();
+        union.dedup();
+        let dense = diffnet_graph::io::read_edge_list(&dense_edges[..], None).expect("parse dense");
+        assert_eq!(
+            union,
+            dense.edge_vec(),
+            "shard union must equal the dense edge set"
+        );
+
+        m.shutdown_and_join();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn streamed_spec_round_trips_and_validates() {
+        let spec = JobSpec {
+            memory_budget: Some(512 << 20),
+            shard_index: Some(1),
+            shard_count: Some(4),
+            ..JobSpec::default()
+        };
+        spec.validate().expect("valid spec");
+        let meta = JobMeta::new(3, spec, 10, 5);
+        let text = meta.to_json().to_pretty();
+        let back = JobMeta::from_json(&parse_json(&text).expect("json")).expect("meta");
+        assert_eq!(back, meta);
+
+        for bad in [
+            JobSpec {
+                shard_index: Some(0),
+                ..JobSpec::default()
+            },
+            JobSpec {
+                shard_index: Some(2),
+                shard_count: Some(2),
+                ..JobSpec::default()
+            },
+            JobSpec {
+                algorithm: "netinf".to_string(),
+                edges_budget: Some(4),
+                memory_budget: Some(1 << 20),
+                ..JobSpec::default()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "spec must be rejected: {bad:?}");
+        }
+
+        assert_eq!(parse_size("512M"), Some(512 << 20));
+        assert_eq!(parse_size("2g"), Some(2 << 30));
+        assert_eq!(parse_size("65536"), Some(65536));
+        assert_eq!(parse_size("64K"), Some(64 << 10));
+        assert_eq!(parse_size(""), None);
+        assert_eq!(parse_size("12Q"), None);
+        assert_eq!(parse_size("-5M"), None);
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub mod server;
 pub use client::Client;
 pub use http::{HttpError, Limits, Method, Request, Response};
 pub use job::{
-    job_report_json, status_json, JobError, JobManager, JobMeta, JobSpec, JobState, ALGORITHMS,
+    job_report_json, parse_size, status_json, JobError, JobManager, JobMeta, JobSpec, JobState,
+    ALGORITHMS,
 };
 pub use server::{ServeConfig, Server, FAULT_ACCEPT};

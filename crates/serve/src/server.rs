@@ -497,6 +497,25 @@ fn spec_from_query(req: &Request) -> Result<JobSpec, String> {
                         .map_err(|_| format!("bad edges value {value:?}"))?,
                 );
             }
+            "memory-budget" => {
+                spec.memory_budget = Some(crate::job::parse_size(value).ok_or_else(|| {
+                    format!("bad memory-budget value {value:?} (bytes with optional K/M/G suffix)")
+                })?);
+            }
+            "shard-index" => {
+                spec.shard_index = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad shard-index value {value:?}"))?,
+                );
+            }
+            "shard-count" => {
+                spec.shard_count = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad shard-count value {value:?}"))?,
+                );
+            }
             other => return Err(format!("unknown submit option {other:?}")),
         }
     }

@@ -7,7 +7,7 @@
 //!   `sources:` line and a `times:` line (with `-` for never-infected), so
 //!   cascade-based baselines can be replayed from disk too.
 
-use crate::{DiffusionRecord, ObservationSet, StatusMatrix, UNINFECTED};
+use crate::{DiffusionRecord, NodeColumns, ObservationSet, StatusMatrix, UNINFECTED};
 use diffnet_graph::NodeId;
 use std::fmt;
 use std::fs;
@@ -186,6 +186,123 @@ pub fn save_status_matrix<P: AsRef<Path>>(m: &StatusMatrix, path: P) -> io::Resu
 /// Loads a status matrix from a file.
 pub fn load_status_matrix<P: AsRef<Path>>(path: P) -> Result<StatusMatrix, ObservationIoError> {
     read_status_matrix(fs::File::open(path)?)
+}
+
+/// Iterates `bytes` line by line, calling `f(lineno, line)` with the
+/// 1-based line number and the raw line (newline stripped). Returns the
+/// total byte count consumed, for truncation offsets.
+fn for_each_line<'a>(
+    bytes: &'a [u8],
+    mut f: impl FnMut(usize, &'a [u8]) -> Result<(), ObservationIoError>,
+) -> Result<usize, ObservationIoError> {
+    let mut pos = 0usize;
+    let mut lineno = 0usize;
+    while pos < bytes.len() {
+        let end = bytes[pos..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map_or(bytes.len(), |k| pos + k + 1);
+        lineno += 1;
+        let line = bytes[pos..end]
+            .strip_suffix(b"\n")
+            .unwrap_or(&bytes[pos..end]);
+        f(lineno, line)?;
+        pos = end;
+    }
+    Ok(pos)
+}
+
+/// Parses a status-matrix file straight into its column-major bitset
+/// view, without ever materializing the row-major [`StatusMatrix`] or any
+/// per-row buffers.
+///
+/// Accepts the same format as [`read_status_matrix`] — optional
+/// `# diffnet status matrix: …` header, `0`/`1` rows, `#` comments — with
+/// the same typed errors (`Parse` for bad tokens / ragged rows,
+/// `Truncated` with a byte offset when the header declares more rows than
+/// the file holds). Two passes over the bytes: the first learns the shape
+/// (header when present, otherwise the first row's width and the row
+/// count), the second sets bits directly into the column bitsets, so peak
+/// memory is the `n·⌈β/64⌉` words of the result plus the input bytes —
+/// which [`load_status_columns`] keeps out of the heap via `mmap(2)`.
+/// The result is identical to `read_status_matrix(bytes)?.columns()`.
+pub fn read_status_columns(bytes: &[u8]) -> Result<NodeColumns, ObservationIoError> {
+    // Pass 1: shape. Mirrors read_status_matrix's header handling (the
+    // first matching comment anywhere in the file wins).
+    let mut declared: Option<(usize, usize)> = None;
+    let mut first_width: Option<usize> = None;
+    let mut rows = 0usize;
+    let offset = for_each_line(bytes, |lineno, raw| {
+        let line = std::str::from_utf8(raw)
+            .map_err(|_| parse_err(lineno, "invalid UTF-8 in status matrix"))?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            if declared.is_none() {
+                declared = parse_header_counts(t, "diffnet status matrix");
+            }
+        } else {
+            if first_width.is_none() {
+                first_width = Some(t.split_whitespace().count());
+            }
+            rows += 1;
+        }
+        Ok(())
+    })?;
+    if let Some((beta, _)) = declared {
+        if rows < beta {
+            return Err(ObservationIoError::Truncated {
+                expected: beta,
+                found: rows,
+                offset,
+            });
+        }
+    }
+    let n = declared.map(|(_, n)| n).or(first_width).unwrap_or(0);
+
+    // Pass 2: bits. β is the actual row count (as StatusMatrix::from_rows
+    // would make it), so extra rows beyond a declared header still fit.
+    let mut cols = NodeColumns::new_empty(rows, n);
+    let mut l = 0usize;
+    for_each_line(bytes, |lineno, raw| {
+        // Validity was proven in pass 1; bad UTF-8 cannot appear now.
+        let t = std::str::from_utf8(raw)
+            .map_err(|_| parse_err(lineno, "invalid UTF-8 in status matrix"))?
+            .trim();
+        if t.is_empty() || t.starts_with('#') {
+            return Ok(());
+        }
+        let mut i = 0usize;
+        for tok in t.split_whitespace() {
+            match tok {
+                "0" => {}
+                "1" => {
+                    if i < n {
+                        cols.set_bit(l, i);
+                    }
+                }
+                other => return Err(parse_err(lineno, format!("expected 0/1, got {other:?}"))),
+            }
+            i += 1;
+        }
+        if i != n {
+            return Err(parse_err(
+                lineno,
+                format!("row has {i} entries, expected {n}"),
+            ));
+        }
+        l += 1;
+        Ok(())
+    })?;
+    Ok(cols)
+}
+
+/// Loads a status matrix from a file directly into its column-major
+/// bitset view, memory-mapping the file when possible (see
+/// [`crate::mmap::open_bytes`]) so peak heap usage is just the column
+/// bitsets — the entry point of the out-of-core reconstruction path.
+pub fn load_status_columns<P: AsRef<Path>>(path: P) -> Result<NodeColumns, ObservationIoError> {
+    let bytes = crate::mmap::open_bytes(path)?;
+    read_status_columns(&bytes)
 }
 
 /// Writes a full observation set: per process a `sources:` line and a
@@ -460,6 +577,70 @@ mod tests {
         );
         let obs = read_observations("".as_bytes()).expect("ok");
         assert_eq!(obs.num_processes(), 0);
+    }
+
+    #[test]
+    fn streamed_columns_match_dense_columns() {
+        let obs = sample_obs();
+        let mut buf = Vec::new();
+        write_status_matrix(&obs.statuses, &mut buf).expect("write");
+        let streamed = read_status_columns(&buf).expect("streamed parse");
+        let dense = read_status_matrix(buf.as_slice()).expect("dense parse");
+        assert_eq!(streamed, dense.columns());
+    }
+
+    #[test]
+    fn streamed_columns_handle_headerless_and_empty() {
+        let streamed = read_status_columns(b"0 1\n1 0\n").expect("parse");
+        let dense = read_status_matrix("0 1\n1 0\n".as_bytes()).expect("parse");
+        assert_eq!(streamed, dense.columns());
+        let empty = read_status_columns(b"").expect("parse");
+        assert_eq!(empty.num_nodes(), 0);
+        assert_eq!(empty.num_processes(), 0);
+    }
+
+    #[test]
+    fn streamed_columns_report_truncation_with_offset() {
+        let text = "# diffnet status matrix: 3 processes x 2 nodes\n0 1\n1 0\n";
+        match read_status_columns(text.as_bytes()) {
+            Err(ObservationIoError::Truncated {
+                expected,
+                found,
+                offset,
+            }) => {
+                assert_eq!(expected, 3);
+                assert_eq!(found, 2);
+                assert_eq!(offset, text.len());
+            }
+            other => panic!("expected truncation error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn streamed_columns_reject_hostile_bytes() {
+        // Bad token.
+        let err = read_status_columns(b"0 1 2\n").unwrap_err();
+        assert!(matches!(err, ObservationIoError::Parse { .. }), "{err}");
+        assert!(err.to_string().contains("expected 0/1"));
+        // Ragged row against the declared width.
+        let text = "# diffnet status matrix: 2 processes x 4 nodes\n0 1 0 1\n1 0\n";
+        let err = read_status_columns(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("expected 4"), "got {err}");
+        // Invalid UTF-8 is a typed parse error, not a panic or io error.
+        let err = read_status_columns(&[0x30, 0x20, 0xff, 0xfe, 0x0a]).unwrap_err();
+        assert!(err.to_string().contains("invalid UTF-8"), "got {err}");
+    }
+
+    #[test]
+    fn load_status_columns_reads_mmap_file() {
+        let dir = std::env::temp_dir().join("diffnet_sim_io_cols_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let obs = sample_obs();
+        let path = dir.join("statuses.txt");
+        save_status_matrix(&obs.statuses, &path).expect("save");
+        let cols = load_status_columns(&path).expect("load streamed");
+        assert_eq!(cols, obs.statuses.columns());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

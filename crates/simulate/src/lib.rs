@@ -41,6 +41,7 @@ mod cascade;
 mod ic;
 pub mod io;
 mod lt;
+pub mod mmap;
 mod noise;
 mod probs;
 pub mod simd;
@@ -49,6 +50,7 @@ mod status;
 pub use cascade::{DiffusionRecord, ObservationSet, UNINFECTED};
 pub use ic::{IcConfig, IndependentCascade};
 pub use lt::LinearThreshold;
+pub use mmap::{open_bytes, FileBytes};
 pub use noise::{delay_timestamps, flip_statuses};
 pub use probs::{sample_normal, EdgeProbs, ProbShapeError};
 pub use simd::{parse_simd, simd_from_env, Kernels, SimdMode};

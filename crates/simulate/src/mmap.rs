@@ -1,0 +1,197 @@
+//! Read-only file mapping via raw `mmap(2)` FFI, with a buffered fallback.
+//!
+//! The out-of-core status pipeline wants an input file as one contiguous
+//! byte slice without first copying it through the heap. On unix targets
+//! [`Mmap::map`] maps the whole file `PROT_READ` + `MAP_PRIVATE` through
+//! two raw libc declarations — `std` already links libc, so this keeps
+//! the workspace's zero-dependency rule, matching the `getrusage` /
+//! `sysconf` precedent in `diffnet-observe`. [`open_bytes`] is the
+//! portable entry point: it prefers the mapping and silently falls back
+//! to an ordinary buffered read on other targets or when `mmap` fails,
+//! so callers always get bytes, just without page-cache sharing.
+//!
+//! Mapped bytes alias the file: mutating the file while a mapping is
+//! live can change the slice contents mid-read. Callers must treat
+//! mapped inputs as immutable for the mapping's lifetime.
+
+use std::fs::File;
+use std::io;
+use std::io::Read;
+use std::ops::Deref;
+use std::path::Path;
+
+#[cfg(unix)]
+mod raw {
+    use std::ffi::c_void;
+
+    // Prototypes as POSIX declares them; no crate is added because std
+    // already links libc on unix targets.
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+}
+
+/// A read-only `mmap(2)` view of an entire file, unmapped on drop.
+///
+/// Dereferences to `&[u8]`. Zero-length files are represented as an
+/// empty slice without calling `mmap` (which rejects zero-length
+/// mappings).
+#[cfg(unix)]
+pub struct Mmap {
+    ptr: *mut u8,
+    len: usize,
+}
+
+#[cfg(unix)]
+impl Mmap {
+    /// Maps `file` read-only in its entirety.
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+        let len = usize::try_from(file.metadata()?.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large to map"))?;
+        if len == 0 {
+            return Ok(Mmap {
+                ptr: std::ptr::NonNull::dangling().as_ptr(),
+                len: 0,
+            });
+        }
+        let ptr = unsafe {
+            raw::mmap(
+                std::ptr::null_mut(),
+                len,
+                raw::PROT_READ,
+                raw::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == raw::MAP_FAILED || ptr.is_null() {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap {
+            ptr: ptr.cast(),
+            len,
+        })
+    }
+}
+
+#[cfg(unix)]
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+#[cfg(unix)]
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        if self.len > 0 {
+            unsafe {
+                raw::munmap(self.ptr.cast(), self.len);
+            }
+        }
+    }
+}
+
+// The mapping is private and read-only; the kernel, not the pointer
+// owner, manages the pages.
+#[cfg(unix)]
+unsafe impl Send for Mmap {}
+#[cfg(unix)]
+unsafe impl Sync for Mmap {}
+
+/// File contents as a byte slice: memory-mapped when available, buffered
+/// otherwise. Produced by [`open_bytes`].
+pub enum FileBytes {
+    /// A live `mmap(2)` view.
+    #[cfg(unix)]
+    Mapped(Mmap),
+    /// The whole file read into memory (non-unix targets, or `mmap`
+    /// failure — e.g. filesystems that refuse mappings).
+    Buffered(Vec<u8>),
+}
+
+impl Deref for FileBytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match self {
+            #[cfg(unix)]
+            FileBytes::Mapped(m) => m,
+            FileBytes::Buffered(v) => v,
+        }
+    }
+}
+
+/// Opens `path` and returns its bytes, preferring a zero-copy mapping.
+pub fn open_bytes<P: AsRef<Path>>(path: P) -> io::Result<FileBytes> {
+    let mut file = File::open(path)?;
+    #[cfg(unix)]
+    if let Ok(mapped) = Mmap::map(&file) {
+        return Ok(FileBytes::Mapped(mapped));
+    }
+    let mut buf = Vec::new();
+    file.read_to_end(&mut buf)?;
+    Ok(FileBytes::Buffered(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("diffnet_mmap_test_{name}"));
+        let mut f = File::create(&path).expect("create temp file");
+        f.write_all(contents).expect("write temp file");
+        path
+    }
+
+    #[test]
+    fn open_bytes_matches_file_contents() {
+        let path = temp_file("roundtrip", b"# header\n0 1 0\n1 1 0\n");
+        let bytes = open_bytes(&path).expect("open_bytes");
+        assert_eq!(&*bytes, &std::fs::read(&path).expect("fs::read")[..]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_bytes_handles_empty_file() {
+        let path = temp_file("empty", b"");
+        let bytes = open_bytes(&path).expect("open_bytes");
+        assert!(bytes.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_bytes_missing_file_is_io_error() {
+        let path = std::env::temp_dir().join("diffnet_mmap_test_does_not_exist");
+        assert!(open_bytes(&path).is_err());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn mmap_large_file_spans_pages() {
+        let contents: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let path = temp_file("large", &contents);
+        let file = File::open(&path).expect("open");
+        let mapped = Mmap::map(&file).expect("map");
+        assert_eq!(&*mapped, &contents[..]);
+        drop(mapped);
+        let _ = std::fs::remove_file(&path);
+    }
+}

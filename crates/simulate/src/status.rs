@@ -210,7 +210,7 @@ impl PairCounts {
 
 /// Column-major bitset view: one `β`-bit vector per node, so pairwise joint
 /// counts are word-parallel `popcount`s.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct NodeColumns {
     beta: usize,
     words_per_col: usize,
@@ -218,6 +218,26 @@ pub struct NodeColumns {
 }
 
 impl NodeColumns {
+    /// An all-uninfected column view for `beta` processes over `n` nodes —
+    /// the allocation target of the streaming status parser
+    /// ([`crate::io::read_status_columns`]), which sets bits directly into
+    /// the column bitsets without ever materializing the row-major matrix.
+    pub(crate) fn new_empty(beta: usize, n: usize) -> Self {
+        let words_per_col = beta.div_ceil(WORD_BITS).max(1);
+        NodeColumns {
+            beta,
+            words_per_col,
+            cols: vec![0u64; n * words_per_col],
+        }
+    }
+
+    /// Marks node `i` infected in process `l` (streaming-parser hook).
+    #[inline]
+    pub(crate) fn set_bit(&mut self, l: usize, i: usize) {
+        debug_assert!(l < self.beta && i * self.words_per_col < self.cols.len());
+        self.cols[i * self.words_per_col + l / WORD_BITS] |= 1u64 << (l % WORD_BITS);
+    }
+
     fn from_matrix(m: &StatusMatrix) -> Self {
         let words_per_col = m.beta.div_ceil(WORD_BITS).max(1);
         let mut cols = vec![0u64; m.n * words_per_col];

@@ -10,9 +10,10 @@ use crate::search::{
     candidate_parents, find_parents_with, NodeSearchResult, SearchError, SearchParams,
     SearchScratch, SearchStats,
 };
+use crate::stream::{self, Shard};
 use diffnet_graph::{DiGraph, GraphBuilder, NodeId};
 use diffnet_observe::{FaultPlan, Recorder, SpanId};
-use diffnet_simulate::{StatusMatrix, WorkspaceStats};
+use diffnet_simulate::{NodeColumns, StatusMatrix, WorkspaceStats};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -70,6 +71,24 @@ pub struct TendsConfig {
     /// single-threaded, which keeps timing comparisons with the
     /// single-threaded baselines honest.
     pub threads: usize,
+    /// Peak-memory budget in bytes for the out-of-core streamed IMI path.
+    /// Setting this (or [`shard`](TendsConfig::shard)) switches
+    /// reconstruction from the dense `n × n` correlation matrix to the
+    /// streamed sparse-candidate pipeline (see [`crate::stream`]): τ comes
+    /// from a budget-sized systematic pair sample and candidates from
+    /// bounded per-node accumulators. `None` (default) keeps the dense
+    /// path — the bit-identity oracle. The budget also sizes the τ
+    /// sample, so runs must share a budget to share τ bit-for-bit.
+    pub memory_budget: Option<u64>,
+    /// Restricts the streamed path to one contiguous node range: only the
+    /// shard's nodes get candidate lists, parent searches, and edges, so
+    /// one logical reconstruction can be split across processes and
+    /// merged by edge union. Implies the streamed path. The result's
+    /// `node_results` are indexed by `node − shard.start`; the graph
+    /// keeps global node ids. Incompatible with
+    /// [`DirectionPolicy::MutualOnly`], which needs every node's parent
+    /// set (callers must reject that combination; the library asserts).
+    pub shard: Option<Shard>,
 }
 
 /// Result of a TENDS reconstruction.
@@ -82,7 +101,9 @@ pub struct TendsResult {
     /// Details of the threshold clustering (the *unscaled* `τ` lives in
     /// here when [`ThresholdMode::ScaledAuto`] is used).
     pub kmeans: PinnedKmeans,
-    /// Per-node search outcomes, indexed by node id.
+    /// Per-node search outcomes, indexed by node id — or, on a sharded
+    /// streamed run, by `node − shard.start` (only the shard's nodes are
+    /// searched).
     pub node_results: Vec<NodeSearchResult>,
     /// The global score `g(T)` of the inferred topology (Eq. 12): the sum
     /// of the per-node local scores.
@@ -318,17 +339,40 @@ impl Tends {
         rec: &Recorder,
         options: &RobustOptions<'_>,
     ) -> Result<PartialReconstruction, CheckpointError> {
-        let n = statuses.num_nodes();
         let cols = {
             let _p = rec.phase("status_columns");
             statuses.columns()
         };
+        self.reconstruct_robust_from_columns(&cols, rec, options)
+    }
+
+    /// [`reconstruct_robust`](Self::reconstruct_robust) starting from the
+    /// column bitset view — the entry point for out-of-core callers that
+    /// streamed the columns straight off disk
+    /// (`diffnet_simulate::io::load_status_columns`) and never held the
+    /// row-major matrix.
+    ///
+    /// Dispatches on the config: with
+    /// [`memory_budget`](TendsConfig::memory_budget) or
+    /// [`shard`](TendsConfig::shard) set it runs the streamed
+    /// sparse-candidate pipeline (phases `tau_sample`, `streamed_fold`);
+    /// otherwise the dense matrix pipeline, unchanged.
+    pub fn reconstruct_robust_from_columns(
+        &self,
+        cols: &NodeColumns,
+        rec: &Recorder,
+        options: &RobustOptions<'_>,
+    ) -> Result<PartialReconstruction, CheckpointError> {
+        if self.config.memory_budget.is_some() || self.config.shard.is_some() {
+            return self.reconstruct_streamed(cols, rec, options);
+        }
+        let n = cols.num_nodes();
 
         // Lines 2–4: pairwise correlation values.
         let corr = {
             let _p = rec.phase("correlation_matrix");
             CorrelationMatrix::compute_observed(
-                &cols,
+                cols,
                 self.config.correlation,
                 self.config.threads,
                 rec,
@@ -372,7 +416,7 @@ impl Tends {
         // this parallelizes embarrassingly).
         let outcome = {
             let _p = rec.phase("parent_search");
-            self.search_all(&candidates, &cols, tau, rec, _p.span_id(), options)?
+            self.search_all(&candidates, cols, tau, rec, _p.span_id(), options, 0, n)?
         };
         let node_results = outcome.results;
 
@@ -421,15 +465,182 @@ impl Tends {
         })
     }
 
+    /// The out-of-core pipeline: τ from a budget-sized systematic pair
+    /// sample, candidates from bounded sparse accumulators folded tile by
+    /// tile, parent searches restricted to the configured shard. The
+    /// dense `n × n` matrix never exists; see [`crate::stream`] for the
+    /// determinism argument (results are invariant to threads, SIMD tier,
+    /// and shard count, and bit-identical to the dense path whenever the
+    /// τ sample is exhaustive).
+    fn reconstruct_streamed(
+        &self,
+        cols: &NodeColumns,
+        rec: &Recorder,
+        options: &RobustOptions<'_>,
+    ) -> Result<PartialReconstruction, CheckpointError> {
+        let n = cols.num_nodes();
+        let shard = self.config.shard.unwrap_or_else(|| Shard::full(n));
+        assert!(
+            shard.start <= shard.end && shard.end as usize <= n,
+            "shard {}..{} out of range for n = {n}",
+            shard.start,
+            shard.end,
+        );
+        // MutualOnly needs the parent set of every node in the graph;
+        // a shard only computes its own range. Callers (CLI, daemon)
+        // reject the combination with a typed error before getting here.
+        assert!(
+            self.config.direction != DirectionPolicy::MutualOnly || shard.len() == n,
+            "MutualOnly direction requires an unsharded run",
+        );
+
+        // τ from the deterministic systematic pair sample.
+        let (kmeans, tau) = {
+            let _p = rec.phase("tau_sample");
+            let sample = stream::sample_tau(
+                cols,
+                self.config.correlation,
+                self.config.memory_budget,
+                self.config.threads,
+            );
+            if rec.is_enabled() {
+                rec.add("tau_sample_pairs", sample.sampled_pairs);
+                rec.add("tau_sample_stride", sample.stride);
+                let mut span = rec.span_with_parent("rss_sample", _p.span_id());
+                if let Some(rss) = diffnet_observe::current_rss_bytes() {
+                    span.attr("rss_bytes", rss);
+                }
+            }
+            let tau = match self.config.threshold {
+                ThresholdMode::Auto => sample.kmeans.tau,
+                ThresholdMode::Fixed(t) => t,
+                ThresholdMode::ScaledAuto(s) => sample.kmeans.tau * s,
+            };
+            (sample.kmeans, tau)
+        };
+        if rec.is_enabled() {
+            rec.value("tau", tau);
+            rec.value("tau_unscaled", kmeans.tau);
+        }
+
+        // Tile fold: above-τ pairs stream straight into the bounded
+        // per-node accumulators; candidate lists come out in
+        // candidate_parents order.
+        let fold = {
+            let _p = rec.phase("streamed_fold");
+            let fold = stream::fold_candidates(
+                cols,
+                self.config.correlation,
+                tau,
+                self.config.search.max_candidates,
+                shard,
+                self.config.threads,
+            );
+            if rec.is_enabled() {
+                rec.worker_chunks("streamed_fold", &fold.chunks_per_worker);
+                rec.add("pairs_above_tau", fold.pairs_above_tau);
+                rec.add("candidate_evictions", fold.candidate_evictions);
+                rec.add("correlation_pairs", fold.scanned_pairs);
+                rec.add("correlation_tiles", fold.tiles);
+                for cands in &fold.candidates {
+                    rec.histogram("candidate_set_size", cands.len());
+                }
+                let mut span = rec.span_with_parent("rss_sample", _p.span_id());
+                if let Some(rss) = diffnet_observe::current_rss_bytes() {
+                    span.attr("rss_bytes", rss);
+                }
+            }
+            fold
+        };
+        let candidates = fold.candidates;
+
+        // Parent searches for the shard's nodes only; node ids stay
+        // global in spans, fault sites, and checkpoint entries.
+        let outcome = {
+            let _p = rec.phase("parent_search");
+            self.search_all(
+                &candidates,
+                cols,
+                tau,
+                rec,
+                _p.span_id(),
+                options,
+                shard.start,
+                n,
+            )?
+        };
+        let node_results = outcome.results;
+
+        let _p = rec.phase("direction");
+        let mut builder = GraphBuilder::new(n);
+        let mut global_score = 0.0;
+        for (k, res) in node_results.iter().enumerate() {
+            let child = shard.start + k as NodeId;
+            for &p in &res.parents {
+                match self.config.direction {
+                    DirectionPolicy::AsIs => {
+                        builder.add_edge(p, child);
+                    }
+                    DirectionPolicy::Symmetrize => {
+                        builder.add_reciprocal(p, child);
+                    }
+                    DirectionPolicy::MutualOnly => {
+                        // Asserted above: the shard covers every node, so
+                        // shard-local indexing is global indexing.
+                        if node_results[(p - shard.start) as usize]
+                            .parents
+                            .contains(&child)
+                        {
+                            builder.add_edge(p, child);
+                        }
+                    }
+                }
+            }
+            global_score += res.score;
+        }
+        let graph = builder.build();
+        drop(_p);
+        if rec.is_enabled() {
+            rec.add("edges_emitted", graph.edge_count() as u64);
+        }
+
+        let failed_nodes: Vec<NodeId> = outcome.failures.iter().map(|&(i, _)| i).collect();
+        Ok(PartialReconstruction {
+            result: TendsResult {
+                graph,
+                tau,
+                kmeans,
+                node_results,
+                global_score,
+            },
+            failed_nodes,
+            errors: outcome.failures,
+            resumed_nodes: outcome.resumed_nodes,
+            checkpoint_flushes: outcome.flushes,
+        })
+    }
+
     /// Signature of the search-relevant configuration for checkpoint
     /// fingerprints. `threads` is deliberately excluded (results are
     /// thread-count invariant) and so is `direction` (applied after the
-    /// search, to fresh and restored results alike).
+    /// search, to fresh and restored results alike). The streamed path
+    /// appends its budget and shard: the budget sizes the τ sample (so
+    /// different budgets can mean different τ) and a shard's checkpoint
+    /// only covers its own node range — neither may silently resume the
+    /// other's file.
     fn config_signature(&self) -> String {
-        format!(
+        let mut sig = format!(
             "correlation={:?};search={:?}",
             self.config.correlation, self.config.search
-        )
+        );
+        if self.config.memory_budget.is_some() || self.config.shard.is_some() {
+            let shard = self.config.shard.map(|s| (s.start, s.end));
+            sig.push_str(&format!(
+                ";streamed=1;budget={:?};shard={:?}",
+                self.config.memory_budget, shard
+            ));
+        }
+        sig
     }
 
     /// Runs the per-node searches on a cost-aware worker pool.
@@ -446,6 +657,13 @@ impl Tends {
     /// search/workspace/cache counters reported through `rec` (per-worker
     /// chunk claims are the one scheduler-dependent datum, and land in the
     /// runtime-only report section).
+    ///
+    /// `candidates` may cover a node-range shard rather than all nodes:
+    /// `base` is the global id of the slice's first node (0 for dense
+    /// runs) and `global_n` the full node count — spans, fault sites, and
+    /// checkpoint entries always use global ids, while results index by
+    /// `id − base`.
+    #[allow(clippy::too_many_arguments)]
     fn search_all(
         &self,
         candidates: &[Vec<NodeId>],
@@ -454,11 +672,13 @@ impl Tends {
         rec: &Recorder,
         parent_span: Option<SpanId>,
         options: &RobustOptions<'_>,
+        base: NodeId,
+        global_n: usize,
     ) -> Result<SearchOutcome, CheckpointError> {
         let n = candidates.len();
         let fp = checkpoint::fingerprint(
             cols.num_processes(),
-            n,
+            global_n,
             tau,
             &self.config_signature(),
             candidates,
@@ -476,10 +696,20 @@ impl Tends {
                         found: format!("{:016x}", ck.fingerprint),
                     });
                 }
-                if let Some((&id, _)) = ck.entries.range(n as NodeId..).next() {
-                    return Err(CheckpointError::Format(format!(
-                        "node {id} out of range for n = {n}"
-                    )));
+                let stray = ck
+                    .entries
+                    .range(..base)
+                    .next()
+                    .or_else(|| ck.entries.range(base + n as NodeId..).next());
+                if let Some((&id, _)) = stray {
+                    return Err(CheckpointError::Format(if base == 0 {
+                        format!("node {id} out of range for n = {n}")
+                    } else {
+                        format!(
+                            "node {id} out of range for shard {base}..{}",
+                            base + n as NodeId
+                        )
+                    }));
                 }
                 restored = ck.entries;
             }
@@ -507,7 +737,7 @@ impl Tends {
             .iter()
             .enumerate()
             .map(|(i, c)| {
-                if restored.contains_key(&(i as NodeId)) {
+                if restored.contains_key(&(base + i as NodeId)) {
                     1
                 } else {
                     1 + (c.len() * c.len()) as u64
@@ -520,7 +750,7 @@ impl Tends {
             self.config.threads,
             SearchScratch::new,
             |scratch, i| -> Result<(NodeSearchResult, WorkspaceStats), NodeError> {
-                let id = i as NodeId;
+                let id = base + i as NodeId;
                 if let Some(entry) = restored.get(&id) {
                     return Ok((entry.clone().into_result(candidates[i].clone()), entry.ws));
                 }
@@ -574,7 +804,7 @@ impl Tends {
                     node_results.push(res);
                 }
                 Err(e) => {
-                    failures.push((i as NodeId, e));
+                    failures.push((base + i as NodeId, e));
                     // A failed node degrades to "no inferred parents"; the
                     // placeholder keeps node_results indexable by id.
                     node_results.push(NodeSearchResult {
@@ -1265,5 +1495,260 @@ mod tests {
         assert_eq!(result.node_results.len(), 5);
         assert!(result.total_evaluations() >= 5);
         assert!(result.mean_candidates() >= 0.0);
+    }
+
+    /// Dense-oracle comparison harness for the streamed pipeline: at
+    /// small n the τ sample is exhaustive (stride 1), so the streamed run
+    /// must be bit-identical to the dense run — graph, τ, and scores.
+    fn assert_streamed_matches_dense(statuses: &StatusMatrix, streamed_cfg: TendsConfig) {
+        let dense_cfg = TendsConfig {
+            memory_budget: None,
+            shard: None,
+            ..streamed_cfg
+        };
+        let dense = Tends::with_config(dense_cfg)
+            .reconstruct(statuses)
+            .expect("search fits");
+        let streamed = Tends::with_config(streamed_cfg)
+            .reconstruct(statuses)
+            .expect("search fits");
+        assert_eq!(dense.graph, streamed.graph);
+        assert_eq!(dense.tau.to_bits(), streamed.tau.to_bits(), "τ drifted");
+        assert_eq!(
+            dense.global_score.to_bits(),
+            streamed.global_score.to_bits()
+        );
+        for (d, s) in dense.node_results.iter().zip(&streamed.node_results) {
+            assert_eq!(d.candidates, s.candidates);
+            assert_eq!(d.parents, s.parents);
+            assert_eq!(d.score.to_bits(), s.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn streamed_path_is_bit_identical_to_dense() {
+        let truth = DiGraph::from_edges(30, &{
+            let mut e = Vec::new();
+            for i in 0..29u32 {
+                e.push((i, i + 1));
+                e.push((i + 1, i));
+            }
+            e
+        });
+        let statuses = observe(&truth, 0.4, 0.15, 300, 120);
+        for threads in [1usize, 4] {
+            assert_streamed_matches_dense(
+                &statuses,
+                TendsConfig {
+                    memory_budget: Some(64 << 20),
+                    threads,
+                    ..Default::default()
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn streamed_tau_matches_dense_tau_exactly() {
+        // The satellite regression: τ from the streamed systematic sample
+        // equals the dense 2-means τ bit-for-bit whenever the sample
+        // covers every pair (always true at small n).
+        let truth = DiGraph::from_edges(12, &[(0, 1), (1, 2), (3, 4), (5, 6), (7, 8), (9, 10)]);
+        let statuses = observe(&truth, 0.5, 0.2, 250, 121);
+        let dense = Tends::new().reconstruct(&statuses).expect("search fits");
+        let streamed = Tends::with_config(TendsConfig {
+            memory_budget: Some(32 << 20),
+            ..Default::default()
+        })
+        .reconstruct(&statuses)
+        .expect("search fits");
+        assert_eq!(dense.tau.to_bits(), streamed.tau.to_bits());
+        assert_eq!(dense.kmeans.tau.to_bits(), streamed.kmeans.tau.to_bits());
+        // Threshold scaling composes the same way on both paths.
+        let scfg = TendsConfig {
+            threshold: ThresholdMode::ScaledAuto(1.5),
+            memory_budget: Some(32 << 20),
+            ..Default::default()
+        };
+        assert_streamed_matches_dense(&statuses, scfg);
+    }
+
+    #[test]
+    fn sharded_union_matches_unsharded_run() {
+        let truth = DiGraph::from_edges(20, &{
+            let mut e = Vec::new();
+            for i in 0..19u32 {
+                e.push((i, i + 1));
+            }
+            e.push((0, 10));
+            e.push((5, 15));
+            e
+        });
+        let statuses = observe(&truth, 0.5, 0.2, 300, 122);
+        let budget = Some(16u64 << 20);
+        let whole = Tends::with_config(TendsConfig {
+            memory_budget: budget,
+            ..Default::default()
+        })
+        .reconstruct(&statuses)
+        .expect("search fits");
+        for count in [2usize, 3, 7] {
+            let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+            for shard in crate::stream::plan_shards(statuses.num_nodes(), count) {
+                let part = Tends::with_config(TendsConfig {
+                    memory_budget: budget,
+                    shard: Some(shard),
+                    ..Default::default()
+                })
+                .reconstruct(&statuses)
+                .expect("search fits");
+                assert_eq!(part.node_results.len(), shard.len());
+                edges.extend(part.graph.edges());
+            }
+            edges.sort_unstable();
+            edges.dedup();
+            assert_eq!(
+                edges,
+                whole.graph.edge_vec(),
+                "{count}-shard union must equal the unsharded edge set"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_checkpoint_resume_stays_scoped_to_the_shard() {
+        let truth = DiGraph::from_edges(10, &[(0, 1), (1, 2), (2, 3), (4, 5), (6, 7), (8, 9)]);
+        let statuses = observe(&truth, 0.5, 0.2, 200, 123);
+        let shard = Shard { start: 3, end: 8 };
+        let cfg = TendsConfig {
+            memory_budget: Some(8 << 20),
+            shard: Some(shard),
+            ..Default::default()
+        };
+        let path = temp_checkpoint("shard.json");
+        std::fs::remove_file(&path).ok();
+        let first = Tends::with_config(cfg)
+            .reconstruct_robust(
+                &statuses,
+                Recorder::disabled(),
+                &RobustOptions {
+                    checkpoint: Some(path.clone()),
+                    resume: true,
+                    checkpoint_interval: 1,
+                    ..Default::default()
+                },
+            )
+            .expect("first run");
+        assert!(first.is_complete());
+        // Resume restores exactly the shard's nodes and reproduces the
+        // same edges bit-for-bit.
+        let resumed = Tends::with_config(cfg)
+            .reconstruct_robust(
+                &statuses,
+                Recorder::disabled(),
+                &RobustOptions {
+                    checkpoint: Some(path.clone()),
+                    resume: true,
+                    ..Default::default()
+                },
+            )
+            .expect("resumed run");
+        assert_eq!(resumed.resumed_nodes, shard.len());
+        assert_eq!(first.result.graph, resumed.result.graph);
+        // A different shard must refuse the checkpoint (fingerprint
+        // covers the shard via the config signature).
+        let err = Tends::with_config(TendsConfig {
+            shard: Some(Shard { start: 0, end: 3 }),
+            ..cfg
+        })
+        .reconstruct_robust(
+            &statuses,
+            Recorder::disabled(),
+            &RobustOptions {
+                checkpoint: Some(path.clone()),
+                resume: true,
+                ..Default::default()
+            },
+        )
+        .expect_err("shard mismatch must not resume");
+        assert!(matches!(err, CheckpointError::Mismatch { .. }), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streamed_recorder_reports_streamed_phases_and_counters() {
+        let truth = DiGraph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (4, 5), (6, 7)]);
+        let statuses = observe(&truth, 0.5, 0.2, 200, 124);
+        let rec = Recorder::new();
+        Tends::with_config(TendsConfig {
+            memory_budget: Some(8 << 20),
+            ..Default::default()
+        })
+        .reconstruct_robust(&statuses, &rec, &RobustOptions::default())
+        .expect("streamed run");
+        let snapshot = rec.snapshot();
+        let phases: Vec<&str> = snapshot.phases.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            phases,
+            vec![
+                "status_columns",
+                "tau_sample",
+                "streamed_fold",
+                "parent_search",
+                "direction"
+            ]
+        );
+        assert!(snapshot.counters.contains_key("pairs_above_tau"));
+        assert!(snapshot.counters.contains_key("candidate_evictions"));
+        assert!(snapshot.counters.contains_key("tau_sample_pairs"));
+        assert!(snapshot.counters["tau_sample_stride"] >= 1);
+    }
+
+    #[test]
+    fn eviction_counter_fires_when_top_k_truncates() {
+        // A dense clique with a tiny max_candidates bound: every node
+        // sees more above-τ partners than it may keep.
+        let mut edges = Vec::new();
+        for i in 0..8u32 {
+            for j in 0..8u32 {
+                if i != j {
+                    edges.push((i, j));
+                }
+            }
+        }
+        let truth = DiGraph::from_edges(8, &edges);
+        let statuses = observe(&truth, 0.6, 0.2, 300, 125);
+        let rec = Recorder::new();
+        let cfg = TendsConfig {
+            memory_budget: Some(8 << 20),
+            search: SearchParams {
+                max_candidates: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        Tends::with_config(cfg)
+            .reconstruct_robust(&statuses, &rec, &RobustOptions::default())
+            .expect("streamed run");
+        let snapshot = rec.snapshot();
+        assert!(
+            snapshot.counters["candidate_evictions"] > 0,
+            "clique + top-1 bound must evict above-τ candidates"
+        );
+        // The dense path with the same bound keeps the same candidates.
+        assert_streamed_matches_dense(&statuses, cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "MutualOnly direction requires an unsharded run")]
+    fn sharded_mutual_only_is_rejected() {
+        let truth = DiGraph::from_edges(6, &[(0, 1), (1, 0)]);
+        let statuses = observe(&truth, 0.5, 0.2, 100, 126);
+        let _ = Tends::with_config(TendsConfig {
+            direction: DirectionPolicy::MutualOnly,
+            shard: Some(Shard { start: 0, end: 3 }),
+            ..Default::default()
+        })
+        .reconstruct(&statuses);
     }
 }

@@ -25,7 +25,7 @@
 //! timestamps.
 
 use diffnet_graph::{DiGraph, NodeId};
-use diffnet_simulate::{ComboSizeError, StatusMatrix};
+use diffnet_simulate::{ComboSizeError, NodeColumns, StatusMatrix};
 
 /// Optimizer settings for [`estimate_propagation_probabilities`].
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -88,12 +88,32 @@ pub fn estimate_propagation_probabilities(
         statuses.num_nodes(),
         "graph and status matrix must share the node set"
     );
+    estimate_propagation_probabilities_from_columns(&statuses.columns(), graph, config)
+}
+
+/// [`estimate_propagation_probabilities`] starting from the column bitset
+/// view — the entry point for out-of-core callers that streamed the
+/// columns off disk and never held the row-major matrix. The row-major
+/// variant delegates here, so both produce identical estimates.
+///
+/// # Errors / Panics
+///
+/// Same contract as [`estimate_propagation_probabilities`].
+pub fn estimate_propagation_probabilities_from_columns(
+    cols: &NodeColumns,
+    graph: &DiGraph,
+    config: &EstimateConfig,
+) -> Result<PropagationEstimate, ComboSizeError> {
+    assert_eq!(
+        graph.node_count(),
+        cols.num_nodes(),
+        "graph and status matrix must share the node set"
+    );
     let n = graph.node_count();
-    let beta = statuses.num_processes();
+    let beta = cols.num_processes();
     let mut edge_probs = vec![0.0f64; graph.edge_count()];
     let mut base_rates = vec![0.0f64; n];
 
-    let cols = statuses.columns();
     for v in 0..n as NodeId {
         let parents: Vec<NodeId> = graph.in_neighbors(v).to_vec();
         // Sufficient statistics: counts per parent-status combination.
@@ -282,6 +302,21 @@ mod tests {
             estimate_propagation_probabilities(&m, &g, &EstimateConfig::default()).unwrap_err();
         assert_eq!(err.parents, 26);
         assert!(err.to_string().contains("26"));
+    }
+
+    #[test]
+    fn columns_variant_matches_row_major_entry_point() {
+        let (m, g) = noisy_or_matrix(&[0.4, 0.6], 0.1, 2_000, 0.5);
+        let from_rows = estimate_propagation_probabilities(&m, &g, &EstimateConfig::default())
+            .expect("in-degrees fit");
+        let from_cols = estimate_propagation_probabilities_from_columns(
+            &m.columns(),
+            &g,
+            &EstimateConfig::default(),
+        )
+        .expect("in-degrees fit");
+        assert_eq!(from_rows.edge_probs, from_cols.edge_probs);
+        assert_eq!(from_rows.base_rates, from_cols.base_rates);
     }
 
     #[test]

@@ -54,14 +54,19 @@ pub mod kmeans;
 pub mod parallel;
 pub mod score;
 pub mod search;
+pub mod stream;
 
 pub use algorithm::{
     DirectionPolicy, NodeError, PartialReconstruction, RobustOptions, Tends, TendsConfig,
     TendsResult, ThresholdMode,
 };
 pub use checkpoint::{Checkpoint, CheckpointEntry, CheckpointError};
-pub use estimate::{estimate_propagation_probabilities, EstimateConfig, PropagationEstimate};
+pub use estimate::{
+    estimate_propagation_probabilities, estimate_propagation_probabilities_from_columns,
+    EstimateConfig, PropagationEstimate,
+};
 pub use imi::{CorrelationMatrix, CorrelationMeasure};
 pub use kmeans::{pinned_two_means, PinnedKmeans};
 pub use score::ScoreCacheStats;
 pub use search::{GreedyStrategy, SearchError, SearchParams, SearchScratch, SearchStats};
+pub use stream::{plan_shards, Shard, SparseCandidates};

@@ -179,3 +179,93 @@ proptest! {
         std::fs::remove_file(&path).ok();
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // Streamed-vs-dense oracle: over random n, β, memory budgets, thread
+    // counts, and shard counts, the streamed sparse-candidate pipeline
+    // must reproduce the dense-matrix pipeline bit for bit — same τ,
+    // same per-node candidates and parents, same edge set. β is drawn
+    // across a word boundary and up past 2048 so the pair-tile size
+    // shrinks and shard boundaries land *inside* tiles, exercising the
+    // partial-block filtering of the fold.
+    #[test]
+    fn streamed_matches_dense_across_shapes(
+        n in 10u32..40,
+        beta_base in 60usize..130,
+        big_beta in 0usize..2,
+        budget_mb in 1u64..64,
+        threads_sel in 0usize..2,
+        shards in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        // big_beta pushes β past 2048 so the pair tile shrinks to 48
+        // nodes and shard boundaries land inside tiles.
+        let beta = beta_base + big_beta * 1992;
+        let threads = [1usize, 4][threads_sel];
+        let truth = chain(n);
+        let statuses = observe(&truth, beta, seed);
+        let budget = Some(budget_mb << 20);
+        let dense = Tends::new().reconstruct(&statuses).expect("dense run");
+        let streamed = Tends::with_config(TendsConfig {
+            memory_budget: budget,
+            threads,
+            ..Default::default()
+        })
+        .reconstruct(&statuses)
+        .expect("streamed run");
+        prop_assert_eq!(dense.tau.to_bits(), streamed.tau.to_bits());
+        prop_assert_eq!(&dense.graph, &streamed.graph);
+        for (d, s) in dense.node_results.iter().zip(&streamed.node_results) {
+            prop_assert_eq!(&d.candidates, &s.candidates);
+            prop_assert_eq!(&d.parents, &s.parents);
+            prop_assert_eq!(d.score.to_bits(), s.score.to_bits());
+        }
+        // Shard the same reconstruction and union the edges: must equal
+        // the unsharded (and therefore the dense) edge set. Same budget
+        // everywhere, so every shard computes the same τ.
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for shard in diffnet_tends::plan_shards(n as usize, shards) {
+            let part = Tends::with_config(TendsConfig {
+                memory_budget: budget,
+                shard: Some(shard),
+                threads,
+                ..Default::default()
+            })
+            .reconstruct(&statuses)
+            .expect("shard run");
+            prop_assert_eq!(part.tau.to_bits(), streamed.tau.to_bits());
+            edges.extend(part.graph.edges());
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        prop_assert_eq!(edges, dense.graph.edge_vec());
+    }
+
+    // Hostile input to the streamed (mmap-backed) column loader: any
+    // byte-level truncation of a valid status file must produce a typed
+    // error or a correct smaller parse — never a panic, and never a
+    // silently wrong column view.
+    #[test]
+    fn truncated_streamed_columns_fail_typed(cut in 0usize..2000, seed in 0u64..100) {
+        let truth = chain(8);
+        let statuses = observe(&truth, 40, seed);
+        let mut bytes = Vec::new();
+        diffnet_simulate::io::write_status_matrix(&statuses, &mut bytes).expect("write");
+        let path = temp_path("stream_trunc");
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        std::fs::write(&path, &bytes[..cut]).expect("truncate");
+        match diffnet_simulate::io::load_status_columns(&path) {
+            Ok(cols) => prop_assert!(
+                cols == statuses.columns() || cols.num_processes() == 0,
+                "truncated file loaded as a {}-process column view",
+                cols.num_processes()
+            ),
+            Err(e) => {
+                let _ = e.to_string();
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
