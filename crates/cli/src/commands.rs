@@ -429,6 +429,7 @@ fn infer(args: &ParsedArgs) -> Result<CommandOutput, ArgError> {
                 checkpoint_interval: args.get_or("checkpoint-interval", 8)?,
                 fault: &fault,
                 cancel: None,
+                revision: 0,
             };
             let partial = if streamed {
                 // Out-of-core: mmap the statuses straight into the column
@@ -504,6 +505,7 @@ fn infer(args: &ParsedArgs) -> Result<CommandOutput, ArgError> {
                     path: path.display().to_string(),
                     resumed_nodes: partial.resumed_nodes,
                     flushes: partial.checkpoint_flushes,
+                    delta_records: partial.delta_records,
                 });
             }
             let result = partial.result;

@@ -306,9 +306,11 @@ fn kill_dash_nine_mid_job_then_restart_resumes_byte_identical() {
 
     let data_dir = tmp("kill_data");
     let _ = std::fs::remove_dir_all(&data_dir);
-    // The fault plan SIGKILLs the whole server on the second checkpoint
-    // flush — mid parent search, after some nodes are durable.
-    let (mut proc, addr) = start_server(&data_dir, "kill1", &[], Some("kill:checkpoint_flush:2"));
+    // The fault plan SIGKILLs the whole server on the first checkpoint
+    // flush — mid parent search, after that batch of nodes is durable.
+    // Only the first flush has a deterministic ordinal: the greedy delta
+    // writer may cover the rest of the run in a single later fsync.
+    let (mut proc, addr) = start_server(&data_dir, "kill1", &[], Some("kill:checkpoint_flush:1"));
     let submitted = run_ok(&[
         "submit",
         "--server",

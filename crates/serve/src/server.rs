@@ -395,7 +395,13 @@ fn route(shared: &Shared, req: &Request) -> Response {
         (Method::Get, ["v1", "jobs", id, "trace"]) => job_trace(shared, id),
         (Method::Post, ["v1", "jobs", id, "cascades"]) => match parse_id(id) {
             Some(id) => match shared.manager.append_cascades(id, &req.body) {
-                Ok(meta) => Response::json(200, &status_json(&meta, None)),
+                // 200: applied and re-queued now. 202: the job is still
+                // running, so the batch is buffered and will be applied
+                // (with one revision bump) when the job next finishes.
+                Ok((meta, buffered)) => {
+                    let status = if buffered { 202 } else { 200 };
+                    Response::json(status, &status_json(&meta, None))
+                }
                 Err(e) => job_error(e),
             },
             None => Response::error(404, format!("bad job id {id:?}")),
@@ -794,6 +800,34 @@ mod tests {
 
         let (status, _) = client.get("/v1/jobs/999/trace").expect("missing");
         assert_eq!(status, 404);
+
+        shut_down(addr, handle, &config);
+    }
+
+    #[test]
+    fn streamed_job_cascade_append_is_a_typed_422() {
+        let config = temp_config("streamed-append");
+        let (addr, handle) = start(&config);
+        let client = crate::client::Client::new(addr);
+
+        let (status, submitted) = client
+            .post_json("/v1/jobs?memory-budget=8M", &sample_statuses_body(40, 8))
+            .expect("submit");
+        assert_eq!(status, 201, "{}", submitted.to_pretty());
+        let id = submitted.get("id").and_then(Json::as_f64).expect("job id") as u64;
+        client
+            .wait_for_job(id, Duration::from_secs(30))
+            .expect("job finishes");
+
+        let (status, body) = client
+            .post_json(
+                &format!("/v1/jobs/{id}/cascades"),
+                &sample_statuses_body(5, 8),
+            )
+            .expect("append");
+        assert_eq!(status, 422, "{}", body.to_pretty());
+        let message = body.get("error").and_then(Json::as_str).expect("error");
+        assert!(message.contains("streamed"), "{message}");
 
         shut_down(addr, handle, &config);
     }

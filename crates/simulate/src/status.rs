@@ -442,13 +442,18 @@ impl NodeColumns {
         check_combo_size(parents.len())?;
         let words = self.words_per_col;
         let mut counts = vec![[0u64; 2]; 1usize << parents.len()];
-        // All-ones mask over the β valid process bits.
-        let mut root = vec![0u64; words];
-        self.root_mask_into(&mut root);
-        self.combo_rec(child, parents, 0, 0, &root, &mut counts);
+        // One arena allocation holds the root mask plus a (zero, one) mask
+        // pair per recursion level; the per-branch vector allocations it
+        // replaces dominated the cost of tabulating small candidate sets
+        // in bulk (checkpoint tables build one per node).
+        let mut arena = vec![0u64; words + 2 * words * parents.len()];
+        let (root, rest) = arena.split_at_mut(words);
+        self.root_mask_into(root);
+        self.combo_rec(child, parents, 0, 0, root, rest, &mut counts);
         Ok(counts)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn combo_rec(
         &self,
         child: NodeId,
@@ -456,6 +461,7 @@ impl NodeColumns {
         depth: usize,
         index: usize,
         mask: &[u64],
+        arena: &mut [u64],
         counts: &mut [[u64; 2]],
     ) {
         if depth == parents.len() {
@@ -468,17 +474,21 @@ impl NodeColumns {
         if mask.iter().all(|&m| m == 0) {
             return;
         }
+        let words = mask.len();
         let pcol = self.col(parents[depth]);
-        let mut zero = mask.to_vec();
-        let mut one = vec![0u64; mask.len()];
-        crate::simd::kernels().refine_masks(&mut zero, &mut one, pcol);
-        self.combo_rec(child, parents, depth + 1, index, &zero, counts);
+        let (cur, rest) = arena.split_at_mut(2 * words);
+        let (zero, one) = cur.split_at_mut(words);
+        zero.copy_from_slice(mask);
+        one.fill(0);
+        crate::simd::kernels().refine_masks(zero, one, pcol);
+        self.combo_rec(child, parents, depth + 1, index, zero, rest, counts);
         self.combo_rec(
             child,
             parents,
             depth + 1,
             index | (1 << depth),
-            &one,
+            one,
+            rest,
             counts,
         );
     }

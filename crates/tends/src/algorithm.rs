@@ -2,13 +2,13 @@
 //! diffusion network topology from a status matrix.
 
 use crate::checkpoint::{self, Checkpoint, CheckpointEntry, CheckpointError};
-use crate::imi::{CorrelationMatrix, CorrelationMeasure};
+use crate::imi::{CorrelationMatrix, CorrelationMeasure, PairStats};
 use crate::kmeans::{pinned_two_means, PinnedKmeans};
 use crate::parallel;
 use crate::score::ScoreCacheStats;
 use crate::search::{
-    candidate_parents, find_parents_with, NodeSearchResult, SearchError, SearchParams,
-    SearchScratch, SearchStats,
+    candidate_parents, find_parents_reference, find_parents_with, JointTable, NodeSearchResult,
+    SearchError, SearchParams, SearchScratch, SearchStats,
 };
 use crate::stream::{self, Shard};
 use diffnet_graph::{DiGraph, GraphBuilder, NodeId};
@@ -16,8 +16,9 @@ use diffnet_observe::{FaultPlan, Recorder, SpanId};
 use diffnet_simulate::{NodeColumns, StatusMatrix, WorkspaceStats};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{mpsc, Mutex};
 
 /// How the pruning threshold `τ` is chosen.
 #[derive(Clone, Copy, Debug, PartialEq, Default)]
@@ -157,10 +158,16 @@ pub struct PartialReconstruction {
     pub failed_nodes: Vec<NodeId>,
     /// The failures, parallel to `failed_nodes`.
     pub errors: Vec<(NodeId, NodeError)>,
-    /// Nodes restored from a checkpoint instead of searched.
+    /// Nodes restored from a checkpoint instead of searched. On the
+    /// incremental append path this counts nodes whose parent sets were
+    /// replayed from persisted joint tables rather than re-searched.
     pub resumed_nodes: usize,
-    /// Checkpoint writes performed during the run.
+    /// Checkpoint writes performed during the run (delta batches plus the
+    /// final compaction).
     pub checkpoint_flushes: u64,
+    /// Append-only delta records written to the checkpoint before the
+    /// final compaction rewrite.
+    pub delta_records: u64,
 }
 
 impl PartialReconstruction {
@@ -198,6 +205,12 @@ pub struct RobustOptions<'a> {
     /// flush — this is how a serving daemon checkpoints in-flight jobs on
     /// graceful shutdown. `None` (default) never cancels.
     pub cancel: Option<&'a std::sync::atomic::AtomicBool>,
+    /// Sufficient-statistics revision of the input matrix: 0 for the
+    /// original submission, bumped once per applied cascade-append batch.
+    /// Folded into the checkpoint fingerprint so a resume against a stale
+    /// pre-append checkpoint fails with a typed mismatch instead of
+    /// silently splicing parents estimated from fewer cascades.
+    pub revision: u64,
 }
 
 impl Default for RobustOptions<'_> {
@@ -208,6 +221,7 @@ impl Default for RobustOptions<'_> {
             checkpoint_interval: 8,
             fault: FaultPlan::none(),
             cancel: None,
+            revision: 0,
         }
     }
 }
@@ -346,6 +360,179 @@ impl Tends {
         self.reconstruct_robust_from_columns(&cols, rec, options)
     }
 
+    /// Incremental re-estimation after a cascade append: folds the
+    /// appended processes into the checkpointed sufficient statistics,
+    /// recomputes τ and every candidate set, and re-runs the parent search
+    /// only for *dirty* nodes — those whose ranked candidate list changed
+    /// or whose joint table was not persisted. Clean nodes are *replayed*:
+    /// the persisted joint contingency table plus a delta table counted
+    /// from the appended columns alone reproduce the combined-matrix
+    /// search bit-for-bit (see [`JointTable`]), so edges, scores, and τ
+    /// are byte-identical to [`reconstruct_robust`](Self::reconstruct_robust)
+    /// over the combined matrix at every thread count and SIMD tier —
+    /// while replay cost is independent of how many processes history
+    /// already holds.
+    ///
+    /// `combined` must contain exactly the base run's processes plus the
+    /// `appended` processes (row order is irrelevant: every statistic is a
+    /// function of the row multiset). `options.revision` must be the
+    /// *bumped* revision (checkpoint revision + 1) and `options.checkpoint`
+    /// must name the base run's checkpoint, which is replaced atomically by
+    /// the post-append checkpoint on success. If the file already carries
+    /// the bumped revision (a crash after the append finished its
+    /// checkpoint but before the caller recorded completion), the call
+    /// degrades to a plain resume of the combined run.
+    ///
+    /// Replayed nodes report zero score-cache activity (the replay is
+    /// cacheless); every other search counter matches the fresh run.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Format`] when the checkpoint is missing, carries
+    /// no sufficient statistics (streamed checkpoints), disagrees with the
+    /// matrix shapes, or its revision cannot warm-start
+    /// `options.revision`; [`CheckpointError::Mismatch`] when the
+    /// persisted fingerprint is not reproducible from the checkpoint's own
+    /// statistics under the current config (a stale or foreign file).
+    pub fn reconstruct_robust_append(
+        &self,
+        combined: &StatusMatrix,
+        appended: &StatusMatrix,
+        rec: &Recorder,
+        options: &RobustOptions<'_>,
+    ) -> Result<PartialReconstruction, CheckpointError> {
+        assert!(
+            self.config.memory_budget.is_none() && self.config.shard.is_none(),
+            "incremental append is a dense-path operation; callers reject streamed configs",
+        );
+        let path = options.checkpoint.clone().ok_or_else(|| {
+            CheckpointError::Format("incremental append requires a checkpoint file".into())
+        })?;
+        let ck = Checkpoint::load(&path)?;
+        if ck.revision == options.revision {
+            // The previous attempt already folded this append into the
+            // checkpoint before being interrupted: plain resume.
+            let opts = RobustOptions {
+                checkpoint: Some(path),
+                resume: true,
+                checkpoint_interval: options.checkpoint_interval,
+                fault: options.fault,
+                cancel: options.cancel,
+                revision: options.revision,
+            };
+            return self.reconstruct_robust(combined, rec, &opts);
+        }
+        if ck.revision + 1 != options.revision {
+            return Err(CheckpointError::Format(format!(
+                "checkpoint revision {} cannot warm-start append revision {}",
+                ck.revision, options.revision
+            )));
+        }
+        let mut stats = ck.stats.clone().ok_or_else(|| {
+            CheckpointError::Format(
+                "checkpoint has no sufficient statistics \
+                 (streamed checkpoints cannot warm-start appends)"
+                    .into(),
+            )
+        })?;
+        let n = combined.num_nodes();
+        if stats.num_nodes() != n || appended.num_nodes() != n {
+            return Err(CheckpointError::Format(format!(
+                "node counts disagree: checkpoint {}, combined {}, appended {}",
+                stats.num_nodes(),
+                n,
+                appended.num_nodes()
+            )));
+        }
+        if stats.num_processes() + appended.num_processes() as u64
+            != combined.num_processes() as u64
+        {
+            return Err(CheckpointError::Format(format!(
+                "process counts disagree: checkpoint {} + appended {} != combined {}",
+                stats.num_processes(),
+                appended.num_processes(),
+                combined.num_processes()
+            )));
+        }
+
+        let (combined_cols, appended_cols) = {
+            let _p = rec.phase("status_columns");
+            (combined.columns(), appended.columns())
+        };
+
+        // The statistics' integrity was already established when
+        // `Checkpoint::load` re-verified their content digest, so the
+        // warm path spends no `O(n²)` pipeline work validating the past:
+        // per-node splicing below still compares every persisted
+        // candidate list against the freshly derived one, which is the
+        // check correctness actually rests on. A checkpoint from a
+        // different search configuration simply fails those comparisons
+        // node by node and degrades to a full re-search.
+
+        // Fold the appended processes into the sufficient statistics —
+        // work proportional to the new columns only — and derive the
+        // post-append correlation matrix from the updated counts.
+        let corr = {
+            let _p = rec.phase("stats_append");
+            stats.append(&appended_cols, self.config.threads);
+            if rec.is_enabled() {
+                rec.add("append_processes", appended_cols.num_processes() as u64);
+            }
+            stats.correlation(self.config.correlation)
+        };
+
+        // τ and candidate sets over the combined statistics, exactly as
+        // the dense pipeline computes them.
+        let (kmeans, tau) = {
+            let _p = rec.phase("threshold");
+            let kmeans = pinned_two_means(&corr.upper_triangle());
+            let tau = match self.config.threshold {
+                ThresholdMode::Auto => kmeans.tau,
+                ThresholdMode::Fixed(t) => t,
+                ThresholdMode::ScaledAuto(s) => kmeans.tau * s,
+            };
+            (kmeans, tau)
+        };
+        if rec.is_enabled() {
+            rec.value("tau", tau);
+            rec.value("tau_unscaled", kmeans.tau);
+            let above = corr.upper_triangle().iter().filter(|&&v| v > tau).count();
+            rec.add("pairs_above_tau", above as u64);
+        }
+
+        let candidates: Vec<Vec<NodeId>> = {
+            let _p = rec.phase("candidate_pruning");
+            (0..n)
+                .map(|i| {
+                    candidate_parents(&corr, i as NodeId, tau, self.config.search.max_candidates)
+                })
+                .collect()
+        };
+        if rec.is_enabled() {
+            for cands in &candidates {
+                rec.histogram("candidate_set_size", cands.len());
+            }
+        }
+
+        let outcome = {
+            let _p = rec.phase("parent_search");
+            self.append_search(
+                &candidates,
+                &combined_cols,
+                &appended_cols,
+                &ck,
+                &stats,
+                tau,
+                rec,
+                _p.span_id(),
+                options,
+                &path,
+            )?
+        };
+
+        Ok(self.assemble_dense(n, tau, kmeans, outcome, rec))
+    }
+
     /// [`reconstruct_robust`](Self::reconstruct_robust) starting from the
     /// column bitset view — the entry point for out-of-core callers that
     /// streamed the columns straight off disk
@@ -369,14 +556,29 @@ impl Tends {
         let n = cols.num_nodes();
 
         // Lines 2–4: pairwise correlation values.
-        let corr = {
+        // With checkpointing enabled the same tiled pass also captures the
+        // pairwise sufficient statistics (β, per-node ones, upper-triangle
+        // n11) that make later cascade appends incremental; both variants
+        // produce bit-identical matrices.
+        let (corr, stats) = {
             let _p = rec.phase("correlation_matrix");
-            CorrelationMatrix::compute_observed(
-                cols,
-                self.config.correlation,
-                self.config.threads,
-                rec,
-            )
+            if options.checkpoint.is_some() {
+                let (corr, stats) = CorrelationMatrix::compute_observed_with_stats(
+                    cols,
+                    self.config.correlation,
+                    self.config.threads,
+                    rec,
+                );
+                (corr, Some(stats))
+            } else {
+                let corr = CorrelationMatrix::compute_observed(
+                    cols,
+                    self.config.correlation,
+                    self.config.threads,
+                    rec,
+                );
+                (corr, None)
+            }
         };
 
         // Line 5: threshold via pinned 2-means over non-negative values.
@@ -416,8 +618,33 @@ impl Tends {
         // this parallelizes embarrassingly).
         let outcome = {
             let _p = rec.phase("parent_search");
-            self.search_all(&candidates, cols, tau, rec, _p.span_id(), options, 0, n)?
+            self.search_all(
+                &candidates,
+                cols,
+                tau,
+                stats,
+                rec,
+                _p.span_id(),
+                options,
+                0,
+                n,
+            )?
         };
+
+        Ok(self.assemble_dense(n, tau, kmeans, outcome, rec))
+    }
+
+    /// Line 21 plus bookkeeping, shared by the dense and the incremental
+    /// append paths: direction post-processing over a full (unsharded) set
+    /// of node results, then assembly into a [`PartialReconstruction`].
+    fn assemble_dense(
+        &self,
+        n: usize,
+        tau: f64,
+        kmeans: PinnedKmeans,
+        outcome: SearchOutcome,
+        rec: &Recorder,
+    ) -> PartialReconstruction {
         let node_results = outcome.results;
 
         // Line 21: a directed edge from each inferred parent to its child,
@@ -450,7 +677,7 @@ impl Tends {
         }
 
         let failed_nodes: Vec<NodeId> = outcome.failures.iter().map(|&(i, _)| i).collect();
-        Ok(PartialReconstruction {
+        PartialReconstruction {
             result: TendsResult {
                 graph,
                 tau,
@@ -462,7 +689,8 @@ impl Tends {
             errors: outcome.failures,
             resumed_nodes: outcome.resumed_nodes,
             checkpoint_flushes: outcome.flushes,
-        })
+            delta_records: outcome.delta_records,
+        }
     }
 
     /// The out-of-core pipeline: τ from a budget-sized systematic pair
@@ -562,6 +790,10 @@ impl Tends {
                 &candidates,
                 cols,
                 tau,
+                // No sufficient statistics: the streamed path never holds
+                // the dense pair state an append would fold into, so its
+                // checkpoints resume but do not warm-start appends.
+                None,
                 rec,
                 _p.span_id(),
                 options,
@@ -617,6 +849,7 @@ impl Tends {
             errors: outcome.failures,
             resumed_nodes: outcome.resumed_nodes,
             checkpoint_flushes: outcome.flushes,
+            delta_records: outcome.delta_records,
         })
     }
 
@@ -669,6 +902,7 @@ impl Tends {
         candidates: &[Vec<NodeId>],
         cols: &diffnet_simulate::NodeColumns,
         tau: f64,
+        stats: Option<PairStats>,
         rec: &Recorder,
         parent_span: Option<SpanId>,
         options: &RobustOptions<'_>,
@@ -681,6 +915,7 @@ impl Tends {
             global_n,
             tau,
             &self.config_signature(),
+            options.revision,
             candidates,
         );
 
@@ -715,23 +950,25 @@ impl Tends {
             }
         }
         let resumed_nodes = restored.len();
-
-        let writer = options.checkpoint.as_deref().map(|path| CheckpointWriter {
-            path,
-            interval: options.checkpoint_interval.max(1),
-            fault: options.fault,
-            inner: Mutex::new(WriterInner {
-                checkpoint: Checkpoint {
-                    fingerprint: fp,
-                    entries: restored.clone(),
-                },
-                pending: 0,
-                flushes: 0,
-                error: None,
-            }),
-        });
-        let writer_ref = writer.as_ref();
         let fault = options.fault;
+        let interval = options.checkpoint_interval.max(1);
+        let checkpoint_path = options.checkpoint.as_deref();
+
+        // Checkpointing starts with one atomic write of the header
+        // (fingerprint, revision, sufficient statistics) plus any restored
+        // entries. From then on the run only *appends* delta records. The
+        // writer thread performs the initial save as its first action and
+        // then owns every fsync, so the search pool never blocks on
+        // checkpoint I/O — not even for the header write.
+        let mut initial = None;
+        if checkpoint_path.is_some() {
+            initial = Some(Checkpoint {
+                fingerprint: fp,
+                revision: options.revision,
+                stats,
+                entries: restored.clone(),
+            });
+        }
 
         let costs: Vec<u64> = candidates
             .iter()
@@ -744,53 +981,101 @@ impl Tends {
                 }
             })
             .collect();
-        let (results, pool) = parallel::run_weighted_stats(
-            &costs,
-            4,
-            self.config.threads,
-            SearchScratch::new,
-            |scratch, i| -> Result<(NodeSearchResult, WorkspaceStats), NodeError> {
-                let id = base + i as NodeId;
-                if let Some(entry) = restored.get(&id) {
-                    return Ok((entry.clone().into_result(candidates[i].clone()), entry.ws));
-                }
-                if let Some(flag) = options.cancel {
-                    if flag.load(std::sync::atomic::Ordering::Relaxed) {
-                        return Err(NodeError::Cancelled);
+
+        // Completed-node records accumulate in a shared queue; the channel
+        // is only a doorbell, rung once `interval` records are pending, so
+        // writer wakeups track flush-sized batches instead of nodes — on a
+        // single-core box every extra wakeup is a context switch stolen
+        // from the search pool. `Sender` is `Send` but not `Sync` and the
+        // pool closure must be `Sync`, so workers take a mutex around the
+        // (cheap, non-blocking) ring; without a checkpoint the doorbell is
+        // born disconnected and the queue stays empty.
+        let (tx, rx) = mpsc::channel::<()>();
+        let doorbell = checkpoint_path.map(|_| Mutex::new(tx));
+        let queue: Mutex<Vec<(NodeId, CheckpointEntry)>> = Mutex::new(Vec::new());
+
+        let (results, pool, writer_result) = std::thread::scope(|scope| {
+            let writer = initial.take().map(|ck| {
+                let path = checkpoint_path.expect("checkpoint path");
+                let queue = &queue;
+                scope.spawn(move || delta_writer(rx, queue, ck, path, interval, fault))
+            });
+            let (results, pool) = parallel::run_weighted_stats(
+                &costs,
+                4,
+                self.config.threads,
+                SearchScratch::new,
+                |scratch, i| -> Result<(NodeSearchResult, WorkspaceStats), NodeError> {
+                    let id = base + i as NodeId;
+                    if let Some(entry) = restored.get(&id) {
+                        return Ok((entry.clone().into_result(), entry.ws));
                     }
-                }
-                fault
-                    .hit_indexed("node_search", u64::from(id))
-                    .map_err(NodeError::Io)?;
-                // One span per freshly searched node, parented under the
-                // parent_search phase span (restored nodes do no work and
-                // get none). Ends when the guard drops — including on the
-                // error path, where it records without cache attributes.
-                let mut span = rec.span_with_parent("node_search", parent_span);
-                span.attr("node", u64::from(id));
-                span.attr("candidates", candidates[i].len() as u64);
-                let before = scratch.ws.stats();
-                let res = find_parents_with(scratch, cols, id, &candidates[i], &self.config.search)
-                    .map_err(NodeError::Search)?;
-                let after = scratch.ws.stats();
-                span.attr("score_cache_hits", res.cache_stats.hits);
-                span.attr("score_cache_misses", res.cache_stats.misses);
-                // The per-node workspace delta, not the pool total: it is
-                // what the checkpoint stores, so a resumed run can report
-                // the same summed counters as an uninterrupted one.
-                let ws = WorkspaceStats {
-                    refinements: after.refinements - before.refinements,
-                    rebases: after.rebases - before.rebases,
-                };
-                if let Some(w) = writer_ref {
-                    w.record(id, CheckpointEntry::from_result(&res, ws));
-                }
-                Ok((res, ws))
-            },
-        );
-        let flushes = match writer {
-            Some(w) => w.finish()?,
-            None => 0,
+                    if let Some(flag) = options.cancel {
+                        if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                            return Err(NodeError::Cancelled);
+                        }
+                    }
+                    fault
+                        .hit_indexed("node_search", u64::from(id))
+                        .map_err(NodeError::Io)?;
+                    // One span per freshly searched node, parented under the
+                    // parent_search phase span (restored nodes do no work and
+                    // get none). Ends when the guard drops — including on the
+                    // error path, where it records without cache attributes.
+                    let mut span = rec.span_with_parent("node_search", parent_span);
+                    span.attr("node", u64::from(id));
+                    span.attr("candidates", candidates[i].len() as u64);
+                    let before = scratch.ws.stats();
+                    let res =
+                        find_parents_with(scratch, cols, id, &candidates[i], &self.config.search)
+                            .map_err(NodeError::Search)?;
+                    let after = scratch.ws.stats();
+                    span.attr("score_cache_hits", res.cache_stats.hits);
+                    span.attr("score_cache_misses", res.cache_stats.misses);
+                    // The per-node workspace delta, not the pool total: it is
+                    // what the checkpoint stores, so a resumed run can report
+                    // the same summed counters as an uninterrupted one.
+                    let ws = WorkspaceStats {
+                        refinements: after.refinements - before.refinements,
+                        rebases: after.rebases - before.rebases,
+                    };
+                    if let Some(bell) = &doorbell {
+                        // The joint candidate table is the warm state the
+                        // next cascade append replays from; an oversized
+                        // candidate set just re-searches on append.
+                        let table = if candidates[i].len() <= checkpoint::MAX_TABLE_CANDIDATES {
+                            JointTable::from_cols(cols, id, &candidates[i])
+                                .ok()
+                                .map(|t| t.cells().to_vec())
+                        } else {
+                            None
+                        };
+                        let entry = CheckpointEntry::from_result(&res, ws, table);
+                        let backlog = {
+                            let mut q = queue.lock().expect("delta queue lock");
+                            q.push((id, entry));
+                            q.len()
+                        };
+                        // Ring only at the durability floor; a busy writer
+                        // coalesces repeat rings when it next drains.
+                        if backlog >= interval {
+                            let _ = bell.lock().expect("doorbell lock").send(());
+                        }
+                    }
+                    Ok((res, ws))
+                },
+            );
+            // Disconnect the doorbell so the writer drains the queue one
+            // last time and exits, then collect its outcome before any
+            // result leaves this function — the final compaction is
+            // durable before edges are reported.
+            drop(doorbell);
+            let writer_result = writer.map(|h| h.join().expect("delta writer thread panicked"));
+            (results, pool, writer_result)
+        });
+        let (flushes, delta_records) = match writer_result {
+            Some(r) => r?,
+            None => (0, 0),
         };
 
         let mut node_results = Vec::with_capacity(n);
@@ -839,6 +1124,191 @@ impl Tends {
             failures,
             resumed_nodes,
             flushes,
+            delta_records,
+        })
+    }
+
+    /// The append-path search stage: replays clean nodes from persisted
+    /// joint tables (merged with a delta table over the appended columns),
+    /// re-searches dirty nodes against the combined columns, and replaces
+    /// the pre-append checkpoint with the post-append one in a single
+    /// atomic rewrite — a crash anywhere before that write leaves the old
+    /// revision intact, so a restarted append redoes the same idempotent
+    /// fold.
+    #[allow(clippy::too_many_arguments)]
+    fn append_search(
+        &self,
+        candidates: &[Vec<NodeId>],
+        combined_cols: &NodeColumns,
+        appended_cols: &NodeColumns,
+        old: &Checkpoint,
+        stats: &PairStats,
+        tau: f64,
+        rec: &Recorder,
+        parent_span: Option<SpanId>,
+        options: &RobustOptions<'_>,
+        path: &Path,
+    ) -> Result<SearchOutcome, CheckpointError> {
+        let n = candidates.len();
+        let fp = checkpoint::fingerprint(
+            combined_cols.num_processes(),
+            n,
+            tau,
+            &self.config_signature(),
+            options.revision,
+            candidates,
+        );
+
+        // A node is *clean* when its freshly computed candidate list is
+        // identical to the one the checkpointed search ran over and a
+        // joint table was persisted for it: the replayed search then sees
+        // exactly the counts the combined columns would produce.
+        // Everything else is dirty and re-searches from the columns.
+        let clean: Vec<bool> = (0..n)
+            .map(|i| {
+                old.entries
+                    .get(&(i as NodeId))
+                    .is_some_and(|e| e.table.is_some() && e.candidates == candidates[i])
+            })
+            .collect();
+        let fault = options.fault;
+
+        // Replays marginalize a 2^k-cell table instead of re-counting β
+        // process columns, so they weigh far less than a dirty search.
+        let costs: Vec<u64> = candidates
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                if clean[i] {
+                    1 + c.len() as u64
+                } else {
+                    1 + (c.len() * c.len()) as u64
+                }
+            })
+            .collect();
+        type NodeOut = (NodeSearchResult, WorkspaceStats, Option<Vec<[u64; 2]>>);
+        let (results, pool) = parallel::run_weighted_stats(
+            &costs,
+            4,
+            self.config.threads,
+            SearchScratch::new,
+            |scratch, i| -> Result<NodeOut, NodeError> {
+                let id = i as NodeId;
+                if clean[i] {
+                    let entry = old.entries.get(&id).expect("clean implies entry");
+                    let cells = entry.table.clone().expect("clean implies table");
+                    let mut sorted = entry.candidates.clone();
+                    sorted.sort_unstable();
+                    let mut table = JointTable::from_parts(id, sorted, cells)
+                        .expect("persisted table shape is validated on load");
+                    let delta = JointTable::from_cols(appended_cols, id, &candidates[i])
+                        .expect("table-sized candidate sets tabulate");
+                    table.merge(&delta);
+                    let res =
+                        find_parents_reference(&table, id, &candidates[i], &self.config.search)
+                            .map_err(NodeError::Search)?;
+                    // Workspace activity is carried over from the original
+                    // search: the replay itself never touches a workspace.
+                    return Ok((res, entry.ws, Some(table.cells().to_vec())));
+                }
+                if let Some(flag) = options.cancel {
+                    if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                        return Err(NodeError::Cancelled);
+                    }
+                }
+                fault
+                    .hit_indexed("node_search", u64::from(id))
+                    .map_err(NodeError::Io)?;
+                let mut span = rec.span_with_parent("node_search", parent_span);
+                span.attr("node", u64::from(id));
+                span.attr("candidates", candidates[i].len() as u64);
+                let before = scratch.ws.stats();
+                let res = find_parents_with(
+                    scratch,
+                    combined_cols,
+                    id,
+                    &candidates[i],
+                    &self.config.search,
+                )
+                .map_err(NodeError::Search)?;
+                let after = scratch.ws.stats();
+                span.attr("score_cache_hits", res.cache_stats.hits);
+                span.attr("score_cache_misses", res.cache_stats.misses);
+                let ws = WorkspaceStats {
+                    refinements: after.refinements - before.refinements,
+                    rebases: after.rebases - before.rebases,
+                };
+                let table = if candidates[i].len() <= checkpoint::MAX_TABLE_CANDIDATES {
+                    JointTable::from_cols(combined_cols, id, &candidates[i])
+                        .ok()
+                        .map(|t| t.cells().to_vec())
+                } else {
+                    None
+                };
+                Ok((res, ws, table))
+            },
+        );
+
+        let mut next = Checkpoint {
+            fingerprint: fp,
+            revision: options.revision,
+            stats: Some(stats.clone()),
+            entries: BTreeMap::new(),
+        };
+        let mut node_results = Vec::with_capacity(n);
+        let mut failures: Vec<(NodeId, NodeError)> = Vec::new();
+        let (mut refinements, mut rebases) = (0u64, 0u64);
+        for (i, r) in results.into_iter().enumerate() {
+            match r {
+                Ok((res, ws, table)) => {
+                    refinements += ws.refinements;
+                    rebases += ws.rebases;
+                    next.entries
+                        .insert(i as NodeId, CheckpointEntry::from_result(&res, ws, table));
+                    node_results.push(res);
+                }
+                Err(e) => {
+                    failures.push((i as NodeId, e));
+                    node_results.push(NodeSearchResult {
+                        parents: Vec::new(),
+                        score: 0.0,
+                        candidates: candidates[i].clone(),
+                        stats: SearchStats::default(),
+                        cache_stats: ScoreCacheStats::default(),
+                    });
+                }
+            }
+        }
+        // The one write of the append path. Failed (e.g. cancelled) nodes
+        // are simply absent, so a restart resumes the post-append revision
+        // and searches only the gaps.
+        next.save(path)?;
+
+        let reused = clean.iter().filter(|&&c| c).count();
+        if rec.is_enabled() {
+            rec.worker_chunks("parent_search", &pool.chunks_per_worker);
+            let mut total = SearchStats::default();
+            let mut cache = ScoreCacheStats::default();
+            for r in &node_results {
+                total.merge(&r.stats);
+                cache.merge(&r.cache_stats);
+            }
+            rec.add("combinations_scored", total.evaluations as u64);
+            rec.add("bound_rejections", total.bound_rejections as u64);
+            rec.add("greedy_rounds", total.greedy_rounds as u64);
+            rec.add("score_cache_hits", cache.hits);
+            rec.add("score_cache_misses", cache.misses);
+            rec.add("workspace_refinements", refinements);
+            rec.add("workspace_rebases", rebases);
+            rec.add("dirty_nodes", (n - reused) as u64);
+            rec.add("nodes_reused", reused as u64);
+        }
+        Ok(SearchOutcome {
+            results: node_results,
+            failures,
+            resumed_nodes: reused,
+            flushes: 1,
+            delta_records: 0,
         })
     }
 }
@@ -849,70 +1319,209 @@ struct SearchOutcome {
     results: Vec<NodeSearchResult>,
     /// Per-node failures, ascending node order.
     failures: Vec<(NodeId, NodeError)>,
-    /// Nodes restored from the checkpoint.
+    /// Nodes restored from the checkpoint (or, on the append path,
+    /// replayed from persisted joint tables).
     resumed_nodes: usize,
-    /// Checkpoint writes performed.
+    /// Paced group-commit syncs of the delta log.
     flushes: u64,
+    /// Delta records appended before the final compaction.
+    delta_records: u64,
 }
 
-struct WriterInner {
-    checkpoint: Checkpoint,
-    /// Entries recorded since the last flush.
-    pending: usize,
-    flushes: u64,
-    /// First flush failure; once set, further flushes stop and the error
-    /// is surfaced after the pool drains.
-    error: Option<CheckpointError>,
-}
-
-/// Shared checkpoint sink for the worker pool: workers record completed
-/// nodes, and every `interval`-th new entry triggers an atomic rewrite of
-/// the checkpoint file.
-struct CheckpointWriter<'a> {
-    path: &'a Path,
+/// The delta-writer loop: atomically writes the initial checkpoint (header
+/// plus restored entries), then drains completed-node records from the
+/// shared queue and appends them as single-line delta records.
+/// Workers ring the doorbell only once `interval` records are queued, and
+/// each wakeup swaps out the *whole* queue — including anything that piled
+/// up while the previous fsync was in flight — so a single write+fsync
+/// covers the batch and both wakeups and fsyncs track flush-sized batches
+/// instead of node count. `interval` is the durability floor: a producer
+/// slower than the disk may leave up to `interval - 1` records unflushed
+/// until more arrive (or the pool finishes), exactly the granularity the
+/// old fixed-batch writer guaranteed.
+///
+/// Durability is two-tier, database group-commit style. Every
+/// `interval`-sized batch is *written* to the log immediately — after the
+/// write a process crash loses nothing, the records are in the page
+/// cache. `fsync` (power-loss durability) is paced: the first batch syncs
+/// at once, then a sync runs only when [`SYNC_PACING`] × the previous
+/// sync's own cost has elapsed since it finished, and always once more at
+/// the end. On a fast disk that is a sync every few batches; on a slow
+/// disk the sync tax stays a bounded fraction of wall-clock instead of
+/// serializing the run behind the disk.
+///
+/// When the doorbell disconnects the remainder is written and synced. The
+/// log is compacted — one atomic rewrite of header plus deduplicated
+/// entries — only when a delta line superseded an entry already present;
+/// a run whose deltas are all fresh nodes leaves header + unique delta
+/// lines, which loads to the identical state, so the rewrite (and its
+/// fsync) is skipped. A crash mid-run leaves header + delta lines, which
+/// [`Checkpoint::load`] compacts on read.
+///
+/// Returns `(flushes, delta_records)`. The first failure is sticky: later
+/// records are still drained (workers must never block on a dead writer)
+/// but nothing more is written, and the error surfaces after the pool
+/// finishes.
+fn delta_writer(
+    rx: mpsc::Receiver<()>,
+    queue: &Mutex<Vec<(NodeId, CheckpointEntry)>>,
+    mut ck: Checkpoint,
+    path: &Path,
     interval: usize,
-    fault: &'a FaultPlan,
-    inner: Mutex<WriterInner>,
+    fault: &FaultPlan,
+) -> Result<(u64, u64), CheckpointError> {
+    let mut file: Option<std::fs::File> = None;
+    let mut pending: Vec<String> = Vec::new();
+    let mut flushes = 0u64;
+    let mut delta_records = 0u64;
+    let mut unsynced = false;
+    let mut sync_cost = std::time::Duration::ZERO;
+    let mut last_sync_end = std::time::Instant::now();
+    // The initial save runs here — on the writer thread, concurrently with
+    // the first node searches — and must complete before any delta line is
+    // appended; the single-threaded loop below guarantees that ordering. A
+    // crash before it lands leaves no (or a stale) checkpoint, which the
+    // next run detects by fingerprint and simply restarts.
+    let mut error: Option<CheckpointError> = ck.save(path).err();
+    let mut superseded = false;
+    let mut open = true;
+    while open {
+        // Block for one ring (or the disconnect), then swallow any backlog
+        // of repeat rings — the queue swap below picks up every record
+        // they announced, and the final swap after a disconnect catches a
+        // sub-interval tail that never rang at all.
+        if rx.recv().is_err() {
+            open = false;
+        }
+        while rx.try_recv().is_ok() {}
+        let batch = std::mem::take(&mut *queue.lock().expect("delta queue lock"));
+        for (id, entry) in batch {
+            if error.is_none() {
+                pending.push(Checkpoint::entry_line(id, &entry));
+            }
+            superseded |= ck.entries.insert(id, entry).is_some();
+        }
+        if error.is_none() && pending.len() >= interval {
+            write_batch(
+                &mut file,
+                path,
+                &mut pending,
+                &mut delta_records,
+                &mut unsynced,
+                &mut error,
+            );
+            // Group commit: the first sync runs immediately (zero recorded
+            // cost), later ones only once their pacing budget has elapsed.
+            if error.is_none() && unsynced && last_sync_end.elapsed() >= SYNC_PACING * sync_cost {
+                sync_delta(
+                    &mut file,
+                    &mut flushes,
+                    &mut unsynced,
+                    &mut sync_cost,
+                    &mut last_sync_end,
+                    fault,
+                    &mut error,
+                );
+            }
+        }
+    }
+    if error.is_none() && !pending.is_empty() {
+        write_batch(
+            &mut file,
+            path,
+            &mut pending,
+            &mut delta_records,
+            &mut unsynced,
+            &mut error,
+        );
+    }
+    if error.is_none() && unsynced {
+        sync_delta(
+            &mut file,
+            &mut flushes,
+            &mut unsynced,
+            &mut sync_cost,
+            &mut last_sync_end,
+            fault,
+            &mut error,
+        );
+    }
+    if error.is_none() && delta_records > 0 && superseded {
+        if let Err(e) = ck.save(path) {
+            error = Some(e);
+        }
+    }
+    match error {
+        Some(e) => Err(e),
+        None => Ok((flushes, delta_records)),
+    }
 }
 
-impl CheckpointWriter<'_> {
-    fn record(&self, id: NodeId, entry: CheckpointEntry) {
-        let mut inner = self.inner.lock().expect("checkpoint lock");
-        inner.checkpoint.entries.insert(id, entry);
-        inner.pending += 1;
-        if inner.pending >= self.interval {
-            Self::flush(&mut inner, self.path, self.fault);
-        }
-    }
+/// Group-commit pacing: a delta sync may run only once this multiple of
+/// the previous sync's own duration has passed since it finished, keeping
+/// the sync tax under ~1/[`SYNC_PACING`] of wall-clock on any disk.
+const SYNC_PACING: u32 = 10;
 
-    fn flush(inner: &mut WriterInner, path: &Path, fault: &FaultPlan) {
-        if inner.error.is_some() {
-            return;
+/// Appends one batch of delta lines to the log (no sync — the bytes are
+/// process-crash durable in the page cache once written).
+fn write_batch(
+    file: &mut Option<std::fs::File>,
+    path: &Path,
+    pending: &mut Vec<String>,
+    delta_records: &mut u64,
+    unsynced: &mut bool,
+    error: &mut Option<CheckpointError>,
+) {
+    let io = (|| -> std::io::Result<()> {
+        if file.is_none() {
+            *file = Some(std::fs::OpenOptions::new().append(true).open(path)?);
         }
-        if let Err(e) = inner.checkpoint.save(path) {
-            inner.error = Some(e);
-            return;
+        let f = file.as_mut().expect("delta log handle");
+        let mut buf = String::with_capacity(pending.iter().map(|l| l.len() + 1).sum());
+        for line in pending.iter() {
+            buf.push_str(line);
+            buf.push('\n');
         }
-        inner.pending = 0;
-        inner.flushes += 1;
-        // The fault site sits *after* the rename has landed: a kill rule
-        // here models a crash between flushes, leaving a valid checkpoint
-        // on disk; an io rule exercises the fatal flush-failure path.
-        if let Err(e) = fault.hit("checkpoint_flush") {
-            inner.error = Some(CheckpointError::Io(e));
+        f.write_all(buf.as_bytes())
+    })();
+    match io {
+        Ok(()) => {
+            *delta_records += pending.len() as u64;
+            *unsynced = true;
+            pending.clear();
         }
+        Err(e) => *error = Some(CheckpointError::Io(e)),
     }
+}
 
-    /// Final flush of any unflushed entries; returns the flush count.
-    fn finish(self) -> Result<u64, CheckpointError> {
-        let mut inner = self.inner.into_inner().expect("checkpoint lock");
-        if inner.pending > 0 {
-            Self::flush(&mut inner, self.path, self.fault);
+/// Syncs everything written since the last sync and records its cost for
+/// the pacing decision.
+fn sync_delta(
+    file: &mut Option<std::fs::File>,
+    flushes: &mut u64,
+    unsynced: &mut bool,
+    sync_cost: &mut std::time::Duration,
+    last_sync_end: &mut std::time::Instant,
+    fault: &FaultPlan,
+    error: &mut Option<CheckpointError>,
+) {
+    let Some(f) = file.as_mut() else { return };
+    let started = std::time::Instant::now();
+    match f.sync_data() {
+        Ok(()) => {
+            *sync_cost = started.elapsed();
+            *last_sync_end = std::time::Instant::now();
+            *flushes += 1;
+            *unsynced = false;
+            // The fault site sits *after* the group is durable: a kill
+            // rule here models a crash between delta syncs, leaving a
+            // loadable header + delta log on disk; an io rule exercises
+            // the fatal flush-failure path.
+            if let Err(e) = fault.hit("checkpoint_flush") {
+                *error = Some(CheckpointError::Io(e));
+            }
         }
-        match inner.error {
-            Some(e) => Err(e),
-            None => Ok(inner.flushes),
-        }
+        Err(e) => *error = Some(CheckpointError::Io(e)),
     }
 }
 
@@ -1300,6 +1909,298 @@ mod tests {
             ck.entries.clear();
             std::fs::remove_file(&path).ok();
         }
+    }
+
+    /// Splits a matrix into its first `at` and remaining processes.
+    fn split_statuses(m: &StatusMatrix, at: usize) -> (StatusMatrix, StatusMatrix) {
+        let n = m.num_nodes();
+        let take = |range: std::ops::Range<usize>| -> StatusMatrix {
+            let mut out = StatusMatrix::new(range.len(), n);
+            for (l_out, l) in range.enumerate() {
+                for i in 0..n {
+                    if m.get(l, i as NodeId) {
+                        out.set(l_out, i as NodeId);
+                    }
+                }
+            }
+            out
+        };
+        (take(0..at), take(at..m.num_processes()))
+    }
+
+    #[test]
+    fn incremental_append_is_byte_identical_to_fresh_combined_run() {
+        // β = 260 (base 220 + appended 40) is not a multiple of 64, so
+        // partial-word handling is in play on both sides of the split.
+        let truth = DiGraph::from_edges(10, &{
+            let mut e = Vec::new();
+            for i in 0..9u32 {
+                e.push((i, i + 1));
+                e.push((i + 1, i));
+            }
+            e
+        });
+        let combined = observe(&truth, 0.5, 0.2, 260, 79);
+        let (base, appended) = split_statuses(&combined, 220);
+
+        for threads in [1usize, 4] {
+            let tends = Tends::with_config(TendsConfig {
+                threads,
+                ..Default::default()
+            });
+            let fresh = tends
+                .reconstruct_observed(&combined, Recorder::disabled())
+                .expect("search fits");
+
+            let path = temp_checkpoint(&format!("append_{threads}.json"));
+            std::fs::remove_file(&path).ok();
+            let base_opts = RobustOptions {
+                checkpoint: Some(path.clone()),
+                ..Default::default()
+            };
+            tends
+                .reconstruct_robust(&base, Recorder::disabled(), &base_opts)
+                .expect("base run");
+
+            let rec = Recorder::new();
+            let warm = tends
+                .reconstruct_robust_append(
+                    &combined,
+                    &appended,
+                    &rec,
+                    &RobustOptions {
+                        checkpoint: Some(path.clone()),
+                        revision: 1,
+                        ..Default::default()
+                    },
+                )
+                .expect("incremental append");
+            assert!(warm.is_complete());
+            assert_eq!(warm.result.graph, fresh.graph, "graph (t={threads})");
+            assert_eq!(
+                warm.result.global_score.to_bits(),
+                fresh.global_score.to_bits(),
+                "score bits (t={threads})"
+            );
+            for (i, (w, f)) in warm
+                .result
+                .node_results
+                .iter()
+                .zip(fresh.node_results.iter())
+                .enumerate()
+            {
+                assert_eq!(w.parents, f.parents, "parents of node {i}");
+                assert_eq!(w.score.to_bits(), f.score.to_bits(), "score of node {i}");
+                assert_eq!(w.candidates, f.candidates, "candidates of node {i}");
+                // The replay walks the identical search trajectory, so even
+                // the effort counters match the fresh combined search.
+                assert_eq!(w.stats, f.stats, "search stats of node {i}");
+            }
+
+            let snap = rec.snapshot();
+            let reused = snap.counters["nodes_reused"];
+            let dirty = snap.counters["dirty_nodes"];
+            assert_eq!(reused + dirty, 10, "every node is reused or dirty");
+            assert_eq!(warm.resumed_nodes as u64, reused);
+            assert!(
+                reused > 0,
+                "a 15% append should leave some nodes replayable"
+            );
+
+            // The checkpoint advanced to the post-append revision with the
+            // combined statistics, ready for the next append.
+            let ck = Checkpoint::load(&path).expect("post-append checkpoint");
+            assert_eq!(ck.revision, 1);
+            let stats = ck.stats.expect("stats persisted");
+            assert_eq!(stats.num_processes(), 260);
+            assert_eq!(ck.entries.len(), 10);
+            assert!(ck.entries.values().all(|e| e.table.is_some()));
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn chained_appends_stay_byte_identical() {
+        // Two appends in sequence: revision 0 → 1 → 2, each warm-started
+        // from the previous append's checkpoint.
+        let truth = DiGraph::from_edges(8, &[(0, 1), (1, 0), (2, 3), (3, 2), (5, 6), (6, 5)]);
+        let combined = observe(&truth, 0.5, 0.2, 200, 91);
+        let (base01, app2) = split_statuses(&combined, 170);
+        let (base0, app1) = split_statuses(&base01, 140);
+
+        let tends = Tends::new();
+        let path = temp_checkpoint("append_chain.json");
+        std::fs::remove_file(&path).ok();
+        tends
+            .reconstruct_robust(
+                &base0,
+                Recorder::disabled(),
+                &RobustOptions {
+                    checkpoint: Some(path.clone()),
+                    ..Default::default()
+                },
+            )
+            .expect("base run");
+        for (revision, combined_so_far, appended) in [(1, &base01, &app1), (2, &combined, &app2)] {
+            let warm = tends
+                .reconstruct_robust_append(
+                    combined_so_far,
+                    appended,
+                    Recorder::disabled(),
+                    &RobustOptions {
+                        checkpoint: Some(path.clone()),
+                        revision,
+                        ..Default::default()
+                    },
+                )
+                .expect("incremental append");
+            let fresh = tends
+                .reconstruct_observed(combined_so_far, Recorder::disabled())
+                .expect("fresh combined run");
+            assert_eq!(
+                warm.result.graph, fresh.graph,
+                "graph at revision {revision}"
+            );
+            assert_eq!(
+                warm.result.global_score.to_bits(),
+                fresh.global_score.to_bits(),
+                "score bits at revision {revision}"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stale_pre_append_checkpoint_is_a_typed_mismatch_on_resume() {
+        // Serve bumps the revision when it applies an append; a resume of
+        // the combined run must then refuse the stale revision-0 file.
+        let truth = DiGraph::from_edges(8, &[(0, 1), (1, 0), (2, 3), (3, 2)]);
+        let combined = observe(&truth, 0.5, 0.2, 180, 83);
+        let (base, _appended) = split_statuses(&combined, 150);
+
+        let tends = Tends::new();
+        let path = temp_checkpoint("stale_revision.json");
+        std::fs::remove_file(&path).ok();
+        tends
+            .reconstruct_robust(
+                &base,
+                Recorder::disabled(),
+                &RobustOptions {
+                    checkpoint: Some(path.clone()),
+                    ..Default::default()
+                },
+            )
+            .expect("base run");
+
+        let err = tends
+            .reconstruct_robust(
+                &combined,
+                Recorder::disabled(),
+                &RobustOptions {
+                    checkpoint: Some(path.clone()),
+                    resume: true,
+                    revision: 1,
+                    ..Default::default()
+                },
+            )
+            .expect_err("stale checkpoint must not resume");
+        assert!(
+            matches!(err, CheckpointError::Mismatch { .. }),
+            "expected Mismatch, got {err:?}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn hand_edited_checkpoint_is_rejected_by_the_append_path() {
+        let truth = DiGraph::from_edges(8, &[(0, 1), (1, 0), (2, 3), (3, 2)]);
+        let combined = observe(&truth, 0.5, 0.2, 180, 87);
+        let (base, appended) = split_statuses(&combined, 150);
+
+        let tends = Tends::new();
+        let path = temp_checkpoint("hand_edited.json");
+        std::fs::remove_file(&path).ok();
+        tends
+            .reconstruct_robust(
+                &base,
+                Recorder::disabled(),
+                &RobustOptions {
+                    checkpoint: Some(path.clone()),
+                    ..Default::default()
+                },
+            )
+            .expect("base run");
+        let pristine = std::fs::read_to_string(&path).expect("read checkpoint");
+
+        let append_opts = |revision| RobustOptions {
+            checkpoint: Some(path.clone()),
+            revision,
+            ..Default::default()
+        };
+
+        // A wrong revision (double-applied batch, skipped batch) cannot
+        // warm-start.
+        let tampered = pristine.replacen("\"revision\":0", "\"revision\":5", 1);
+        assert_ne!(tampered, pristine, "edit must hit the header");
+        std::fs::write(&path, &tampered).expect("write tampered");
+        let err = tends
+            .reconstruct_robust_append(&combined, &appended, Recorder::disabled(), &append_opts(1))
+            .expect_err("wrong revision must be rejected");
+        assert!(
+            matches!(&err, CheckpointError::Format(m) if m.contains("revision")),
+            "expected a revision Format error, got {err:?}"
+        );
+
+        // Statistics edited into *impossible* counts (ones[0] = β with
+        // unchanged pair counts) fail the consistency validation on load —
+        // a typed error, not an underflow panic in the MI derivation.
+        let ck = Checkpoint::from_text(&pristine, false).expect("parse pristine");
+        let stats = ck.stats.as_ref().expect("stats present");
+        let ones = stats.ones().to_vec();
+        let needle = format!("\"ones\":\"{} ", ones[0]);
+        let swap = format!("\"ones\":\"{} ", stats.num_processes());
+        let tampered = pristine.replacen(&needle, &swap, 1);
+        assert_ne!(tampered, pristine, "edit must hit the statistics");
+        std::fs::write(&path, &tampered).expect("write tampered");
+        let err = tends
+            .reconstruct_robust_append(&combined, &appended, Recorder::disabled(), &append_opts(1))
+            .expect_err("impossible statistics must be rejected");
+        assert!(
+            matches!(&err, CheckpointError::Format(m) if m.contains("inconsistent")),
+            "expected a Format error about inconsistency, got {err:?}"
+        );
+
+        // Statistics edited into *plausible but different* counts no
+        // longer match the content digest the base run recorded: typed
+        // mismatch, not silently spliced wrong parents. Pair (0,1)'s n11
+        // is pushed to its maximum consistent value.
+        let n11 = stats.n11().to_vec();
+        let needle = format!("\"n11\":\"{} ", n11[0]);
+        let swap = format!("\"n11\":\"{} ", ones[0].min(ones[1]));
+        let tampered = pristine.replacen(&needle, &swap, 1);
+        assert_ne!(tampered, pristine, "edit must hit the statistics");
+        std::fs::write(&path, &tampered).expect("write tampered");
+        let err = tends
+            .reconstruct_robust_append(&combined, &appended, Recorder::disabled(), &append_opts(1))
+            .expect_err("tampered statistics must be rejected");
+        assert!(
+            matches!(err, CheckpointError::Mismatch { .. }),
+            "expected Mismatch, got {err:?}"
+        );
+
+        // A checkpoint without statistics (streamed producer) cannot
+        // warm-start an append either.
+        let mut stripped = Checkpoint::from_text(&pristine, false).expect("parse pristine");
+        stripped.stats = None;
+        stripped.save(&path).expect("save stripped");
+        let err = tends
+            .reconstruct_robust_append(&combined, &appended, Recorder::disabled(), &append_opts(1))
+            .expect_err("stats-free checkpoint must be rejected");
+        assert!(
+            matches!(&err, CheckpointError::Format(m) if m.contains("sufficient statistics")),
+            "expected a Format error about statistics, got {err:?}"
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -27,6 +27,30 @@ pub fn mi_cell(p_ab: f64, p_a: f64, p_b: f64) -> f64 {
     }
 }
 
+/// Precomputed `log2 k` for every count `k ∈ 0..=β`, shared across all
+/// `n(n−1)/2` pairs of a correlation-matrix build. Each MI cell needs up
+/// to four logarithms of integer counts bounded by `β`, so one table of
+/// `β + 1` entries replaces millions of `log2` calls with loads.
+/// `table[k]` is exactly `(k as f64).log2()`, which keeps lookup-based
+/// cells bit-identical to the direct evaluation.
+pub struct Log2Table {
+    values: Vec<f64>,
+}
+
+impl Log2Table {
+    /// Builds the table covering counts `0..=beta`.
+    pub fn new(beta: u64) -> Log2Table {
+        Log2Table {
+            values: (0..=beta).map(|k| (k as f64).log2()).collect(),
+        }
+    }
+
+    #[inline]
+    fn log2(&self, k: u64) -> f64 {
+        self.values[k as usize]
+    }
+}
+
 /// The four MI cells of a pair, estimated from joint counts.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MiCells {
@@ -43,8 +67,26 @@ pub struct MiCells {
 impl MiCells {
     /// Estimates the cells from pair counts over `β` processes.
     ///
-    /// All-zero counts (`β = 0`) give all-zero cells.
+    /// All-zero counts (`β = 0`) give all-zero cells. The probabilities
+    /// in `mi_cell` are all counts over `β`, so each cell is evaluated
+    /// in the count domain as
+    /// `(n_ab/β) · (log2 n_ab + log2 β − log2 n_a − log2 n_b)` —
+    /// the form [`Log2Table`] turns into table lookups for bulk matrix
+    /// builds. Both evaluations call `f64::log2` on the same integer
+    /// inputs, so they are bit-identical.
     pub fn from_counts(pc: &PairCounts) -> MiCells {
+        Self::cells(pc, |k| (k as f64).log2())
+    }
+
+    /// [`from_counts`](Self::from_counts) with every `log2` served from a
+    /// precomputed table — bit-identical, and the form every `O(n²)`
+    /// correlation-matrix pass uses.
+    pub fn from_counts_with(pc: &PairCounts, lut: &Log2Table) -> MiCells {
+        Self::cells(pc, |k| lut.log2(k))
+    }
+
+    #[inline]
+    fn cells(pc: &PairCounts, log2: impl Fn(u64) -> f64) -> MiCells {
         let beta = pc.total();
         if beta == 0 {
             return MiCells {
@@ -54,20 +96,24 @@ impl MiCells {
                 c00: 0.0,
             };
         }
-        let b = beta as f64;
-        let p11 = pc.n11 as f64 / b;
-        let p10 = pc.n10 as f64 / b;
-        let p01 = pc.n01 as f64 / b;
-        let p00 = pc.n00 as f64 / b;
-        let pi1 = p11 + p10;
-        let pi0 = 1.0 - pi1;
-        let pj1 = p11 + p01;
-        let pj0 = 1.0 - pj1;
+        let inv_b = 1.0 / beta as f64;
+        let lb = log2(beta);
+        let i1 = pc.n11 + pc.n10;
+        let i0 = pc.n01 + pc.n00;
+        let j1 = pc.n11 + pc.n01;
+        let j0 = pc.n10 + pc.n00;
+        let cell = |n_ab: u64, n_a: u64, n_b: u64| {
+            if n_ab == 0 || n_a == 0 || n_b == 0 {
+                0.0
+            } else {
+                n_ab as f64 * inv_b * (log2(n_ab) + lb - log2(n_a) - log2(n_b))
+            }
+        };
         MiCells {
-            c11: mi_cell(p11, pi1, pj1),
-            c10: mi_cell(p10, pi1, pj0),
-            c01: mi_cell(p01, pi0, pj1),
-            c00: mi_cell(p00, pi0, pj0),
+            c11: cell(pc.n11, i1, j1),
+            c10: cell(pc.n10, i1, j0),
+            c01: cell(pc.n01, i0, j1),
+            c00: cell(pc.n00, i0, j0),
         }
     }
 
@@ -187,6 +233,7 @@ impl CorrelationMatrix {
                 }
             }
         }
+        let lut = Log2Table::new(cols.num_processes() as u64);
         let (tiles, pool) = crate::parallel::run_weighted_stats(
             &costs,
             4,
@@ -196,7 +243,7 @@ impl CorrelationMatrix {
                 let (rows, jcols) = &blocks[b];
                 let mut out: Vec<f64> = Vec::with_capacity(costs[b] as usize);
                 cols.pair_counts_block(rows.clone(), jcols.clone(), &ones, &mut |_, _, pc| {
-                    let cells = MiCells::from_counts(&pc);
+                    let cells = MiCells::from_counts_with(&pc, &lut);
                     out.push(match measure {
                         CorrelationMeasure::Imi => cells.imi(),
                         CorrelationMeasure::Mi => cells.mi(),
@@ -229,16 +276,100 @@ impl CorrelationMatrix {
         CorrelationMatrix { n, values }
     }
 
+    /// [`compute_observed`](Self::compute_observed) that also captures the
+    /// pairwise *sufficient statistics* (`β`, per-column ones counts, and
+    /// the upper-triangle `n11` counts) the values were derived from, in
+    /// the same tiled kernel pass — no second column scan. The statistics
+    /// are what incremental re-estimation persists: appended processes
+    /// only ever *add* to these integer counts, so a warm restart can
+    /// rebuild the exact combined-matrix correlation values without
+    /// touching the historical columns (see [`PairStats`]).
+    pub fn compute_observed_with_stats(
+        cols: &NodeColumns,
+        measure: CorrelationMeasure,
+        threads: usize,
+        rec: &diffnet_observe::Recorder,
+    ) -> (Self, PairStats) {
+        let n = cols.num_nodes();
+        let ones = cols.ones_counts();
+        let tile = cols.pair_tile_size();
+        let num_tiles = n.div_ceil(tile);
+        let mut blocks: Vec<(std::ops::Range<usize>, std::ops::Range<usize>)> = Vec::new();
+        let mut costs: Vec<u64> = Vec::new();
+        for bi in 0..num_tiles {
+            let rows = bi * tile..((bi + 1) * tile).min(n);
+            for bj in bi..num_tiles {
+                let jcols = bj * tile..((bj + 1) * tile).min(n);
+                let pairs: u64 = rows
+                    .clone()
+                    .map(|i| jcols.end.saturating_sub(jcols.start.max(i + 1)) as u64)
+                    .sum();
+                if pairs > 0 {
+                    blocks.push((rows.clone(), jcols));
+                    costs.push(pairs);
+                }
+            }
+        }
+        let lut = Log2Table::new(cols.num_processes() as u64);
+        let (tiles, pool) = crate::parallel::run_weighted_stats(
+            &costs,
+            4,
+            threads,
+            || (),
+            |_, b| {
+                let (rows, jcols) = &blocks[b];
+                let mut out: Vec<(f64, u64)> = Vec::with_capacity(costs[b] as usize);
+                cols.pair_counts_block(rows.clone(), jcols.clone(), &ones, &mut |_, _, pc| {
+                    let cells = MiCells::from_counts_with(&pc, &lut);
+                    let v = match measure {
+                        CorrelationMeasure::Imi => cells.imi(),
+                        CorrelationMeasure::Mi => cells.mi(),
+                    };
+                    out.push((v, pc.n11));
+                });
+                out
+            },
+        );
+        if rec.is_enabled() {
+            rec.worker_chunks("correlation_matrix", &pool.chunks_per_worker);
+            rec.add("correlation_pairs", (n * n.saturating_sub(1) / 2) as u64);
+            rec.add("correlation_tiles", blocks.len() as u64);
+        }
+        let mut values = vec![0.0; n * n];
+        let mut n11 = vec![0u64; n * n.saturating_sub(1) / 2];
+        for (b, block) in tiles.into_iter().enumerate() {
+            let (rows, jcols) = &blocks[b];
+            let mut vals = block.into_iter();
+            for i in rows.clone() {
+                for j in jcols.start.max(i + 1)..jcols.end {
+                    let (v, c) = vals.next().expect("one value per block pair");
+                    values[i * n + j] = v;
+                    values[j * n + i] = v;
+                    n11[tri_index(n, i, j)] = c;
+                }
+            }
+            debug_assert!(vals.next().is_none(), "block emitted extra pairs");
+        }
+        let stats = PairStats {
+            n,
+            beta: cols.num_processes() as u64,
+            ones,
+            n11,
+        };
+        (CorrelationMatrix { n, values }, stats)
+    }
+
     /// The pre-tiling implementation: one [`NodeColumns::pair_counts`]
     /// column walk per pair, single-threaded. Kept as the equivalence
     /// oracle for the tiled kernel (results must stay bit-identical) and
     /// as the baseline the benchmarks compare against.
     pub fn compute_reference(cols: &NodeColumns, measure: CorrelationMeasure) -> Self {
         let n = cols.num_nodes();
+        let lut = Log2Table::new(cols.num_processes() as u64);
         let mut values = vec![0.0; n * n];
         for i in 0..n {
             for j in (i + 1)..n {
-                let cells = MiCells::from_counts(&cols.pair_counts(i as u32, j as u32));
+                let cells = MiCells::from_counts_with(&cols.pair_counts(i as u32, j as u32), &lut);
                 let v = match measure {
                     CorrelationMeasure::Imi => cells.imi(),
                     CorrelationMeasure::Mi => cells.mi(),
@@ -271,6 +402,233 @@ impl CorrelationMatrix {
             }
         }
         out
+    }
+}
+
+/// Index of pair `(i, j)` (`i < j`) in a row-major upper-triangle layout.
+#[inline]
+fn tri_index(n: usize, i: usize, j: usize) -> usize {
+    debug_assert!(i < j && j < n);
+    i * n - i * (i + 1) / 2 + (j - i - 1)
+}
+
+/// Pairwise sufficient statistics of a status matrix: `β`, the per-column
+/// ones counts, and the upper-triangle `n11` joint counts. Together these
+/// determine every [`PairCounts`] cell (`n10 = ones_i − n11`, `n01 = ones_j
+/// − n11`, `n00 = β + n11 − ones_i − ones_j` — the same derivations
+/// [`NodeColumns::pair_counts_block`] uses), hence the exact correlation
+/// matrix, τ, and candidate sets of the run that produced them.
+///
+/// The statistics are *additive over processes*: appending cascades only
+/// adds the appended columns' counts cell-wise, so [`append`](Self::append)
+/// updates them in one kernel pass over the new columns alone — `O(n²)`
+/// popcounts over `β_new` bits, independent of the history length. This is
+/// the warm state incremental re-estimation persists in the checkpoint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PairStats {
+    n: usize,
+    beta: u64,
+    ones: Vec<u64>,
+    n11: Vec<u64>,
+}
+
+impl PairStats {
+    /// Rebuilds statistics from persisted parts, validating shape.
+    pub fn from_parts(beta: u64, ones: Vec<u64>, n11: Vec<u64>) -> Result<PairStats, String> {
+        let n = ones.len();
+        let pairs = n * n.saturating_sub(1) / 2;
+        if n11.len() != pairs {
+            return Err(format!(
+                "pair stats shape mismatch: {n} nodes need {pairs} n11 counts, got {}",
+                n11.len()
+            ));
+        }
+        if let Some(i) = ones.iter().position(|&o| o > beta) {
+            return Err(format!(
+                "pair stats ones[{i}] = {} exceeds beta = {beta}",
+                ones[i]
+            ));
+        }
+        // Every 2×2 cell the statistics imply must be a non-negative
+        // count, or later derivations would underflow on hand-edited or
+        // corrupted input: n11 ≤ min(ones_i, ones_j) and
+        // β + n11 ≥ ones_i + ones_j (n00 ≥ 0).
+        let mut t = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = n11[t];
+                if v > ones[i].min(ones[j]) || ones[i] + ones[j] > beta + v {
+                    return Err(format!(
+                        "pair stats are inconsistent at pair ({i}, {j}): \
+                         n11 = {v}, ones = ({}, {}), beta = {beta}",
+                        ones[i], ones[j]
+                    ));
+                }
+                t += 1;
+            }
+        }
+        Ok(PairStats { n, beta, ones, n11 })
+    }
+
+    /// Computes the statistics directly (test/oracle convenience; the
+    /// production path captures them alongside the correlation matrix via
+    /// [`CorrelationMatrix::compute_observed_with_stats`]).
+    pub fn compute(cols: &NodeColumns, threads: usize) -> PairStats {
+        CorrelationMatrix::compute_observed_with_stats(
+            cols,
+            CorrelationMeasure::Imi,
+            threads,
+            diffnet_observe::Recorder::disabled(),
+        )
+        .1
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Total processes `β` accumulated so far.
+    pub fn num_processes(&self) -> u64 {
+        self.beta
+    }
+
+    /// Per-column ones counts.
+    pub fn ones(&self) -> &[u64] {
+        &self.ones
+    }
+
+    /// Upper-triangle `n11` counts, row-major (`(0,1), (0,2), …`).
+    pub fn n11(&self) -> &[u64] {
+        &self.n11
+    }
+
+    /// Content digest (FNV-1a over `β`, `n`, ones, and `n11`): a cheap
+    /// integrity check over the full sufficient statistics. Any edited
+    /// count changes the digest, which is how a checkpoint detects
+    /// tampered statistics in `O(n²)` integer mixing instead of
+    /// re-deriving the correlation pipeline they imply.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.beta);
+        eat(self.n as u64);
+        for &v in &self.ones {
+            eat(v);
+        }
+        for &v in &self.n11 {
+            eat(v);
+        }
+        h
+    }
+
+    /// The full joint counts of pair `(i, j)`, reconstructed exactly as the
+    /// tiled kernel derives them.
+    #[inline]
+    pub fn pair_counts(&self, i: usize, j: usize) -> PairCounts {
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        let n11 = self.n11[tri_index(self.n, a, b)];
+        let (oi, oj) = (self.ones[i], self.ones[j]);
+        PairCounts {
+            n11,
+            n10: oi - n11,
+            n01: oj - n11,
+            n00: self.beta + n11 - oi - oj,
+        }
+    }
+
+    /// Folds `appended` process columns into the statistics — the
+    /// incremental-update kernel pass. Runs the same cost-aware tiled
+    /// [`NodeColumns::pair_counts_block`] schedule as the full computation,
+    /// but over the appended columns only; integer addition is
+    /// order-independent, so the result is exact at every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `appended` has a different node count.
+    pub fn append(&mut self, appended: &NodeColumns, threads: usize) {
+        assert_eq!(
+            appended.num_nodes(),
+            self.n,
+            "appended cascades must cover the same nodes"
+        );
+        let ones = appended.ones_counts();
+        let tile = appended.pair_tile_size();
+        let num_tiles = self.n.div_ceil(tile);
+        let mut blocks: Vec<(std::ops::Range<usize>, std::ops::Range<usize>)> = Vec::new();
+        let mut costs: Vec<u64> = Vec::new();
+        for bi in 0..num_tiles {
+            let rows = bi * tile..((bi + 1) * tile).min(self.n);
+            for bj in bi..num_tiles {
+                let jcols = bj * tile..((bj + 1) * tile).min(self.n);
+                let pairs: u64 = rows
+                    .clone()
+                    .map(|i| jcols.end.saturating_sub(jcols.start.max(i + 1)) as u64)
+                    .sum();
+                if pairs > 0 {
+                    blocks.push((rows.clone(), jcols));
+                    costs.push(pairs);
+                }
+            }
+        }
+        let (tiles, _) = crate::parallel::run_weighted_stats(
+            &costs,
+            4,
+            threads,
+            || (),
+            |_, b| {
+                let (rows, jcols) = &blocks[b];
+                let mut out: Vec<u64> = Vec::with_capacity(costs[b] as usize);
+                appended.pair_counts_block(rows.clone(), jcols.clone(), &ones, &mut |_, _, pc| {
+                    out.push(pc.n11);
+                });
+                out
+            },
+        );
+        for (b, block) in tiles.into_iter().enumerate() {
+            let (rows, jcols) = &blocks[b];
+            let mut vals = block.into_iter();
+            for i in rows.clone() {
+                for j in jcols.start.max(i + 1)..jcols.end {
+                    let c = vals.next().expect("one count per block pair");
+                    self.n11[tri_index(self.n, i, j)] += c;
+                }
+            }
+        }
+        for (o, &a) in self.ones.iter_mut().zip(ones.iter()) {
+            *o += a;
+        }
+        self.beta += appended.num_processes() as u64;
+    }
+
+    /// The correlation matrix these statistics determine — bit-identical
+    /// to [`CorrelationMatrix::compute_observed`] over the matching status
+    /// matrix, because each pair's [`MiCells`] are the same float function
+    /// of the same integer counts. Pure float work per pair, so it runs
+    /// single-threaded without a kernel pass.
+    pub fn correlation(&self, measure: CorrelationMeasure) -> CorrelationMatrix {
+        let n = self.n;
+        let lut = Log2Table::new(self.beta);
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let cells = MiCells::from_counts_with(&self.pair_counts(i, j), &lut);
+                let v = match measure {
+                    CorrelationMeasure::Imi => cells.imi(),
+                    CorrelationMeasure::Mi => cells.mi(),
+                };
+                values[i * n + j] = v;
+                values[j * n + i] = v;
+            }
+        }
+        CorrelationMatrix { n, values }
     }
 }
 
@@ -464,6 +822,101 @@ mod tests {
         assert_eq!(pc.n01, 97);
         assert_eq!(imi(&pc), 0.0);
         assert_eq!(mi(&pc), 0.0);
+    }
+
+    /// Deterministic pseudo-random rows for stats tests.
+    fn random_rows(seed: u64, beta: usize, n: usize) -> Vec<Vec<bool>> {
+        let mut state = seed;
+        let mut bit = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state & 1 == 1
+        };
+        (0..beta).map(|_| (0..n).map(|_| bit()).collect()).collect()
+    }
+
+    #[test]
+    fn stats_capture_matches_plain_compute_bit_identically() {
+        let cols = StatusMatrix::from_rows(&random_rows(0xA5A5, 130, 24)).columns();
+        for measure in [CorrelationMeasure::Imi, CorrelationMeasure::Mi] {
+            let plain = CorrelationMatrix::compute_parallel(&cols, measure, 3);
+            let (with_stats, stats) = CorrelationMatrix::compute_observed_with_stats(
+                &cols,
+                measure,
+                3,
+                diffnet_observe::Recorder::disabled(),
+            );
+            for i in 0..24u32 {
+                for j in 0..24u32 {
+                    assert_eq!(plain.get(i, j).to_bits(), with_stats.get(i, j).to_bits());
+                }
+            }
+            // The captured integers reproduce the kernel's counts exactly.
+            for i in 0..24 {
+                for j in (i + 1)..24 {
+                    assert_eq!(
+                        stats.pair_counts(i, j),
+                        cols.pair_counts(i as u32, j as u32)
+                    );
+                }
+            }
+            // And the derived matrix is bit-identical to the computed one.
+            let derived = stats.correlation(measure);
+            for i in 0..24u32 {
+                for j in 0..24u32 {
+                    assert_eq!(plain.get(i, j).to_bits(), derived.get(i, j).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn appended_stats_equal_fresh_combined_stats() {
+        // Degenerate columns in both halves stress the short-circuit paths.
+        let mut base_rows = random_rows(0xBEEF, 97, 20);
+        for row in &mut base_rows {
+            row[3] = false; // never infected in the base
+        }
+        let appended_rows = random_rows(0xF00D, 33, 20);
+        let mut combined_rows = base_rows.clone();
+        combined_rows.extend(appended_rows.iter().cloned());
+
+        let base = StatusMatrix::from_rows(&base_rows).columns();
+        let appended = StatusMatrix::from_rows(&appended_rows).columns();
+        let combined = StatusMatrix::from_rows(&combined_rows).columns();
+
+        for threads in [1usize, 4] {
+            let mut stats = PairStats::compute(&base, threads);
+            stats.append(&appended, threads);
+            let fresh = PairStats::compute(&combined, threads);
+            assert_eq!(
+                stats, fresh,
+                "incremental stats differ at {threads} threads"
+            );
+            let inc = stats.correlation(CorrelationMeasure::Imi);
+            let full = CorrelationMatrix::compute_parallel(&combined, CorrelationMeasure::Imi, 1);
+            for i in 0..20u32 {
+                for j in 0..20u32 {
+                    assert_eq!(inc.get(i, j).to_bits(), full.get(i, j).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_round_trip_through_parts() {
+        let cols = StatusMatrix::from_rows(&random_rows(0xCAFE, 70, 12)).columns();
+        let stats = PairStats::compute(&cols, 1);
+        let rebuilt = PairStats::from_parts(
+            stats.num_processes(),
+            stats.ones().to_vec(),
+            stats.n11().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(stats, rebuilt);
+        assert!(PairStats::from_parts(70, vec![1, 2, 3], vec![0]).is_err());
+        assert!(PairStats::from_parts(2, vec![5, 1, 1], vec![0, 0, 0]).is_err());
     }
 
     #[test]

@@ -65,6 +65,14 @@ pub fn pinned_two_means(values: &[f64]) -> PinnedKmeans {
         };
     }
 
+    // Suffix sums make each free-cluster mean an O(1) lookup instead of
+    // an O(cluster) re-summation per iteration: `suffix[i]` is the sum of
+    // `vals[i..]`, accumulated right to left once after the sort.
+    let mut suffix = vec![0.0f64; vals.len() + 1];
+    for i in (0..vals.len()).rev() {
+        suffix[i] = vals[i] + suffix[i + 1];
+    }
+
     // Initialize the free centroid at the maximum so the pinned cluster
     // starts as inclusive as possible and shrinks from there.
     let mut c = positive_max;
@@ -82,8 +90,7 @@ pub fn pinned_two_means(values: &[f64]) -> PinnedKmeans {
         // would be empty, keep it at the maximum (it then owns at least the
         // max element next round).
         let new_c = if new_boundary < vals.len() {
-            let slice = &vals[new_boundary..];
-            slice.iter().sum::<f64>() / slice.len() as f64
+            suffix[new_boundary] / (vals.len() - new_boundary) as f64
         } else {
             positive_max
         };

@@ -65,8 +65,10 @@ pub use estimate::{
     estimate_propagation_probabilities, estimate_propagation_probabilities_from_columns,
     EstimateConfig, PropagationEstimate,
 };
-pub use imi::{CorrelationMatrix, CorrelationMeasure};
+pub use imi::{CorrelationMatrix, CorrelationMeasure, PairStats};
 pub use kmeans::{pinned_two_means, PinnedKmeans};
 pub use score::ScoreCacheStats;
-pub use search::{GreedyStrategy, SearchError, SearchParams, SearchScratch, SearchStats};
+pub use search::{
+    CountSource, GreedyStrategy, JointTable, SearchError, SearchParams, SearchScratch, SearchStats,
+};
 pub use stream::{plan_shards, Shard, SparseCandidates};

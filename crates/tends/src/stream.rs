@@ -38,7 +38,7 @@
 //! path's SIMD kernel and its bit-identity guarantees; the dense path
 //! stays available as the equivalence oracle.
 
-use crate::imi::{CorrelationMeasure, MiCells};
+use crate::imi::{CorrelationMeasure, Log2Table, MiCells};
 use crate::kmeans::{pinned_two_means, PinnedKmeans};
 use crate::parallel;
 use diffnet_graph::NodeId;
@@ -275,8 +275,14 @@ fn pair_at(rank: u64, n: u64) -> (NodeId, NodeId) {
 }
 
 #[inline]
-fn pair_value(cols: &NodeColumns, i: NodeId, j: NodeId, measure: CorrelationMeasure) -> f64 {
-    let cells = MiCells::from_counts(&cols.pair_counts(i, j));
+fn pair_value(
+    cols: &NodeColumns,
+    i: NodeId,
+    j: NodeId,
+    measure: CorrelationMeasure,
+    lut: &Log2Table,
+) -> f64 {
+    let cells = MiCells::from_counts_with(&cols.pair_counts(i, j), lut);
     match measure {
         CorrelationMeasure::Imi => cells.imi(),
         CorrelationMeasure::Mi => cells.mi(),
@@ -313,6 +319,7 @@ pub fn sample_tau(
     let cap = tau_sample_cap(total, memory_budget);
     let stride = total.div_ceil(cap);
     let count = total.div_ceil(stride);
+    let lut = Log2Table::new(cols.num_processes() as u64);
     let values = parallel::run_indexed(
         count as usize,
         4096,
@@ -320,7 +327,7 @@ pub fn sample_tau(
         || (),
         |(), s| {
             let (i, j) = pair_at(s as u64 * stride, n);
-            pair_value(cols, i, j, measure)
+            pair_value(cols, i, j, measure, &lut)
         },
     );
     TauSample {
@@ -397,6 +404,7 @@ pub fn fold_candidates(
         }
     }
     let scanned_pairs: u64 = costs.iter().sum();
+    let lut = Log2Table::new(cols.num_processes() as u64);
     let (above_counts, pool) = parallel::run_weighted_stats(
         &costs,
         4,
@@ -406,7 +414,7 @@ pub fn fold_candidates(
             let (rows, jcols) = &blocks[b];
             let mut above = 0u64;
             cols.pair_counts_block(rows.clone(), jcols.clone(), &ones, &mut |i, j, pc| {
-                let cells = MiCells::from_counts(&pc);
+                let cells = MiCells::from_counts_with(&pc, &lut);
                 let v = match measure {
                     CorrelationMeasure::Imi => cells.imi(),
                     CorrelationMeasure::Mi => cells.mi(),

@@ -38,6 +38,25 @@ fn observe(truth: &DiGraph, beta: usize, seed: u64) -> StatusMatrix {
         .statuses
 }
 
+/// Splits a status matrix into its first `at` rows and the rest.
+fn split_statuses(m: &StatusMatrix, at: usize) -> (StatusMatrix, StatusMatrix) {
+    let n = m.num_nodes();
+    let mut base = StatusMatrix::new(at, n);
+    let mut rest = StatusMatrix::new(m.num_processes() - at, n);
+    for l in 0..m.num_processes() {
+        for i in 0..n as u32 {
+            if m.get(l, i) {
+                if l < at {
+                    base.set(l, i);
+                } else {
+                    rest.set(l - at, i);
+                }
+            }
+        }
+    }
+    (base, rest)
+}
+
 fn temp_path(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join("diffnet_tends_proptests");
     std::fs::create_dir_all(&dir).expect("temp dir");
@@ -112,10 +131,12 @@ proptest! {
         }
     }
 
-    // Truncating a valid checkpoint at any byte yields Ok (for prefixes
-    // that happen to stay well-formed JSON — impossible here except the
-    // full length) or a typed error; it must never panic or hand back a
-    // checkpoint with a wrong fingerprint.
+    // Truncating a valid checkpoint at any byte either fails typed or —
+    // because the delta-log format tolerates a torn final line, the
+    // signature of a crash mid-append — loads as a faithful *prefix* of
+    // the original: same header (fingerprint, revision, stats), every
+    // surviving entry byte-equal to the original's. Never a panic, never
+    // an entry the original run didn't write.
     #[test]
     fn truncated_checkpoints_fail_typed(cut in 0usize..400, seed in 0u64..100) {
         let truth = chain(6);
@@ -130,23 +151,101 @@ proptest! {
         Tends::with_config(TendsConfig::default())
             .reconstruct_robust(&statuses, Recorder::disabled(), &opts)
             .expect("checkpointed run");
+        let full = Checkpoint::load(&path).expect("load full checkpoint");
         let bytes = std::fs::read(&path).expect("checkpoint bytes");
         let cut = cut.min(bytes.len().saturating_sub(1));
         std::fs::write(&path, &bytes[..cut]).expect("truncate");
         match Checkpoint::load(&path) {
-            // Only a cut that drops nothing but trailing whitespace may
-            // still parse.
-            Ok(ck) => prop_assert!(
-                bytes[cut..].iter().all(u8::is_ascii_whitespace),
-                "short prefix unexpectedly loaded ({} entries)",
-                ck.entries.len()
-            ),
+            Ok(ck) => {
+                prop_assert_eq!(&ck.fingerprint, &full.fingerprint);
+                prop_assert_eq!(ck.revision, full.revision);
+                prop_assert_eq!(&ck.stats, &full.stats);
+                prop_assert!(ck.entries.len() <= full.entries.len());
+                for (id, entry) in &ck.entries {
+                    prop_assert_eq!(Some(entry), full.entries.get(id));
+                }
+            }
             Err(
                 CheckpointError::Parse(_) | CheckpointError::Format(_) | CheckpointError::Io(_),
             ) => {}
             Err(other) => prop_assert!(false, "unexpected error kind: {other}"),
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    // Incremental re-estimation oracle: for a random base/append split of
+    // a random observation set, warm-starting from the base run's
+    // checkpoint must reproduce the fresh combined-matrix run bit for bit
+    // — same edges, same scores, same candidates — while re-searching at
+    // most n nodes and reporting the splice accounting. The SIMD axis
+    // comes from the process environment: CI re-runs this suite under
+    // `DIFFNET_SIMD=scalar`, so both the auto and scalar tiers pin the
+    // same property.
+    #[test]
+    fn incremental_append_matches_fresh_combined_run(
+        beta in 65usize..256,
+        split_pct in 50usize..95,
+        seed in 0u64..1000,
+    ) {
+        let n = 10u32;
+        let truth = chain(n);
+        let statuses = observe(&truth, beta, seed);
+        let at = (beta * split_pct / 100).max(1);
+        let (base, appended) = split_statuses(&statuses, at);
+        for threads in [1usize, 4] {
+            let tends = Tends::with_config(TendsConfig { threads, ..Default::default() });
+            let fresh = tends
+                .reconstruct_observed(&statuses, Recorder::disabled())
+                .expect("fresh combined run");
+
+            let path = temp_path(&format!("append_b{beta}_p{split_pct}_s{seed}_t{threads}"));
+            std::fs::remove_file(&path).ok();
+            tends
+                .reconstruct_robust(
+                    &base,
+                    Recorder::disabled(),
+                    &RobustOptions {
+                        checkpoint: Some(path.clone()),
+                        checkpoint_interval: 4,
+                        ..Default::default()
+                    },
+                )
+                .expect("base run");
+            let rec = Recorder::new();
+            let warm = tends
+                .reconstruct_robust_append(
+                    &statuses,
+                    &appended,
+                    &rec,
+                    &RobustOptions {
+                        checkpoint: Some(path.clone()),
+                        resume: true,
+                        checkpoint_interval: 4,
+                        revision: 1,
+                        ..Default::default()
+                    },
+                )
+                .expect("warm append run");
+            std::fs::remove_file(&path).ok();
+
+            prop_assert!(warm.is_complete());
+            prop_assert_eq!(&warm.result.graph, &fresh.graph);
+            prop_assert_eq!(
+                warm.result.global_score.to_bits(),
+                fresh.global_score.to_bits()
+            );
+            for (w, f) in warm.result.node_results.iter().zip(&fresh.node_results) {
+                prop_assert_eq!(&w.candidates, &f.candidates);
+                prop_assert_eq!(&w.parents, &f.parents);
+                prop_assert_eq!(w.score.to_bits(), f.score.to_bits());
+            }
+            let counters = rec.snapshot().counters;
+            let dirty = counters.get("dirty_nodes").copied().unwrap_or(u64::MAX);
+            let reused = counters.get("nodes_reused").copied().unwrap_or(u64::MAX);
+            prop_assert!(dirty <= u64::from(n), "dirty_nodes = {dirty}");
+            prop_assert_eq!(dirty + reused, u64::from(n));
+            prop_assert_eq!(warm.resumed_nodes as u64, reused);
+        }
     }
 
     // Truncating a saved status matrix at any byte is a typed error (or a
