@@ -501,18 +501,41 @@ fn main() {
     let addr = server.addr();
     let server_thread = std::thread::spawn(move || server.serve_forever());
     let client = diffnet_serve::Client::new(addr);
-    // Client-side latency distributions in the same log2 buckets the
-    // daemon exposes on /v1/metrics, so the report carries tail latency
-    // (p50/p95/p99), not just a median of batch means.
-    let mut healthz_hist = DurationHistogram::default();
-    let ping_batch = 50usize;
-    let ping_s = median_secs(reps, || {
-        for _ in 0..ping_batch {
-            let (ok, secs) = timed(|| client.healthz().expect("healthz"));
-            assert!(ok);
-            healthz_hist.record(secs);
+    // Throughput curves from the loadgen harness: closed-loop healthz at
+    // each connection count, with and without keep-alive, so the report
+    // shows how the reactor scales with concurrency and what
+    // connection-per-request costs. Latency lands in the same fine-grained
+    // buckets the daemon exposes on /v1/metrics, so the rows carry tail
+    // percentiles (p50/p95/p99), not batch means.
+    let lg_window = if quick {
+        std::time::Duration::from_millis(800)
+    } else {
+        std::time::Duration::from_secs(3)
+    };
+    let mut curves: Vec<(usize, bool, diffnet_loadgen::LoadReport)> = Vec::new();
+    for keep_alive in [true, false] {
+        for connections in [1usize, 4, 16, 64] {
+            eprintln!(
+                "perf_report: loadgen healthz ({connections} conns, keep-alive {keep_alive})"
+            );
+            let cfg = diffnet_loadgen::LoadgenConfig {
+                connections,
+                duration: lg_window,
+                warmup: std::time::Duration::from_millis(300),
+                keep_alive,
+                ..diffnet_loadgen::LoadgenConfig::new(addr)
+            };
+            let summary = diffnet_loadgen::run(&cfg).expect("load run");
+            curves.push((connections, keep_alive, summary.best().clone()));
         }
-    });
+    }
+    let best_keepalive = curves
+        .iter()
+        .filter(|&&(_, ka, _)| ka)
+        .map(|(_, _, r)| r)
+        .max_by(|a, b| a.ok_rps().total_cmp(&b.ok_rps()))
+        .expect("keep-alive curve")
+        .clone();
     let mut serve_body = Vec::new();
     diffnet_simulate::io::write_status_matrix(&small, &mut serve_body).expect("serialize statuses");
     let mut submit_hist = DurationHistogram::default();
@@ -667,10 +690,24 @@ fn main() {
 
     let mut serve = Json::object();
     serve.push("n", n_small as u64);
-    serve.push("healthz_rps", ping_batch as f64 / ping_s);
-    serve.push("healthz_p50_s", healthz_hist.quantile(0.50));
-    serve.push("healthz_p95_s", healthz_hist.quantile(0.95));
-    serve.push("healthz_p99_s", healthz_hist.quantile(0.99));
+    serve.push("healthz_rps", best_keepalive.ok_rps());
+    serve.push("healthz_p50_s", best_keepalive.hist.quantile(0.50));
+    serve.push("healthz_p95_s", best_keepalive.hist.quantile(0.95));
+    serve.push("healthz_p99_s", best_keepalive.hist.quantile(0.99));
+    let mut throughput = Vec::new();
+    for (connections, keep_alive, r) in &curves {
+        let mut row = Json::object();
+        row.push("connections", *connections as u64);
+        row.push("keep_alive", *keep_alive);
+        row.push("rps", r.ok_rps());
+        row.push("requests", r.requests);
+        row.push("errors", r.requests - r.ok);
+        row.push("p50_s", r.hist.quantile(0.50));
+        row.push("p95_s", r.hist.quantile(0.95));
+        row.push("p99_s", r.hist.quantile(0.99));
+        throughput.push(row);
+    }
+    serve.push("throughput", Json::Arr(throughput));
     serve.push("submit_to_done_s", submit_to_done_s);
     serve.push("submit_to_done_p50_s", submit_hist.quantile(0.50));
     serve.push("submit_to_done_p95_s", submit_hist.quantile(0.95));

@@ -88,6 +88,7 @@ pub fn run(argv: &[String]) -> Result<CommandOutput, ArgError> {
         "report-check" => report_check(&parsed).map(CommandOutput::success),
         "metrics-lint" => metrics_lint(&parsed).map(CommandOutput::success),
         "serve" => serve(&parsed).map(CommandOutput::success),
+        "loadgen" => loadgen(&parsed).map(CommandOutput::success),
         "submit" => submit(&parsed),
         "job" => job_status(&parsed),
         "help" | "--help" | "-h" => Ok(CommandOutput::success(crate::USAGE.to_string())),
@@ -792,6 +793,16 @@ fn metrics_lint(args: &ParsedArgs) -> Result<String, ArgError> {
     Ok(format!("exposition {path} OK: {families} metric families"))
 }
 
+/// Parses an optional duration flag (`5s`, `750ms`, bare seconds) with a
+/// default.
+fn duration_arg(args: &ParsedArgs, key: &str, default: Duration) -> Result<Duration, ArgError> {
+    match args.optional(key) {
+        Some(raw) => diffnet_loadgen::parse_duration(raw)
+            .map_err(|e| ArgError::new(format!("invalid value for --{key}: {e}"))),
+        None => Ok(default),
+    }
+}
+
 fn serve(args: &ParsedArgs) -> Result<String, ArgError> {
     args.expect_known(&[
         "addr",
@@ -803,10 +814,25 @@ fn serve(args: &ParsedArgs) -> Result<String, ArgError> {
         "simd",
         "slow-request-secs",
         "no-access-log",
+        "max-connections",
+        "max-inflight",
+        "idle-timeout",
+        "read-timeout",
+        "drain-timeout",
+        "max-queued-jobs",
     ])?;
     // Jobs run in-process, so the override applies to every job this
     // daemon executes.
     resolve_simd(args)?;
+    let defaults = diffnet_serve::Tuning::default();
+    let tuning = diffnet_serve::Tuning {
+        max_connections: args.get_or("max-connections", defaults.max_connections)?,
+        max_inflight_per_conn: args.get_or("max-inflight", defaults.max_inflight_per_conn)?,
+        idle_timeout: duration_arg(args, "idle-timeout", defaults.idle_timeout)?,
+        request_read_timeout: duration_arg(args, "read-timeout", defaults.request_read_timeout)?,
+        drain_timeout: duration_arg(args, "drain-timeout", defaults.drain_timeout)?,
+        ..defaults
+    };
     let config = ServeConfig {
         addr: args
             .optional("addr")
@@ -822,6 +848,8 @@ fn serve(args: &ParsedArgs) -> Result<String, ArgError> {
         port_file: args.optional("port-file").map(PathBuf::from),
         slow_request_secs: args.get_or("slow-request-secs", 1.0)?,
         access_log: !args.has_flag("no-access-log"),
+        tuning,
+        max_queued_jobs: args.get_or("max-queued-jobs", ServeConfig::default().max_queued_jobs)?,
     };
     let server = Server::bind(&config).map_err(|e| io_err("cannot start server", e))?;
     let addr = server.addr();
@@ -834,6 +862,81 @@ fn serve(args: &ParsedArgs) -> Result<String, ArgError> {
         .serve_forever()
         .map_err(|e| io_err("server error", e))?;
     Ok(format!("server on {addr} stopped; jobs are resumable"))
+}
+
+/// `diffnet loadgen`: drive a running daemon with configurable traffic
+/// and report throughput, latency percentiles, and error classes.
+fn loadgen(args: &ParsedArgs) -> Result<String, ArgError> {
+    args.expect_known(&[
+        "server",
+        "connections",
+        "duration",
+        "warmup",
+        "repeats",
+        "mix",
+        "target-rps",
+        "no-keep-alive",
+        "timeout",
+        "json",
+    ])?;
+    let addr = resolve_server(args)?;
+    let mut config = diffnet_loadgen::LoadgenConfig::new(addr);
+    config.connections = args.get_or("connections", config.connections)?;
+    config.duration = duration_arg(args, "duration", config.duration)?;
+    config.warmup = duration_arg(args, "warmup", config.warmup)?;
+    config.repeats = args.get_or("repeats", config.repeats)?;
+    config.keep_alive = !args.has_flag("no-keep-alive");
+    config.timeout = duration_arg(args, "timeout", config.timeout)?;
+    if let Some(raw) = args.optional("target-rps") {
+        let rps: f64 = raw
+            .parse()
+            .map_err(|_| ArgError::new("invalid value for --target-rps"))?;
+        if !rps.is_finite() || rps <= 0.0 {
+            return Err(ArgError::new("--target-rps must be positive"));
+        }
+        config.target_rps = Some(rps);
+    }
+    if let Some(spec) = args.optional("mix") {
+        config.mix = diffnet_loadgen::Mix::parse(spec)
+            .map_err(|e| ArgError::new(format!("invalid --mix: {e}")))?;
+    }
+    let summary = diffnet_loadgen::run(&config).map_err(|e| io_err("load run failed", e))?;
+    if args.has_flag("json") {
+        return Ok(summary.to_json(&config).to_pretty());
+    }
+    let mut text = String::new();
+    for (i, r) in summary.reports.iter().enumerate() {
+        text.push_str(&format!(
+            "window {i}: {} req in {:.2}s — {:.1} rps ok ({:.1} total) \
+             p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms \
+             [429:{} 503:{} 4xx:{} 5xx:{} timeout:{} io:{}]\n",
+            r.requests,
+            r.elapsed.as_secs_f64(),
+            r.ok_rps(),
+            r.total_rps(),
+            r.hist.quantile(0.50) * 1e3,
+            r.hist.quantile(0.95) * 1e3,
+            r.hist.quantile(0.99) * 1e3,
+            r.status_429,
+            r.status_503,
+            r.other_4xx,
+            r.other_5xx,
+            r.timeouts,
+            r.io_errors,
+        ));
+    }
+    let best = summary.best();
+    text.push_str(&format!(
+        "best: {:.1} rps over {} connections ({})",
+        best.ok_rps(),
+        config.connections,
+        if config.keep_alive {
+            "keep-alive"
+        } else {
+            "reconnect per request"
+        }
+    ));
+    Ok(text)
 }
 
 fn resolve_server(args: &ParsedArgs) -> Result<std::net::SocketAddr, ArgError> {

@@ -60,6 +60,13 @@ COMMANDS:
              [--job-workers N] [--max-body-bytes N] [--port-file FILE]
              [--simd auto|avx2|popcnt|scalar]
              [--slow-request-secs S] [--no-access-log]
+             [--max-connections N] [--max-inflight N] [--max-queued-jobs N]
+             [--idle-timeout DUR] [--read-timeout DUR] [--drain-timeout DUR]
+  loadgen    Drive a running daemon with generated traffic
+             --server HOST:PORT  [--connections N] [--duration DUR]
+             [--warmup DUR] [--repeats N] [--mix healthz|submit|append
+             or weighted, e.g. healthz=9,submit=1] [--target-rps R]
+             [--no-keep-alive] [--timeout DUR] [--json]
   submit     Submit a job to a running daemon
              --server HOST:PORT  --statuses FILE | --observations FILE
              [--algorithm A] [--threads T] [--checkpoint-interval N]
@@ -109,8 +116,21 @@ run report, and the process exits with code 3 instead of 0.
 
 Serving: `serve` exposes the pipeline as a zero-dependency HTTP daemon
 (POST /v1/jobs, GET /v1/jobs/{id}, /edges, /report, POST
-/v1/jobs/{id}/cascades, GET /v1/metrics, /v1/healthz). Jobs are durable:
-state and checkpoints live under --data-dir, and a killed or SIGTERM'd
-server resumes interrupted jobs on restart with bit-identical results.
-`submit`/`job` are the built-in client for scripts and CI.
+/v1/jobs/{id}/cascades, GET /v1/metrics, /v1/healthz). Requests are
+handled by an epoll event loop with HTTP/1.1 keep-alive and pipelining;
+overload answers are typed (429 past the per-connection in-flight
+budget, 503 when the request or job queue is full, 408 on stalled
+request heads) and tunable via the serve flags above (DUR accepts 5s,
+750ms, 2m). Jobs are durable: state and checkpoints live under
+--data-dir, and a killed or SIGTERM'd server resumes interrupted jobs
+on restart with bit-identical results. `submit`/`job` are the built-in
+client for scripts and CI.
+
+Load generation: `loadgen` drives a daemon from N concurrent
+connections, closed-loop by default or open-loop at `--target-rps`,
+mixing healthz probes, full submit→poll→edges round-trips, and cascade
+appends (`--mix healthz=9,submit=1`). It reports ok/total rps, p50/p95
+/p99 latency from fine-grained histograms, and per-class error counts
+(429/503/timeouts); `--json` emits the structured report, `--repeats`
+re-measures, and the warmup window is discarded.
 ";

@@ -39,7 +39,7 @@ pub use json::{parse as parse_json, Json, ParseError};
 pub use prometheus::{lint_exposition, render_prometheus};
 pub use recorder::{
     duration_bucket_bounds, DurationHistogram, PhaseGuard, Recorder, Snapshot, SpanGuard,
-    DURATION_BUCKETS,
+    DURATION_BUCKETS, DURATION_SUB_BUCKETS,
 };
 pub use report::{strip_runtime, validate_report_json, CheckpointInfo, PhaseTiming, RunReport};
 pub use resources::{

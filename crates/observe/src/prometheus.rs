@@ -134,21 +134,53 @@ const METRIC_HELP: &[(&str, &str)] = &[
         "Greedy refinement rounds across all node searches.",
     ),
     (
+        "http_connections_closed",
+        "Connections closed by the reactor (any reason).",
+    ),
+    (
+        "http_connections_open",
+        "Connections currently registered with the reactor.",
+    ),
+    (
+        "http_connections_opened",
+        "Connections accepted and registered with the reactor.",
+    ),
+    (
         "http_error_responses",
         "HTTP responses with a 4xx or 5xx status.",
+    ),
+    (
+        "http_idle_timeouts",
+        "Idle keep-alive connections reaped by the reactor.",
+    ),
+    (
+        "http_keepalive_reuses",
+        "Requests served on an already-used keep-alive connection.",
     ),
     (
         "http_protocol_errors",
         "Requests rejected while parsing the HTTP head or body.",
     ),
     (
+        "http_read_timeouts",
+        "Connections answered 408 for not completing a request in time.",
+    ),
+    (
         "http_rejected_busy",
-        "Connections answered 503 because the handler queue was full.",
+        "Requests answered 503 because the request-worker queue was full.",
+    ),
+    (
+        "http_rejected_capacity",
+        "Connections answered 503 at the open-connection cap.",
     ),
     ("http_requests", "HTTP requests accepted by the daemon."),
     (
         "http_slow_requests",
         "Requests slower than the configured slow-request threshold.",
+    ),
+    (
+        "http_throttled_429",
+        "Requests answered 429 for exceeding the per-connection in-flight budget.",
     ),
     ("jobs_completed", "Jobs that finished with a full result."),
     ("jobs_failed", "Jobs that finished with an error."),
@@ -161,12 +193,20 @@ const METRIC_HELP: &[(&str, &str)] = &[
         "Jobs that finished with a degraded (partial) result.",
     ),
     (
+        "jobs_rejected_queue_full",
+        "Job submissions answered 503 at the queued-jobs cap.",
+    ),
+    (
         "pairs_above_tau",
         "Correlation pairs above the selected threshold.",
     ),
     (
         "phase_seconds",
         "Wall seconds summed per completed pipeline phase.",
+    ),
+    (
+        "reactor_wakeups",
+        "Times the epoll loop woke up (readiness, doorbell, or timeout).",
     ),
     (
         "process_peak_rss_bytes",
@@ -591,13 +631,14 @@ diffnet_worker_chunks{region=\"parent_search\",worker=\"1\"} 2
         );
         assert!(text.contains("diffnet_http_request_seconds_healthz_count 3"));
         assert!(text.contains("diffnet_http_request_seconds_healthz_sum 1.502"));
-        // Quantile gauges with real second values.
+        // Quantile gauges with real second values, at sub-octave
+        // resolution: the two 1 ms pings resolve to 1.25 · 2^-10 s.
         assert!(
-            text.contains("diffnet_http_request_seconds_healthz_p50 0.001953125"),
+            text.contains("diffnet_http_request_seconds_healthz_p50 0.001220703125"),
             "{text}"
         );
         assert!(
-            text.contains("diffnet_http_request_seconds_healthz_p99 2"),
+            text.contains("diffnet_http_request_seconds_healthz_p99 1.5"),
             "{text}"
         );
         lint_exposition(&text).expect("duration exposition lints clean");

@@ -350,25 +350,41 @@ fn current_thread_label() -> String {
     }
 }
 
-/// Number of real-second boundaries in a [`DurationHistogram`]:
-/// `2^-20 s` (≈1 µs) through `2^5 s` (32 s), one bucket per power of two.
-pub const DURATION_BUCKETS: usize = 26;
+/// Linear sub-buckets per octave in a [`DurationHistogram`]. Four
+/// sub-buckets bound the quantile overestimate at 25% (the original
+/// one-bucket-per-octave scheme was a 2× overestimate, which collapsed
+/// p50/p95/p99 of sub-millisecond requests onto one boundary).
+pub const DURATION_SUB_BUCKETS: usize = 4;
 
-/// The real second boundaries of a [`DurationHistogram`]: bucket `i`
-/// counts observations `<= 2^(i - 20)` seconds. Powers of two are exactly
-/// representable, so the rendered `le` labels round-trip exactly.
+/// Number of real-second boundaries in a [`DurationHistogram`]:
+/// `2^-20 s` (≈1 µs) through `2^5 s` (32 s), each octave split into
+/// [`DURATION_SUB_BUCKETS`] linear sub-buckets (HDR-histogram style).
+pub const DURATION_BUCKETS: usize = 1 + 25 * DURATION_SUB_BUCKETS;
+
+/// The real second boundaries of a [`DurationHistogram`]: the base bound
+/// `2^-20` s followed, per octave `[2^e, 2^(e+1))`, by the linear
+/// subdivisions `2^e · (1 + j/4)` for `j = 1..=4`. Every boundary is a
+/// dyadic rational, so it is exactly representable in an `f64` and the
+/// rendered `le` labels round-trip exactly.
 pub fn duration_bucket_bounds() -> [f64; DURATION_BUCKETS] {
     let mut bounds = [0.0; DURATION_BUCKETS];
-    for (i, b) in bounds.iter_mut().enumerate() {
-        *b = 2.0f64.powi(i as i32 - 20);
+    bounds[0] = 2.0f64.powi(-20);
+    let mut i = 1;
+    for e in -20..5 {
+        let octave = 2.0f64.powi(e);
+        for j in 1..=DURATION_SUB_BUCKETS {
+            bounds[i] = octave * (1.0 + j as f64 / DURATION_SUB_BUCKETS as f64);
+            i += 1;
+        }
     }
     bounds
 }
 
-/// A log₂-scaled duration histogram with real second boundaries — the
-/// latency-shaped sibling of the recorder's index-bucket histograms
-/// (whose bucket index *is* the observed value). Observations above the
-/// last boundary land only in `overflow`/`count` (the `+Inf` bucket).
+/// A log₂-octave duration histogram with linear sub-buckets and real
+/// second boundaries — the latency-shaped sibling of the recorder's
+/// index-bucket histograms (whose bucket index *is* the observed
+/// value). Observations above the last boundary land only in
+/// `overflow`/`count` (the `+Inf` bucket).
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct DurationHistogram {
     /// Per-boundary counts, aligned with [`duration_bucket_bounds`]
@@ -396,15 +412,38 @@ impl DurationHistogram {
         }
         self.sum += s;
         self.count += 1;
-        match duration_bucket_bounds().iter().position(|&b| s <= b) {
-            Some(i) => self.buckets[i] += 1,
-            None => self.overflow += 1,
+        // Bounds are sorted, so the target bucket is a binary search —
+        // cheap enough for a load generator recording every request.
+        let bounds = duration_bucket_bounds();
+        let i = bounds.partition_point(|&b| b < s);
+        if i < bounds.len() {
+            self.buckets[i] += 1;
+        } else {
+            self.overflow += 1;
         }
     }
 
+    /// Folds another histogram's counts into this one — how per-worker
+    /// latency histograms aggregate into one report.
+    pub fn merge(&mut self, other: &DurationHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; DURATION_BUCKETS];
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.overflow += other.overflow;
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
     /// The `q`-quantile (0 < q <= 1) as the upper boundary of the bucket
-    /// where the cumulative count crosses `q × count` — `+Inf` for
-    /// observations beyond the last boundary, `NaN` when empty.
+    /// where the cumulative count crosses `q × count` — a ≤25%
+    /// overestimate by construction — `+Inf` for observations beyond the
+    /// last boundary, `NaN` when empty.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return f64::NAN;
@@ -585,17 +624,17 @@ mod tests {
         let mut h = DurationHistogram::default();
         assert!(h.quantile(0.5).is_nan());
         for _ in 0..90 {
-            h.record(0.001); // ≤ 2^-9 s = 0.001953125
+            h.record(0.001); // ≤ 1.25 · 2^-10 s = 0.001220703125
         }
         for _ in 0..10 {
-            h.record(1.5); // ≤ 2^1 s
+            h.record(1.5); // exactly the 1.5 s sub-boundary
         }
         h.record(1e9); // beyond the last bound → overflow
         assert_eq!(h.count, 101);
         assert!((h.sum - (90.0 * 0.001 + 15.0 + 1e9)).abs() < 1e-6);
         assert_eq!(h.overflow, 1);
-        assert_eq!(h.quantile(0.5), 2.0f64.powi(-9));
-        assert_eq!(h.quantile(0.95), 2.0);
+        assert_eq!(h.quantile(0.5), 0.001220703125);
+        assert_eq!(h.quantile(0.95), 1.5);
         assert_eq!(h.quantile(1.0), f64::INFINITY);
         // Recorder integration.
         let rec = Recorder::new();
@@ -611,5 +650,48 @@ mod tests {
         assert!(bounds.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(bounds[0], 2.0f64.powi(-20));
         assert_eq!(bounds[DURATION_BUCKETS - 1], 32.0);
+    }
+
+    /// Pins the sub-octave boundary values: every power of two from the
+    /// old scheme is still a boundary (existing `le` labels survive),
+    /// and the linear subdivisions land exactly where documented — so
+    /// microsecond-scale quantiles are distinguishable.
+    #[test]
+    fn duration_bounds_pin_suboctave_boundaries() {
+        let bounds = duration_bucket_bounds();
+        assert_eq!(bounds.len(), DURATION_BUCKETS);
+        for e in -20..=5 {
+            let p = 2.0f64.powi(e);
+            assert!(bounds.contains(&p), "2^{e} missing from bounds");
+        }
+        // One full octave, exactly: [2^-10, 2^-9] in 4 linear steps.
+        let start = bounds
+            .iter()
+            .position(|&b| b == 0.0009765625)
+            .expect("2^-10");
+        assert_eq!(
+            &bounds[start..start + 5],
+            &[
+                0.0009765625,
+                0.001220703125,
+                0.00146484375,
+                0.001708984375,
+                0.001953125,
+            ]
+        );
+        // Sub-millisecond observations that the old one-bucket-per-octave
+        // scheme collapsed now resolve to distinct quantiles.
+        let mut h = DurationHistogram::default();
+        for _ in 0..90 {
+            h.record(250e-6);
+        }
+        for _ in 0..10 {
+            h.record(450e-6);
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!(p50 < p99, "p50 {p50} should be below p99 {p99}");
+        assert!((p50 - 0.00030517578125).abs() < 1e-18, "{p50}");
+        assert!((p99 - 0.00048828125).abs() < 1e-18, "{p99}");
     }
 }

@@ -1,56 +1,99 @@
 //! A tiny blocking HTTP client for the daemon, used by the CLI's
-//! `submit`/`job` subcommands, the integration tests, and the CI smoke
-//! job — so exercising the server needs no external tooling at all.
+//! `submit`/`job` subcommands, the load generator, the integration
+//! tests, and the CI smoke job — so exercising the server needs no
+//! external tooling at all.
 //!
-//! One request per connection (the server always answers
-//! `Connection: close`), with socket timeouts so a wedged server fails a
-//! test instead of hanging it.
+//! The client keeps one connection alive and reuses it across requests
+//! (responses are `Content-Length`-framed, so reuse needs no `close`
+//! delimiter): polling loops like [`Client::wait_for_job`] ride a single
+//! connection instead of reconnecting per poll. The server's
+//! `Connection: close` answers — and idle reaping, which it advertises
+//! via `Keep-Alive: timeout=N` — are honored by dropping the pooled
+//! connection and dialing a fresh one on the next request. Socket
+//! timeouts ensure a wedged server fails a test instead of hanging it.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use diffnet_observe::{parse_json, Json};
 
 use crate::http::Method;
 
-/// A client bound to one server address.
+/// A client bound to one server address, holding at most one pooled
+/// keep-alive connection (shared across clones).
 #[derive(Clone, Debug)]
 pub struct Client {
     addr: SocketAddr,
     timeout: Duration,
+    conn: Arc<Mutex<Option<TcpStream>>>,
 }
 
 impl Client {
     /// A client with the default 30 s socket timeouts.
     pub fn new(addr: SocketAddr) -> Client {
-        Client {
-            addr,
-            timeout: Duration::from_secs(30),
-        }
+        Client::with_timeout(addr, Duration::from_secs(30))
     }
 
     /// Overrides the connect/read/write timeout.
     pub fn with_timeout(addr: SocketAddr, timeout: Duration) -> Client {
-        Client { addr, timeout }
+        Client {
+            addr,
+            timeout,
+            conn: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    fn connect(&self) -> io::Result<TcpStream> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(stream)
     }
 
     /// One request/response roundtrip; returns the status and raw body.
+    ///
+    /// Reuses the pooled connection when one is alive. A pooled
+    /// connection the server has since reaped (idle timeout, restart)
+    /// fails on write or on the first response byte; the request is then
+    /// retried once on a fresh connection.
     pub fn request(&self, method: Method, path: &str, body: &[u8]) -> io::Result<(u16, Vec<u8>)> {
-        let mut stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
-        stream.set_read_timeout(Some(self.timeout))?;
-        stream.set_write_timeout(Some(self.timeout))?;
+        let mut pooled = self.conn.lock().expect("client connection lock");
+        if let Some(mut stream) = pooled.take() {
+            if let Ok((status, body, keep)) = self.roundtrip(&mut stream, method, path, body) {
+                if keep {
+                    *pooled = Some(stream);
+                }
+                return Ok((status, body));
+            }
+            // Stale pooled connection: fall through to a fresh dial.
+        }
+        let mut stream = self.connect()?;
+        let (status, response, keep) = self.roundtrip(&mut stream, method, path, body)?;
+        if keep {
+            *pooled = Some(stream);
+        }
+        Ok((status, response))
+    }
+
+    fn roundtrip(
+        &self,
+        stream: &mut TcpStream,
+        method: Method,
+        path: &str,
+        body: &[u8],
+    ) -> io::Result<(u16, Vec<u8>, bool)> {
         write!(
             stream,
-            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\r\n",
             self.addr,
             body.len()
         )?;
         stream.write_all(body)?;
         stream.flush()?;
-        let mut raw = Vec::new();
-        stream.read_to_end(&mut raw)?;
-        parse_response(&raw)
+        read_framed_response(stream)
     }
 
     /// `GET path`.
@@ -95,7 +138,8 @@ impl Client {
     }
 
     /// Polls `GET /v1/jobs/{id}` until the state is terminal or the
-    /// deadline passes; returns the final status document.
+    /// deadline passes; returns the final status document. The polls
+    /// share the pooled keep-alive connection.
     pub fn wait_for_job(&self, id: u64, deadline: Duration) -> io::Result<Json> {
         let poll = Duration::from_millis(50);
         let mut waited = Duration::ZERO;
@@ -128,12 +172,23 @@ fn to_json(body: &[u8]) -> io::Result<Json> {
     parse_json(text).map_err(|e| io::Error::other(format!("bad JSON response: {e}")))
 }
 
-/// Splits a raw HTTP response into status code and body.
-fn parse_response(raw: &[u8]) -> io::Result<(u16, Vec<u8>)> {
-    let head_end = raw
-        .windows(4)
-        .position(|w| w == b"\r\n\r\n")
-        .ok_or_else(|| io::Error::other("response has no header terminator"))?;
+/// Reads exactly one `Content-Length`-framed response from `stream`.
+/// Returns `(status, body, keep_alive)` — `keep_alive` is whether the
+/// connection may be reused afterwards. A response without a
+/// `Content-Length` is read to EOF and marks the connection unusable.
+pub fn read_framed_response<S: Read>(stream: &mut S) -> io::Result<(u16, Vec<u8>, bool)> {
+    let mut raw: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 8 * 1024];
+    let head_end = loop {
+        if let Some(pos) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::other("connection closed mid response head"));
+        }
+        raw.extend_from_slice(&chunk[..n]);
+    };
     let head = std::str::from_utf8(&raw[..head_end])
         .map_err(|_| io::Error::other("response head is not UTF-8"))?;
     let status_line = head.lines().next().unwrap_or("");
@@ -142,7 +197,40 @@ fn parse_response(raw: &[u8]) -> io::Result<(u16, Vec<u8>)> {
         .nth(1)
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or_else(|| io::Error::other(format!("bad status line {status_line:?}")))?;
-    Ok((status, raw[head_end + 4..].to_vec()))
+    let mut content_length: Option<usize> = None;
+    let mut keep_alive = true; // HTTP/1.1 default
+    for line in head.lines().skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            } else if name.eq_ignore_ascii_case("connection") {
+                keep_alive = value.trim().eq_ignore_ascii_case("keep-alive");
+            }
+        }
+    }
+    let mut body = raw[head_end..].to_vec();
+    match content_length {
+        Some(len) => {
+            while body.len() < len {
+                let n = stream.read(&mut chunk)?;
+                if n == 0 {
+                    return Err(io::Error::other(format!(
+                        "connection closed mid response body ({} of {len} bytes)",
+                        body.len()
+                    )));
+                }
+                body.extend_from_slice(&chunk[..n]);
+            }
+            body.truncate(len);
+            Ok((status, body, keep_alive))
+        }
+        None => {
+            // Unframed response: delimited by EOF, so the connection is
+            // spent either way.
+            stream.read_to_end(&mut body)?;
+            Ok((status, body, false))
+        }
+    }
 }
 
 /// Sends raw bytes and returns the raw response as text — the hostile
@@ -165,6 +253,12 @@ pub fn raw_roundtrip(addr: SocketAddr, bytes: &[u8]) -> io::Result<String> {
 mod tests {
     use super::*;
 
+    /// Splits a raw HTTP response into status code and body.
+    fn parse_response(raw: &[u8]) -> io::Result<(u16, Vec<u8>)> {
+        let (status, body, _) = read_framed_response(&mut io::Cursor::new(raw.to_vec()))?;
+        Ok((status, body))
+    }
+
     #[test]
     fn parse_response_splits_status_and_body() {
         let (status, body) =
@@ -177,5 +271,26 @@ mod tests {
     fn parse_response_rejects_garbage() {
         assert!(parse_response(b"not http at all").is_err());
         assert!(parse_response(b"HTTP/1.1 banana\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn framed_reader_stops_at_content_length_and_reports_keep_alive() {
+        // Two pipelined responses in one stream: the reader must consume
+        // exactly the first frame so the second stays for the next call.
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 3\r\nConnection: keep-alive\r\n\r\nabc\
+                    HTTP/1.1 204 No Content\r\nContent-Length: 0\r\n\r\n";
+        let mut cursor = io::Cursor::new(raw.to_vec());
+        let (status, body, keep) = read_framed_response(&mut cursor).expect("first frame");
+        assert_eq!(
+            (status, body.as_slice(), keep),
+            (200, b"abc".as_slice(), true)
+        );
+    }
+
+    #[test]
+    fn framed_reader_honors_connection_close() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: close\r\n\r\nok";
+        let (_, _, keep) = read_framed_response(&mut io::Cursor::new(raw.to_vec())).expect("frame");
+        assert!(!keep);
     }
 }

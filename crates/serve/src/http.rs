@@ -3,7 +3,7 @@
 //! The workspace builds with no registry access, so this module hand-rolls
 //! exactly the protocol subset the job API needs: `GET`/`POST`, a parsed
 //! request target (path + query pairs), `Content-Length`-framed bodies,
-//! and `Connection: close` responses. Everything else is rejected with a
+//! and keep-alive/pipelined responses. Everything else is rejected with a
 //! typed [`HttpError`] that maps onto a 4xx status — the server never
 //! panics on short reads and never buffers an unbounded body:
 //!
@@ -14,6 +14,13 @@
 //!   is read (`413`), and a connection that ends before delivering the
 //!   declared bytes is a truncated upload (`400`), mirroring the
 //!   `Truncated` machinery of the on-disk formats.
+//!
+//! The core is the pure incremental parser [`parse_buffered`]: given the
+//! bytes buffered so far it either produces one parsed request plus the
+//! byte count it consumed (pipelined requests parse one at a time from
+//! the same buffer), asks for more bytes, or rejects with a typed error.
+//! The epoll reactor drives it directly from readiness events; the
+//! blocking [`read_request`] used by tests is a thin loop around it.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -69,6 +76,8 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The request body (empty for `GET`).
     pub body: Vec<u8>,
+    /// `true` for `HTTP/1.0` requests (which default to close).
+    pub http10: bool,
 }
 
 impl Request {
@@ -86,6 +95,18 @@ impl Request {
             .iter()
             .find(|(k, _)| k == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after this request:
+    /// HTTP/1.1 defaults to keep-alive unless the client sent
+    /// `Connection: close`; HTTP/1.0 defaults to close unless it sent
+    /// `Connection: keep-alive`.
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => !self.http10,
+        }
     }
 }
 
@@ -165,40 +186,53 @@ impl From<io::Error> for HttpError {
     }
 }
 
-/// Reads one request from `stream`, enforcing `limits`.
-pub fn read_request<S: Read>(stream: &mut S, limits: &Limits) -> Result<Request, HttpError> {
-    // Incrementally read the head until the blank line, capped.
-    let mut head: Vec<u8> = Vec::with_capacity(512);
-    let mut chunk = [0u8; 512];
-    let head_end = loop {
-        if let Some(pos) = find_head_end(&head) {
-            break pos;
-        }
-        if head.len() >= limits.max_head_bytes {
+/// Outcome of feeding buffered bytes to [`parse_buffered`].
+#[derive(Debug)]
+pub enum Parsed {
+    /// The buffer does not yet hold one complete request.
+    NeedMore,
+    /// One complete request, and how many buffered bytes it consumed
+    /// (bytes past `consumed` belong to the next pipelined request).
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of `buf` this request occupied (head + body).
+        consumed: usize,
+    },
+}
+
+/// Parses one request from the front of `buf`, enforcing `limits`.
+///
+/// Pure and incremental: the reactor calls it after every readiness
+/// event with whatever has accumulated in the connection's read buffer.
+/// The head cap is enforced as soon as the buffered head exceeds it, and
+/// the body cap as soon as `Content-Length` is parsed — before the body
+/// is buffered, so a hostile declared length costs nothing.
+pub fn parse_buffered(buf: &[u8], limits: &Limits) -> Result<Parsed, HttpError> {
+    // Only the head window needs scanning for the terminator; the +4
+    // allows a terminator straddling the cap boundary.
+    let window = buf.len().min(limits.max_head_bytes + 4);
+    let Some(head_end) = find_head_end(&buf[..window]) else {
+        if buf.len() >= limits.max_head_bytes {
             return Err(HttpError::HeadTooLarge {
                 limit: limits.max_head_bytes,
             });
         }
-        let want = chunk.len().min(limits.max_head_bytes + 4 - head.len());
-        let read = stream.read(&mut chunk[..want])?;
-        if read == 0 {
-            if head.is_empty() {
-                return Err(HttpError::Malformed("empty request".to_string()));
-            }
-            return Err(HttpError::Malformed(
-                "connection closed mid request head".to_string(),
-            ));
-        }
-        head.extend_from_slice(&chunk[..read]);
+        return Ok(Parsed::NeedMore);
     };
-    let leftover = head.split_off(head_end); // body bytes read past the head
-    let head_text = String::from_utf8(head)
+    if head_end > limits.max_head_bytes + 4 {
+        return Err(HttpError::HeadTooLarge {
+            limit: limits.max_head_bytes,
+        });
+    }
+    let head_text = std::str::from_utf8(&buf[..head_end])
         .map_err(|_| HttpError::Malformed("request head is not UTF-8".to_string()))?;
 
     let mut lines = head_text.split("\r\n");
     let request_line = lines
         .next()
-        .ok_or_else(|| HttpError::Malformed("missing request line".to_string()))?;
+        .ok_or_else(|| HttpError::Malformed("missing request line".to_string()))?
+        .trim_end_matches('\n'); // lenient \n\n terminator leaves one behind
     let mut parts = request_line.split(' ');
     let method_raw = parts
         .next()
@@ -215,10 +249,11 @@ pub fn read_request<S: Read>(stream: &mut S, limits: &Limits) -> Result<Request,
     let target = parts
         .next()
         .ok_or_else(|| HttpError::Malformed("missing request target".to_string()))?;
-    match parts.next() {
-        Some("HTTP/1.1") | Some("HTTP/1.0") => {}
+    let http10 = match parts.next() {
+        Some("HTTP/1.1") => false,
+        Some("HTTP/1.0") => true,
         other => return Err(HttpError::Malformed(format!("bad HTTP version {other:?}"))),
-    }
+    };
     if parts.next().is_some() {
         return Err(HttpError::Malformed(
             "trailing tokens on request line".to_string(),
@@ -231,6 +266,7 @@ pub fn read_request<S: Read>(stream: &mut S, limits: &Limits) -> Result<Request,
 
     let mut headers: Vec<(String, String)> = Vec::new();
     for line in lines {
+        let line = line.trim_end_matches('\n');
         if line.is_empty() {
             continue; // the terminating blank line
         }
@@ -249,6 +285,7 @@ pub fn read_request<S: Read>(stream: &mut S, limits: &Limits) -> Result<Request,
         query,
         headers,
         body: Vec::new(),
+        http10,
     };
 
     let declared = match request.header("content-length") {
@@ -263,37 +300,81 @@ pub fn read_request<S: Read>(stream: &mut S, limits: &Limits) -> Result<Request,
         (_, None) => 0,
         (_, Some(len)) => len,
     };
-    // The size check happens before a single body byte is read, so an
-    // oversized upload is refused without buffering it.
+    // The size check happens before the body is buffered, so an
+    // oversized upload is refused from its declared length alone.
     if expected > limits.max_body_bytes {
         return Err(HttpError::BodyTooLarge {
             declared: expected,
             limit: limits.max_body_bytes,
         });
     }
+    if buf.len() < head_end + expected {
+        return Ok(Parsed::NeedMore);
+    }
+    request.body = buf[head_end..head_end + expected].to_vec();
+    Ok(Parsed::Complete {
+        request,
+        consumed: head_end + expected,
+    })
+}
 
-    let mut body = leftover;
-    if body.len() > expected {
-        return Err(HttpError::Malformed(format!(
-            "{} bytes past the declared Content-Length",
-            body.len() - expected
-        )));
-    }
-    body.reserve(expected - body.len());
-    let mut buf = [0u8; 8 * 1024];
-    while body.len() < expected {
-        let want = buf.len().min(expected - body.len());
-        let read = stream.read(&mut buf[..want])?;
-        if read == 0 {
-            return Err(HttpError::TruncatedBody {
-                expected,
-                found: body.len(),
-            });
+/// Reads one request from `stream`, enforcing `limits` — the blocking
+/// wrapper around [`parse_buffered`] used by the unit tests and any
+/// one-shot tooling. Bytes past the first request's declared length are
+/// rejected (this entry point does not pipeline).
+pub fn read_request<S: Read>(stream: &mut S, limits: &Limits) -> Result<Request, HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 8 * 1024];
+    loop {
+        match parse_buffered(&buf, limits)? {
+            Parsed::Complete { request, consumed } => {
+                if buf.len() > consumed {
+                    return Err(HttpError::Malformed(format!(
+                        "{} bytes past the declared Content-Length",
+                        buf.len() - consumed
+                    )));
+                }
+                return Ok(request);
+            }
+            Parsed::NeedMore => {}
         }
-        body.extend_from_slice(&buf[..read]);
+        let read = stream.read(&mut chunk)?;
+        if read == 0 {
+            if buf.is_empty() {
+                return Err(HttpError::Malformed("empty request".to_string()));
+            }
+            return Err(truncation_error(&buf));
+        }
+        buf.extend_from_slice(&chunk[..read]);
     }
-    request.body = body;
-    Ok(request)
+}
+
+/// The typed error for a connection that hit EOF with a partial request
+/// still buffered: a half-sent head is `Malformed`, a half-sent body is
+/// `TruncatedBody` with the declared-vs-received counts. Shared by the
+/// blocking reader and the reactor's peer-EOF path.
+pub fn truncation_error(buf: &[u8]) -> HttpError {
+    match find_head_end(buf) {
+        None => HttpError::Malformed("connection closed mid request head".to_string()),
+        Some(head_end) => HttpError::TruncatedBody {
+            expected: declared_length(&buf[..head_end]).unwrap_or(0),
+            found: buf.len() - head_end,
+        },
+    }
+}
+
+/// Best-effort `Content-Length` extraction from a raw head, for the
+/// truncated-upload error path.
+fn declared_length(head: &[u8]) -> Option<usize> {
+    let text = std::str::from_utf8(head).ok()?;
+    for line in text.split("\r\n") {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                return value.trim().parse().ok();
+            }
+        }
+    }
+    None
 }
 
 /// Locates the end of the head (the byte after `\r\n\r\n` or, leniently,
@@ -373,21 +454,41 @@ impl Response {
         self.headers.push((name, value.into()));
     }
 
-    /// Serializes the response (with `Connection: close`) onto `w`.
-    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
-        write!(
-            w,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+    /// Serializes the response into `out`. `keep_alive` selects the
+    /// `Connection` header; a kept-alive response also advertises the
+    /// server's idle timeout (`Keep-Alive: timeout=N`) so well-behaved
+    /// clients drop connections before the reactor reaps them.
+    pub fn serialize_into(&self, out: &mut Vec<u8>, keep_alive: bool, idle_timeout_secs: u64) {
+        use std::io::Write as _;
+        let _ = write!(
+            out,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
             self.status,
             reason_phrase(self.status),
             self.content_type,
             self.body.len()
-        )?;
-        for (name, value) in &self.headers {
-            write!(w, "{name}: {value}\r\n")?;
+        );
+        if keep_alive {
+            let _ = write!(
+                out,
+                "Connection: keep-alive\r\nKeep-Alive: timeout={idle_timeout_secs}\r\n"
+            );
+        } else {
+            out.extend_from_slice(b"Connection: close\r\n");
         }
-        w.write_all(b"\r\n")?;
-        w.write_all(&self.body)?;
+        for (name, value) in &self.headers {
+            let _ = write!(out, "{name}: {value}\r\n");
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+    }
+
+    /// Serializes the response (with `Connection: close`) onto `w` — the
+    /// one-shot path used by tests and the connection-cap rejection.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let mut out = Vec::with_capacity(256 + self.body.len());
+        self.serialize_into(&mut out, false, 0);
+        w.write_all(&out)?;
         w.flush()
     }
 }
@@ -397,13 +498,16 @@ pub fn reason_phrase(status: u16) -> &'static str {
     match status {
         200 => "OK",
         201 => "Created",
+        202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         411 => "Length Required",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
@@ -525,6 +629,72 @@ mod tests {
         assert_eq!(err.status(), 400);
         let err = parse(b"").unwrap_err();
         assert_eq!(err.status(), 400);
+    }
+
+    fn feed(buf: &[u8]) -> Result<Parsed, HttpError> {
+        parse_buffered(buf, &Limits::default())
+    }
+
+    #[test]
+    fn incremental_parser_needs_more_then_completes() {
+        let raw = b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        // Every proper prefix asks for more bytes; the full buffer
+        // parses and consumes everything.
+        for cut in 0..raw.len() {
+            match feed(&raw[..cut]).expect("prefix parses") {
+                Parsed::NeedMore => {}
+                Parsed::Complete { .. } => panic!("prefix of {cut} bytes completed"),
+            }
+        }
+        match feed(raw).expect("parses") {
+            Parsed::Complete { request, consumed } => {
+                assert_eq!(consumed, raw.len());
+                assert_eq!(request.body, b"hello");
+            }
+            Parsed::NeedMore => panic!("complete request not recognized"),
+        }
+    }
+
+    #[test]
+    fn incremental_parser_pipelines_requests_in_order() {
+        let mut buf =
+            b"GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 3\r\n\r\nxyzGET /c"
+                .to_vec();
+        let Parsed::Complete { request, consumed } = feed(&buf).expect("first") else {
+            panic!("first request incomplete");
+        };
+        assert_eq!(request.path, "/a");
+        buf.drain(..consumed);
+        let Parsed::Complete { request, consumed } = feed(&buf).expect("second") else {
+            panic!("second request incomplete");
+        };
+        assert_eq!(request.path, "/b");
+        assert_eq!(request.body, b"xyz");
+        buf.drain(..consumed);
+        // The third request is a bare prefix: more bytes required.
+        assert!(matches!(feed(&buf).expect("prefix"), Parsed::NeedMore));
+    }
+
+    #[test]
+    fn keep_alive_negotiation_follows_version_and_header() {
+        let req = parse(b"GET / HTTP/1.1\r\n\r\n").expect("parse");
+        assert!(req.wants_keep_alive());
+        let req = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").expect("parse");
+        assert!(!req.wants_keep_alive());
+        let req = parse(b"GET / HTTP/1.0\r\n\r\n").expect("parse");
+        assert!(!req.wants_keep_alive());
+        let req = parse(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").expect("parse");
+        assert!(req.wants_keep_alive());
+    }
+
+    #[test]
+    fn keep_alive_response_advertises_timeout() {
+        let mut out = Vec::new();
+        Response::text(200, "ok").serialize_into(&mut out, true, 30);
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(text.contains("Keep-Alive: timeout=30\r\n"), "{text}");
+        assert!(!text.contains("Connection: close"), "{text}");
     }
 
     #[test]

@@ -39,7 +39,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -397,6 +397,10 @@ pub struct JobManager {
     state: Mutex<ManagerState>,
     available: Condvar,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Cap on jobs waiting in the queue; a submit beyond it is `503`
+    /// (the explicit backpressure signal, distinct from the per-request
+    /// worker queue). `usize::MAX` (the default) means unbounded.
+    max_queued: AtomicUsize,
 }
 
 impl JobManager {
@@ -467,6 +471,7 @@ impl JobManager {
             }),
             available: Condvar::new(),
             workers: Mutex::new(Vec::new()),
+            max_queued: AtomicUsize::new(usize::MAX),
         });
         // Appends buffered by a previous process: terminal jobs fold them
         // in now; queued/running jobs fold them in when they next finish.
@@ -525,10 +530,30 @@ impl JobManager {
         Ok(())
     }
 
+    /// Caps the number of queued (not-yet-running) jobs; submits beyond
+    /// the cap are rejected with a `503` so clients back off instead of
+    /// growing the queue without bound.
+    pub fn set_max_queued(&self, cap: usize) {
+        self.max_queued.store(cap.max(1), Ordering::Relaxed);
+    }
+
     /// Accepts a new job: validates the spec, parses the uploaded input
     /// (status matrix or observation set), persists everything, enqueues.
     pub fn submit(&self, spec: JobSpec, body: &[u8]) -> Result<JobMeta, JobError> {
         spec.validate().map_err(|e| JobError::new(422, e))?;
+        // Queue-full check up front, before the body is parsed or
+        // anything is persisted: shedding should be cheap.
+        {
+            let st = self.state.lock().expect("state lock");
+            let cap = self.max_queued.load(Ordering::Relaxed);
+            if st.queue.len() >= cap {
+                self.rec.add("jobs_rejected_queue_full", 1);
+                return Err(JobError::new(
+                    503,
+                    format!("job queue full ({} jobs queued, cap {cap})", st.queue.len()),
+                ));
+            }
+        }
         let (processes, nodes) = if spec.takes_statuses() {
             let m = read_status_matrix(body)
                 .map_err(|e| JobError::new(422, format!("bad status matrix: {e}")))?;
@@ -1199,6 +1224,22 @@ mod tests {
         )
         .expect("manager");
         (m, shutdown)
+    }
+
+    #[test]
+    fn queue_cap_rejects_submits_with_503() {
+        let dir = tmp_dir("queue-cap");
+        let (m, shutdown) = manager(&dir);
+        // Park the worker so nothing dequeues: the cap then applies to a
+        // deterministic queue length.
+        shutdown.store(true, Ordering::SeqCst);
+        m.shutdown_and_join();
+        m.set_max_queued(1);
+        let body = statuses_bytes(&sample_statuses(10, 6));
+        m.submit(JobSpec::default(), &body).expect("first queued");
+        let err = m.submit(JobSpec::default(), &body).expect_err("cap hit");
+        assert_eq!(err.status, 503);
+        assert!(err.message.contains("queue full"), "{}", err.message);
     }
 
     fn wait_terminal(m: &JobManager, id: u64) -> JobMeta {

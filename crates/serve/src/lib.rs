@@ -1,11 +1,14 @@
 //! `diffnet-serve` — a zero-dependency inference daemon.
 //!
 //! Turns the offline reconstruction pipeline into a long-running service
-//! without adding a single external crate: a hand-rolled HTTP/1.1 server
-//! over [`std::net::TcpListener`] ([`http`]), a durable job queue whose
-//! persistence layer *is* the PR-4 checkpoint machinery ([`job`]), the
-//! accept/worker pools and signal handling ([`server`]), and a small
-//! blocking client for the CLI and tests ([`client`]).
+//! without adding a single external crate: a hand-rolled HTTP/1.1 layer
+//! with an incremental, readiness-driven parser ([`http`]), an
+//! `epoll(7)` event loop over raw FFI that owns every socket on one
+//! thread — keep-alive, pipelining, bounded buffers, timeouts, and
+//! backpressure ([`reactor`]) — a durable job queue whose persistence
+//! layer *is* the PR-4 checkpoint machinery ([`job`]), routing, config,
+//! and signal handling ([`server`]), and a small blocking keep-alive
+//! client for the CLI, the load generator, and tests ([`client`]).
 //!
 //! # API
 //!
@@ -49,6 +52,7 @@
 pub mod client;
 pub mod http;
 pub mod job;
+pub mod reactor;
 pub mod server;
 
 pub use client::Client;
@@ -57,4 +61,5 @@ pub use job::{
     job_report_json, parse_size, status_json, JobError, JobManager, JobMeta, JobSpec, JobState,
     ALGORITHMS,
 };
+pub use reactor::Tuning;
 pub use server::{ServeConfig, Server, FAULT_ACCEPT};

@@ -1,33 +1,35 @@
-//! The daemon: a bounded accept/worker pool around [`JobManager`].
+//! The daemon: routing, config, and lifecycle around the epoll reactor.
 //!
-//! One accept thread pushes connections into a bounded queue; a small
-//! pool of handler threads pops them, parses one request each (the
-//! protocol is `Connection: close`), routes it, and writes the response.
-//! When the queue is full the connection is answered `503` immediately
-//! instead of piling up unbounded.
+//! All socket work happens on the single [`crate::reactor`] thread
+//! (nonblocking accept, readiness-driven parsing, keep-alive and
+//! pipelining, bounded buffers, timeouts); this module owns everything
+//! above it: the [`ServeConfig`], the process-wide [`Shared`] state, the
+//! [`route`] table mapping parsed requests onto the [`JobManager`] API,
+//! and the [`route_is_heavy`] split deciding which routes run inline on
+//! the loop versus on the request-worker pool.
 //!
 //! Shutdown is cooperative and has three triggers that all set the same
 //! flag: `SIGTERM`/`SIGINT` (unix), `POST /v1/shutdown`, and
-//! [`Server::request_shutdown`]. The accept loop notices the flag within
-//! one poll interval, stops accepting, drains the handler pool, and then
-//! joins the job workers — in-flight tends jobs checkpoint their finished
-//! nodes and stay `running` on disk, so the next start resumes them.
+//! [`Server::request_shutdown`]. The reactor notices the flag within one
+//! poll interval (immediately when the eventfd doorbell is rung), stops
+//! accepting, drains in-flight responses, and then joins the job
+//! workers — in-flight jobs checkpoint their finished nodes and stay
+//! `running` on disk, so the next start resumes them.
 
-use std::collections::VecDeque;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
 
 use diffnet_observe::{
     parse_json, render_prometheus, trace_to_json, FaultPlan, Json, Recorder, ResourceProfiler,
     DEFAULT_SAMPLE_INTERVAL,
 };
 
-use crate::http::{read_request, Limits, Method, Request, Response};
+use crate::http::{Limits, Method, Request, Response};
 use crate::job::{status_json, JobError, JobManager, JobSpec};
+use crate::reactor::{Reactor, Tuning, Wakeup};
 
 /// Fault-injection site hit once per accepted connection.
 pub const FAULT_ACCEPT: &str = "accept";
@@ -54,6 +56,11 @@ pub struct ServeConfig {
     pub slow_request_secs: f64,
     /// Emit one structured JSON access-log line per request to stderr.
     pub access_log: bool,
+    /// Reactor knobs: connection cap, per-connection in-flight budget,
+    /// idle/read timeouts, drain deadline, request-worker queue depth.
+    pub tuning: Tuning,
+    /// Cap on queued (not-yet-running) jobs; submits beyond it are `503`.
+    pub max_queued_jobs: usize,
 }
 
 impl Default for ServeConfig {
@@ -67,27 +74,31 @@ impl Default for ServeConfig {
             port_file: None,
             slow_request_secs: 1.0,
             access_log: true,
+            tuning: Tuning::default(),
+            max_queued_jobs: 64,
         }
     }
 }
 
-struct Shared {
-    manager: Arc<JobManager>,
-    rec: Arc<Recorder>,
-    limits: Limits,
-    shutdown: Arc<AtomicBool>,
-    queue: Mutex<VecDeque<TcpStream>>,
-    ready: Condvar,
+/// Process-wide state the reactor, its request workers, and the route
+/// table all share.
+pub(crate) struct Shared {
+    pub(crate) manager: Arc<JobManager>,
+    pub(crate) rec: Arc<Recorder>,
+    pub(crate) limits: Limits,
+    pub(crate) shutdown: Arc<AtomicBool>,
+    /// The reactor's eventfd doorbell: rung by request workers on
+    /// completion and by [`Server::request_shutdown`].
+    pub(crate) wakeup: Wakeup,
+    pub(crate) fault: Arc<FaultPlan>,
     /// Sequence for generated request ids (`req-1`, `req-2`, …).
     next_request_id: AtomicU64,
     /// Process-wide resource sampler; its live profile backs the
     /// `process_*` gauges on `/v1/metrics`.
     profiler: ResourceProfiler,
-    slow_request_secs: f64,
-    access_log: bool,
+    pub(crate) slow_request_secs: f64,
+    pub(crate) access_log: bool,
 }
-
-const QUEUE_CAP: usize = 64;
 
 /// A bound, running daemon. Construct with [`Server::bind`], then either
 /// call [`Server::serve_forever`] (the CLI does) or poke it from another
@@ -96,13 +107,14 @@ pub struct Server {
     listener: TcpListener,
     addr: SocketAddr,
     shared: Arc<Shared>,
-    fault: Arc<FaultPlan>,
-    handlers: Vec<std::thread::JoinHandle<()>>,
+    http_workers: usize,
+    tuning: Tuning,
 }
 
 impl Server {
     /// Binds the listener, opens/rescans the job store, starts the job
-    /// and handler pools, and (if configured) writes the port file.
+    /// workers, and (if configured) writes the port file. The reactor
+    /// itself starts inside [`Server::serve_forever`].
     pub fn bind(config: &ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
@@ -119,27 +131,19 @@ impl Server {
             Arc::clone(&rec),
             Arc::clone(&fault),
         )?;
+        manager.set_max_queued(config.max_queued_jobs);
         let shared = Arc::new(Shared {
             manager,
             rec,
             limits: config.limits,
             shutdown,
-            queue: Mutex::new(VecDeque::new()),
-            ready: Condvar::new(),
+            wakeup: Wakeup::new()?,
+            fault,
             next_request_id: AtomicU64::new(1),
             profiler: ResourceProfiler::start(DEFAULT_SAMPLE_INTERVAL),
             slow_request_secs: config.slow_request_secs,
             access_log: config.access_log,
         });
-        let mut handlers = Vec::new();
-        for i in 0..config.http_workers.max(1) {
-            let s = Arc::clone(&shared);
-            handlers.push(
-                std::thread::Builder::new()
-                    .name(format!("diffnet-http-{i}"))
-                    .spawn(move || handler_loop(&s))?,
-            );
-        }
         if let Some(path) = &config.port_file {
             diffnet_graph::io::save_atomic(path, |w| writeln!(w, "{addr}"))?;
         }
@@ -147,8 +151,8 @@ impl Server {
             listener,
             addr,
             shared,
-            fault,
-            handlers,
+            http_workers: config.http_workers,
+            tuning: config.tuning,
         })
     }
 
@@ -163,166 +167,79 @@ impl Server {
         Arc::clone(&self.shared.shutdown)
     }
 
-    /// Requests a graceful stop from another thread.
+    /// Requests a graceful stop from another thread, waking the reactor
+    /// immediately via its doorbell.
     pub fn request_shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wakeup.ring();
     }
 
-    /// Accepts connections until the shutdown flag is set (by a signal,
-    /// the shutdown endpoint, or [`Server::request_shutdown`]), then
-    /// drains the pools. In-flight jobs checkpoint and stay resumable.
-    pub fn serve_forever(mut self) -> io::Result<()> {
+    /// Runs the epoll reactor until the shutdown flag is set (by a
+    /// signal, the shutdown endpoint, or [`Server::request_shutdown`]),
+    /// drains in-flight responses, then joins the job workers. In-flight
+    /// jobs checkpoint and stay resumable.
+    pub fn serve_forever(self) -> io::Result<()> {
         #[cfg(unix)]
         install_signal_handlers();
-        loop {
-            if self.shared.shutdown.load(Ordering::SeqCst) || signalled() {
-                break;
-            }
-            match self.listener.accept() {
-                Ok((stream, _)) => {
-                    if self.fault.hit(FAULT_ACCEPT).is_err() {
-                        // Injected accept fault: count it and drop the
-                        // connection without reading a byte.
-                        self.shared.rec.add("accept_faults", 1);
-                        continue;
-                    }
-                    let mut q = self.shared.queue.lock().expect("queue lock");
-                    if q.len() >= QUEUE_CAP {
-                        drop(q);
-                        self.shared.rec.add("http_rejected_busy", 1);
-                        let _ = crate::http::configure_stream(&stream).and_then(|()| {
-                            let mut s = stream;
-                            Response::error(503, "handler queue full").write_to(&mut s)
-                        });
-                        continue;
-                    }
-                    q.push_back(stream);
-                    drop(q);
-                    self.shared.ready.notify_one();
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(20));
-                }
-                Err(_) => std::thread::sleep(Duration::from_millis(20)),
-            }
-        }
-        // Propagate a signal-initiated stop to the pools.
+        let reactor = Reactor::new(
+            self.listener,
+            Arc::clone(&self.shared),
+            self.http_workers,
+            self.tuning,
+        )?;
+        let result = reactor.run();
+        // Reached only after the drain: stop the job workers too.
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.ready.notify_all();
-        for h in self.handlers.drain(..) {
-            let _ = h.join();
-        }
         self.shared.manager.shutdown_and_join();
-        Ok(())
+        result
     }
 }
 
-fn handler_loop(shared: &Shared) {
-    loop {
-        let stream = {
-            let mut q = shared.queue.lock().expect("queue lock");
-            loop {
-                if let Some(s) = q.pop_front() {
-                    break s;
-                }
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                q = shared
-                    .ready
-                    .wait_timeout(q, Duration::from_millis(200))
-                    .expect("queue lock")
-                    .0;
+impl Shared {
+    /// The per-request id: the client's `X-Request-Id` when it is short
+    /// and header-safe (so it can be echoed without response-splitting
+    /// risk), otherwise a generated `req-N`.
+    pub(crate) fn request_id(&self, req: &Request) -> String {
+        if let Some(raw) = req.header("x-request-id") {
+            let ok = !raw.is_empty()
+                && raw.len() <= 64
+                && raw
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
+            if ok {
+                return raw.to_string();
             }
-        };
-        handle_connection(shared, stream);
+        }
+        self.generated_request_id()
+    }
+
+    pub(crate) fn generated_request_id(&self) -> String {
+        format!(
+            "req-{}",
+            self.next_request_id.fetch_add(1, Ordering::Relaxed)
+        )
     }
 }
 
-fn handle_connection(shared: &Shared, mut stream: TcpStream) {
-    if crate::http::configure_stream(&stream).is_err() {
-        return;
-    }
-    let started = Instant::now();
-    shared.rec.add("http_requests", 1);
-    let (mut response, request_id, metric, method, path) =
-        match read_request(&mut stream, &shared.limits) {
-            Ok(request) => {
-                let rid = request_id(shared, &request);
-                let metric = endpoint_metric(&request);
-                let resp = route(shared, &request);
-                (resp, rid, metric, request.method.to_string(), request.path)
-            }
-            Err(e) => {
-                shared.rec.add("http_protocol_errors", 1);
-                let rid = generated_request_id(shared);
-                (
-                    Response::error(e.status(), e.to_string()),
-                    rid,
-                    "http_request_seconds_other",
-                    "-".to_string(),
-                    "-".to_string(),
-                )
-            }
-        };
-    if response.status >= 400 {
-        shared.rec.add("http_error_responses", 1);
-    }
-    response.header("X-Request-Id", request_id.clone());
-    let write_ok = response.write_to(&mut stream).is_ok();
-    let seconds = started.elapsed().as_secs_f64();
-    shared.rec.duration(metric, seconds);
-    let slow = seconds > shared.slow_request_secs;
-    if slow {
-        shared.rec.add("http_slow_requests", 1);
-    }
-    if shared.access_log || slow {
-        let mut line = Json::object();
-        line.push("request_id", request_id.as_str());
-        line.push("method", method.as_str());
-        line.push("path", path.as_str());
-        line.push("status", u64::from(response.status));
-        line.push("duration_s", seconds);
-        line.push("bytes", response.body.len());
-        if !write_ok {
-            line.push("write_failed", true);
-        }
-        if slow {
-            line.push("slow", true);
-            line.push("threshold_s", shared.slow_request_secs);
-        }
-        eprintln!("[access] {}", line.to_compact());
-    }
-}
-
-/// The per-request id: the client's `X-Request-Id` when it is short and
-/// header-safe (so it can be echoed without response-splitting risk),
-/// otherwise a generated `req-N`.
-fn request_id(shared: &Shared, req: &Request) -> String {
-    if let Some(raw) = req.header("x-request-id") {
-        let ok = !raw.is_empty()
-            && raw.len() <= 64
-            && raw
-                .chars()
-                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
-        if ok {
-            return raw.to_string();
-        }
-    }
-    generated_request_id(shared)
-}
-
-fn generated_request_id(shared: &Shared) -> String {
-    format!(
-        "req-{}",
-        shared.next_request_id.fetch_add(1, Ordering::Relaxed)
+/// Whether a route runs on the request-worker pool (`true`) instead of
+/// inline on the reactor thread. Heavy routes are the ones that touch
+/// the job store (submits parse + persist, cascade appends rewrite
+/// inputs, output reads hit disk); everything else answers from memory
+/// fast enough that a worker round-trip would only add latency.
+pub(crate) fn route_is_heavy(req: &Request) -> bool {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    matches!(
+        (req.method, segments.as_slice()),
+        (Method::Post, ["v1", "jobs"])
+            | (Method::Post, ["v1", "jobs", _, "cascades"])
+            | (Method::Get, ["v1", "jobs", _, "edges" | "report" | "trace"])
     )
 }
 
 /// The duration-histogram name for a request's endpoint. Static names
 /// keep the recorder allocation-free and bound the label set no matter
 /// what paths clients probe.
-fn endpoint_metric(req: &Request) -> &'static str {
+pub(crate) fn endpoint_metric(req: &Request) -> &'static str {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method, segments.as_slice()) {
         (Method::Get, ["v1", "healthz"]) => "http_request_seconds_healthz",
@@ -340,7 +257,7 @@ fn endpoint_metric(req: &Request) -> &'static str {
 }
 
 /// Maps one parsed request onto the API.
-fn route(shared: &Shared, req: &Request) -> Response {
+pub(crate) fn route(shared: &Shared, req: &Request) -> Response {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method, segments.as_slice()) {
         (Method::Get, ["v1", "healthz"]) => Response::text(200, "ok\n"),
@@ -535,7 +452,7 @@ fn spec_from_query(req: &Request) -> Result<JobSpec, String> {
 
 static SIGNAL_SHUTDOWN: AtomicBool = AtomicBool::new(false);
 
-fn signalled() -> bool {
+pub(crate) fn signalled() -> bool {
     SIGNAL_SHUTDOWN.load(Ordering::SeqCst)
 }
 
@@ -560,6 +477,7 @@ fn install_signal_handlers() {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     fn temp_config(tag: &str) -> ServeConfig {
         let dir = std::env::temp_dir().join(format!(
