@@ -9,8 +9,13 @@
 //! connection instead of reconnecting per poll. The server's
 //! `Connection: close` answers — and idle reaping, which it advertises
 //! via `Keep-Alive: timeout=N` — are honored by dropping the pooled
-//! connection and dialing a fresh one on the next request. Socket
-//! timeouts ensure a wedged server fails a test instead of hanging it.
+//! connection and dialing a fresh one on the next request. A failed
+//! pooled roundtrip is transparently retried on a fresh dial only when
+//! that is provably safe: the request died while being written (never
+//! processed), or the method is an idempotent `GET`. A `POST` that
+//! failed after it was fully sent surfaces the error instead of
+//! risking a duplicate submit or append. Socket timeouts ensure a
+//! wedged server fails a test instead of hanging it.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -57,21 +62,33 @@ impl Client {
     ///
     /// Reuses the pooled connection when one is alive. A pooled
     /// connection the server has since reaped (idle timeout, restart)
-    /// fails on write or on the first response byte; the request is then
-    /// retried once on a fresh connection.
+    /// usually fails while *writing* the request — the server cannot
+    /// have processed it, so any method is safe to retry once on a
+    /// fresh connection. If the failure comes *after* the request was
+    /// fully written (read timeout, connection dying mid-response), the
+    /// server may already have executed it, so only idempotent `GET`s
+    /// are retried; for `POST` the error surfaces instead of risking a
+    /// silent duplicate submit/append.
     pub fn request(&self, method: Method, path: &str, body: &[u8]) -> io::Result<(u16, Vec<u8>)> {
         let mut pooled = self.conn.lock().expect("client connection lock");
         if let Some(mut stream) = pooled.take() {
-            if let Ok((status, body, keep)) = self.roundtrip(&mut stream, method, path, body) {
-                if keep {
-                    *pooled = Some(stream);
+            match self.roundtrip(&mut stream, method, path, body) {
+                Ok((status, body, keep)) => {
+                    if keep {
+                        *pooled = Some(stream);
+                    }
+                    return Ok((status, body));
                 }
-                return Ok((status, body));
+                Err(e) if e.request_sent && method != Method::Get => return Err(e.error),
+                // Provably-unprocessed (or idempotent) failure on a
+                // stale pooled connection: fall through to a fresh dial.
+                Err(_) => {}
             }
-            // Stale pooled connection: fall through to a fresh dial.
         }
         let mut stream = self.connect()?;
-        let (status, response, keep) = self.roundtrip(&mut stream, method, path, body)?;
+        let (status, response, keep) = self
+            .roundtrip(&mut stream, method, path, body)
+            .map_err(|e| e.error)?;
         if keep {
             *pooled = Some(stream);
         }
@@ -84,16 +101,27 @@ impl Client {
         method: Method,
         path: &str,
         body: &[u8],
-    ) -> io::Result<(u16, Vec<u8>, bool)> {
-        write!(
+    ) -> Result<(u16, Vec<u8>, bool), RoundtripError> {
+        let sent = write!(
             stream,
             "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\r\n",
             self.addr,
             body.len()
-        )?;
-        stream.write_all(body)?;
-        stream.flush()?;
-        read_framed_response(stream)
+        )
+        .and_then(|()| stream.write_all(body))
+        .and_then(|()| stream.flush());
+        if let Err(error) = sent {
+            // The request never left intact; a `Content-Length` underrun
+            // is a typed 400 on the server, never an executed request.
+            return Err(RoundtripError {
+                request_sent: false,
+                error,
+            });
+        }
+        read_framed_response(stream).map_err(|error| RoundtripError {
+            request_sent: true,
+            error,
+        })
     }
 
     /// `GET path`.
@@ -164,6 +192,14 @@ impl Client {
             waited += poll;
         }
     }
+}
+
+/// A failed roundtrip, tagged with whether the request bytes had been
+/// fully written (and flushed) before the error hit — the line between
+/// "provably not processed, safe to retry" and "may have executed".
+struct RoundtripError {
+    request_sent: bool,
+    error: io::Error,
 }
 
 fn to_json(body: &[u8]) -> io::Result<Json> {
@@ -292,5 +328,91 @@ mod tests {
         let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: close\r\n\r\nok";
         let (_, _, keep) = read_framed_response(&mut io::Cursor::new(raw.to_vec())).expect("frame");
         assert!(!keep);
+    }
+
+    /// Reads one request (head, then `Content-Length` body bytes) off a
+    /// raw socket — just enough HTTP for the fake servers below.
+    fn read_request(stream: &mut TcpStream) -> Vec<u8> {
+        let mut raw = Vec::new();
+        let mut byte = [0u8; 1];
+        while !raw.ends_with(b"\r\n\r\n") {
+            match stream.read(&mut byte) {
+                Ok(0) | Err(_) => return raw,
+                Ok(_) => raw.push(byte[0]),
+            }
+        }
+        let head = String::from_utf8_lossy(&raw).to_string();
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0);
+        let mut body = vec![0u8; len];
+        let _ = stream.read_exact(&mut body);
+        raw.extend_from_slice(&body);
+        raw
+    }
+
+    fn keep_alive_ok(stream: &mut TcpStream) {
+        stream
+            .write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 0\r\nConnection: keep-alive\r\n\r\n")
+            .expect("respond");
+    }
+
+    #[test]
+    fn pooled_post_is_not_retried_after_the_request_was_sent() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            // Warm the pool with one keep-alive answer, then swallow the
+            // POST — fully read, never answered — and close.
+            let (mut stream, _) = listener.accept().expect("accept");
+            read_request(&mut stream);
+            keep_alive_ok(&mut stream);
+            read_request(&mut stream);
+            drop(stream);
+            // A transparent retry would dial again; report whether one
+            // arrived within the grace window.
+            listener.set_nonblocking(true).expect("nonblocking");
+            std::thread::sleep(Duration::from_millis(300));
+            listener.accept().is_ok()
+        });
+
+        let client = Client::with_timeout(addr, Duration::from_secs(5));
+        let (status, _) = client.get("/warmup").expect("pooled warmup");
+        assert_eq!(status, 200);
+        // The POST was fully written before the connection died, so the
+        // server may have executed it: the failure must surface.
+        let err = client
+            .request(Method::Post, "/v1/jobs", b"body")
+            .expect_err("post after send must not be retried");
+        assert!(!err.to_string().is_empty());
+        let retried = server.join().expect("server thread");
+        assert!(!retried, "POST was silently retried on a fresh dial");
+    }
+
+    #[test]
+    fn pooled_get_is_retried_on_a_fresh_connection() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            // Answer one request keep-alive, then reap the pooled
+            // connection (as the idle timeout would); the retry dial
+            // gets a working answer.
+            let (mut stream, _) = listener.accept().expect("accept");
+            read_request(&mut stream);
+            keep_alive_ok(&mut stream);
+            drop(stream);
+            let (mut stream, _) = listener.accept().expect("retry accept");
+            read_request(&mut stream);
+            keep_alive_ok(&mut stream);
+        });
+
+        let client = Client::with_timeout(addr, Duration::from_secs(5));
+        assert_eq!(client.get("/warmup").expect("pooled warmup").0, 200);
+        // Idempotent GET on the reaped pooled connection: retried
+        // transparently, whichever phase the stale connection failed in.
+        assert_eq!(client.get("/again").expect("retried get").0, 200);
+        server.join().expect("server thread");
     }
 }

@@ -26,15 +26,18 @@
 //! Everything a client can grow is capped:
 //!
 //! * the read buffer holds at most one partial request (head + body
-//!   caps) plus one read chunk — reading pauses while the per-connection
-//!   in-flight budget is spent or the write buffer is saturated, letting
-//!   TCP push back on the peer;
+//!   caps) plus one read chunk — requests are parsed out between read
+//!   chunks, and while the write buffer is saturated the connection's
+//!   read interest is deregistered entirely, letting TCP push back on
+//!   the peer without the level-triggered loop spinning;
 //! * more than [`Tuning::max_inflight_per_conn`] unanswered requests on
 //!   one connection → `429` with `Retry-After`;
 //! * a full request-worker queue → `503` (and a full job queue is the
 //!   job manager's own `503`);
 //! * more than [`Tuning::max_connections`] open connections → the
-//!   accept is answered `503` and closed;
+//!   accept is answered `503` and closed; a persistent `accept(2)`
+//!   failure (fd exhaustion) deregisters the listener for a short
+//!   backoff instead of spinning on the un-acceptable backlog entry;
 //! * a request that does not complete within
 //!   [`Tuning::request_read_timeout`] of its first byte → `408` and
 //!   close (slowloris defense); a connection idle beyond
@@ -67,7 +70,12 @@ use crate::server::{endpoint_metric, route, route_is_heavy, Shared};
 // Raw epoll / eventfd FFI. Linux-specific by design: the daemon targets
 // the same hosts the benches run on, and std links libc already.
 
-#[repr(C, packed)]
+// Field layout must match the kernel ABI, which differs per target:
+// x86/x86_64 pack the struct (`data` at offset 4, size 12); every other
+// Linux architecture aligns it naturally (`data` at offset 8, size 16),
+// mirroring libc's definition.
+#[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(C, packed))]
+#[cfg_attr(not(any(target_arch = "x86", target_arch = "x86_64")), repr(C))]
 struct EpollEvent {
     events: u32,
     data: u64,
@@ -324,6 +332,10 @@ impl Default for Tuning {
 /// client is not draining, so TCP should push back on it.
 const WRITE_BUF_PAUSE: usize = 256 * 1024;
 
+/// How long the listener stays deregistered after a persistent accept
+/// failure (EMFILE/ENFILE fd exhaustion and the like) before retrying.
+const ACCEPT_ERROR_BACKOFF: Duration = Duration::from_millis(100);
+
 /// One ordered response slot: `bytes` is `None` while the request is in
 /// flight on a worker.
 struct SlotState {
@@ -369,6 +381,15 @@ impl Conn {
     fn unanswered(&self) -> usize {
         self.pending.iter().filter(|s| s.bytes.is_none()).count()
     }
+
+    /// Reads pause while this much response data sits unflushed: the
+    /// peer is not draining, so read interest is dropped (level-
+    /// triggered epoll would otherwise spin on the readable socket) and
+    /// TCP pushes back until [`Reactor::flush_conn`] drains the buffer
+    /// and re-arms it.
+    fn read_paused(&self) -> bool {
+        self.write_buf.len() - self.written > WRITE_BUF_PAUSE
+    }
 }
 
 struct ConnSlot {
@@ -398,6 +419,10 @@ pub(crate) struct Reactor {
     completions: Arc<Mutex<Vec<Completion>>>,
     workers: Vec<std::thread::JoinHandle<()>>,
     accepting: bool,
+    /// Set after a persistent accept error: the listener is deregistered
+    /// until this instant so the loop keeps servicing (and closing)
+    /// existing connections instead of spinning on the dead accept.
+    accept_paused_until: Option<Instant>,
     draining_since: Option<Instant>,
     last_sweep: Instant,
 }
@@ -437,6 +462,7 @@ impl Reactor {
             completions,
             workers,
             accepting: true,
+            accept_paused_until: None,
             draining_since: None,
             last_sweep: Instant::now(),
         })
@@ -467,6 +493,7 @@ impl Reactor {
             }
             self.apply_completions();
             self.sweep_timers();
+            self.resume_accepts();
         }
         // Propagate shutdown to the worker pool and join it; queued
         // requests were answered during the drain above (or their
@@ -482,7 +509,7 @@ impl Reactor {
     // -- accept path ------------------------------------------------------
 
     fn accept_ready(&mut self) {
-        if !self.accepting {
+        if !self.accepting || self.accept_paused_until.is_some() {
             return;
         }
         loop {
@@ -490,10 +517,48 @@ impl Reactor {
                 Ok((stream, _)) => self.admit(stream),
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                // Transient accept failures (e.g. the peer reset before
-                // we got to it): skip and keep accepting.
-                Err(_) => continue,
+                // The peer aborted between readiness and accept: that
+                // connection is gone, but the next one may be fine.
+                Err(e)
+                    if e.kind() == io::ErrorKind::ConnectionAborted
+                        || e.kind() == io::ErrorKind::ConnectionReset =>
+                {
+                    continue
+                }
+                Err(_) => {
+                    // Persistent failure (EMFILE/ENFILE fd exhaustion,
+                    // ENOMEM, …): the pending connection stays in the
+                    // backlog, so with level-triggered readiness an
+                    // immediate retry would spin the loop forever.
+                    // Deregister the listener for a backoff so the loop
+                    // keeps servicing — and eventually closing, which
+                    // frees fds — the connections it already has.
+                    self.shared.rec.add("http_accept_errors", 1);
+                    self.poller.delete(self.listener.as_raw_fd());
+                    self.accept_paused_until = Some(Instant::now() + ACCEPT_ERROR_BACKOFF);
+                    break;
+                }
             }
+        }
+    }
+
+    /// Re-registers the listener once an accept-error backoff expires.
+    fn resume_accepts(&mut self) {
+        let Some(until) = self.accept_paused_until else {
+            return;
+        };
+        if !self.accepting {
+            // A drain started meanwhile; it owns the listener's fate.
+            self.accept_paused_until = None;
+            return;
+        }
+        if Instant::now() >= until
+            && self
+                .poller
+                .add(self.listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)
+                .is_ok()
+        {
+            self.accept_paused_until = None;
         }
     }
 
@@ -588,27 +653,23 @@ impl Reactor {
     fn read_ready(&mut self, index: usize) {
         let mut chunk = [0u8; 64 * 1024];
         let mut peer_closed = false;
-        {
-            let conn = self.slots[index].conn.as_mut().expect("live conn");
-            if conn.stop_reading {
-                // Readiness on a connection we no longer read: level-
-                // triggered epoll would spin on it, so drop read interest
-                // (keeping write interest if a flush is still pending).
-                let still_writing = conn.written < conn.write_buf.len();
-                Self::update_interest(&self.poller, conn, still_writing);
-                return;
-            }
-            loop {
-                // Pause between chunks if budgets fill mid-readiness.
-                if conn.unanswered() > self.tuning.max_inflight_per_conn
-                    || conn.write_buf.len() - conn.written > WRITE_BUF_PAUSE
-                {
-                    break;
+        loop {
+            {
+                let conn = self.slots[index].conn.as_mut().expect("live conn");
+                if conn.stop_reading || conn.read_paused() {
+                    // Readiness on a connection we will not read right
+                    // now: level-triggered epoll would spin on it, so
+                    // drop read interest (keeping write interest if a
+                    // flush is still pending). A backpressure pause is
+                    // re-armed by flush_conn once the buffer drains;
+                    // stop_reading never is.
+                    let still_writing = conn.written < conn.write_buf.len();
+                    Self::update_interest(&self.poller, conn, still_writing);
+                    return;
                 }
                 match conn.stream.read(&mut chunk) {
                     Ok(0) => {
                         peer_closed = true;
-                        break;
                     }
                     Ok(n) => {
                         conn.read_buf.extend_from_slice(&chunk[..n]);
@@ -625,10 +686,22 @@ impl Reactor {
                     }
                 }
             }
-        }
-        self.parse_available(index);
-        if self.slots[index].conn.is_none() {
-            return;
+            // Parse and flush between chunks, not after the whole burst:
+            // a client pipelining at line rate keeps the socket readable,
+            // and only parse/flush move the in-flight and write-buffer
+            // budgets the pause check above reads — this bounds read_buf
+            // to one partial request plus one chunk per iteration.
+            self.parse_available(index);
+            if self.slots[index].conn.is_none() {
+                return;
+            }
+            self.flush_conn(index);
+            if self.slots[index].conn.is_none() {
+                return;
+            }
+            if peer_closed {
+                break;
+            }
         }
         if peer_closed {
             let partial = {
@@ -887,11 +960,13 @@ impl Reactor {
 
     /// Re-registers epoll interest to match what the connection can
     /// currently make progress on. `EPOLLRDHUP` rides with read interest
-    /// only: once reads stop, a half-closed peer would otherwise keep the
-    /// level-triggered event hot and spin the loop.
+    /// only: once reads stop — permanently (`stop_reading`) or for a
+    /// backpressure pause (`read_paused`) — a readable or half-closed
+    /// peer would otherwise keep the level-triggered event hot and spin
+    /// the loop.
     fn update_interest(poller: &Poller, conn: &mut Conn, want_write: bool) {
         let mut events = 0;
-        if !conn.stop_reading {
+        if !conn.stop_reading && !conn.read_paused() {
             events |= EPOLLIN | EPOLLRDHUP;
         }
         if want_write {
